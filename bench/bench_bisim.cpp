@@ -1,0 +1,58 @@
+// Ablation: the sigref-style bisimulation minimization step of the CTMC
+// flow (paper Sec. IV describes NuSMV -> sigref -> MRMC; this bench
+// quantifies what the reduction buys on the sensor/filter family).
+//
+//   $ ./bench_bisim [--max-r R] [--hours H]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ctmc/flow.hpp"
+#include "models/sensor_filter.hpp"
+#include "sim/property.hpp"
+
+int main(int argc, char** argv) {
+    using namespace slimsim;
+    try {
+        int max_r = 4;
+        double hours = 100.0;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--max-r") == 0 && i + 1 < argc) {
+                max_r = std::stoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+                hours = std::stod(argv[++i]);
+            } else {
+                std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+                return 2;
+            }
+        }
+        const double u = hours * 3600.0;
+        std::printf("== bisimulation minimization ablation ==\n");
+        std::printf("%-3s | %-9s %-9s %-8s | %-12s %-12s | %-10s\n", "R", "ctmc-st",
+                    "lumped", "ratio", "t(with)", "t(without)", "|dp|");
+        for (int r = 1; r <= max_r; ++r) {
+            const eda::Network net =
+                eda::build_network_from_source(models::sensor_filter_source(r));
+            const sim::TimedReachability prop =
+                sim::make_reachability(net.model(), models::sensor_filter_goal(), u);
+            ctmc::FlowOptions with;
+            ctmc::FlowOptions without;
+            without.minimize = false;
+            const auto rw = ctmc::run_ctmc_flow(net, *prop.goal, u, with);
+            const auto ro = ctmc::run_ctmc_flow(net, *prop.goal, u, without);
+            std::printf("%-3d | %-9zu %-9zu %-8.2f | %-11.3fs %-11.3fs | %-10.2e\n", r,
+                        rw.ctmc_states, rw.lumped_states,
+                        static_cast<double>(rw.ctmc_states) /
+                            static_cast<double>(rw.lumped_states == 0 ? 1
+                                                                      : rw.lumped_states),
+                        rw.total_seconds, ro.total_seconds,
+                        rw.probability - ro.probability);
+        }
+        std::puts("\nexpected: symmetric redundant units lump; the reduction factor"
+                  " grows with R; probabilities agree to solver precision.");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,135 @@
+// Fig. 5: launcher failure probability over the mission time, per strategy.
+//
+//   $ ./bench_fig5 [--variant permanent|recoverable|both] [--eps E]
+//                  [--delta D] [--mission MIN]
+//
+// Left graph (permanent DPU faults): all strategies coincide.
+// Right graph (recoverable DPU faults): ASAP repairs too early and loses
+// DPUs for good, MaxTime always repairs in time; Local/Progressive land in
+// between. Each strategy runs N paths to the full mission horizon; the
+// curve P( <> [0,u] failure ) is the empirical CDF of goal-hit times.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "models/launcher.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace slimsim;
+
+std::vector<double> hit_times(const eda::Network& net, const sim::TimedReachability& prop,
+                              sim::StrategyKind kind, std::size_t paths,
+                              std::uint64_t seed) {
+    auto strat = sim::make_strategy(kind);
+    const sim::PathGenerator gen(net, prop, *strat);
+    Rng rng(seed);
+    std::vector<double> hits;
+    for (std::size_t i = 0; i < paths; ++i) {
+        const sim::PathOutcome out = gen.run(rng);
+        if (out.satisfied) hits.push_back(out.end_time);
+    }
+    std::sort(hits.begin(), hits.end());
+    return hits;
+}
+
+void run_variant(bool recoverable, double delta, double eps, double mission_min,
+                 std::FILE* csv) {
+    models::LauncherOptions opt;
+    opt.recoverable_dpu = recoverable;
+    const eda::Network net = eda::build_network_from_source(models::launcher_source(opt));
+    const double u_max = mission_min * 60.0;
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::launcher_goal(), u_max);
+    const std::size_t n = stat::ChernoffHoeffding::sample_count(delta, eps);
+
+    std::printf("\n== Fig. 5 %s: %s DPU faults (N = %zu paths per strategy) ==\n",
+                recoverable ? "right" : "left",
+                recoverable ? "recoverable" : "permanent", n);
+    std::printf("%-10s", "u [min]");
+    const auto strategies = sim::automated_strategies();
+    for (const auto k : strategies) std::printf("  %-12s", sim::to_string(k).c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> hits;
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+        hits.push_back(hit_times(net, prop, strategies[si], n, 1000 + si));
+    }
+    for (double frac = 0.125; frac <= 1.0001; frac += 0.125) {
+        const double u = frac * u_max;
+        std::printf("%-10.0f", u / 60.0);
+        if (csv != nullptr) {
+            std::fprintf(csv, "%s,%g", recoverable ? "recoverable" : "permanent",
+                         u / 60.0);
+        }
+        for (const auto& h : hits) {
+            const auto count = static_cast<double>(
+                std::upper_bound(h.begin(), h.end(), u) - h.begin());
+            const double p = count / static_cast<double>(n);
+            std::printf("  %-12.4f", p);
+            if (csv != nullptr) std::fprintf(csv, ",%.6f", p);
+        }
+        std::printf("\n");
+        if (csv != nullptr) std::fprintf(csv, "\n");
+    }
+    if (recoverable) {
+        std::puts("expected: asap >= local >= progressive >= maxtime (pointwise),"
+                  " with clear asap/maxtime separation");
+    } else {
+        std::puts("expected: all four curves coincide within eps");
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        std::string variant = "both";
+        std::string csv_path;
+        double eps = 0.02;
+        double delta = 0.1;
+        double mission_min = 120.0;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
+                variant = argv[++i];
+            } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+                csv_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
+                eps = std::stod(argv[++i]);
+            } else if (std::strcmp(argv[i], "--delta") == 0 && i + 1 < argc) {
+                delta = std::stod(argv[++i]);
+            } else if (std::strcmp(argv[i], "--mission") == 0 && i + 1 < argc) {
+                mission_min = std::stod(argv[++i]);
+            } else {
+                std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+                return 2;
+            }
+        }
+        std::FILE* csv = nullptr;
+        if (!csv_path.empty()) {
+            csv = std::fopen(csv_path.c_str(), "w");
+            if (csv == nullptr) {
+                std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+                return 1;
+            }
+            std::fputs("variant,u_min,asap,progressive,local,maxtime\n", csv);
+        }
+        if (variant == "permanent" || variant == "both") {
+            run_variant(false, delta, eps, mission_min, csv);
+        }
+        if (variant == "recoverable" || variant == "both") {
+            run_variant(true, delta, eps, mission_min, csv);
+        }
+        if (csv != nullptr) {
+            std::fclose(csv);
+            std::printf("\nwrote %s\n", csv_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,110 @@
+// Hot-path microbenchmarks (google-benchmark): interval algebra, timed
+// expression solving, network stepping and end-to-end path generation.
+#include <benchmark/benchmark.h>
+
+#include "expr/eval.hpp"
+#include "models/gps.hpp"
+#include "models/sensor_filter.hpp"
+#include "sim/runner.hpp"
+#include "slim/parser.hpp"
+
+namespace {
+
+using namespace slimsim;
+
+void BM_IntervalIntersect(benchmark::State& state) {
+    const IntervalSet a({{0.0, 4.0}, {6.0, 10.0}, {12.0, 20.0}});
+    const IntervalSet b({{3.0, 7.0}, {9.0, 13.0}});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.intersect(b));
+    }
+}
+BENCHMARK(BM_IntervalIntersect);
+
+void BM_IntervalUnite(benchmark::State& state) {
+    const IntervalSet a({{0.0, 4.0}, {6.0, 10.0}, {12.0, 20.0}});
+    const IntervalSet b({{3.0, 7.0}, {9.0, 13.0}});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.unite(b));
+    }
+}
+BENCHMARK(BM_IntervalUnite);
+
+void BM_ExpressionEval(benchmark::State& state) {
+    expr::ExprPtr e = slim::parse_expression("(1 + 2) * 3 > 4 and (true or 5 < 6)");
+    DiagnosticSink sink;
+    slim::resolve_const_expr(*e, sink);
+    const expr::EvalContext ctx{{}, {}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(expr::evaluate(*e, ctx));
+    }
+}
+BENCHMARK(BM_ExpressionEval);
+
+void BM_ParseGpsModel(benchmark::State& state) {
+    const std::string src = models::gps_source();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(slim::parse_model(src));
+    }
+}
+BENCHMARK(BM_ParseGpsModel);
+
+void BM_BuildNetworkGps(benchmark::State& state) {
+    const std::string src = models::gps_source();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eda::build_network_from_source(src));
+    }
+}
+BENCHMARK(BM_BuildNetworkGps);
+
+void BM_GpsPath(benchmark::State& state) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::gps_goal(), 1800.0);
+    const auto strat = sim::make_strategy(sim::StrategyKind::Progressive);
+    const sim::PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.run(rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GpsPath);
+
+void BM_SensorFilterPath(benchmark::State& state) {
+    const int r = static_cast<int>(state.range(0));
+    const eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(r));
+    const sim::TimedReachability prop = sim::make_reachability(
+        net.model(), models::sensor_filter_goal(), 100.0 * 3600.0);
+    const auto strat = sim::make_strategy(sim::StrategyKind::Asap);
+    const sim::PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.run(rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SensorFilterPath)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CandidateEnumeration(benchmark::State& state) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const eda::NetworkState s = net.initial_state();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.candidates(s, 120.0));
+    }
+}
+BENCHMARK(BM_CandidateEnumeration);
+
+void BM_InvariantHorizon(benchmark::State& state) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const eda::NetworkState s = net.initial_state();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.invariant_horizon(s));
+    }
+}
+BENCHMARK(BM_InvariantHorizon);
+
+} // namespace
+
+BENCHMARK_MAIN();

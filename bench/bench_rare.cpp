@@ -1,0 +1,111 @@
+// Rare-event simulation (paper Sec. VI): crude Monte Carlo vs importance
+// splitting on an N-out-of-N failure event, with the exact CTMC value as
+// ground truth.
+//
+//   $ ./bench_rare [--components N] [--rate R] [--factor K] [--roots B]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ctmc/flow.hpp"
+#include "rare/splitting.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace slimsim;
+
+std::string model_src(int n, double rate) {
+    std::string src = "root S.I;\n"
+                      "system Leaf\nfeatures broken: out data port bool default false;\n"
+                      "end Leaf;\nsystem implementation Leaf.I end Leaf.I;\n"
+                      "system S\nfeatures all_broken: out data port bool default false;\n"
+                      "end S;\nsystem implementation S.I\nsubcomponents\n";
+    for (int i = 0; i < n; ++i) src += "  c" + std::to_string(i) + ": system Leaf.I;\n";
+    src += "flows\n  all_broken := ";
+    for (int i = 0; i < n; ++i) {
+        if (i > 0) src += " and ";
+        src += "c" + std::to_string(i) + ".broken";
+    }
+    src += ";\nend S.I;\n"
+           "error model EM\nfeatures ok: initial state; bad: error state;\nend EM;\n"
+           "error model implementation EM.I\nevents f: error event occurrence poisson " +
+           std::to_string(rate) +
+           " per sec;\ntransitions ok -[f]-> bad;\nend EM.I;\n"
+           "fault injections\n";
+    for (int i = 0; i < n; ++i) {
+        src += "  component c" + std::to_string(i) + " uses error model EM.I;\n";
+        src += "  component c" + std::to_string(i) + " in state bad effect broken := true;\n";
+    }
+    src += "end fault injections;\n";
+    return src;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        int components = 3;
+        double rate = 0.01;
+        std::size_t factor = 16;
+        std::size_t roots = 20000;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--components") == 0 && i + 1 < argc) {
+                components = std::stoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+                rate = std::stod(argv[++i]);
+            } else if (std::strcmp(argv[i], "--factor") == 0 && i + 1 < argc) {
+                factor = std::stoul(argv[++i]);
+            } else if (std::strcmp(argv[i], "--roots") == 0 && i + 1 < argc) {
+                roots = std::stoul(argv[++i]);
+            } else {
+                std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+                return 2;
+            }
+        }
+        const eda::Network net =
+            eda::build_network_from_source(model_src(components, rate));
+        const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
+        const double exact = ctmc::run_ctmc_flow(net, *prop.goal, 1.0).probability;
+        std::printf("== rare event: all %d components fail within 1 s ==\n", components);
+        std::printf("exact (CTMC):        p = %.3e\n", exact);
+
+        // Crude Monte Carlo with `roots` paths.
+        {
+            Rng rng(1);
+            auto strat = sim::make_strategy(sim::StrategyKind::Asap);
+            const sim::PathGenerator gen(net, prop, *strat);
+            std::size_t hits = 0;
+            for (std::size_t i = 0; i < roots; ++i) {
+                if (gen.run(rng).satisfied) ++hits;
+            }
+            std::printf("crude MC (%zu paths): %zu hits -> p^ = %.3e\n", roots, hits,
+                        static_cast<double>(hits) / static_cast<double>(roots));
+        }
+
+        // Importance splitting on the failed-component count.
+        {
+            std::string level;
+            for (int i = 0; i < components; ++i) {
+                if (i > 0) level += " + ";
+                level += "(if c" + std::to_string(i) + ".broken then 1 else 0)";
+            }
+            rare::SplittingOptions opt;
+            opt.splitting_factor = factor;
+            opt.base_runs = roots;
+            const auto lf = rare::make_level_function(net.model(), level);
+            const auto res =
+                rare::estimate_splitting(net, prop, sim::StrategyKind::Asap, lf, 1, opt);
+            std::printf("splitting (K=%zu):    %s\n", factor, res.to_string().c_str());
+            std::printf("relative error:      %.1f%%\n",
+                        100.0 * std::abs(res.estimate - exact) / exact);
+        }
+        std::puts("\nexpected: crude MC sees ~0 hits; splitting lands within a small"
+                  " factor of the exact value at comparable work.");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

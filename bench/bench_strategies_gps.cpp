@@ -1,0 +1,56 @@
+// Strategy comparison on the GPS running example (paper Fig. 2, Sec. III-B).
+//
+//   $ ./bench_strategies_gps [--eps E]
+//
+// Shows how each strategy resolves the non-deterministic acquisition window
+// [10, 120] s and the transient-recovery window [200, 300] msec: the
+// probability of having a fix by a sweep of deadlines differs per strategy
+// (ASAP acquires at 10 s, MaxTime at 120 s, Progressive/Local in between).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "models/gps.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+    using namespace slimsim;
+    try {
+        double eps = 0.01;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
+                eps = std::stod(argv[++i]);
+            } else {
+                std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+                return 2;
+            }
+        }
+        const eda::Network net = eda::build_network_from_source(models::gps_source());
+        const stat::ChernoffHoeffding criterion(0.05, eps);
+        std::printf("== GPS fix-by-deadline per strategy (N = %zu paths) ==\n",
+                    *criterion.fixed_sample_count());
+        std::printf("%-12s", "deadline");
+        for (const auto k : sim::automated_strategies()) {
+            std::printf("  %-12s", sim::to_string(k).c_str());
+        }
+        std::printf("\n");
+        for (const double deadline : {5.0, 15.0, 60.0, 119.0, 130.0, 600.0}) {
+            std::printf("%-10.0fs ", deadline);
+            const sim::TimedReachability prop =
+                sim::make_reachability(net.model(), models::gps_goal(), deadline);
+            for (const auto k : sim::automated_strategies()) {
+                const auto res = sim::estimate(net, prop, k, criterion, 77);
+                std::printf("  %-12.4f", res.estimate);
+            }
+            std::printf("\n");
+        }
+        std::puts("\nexpected: asap ~1 from deadline >= 10 s; maxtime ~0 before 120 s"
+                  " and ~1 after; progressive ramps over [10,120]; local is close to"
+                  " progressive (draws below 10 s are pure delays and re-drawn, which"
+                  " skews it slightly later).");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

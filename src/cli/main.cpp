@@ -1,0 +1,395 @@
+// slimsim - statistical model checker for SLIM (AADL dialect) models.
+//
+// Usage:
+//   slimsim MODEL.slim --goal EXPR --bound TIME [options]
+//
+// Estimates P( <> [0,TIME] EXPR ) by Monte Carlo simulation (the paper's
+// tool), or exactly via the CTMC flow for untimed models (--ctmc).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "ctmc/flow.hpp"
+#include "eda/network.hpp"
+#include <fstream>
+
+#include "props/pattern.hpp"
+#include "safety/fmea.hpp"
+#include "sim/hypothesis.hpp"
+#include "sim/parallel_runner.hpp"
+#include "sim/runner.hpp"
+#include "sim/vcd.hpp"
+#include "slim/parser.hpp"
+#include "slim/printer.hpp"
+#include "slim/summary.hpp"
+#include "slim/validate.hpp"
+
+namespace {
+
+using namespace slimsim;
+
+void usage() {
+    std::puts(
+        "slimsim - statistical model checker for SLIM (AADL dialect) models\n"
+        "\n"
+        "usage: slimsim MODEL.slim (--goal EXPR --bound TIME | --property PATTERN)\n"
+        "               [options]\n"
+        "\n"
+        "property:\n"
+        "  --goal EXPR          Boolean goal over data elements (e.g. 'gps.measurement')\n"
+        "  --bound TIME         upper time bound, e.g. '1800', '30 min', '2 hour'\n"
+        "  --property PATTERN   one of:\n"
+        "                         probability of reaching EXPR within TIME\n"
+        "                         probability of reaching EXPR between T1 and T2\n"
+        "                         probability of EXPR until EXPR within TIME\n"
+        "                         probability of maintaining EXPR for TIME\n"
+        "                         P( <> [LO,HI] EXPR ) | P( [] [0,T] EXPR )\n"
+        "                         P( (EXPR) U [LO,HI] (EXPR) )\n"
+        "\n"
+        "analysis (default: Monte Carlo simulation):\n"
+        "  --strategy NAME      asap | progressive (default) | local | maxtime | input\n"
+        "  --delta D            1 - confidence (default 0.05)\n"
+        "  --eps E              error bound (default 0.01)\n"
+        "  --criterion NAME     ch (default) | gauss | chow-robbins\n"
+        "  --seed N             RNG seed (default 1)\n"
+        "  --workers K          parallel workers (default 1 = sequential)\n"
+        "  --trace N            print N simulated paths instead of estimating\n"
+        "  --deadlock POLICY    falsify (default) | error\n"
+        "  --timelock POLICY    falsify (default) | error\n"
+        "  --memory POLICY      restart (default) | continue\n"
+        "  --ctmc               exhaustive CTMC flow (untimed models only)\n"
+        "  --no-minimize        skip bisimulation minimization in the CTMC flow\n"
+        "  --test THRESHOLD     qualitative mode: SPRT test of P >= THRESHOLD\n"
+        "  --indifference W     SPRT indifference half-width (default 0.01)\n"
+        "  --fmea               FMEA table for the failure condition (the goal)\n"
+        "  --cut-sets K         minimal static cut sets up to order K\n"
+        "  --validate           parse, instantiate and validate only\n"
+        "  --info               print the instantiated model inventory\n"
+        "  --print              print the normalized (pretty-printed) model\n"
+        "  --vcd FILE           dump one simulated path as a VCD waveform\n");
+}
+
+double parse_duration(const std::string& text) {
+    std::istringstream is(text);
+    double value = 0.0;
+    if (!(is >> value)) throw Error("cannot parse duration `" + text + "`");
+    std::string unit;
+    is >> unit;
+    if (unit.empty() || unit == "sec" || unit == "s") return value;
+    if (unit == "msec" || unit == "ms") return value * 1e-3;
+    if (unit == "min") return value * 60.0;
+    if (unit == "hour" || unit == "h") return value * 3600.0;
+    if (unit == "day") return value * 86400.0;
+    throw Error("unknown time unit `" + unit + "`");
+}
+
+/// Interactive step resolution (the paper's Input strategy).
+std::optional<sim::ScheduledChoice> interactive_choice(const eda::Network& net,
+                                                       const eda::NetworkState& state,
+                                                       std::span<const eda::Candidate> cands,
+                                                       double horizon) {
+    std::printf("\n-- state: %s\n", sim::describe_state(net, state).c_str());
+    std::printf("-- invariant horizon: %g\n", horizon);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        std::printf("  [%zu] %s\n", i, cands[i].describe(net.model()).c_str());
+    }
+    std::printf("enter: INDEX DELAY (fire candidate after delay), 'd DELAY' (delay only),"
+                " or 'q' (give up)\n> ");
+    std::fflush(stdout);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        std::istringstream is(line);
+        std::string first;
+        if (!(is >> first)) {
+            std::printf("> ");
+            std::fflush(stdout);
+            continue;
+        }
+        if (first == "q") return std::nullopt;
+        if (first == "d") {
+            double d = 0.0;
+            if (is >> d && d >= 0.0 && d <= horizon) return sim::ScheduledChoice{d, -1};
+        } else {
+            const int idx = std::atoi(first.c_str());
+            double d = 0.0;
+            if (!(is >> d)) d = cands.empty() ? 0.0 : 0.0;
+            if (idx >= 0 && static_cast<std::size_t>(idx) < cands.size() &&
+                cands[static_cast<std::size_t>(idx)].enabled.contains(d)) {
+                return sim::ScheduledChoice{d, idx};
+            }
+        }
+        std::printf("invalid input; try again\n> ");
+        std::fflush(stdout);
+    }
+    return std::nullopt;
+}
+
+int run(int argc, char** argv) {
+    std::string model_path;
+    std::string goal_text;
+    std::string property_text;
+    double bound = -1.0;
+    std::string strategy_name = "progressive";
+    double delta = 0.05;
+    double eps = 0.01;
+    std::string criterion_name = "ch";
+    std::uint64_t seed = 1;
+    std::size_t workers = 1;
+    std::size_t trace_paths = 0;
+    bool use_ctmc = false;
+    bool minimize = true;
+    bool validate_only = false;
+    double test_threshold = -1.0;
+    double indifference = 0.01;
+    bool run_fmea = false;
+    int cut_set_order = 0;
+    bool show_info = false;
+    bool print_normalized = false;
+    std::string vcd_path;
+    sim::SimOptions sim_options;
+
+    auto need_value = [&](int& i, const char* flag) -> std::string {
+        if (i + 1 >= argc) throw Error(std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--goal") {
+            goal_text = need_value(i, "--goal");
+        } else if (arg == "--bound") {
+            bound = parse_duration(need_value(i, "--bound"));
+        } else if (arg == "--property") {
+            property_text = need_value(i, "--property");
+        } else if (arg == "--strategy") {
+            strategy_name = need_value(i, "--strategy");
+        } else if (arg == "--delta") {
+            delta = std::stod(need_value(i, "--delta"));
+        } else if (arg == "--eps") {
+            eps = std::stod(need_value(i, "--eps"));
+        } else if (arg == "--criterion") {
+            criterion_name = need_value(i, "--criterion");
+        } else if (arg == "--seed") {
+            seed = std::stoull(need_value(i, "--seed"));
+        } else if (arg == "--workers") {
+            workers = std::stoul(need_value(i, "--workers"));
+        } else if (arg == "--trace") {
+            trace_paths = std::stoul(need_value(i, "--trace"));
+        } else if (arg == "--ctmc") {
+            use_ctmc = true;
+        } else if (arg == "--test") {
+            test_threshold = std::stod(need_value(i, "--test"));
+        } else if (arg == "--indifference") {
+            indifference = std::stod(need_value(i, "--indifference"));
+        } else if (arg == "--fmea") {
+            run_fmea = true;
+        } else if (arg == "--cut-sets") {
+            cut_set_order = std::stoi(need_value(i, "--cut-sets"));
+        } else if (arg == "--no-minimize") {
+            minimize = false;
+        } else if (arg == "--validate") {
+            validate_only = true;
+        } else if (arg == "--info") {
+            show_info = true;
+        } else if (arg == "--print") {
+            print_normalized = true;
+        } else if (arg == "--vcd") {
+            vcd_path = need_value(i, "--vcd");
+        } else if (arg == "--deadlock") {
+            sim_options.deadlock = need_value(i, "--deadlock") == std::string("error")
+                                       ? sim::StuckPolicy::Error
+                                       : sim::StuckPolicy::Falsify;
+        } else if (arg == "--timelock") {
+            sim_options.timelock = need_value(i, "--timelock") == std::string("error")
+                                       ? sim::StuckPolicy::Error
+                                       : sim::StuckPolicy::Falsify;
+        } else if (arg == "--memory") {
+            sim_options.memory = need_value(i, "--memory") == std::string("continue")
+                                     ? sim::MemoryPolicy::Continue
+                                     : sim::MemoryPolicy::Restart;
+        } else if (!arg.empty() && arg[0] == '-') {
+            throw Error("unknown option `" + arg + "` (see --help)");
+        } else if (model_path.empty()) {
+            model_path = arg;
+        } else {
+            throw Error("unexpected argument `" + arg + "`");
+        }
+    }
+
+    if (model_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    if (print_normalized) {
+        std::ifstream in(model_path);
+        if (!in) throw Error("cannot open model file `" + model_path + "`");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::fputs(slim::print_model(slim::parse_model(buf.str(), model_path)).c_str(),
+                   stdout);
+        return 0;
+    }
+
+    const eda::Network net = eda::build_network_from_file(model_path);
+    const auto& m = net.model();
+    std::printf("model: %zu instances, %zu processes, %zu variables, %zu sync actions\n",
+                m.instances.size(), m.processes.size(), m.vars.size(), m.actions.size());
+    for (const auto& d : slim::validate(m)) {
+        std::fprintf(stderr, "%s\n", d.to_string().c_str());
+    }
+    if (show_info) {
+        std::fputs(slim::model_summary(m).c_str(), stdout);
+        return 0;
+    }
+    if (validate_only) {
+        std::puts("validation ok");
+        return 0;
+    }
+
+    sim::PathFormula prop;
+    if (!property_text.empty()) {
+        const props::ParsedPattern pat = props::parse_pattern(property_text);
+        switch (pat.kind) {
+        case props::PatternKind::Reach:
+            prop = sim::make_reachability_interval(m, pat.goal_text, pat.lo, pat.bound);
+            break;
+        case props::PatternKind::Until:
+            prop = sim::make_until(m, pat.hold_text, pat.goal_text, pat.lo, pat.bound);
+            break;
+        case props::PatternKind::Globally:
+            prop = sim::make_globally(m, pat.goal_text, pat.bound);
+            break;
+        }
+        bound = pat.bound;
+    } else {
+        if (goal_text.empty() || bound <= 0.0) {
+            throw Error("a property is required: --goal EXPR --bound TIME (or --property)");
+        }
+        prop = sim::make_reachability(m, goal_text, bound);
+    }
+
+    if (use_ctmc) {
+        if (prop.kind != sim::FormulaKind::Reach || prop.lo != 0.0) {
+            throw Error("the CTMC flow supports P( <> [0,u] goal ) only");
+        }
+        ctmc::FlowOptions fo;
+        fo.minimize = minimize;
+        const ctmc::FlowResult res = ctmc::run_ctmc_flow(net, *prop.goal, bound, fo);
+        std::printf("ctmc flow: %s\n", res.to_string().c_str());
+        return 0;
+    }
+
+    if (!vcd_path.empty()) {
+        const auto kind = sim::strategy_from_string(strategy_name);
+        if (!kind) throw Error("unknown strategy `" + strategy_name + "`");
+        auto strat = sim::make_strategy(*kind);
+        const sim::PathGenerator gen(net, prop, *strat, sim_options);
+        std::ofstream out(vcd_path);
+        if (!out) throw Error("cannot open `" + vcd_path + "` for writing");
+        Rng rng(seed);
+        const sim::PathOutcome res = sim::write_vcd(gen, rng, out);
+        std::printf("wrote %s: path %s (%s) after %zu steps, t=%g\n", vcd_path.c_str(),
+                    res.satisfied ? "SATISFIED" : "not satisfied",
+                    sim::to_string(res.terminal).c_str(), res.steps, res.end_time);
+        return 0;
+    }
+
+    if (trace_paths > 0 || strategy_name == "input") {
+        std::unique_ptr<sim::Strategy> strat;
+        if (strategy_name == "input") {
+            strat = sim::make_input_strategy(interactive_choice);
+        } else {
+            const auto kind = sim::strategy_from_string(strategy_name);
+            if (!kind) throw Error("unknown strategy `" + strategy_name + "`");
+            strat = sim::make_strategy(*kind);
+        }
+        const sim::PathGenerator gen(net, prop, *strat, sim_options);
+        Rng rng(seed);
+        const std::size_t n = trace_paths == 0 ? 1 : trace_paths;
+        for (std::size_t i = 0; i < n; ++i) {
+            sim::Trace trace;
+            const sim::PathOutcome out = gen.run_traced(rng, trace);
+            std::printf("--- path %zu: %s (%s) after %zu steps, t=%g\n", i + 1,
+                        out.satisfied ? "SATISFIED" : "not satisfied",
+                        sim::to_string(out.terminal).c_str(), out.steps, out.end_time);
+            std::fputs(trace.to_string().c_str(), stdout);
+        }
+        return 0;
+    }
+
+    const auto kind = sim::strategy_from_string(strategy_name);
+    if (!kind) throw Error("unknown strategy `" + strategy_name + "`");
+
+    if (cut_set_order > 0) {
+        const auto sets = safety::minimal_cut_sets(net, prop.goal, cut_set_order);
+        std::printf("minimal cut sets (order <= %d) for `%s`:\n%s(%zu sets)\n",
+                    cut_set_order, prop.text.c_str(),
+                    safety::format_cut_sets(sets).c_str(), sets.size());
+        if (!run_fmea) return 0;
+    }
+    if (run_fmea) {
+        safety::FmeaOptions fo;
+        fo.delta = delta;
+        fo.eps = eps;
+        fo.strategy = *kind;
+        fo.sim = sim_options;
+        const auto rows = safety::fmea(net, prop.goal, prop.bound, seed, fo);
+        std::fputs(safety::format_fmea(rows).c_str(), stdout);
+        return 0;
+    }
+
+    if (test_threshold >= 0.0) {
+        sim::HypothesisOptions ho;
+        ho.indifference = indifference;
+        ho.delta = delta;
+        ho.sim = sim_options;
+        const sim::HypothesisResult res =
+            sim::test_hypothesis(net, prop, *kind, test_threshold, seed, ho);
+        std::printf("P( %s ) >= %g ?\n%s\n", prop.text.c_str(), test_threshold,
+                    res.to_string().c_str());
+        return res.verdict == sim::HypothesisVerdict::Inconclusive ? 3 : 0;
+    }
+
+    stat::CriterionKind ck = stat::CriterionKind::ChernoffHoeffding;
+    if (criterion_name == "gauss") {
+        ck = stat::CriterionKind::Gauss;
+    } else if (criterion_name == "chow-robbins") {
+        ck = stat::CriterionKind::ChowRobbins;
+    } else if (criterion_name != "ch" && criterion_name != "chernoff-hoeffding") {
+        throw Error("unknown criterion `" + criterion_name + "`");
+    }
+    const auto criterion = stat::make_criterion(ck, delta, eps);
+
+    sim::EstimationResult res;
+    if (workers <= 1) {
+        res = sim::estimate(net, prop, *kind, *criterion, seed, sim_options);
+    } else {
+        sim::ParallelOptions po;
+        po.workers = workers;
+        po.sim = sim_options;
+        res = sim::estimate_parallel(net, prop, *kind, *criterion, seed, po);
+    }
+    std::printf("P( %s ) ~= %g\n", prop.text.c_str(), res.estimate);
+    (void)bound;
+    std::printf("%s\n", res.to_string().c_str());
+    std::printf("terminals: goal=%zu time-bound=%zu refuted=%zu deadlock=%zu timelock=%zu\n",
+                res.terminals[0], res.terminals[1], res.terminals[2], res.terminals[3],
+                res.terminals[4]);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

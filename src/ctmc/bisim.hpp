@@ -1,0 +1,26 @@
+// Signature-based bisimulation minimization (sigref-style).
+//
+// Partition refinement with rate signatures: states are bisimilar iff they
+// carry the same label (goal) and, for every block of the current partition,
+// the same total rate into that block. The quotient (ordinary lumpability)
+// preserves transient probabilities, hence time-bounded reachability —
+// the reduction the original tool chain obtains from the Sigref library.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+
+namespace slimsim::ctmc {
+
+struct LumpResult {
+    std::vector<StateId> block_of; // per state
+    StateId block_count = 0;
+    std::size_t iterations = 0;
+};
+
+/// Computes the coarsest lumping partition that respects goal labels.
+[[nodiscard]] LumpResult lump(const CtmcModel& m);
+
+/// Convenience: lump and build the quotient chain.
+[[nodiscard]] CtmcModel minimize(const CtmcModel& m, LumpResult* result = nullptr);
+
+} // namespace slimsim::ctmc

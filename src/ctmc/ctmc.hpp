@@ -1,0 +1,35 @@
+// Sparse continuous-time Markov chain model (the baseline analysis flow).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace slimsim::ctmc {
+
+using StateId = std::uint32_t;
+
+/// A CTMC with goal labelling and an initial distribution. Goal states are
+/// absorbing by construction (the builder cuts their outgoing transitions),
+/// so transient analysis at time u directly yields P( <> [0,u] goal ).
+struct CtmcModel {
+    /// transitions[s] = {(target, rate)...}; parallel edges already merged.
+    std::vector<std::vector<std::pair<StateId, double>>> transitions;
+    std::vector<char> goal;                           // per state
+    std::vector<std::pair<StateId, double>> initial;  // distribution (sums to 1)
+
+    [[nodiscard]] std::size_t state_count() const { return transitions.size(); }
+    [[nodiscard]] std::size_t transition_count() const;
+    [[nodiscard]] double exit_rate(StateId s) const;
+    [[nodiscard]] double max_exit_rate() const;
+
+    /// Internal consistency (sizes, probabilities, absorbing goals).
+    void check() const;
+};
+
+/// Builds the quotient of a CTMC under a partition (block index per state).
+/// Transition rates between blocks are the (bisimulation-invariant) sums of
+/// member rates from any representative.
+[[nodiscard]] CtmcModel quotient(const CtmcModel& m, const std::vector<StateId>& block_of,
+                                 StateId block_count);
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,46 @@
+#include "ctmc/flow.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/memprobe.hpp"
+
+namespace slimsim::ctmc {
+
+std::string FlowResult::to_string() const {
+    std::ostringstream os;
+    os << "p = " << probability << " (" << build.states << " IMC states, " << ctmc_states
+       << " CTMC states, " << lumped_states << " after lumping, " << total_seconds << " s)";
+    return os.str();
+}
+
+FlowResult run_ctmc_flow(const eda::Network& net, const expr::Expr& goal, double bound,
+                         const FlowOptions& options) {
+    const auto t0 = std::chrono::steady_clock::now();
+    FlowResult res;
+
+    const Imc imc = build_state_space(net, goal, options.build, &res.build);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    CtmcModel chain = eliminate_vanishing(imc);
+    res.ctmc_states = chain.state_count();
+    res.ctmc_transitions = chain.transition_count();
+    const auto t2 = std::chrono::steady_clock::now();
+    res.eliminate_seconds = std::chrono::duration<double>(t2 - t1).count();
+
+    if (options.minimize) {
+        chain = minimize(chain);
+    }
+    res.lumped_states = chain.state_count();
+    const auto t3 = std::chrono::steady_clock::now();
+    res.bisim_seconds = std::chrono::duration<double>(t3 - t2).count();
+
+    res.probability = transient_reachability(chain, bound, options.transient);
+    const auto t4 = std::chrono::steady_clock::now();
+    res.analysis_seconds = std::chrono::duration<double>(t4 - t3).count();
+    res.total_seconds = std::chrono::duration<double>(t4 - t0).count();
+    res.peak_rss_bytes = peak_rss_bytes();
+    return res;
+}
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,38 @@
+// The complete exhaustive analysis flow (paper, Sec. IV):
+//   state space -> IMC -> vanishing elimination -> bisimulation
+//   minimization -> uniformization,
+// mirroring COMPASS's NuSMV -> Sigref -> MRMC chain.
+#pragma once
+
+#include "ctmc/bisim.hpp"
+#include "ctmc/state_space.hpp"
+#include "ctmc/uniformization.hpp"
+
+namespace slimsim::ctmc {
+
+struct FlowOptions {
+    bool minimize = true; // apply bisimulation reduction (sigref step)
+    BuildOptions build;
+    TransientOptions transient;
+};
+
+struct FlowResult {
+    double probability = 0.0;
+    BuildStats build;                 // exploration
+    std::size_t ctmc_states = 0;      // after vanishing elimination
+    std::size_t ctmc_transitions = 0;
+    std::size_t lumped_states = 0;    // after minimization (== ctmc_states if off)
+    double eliminate_seconds = 0.0;
+    double bisim_seconds = 0.0;
+    double analysis_seconds = 0.0;
+    double total_seconds = 0.0;
+    std::size_t peak_rss_bytes = 0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the full flow for P( <> [0,bound] goal ) on an untimed model.
+[[nodiscard]] FlowResult run_ctmc_flow(const eda::Network& net, const expr::Expr& goal,
+                                       double bound, const FlowOptions& options = {});
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,101 @@
+#include "ctmc/imc.hpp"
+
+#include <map>
+#include <optional>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::ctmc {
+
+std::size_t Imc::vanishing_count() const {
+    std::size_t n = 0;
+    for (const auto& s : states) {
+        if (s.vanishing) ++n;
+    }
+    return n;
+}
+
+namespace {
+
+using Dist = std::map<StateId, double>; // over *old* tangible state ids
+
+/// Memoized distribution of a vanishing state over tangible states.
+class Eliminator {
+public:
+    explicit Eliminator(const Imc& imc) : imc_(imc), memo_(imc.states.size()) {}
+
+    const Dist& dist_of(StateId v) {
+        SLIMSIM_ASSERT(imc_.states[v].vanishing);
+        if (memo_[v]) return *memo_[v];
+        if (on_stack_.size() < imc_.states.size()) on_stack_.resize(imc_.states.size(), 0);
+        if (on_stack_[v]) {
+            throw Error("cycle of immediate transitions in the state space "
+                        "(divergent/Zeno model); the CTMC flow cannot handle it");
+        }
+        on_stack_[v] = 1;
+        Dist d;
+        for (const auto& [t, p] : imc_.states[v].immediate) {
+            if (imc_.states[t].vanishing) {
+                for (const auto& [u, q] : dist_of(t)) d[u] += p * q;
+            } else {
+                d[t] += p;
+            }
+        }
+        on_stack_[v] = 0;
+        memo_[v] = std::move(d);
+        return *memo_[v];
+    }
+
+private:
+    const Imc& imc_;
+    std::vector<std::optional<Dist>> memo_;
+    std::vector<char> on_stack_;
+};
+
+} // namespace
+
+CtmcModel eliminate_vanishing(const Imc& imc) {
+    // Index tangible states.
+    std::vector<StateId> new_id(imc.states.size(), 0);
+    StateId count = 0;
+    for (StateId s = 0; s < imc.states.size(); ++s) {
+        if (!imc.states[s].vanishing) new_id[s] = count++;
+    }
+    if (count == 0) {
+        throw Error("the model has no tangible states (all behaviour is immediate)");
+    }
+
+    Eliminator elim(imc);
+    CtmcModel m;
+    m.transitions.resize(count);
+    m.goal.assign(count, 0);
+
+    for (StateId s = 0; s < imc.states.size(); ++s) {
+        const ImcState& st = imc.states[s];
+        if (st.vanishing) continue;
+        m.goal[new_id[s]] = st.goal ? 1 : 0;
+        Dist out;
+        for (const auto& [t, rate] : st.markovian) {
+            if (imc.states[t].vanishing) {
+                for (const auto& [u, q] : elim.dist_of(t)) out[u] += rate * q;
+            } else {
+                out[t] += rate;
+            }
+        }
+        auto& edges = m.transitions[new_id[s]];
+        edges.reserve(out.size());
+        for (const auto& [t, rate] : out) edges.emplace_back(new_id[t], rate);
+    }
+
+    if (imc.states[imc.initial].vanishing) {
+        for (const auto& [t, p] : elim.dist_of(imc.initial)) {
+            m.initial.emplace_back(new_id[t], p);
+        }
+    } else {
+        m.initial.emplace_back(new_id[imc.initial], 1.0);
+    }
+    m.check();
+    return m;
+}
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,35 @@
+// Interactive Markov chain representation and vanishing-state elimination.
+//
+// The explicit state-space builder produces an IMC: states with *immediate*
+// probabilistic transitions (interactive transitions after maximal-progress
+// and equiprobable resolution) or *Markovian* rate transitions. Elimination
+// of the vanishing (immediate) states yields the CTMC that MRMC-style
+// transient analysis consumes — the role sigref's weak-bisimulation
+// reduction plays in the original COMPASS tool chain.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+
+namespace slimsim::ctmc {
+
+struct ImcState {
+    bool vanishing = false; // has immediate transitions (maximal progress)
+    bool goal = false;      // goal states are absorbing (no transitions kept)
+    std::vector<std::pair<StateId, double>> immediate; // probabilities, sum 1
+    std::vector<std::pair<StateId, double>> markovian; // rates
+};
+
+struct Imc {
+    std::vector<ImcState> states;
+    StateId initial = 0;
+
+    [[nodiscard]] std::size_t vanishing_count() const;
+};
+
+/// Eliminates vanishing states: every immediate distribution is pushed until
+/// only tangible (Markovian / absorbing) states remain. Cycles among
+/// vanishing states (probabilistic immediate loops) are rejected with an
+/// error — they indicate a Zeno/divergent model.
+[[nodiscard]] CtmcModel eliminate_vanishing(const Imc& imc);
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,152 @@
+#include "ctmc/state_space.hpp"
+
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+
+namespace slimsim::ctmc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True if the expression reads any clock/continuous variable.
+bool reads_timed(const expr::Expr& e, const slim::InstanceModel& m,
+                 const std::vector<VarId>* bindings) {
+    if (e.kind == expr::ExprKind::Var) {
+        const VarId id = bindings == nullptr ? e.slot : (*bindings)[e.slot];
+        return m.vars[id].type.is_timed();
+    }
+    return (e.a && reads_timed(*e.a, m, bindings)) ||
+           (e.b && reads_timed(*e.b, m, bindings)) ||
+           (e.c && reads_timed(*e.c, m, bindings));
+}
+
+} // namespace
+
+void ensure_untimed(const eda::Network& net, const expr::Expr& goal) {
+    const slim::InstanceModel& m = net.model();
+    for (const auto& p : m.processes) {
+        for (const auto& loc : p.locations) {
+            if (loc.invariant != nullptr) {
+                throw Error("process `" + p.name + "` location `" + loc.name +
+                            "` has an invariant; the CTMC flow handles untimed models "
+                            "only (use the simulator)");
+            }
+        }
+        for (const auto& t : p.transitions) {
+            if (t.guard != nullptr && reads_timed(*t.guard, m, p.bindings.get())) {
+                throw Error(t.loc, "process `" + p.name +
+                                       "` has a guard over clock/continuous variables; the "
+                                       "CTMC flow handles untimed models only");
+            }
+        }
+    }
+    if (reads_timed(goal, m, nullptr)) {
+        throw Error("the property goal references clock/continuous variables; the CTMC "
+                    "flow handles untimed models only");
+    }
+}
+
+namespace {
+
+/// Discrete key extraction: locations + non-timed values + activation.
+class KeyMaker {
+public:
+    explicit KeyMaker(const slim::InstanceModel& m) {
+        for (VarId v = 0; v < m.vars.size(); ++v) {
+            if (!m.vars[v].type.is_timed()) discrete_vars_.push_back(v);
+        }
+    }
+
+    [[nodiscard]] eda::DiscreteKey key_of(const eda::NetworkState& s) const {
+        eda::DiscreteKey k;
+        k.locations = s.locations;
+        k.values.reserve(discrete_vars_.size());
+        for (const VarId v : discrete_vars_) k.values.push_back(s.values[v]);
+        k.active = s.active;
+        return k;
+    }
+
+private:
+    std::vector<VarId> discrete_vars_;
+};
+
+} // namespace
+
+Imc build_state_space(const eda::Network& net, const expr::Expr& goal,
+                      const BuildOptions& options, BuildStats* stats) {
+    const auto start = std::chrono::steady_clock::now();
+    ensure_untimed(net, goal);
+
+    const KeyMaker keys(net.model());
+    std::unordered_map<eda::DiscreteKey, StateId, eda::DiscreteKeyHash> index;
+    std::vector<eda::NetworkState> frontier; // state per IMC state, by id
+    Imc imc;
+
+    auto intern = [&](eda::NetworkState&& s) -> StateId {
+        eda::DiscreteKey k = keys.key_of(s);
+        if (const auto it = index.find(k); it != index.end()) return it->second;
+        const auto id = static_cast<StateId>(imc.states.size());
+        if (imc.states.size() >= options.max_states) {
+            throw Error("state space exceeds " + std::to_string(options.max_states) +
+                        " states");
+        }
+        index.emplace(std::move(k), id);
+        imc.states.emplace_back();
+        frontier.push_back(std::move(s));
+        return id;
+    };
+
+    imc.initial = intern(net.initial_state());
+
+    std::size_t transition_count = 0;
+    for (StateId id = 0; id < imc.states.size(); ++id) {
+        const eda::NetworkState s = frontier[id]; // copy: frontier grows below
+        ImcState st;
+        if (net.eval_global(s, goal)) {
+            st.goal = true; // absorbing
+            imc.states[id] = std::move(st);
+            continue;
+        }
+        const std::vector<eda::Candidate> cands = net.candidates(s, kInf);
+        if (!cands.empty()) {
+            // Maximal progress: immediate steps preempt Markovian ones;
+            // the candidate and its sub-choices are resolved equiprobably.
+            st.vanishing = true;
+            const double cand_prob = 1.0 / static_cast<double>(cands.size());
+            for (const auto& c : cands) {
+                for (const auto& move : net.resolve_moves(s, c)) {
+                    eda::NetworkState succ = s;
+                    net.apply_firing(succ, move.firing);
+                    st.immediate.emplace_back(intern(std::move(succ)),
+                                              cand_prob * move.probability);
+                }
+            }
+        } else {
+            for (const auto& [proc, total] : net.markovian_rates(s)) {
+                (void)total;
+                const auto& p = net.model().processes[static_cast<std::size_t>(proc)];
+                for (const int t : net.outgoing(s, proc)) {
+                    const double rate = p.transitions[static_cast<std::size_t>(t)].rate;
+                    if (rate <= 0.0) continue;
+                    eda::NetworkState succ = s;
+                    net.apply_firing(succ, {{proc, t}});
+                    st.markovian.emplace_back(intern(std::move(succ)), rate);
+                }
+            }
+        }
+        transition_count += st.immediate.size() + st.markovian.size();
+        imc.states[id] = std::move(st);
+    }
+
+    if (stats != nullptr) {
+        stats->states = imc.states.size();
+        stats->vanishing = imc.vanishing_count();
+        stats->transitions = transition_count;
+        stats->seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    }
+    return imc;
+}
+
+} // namespace slimsim::ctmc

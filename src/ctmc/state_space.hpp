@@ -1,0 +1,37 @@
+// Explicit state-space construction for untimed models (paper, Sec. IV).
+//
+// Replaces the NuSMV/BDD leg of the COMPASS tool chain: a breadth-first
+// exploration of the network's reachable *discrete* states (locations +
+// non-timed variable values + activation flags), producing an IMC.
+// Interactive transitions are resolved by maximal progress (immediate steps
+// preempt Markovian ones) and equiprobable choice, exactly as the simulator
+// resolves them; goal states are made absorbing.
+#pragma once
+
+#include "ctmc/imc.hpp"
+#include "eda/network.hpp"
+
+namespace slimsim::ctmc {
+
+struct BuildOptions {
+    std::size_t max_states = 5'000'000;
+};
+
+struct BuildStats {
+    std::size_t states = 0;     // total IMC states explored
+    std::size_t vanishing = 0;  // immediate states eliminated later
+    std::size_t transitions = 0;
+    double seconds = 0.0;
+};
+
+/// Throws slimsim::Error if the model is not untimed: a location invariant,
+/// or a guard/property referencing a clock or continuous variable, makes the
+/// CTMC abstraction unsound (the simulator handles those models instead).
+void ensure_untimed(const eda::Network& net, const expr::Expr& goal);
+
+/// Explores the reachable state space and returns the IMC.
+[[nodiscard]] Imc build_state_space(const eda::Network& net, const expr::Expr& goal,
+                                    const BuildOptions& options = {},
+                                    BuildStats* stats = nullptr);
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,103 @@
+#include "ctmc/uniformization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::ctmc {
+
+PoissonWeights poisson_weights(double lambda, double precision) {
+    SLIMSIM_ASSERT(lambda >= 0.0);
+    SLIMSIM_ASSERT(precision > 0.0 && precision < 1.0);
+    PoissonWeights out;
+    if (lambda == 0.0) {
+        out.left = 0;
+        out.weights = {1.0};
+        return out;
+    }
+    // Start at the mode and extend outward until the unnormalized tail mass
+    // is negligible; normalize at the end (Fox-Glynn in spirit, adequate for
+    // lambda up to ~1e6 thanks to the mode-relative scaling).
+    const auto mode = static_cast<std::size_t>(lambda);
+    std::vector<double> up;   // weights at mode, mode+1, ...
+    std::vector<double> down; // weights at mode-1, mode-2, ...
+    up.push_back(1.0);
+    // Upward: w_{k+1} = w_k * lambda / (k+1).
+    for (std::size_t k = mode;; ++k) {
+        const double next = up.back() * lambda / static_cast<double>(k + 1);
+        if (next < precision * 1e-4 && static_cast<double>(k) > lambda) break;
+        up.push_back(next);
+        if (up.size() > 20'000'000) throw Error("Poisson truncation did not converge");
+    }
+    // Downward: w_{k-1} = w_k * k / lambda.
+    double w = 1.0;
+    for (std::size_t k = mode; k > 0; --k) {
+        w = w * static_cast<double>(k) / lambda;
+        if (w < precision * 1e-4 && static_cast<double>(k) < lambda) break;
+        down.push_back(w);
+    }
+    out.left = mode - down.size();
+    out.weights.reserve(down.size() + up.size());
+    for (auto it = down.rbegin(); it != down.rend(); ++it) out.weights.push_back(*it);
+    for (const double u : up) out.weights.push_back(u);
+    double total = 0.0;
+    for (const double x : out.weights) total += x;
+    for (double& x : out.weights) x /= total;
+    return out;
+}
+
+double transient_reachability(const CtmcModel& m, double time,
+                              const TransientOptions& options, TransientStats* stats) {
+    if (time < 0.0) throw Error("transient analysis time must be non-negative");
+    m.check();
+    const std::size_t n = m.state_count();
+
+    std::vector<double> pi(n, 0.0);
+    for (const auto& [s, p] : m.initial) pi[s] += p;
+
+    const double lambda_rate = m.max_exit_rate();
+    const double q = lambda_rate * time;
+    if (stats != nullptr) stats->uniformization_rate = lambda_rate;
+    if (q == 0.0 || time == 0.0) {
+        double mass = 0.0;
+        for (StateId s = 0; s < n; ++s) {
+            if (m.goal[s]) mass += pi[s];
+        }
+        return mass;
+    }
+
+    const PoissonWeights pw = poisson_weights(q, options.precision);
+    std::vector<double> acc(n, 0.0);
+    std::vector<double> next(n, 0.0);
+    const std::size_t last = pw.left + pw.weights.size() - 1;
+    for (std::size_t k = 0; k <= last; ++k) {
+        if (k >= pw.left) {
+            const double w = pw.weights[k - pw.left];
+            for (std::size_t s = 0; s < n; ++s) acc[s] += w * pi[s];
+        }
+        if (k == last) break;
+        // pi <- pi * P with P = I + Q/lambda (self-loop completes the row).
+        std::fill(next.begin(), next.end(), 0.0);
+        for (StateId s = 0; s < n; ++s) {
+            const double mass = pi[s];
+            if (mass == 0.0) continue;
+            double exit = 0.0;
+            for (const auto& [t, r] : m.transitions[s]) {
+                next[t] += mass * r / lambda_rate;
+                exit += r;
+            }
+            next[s] += mass * (1.0 - exit / lambda_rate);
+        }
+        pi.swap(next);
+        if (stats != nullptr) ++stats->iterations;
+    }
+
+    double goal_mass = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+        if (m.goal[s]) goal_mass += acc[s];
+    }
+    return std::min(1.0, goal_mass);
+}
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,38 @@
+// Transient analysis by uniformization (the MRMC leg of the tool chain).
+//
+// With goal states absorbing, P( <> [0,u] goal ) equals the transient
+// probability mass on goal states at time u:
+//   pi(u) = sum_k  Poisson(Lambda*u; k) * pi0 * P^k,
+// with P the uniformized DTMC at rate Lambda >= max exit rate. Poisson
+// weights use Fox-Glynn-style left/right truncation at the requested
+// precision.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+
+namespace slimsim::ctmc {
+
+struct TransientOptions {
+    double precision = 1e-10; // total truncated Poisson mass
+};
+
+struct TransientStats {
+    std::size_t iterations = 0; // matrix-vector products
+    double uniformization_rate = 0.0;
+};
+
+/// Probability that the chain is in a goal state at time `time`
+/// (== time-bounded reachability, since goal states are absorbing).
+[[nodiscard]] double transient_reachability(const CtmcModel& m, double time,
+                                            const TransientOptions& options = {},
+                                            TransientStats* stats = nullptr);
+
+/// Poisson(lambda) probabilities for k in [left, right] with truncation;
+/// exposed for testing. Returns normalized weights and the range.
+struct PoissonWeights {
+    std::size_t left = 0;
+    std::vector<double> weights; // weights[i] = P(K = left + i), normalized
+};
+[[nodiscard]] PoissonWeights poisson_weights(double lambda, double precision);
+
+} // namespace slimsim::ctmc

@@ -1,0 +1,580 @@
+#include "eda/network.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "expr/timeline.hpp"
+#include "slim/parser.hpp"
+#include "slim/validate.hpp"
+
+namespace slimsim::eda {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using slim::InstAssign;
+using slim::Instance;
+using slim::InstProcess;
+using slim::InstTransition;
+using slim::TriggerClass;
+} // namespace
+
+std::string Candidate::describe(const InstanceModel& m) const {
+    std::ostringstream os;
+    switch (kind) {
+    case Kind::Tau: {
+        const auto& p = m.processes[static_cast<std::size_t>(process)];
+        const auto& t = p.transitions[static_cast<std::size_t>(transition)];
+        os << "tau " << p.name << ": " << p.locations[t.src].name << " -> "
+           << p.locations[t.dst].name;
+        break;
+    }
+    case Kind::Sync:
+        os << "sync " << m.actions[static_cast<std::size_t>(action)].name;
+        break;
+    case Kind::BroadcastSend: {
+        const auto& p = m.processes[static_cast<std::size_t>(process)];
+        const auto& t = p.transitions[static_cast<std::size_t>(transition)];
+        os << "propagate " << t.label << " from " << p.name;
+        break;
+    }
+    }
+    os << " @ " << enabled.to_string();
+    return os.str();
+}
+
+Network::Network(std::shared_ptr<const InstanceModel> model) : model_(std::move(model)) {
+    outgoing_.resize(model_->processes.size());
+    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+        const InstProcess& proc = model_->processes[p];
+        outgoing_[p].resize(proc.locations.size());
+        for (std::size_t t = 0; t < proc.transitions.size(); ++t) {
+            outgoing_[p][static_cast<std::size_t>(proc.transitions[t].src)].push_back(
+                static_cast<int>(t));
+        }
+    }
+}
+
+NetworkState Network::initial_state() const {
+    NetworkState s;
+    s.locations.reserve(model_->processes.size());
+    for (const InstProcess& p : model_->processes) s.locations.push_back(p.initial_location);
+    s.values = model_->initial_valuation();
+    s.active.assign(model_->instances.size(), 1);
+    for (std::size_t i = 0; i < model_->instances.size(); ++i) {
+        const Instance& inst = model_->instances[i];
+        if (inst.parent < 0) continue;
+        const auto parent = static_cast<std::size_t>(inst.parent);
+        bool a = s.active[parent] != 0;
+        if (a && !inst.parent_modes.empty()) {
+            const int loc = s.locations[static_cast<std::size_t>(
+                model_->instances[parent].process)];
+            a = std::binary_search(inst.parent_modes.begin(), inst.parent_modes.end(), loc);
+        }
+        s.active[i] = a ? 1 : 0;
+    }
+    apply_injections_for_current_states(s);
+    run_flows(s);
+    apply_injections_for_current_states(s);
+    return s;
+}
+
+NetworkState Network::forced_initial_state(
+    std::span<const std::pair<ProcessId, int>> forced) const {
+    NetworkState s = initial_state();
+    for (const auto& [proc, loc] : forced) {
+        SLIMSIM_ASSERT(proc >= 0 &&
+                       static_cast<std::size_t>(proc) < model_->processes.size());
+        SLIMSIM_ASSERT(loc >= 0 &&
+                       static_cast<std::size_t>(loc) <
+                           model_->processes[static_cast<std::size_t>(proc)].locations.size());
+        s.locations[static_cast<std::size_t>(proc)] = loc;
+    }
+    apply_injections_for_current_states(s);
+    run_flows(s);
+    apply_injections_for_current_states(s);
+    return s;
+}
+
+double Network::invariant_horizon(const NetworkState& s) const {
+    std::vector<double> rates;
+    compute_rates(s, rates);
+    double horizon = kInf;
+    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+        const InstProcess& proc = model_->processes[p];
+        if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+        const auto& loc = proc.locations[static_cast<std::size_t>(s.locations[p])];
+        if (loc.invariant == nullptr) continue;
+        const expr::TimedEvalContext ctx{s.values, *proc.bindings, rates};
+        const IntervalSet sat = expr::satisfying_times(*loc.invariant, ctx);
+        const auto prefix = sat.prefix_horizon();
+        if (!prefix) return 0.0; // invariant already violated: urgent
+        horizon = std::min(horizon, *prefix);
+        if (horizon == 0.0) return 0.0;
+    }
+    return horizon;
+}
+
+IntervalSet Network::guard_times(const NetworkState& s, std::span<const double> rates,
+                                 ProcessId p, int t) const {
+    const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+    const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+    if (tr.guard == nullptr) return IntervalSet::all();
+    const expr::TimedEvalContext ctx{s.values, *proc.bindings, rates};
+    return expr::satisfying_times(*tr.guard, ctx);
+}
+
+std::vector<Candidate> Network::candidates(const NetworkState& s, double horizon) const {
+    std::vector<double> rates;
+    compute_rates(s, rates);
+    const IntervalSet window(0.0, horizon);
+    std::vector<Candidate> out;
+
+    // Internal transitions and broadcast sends.
+    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+        const InstProcess& proc = model_->processes[p];
+        if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+        for (const int t : outgoing(s, static_cast<ProcessId>(p))) {
+            const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+            if (tr.markovian() || tr.trigger != TriggerClass::Normal || tr.receive_only() ||
+                tr.action != slim::kTau) {
+                continue;
+            }
+            IntervalSet set =
+                guard_times(s, rates, static_cast<ProcessId>(p), t).intersect(window);
+            if (set.empty()) continue;
+            Candidate c;
+            c.kind = tr.channel == slim::kNoChannel ? Candidate::Kind::Tau
+                                                    : Candidate::Kind::BroadcastSend;
+            c.process = static_cast<ProcessId>(p);
+            c.transition = t;
+            c.enabled = std::move(set);
+            out.push_back(std::move(c));
+        }
+    }
+
+    // Synchronizations: every active participant must be ready, and at least
+    // one sender must be among the ready transitions.
+    for (std::size_t a = 0; a < model_->actions.size(); ++a) {
+        const auto& def = model_->actions[a];
+        IntervalSet inter = window;
+        IntervalSet senders;
+        bool any_participant = false;
+        for (const ProcessId pid : def.participants) {
+            const InstProcess& proc = model_->processes[static_cast<std::size_t>(pid)];
+            if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+            any_participant = true;
+            IntervalSet mine;
+            for (const int t : outgoing(s, pid)) {
+                const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+                if (tr.action != static_cast<ActionId>(a) ||
+                    tr.trigger != TriggerClass::Normal) {
+                    continue;
+                }
+                IntervalSet g = guard_times(s, rates, pid, t);
+                if (tr.role == slim::PortDir::Out) senders = senders.unite(g);
+                mine = mine.unite(std::move(g));
+            }
+            inter = inter.intersect(mine);
+            if (inter.empty()) break;
+        }
+        if (!any_participant) continue;
+        IntervalSet set = inter.intersect(senders);
+        if (set.empty()) continue;
+        Candidate c;
+        c.kind = Candidate::Kind::Sync;
+        c.action = static_cast<ActionId>(a);
+        c.enabled = std::move(set);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::vector<MarkovianRate> Network::markovian_rates(const NetworkState& s) const {
+    std::vector<MarkovianRate> out;
+    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+        const InstProcess& proc = model_->processes[p];
+        if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+        double total = 0.0;
+        for (const int t : outgoing(s, static_cast<ProcessId>(p))) {
+            total += proc.transitions[static_cast<std::size_t>(t)].rate;
+        }
+        if (total > 0.0) out.push_back({static_cast<ProcessId>(p), total});
+    }
+    return out;
+}
+
+void Network::elapse(NetworkState& s, double d) const {
+    SLIMSIM_ASSERT(d >= 0.0);
+    if (d == 0.0) return;
+    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+        const InstProcess& proc = model_->processes[p];
+        if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+        const auto& loc = proc.locations[static_cast<std::size_t>(s.locations[p])];
+        for (const auto& [var, slope] : loc.rates) {
+            s.values[var] = Value(s.values[var].as_real() + slope * d);
+        }
+    }
+    s.time += d;
+}
+
+bool Network::enabled_now(const NetworkState& s, ProcessId p, int t) const {
+    const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+    const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+    if (tr.guard == nullptr) return true;
+    return expr::evaluate_bool(*tr.guard, expr::EvalContext{s.values, *proc.bindings});
+}
+
+bool Network::eval_global(const NetworkState& s, const expr::Expr& e) const {
+    return expr::evaluate_bool(e, expr::EvalContext{s.values, {}});
+}
+
+void Network::compute_rates(const NetworkState& s, std::vector<double>& rates) const {
+    rates.assign(model_->vars.size(), 0.0);
+    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+        const InstProcess& proc = model_->processes[p];
+        if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+        const auto& loc = proc.locations[static_cast<std::size_t>(s.locations[p])];
+        for (const auto& [var, slope] : loc.rates) rates[var] = slope;
+    }
+}
+
+std::span<const int> Network::outgoing(const NetworkState& s, ProcessId p) const {
+    return outgoing_[static_cast<std::size_t>(p)]
+                    [static_cast<std::size_t>(s.locations[static_cast<std::size_t>(p)])];
+}
+
+// --- execution ------------------------------------------------------------------
+
+namespace {
+
+/// Writes a value into a variable, enforcing integer ranges.
+void write_var(const InstanceModel& m, NetworkState& s, VarId var, const Value& raw) {
+    const auto& def = m.vars[var];
+    const Value v = raw.coerce_to(def.type);
+    if (def.type.is_int() && def.type.lo) {
+        const std::int64_t i = v.as_int();
+        if (i < *def.type.lo || i > *def.type.hi) {
+            throw Error("assignment of " + v.to_string() + " to `" + def.full_name +
+                        "` violates its range " + def.type.to_string());
+        }
+    }
+    s.values[var] = v;
+}
+
+} // namespace
+
+void Network::apply_injections_for_current_states(NetworkState& s) const {
+    for (const slim::Injection& inj : model_->injections) {
+        if (s.locations[static_cast<std::size_t>(inj.process)] == inj.state) {
+            s.values[inj.target] = inj.value;
+        }
+    }
+}
+
+void Network::run_flows(NetworkState& s) const {
+    for (const slim::InstFlow& f : model_->flows) {
+        if (!s.instance_active(static_cast<std::size_t>(f.owner))) continue;
+        if (f.gate_process >= 0 && !f.gate_locations.empty()) {
+            const int loc = s.locations[static_cast<std::size_t>(f.gate_process)];
+            if (!std::binary_search(f.gate_locations.begin(), f.gate_locations.end(), loc)) {
+                continue;
+            }
+        }
+        const expr::EvalContext ctx{s.values, *f.bindings};
+        write_var(*model_, s, f.target, expr::evaluate(*f.value, ctx));
+    }
+}
+
+/// Fires one transition in isolation: effects evaluated against the current
+/// valuation, location change, timer reset, injection restore on leaving an
+/// injected error state. Used for activation cascades; the synchronized main
+/// step pre-evaluates effects jointly in apply_firing.
+void Network::fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info) const {
+    const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+    const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+    const int old_loc = s.locations[static_cast<std::size_t>(p)];
+
+    std::vector<std::pair<VarId, Value>> writes;
+    writes.reserve(tr.effects.size());
+    const expr::EvalContext ctx{s.values, *proc.bindings};
+    for (const InstAssign& a : tr.effects) {
+        writes.emplace_back((*proc.bindings)[a.target], expr::evaluate(*a.value, ctx));
+    }
+    s.locations[static_cast<std::size_t>(p)] = tr.dst;
+    s.values[proc.timer] = Value(0.0);
+    for (const auto& [var, val] : writes) write_var(*model_, s, var, val);
+    if (proc.is_error && tr.dst != old_loc) {
+        for (const slim::Injection& inj : model_->injections) {
+            if (inj.process == p && inj.state == old_loc) s.values[inj.target] = inj.restore;
+        }
+    }
+    if (info != nullptr) info->fired.emplace_back(p, t);
+}
+
+void Network::recompute_activation(NetworkState& s, Rng* rng, StepInfo* info) const {
+    (void)rng; // activation choices are deterministic (first enabled declared)
+    for (int round = 0; round < 64; ++round) {
+        std::vector<char> next(model_->instances.size(), 1);
+        for (std::size_t i = 0; i < model_->instances.size(); ++i) {
+            const Instance& inst = model_->instances[i];
+            if (inst.parent < 0) continue;
+            const auto parent = static_cast<std::size_t>(inst.parent);
+            // Instances are ordered parents-first, so next[parent] already
+            // reflects this round's cascaded deactivations.
+            bool a = next[parent] != 0;
+            if (a && !inst.parent_modes.empty()) {
+                const int loc = s.locations[static_cast<std::size_t>(
+                    model_->instances[parent].process)];
+                a = std::binary_search(inst.parent_modes.begin(), inst.parent_modes.end(),
+                                       loc);
+            }
+            next[i] = a ? 1 : 0;
+        }
+        bool changed = false;
+        std::vector<std::size_t> activated;
+        std::vector<std::size_t> deactivated;
+        for (std::size_t i = 0; i < model_->instances.size(); ++i) {
+            if (next[i] == s.active[i]) continue;
+            changed = true;
+            (next[i] != 0 ? activated : deactivated).push_back(i);
+        }
+        if (!changed) return;
+
+        // Deactivation transitions fire before the instance freezes.
+        for (const std::size_t i : deactivated) {
+            fire_trigger_class(s, i, TriggerClass::OnDeactivate, info);
+        }
+        s.active = std::move(next);
+        for (const std::size_t i : activated) {
+            fire_trigger_class(s, i, TriggerClass::OnActivate, info);
+        }
+    }
+    throw Error("activation/deactivation cascade did not stabilize (model error)");
+}
+
+StepInfo Network::apply_firing(NetworkState& s,
+                               const std::vector<std::pair<ProcessId, int>>& firing) const {
+    StepInfo info;
+    // Synchronized semantics: all effect right-hand sides are evaluated
+    // against the pre-state, then applied (in process order on conflicts).
+    std::vector<std::pair<VarId, Value>> writes;
+    for (const auto& [p, t] : firing) {
+        const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+        const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+        const expr::EvalContext ctx{s.values, *proc.bindings};
+        for (const InstAssign& a : tr.effects) {
+            writes.emplace_back((*proc.bindings)[a.target], expr::evaluate(*a.value, ctx));
+        }
+    }
+    std::vector<std::pair<ProcessId, int>> left; // (error process, old location)
+    for (const auto& [p, t] : firing) {
+        const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+        const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+        const int old_loc = s.locations[static_cast<std::size_t>(p)];
+        s.locations[static_cast<std::size_t>(p)] = tr.dst;
+        s.values[proc.timer] = Value(0.0);
+        if (proc.is_error && tr.dst != old_loc) left.emplace_back(p, old_loc);
+        info.fired.emplace_back(p, t);
+    }
+    for (const auto& [var, val] : writes) write_var(*model_, s, var, val);
+    for (const auto& [p, old_loc] : left) {
+        for (const slim::Injection& inj : model_->injections) {
+            if (inj.process == p && inj.state == old_loc) s.values[inj.target] = inj.restore;
+        }
+    }
+    recompute_activation(s, nullptr, &info);
+    // Injected failure values must both feed the data flows (a failed
+    // sensor's wrong reading propagates downstream) and override flows into
+    // injected targets (a failed filter's zero output wins over its own
+    // flow), hence the inject / flow / inject sandwich.
+    apply_injections_for_current_states(s);
+    run_flows(s);
+    apply_injections_for_current_states(s);
+    return info;
+}
+
+StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng) const {
+    std::vector<std::pair<ProcessId, int>> firing;
+    switch (c.kind) {
+    case Candidate::Kind::Tau:
+        SLIMSIM_ASSERT(enabled_now(s, c.process, c.transition));
+        firing.emplace_back(c.process, c.transition);
+        break;
+    case Candidate::Kind::BroadcastSend: {
+        SLIMSIM_ASSERT(enabled_now(s, c.process, c.transition));
+        firing.emplace_back(c.process, c.transition);
+        const InstProcess& sender = model_->processes[static_cast<std::size_t>(c.process)];
+        const ChannelId ch =
+            sender.transitions[static_cast<std::size_t>(c.transition)].channel;
+        for (const ProcessId peer : sender.propagation_peers) {
+            const InstProcess& proc = model_->processes[static_cast<std::size_t>(peer)];
+            if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+            std::vector<int> ready;
+            for (const int t : outgoing(s, peer)) {
+                const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+                if (tr.channel == ch && tr.role == slim::PortDir::In &&
+                    enabled_now(s, peer, t)) {
+                    ready.push_back(t);
+                }
+            }
+            if (!ready.empty()) {
+                firing.emplace_back(peer, ready[rng.uniform_index(ready.size())]);
+            }
+        }
+        break;
+    }
+    case Candidate::Kind::Sync: {
+        const auto& def = model_->actions[static_cast<std::size_t>(c.action)];
+        for (const ProcessId pid : def.participants) {
+            const InstProcess& proc = model_->processes[static_cast<std::size_t>(pid)];
+            if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+            std::vector<int> ready;
+            for (const int t : outgoing(s, pid)) {
+                const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+                if (tr.action == c.action && tr.trigger == TriggerClass::Normal &&
+                    enabled_now(s, pid, t)) {
+                    ready.push_back(t);
+                }
+            }
+            SLIMSIM_ASSERT(!ready.empty()); // the strategy chose an enabled time
+            firing.emplace_back(pid, ready[rng.uniform_index(ready.size())]);
+        }
+        break;
+    }
+    }
+    return apply_firing(s, firing);
+}
+
+StepInfo Network::execute_markovian(NetworkState& s, ProcessId process, Rng& rng) const {
+    const InstProcess& proc = model_->processes[static_cast<std::size_t>(process)];
+    double total = 0.0;
+    for (const int t : outgoing(s, process)) {
+        total += proc.transitions[static_cast<std::size_t>(t)].rate;
+    }
+    SLIMSIM_ASSERT(total > 0.0);
+    double pick = rng.uniform01() * total;
+    int chosen = -1;
+    for (const int t : outgoing(s, process)) {
+        const double r = proc.transitions[static_cast<std::size_t>(t)].rate;
+        if (r <= 0.0) continue;
+        chosen = t;
+        if (pick <= r) break;
+        pick -= r;
+    }
+    SLIMSIM_ASSERT(chosen >= 0);
+    return apply_firing(s, {{process, chosen}});
+}
+
+std::vector<Network::ResolvedMove> Network::resolve_moves(const NetworkState& s,
+                                                          const Candidate& c) const {
+    // Enumerates the per-process sub-choices of a candidate with their
+    // equiprobable weights (exhaustive builder path; no time analysis here —
+    // callers use this on untimed models where enabledness is immediate).
+    std::vector<std::vector<std::pair<ProcessId, int>>> options; // per participant
+    switch (c.kind) {
+    case Candidate::Kind::Tau:
+        options.push_back({{c.process, c.transition}});
+        break;
+    case Candidate::Kind::BroadcastSend: {
+        options.push_back({{c.process, c.transition}});
+        const InstProcess& sender = model_->processes[static_cast<std::size_t>(c.process)];
+        const ChannelId ch =
+            sender.transitions[static_cast<std::size_t>(c.transition)].channel;
+        for (const ProcessId peer : sender.propagation_peers) {
+            const InstProcess& proc = model_->processes[static_cast<std::size_t>(peer)];
+            if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+            std::vector<std::pair<ProcessId, int>> mine;
+            for (const int t : outgoing(s, peer)) {
+                const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+                if (tr.channel == ch && tr.role == slim::PortDir::In &&
+                    enabled_now(s, peer, t)) {
+                    mine.emplace_back(peer, t);
+                }
+            }
+            if (!mine.empty()) options.push_back(std::move(mine));
+        }
+        break;
+    }
+    case Candidate::Kind::Sync: {
+        const auto& def = model_->actions[static_cast<std::size_t>(c.action)];
+        for (const ProcessId pid : def.participants) {
+            const InstProcess& proc = model_->processes[static_cast<std::size_t>(pid)];
+            if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+            std::vector<std::pair<ProcessId, int>> mine;
+            for (const int t : outgoing(s, pid)) {
+                const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+                if (tr.action == c.action && tr.trigger == TriggerClass::Normal &&
+                    enabled_now(s, pid, t)) {
+                    mine.emplace_back(pid, t);
+                }
+            }
+            SLIMSIM_ASSERT(!mine.empty());
+            options.push_back(std::move(mine));
+        }
+        break;
+    }
+    }
+    std::vector<ResolvedMove> moves;
+    moves.push_back({{}, 1.0});
+    for (const auto& opts : options) {
+        std::vector<ResolvedMove> next;
+        next.reserve(moves.size() * opts.size());
+        const double w = 1.0 / static_cast<double>(opts.size());
+        for (const auto& m : moves) {
+            for (const auto& o : opts) {
+                ResolvedMove nm = m;
+                nm.firing.push_back(o);
+                nm.probability *= w;
+                next.push_back(std::move(nm));
+            }
+        }
+        moves = std::move(next);
+    }
+    return moves;
+}
+
+// --- activation trigger firing helper ----------------------------------------
+
+void Network::fire_trigger_class(NetworkState& s, std::size_t instance, TriggerClass tc,
+                                 StepInfo* info) const {
+    const Instance& inst = model_->instances[instance];
+    for (const ProcessId pid : {inst.process, inst.error_process}) {
+        if (pid < 0) continue;
+        const InstProcess& proc = model_->processes[static_cast<std::size_t>(pid)];
+        for (const int t : outgoing(s, pid)) {
+            const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+            if (tr.trigger == tc && enabled_now(s, pid, t)) {
+                fire_one(s, pid, t, info);
+                break; // deterministic: first enabled in declaration order
+            }
+        }
+    }
+}
+
+// --- pipeline helpers -----------------------------------------------------------
+
+std::shared_ptr<const InstanceModel> load_instance_model(std::string_view source,
+                                                         std::string filename) {
+    auto resolved = std::make_shared<slim::ResolvedModel>(
+        slim::resolve(slim::parse_model(source, std::move(filename))));
+    auto model = std::make_shared<InstanceModel>(slim::instantiate(std::move(resolved)));
+    slim::validate_or_throw(*model);
+    return model;
+}
+
+Network build_network_from_source(std::string_view source, std::string filename) {
+    return Network(load_instance_model(source, std::move(filename)));
+}
+
+Network build_network_from_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open model file `" + path + "`");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return build_network_from_source(buf.str(), path);
+}
+
+} // namespace slimsim::eda

@@ -1,0 +1,159 @@
+// The Network of Event-Data Automata (paper, Sec. III-A).
+//
+// The network interprets an instantiated SLIM model: it exposes the timing
+// analysis the strategies need (invariant horizons, exact guard-enablement
+// interval sets), the Markovian race information, and the execution of
+// discrete steps (internal, synchronized, broadcast and Markovian), including
+// data-flow propagation, dynamic reconfiguration (activation changes with
+// @activation/@deactivation firing) and fault-injection effects.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "eda/state.hpp"
+#include "slim/instantiate.hpp"
+#include "support/intervals.hpp"
+#include "support/rng.hpp"
+
+namespace slimsim::eda {
+
+using slim::ActionId;
+using slim::ChannelId;
+using slim::InstanceModel;
+using slim::ProcessId;
+
+/// One schedulable discrete alternative at the current state, together with
+/// the exact set of delays after which it is enabled (clamped to the
+/// invariant horizon). Markovian transitions are *not* candidates; the
+/// simulator races sampled exponential delays against the strategy's choice.
+struct Candidate {
+    enum class Kind : std::uint8_t {
+        Tau,           // internal transition of one process
+        Sync,          // multi-party synchronization on an event action
+        BroadcastSend, // error propagation send (drags ready receivers along)
+    };
+    Kind kind = Kind::Tau;
+    ProcessId process = -1; // Tau / BroadcastSend
+    int transition = -1;    // Tau / BroadcastSend
+    ActionId action = -1;   // Sync
+    IntervalSet enabled;    // delays at which the candidate can fire
+
+    [[nodiscard]] std::string describe(const InstanceModel& m) const;
+};
+
+/// Total Markovian exit rate of one process at the current state.
+struct MarkovianRate {
+    ProcessId process = -1;
+    double total_rate = 0.0;
+};
+
+/// Result classification of a discrete step (for traces / debugging).
+struct StepInfo {
+    std::string description;
+    std::vector<std::pair<ProcessId, int>> fired; // (process, transition idx)
+};
+
+class Network {
+public:
+    explicit Network(std::shared_ptr<const InstanceModel> model);
+
+    [[nodiscard]] const InstanceModel& model() const { return *model_; }
+
+    /// Initial state: initial locations, defaults + initial flow evaluation,
+    /// initial activation, injections of initial error states applied.
+    [[nodiscard]] NetworkState initial_state() const;
+
+    /// Initial state with some processes forced into given locations (used
+    /// by the safety analyses to activate failure modes at t = 0). Fault
+    /// injections and data flows of the forced configuration are applied.
+    [[nodiscard]] NetworkState
+    forced_initial_state(std::span<const std::pair<ProcessId, int>> forced) const;
+
+    // --- timing analysis ----------------------------------------------------
+
+    /// Largest T such that every active process's location invariant holds
+    /// throughout [0, T]. Returns +infinity when unconstrained; 0 when an
+    /// invariant forbids any delay.
+    [[nodiscard]] double invariant_horizon(const NetworkState& s) const;
+
+    /// All discrete candidates with non-empty enablement sets within
+    /// [0, horizon].
+    [[nodiscard]] std::vector<Candidate> candidates(const NetworkState& s,
+                                                    double horizon) const;
+
+    /// Markovian exit rates per active process (only processes whose current
+    /// location has exit-rate transitions).
+    [[nodiscard]] std::vector<MarkovianRate> markovian_rates(const NetworkState& s) const;
+
+    // --- evolution ------------------------------------------------------------
+
+    /// Advances time by d: timed variables of active processes evolve with
+    /// their location-dependent slopes.
+    void elapse(NetworkState& s, double d) const;
+
+    /// Executes a candidate chosen by the strategy (after any elapse). For
+    /// Sync, each participant's transition is drawn equiprobably among its
+    /// enabled ones; for BroadcastSend, every ready receiver joins. Returns
+    /// step details for tracing.
+    StepInfo execute(NetworkState& s, const Candidate& c, Rng& rng) const;
+
+    /// Executes the Markovian race winner of `process`: one of its exit-rate
+    /// transitions, drawn with probability proportional to its rate.
+    StepInfo execute_markovian(NetworkState& s, ProcessId process, Rng& rng) const;
+
+    /// Enumerates every joint discrete move with its probability weight
+    /// (used by the exhaustive state-space builder; uniform resolution of
+    /// sub-choices). Each element is (firing set, weight); weights of a
+    /// candidate sum to 1.
+    struct ResolvedMove {
+        std::vector<std::pair<ProcessId, int>> firing;
+        double probability = 1.0;
+    };
+    [[nodiscard]] std::vector<ResolvedMove> resolve_moves(const NetworkState& s,
+                                                          const Candidate& c) const;
+    /// Applies one resolved firing set (state-space builder path).
+    StepInfo apply_firing(NetworkState& s,
+                          const std::vector<std::pair<ProcessId, int>>& firing) const;
+
+    // --- queries ---------------------------------------------------------------
+
+    /// True if the transition's guard holds in the current valuation.
+    [[nodiscard]] bool enabled_now(const NetworkState& s, ProcessId p, int t) const;
+
+    /// Evaluates a Boolean expression with identity bindings (global names),
+    /// e.g. a property atom.
+    [[nodiscard]] bool eval_global(const NetworkState& s, const expr::Expr& e) const;
+
+    /// Per-variable derivative vector at the current state (active processes'
+    /// location slopes; inactive processes freeze).
+    void compute_rates(const NetworkState& s, std::vector<double>& rates) const;
+
+    /// Transitions of process p leaving its current location.
+    [[nodiscard]] std::span<const int> outgoing(const NetworkState& s, ProcessId p) const;
+
+private:
+    void recompute_activation(NetworkState& s, Rng* rng, StepInfo* info) const;
+    void fire_trigger_class(NetworkState& s, std::size_t instance, slim::TriggerClass tc,
+                            StepInfo* info) const;
+    void run_flows(NetworkState& s) const;
+    void apply_injections_for_current_states(NetworkState& s) const;
+    void fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info) const;
+    [[nodiscard]] IntervalSet guard_times(const NetworkState& s,
+                                          std::span<const double> rates, ProcessId p,
+                                          int t) const;
+
+    std::shared_ptr<const InstanceModel> model_;
+    // Precomputed: per process, per location, outgoing transition indices.
+    std::vector<std::vector<std::vector<int>>> outgoing_;
+};
+
+/// Convenience pipeline: SLIM source -> parsed -> resolved -> instantiated ->
+/// validated -> Network. Throws slimsim::Error on any front-end error.
+[[nodiscard]] Network build_network_from_source(std::string_view source,
+                                                std::string filename = "<input>");
+[[nodiscard]] Network build_network_from_file(const std::string& path);
+[[nodiscard]] std::shared_ptr<const InstanceModel>
+load_instance_model(std::string_view source, std::string filename = "<input>");
+
+} // namespace slimsim::eda

@@ -1,0 +1,19 @@
+#include "eda/state.hpp"
+
+namespace slimsim::eda {
+
+namespace {
+void hash_combine(std::size_t& seed, std::size_t v) {
+    seed ^= v + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+}
+} // namespace
+
+std::size_t DiscreteKey::hash() const {
+    std::size_t seed = 0xC0FFEE;
+    for (const int l : locations) hash_combine(seed, static_cast<std::size_t>(l));
+    for (const Value& v : values) hash_combine(seed, v.hash());
+    for (const char a : active) hash_combine(seed, static_cast<std::size_t>(a));
+    return seed;
+}
+
+} // namespace slimsim::eda

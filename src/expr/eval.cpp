@@ -1,0 +1,107 @@
+#include "expr/eval.hpp"
+
+namespace slimsim::expr {
+
+namespace {
+
+Value eval_arith(BinaryOp op, const Value& l, const Value& r, const SourceLoc& loc) {
+    if (l.is_int() && r.is_int()) {
+        const std::int64_t a = l.as_int();
+        const std::int64_t b = r.as_int();
+        switch (op) {
+        case BinaryOp::Add: return Value(a + b);
+        case BinaryOp::Sub: return Value(a - b);
+        case BinaryOp::Mul: return Value(a * b);
+        case BinaryOp::Div:
+            if (b == 0) throw Error(loc, "integer division by zero");
+            return Value(a / b);
+        case BinaryOp::Mod:
+            if (b == 0) throw Error(loc, "modulo by zero");
+            return Value(a % b);
+        default: SLIMSIM_ASSERT(false);
+        }
+    }
+    const double a = l.as_real();
+    const double b = r.as_real();
+    switch (op) {
+    case BinaryOp::Add: return Value(a + b);
+    case BinaryOp::Sub: return Value(a - b);
+    case BinaryOp::Mul: return Value(a * b);
+    case BinaryOp::Div:
+        if (b == 0.0) throw Error(loc, "division by zero");
+        return Value(a / b);
+    case BinaryOp::Mod: throw Error(loc, "mod requires integer operands");
+    default: SLIMSIM_ASSERT(false);
+    }
+    return Value();
+}
+
+bool eval_compare(BinaryOp op, const Value& l, const Value& r) {
+    if (l.is_bool() || r.is_bool()) {
+        SLIMSIM_ASSERT(l.is_bool() && r.is_bool());
+        switch (op) {
+        case BinaryOp::Eq: return l.as_bool() == r.as_bool();
+        case BinaryOp::Ne: return l.as_bool() != r.as_bool();
+        default: SLIMSIM_ASSERT(false);
+        }
+    }
+    const double a = l.as_real();
+    const double b = r.as_real();
+    switch (op) {
+    case BinaryOp::Eq: return a == b;
+    case BinaryOp::Ne: return a != b;
+    case BinaryOp::Lt: return a < b;
+    case BinaryOp::Le: return a <= b;
+    case BinaryOp::Gt: return a > b;
+    case BinaryOp::Ge: return a >= b;
+    default: SLIMSIM_ASSERT(false);
+    }
+    return false;
+}
+
+} // namespace
+
+Value evaluate(const Expr& e, const EvalContext& ctx) {
+    switch (e.kind) {
+    case ExprKind::Literal:
+        return e.literal;
+    case ExprKind::Var:
+        SLIMSIM_ASSERT(e.slot != kInvalidSlot);
+        return ctx.value_of(e.slot);
+    case ExprKind::Unary: {
+        const Value v = evaluate(*e.a, ctx);
+        if (e.uop == UnaryOp::Not) return Value(!v.as_bool());
+        if (v.is_int()) return Value(-v.as_int());
+        return Value(-v.as_real());
+    }
+    case ExprKind::Binary: {
+        // Short-circuit logical operators.
+        if (e.bop == BinaryOp::And) {
+            if (!evaluate(*e.a, ctx).as_bool()) return Value(false);
+            return Value(evaluate(*e.b, ctx).as_bool());
+        }
+        if (e.bop == BinaryOp::Or) {
+            if (evaluate(*e.a, ctx).as_bool()) return Value(true);
+            return Value(evaluate(*e.b, ctx).as_bool());
+        }
+        if (e.bop == BinaryOp::Implies) {
+            if (!evaluate(*e.a, ctx).as_bool()) return Value(true);
+            return Value(evaluate(*e.b, ctx).as_bool());
+        }
+        const Value l = evaluate(*e.a, ctx);
+        const Value r = evaluate(*e.b, ctx);
+        if (is_comparison(e.bop)) return Value(eval_compare(e.bop, l, r));
+        return eval_arith(e.bop, l, r, e.loc);
+    }
+    case ExprKind::Ite:
+        return evaluate(evaluate(*e.a, ctx).as_bool() ? *e.b : *e.c, ctx);
+    }
+    SLIMSIM_ASSERT(false);
+    return Value();
+}
+
+bool evaluate_bool(const Expr& e, const EvalContext& ctx) {
+    return evaluate(e, ctx).as_bool();
+}
+
+} // namespace slimsim::expr

@@ -1,0 +1,32 @@
+#include "expr/type.hpp"
+
+#include <sstream>
+
+namespace slimsim {
+
+std::string to_string(TypeKind k) {
+    switch (k) {
+    case TypeKind::Bool: return "bool";
+    case TypeKind::Int: return "int";
+    case TypeKind::Real: return "real";
+    case TypeKind::Clock: return "clock";
+    case TypeKind::Continuous: return "continuous";
+    }
+    return "?";
+}
+
+bool Type::accepts(const Type& from) const {
+    if (kind == TypeKind::Bool) return from.kind == TypeKind::Bool;
+    // Any numeric value may flow into any numeric slot; integer ranges are
+    // enforced dynamically on assignment (see eda::NetworkState).
+    return from.is_numeric();
+}
+
+std::string Type::to_string() const {
+    std::ostringstream os;
+    os << slimsim::to_string(kind);
+    if (lo && hi) os << '[' << *lo << ".." << *hi << ']';
+    return os.str();
+}
+
+} // namespace slimsim

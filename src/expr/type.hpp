@@ -1,0 +1,55 @@
+// The SLIM data type system.
+//
+// SLIM data components are Booleans, (ranged) integers, reals, clocks and
+// continuous variables. Clocks and continuous variables hold real values that
+// evolve under time elapse (clocks with fixed slope 1, continuous variables
+// with a mode-dependent constant slope); both are "timed" kinds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace slimsim {
+
+/// Index of a variable in the instantiated model's global variable table.
+using VarId = std::uint32_t;
+inline constexpr VarId kInvalidVar = static_cast<VarId>(-1);
+
+enum class TypeKind : std::uint8_t { Bool, Int, Real, Clock, Continuous };
+
+[[nodiscard]] std::string to_string(TypeKind k);
+
+/// A SLIM data type; integer types may carry a range [lo, hi].
+struct Type {
+    TypeKind kind = TypeKind::Bool;
+    std::optional<std::int64_t> lo; // integer range bounds, if any
+    std::optional<std::int64_t> hi;
+
+    [[nodiscard]] static Type boolean() { return {TypeKind::Bool, {}, {}}; }
+    [[nodiscard]] static Type integer() { return {TypeKind::Int, {}, {}}; }
+    [[nodiscard]] static Type integer_range(std::int64_t lo, std::int64_t hi) {
+        return {TypeKind::Int, lo, hi};
+    }
+    [[nodiscard]] static Type real() { return {TypeKind::Real, {}, {}}; }
+    [[nodiscard]] static Type clock() { return {TypeKind::Clock, {}, {}}; }
+    [[nodiscard]] static Type continuous() { return {TypeKind::Continuous, {}, {}}; }
+
+    [[nodiscard]] bool is_bool() const { return kind == TypeKind::Bool; }
+    [[nodiscard]] bool is_int() const { return kind == TypeKind::Int; }
+    /// True for any type holding a numeric value (int, real, clock, continuous).
+    [[nodiscard]] bool is_numeric() const { return kind != TypeKind::Bool; }
+    /// True for types whose value changes under time elapse.
+    [[nodiscard]] bool is_timed() const {
+        return kind == TypeKind::Clock || kind == TypeKind::Continuous;
+    }
+    /// True if values of `from` may appear where this type is expected
+    /// (int widens to real/clock/continuous contexts; timed kinds are reals).
+    [[nodiscard]] bool accepts(const Type& from) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Type&, const Type&) = default;
+};
+
+} // namespace slimsim

@@ -1,0 +1,58 @@
+#include "expr/value.hpp"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace slimsim {
+
+Value Value::default_for(const Type& t) {
+    switch (t.kind) {
+    case TypeKind::Bool: return Value(false);
+    case TypeKind::Int: return Value(t.lo.value_or(0));
+    case TypeKind::Real:
+    case TypeKind::Clock:
+    case TypeKind::Continuous: return Value(0.0);
+    }
+    return Value(false);
+}
+
+Value Value::coerce_to(const Type& t) const {
+    switch (t.kind) {
+    case TypeKind::Bool:
+        return Value(as_bool());
+    case TypeKind::Int: {
+        const std::int64_t i =
+            is_int() ? as_int() : static_cast<std::int64_t>(std::trunc(as_real()));
+        return Value(i);
+    }
+    case TypeKind::Real:
+    case TypeKind::Clock:
+    case TypeKind::Continuous:
+        return Value(as_real());
+    }
+    return *this;
+}
+
+bool operator==(const Value& a, const Value& b) {
+    if (a.is_bool() || b.is_bool()) {
+        return a.is_bool() && b.is_bool() && a.as_bool() == b.as_bool();
+    }
+    return a.as_real() == b.as_real();
+}
+
+std::string Value::to_string() const {
+    if (is_bool()) return as_bool() ? "true" : "false";
+    if (is_int()) return std::to_string(as_int());
+    std::ostringstream os;
+    os << as_real();
+    return os.str();
+}
+
+std::size_t Value::hash() const {
+    if (is_bool()) return as_bool() ? 0x9E3779B9u : 0x85EBCA6Bu;
+    if (is_int()) return std::hash<std::int64_t>{}(as_int());
+    return std::hash<double>{}(as_real());
+}
+
+} // namespace slimsim

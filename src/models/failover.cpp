@@ -1,0 +1,109 @@
+#include "models/failover.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::models {
+
+std::string failover_source(const FailoverOptions& opt) {
+    if (opt.pump_fail_per_hour <= 0.0) throw Error("pump failure rate must be positive");
+    if (opt.detection_latency < 0.0) throw Error("detection latency must be >= 0");
+    const bool timed = opt.detection_latency > 0.0;
+    const auto latency_guard = [&](const char* base) {
+        std::ostringstream os;
+        os << base;
+        if (timed) os << " and @timer >= " << opt.detection_latency;
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << "-- Generated pump fail-over model ("
+       << (timed ? "timed detection" : "untimed") << ")\n";
+    os << "root System.Imp;\n\n";
+
+    os << "device Pump\n"
+          "features\n"
+          "  start: in event port;\n"
+          "  flow_ok: out data port bool default false;\n"
+          "end Pump;\n"
+          "device implementation Pump.Imp\n"
+          "subcomponents\n"
+          "  broken: data bool default false;\n"
+          "flows\n"
+          "  flow_ok := not broken in modes (running);\n"
+          "  flow_ok := false in modes (standby);\n"
+          "modes\n"
+          "  standby: initial mode;\n"
+          "  running: mode;\n"
+          "transitions\n"
+          "  standby -[start]-> running;\n"
+          "end Pump.Imp;\n\n";
+
+    os << "error model PumpFailure\n"
+          "features\n"
+          "  ok: initial state;\n"
+          "  worn: error state;\n"
+          "end PumpFailure;\n"
+          "error model implementation PumpFailure.Imp\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << opt.pump_fail_per_hour
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> worn;\n"
+          "end PumpFailure.Imp;\n\n";
+
+    os << "device Controller\n"
+          "features\n"
+          "  p_flow: in data port bool default false;\n"
+          "  b_flow: in data port bool default false;\n"
+          "  go_primary: out event port;\n"
+          "  go_backup: out event port;\n"
+          "  failed: out data port bool default false;\n"
+          "end Controller;\n"
+          "device implementation Controller.Imp\n"
+          "modes\n"
+          "  boot: initial mode;\n"
+          "  watch_primary: mode;\n"
+          "  watch_backup: mode;\n"
+          "  dead: mode;\n"
+          "transitions\n"
+          "  boot -[go_primary]-> watch_primary;\n"
+          "  watch_primary -[go_backup when "
+       << latency_guard("not p_flow")
+       << "]-> watch_backup;\n"
+          "  watch_backup -[when "
+       << latency_guard("not b_flow")
+       << " then failed := true]-> dead;\n"
+          "end Controller.Imp;\n\n";
+
+    os << "system System\n"
+          "features\n"
+          "  failed: out data port bool default false;\n"
+          "end System;\n"
+          "system implementation System.Imp\n"
+          "subcomponents\n"
+          "  controller: device Controller.Imp;\n"
+          "  primary: device Pump.Imp;\n"
+          "  backup: device Pump.Imp;\n"
+          "connections\n"
+          "  event port controller.go_primary -> primary.start;\n"
+          "  event port controller.go_backup -> backup.start;\n"
+          "  data port primary.flow_ok -> controller.p_flow;\n"
+          "  data port backup.flow_ok -> controller.b_flow;\n"
+          "  data port controller.failed -> failed;\n"
+          "end System.Imp;\n\n";
+
+    os << "fault injections\n"
+          "  component primary uses error model PumpFailure.Imp;\n"
+          "  component primary in state worn effect broken := true;\n"
+          "  component backup uses error model PumpFailure.Imp;\n"
+          "  component backup in state worn effect broken := true;\n"
+          "end fault injections;\n";
+    return os.str();
+}
+
+std::string failover_goal() { return "failed"; }
+
+} // namespace slimsim::models

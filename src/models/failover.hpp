@@ -1,0 +1,31 @@
+// A pump fail-over system: event-port synchronization showcase.
+//
+// Two pumps (primary + cold-standby backup) and a monitor. The monitor
+// starts the primary at t = 0 by an event, watches its flow signal, and on
+// loss *sends a start event to the backup* — an explicit event-port
+// synchronization (paper Sec. II-D/E: processes synchronizing on a shared
+// alphabet), unlike the launcher's pure data-flow redundancy. Pumps fail
+// permanently with an exponential rate; the system has failed when the
+// active pump's flow is lost and no spare remains.
+//
+// With `detection_latency` = 0 the model is untimed, so the exhaustive CTMC
+// flow can cross-check the simulator (including synchronized transitions in
+// the state-space builder). A positive latency adds a timed detection
+// window and makes the model strategy-sensitive.
+#pragma once
+
+#include <string>
+
+namespace slimsim::models {
+
+struct FailoverOptions {
+    double pump_fail_per_hour = 0.5;
+    double detection_latency = 0.0; // seconds; 0 = untimed model
+};
+
+[[nodiscard]] std::string failover_source(const FailoverOptions& options = {});
+
+/// Goal of the reliability property: the monitor has given up.
+[[nodiscard]] std::string failover_goal();
+
+} // namespace slimsim::models

@@ -1,0 +1,154 @@
+#include "models/gps.hpp"
+
+namespace slimsim::models {
+
+std::string gps_source() {
+    return R"slim(
+-- GPS unit with fault behaviour (paper Listings 1-2, Fig. 2).
+root Satellite.Imp;
+
+system GPS
+features
+  activation: in event port;
+  measurement: out data port bool default false;
+end GPS;
+
+system implementation GPS.Imp
+subcomponents
+  x: data clock;
+modes
+  acquisition: initial mode while x <= 120 sec;
+  active: mode;
+transitions
+  acquisition -[when x >= 10 sec then measurement := true]-> active;
+end GPS.Imp;
+
+error model GPSFailure
+features
+  ok: initial state;
+  transient: error state while @timer <= 300 msec;
+  hot: error state;
+  permanent: error state;
+end GPSFailure;
+
+error model implementation GPSFailure.Imp
+events
+  fault_transient: error event occurrence poisson 0.1 per hour;
+  fault_hot: error event occurrence poisson 0.05 per hour;
+  fault_permanent: error event occurrence poisson 0.01 per hour;
+transitions
+  ok -[fault_transient]-> transient;
+  ok -[fault_hot]-> hot;
+  ok -[fault_permanent]-> permanent;
+  transient -[when @timer >= 200 msec]-> ok;
+  hot -[@activation]-> ok;
+end GPSFailure.Imp;
+
+system Satellite
+end Satellite;
+
+system implementation Satellite.Imp
+subcomponents
+  gps: system GPS.Imp;
+end Satellite.Imp;
+
+fault injections
+  component gps uses error model GPSFailure.Imp;
+  component gps in state transient effect measurement := false;
+  component gps in state hot effect measurement := false;
+  component gps in state permanent effect measurement := false;
+end fault injections;
+)slim";
+}
+
+std::string gps_goal() { return "gps.measurement"; }
+
+std::string gps_restart_source(bool with_controller) {
+    std::string src = R"slim(
+-- GPS with a supervising controller that power-cycles the unit when the fix
+-- stays lost: @activation recovers hot faults (paper Fig. 2 restart story).
+root Satellite.Imp;
+
+system GPS
+features
+  measurement: out data port bool default false;
+end GPS;
+
+system implementation GPS.Imp
+subcomponents
+  x: data clock;
+modes
+  acquisition: initial mode while x <= 120 sec;
+  active: mode;
+transitions
+  acquisition -[when x >= 10 sec then measurement := true]-> active;
+  -- a restart puts the unit back into acquisition
+  active -[@activation then measurement := false; x := 0]-> acquisition;
+  acquisition -[@activation then x := 0]-> acquisition;
+end GPS.Imp;
+
+error model GPSFailure
+features
+  ok: initial state;
+  transient: error state while @timer <= 300 msec;
+  hot: error state;
+  permanent: error state;
+end GPSFailure;
+
+error model implementation GPSFailure.Imp
+events
+  -- exaggerated rates (as the paper does for Fig. 5) so the restart
+  -- policy's effect is visible at mission time scales
+  fault_transient: error event occurrence poisson 2 per hour;
+  fault_hot: error event occurrence poisson 4 per hour;
+  fault_permanent: error event occurrence poisson 0.1 per hour;
+transitions
+  ok -[fault_transient]-> transient;
+  ok -[fault_hot]-> hot;
+  ok -[fault_permanent]-> permanent;
+  transient -[when @timer >= 200 msec]-> ok;
+  hot -[@activation]-> ok;
+end GPSFailure.Imp;
+
+system Satellite
+end Satellite;
+)slim";
+    if (with_controller) {
+        src += R"slim(
+system implementation Satellite.Imp
+subcomponents
+  gps: system GPS.Imp in modes (on);
+  mission: data clock;
+modes
+  on: initial mode;
+  cycling: mode while @timer <= 2 sec;
+transitions
+  -- patience exceeds the worst-case acquisition time (120 s), so only a
+  -- persistently lost fix triggers a power cycle
+  on -[when not gps.measurement and @timer >= 180 sec]-> cycling;
+  cycling -[when @timer >= 1 sec]-> on;
+end Satellite.Imp;
+)slim";
+    } else {
+        src += R"slim(
+system implementation Satellite.Imp
+subcomponents
+  gps: system GPS.Imp;
+  mission: data clock;
+end Satellite.Imp;
+)slim";
+    }
+    src += R"slim(
+fault injections
+  component gps uses error model GPSFailure.Imp;
+  component gps in state transient effect measurement := false;
+  component gps in state hot effect measurement := false;
+  component gps in state permanent effect measurement := false;
+end fault injections;
+)slim";
+    return src;
+}
+
+std::string gps_restart_goal() { return "gps.measurement and mission >= 30 min"; }
+
+} // namespace slimsim::models

@@ -1,0 +1,29 @@
+// The GPS running example (paper, Listings 1-2, Fig. 2), embedded so tests
+// and examples do not depend on the models/ directory location.
+#pragma once
+
+#include <string>
+
+namespace slimsim::models {
+
+/// SLIM source of the GPS example (same content as models/gps.slim).
+[[nodiscard]] std::string gps_source();
+
+/// Goal: the GPS has a fix ("gps.measurement").
+[[nodiscard]] std::string gps_goal();
+
+/// The GPS example extended with a supervising controller that power-cycles
+/// the unit when the fix stays lost (dynamic reconfiguration: the GPS is
+/// only active in the satellite's `on` mode; reactivation fires @activation,
+/// which recovers hot faults — the restart story of the paper's Fig. 2).
+/// Same content as models/gps_restart.slim. With `with_controller` false the
+/// same satellite (same GPS, same exaggerated fault rates) runs without the
+/// supervising controller, for a like-for-like comparison of the restart
+/// policy's value.
+[[nodiscard]] std::string gps_restart_source(bool with_controller = true);
+
+/// Goal for the comparison: a fix is (still or again) available after the
+/// 30-minute mark — hot faults without restart lose it for good.
+[[nodiscard]] std::string gps_restart_goal();
+
+} // namespace slimsim::models

@@ -1,0 +1,273 @@
+#include "models/launcher.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::models {
+
+std::string launcher_source(const LauncherOptions& opt) {
+    if (opt.rate_scale <= 0.0) throw Error("rate_scale must be positive");
+    if (opt.battery_capacity_hours <= 0.0) throw Error("battery capacity must be positive");
+    const double s = opt.rate_scale;
+    std::ostringstream os;
+    os << "-- Generated launcher case study ("
+       << (opt.recoverable_dpu ? "recoverable" : "permanent") << " DPU faults)\n";
+    os << "root Launcher.Imp;\n\n";
+
+    // --- Power: battery with continuous linear dynamics inside a PCDU -----
+    os << "device Battery\n"
+          "features\n"
+          "  power: out data port bool default true;\n"
+          "end Battery;\n"
+          "device implementation Battery.Imp\n"
+          "subcomponents\n"
+          "  energy: data continuous default "
+       << opt.battery_capacity_hours * 3600.0
+       << ";\n"
+          "modes\n"
+          "  discharging: initial mode while energy >= 0;\n"
+          "  depleted: mode;\n"
+          "transitions\n"
+          "  discharging -[when energy <= 0 then power := false]-> depleted;\n"
+          "trends\n"
+          "  energy' = -1.0 in discharging;\n"
+          "end Battery.Imp;\n\n";
+
+    // Power outputs: each PCDU distributes its battery over three switched
+    // output channels ("a battery and a number of power outputs", Sec. V).
+    os << "device PowerOutput\n"
+          "features\n"
+          "  supply: in data port bool default true;\n"
+          "  power: out data port bool default true;\n"
+          "end PowerOutput;\n"
+          "device implementation PowerOutput.Imp\n"
+          "flows\n"
+          "  power := supply;\n"
+          "end PowerOutput.Imp;\n\n";
+
+    os << "system PCDU\n"
+          "features\n"
+          "  power_a: out data port bool default true;\n"
+          "  power_b: out data port bool default true;\n"
+          "  power_c: out data port bool default true;\n"
+          "end PCDU;\n"
+          "system implementation PCDU.Imp\n"
+          "subcomponents\n"
+          "  battery: device Battery.Imp;\n"
+          "  out_a: device PowerOutput.Imp;\n"
+          "  out_b: device PowerOutput.Imp;\n"
+          "  out_c: device PowerOutput.Imp;\n"
+          "connections\n"
+          "  data port battery.power -> out_a.supply;\n"
+          "  data port battery.power -> out_b.supply;\n"
+          "  data port battery.power -> out_c.supply;\n"
+          "  data port out_a.power -> power_a;\n"
+          "  data port out_b.power -> power_b;\n"
+          "  data port out_c.power -> power_c;\n"
+          "end PCDU.Imp;\n\n";
+
+    os << "error model BatteryFailure\n"
+          "features\n"
+          "  ok: initial state;\n"
+          "  dead: error state;\n"
+          "end BatteryFailure;\n"
+          "error model implementation BatteryFailure.Imp\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << 0.02 * s
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> dead;\n"
+          "end BatteryFailure.Imp;\n\n";
+
+    // --- Sensors (GPS / gyro): transient + permanent faults ----------------
+    os << "device Sensor\n"
+          "features\n"
+          "  power_in: in data port bool default true;\n"
+          "  signal: out data port bool default true;\n"
+          "end Sensor;\n"
+          "device implementation Sensor.Imp\n"
+          "subcomponents\n"
+          "  broken: data bool default false;\n"
+          "flows\n"
+          "  signal := power_in and not broken;\n"
+          "end Sensor.Imp;\n\n";
+
+    os << "error model SensorFailure\n"
+          "features\n"
+          "  ok: initial state;\n"
+          "  transient: error state while @timer <= 300 msec;\n"
+          "  permanent: error state;\n"
+          "end SensorFailure;\n"
+          "error model implementation SensorFailure.Imp\n"
+          "events\n"
+          "  fault_transient: error event occurrence poisson "
+       << 0.5 * s
+       << " per hour;\n"
+          "  fault_permanent: error event occurrence poisson "
+       << 0.05 * s
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault_transient]-> transient;\n"
+          "  ok -[fault_permanent]-> permanent;\n"
+          "  transient -[when @timer >= 200 msec]-> ok;\n"
+          "end SensorFailure.Imp;\n\n";
+
+    // --- DPUs (the \"triplexes\") ------------------------------------------
+    os << "device Dpu\n"
+          "features\n"
+          "  power_in: in data port bool default true;\n"
+          "  nav_in: in data port bool default true;\n"
+          "  command: out data port bool default true;\n"
+          "end Dpu;\n"
+          "device implementation Dpu.Imp\n"
+          "subcomponents\n"
+          "  broken: data bool default false;\n"
+          "flows\n"
+          "  command := power_in and nav_in and not broken;\n"
+          "end Dpu.Imp;\n\n";
+
+    if (opt.recoverable_dpu) {
+        os << "error model DpuFailure\n"
+              "features\n"
+              "  ok: initial state;\n"
+              "  hot: error state while @timer <= 300 msec;\n"
+              "  permanent: error state;\n"
+              "end DpuFailure;\n"
+              "error model implementation DpuFailure.Imp\n"
+              "events\n"
+              "  fault_hot: error event occurrence poisson "
+           << 1.0 * s
+           << " per hour;\n"
+              "  fault_permanent: error event occurrence poisson "
+           << 0.05 * s
+           << " per hour;\n"
+              "transitions\n"
+              "  ok -[fault_hot]-> hot;\n"
+              "  ok -[fault_permanent]-> permanent;\n"
+              "  -- a repair attempted before the unit finished its power-down\n"
+              "  -- cycle (250 msec) fails for good; a later one succeeds\n"
+              "  hot -[when @timer >= 200 msec and @timer < 250 msec]-> permanent;\n"
+              "  hot -[when @timer >= 250 msec]-> ok;\n"
+              "end DpuFailure.Imp;\n\n";
+    } else {
+        os << "error model DpuFailure\n"
+              "features\n"
+              "  ok: initial state;\n"
+              "  permanent: error state;\n"
+              "end DpuFailure;\n"
+              "error model implementation DpuFailure.Imp\n"
+              "events\n"
+              "  fault_hot: error event occurrence poisson "
+           << 1.0 * s
+           << " per hour;\n"
+              "  fault_permanent: error event occurrence poisson "
+           << 0.05 * s
+           << " per hour;\n"
+              "transitions\n"
+              "  ok -[fault_hot]-> permanent;\n"
+              "  ok -[fault_permanent]-> permanent;\n"
+              "end DpuFailure.Imp;\n\n";
+    }
+
+    // --- Thrusters and opaque buses -----------------------------------------
+    os << "device Thruster\n"
+          "features\n"
+          "  command_in: in data port bool default true;\n"
+          "  thrust: out data port bool default true;\n"
+          "end Thruster;\n"
+          "device implementation Thruster.Imp\n"
+          "subcomponents\n"
+          "  broken: data bool default false;\n"
+          "flows\n"
+          "  thrust := command_in and not broken;\n"
+          "end Thruster.Imp;\n\n";
+
+    os << "error model ThrusterFailure\n"
+          "features\n"
+          "  ok: initial state;\n"
+          "  stuck: error state;\n"
+          "end ThrusterFailure;\n"
+          "error model implementation ThrusterFailure.Imp\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << 0.02 * s
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> stuck;\n"
+          "end ThrusterFailure.Imp;\n\n";
+
+    os << "bus PowerBus\n"
+          "end PowerBus;\n"
+          "bus implementation PowerBus.Imp\n"
+          "end PowerBus.Imp;\n\n";
+
+    // --- Root architecture -----------------------------------------------------
+    os << "system Launcher\n"
+          "features\n"
+          "  failure: out data port bool default false;\n"
+          "end Launcher;\n"
+          "system implementation Launcher.Imp\n"
+          "subcomponents\n"
+          "  pcdu1: system PCDU.Imp;\n"
+          "  pcdu2: system PCDU.Imp;\n"
+          "  gps1: device Sensor.Imp;\n"
+          "  gps2: device Sensor.Imp;\n"
+          "  gyro1: device Sensor.Imp;\n"
+          "  gyro2: device Sensor.Imp;\n"
+          "  dpu1: device Dpu.Imp;\n"
+          "  dpu2: device Dpu.Imp;\n"
+          "  thruster1: device Thruster.Imp;\n"
+          "  thruster2: device Thruster.Imp;\n"
+          "  thruster3: device Thruster.Imp;\n"
+          "  thruster4: device Thruster.Imp;\n"
+          "  powerbus: bus PowerBus.Imp;\n"
+          "  databus: bus PowerBus.Imp;\n"
+          "connections\n"
+          "  data port pcdu1.power_a -> gps1.power_in;\n"
+          "  data port pcdu1.power_b -> gyro1.power_in;\n"
+          "  data port pcdu1.power_c -> dpu1.power_in;\n"
+          "  data port pcdu2.power_a -> gps2.power_in;\n"
+          "  data port pcdu2.power_b -> gyro2.power_in;\n"
+          "  data port pcdu2.power_c -> dpu2.power_in;\n"
+          "  data port dpu1.command -> thruster1.command_in;\n"
+          "  data port dpu1.command -> thruster2.command_in;\n"
+          "  data port dpu2.command -> thruster3.command_in;\n"
+          "  data port dpu2.command -> thruster4.command_in;\n"
+          "flows\n"
+          "  dpu1.nav_in := (gps1.signal or gps2.signal) and (gyro1.signal or "
+          "gyro2.signal);\n"
+          "  dpu2.nav_in := (gps1.signal or gps2.signal) and (gyro1.signal or "
+          "gyro2.signal);\n"
+          "  failure := not dpu1.command and not dpu2.command;\n"
+          "end Launcher.Imp;\n\n";
+
+    os << "fault injections\n"
+          "  component pcdu1.battery uses error model BatteryFailure.Imp;\n"
+          "  component pcdu1.battery in state dead effect power := false;\n"
+          "  component pcdu2.battery uses error model BatteryFailure.Imp;\n"
+          "  component pcdu2.battery in state dead effect power := false;\n";
+    for (const char* sensor : {"gps1", "gps2", "gyro1", "gyro2"}) {
+        os << "  component " << sensor << " uses error model SensorFailure.Imp;\n";
+        os << "  component " << sensor << " in state transient effect broken := true;\n";
+        os << "  component " << sensor << " in state permanent effect broken := true;\n";
+    }
+    for (const char* dpu : {"dpu1", "dpu2"}) {
+        os << "  component " << dpu << " uses error model DpuFailure.Imp;\n";
+        if (opt.recoverable_dpu) {
+            os << "  component " << dpu << " in state hot effect broken := true;\n";
+        }
+        os << "  component " << dpu << " in state permanent effect broken := true;\n";
+    }
+    for (const char* thr : {"thruster1", "thruster2", "thruster3", "thruster4"}) {
+        os << "  component " << thr << " uses error model ThrusterFailure.Imp;\n";
+        os << "  component " << thr << " in state stuck effect broken := true;\n";
+    }
+    os << "end fault injections;\n";
+    return os.str();
+}
+
+std::string launcher_goal() { return "failure"; }
+
+} // namespace slimsim::models

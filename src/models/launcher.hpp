@@ -1,0 +1,40 @@
+// The launcher case study (paper, Sec. V, Fig. 4/5).
+//
+// Re-modelled from the paper's description (the Airbus SLIM sources are not
+// public): two PCDUs whose batteries have continuous linear dynamics and a
+// permanent failure mode; GPS and gyro sensors with transient (self-
+// recovering within a [200,300] ms window) and permanent faults; two DPUs
+// ("triplexes") computing thruster commands from power and navigation
+// signals; four thrusters; two opaque buses. The system has failed when
+// neither DPU can issue a command.
+//
+// Two DPU fault variants reproduce Fig. 5:
+//  * permanent  - every DPU fault is unrecoverable; the model then contains
+//    only probabilistic/deterministic timing, so all strategies coincide
+//    (left graph);
+//  * recoverable - a hot DPU fault must be repaired within its [200,300] ms
+//    window, but a repair before 250 ms fails and makes the fault permanent.
+//    The repair instant is non-deterministic, so the strategies diverge:
+//    ASAP always repairs too early (fails), MaxTime never does, Local and
+//    Progressive land in between (right graph).
+//
+// Fault rates are exaggerated (as in the paper) so the strategy effects are
+// visible at mission time scales; `rate_scale` scales them uniformly.
+#pragma once
+
+#include <string>
+
+namespace slimsim::models {
+
+struct LauncherOptions {
+    bool recoverable_dpu = false;
+    double rate_scale = 1.0;
+    double battery_capacity_hours = 4.0; // drives the continuous dynamics
+};
+
+[[nodiscard]] std::string launcher_source(const LauncherOptions& options = {});
+
+/// Goal of the reliability property P( <> [0,u] failure ).
+[[nodiscard]] std::string launcher_goal();
+
+} // namespace slimsim::models

@@ -1,0 +1,120 @@
+#include "models/sensor_filter.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::models {
+
+std::string sensor_filter_source(int redundancy, double sensor_fail_per_hour,
+                                 double filter_fail_per_hour) {
+    if (redundancy < 1) throw Error("redundancy degree must be >= 1");
+    const int r = redundancy;
+    std::ostringstream os;
+    os << "-- Generated sensor/filter redundancy benchmark, R = " << r << "\n";
+    os << "root System.Imp;\n\n";
+
+    os << "device Sensor\n"
+          "features\n"
+          "  reading: out data port int [0..20] default 3;\n"
+          "end Sensor;\n"
+          "device implementation Sensor.Imp\n"
+          "end Sensor.Imp;\n\n";
+
+    os << "device Filter\n"
+          "features\n"
+          "  raw_in: in data port int [0..20] default 3;\n"
+          "  filtered: out data port int [0..40] default 6;\n"
+          "end Filter;\n"
+          "device implementation Filter.Imp\n"
+          "flows\n"
+          "  filtered := raw_in * 2;\n"
+          "end Filter.Imp;\n\n";
+
+    os << "error model UnitFailure\n"
+          "features\n"
+          "  ok: initial state;\n"
+          "  failed: error state;\n"
+          "end UnitFailure;\n";
+    os << "error model implementation UnitFailure.Sensor\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << sensor_fail_per_hour
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> failed;\n"
+          "end UnitFailure.Sensor;\n";
+    os << "error model implementation UnitFailure.Filter\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << filter_fail_per_hour
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> failed;\n"
+          "end UnitFailure.Filter;\n\n";
+
+    // Root system: the monitor. Modes track the active (sensor, filter)
+    // pair; mode-dependent connections route the active sensor through the
+    // active filter.
+    os << "system System\n"
+          "features\n"
+          "  failed: out data port bool default false;\n"
+          "end System;\n";
+    os << "system implementation System.Imp\n"
+          "subcomponents\n";
+    for (int i = 0; i < r; ++i) os << "  sensor" << i << ": device Sensor.Imp;\n";
+    for (int j = 0; j < r; ++j) os << "  filter" << j << ": device Filter.Imp;\n";
+    os << "connections\n";
+    for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < r; ++j) {
+            os << "  data port sensor" << i << ".reading -> filter" << j
+               << ".raw_in in modes (m_" << i << "_" << j << ");\n";
+        }
+    }
+    os << "modes\n";
+    for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < r; ++j) {
+            os << "  m_" << i << "_" << j << ": " << (i == 0 && j == 0 ? "initial " : "")
+               << "mode;\n";
+        }
+    }
+    os << "  dead: mode;\n";
+    os << "transitions\n";
+    for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < r; ++j) {
+            // Sensor failure signature: filtered too high.
+            if (i + 1 < r) {
+                os << "  m_" << i << "_" << j << " -[when filter" << j
+                   << ".filtered > 10]-> m_" << i + 1 << "_" << j << ";\n";
+            } else {
+                os << "  m_" << i << "_" << j << " -[when filter" << j
+                   << ".filtered > 10 then failed := true]-> dead;\n";
+            }
+            // Filter failure signature: filtered zero.
+            if (j + 1 < r) {
+                os << "  m_" << i << "_" << j << " -[when filter" << j
+                   << ".filtered = 0]-> m_" << i << "_" << j + 1 << ";\n";
+            } else {
+                os << "  m_" << i << "_" << j << " -[when filter" << j
+                   << ".filtered = 0 then failed := true]-> dead;\n";
+            }
+        }
+    }
+    os << "end System.Imp;\n\n";
+
+    os << "fault injections\n";
+    for (int i = 0; i < r; ++i) {
+        os << "  component sensor" << i << " uses error model UnitFailure.Sensor;\n";
+        os << "  component sensor" << i << " in state failed effect reading := 9;\n";
+    }
+    for (int j = 0; j < r; ++j) {
+        os << "  component filter" << j << " uses error model UnitFailure.Filter;\n";
+        os << "  component filter" << j << " in state failed effect filtered := 0;\n";
+    }
+    os << "end fault injections;\n";
+    return os.str();
+}
+
+std::string sensor_filter_goal() { return "failed"; }
+
+} // namespace slimsim::models

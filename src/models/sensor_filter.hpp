@@ -1,0 +1,28 @@
+// The sensor/filter redundancy benchmark (paper, Sec. IV, Fig. 3).
+//
+// A sensor provides a discrete output in 1..5 (we use 3); a filter
+// multiplies it by a constant (2). Sensors fail high (reading 9 -> filtered
+// 18), filters fail to zero. A monitor distinguishes the two failure
+// signatures and switches to the next redundant unit; when either all
+// sensors or all filters have failed, the system has failed. Increasing the
+// redundancy degree R grows the state space combinatorially (2^(2R) failure
+// combinations x R^2 monitor modes), which drives Table I.
+//
+// The model is untimed (no clocks), so both the CTMC flow and the simulator
+// can analyze it; the goal atom is the root's `failed` port.
+#pragma once
+
+#include <string>
+
+namespace slimsim::models {
+
+/// SLIM source with R redundant sensors and R redundant filters (R >= 1).
+/// The paper's "model size" column corresponds to 2R.
+[[nodiscard]] std::string sensor_filter_source(int redundancy,
+                                               double sensor_fail_per_hour = 0.01,
+                                               double filter_fail_per_hour = 0.005);
+
+/// Goal expression for the benchmark property P( <> [0,u] failed ).
+[[nodiscard]] std::string sensor_filter_goal();
+
+} // namespace slimsim::models

@@ -1,0 +1,215 @@
+#include "props/pattern.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::props {
+
+namespace {
+
+std::string lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Finds ` keyword ` (case-insensitive, space-delimited) in `folded`,
+/// searching from the right so that goal expressions containing the word as
+/// part of a name are not split. Returns npos if absent.
+std::size_t rfind_keyword(const std::string& folded, std::string_view keyword) {
+    const std::string needle = " " + std::string(keyword) + " ";
+    return folded.rfind(needle);
+}
+
+/// Parses "[LO, HI]" starting at `pos` in `text`; returns the bounds and
+/// advances `pos` past the closing bracket.
+std::pair<double, double> parse_interval(std::string_view text, std::size_t& pos) {
+    const std::size_t lb = text.find('[', pos);
+    const std::size_t comma = text.find(',', lb);
+    const std::size_t rb = text.find(']', lb);
+    if (lb == std::string_view::npos || comma == std::string_view::npos ||
+        rb == std::string_view::npos || comma > rb) {
+        throw Error("malformed time interval; expected [LO, HI]");
+    }
+    const double lo = parse_duration(text.substr(lb + 1, comma - lb - 1));
+    const double hi = parse_duration(text.substr(comma + 1, rb - comma - 1));
+    pos = rb + 1;
+    return {lo, hi};
+}
+
+/// "probability of ..." spellings.
+ParsedPattern parse_verbose(std::string_view trimmed, const std::string& folded) {
+    ParsedPattern p;
+    static constexpr std::string_view kReach = "probability of reaching ";
+    static constexpr std::string_view kMaintain = "probability of maintaining ";
+    static constexpr std::string_view kOf = "probability of ";
+
+    // Splits "... within T" / "... between T1 and T2" off `body`, filling
+    // p.lo/p.bound and returning the leading expression text.
+    auto split_time_suffix = [&](std::string_view body) -> std::string {
+        const std::string bf = lower(body);
+        if (const std::size_t between = rfind_keyword(bf, "between");
+            between != std::string::npos) {
+            const std::string_view tail = body.substr(between + 9); // past " between "
+            const std::size_t and_pos = rfind_keyword(lower(tail), "and");
+            if (and_pos == std::string::npos) {
+                throw Error("`between` requires `and`: between T1 and T2");
+            }
+            p.lo = parse_duration(tail.substr(0, and_pos));
+            p.bound = parse_duration(tail.substr(and_pos + 5)); // past " and "
+            return std::string(trim(body.substr(0, between)));
+        }
+        const std::size_t within = rfind_keyword(bf, "within");
+        if (within == std::string::npos) {
+            throw Error("pattern is missing `within TIME` (or `between T1 and T2`)");
+        }
+        p.lo = 0.0;
+        p.bound = parse_duration(body.substr(within + 8)); // past " within "
+        return std::string(trim(body.substr(0, within)));
+    };
+
+    if (folded.rfind(kReach, 0) == 0) {
+        p.kind = PatternKind::Reach;
+        p.goal_text = split_time_suffix(trimmed.substr(kReach.size()));
+    } else if (folded.rfind(kMaintain, 0) == 0) {
+        p.kind = PatternKind::Globally;
+        const std::string_view body = trimmed.substr(kMaintain.size());
+        const std::size_t for_pos = rfind_keyword(lower(body), "for");
+        if (for_pos == std::string::npos) {
+            throw Error("`maintaining` requires `for TIME`");
+        }
+        p.bound = parse_duration(body.substr(for_pos + 5)); // past " for "
+        p.goal_text = std::string(trim(body.substr(0, for_pos)));
+    } else if (folded.rfind(kOf, 0) == 0) {
+        // "probability of HOLD until GOAL within/between ..."
+        const std::string_view body = trimmed.substr(kOf.size());
+        const std::size_t until = lower(body).find(" until ");
+        if (until == std::string::npos) {
+            throw Error("unrecognized pattern; expected `reaching`, `maintaining` or "
+                        "`HOLD until GOAL`");
+        }
+        p.kind = PatternKind::Until;
+        p.hold_text = std::string(trim(body.substr(0, until)));
+        p.goal_text = split_time_suffix(body.substr(until + 7)); // past " until "
+        if (p.hold_text.empty()) throw Error("pattern has an empty hold expression");
+    } else {
+        throw Error("unrecognized property pattern");
+    }
+    if (p.goal_text.empty()) throw Error("pattern has an empty goal expression");
+    if (p.lo < 0.0 || p.lo > p.bound) {
+        throw Error("property time interval must satisfy 0 <= LO <= HI");
+    }
+    return p;
+}
+
+/// "P( ... )" CSL spellings.
+ParsedPattern parse_csl(std::string_view trimmed) {
+    const std::size_t open = trimmed.find('(');
+    const std::size_t close = trimmed.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close <= open) {
+        throw Error("malformed CSL pattern; expected P( ... )");
+    }
+    const std::string_view body = trim(trimmed.substr(open + 1, close - open - 1));
+    ParsedPattern p;
+
+    if (body.rfind("<>", 0) == 0) {
+        p.kind = PatternKind::Reach;
+        std::size_t pos = 2;
+        const auto [lo, hi] = parse_interval(body, pos);
+        p.lo = lo;
+        p.bound = hi;
+        p.goal_text = std::string(trim(body.substr(pos)));
+    } else if (body.rfind("[]", 0) == 0 || body.rfind("G ", 0) == 0 ||
+               body.rfind("G[", 0) == 0) {
+        p.kind = PatternKind::Globally;
+        std::size_t pos = body.rfind("[]", 0) == 0 ? 2 : 1;
+        const auto [lo, hi] = parse_interval(body, pos);
+        if (lo != 0.0) {
+            throw Error("only [0,TIME] intervals are supported for invariance");
+        }
+        p.bound = hi;
+        p.goal_text = std::string(trim(body.substr(pos)));
+    } else if (!body.empty() && body.front() == '(') {
+        // (HOLD) U [LO,HI] (GOAL)
+        int depth = 0;
+        std::size_t hold_end = std::string_view::npos;
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            if (body[i] == '(') ++depth;
+            if (body[i] == ')' && --depth == 0) {
+                hold_end = i;
+                break;
+            }
+        }
+        if (hold_end == std::string_view::npos) throw Error("unbalanced parentheses");
+        p.kind = PatternKind::Until;
+        p.hold_text = std::string(trim(body.substr(1, hold_end - 1)));
+        std::size_t pos = hold_end + 1;
+        while (pos < body.size() && std::isspace(static_cast<unsigned char>(body[pos]))) {
+            ++pos;
+        }
+        if (pos >= body.size() || (body[pos] != 'U' && body[pos] != 'u')) {
+            throw Error("expected `U [LO,HI]` after the hold expression");
+        }
+        ++pos;
+        const auto [lo, hi] = parse_interval(body, pos);
+        p.lo = lo;
+        p.bound = hi;
+        std::string_view goal = trim(body.substr(pos));
+        if (goal.size() >= 2 && goal.front() == '(' && goal.back() == ')') {
+            goal = trim(goal.substr(1, goal.size() - 2));
+        }
+        p.goal_text = std::string(goal);
+        if (p.hold_text.empty()) throw Error("pattern has an empty hold expression");
+    } else {
+        throw Error("malformed CSL pattern; expected <>, [], or (HOLD) U [..] (GOAL)");
+    }
+    if (p.goal_text.empty()) throw Error("pattern has an empty goal expression");
+    if (p.lo < 0.0 || p.lo > p.bound) {
+        throw Error("property time interval must satisfy 0 <= LO <= HI");
+    }
+    return p;
+}
+
+} // namespace
+
+double parse_duration(std::string_view text) {
+    const std::string t(trim(text));
+    std::istringstream is(t);
+    double value = 0.0;
+    if (!(is >> value)) throw Error("cannot parse duration `" + t + "`");
+    std::string unit;
+    is >> unit;
+    const std::string u = lower(unit);
+    if (u.empty() || u == "sec" || u == "s") return value;
+    if (u == "msec" || u == "ms") return value * 1e-3;
+    if (u == "min" || u == "m") return value * 60.0;
+    if (u == "hour" || u == "h") return value * 3600.0;
+    if (u == "day" || u == "d") return value * 86400.0;
+    throw Error("unknown time unit `" + unit + "`");
+}
+
+ParsedPattern parse_pattern(std::string_view text) {
+    const std::string_view trimmed = trim(text);
+    if (trimmed.empty()) throw Error("empty property pattern");
+    const std::string folded = lower(trimmed);
+    if (folded.rfind("probability of ", 0) == 0) return parse_verbose(trimmed, folded);
+    if (folded.front() == 'p') return parse_csl(trimmed);
+    throw Error("unrecognized property pattern: `" + std::string(trimmed) + "`");
+}
+
+} // namespace slimsim::props

@@ -1,0 +1,45 @@
+// Property specification patterns (paper, Sec. II-C).
+//
+// COMPASS exposes user-friendly specification patterns instead of raw
+// temporal logic. slimsim's quantitative analysis consumes time-bounded
+// path formulas; the accepted spellings are:
+//
+//   probabilistic existence (the paper's pattern):
+//     "probability of reaching GOAL within TIME"
+//     "probability of reaching GOAL between TIME and TIME"
+//     "P( <> [LO, HI] GOAL )"
+//   until:
+//     "probability of HOLD until GOAL within TIME"
+//     "probability of HOLD until GOAL between TIME and TIME"
+//     "P( (HOLD) U [LO, HI] (GOAL) )"
+//   invariance:
+//     "probability of maintaining GOAL for TIME"
+//     "P( [] [0, TIME] GOAL )"
+//
+// TIME is a number with an optional unit (msec/sec/min/hour/day).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "slim/instantiate.hpp"
+
+namespace slimsim::props {
+
+enum class PatternKind : std::uint8_t { Reach, Until, Globally };
+
+struct ParsedPattern {
+    PatternKind kind = PatternKind::Reach;
+    std::string hold_text; // Until only
+    std::string goal_text;
+    double lo = 0.0;    // seconds
+    double bound = 0.0; // seconds
+};
+
+/// Parses a duration like "1800", "300 msec", "2 hour", "1.5h".
+[[nodiscard]] double parse_duration(std::string_view text);
+
+/// Parses a property pattern; throws slimsim::Error on malformed input.
+[[nodiscard]] ParsedPattern parse_pattern(std::string_view text);
+
+} // namespace slimsim::props

@@ -1,0 +1,137 @@
+#include "rare/splitting.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <vector>
+
+#include "expr/eval.hpp"
+#include "sim/property.hpp"
+#include "slim/parser.hpp"
+
+namespace slimsim::rare {
+
+std::string SplittingResult::to_string() const {
+    std::ostringstream os;
+    os << "p^ = " << estimate << " (" << base_runs << " roots, " << total_paths
+       << " paths, " << goal_hits << " goal hits, max level " << max_level_seen << ", "
+       << wall_seconds << " s)";
+    return os.str();
+}
+
+expr::ExprPtr make_level_function(const slim::InstanceModel& model,
+                                  std::string_view source) {
+    expr::ExprPtr e = slim::parse_expression(source, "<level>");
+    // Resolve against the global table; reuse the property plumbing but
+    // require an integer result.
+    // resolve_goal() insists on bool, so resolve manually here.
+    slim::SymbolTable table;
+    for (const auto& v : model.vars) {
+        slim::Symbol sym;
+        sym.name = v.full_name;
+        sym.kind = slim::SymKind::Data;
+        sym.type = v.type;
+        table.add(std::move(sym));
+    }
+    DiagnosticSink sink;
+    slim::resolve_expr(*e, table, sink);
+    sink.throw_if_errors("level function resolution");
+    if (!e->type.is_int()) {
+        throw Error(e->loc, "the level function must be integer-valued");
+    }
+    return e;
+}
+
+namespace {
+
+/// A path in flight: its state, RNG stream, progress counters and splitting
+/// bookkeeping (weight and highest level already rewarded).
+struct Job {
+    eda::NetworkState state;
+    Rng rng;
+    std::size_t steps = 0;
+    double weight = 1.0;
+    int level = 0;
+};
+
+int eval_level(const expr::Expr& level, const eda::NetworkState& s) {
+    return static_cast<int>(
+        expr::evaluate(level, expr::EvalContext{s.values, {}}).as_int());
+}
+
+} // namespace
+
+SplittingResult estimate_splitting(const eda::Network& net,
+                                   const sim::PathFormula& formula,
+                                   sim::StrategyKind strategy, const expr::ExprPtr& level,
+                                   std::uint64_t seed, const SplittingOptions& options) {
+    if (formula.kind != sim::FormulaKind::Reach) {
+        throw Error("importance splitting supports reachability formulas only");
+    }
+    if (options.splitting_factor < 1) throw Error("splitting factor must be >= 1");
+    if (options.base_runs < 1) throw Error("base_runs must be >= 1");
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto strat = sim::make_strategy(strategy);
+    const sim::PathGenerator gen(net, formula, *strat, options.sim);
+    const Rng master(seed);
+    std::uint64_t stream = 0;
+
+    SplittingResult result;
+    result.base_runs = options.base_runs;
+    double weighted_hits = 0.0;
+
+    std::vector<Job> stack;
+    for (std::size_t root = 0; root < options.base_runs; ++root) {
+        {
+            Job job;
+            job.state = net.initial_state();
+            job.rng = master.split(stream++);
+            job.level = eval_level(*level, job.state);
+            stack.push_back(std::move(job));
+        }
+        while (!stack.empty()) {
+            Job job = std::move(stack.back());
+            stack.pop_back();
+            ++result.total_paths;
+            if (result.total_paths > options.max_total_paths) {
+                throw Error("importance splitting exceeded " +
+                            std::to_string(options.max_total_paths) +
+                            " paths; the level function splits too aggressively");
+            }
+            for (;;) {
+                const auto outcome = gen.step(job.state, job.rng, job.steps);
+                if (outcome) {
+                    if (outcome->satisfied) {
+                        weighted_hits += job.weight;
+                        ++result.goal_hits;
+                    }
+                    break;
+                }
+                const int now = eval_level(*level, job.state);
+                if (now > job.level) {
+                    // First crossing of a higher level by this lineage:
+                    // clone and share the statistical weight.
+                    job.level = now;
+                    result.max_level_seen = std::max(result.max_level_seen, now);
+                    job.weight /= static_cast<double>(options.splitting_factor);
+                    for (std::size_t c = 1; c < options.splitting_factor; ++c) {
+                        Job clone;
+                        clone.state = job.state;
+                        clone.rng = master.split(stream++);
+                        clone.steps = job.steps;
+                        clone.weight = job.weight;
+                        clone.level = job.level;
+                        stack.push_back(std::move(clone));
+                    }
+                }
+            }
+        }
+    }
+
+    result.estimate = weighted_hits / static_cast<double>(options.base_runs);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+} // namespace slimsim::rare

@@ -1,0 +1,126 @@
+#include "safety/fault_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "ctmc/uniformization.hpp"
+
+namespace slimsim::safety {
+
+double basic_event_probability(const eda::Network& net, const FailureMode& mode,
+                               double t) {
+    const auto& proc = net.model().processes[static_cast<std::size_t>(mode.process)];
+    SLIMSIM_ASSERT(proc.is_error);
+    // The error automaton in isolation: Markovian transitions only; the mode
+    // of interest is absorbing ("entered within t").
+    ctmc::CtmcModel chain;
+    chain.transitions.resize(proc.locations.size());
+    chain.goal.assign(proc.locations.size(), 0);
+    chain.goal[static_cast<std::size_t>(mode.state)] = 1;
+    chain.initial = {{static_cast<ctmc::StateId>(proc.initial_location), 1.0}};
+    for (const auto& tr : proc.transitions) {
+        if (!tr.markovian()) continue;
+        if (tr.src == mode.state) continue; // absorbing
+        chain.transitions[static_cast<std::size_t>(tr.src)].emplace_back(
+            static_cast<ctmc::StateId>(tr.dst), tr.rate);
+    }
+    return ctmc::transient_reachability(chain, t);
+}
+
+FaultTree build_fault_tree(const eda::Network& net, const expr::ExprPtr& goal, double t,
+                           int max_order) {
+    FaultTree tree;
+    tree.mission_time = t;
+    const std::vector<CutSet> cuts = minimal_cut_sets(net, goal, max_order);
+
+    // Deduplicate basic events across cut sets.
+    const auto event_index = [&](const FailureMode& fm) -> std::size_t {
+        for (std::size_t i = 0; i < tree.events.size(); ++i) {
+            if (tree.events[i].mode.process == fm.process &&
+                tree.events[i].mode.state == fm.state) {
+                return i;
+            }
+        }
+        BasicEvent ev;
+        ev.mode = fm;
+        ev.probability = basic_event_probability(net, fm, t);
+        tree.events.push_back(std::move(ev));
+        return tree.events.size() - 1;
+    };
+
+    for (const CutSet& cs : cuts) {
+        FaultTreeGate gate;
+        gate.probability = 1.0;
+        for (const FailureMode& fm : cs.modes) {
+            const std::size_t idx = event_index(fm);
+            gate.events.push_back(idx);
+            gate.probability *= tree.events[idx].probability;
+        }
+        tree.cut_sets.push_back(std::move(gate));
+    }
+
+    // Top event by inclusion-exclusion over cut sets (independent basic
+    // events, shared between cut sets via the event-union masks). Exact up
+    // to 20 cut sets / 64 distinct events; beyond that, fall back to the
+    // independent-gates approximation.
+    const std::size_t n = tree.cut_sets.size();
+    if (n == 0) {
+        tree.top_probability = 0.0;
+    } else if (n <= 20 && tree.events.size() <= 64) {
+        std::vector<std::uint64_t> cut_mask(n, 0);
+        for (std::size_t c = 0; c < n; ++c) {
+            for (const std::size_t e : tree.cut_sets[c].events) {
+                cut_mask[c] |= std::uint64_t{1} << e;
+            }
+        }
+        const std::size_t subsets = std::size_t{1} << n;
+        std::vector<std::uint64_t> union_mask(subsets, 0);
+        double top = 0.0;
+        for (std::size_t s = 1; s < subsets; ++s) {
+            const std::size_t low = s & (~s + 1);
+            const auto low_idx = static_cast<std::size_t>(std::countr_zero(low));
+            union_mask[s] = union_mask[s ^ low] | cut_mask[low_idx];
+            double p = 1.0;
+            std::uint64_t m = union_mask[s];
+            while (m != 0) {
+                const auto e = static_cast<std::size_t>(std::countr_zero(m));
+                p *= tree.events[e].probability;
+                m &= m - 1;
+            }
+            const bool odd = (std::popcount(s) % 2) == 1;
+            top += odd ? p : -p;
+        }
+        tree.top_probability = top;
+    } else {
+        double none = 1.0;
+        for (const auto& gate : tree.cut_sets) none *= 1.0 - gate.probability;
+        tree.top_probability = 1.0 - none;
+    }
+    return tree;
+}
+
+std::string FaultTree::to_string() const {
+    std::ostringstream os;
+    os << "TOP event: P = " << top_probability << " within t = " << mission_time
+       << " s (OR over " << cut_sets.size() << " minimal cut sets)\n";
+    for (const auto& gate : cut_sets) {
+        os << "  AND (P = " << gate.probability << "): ";
+        bool first = true;
+        for (const std::size_t e : gate.events) {
+            if (!first) os << " & ";
+            first = false;
+            const auto& fm = events[e].mode;
+            os << (fm.component.empty() ? "root" : fm.component) << ":" << fm.mode;
+        }
+        os << '\n';
+    }
+    os << "basic events:\n";
+    for (const auto& ev : events) {
+        os << "  " << (ev.mode.component.empty() ? "root" : ev.mode.component) << ":"
+           << ev.mode.mode << "  P = " << ev.probability << '\n';
+    }
+    return os.str();
+}
+
+} // namespace slimsim::safety

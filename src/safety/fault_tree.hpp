@@ -1,0 +1,56 @@
+// Fault-tree construction and evaluation (paper, Sec. II-C).
+//
+// COMPASS generates fault trees from models with failure modes and evaluates
+// them "to determine the probabilities of the various events". We build the
+// two-level tree induced by the minimal static cut sets:
+//
+//      TOP  =  OR over minimal cut sets
+//      cut  =  AND over its basic events (failure modes)
+//
+// Basic-event probabilities come from the error models themselves: the
+// probability that the mode is entered within the mission time, computed
+// exactly on the error model's own (small) CTMC via the uniformization
+// engine. The top event is evaluated under the standard independence
+// assumption with inclusion-exclusion (exact for the usual handful of cut
+// sets), and cross-checkable against the simulator's estimate of the same
+// failure condition.
+#pragma once
+
+#include "safety/fmea.hpp"
+
+namespace slimsim::safety {
+
+struct BasicEvent {
+    FailureMode mode;
+    double probability = 0.0; // P(mode entered within the mission time)
+};
+
+struct FaultTreeGate {
+    std::vector<std::size_t> events; // indices into FaultTree::events
+    double probability = 0.0;        // AND of the basic events
+};
+
+struct FaultTree {
+    std::vector<BasicEvent> events; // deduplicated basic events
+    std::vector<FaultTreeGate> cut_sets;
+    double top_probability = 0.0; // OR over cut sets (inclusion-exclusion)
+    double mission_time = 0.0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Probability that `mode`'s error process, started in its initial state,
+/// occupies `mode.state` *at some point* within [0, t] — computed exactly on
+/// the isolated error automaton (Markovian transitions only; guarded
+/// recovery transitions are conservatively ignored, i.e. treated as leaving
+/// the state irrelevant for "entered within t").
+[[nodiscard]] double basic_event_probability(const eda::Network& net,
+                                             const FailureMode& mode, double t);
+
+/// Builds and evaluates the fault tree for the failure condition `goal`
+/// over mission time `t`, from the minimal cut sets up to `max_order`.
+[[nodiscard]] FaultTree build_fault_tree(const eda::Network& net,
+                                         const expr::ExprPtr& goal, double t,
+                                         int max_order = 2);
+
+} // namespace slimsim::safety

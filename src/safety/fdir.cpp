@@ -1,0 +1,71 @@
+#include "safety/fdir.hpp"
+
+#include <sstream>
+
+namespace slimsim::safety {
+
+namespace {
+
+double reach_from(const eda::Network& net, const expr::ExprPtr& goal, double window,
+                  const eda::NetworkState& start, const FdirOptions& options,
+                  std::uint64_t seed) {
+    sim::PathFormula f;
+    f.kind = sim::FormulaKind::Reach;
+    f.goal = goal;
+    f.bound = window;
+    f.text = "<fdir>";
+    const auto strat = sim::make_strategy(options.strategy);
+    const sim::PathGenerator gen(net, f, *strat, options.sim);
+    const stat::ChernoffHoeffding criterion(options.delta, options.eps);
+    const std::size_t n = *criterion.fixed_sample_count();
+    Rng rng(seed);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        eda::NetworkState s = start;
+        std::size_t steps = 0;
+        for (;;) {
+            if (const auto out = gen.step(s, rng, steps)) {
+                if (out->satisfied) ++hits;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+} // namespace
+
+std::vector<FdirRow> fdir_coverage(const eda::Network& net, const expr::ExprPtr& alarm,
+                                   const expr::ExprPtr& nominal_ok, double window,
+                                   std::uint64_t seed, const FdirOptions& options) {
+    std::vector<FdirRow> rows;
+    for (const FailureMode& fm : failure_modes(net)) {
+        const eda::NetworkState start =
+            net.forced_initial_state({{std::pair{fm.process, fm.state}}});
+        FdirRow row;
+        row.mode = fm;
+        row.detection_probability = reach_from(net, alarm, window, start, options, seed);
+        row.recovery_probability =
+            reach_from(net, nominal_ok, window, start, options, seed + 1);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::string format_fdir(const std::vector<FdirRow>& rows) {
+    std::ostringstream os;
+    os << "component:mode                 P(detected)  P(recovered)\n";
+    for (const auto& r : rows) {
+        std::string label =
+            (r.mode.component.empty() ? std::string("root") : r.mode.component) + ":" +
+            r.mode.mode;
+        label.resize(30, ' ');
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%-12.3f %-12.3f", r.detection_probability,
+                      r.recovery_probability);
+        os << label << ' ' << buf << '\n';
+    }
+    return os.str();
+}
+
+} // namespace slimsim::safety

@@ -1,0 +1,40 @@
+// FDIR coverage analysis (paper, Sec. II-C).
+//
+// COMPASS's FDIR analysis checks "whether certain fault conditions in the
+// model can be detected, isolated and recovered from", based on alarms and
+// observables — Boolean model elements triggered by conditions. This module
+// measures, per failure mode:
+//   detected   - P( <> [0,window] alarm      | mode at t=0 )
+//   recovered  - P( <> [0,window] nominal_ok | mode at t=0 ), where
+//                nominal_ok is the user's "system back to nominal" condition.
+#pragma once
+
+#include "safety/fmea.hpp"
+
+namespace slimsim::safety {
+
+struct FdirRow {
+    FailureMode mode;
+    double detection_probability = 0.0;
+    double recovery_probability = 0.0;
+};
+
+struct FdirOptions {
+    double delta = 0.1;
+    double eps = 0.03;
+    sim::StrategyKind strategy = sim::StrategyKind::Asap;
+    sim::SimOptions sim;
+};
+
+/// Evaluates detection and recovery coverage of every failure mode within
+/// `window` seconds. `alarm` and `nominal_ok` are Boolean expressions over
+/// global names (resolve with sim::resolve_goal / make via parse).
+[[nodiscard]] std::vector<FdirRow> fdir_coverage(const eda::Network& net,
+                                                 const expr::ExprPtr& alarm,
+                                                 const expr::ExprPtr& nominal_ok,
+                                                 double window, std::uint64_t seed,
+                                                 const FdirOptions& options = {});
+
+[[nodiscard]] std::string format_fdir(const std::vector<FdirRow>& rows);
+
+} // namespace slimsim::safety

@@ -1,0 +1,192 @@
+#include "safety/fmea.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace slimsim::safety {
+
+std::vector<FailureMode> failure_modes(const eda::Network& net) {
+    const auto& m = net.model();
+    std::vector<FailureMode> modes;
+    for (std::size_t p = 0; p < m.processes.size(); ++p) {
+        const auto& proc = m.processes[p];
+        if (!proc.is_error) continue;
+        for (std::size_t loc = 0; loc < proc.locations.size(); ++loc) {
+            if (static_cast<int>(loc) == proc.initial_location) continue;
+            FailureMode fm;
+            fm.process = static_cast<slim::ProcessId>(p);
+            fm.state = static_cast<int>(loc);
+            fm.component = m.instances[static_cast<std::size_t>(proc.instance)].path;
+            fm.mode = proc.locations[loc].name;
+            modes.push_back(std::move(fm));
+        }
+    }
+    return modes;
+}
+
+namespace {
+
+/// Simulates P( <> formula ) from a forced start state.
+double estimate_from(const eda::Network& net, const sim::PathFormula& formula,
+                     const eda::NetworkState& start, const FmeaOptions& options,
+                     std::uint64_t seed) {
+    const auto strat = sim::make_strategy(options.strategy);
+    const sim::PathGenerator gen(net, formula, *strat, options.sim);
+    const stat::ChernoffHoeffding criterion(options.delta, options.eps);
+    const std::size_t n = *criterion.fixed_sample_count();
+    Rng rng(seed);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        eda::NetworkState s = start;
+        std::size_t steps = 0;
+        for (;;) {
+            if (const auto out = gen.step(s, rng, steps)) {
+                if (out->satisfied) ++hits;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+std::string mode_label(const FailureMode& fm) {
+    return (fm.component.empty() ? std::string("root") : fm.component) + ":" + fm.mode;
+}
+
+} // namespace
+
+std::vector<FmeaRow> fmea(const eda::Network& net, const expr::ExprPtr& goal, double bound,
+                          std::uint64_t seed, const FmeaOptions& options) {
+    const auto& m = net.model();
+    sim::PathFormula formula;
+    formula.kind = sim::FormulaKind::Reach;
+    formula.goal = goal;
+    formula.bound = bound;
+    formula.text = "<fmea failure condition>";
+
+    const eda::NetworkState nominal = net.initial_state();
+    const double baseline = estimate_from(net, formula, nominal, options, seed);
+
+    std::vector<FmeaRow> rows;
+    for (const FailureMode& fm : failure_modes(net)) {
+        FmeaRow row;
+        row.mode = fm;
+        row.baseline_probability = baseline;
+        const eda::NetworkState forced =
+            net.forced_initial_state({{std::pair{fm.process, fm.state}}});
+        for (VarId v = 0; v < m.vars.size(); ++v) {
+            if (m.vars[v].type.is_timed()) continue;
+            if (!(nominal.values[v] == forced.values[v])) {
+                row.immediate_effects.push_back(m.vars[v].full_name + ": " +
+                                                nominal.values[v].to_string() + " -> " +
+                                                forced.values[v].to_string());
+            }
+        }
+        row.immediate_failure = net.eval_global(forced, *goal);
+        row.failure_probability =
+            row.immediate_failure
+                ? 1.0
+                : estimate_from(net, formula, forced, options, seed + 1);
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(), [](const FmeaRow& a, const FmeaRow& b) {
+        return a.failure_probability > b.failure_probability;
+    });
+    return rows;
+}
+
+std::string format_fmea(const std::vector<FmeaRow>& rows) {
+    std::ostringstream os;
+    os << "component:mode                 P(failure)  baseline  immediate effects\n";
+    for (const auto& r : rows) {
+        std::string label = mode_label(r.mode);
+        label.resize(30, ' ');
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%-11.4f %-9.4f", r.failure_probability,
+                      r.baseline_probability);
+        os << label << ' ' << buf << ' ';
+        if (r.immediate_failure) os << "[IMMEDIATE FAILURE] ";
+        bool first = true;
+        for (const auto& e : r.immediate_effects) {
+            if (!first) os << "; ";
+            first = false;
+            os << e;
+        }
+        if (first) os << "(none)";
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::vector<CutSet> minimal_cut_sets(const eda::Network& net, const expr::ExprPtr& goal,
+                                     int max_order) {
+    const std::vector<FailureMode> modes = failure_modes(net);
+    std::vector<CutSet> result;
+
+    // True if `combo` contains every mode of `smaller` (same process+state).
+    const auto contains_set = [](const std::vector<const FailureMode*>& combo,
+                                 const CutSet& smaller) {
+        for (const FailureMode& need : smaller.modes) {
+            const bool found =
+                std::any_of(combo.begin(), combo.end(), [&](const FailureMode* fm) {
+                    return fm->process == need.process && fm->state == need.state;
+                });
+            if (!found) return false;
+        }
+        return true;
+    };
+
+    // Enumerate strictly by increasing order so that every recorded cut set
+    // is minimal, pruning supersets of previously-found sets.
+    std::vector<const FailureMode*> combo;
+    const auto evaluate_combo = [&] {
+        for (const CutSet& cs : result) {
+            if (contains_set(combo, cs)) return; // superset of a minimal set
+        }
+        std::vector<std::pair<slim::ProcessId, int>> forced;
+        forced.reserve(combo.size());
+        for (const FailureMode* fm : combo) forced.emplace_back(fm->process, fm->state);
+        const eda::NetworkState s = net.forced_initial_state(forced);
+        if (net.eval_global(s, *goal)) {
+            CutSet cs;
+            for (const FailureMode* fm : combo) cs.modes.push_back(*fm);
+            result.push_back(std::move(cs));
+        }
+    };
+    auto choose = [&](auto&& self, std::size_t start, int need) -> void {
+        if (need == 0) {
+            evaluate_combo();
+            return;
+        }
+        for (std::size_t i = start; i < modes.size(); ++i) {
+            // At most one mode per error process.
+            const bool same_proc =
+                std::any_of(combo.begin(), combo.end(), [&](const FailureMode* fm) {
+                    return fm->process == modes[i].process;
+                });
+            if (same_proc) continue;
+            combo.push_back(&modes[i]);
+            self(self, i + 1, need - 1);
+            combo.pop_back();
+        }
+    };
+    for (int order = 1; order <= max_order; ++order) choose(choose, 0, order);
+    return result;
+}
+
+std::string format_cut_sets(const std::vector<CutSet>& sets) {
+    std::ostringstream os;
+    for (const auto& cs : sets) {
+        os << "{ ";
+        bool first = true;
+        for (const auto& fm : cs.modes) {
+            if (!first) os << ", ";
+            first = false;
+            os << mode_label(fm);
+        }
+        os << " }\n";
+    }
+    return os.str();
+}
+
+} // namespace slimsim::safety

@@ -1,0 +1,77 @@
+// Safety analysis: FMEA tables and minimal cut sets (paper, Sec. II-C).
+//
+// The COMPASS toolset generates FMEA (Failure Mode and Effects Analysis)
+// tables and fault trees from models with failure modes. This module
+// provides the corresponding analyses on top of the simulator:
+//
+//  * fmea(): for every failure mode (a non-initial error state of a bound
+//    error model), force the mode at t = 0 and report its immediate effects
+//    on the nominal data (through injections and flows) plus the Monte
+//    Carlo probability that the system-level failure condition is reached
+//    within the mission time given the mode.
+//  * minimal_cut_sets(): minimal combinations of failure modes (at most one
+//    per component) whose *injected* effects alone make the failure
+//    condition true — the static cut sets of the fault tree induced by the
+//    fault injections and data flows. Dynamic effects (monitor reactions,
+//    timed recovery) are deliberately outside this static analysis; use
+//    fmea() probabilities for those.
+#pragma once
+
+#include "sim/runner.hpp"
+
+namespace slimsim::safety {
+
+/// A failure mode: one non-initial state of one bound error model.
+struct FailureMode {
+    slim::ProcessId process = -1;
+    int state = 0;
+    std::string component; // instance path ("" = root)
+    std::string mode;      // error state name
+};
+
+/// Enumerates all failure modes of the model.
+[[nodiscard]] std::vector<FailureMode> failure_modes(const eda::Network& net);
+
+struct FmeaRow {
+    FailureMode mode;
+    /// Data elements whose value differs from nominal at t = 0 with the
+    /// mode active ("name: nominal -> failed").
+    std::vector<std::string> immediate_effects;
+    /// True if the failure condition holds immediately with the mode active.
+    bool immediate_failure = false;
+    /// P( <> [0,u] failure | mode active at t = 0 ), estimated.
+    double failure_probability = 0.0;
+    /// Baseline P( <> [0,u] failure ) without the forced mode, for severity.
+    double baseline_probability = 0.0;
+};
+
+struct FmeaOptions {
+    double delta = 0.1;
+    double eps = 0.02;
+    sim::StrategyKind strategy = sim::StrategyKind::Asap;
+    sim::SimOptions sim;
+};
+
+/// Builds the FMEA table for the failure condition P( <> [0,bound] goal ).
+[[nodiscard]] std::vector<FmeaRow> fmea(const eda::Network& net, const expr::ExprPtr& goal,
+                                        double bound, std::uint64_t seed,
+                                        const FmeaOptions& options = {});
+
+/// Renders the table for terminal output.
+[[nodiscard]] std::string format_fmea(const std::vector<FmeaRow>& rows);
+
+/// A cut set: failure modes (at most one per component) that jointly make
+/// the failure condition true at t = 0.
+struct CutSet {
+    std::vector<FailureMode> modes;
+};
+
+/// Minimal static cut sets up to the given order. Supersets of smaller cut
+/// sets are pruned.
+[[nodiscard]] std::vector<CutSet> minimal_cut_sets(const eda::Network& net,
+                                                   const expr::ExprPtr& goal,
+                                                   int max_order = 2);
+
+[[nodiscard]] std::string format_cut_sets(const std::vector<CutSet>& sets);
+
+} // namespace slimsim::safety

@@ -1,0 +1,55 @@
+#include "sim/hypothesis.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "stat/generators.hpp"
+
+namespace slimsim::sim {
+
+std::string to_string(HypothesisVerdict v) {
+    switch (v) {
+    case HypothesisVerdict::AcceptAbove: return "accept (P >= threshold)";
+    case HypothesisVerdict::AcceptBelow: return "reject (P <= threshold)";
+    case HypothesisVerdict::Inconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
+std::string HypothesisResult::to_string() const {
+    std::ostringstream os;
+    os << slimsim::sim::to_string(verdict) << " at threshold " << threshold << " +- "
+       << indifference << " (alpha = beta = " << delta << ", " << successes << "/"
+       << samples << " paths, strategy " << strategy << ", " << wall_seconds << " s)";
+    return os.str();
+}
+
+HypothesisResult test_hypothesis(const eda::Network& net, const PathFormula& formula,
+                                 StrategyKind strategy, double threshold,
+                                 std::uint64_t seed, const HypothesisOptions& options) {
+    const auto start = std::chrono::steady_clock::now();
+    const stat::Sprt sprt(threshold, options.indifference, options.delta);
+    const auto strat = make_strategy(strategy);
+    const PathGenerator gen(net, formula, *strat, options.sim);
+    Rng rng(seed);
+    stat::BernoulliSummary summary;
+    while (summary.count < options.max_samples && !sprt.should_stop(summary)) {
+        summary.add(gen.run(rng).satisfied);
+    }
+    HypothesisResult result;
+    const int verdict = sprt.verdict(summary);
+    result.verdict = verdict > 0   ? HypothesisVerdict::AcceptAbove
+                     : verdict < 0 ? HypothesisVerdict::AcceptBelow
+                                   : HypothesisVerdict::Inconclusive;
+    result.samples = summary.count;
+    result.successes = summary.successes;
+    result.threshold = threshold;
+    result.indifference = options.indifference;
+    result.delta = options.delta;
+    result.strategy = strat->name();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+} // namespace slimsim::sim

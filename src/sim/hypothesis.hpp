@@ -1,0 +1,53 @@
+// Qualitative statistical analysis: sequential hypothesis testing.
+//
+// The paper (Sec. II-A) distinguishes qualitative analysis — "determining
+// whether a certain property holds or not", generally by hypothesis testing
+// — from the quantitative estimation its tool focuses on. This runner adds
+// the qualitative side with Wald's SPRT: it decides
+//     H0: P(formula) >= threshold + indifference   vs.
+//     H1: P(formula) <= threshold - indifference
+// with error probability delta for both errors, typically needing far fewer
+// paths than estimation to the same confidence.
+#pragma once
+
+#include "sim/path_generator.hpp"
+
+namespace slimsim::sim {
+
+enum class HypothesisVerdict : std::int8_t {
+    AcceptAbove = +1,  // evidence that P >= threshold
+    AcceptBelow = -1,  // evidence that P <= threshold
+    Inconclusive = 0,  // sample budget exhausted inside the indifference region
+};
+
+[[nodiscard]] std::string to_string(HypothesisVerdict v);
+
+struct HypothesisResult {
+    HypothesisVerdict verdict = HypothesisVerdict::Inconclusive;
+    std::size_t samples = 0;
+    std::size_t successes = 0;
+    double threshold = 0.0;
+    double indifference = 0.0;
+    double delta = 0.0;
+    double wall_seconds = 0.0;
+    std::string strategy;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct HypothesisOptions {
+    double indifference = 0.01;
+    double delta = 0.01;
+    std::size_t max_samples = 10'000'000;
+    SimOptions sim;
+};
+
+/// Tests whether P(formula) exceeds `threshold` under the given strategy.
+/// Deterministic in `seed`.
+[[nodiscard]] HypothesisResult test_hypothesis(const eda::Network& net,
+                                               const PathFormula& formula,
+                                               StrategyKind strategy, double threshold,
+                                               std::uint64_t seed,
+                                               const HypothesisOptions& options = {});
+
+} // namespace slimsim::sim

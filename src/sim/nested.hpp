@@ -1,0 +1,83 @@
+// Nested probabilistic operators (paper, Sec. VII-A).
+//
+// The paper's future work asks for "the full spectrum of CSL ... includ[ing]
+// nested operators", noting that nested checking "has a fairly high
+// complexity, but is manageable by using memoization techniques" [Younes].
+// This module implements one level of nesting:
+//
+//     P( <> [0,u]  Phi )   with   Phi ::= atom | P>=theta( path formula )
+//                                      | Phi and Phi | Phi or Phi | not Phi
+//
+// The truth of an inner P>=theta(...) at a visited state is decided by a
+// *sub-simulation* from that state (an SPRT hypothesis test) and memoized by
+// the state's discrete projection. Consequences and restrictions:
+//  * inner path formulas must be discrete-state-dependent only (no clocks or
+//    continuous variables in their atoms) so the memo key is sound;
+//  * the outer goal containing a nested operator is checked at discrete
+//    instants of the path, not continuously along elapses (its truth can
+//    only change at discrete steps, by the restriction above);
+//  * inner verdicts carry the SPRT's error probability; the outer estimate
+//    inherits it (quantified in the returned diagnostics).
+#pragma once
+
+#include "eda/state.hpp"
+#include "sim/hypothesis.hpp"
+
+namespace slimsim::sim {
+
+/// A state formula with (one level of) nested probabilistic operators.
+class StateFormula {
+public:
+    /// Atomic Boolean expression over global names.
+    static StateFormula atom(expr::ExprPtr e);
+    /// P(path) >= threshold, decided by sub-simulation with the given SPRT
+    /// parameters.
+    static StateFormula probability_at_least(PathFormula path, double threshold,
+                                             double indifference = 0.02,
+                                             double delta = 0.01);
+    static StateFormula conjunction(StateFormula a, StateFormula b);
+    static StateFormula disjunction(StateFormula a, StateFormula b);
+    static StateFormula negation(StateFormula a);
+
+    [[nodiscard]] bool has_nested() const;
+
+private:
+    friend class NestedChecker;
+    enum class Kind : std::uint8_t { Atom, Prob, And, Or, Not };
+    Kind kind = Kind::Atom;
+    expr::ExprPtr atom_;
+    std::shared_ptr<PathFormula> inner_;
+    double threshold_ = 0.0;
+    double indifference_ = 0.0;
+    double delta_ = 0.0;
+    std::shared_ptr<StateFormula> a_, b_;
+};
+
+struct NestedOptions {
+    StrategyKind strategy = StrategyKind::Asap;
+    StrategyKind inner_strategy = StrategyKind::Asap;
+    double delta = 0.05;
+    double eps = 0.02;
+    std::size_t inner_max_samples = 200'000;
+    SimOptions sim;
+};
+
+struct NestedResult {
+    double estimate = 0.0;
+    std::size_t samples = 0;
+    std::size_t inner_tests = 0;   // sub-simulations actually run
+    std::size_t memo_hits = 0;     // nested queries answered from the memo
+    std::size_t inner_paths = 0;   // total sub-simulation paths
+    double wall_seconds = 0.0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Estimates P( <> [0,bound] phi ) where phi may contain nested
+/// P>=theta(...) operators. Deterministic in `seed`.
+[[nodiscard]] NestedResult estimate_nested(const eda::Network& net,
+                                           const StateFormula& phi, double bound,
+                                           std::uint64_t seed,
+                                           const NestedOptions& options = {});
+
+} // namespace slimsim::sim

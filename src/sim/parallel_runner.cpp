@@ -1,0 +1,90 @@
+#include "sim/parallel_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "stat/collector.hpp"
+#include "support/memprobe.hpp"
+
+namespace slimsim::sim {
+
+EstimationResult estimate_parallel(const eda::Network& net,
+                                   const TimedReachability& property, StrategyKind strategy,
+                                   const stat::StopCriterion& criterion, std::uint64_t seed,
+                                   const ParallelOptions& options) {
+    if (strategy == StrategyKind::Input) {
+        throw Error("the input strategy cannot be used in parallel runs");
+    }
+    if (options.workers < 1) throw Error("worker count must be at least 1");
+
+    const auto start = std::chrono::steady_clock::now();
+    const Rng master(seed);
+    stat::SampleCollector collector(options.workers);
+    std::atomic<bool> stop{false};
+
+    std::mutex merge_mutex;
+    std::array<std::size_t, kPathTerminalCount> terminals{}; // over *generated* paths
+    std::exception_ptr worker_error;
+
+    std::vector<std::thread> threads;
+    threads.reserve(options.workers);
+    for (std::size_t w = 0; w < options.workers; ++w) {
+        threads.emplace_back([&, w] {
+            try {
+                Rng rng = master.split(w);
+                const auto strat = make_strategy(strategy);
+                const PathGenerator gen(net, property, *strat, options.sim);
+                std::array<std::size_t, kPathTerminalCount> local{};
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const PathOutcome out = gen.run(rng);
+                    local[static_cast<std::size_t>(out.terminal)]++;
+                    collector.push(w, out.satisfied);
+                }
+                std::lock_guard lock(merge_mutex);
+                for (std::size_t i = 0; i < local.size(); ++i) terminals[i] += local[i];
+            } catch (...) {
+                std::lock_guard lock(merge_mutex);
+                if (!worker_error) worker_error = std::current_exception();
+                stop.store(true);
+            }
+        });
+    }
+
+    stat::BernoulliSummary summary;
+    while (!stop.load(std::memory_order_relaxed)) {
+        std::size_t consumed = 0;
+        if (options.collection == CollectionMode::RoundRobin) {
+            // One round at a time, consulting the criterion in between:
+            // the accepted sample set is then deterministic in (seed, k).
+            consumed = collector.drain_rounds(summary, 1);
+        } else {
+            consumed = collector.drain_unordered(summary);
+        }
+        if (consumed > 0 && criterion.should_stop(summary)) {
+            stop.store(true);
+            break;
+        }
+        if (consumed == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (auto& t : threads) t.join();
+    {
+        std::lock_guard lock(merge_mutex);
+        if (worker_error) std::rethrow_exception(worker_error);
+    }
+
+    EstimationResult result;
+    result.estimate = summary.mean();
+    result.samples = summary.count;
+    result.successes = summary.successes;
+    result.strategy = to_string(strategy);
+    result.criterion = criterion.name();
+    result.terminals = terminals;
+    result.peak_rss_bytes = peak_rss_bytes();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+} // namespace slimsim::sim

@@ -1,0 +1,36 @@
+// Parallel Monte Carlo estimation (paper, Sec. III-C).
+//
+// k worker threads generate paths independently (worker i simulates with the
+// RNG stream split(seed, i)); samples are consumed in *rounds* — one sample
+// from every worker per round — via stat::SampleCollector, which removes the
+// completion-order bias of naive parallel collection [21] and makes the
+// result deterministic in (seed, worker count). The biased first-come
+// collection mode is kept for the bias-demonstration bench.
+#pragma once
+
+#include "sim/runner.hpp"
+
+namespace slimsim::sim {
+
+enum class CollectionMode : std::uint8_t {
+    RoundRobin, // unbiased, deterministic in (seed, workers)
+    FirstCome,  // completion-order consumption: biased; for demonstration
+};
+
+struct ParallelOptions {
+    std::size_t workers = 4;
+    CollectionMode collection = CollectionMode::RoundRobin;
+    SimOptions sim;
+};
+
+/// Estimates P( <> [0,u] goal ) with k parallel workers. Each worker uses
+/// its own Strategy instance of the given kind (the Input strategy is not
+/// supported in parallel runs).
+[[nodiscard]] EstimationResult estimate_parallel(const eda::Network& net,
+                                                 const TimedReachability& property,
+                                                 StrategyKind strategy,
+                                                 const stat::StopCriterion& criterion,
+                                                 std::uint64_t seed,
+                                                 const ParallelOptions& options = {});
+
+} // namespace slimsim::sim

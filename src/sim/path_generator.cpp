@@ -1,0 +1,283 @@
+#include "sim/path_generator.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "expr/timeline.hpp"
+
+namespace slimsim::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::string to_string(PathTerminal t) {
+    switch (t) {
+    case PathTerminal::Goal: return "goal";
+    case PathTerminal::TimeBound: return "time-bound";
+    case PathTerminal::Refuted: return "refuted";
+    case PathTerminal::Deadlock: return "deadlock";
+    case PathTerminal::Timelock: return "timelock";
+    }
+    return "?";
+}
+
+PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula,
+                             Strategy& strategy, SimOptions options)
+    : net_(net), formula_(formula), strategy_(strategy), options_(options) {
+    SLIMSIM_ASSERT(formula_.goal != nullptr);
+    SLIMSIM_ASSERT(formula_.kind != FormulaKind::Until || formula_.hold != nullptr);
+}
+
+PathGenerator::MonitorResult PathGenerator::instant_verdict(
+    const eda::NetworkState& s) const {
+    const double t = s.time;
+    switch (formula_.kind) {
+    case FormulaKind::Reach:
+        if (t >= formula_.lo && t <= formula_.bound &&
+            net_.eval_global(s, *formula_.goal)) {
+            return {Verdict::Satisfied, 0.0};
+        }
+        if (t >= formula_.bound) return {Verdict::Refuted, 0.0};
+        return {};
+    case FormulaKind::Until:
+        if (t >= formula_.lo && t <= formula_.bound &&
+            net_.eval_global(s, *formula_.goal)) {
+            return {Verdict::Satisfied, 0.0};
+        }
+        if (!net_.eval_global(s, *formula_.hold)) return {Verdict::Refuted, 0.0};
+        if (t >= formula_.bound) return {Verdict::Refuted, 0.0};
+        return {};
+    case FormulaKind::Globally:
+        if (!net_.eval_global(s, *formula_.goal)) return {Verdict::Refuted, 0.0};
+        if (t >= formula_.bound) return {Verdict::Satisfied, 0.0};
+        return {};
+    }
+    return {};
+}
+
+PathGenerator::MonitorResult PathGenerator::elapse_verdict(const eda::NetworkState& s,
+                                                           double d) const {
+    if (d <= 0.0) return {};
+    std::vector<double> rates;
+    net_.compute_rates(s, rates);
+    const expr::TimedEvalContext ctx{s.values, {}, rates};
+    const double t = s.time;
+    const double to_bound = formula_.bound - t; // > 0 (instant decided otherwise)
+
+    switch (formula_.kind) {
+    case FormulaKind::Reach: {
+        const double win_lo = std::max(0.0, formula_.lo - t);
+        const double win_hi = std::min(d, to_bound);
+        if (win_lo <= win_hi) {
+            const IntervalSet hits =
+                expr::satisfying_times(*formula_.goal, ctx).clamp(win_lo, win_hi);
+            if (const auto e = hits.earliest()) return {Verdict::Satisfied, *e};
+        }
+        if (d >= to_bound) return {Verdict::Refuted, to_bound};
+        return {};
+    }
+    case FormulaKind::Until: {
+        const IntervalSet hold_set = expr::satisfying_times(*formula_.hold, ctx);
+        // hold is true at the current instant (instant_verdict), so the
+        // prefix exists; closure effects can only extend it.
+        const double hold_until = hold_set.prefix_horizon().value_or(0.0);
+        const double win_lo = std::max(0.0, formula_.lo - t);
+        const double win_hi = std::min(d, to_bound);
+        if (win_lo <= win_hi) {
+            const IntervalSet hits =
+                expr::satisfying_times(*formula_.goal, ctx).clamp(win_lo, win_hi);
+            if (const auto e = hits.earliest(); e && *e <= hold_until) {
+                return {Verdict::Satisfied, *e};
+            }
+        }
+        if (hold_until < std::min(d, to_bound)) return {Verdict::Refuted, hold_until};
+        if (d >= to_bound) return {Verdict::Refuted, to_bound};
+        return {};
+    }
+    case FormulaKind::Globally: {
+        const IntervalSet ok_set = expr::satisfying_times(*formula_.goal, ctx);
+        const double ok_until = ok_set.prefix_horizon().value_or(0.0);
+        const double lim = std::min(d, to_bound);
+        if (ok_until < lim) return {Verdict::Refuted, ok_until};
+        if (d >= to_bound) return {Verdict::Satisfied, to_bound};
+        return {};
+    }
+    }
+    return {};
+}
+
+std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng,
+                                                  std::size_t& steps, Trace* trace,
+                                                  std::optional<double>* sched_abs) const {
+    auto finish = [&](bool satisfied, PathTerminal terminal) {
+        PathOutcome out;
+        out.satisfied = satisfied;
+        out.terminal = terminal;
+        out.end_time = s.time;
+        out.steps = steps;
+        if (trace != nullptr) {
+            trace->record(s.time, "path ends: " + to_string(terminal));
+        }
+        return out;
+    };
+    // Classifies a monitor decision into a terminal and finishes.
+    auto finish_decided = [&](const MonitorResult& v) {
+        SLIMSIM_ASSERT(v.verdict != Verdict::Undecided);
+        if (v.verdict == Verdict::Satisfied) return finish(true, PathTerminal::Goal);
+        const bool at_bound = s.time >= formula_.bound - 1e-12;
+        return finish(false, at_bound ? PathTerminal::TimeBound : PathTerminal::Refuted);
+    };
+
+    if (steps > options_.max_steps) {
+        throw Error("path exceeded " + std::to_string(options_.max_steps) +
+                    " discrete steps; the model appears to be Zeno");
+    }
+    if (const MonitorResult v = instant_verdict(s); v.verdict != Verdict::Undecided) {
+        return finish_decided(v);
+    }
+    const double remaining = formula_.bound - s.time; // > 0 here
+
+    // The strategies resolve delays within the *invariant horizon* — a
+    // MaxTime delay may overshoot the formula bound and miss the goal;
+    // that is the strategy's semantics. Only when no invariant
+    // constrains the future does the formula bound cap the window
+    // (delays past it cannot change the verdict).
+    const double horizon = net_.invariant_horizon(s);
+    const double window = std::isinf(horizon) ? remaining : horizon;
+
+    // Markovian race: earliest exponential among rate locations.
+    double t_markov = kInf;
+    eda::ProcessId markov_winner = -1;
+    const auto rates = net_.markovian_rates(s);
+    for (const auto& [proc, rate] : rates) {
+        const double d = rng.exponential(rate);
+        if (d < t_markov) {
+            t_markov = d;
+            markov_winner = proc;
+        }
+    }
+
+    const std::vector<eda::Candidate> cands = net_.candidates(s, window);
+
+    // Strategy choice, honoring the Continue memory policy if an earlier
+    // scheduled time is still ahead and feasible.
+    std::optional<ScheduledChoice> choice;
+    const bool continue_policy =
+        options_.memory == MemoryPolicy::Continue && sched_abs != nullptr;
+    const double sched = continue_policy && *sched_abs ? **sched_abs : -1.0;
+    if (continue_policy && sched >= s.time && sched - s.time <= window) {
+        const double d = sched - s.time;
+        std::vector<int> enabled;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (cands[i].enabled.contains(d)) enabled.push_back(static_cast<int>(i));
+        }
+        if (!enabled.empty()) {
+            choice = ScheduledChoice{d, enabled[rng.uniform_index(enabled.size())]};
+        }
+    }
+    if (!choice) {
+        choice = strategy_.choose(net_, s, cands, window, rng);
+        if (choice && continue_policy) *sched_abs = s.time + choice->delay;
+    }
+    SLIMSIM_ASSERT(!choice || (choice->delay >= 0.0 && choice->delay <= window));
+
+    // If neither the Markovian race nor the strategy schedules anything
+    // before the formula bound, the verdict is decided by pure elapse.
+    const double strategy_delay = choice ? choice->delay : kInf;
+    const double markov_delay = markov_winner >= 0 ? t_markov : kInf;
+    const double next_event = std::min(strategy_delay, markov_delay);
+    if (next_event > remaining && next_event <= window) {
+        const MonitorResult v = elapse_verdict(s, remaining);
+        SLIMSIM_ASSERT(v.verdict != Verdict::Undecided);
+        net_.elapse(s, v.at);
+        return finish_decided(v);
+    }
+
+    const bool markov_first =
+        markov_winner >= 0 && t_markov <= window &&
+        (!choice || t_markov < choice->delay ||
+         (t_markov == choice->delay && rng.bernoulli(0.5)));
+
+    if (markov_first) {
+        if (const MonitorResult v = elapse_verdict(s, t_markov);
+            v.verdict != Verdict::Undecided) {
+            net_.elapse(s, v.at);
+            return finish_decided(v);
+        }
+        net_.elapse(s, t_markov);
+        const eda::StepInfo info = net_.execute_markovian(s, markov_winner, rng);
+        if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
+        ++steps;
+        // Exponential memorylessness makes resampling unbiased; the
+        // Continue policy only preserves the *strategy's* schedule.
+        return std::nullopt;
+    }
+
+    if (choice) {
+        if (const MonitorResult v = elapse_verdict(s, choice->delay);
+            v.verdict != Verdict::Undecided) {
+            net_.elapse(s, v.at);
+            return finish_decided(v);
+        }
+        net_.elapse(s, choice->delay);
+        if (choice->candidate >= 0) {
+            const eda::StepInfo info =
+                net_.execute(s, cands[static_cast<std::size_t>(choice->candidate)], rng);
+            if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
+            if (sched_abs != nullptr) sched_abs->reset();
+        } else if (trace != nullptr) {
+            trace->record(s.time, "delay (no transition chosen)");
+        }
+        ++steps;
+        return std::nullopt;
+    }
+
+    // Nothing can fire within the window.
+    if (const MonitorResult v = elapse_verdict(s, std::min(window, remaining));
+        v.verdict != Verdict::Undecided) {
+        // A decision by pure elapse; classify stuck paths precisely:
+        // a refutation strictly before the bound is a genuine violation
+        // (Refuted); running out of time in a state from which no
+        // discrete step can ever happen again is a Deadlock.
+        const bool nothing_ever = cands.empty() && rates.empty() && horizon == kInf;
+        if (nothing_ever && v.verdict == Verdict::Refuted) {
+            if (options_.deadlock == StuckPolicy::Error) {
+                throw Error("deadlock at t=" + std::to_string(s.time) +
+                            ": no discrete step can ever happen again");
+            }
+            if (v.at >= remaining - 1e-12) {
+                net_.elapse(s, v.at);
+                return finish(false, PathTerminal::Deadlock);
+            }
+        }
+        net_.elapse(s, v.at);
+        return finish_decided(v);
+    }
+    // window < remaining and the monitor is still undecided at the
+    // horizon: the invariant expires with nothing enabled — timelock.
+    SLIMSIM_ASSERT(window < remaining);
+    if (options_.timelock == StuckPolicy::Error) {
+        throw Error("timelock at t=" + std::to_string(s.time + window) +
+                    ": an invariant expires with no enabled transition");
+    }
+    net_.elapse(s, window);
+    return finish(false, PathTerminal::Timelock);
+}
+
+PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
+    eda::NetworkState s = net_.initial_state();
+    std::optional<double> scheduled_abs; // Continue memory policy
+    std::size_t steps = 0;
+    if (trace != nullptr) trace->record(0.0, "initial " + describe_state(net_, s));
+    for (;;) {
+        if (auto out = iterate(s, rng, steps, trace, &scheduled_abs)) return *out;
+    }
+}
+
+std::optional<PathOutcome> PathGenerator::step(eda::NetworkState& state, Rng& rng,
+                                               std::size_t& steps) const {
+    return iterate(state, rng, steps, nullptr, nullptr);
+}
+
+} // namespace slimsim::sim

@@ -1,0 +1,110 @@
+// Discrete-event path generation (paper, Sec. II-E / III).
+//
+// A path alternates timed and discrete transitions. Each iteration:
+//   1. consult the formula monitor at the current instant;
+//   2. compute the invariant horizon H; strategies resolve delays within H
+//      (within the remaining formula time when H is unbounded);
+//   3. sample the Markovian race (one exponential per process in a rate
+//      location) and ask the strategy for a (delay, candidate) choice;
+//   4. fire whichever comes first (ties broken by a fair coin). Formula
+//      satisfaction/refutation is monitored *continuously* along every
+//      elapse (goals may depend on clocks and continuous variables).
+// Paths end when the formula is decided, or with a deadlock (no discrete
+// step can ever happen again; the monitor then decides on the frozen
+// remainder) or a timelock (an invariant expires with nothing enabled;
+// configurable: falsify or error, Sec. III-D).
+#pragma once
+
+#include "sim/property.hpp"
+#include "sim/strategy.hpp"
+#include "sim/trace.hpp"
+
+namespace slimsim::sim {
+
+/// What to do when a path gets stuck (paper, Sec. III-D).
+enum class StuckPolicy : std::uint8_t { Falsify, Error };
+
+/// What happens to the strategy's scheduled delay when a Markovian
+/// transition preempts it: Restart (re-ask the strategy; default) or
+/// Continue (keep the scheduled absolute time if still feasible).
+enum class MemoryPolicy : std::uint8_t { Restart, Continue };
+
+struct SimOptions {
+    StuckPolicy deadlock = StuckPolicy::Falsify;
+    StuckPolicy timelock = StuckPolicy::Falsify;
+    MemoryPolicy memory = MemoryPolicy::Restart;
+    /// Bound on discrete steps per path; exceeding it indicates a Zeno model
+    /// and raises an error.
+    std::size_t max_steps = 1'000'000;
+};
+
+enum class PathTerminal : std::uint8_t {
+    Goal,      // formula satisfied
+    TimeBound, // refuted at the time bound (nothing more could happen)
+    Refuted,   // refuted strictly before the bound (Until/Globally violation)
+    Deadlock,  // no discrete step can ever happen again
+    Timelock,  // an invariant expired with nothing enabled
+};
+inline constexpr std::size_t kPathTerminalCount = 5;
+
+[[nodiscard]] std::string to_string(PathTerminal t);
+
+struct PathOutcome {
+    bool satisfied = false;
+    PathTerminal terminal = PathTerminal::TimeBound;
+    double end_time = 0.0;
+    std::size_t steps = 0;
+};
+
+class PathGenerator {
+public:
+    /// `strategy` must outlive the generator; it is shared across paths
+    /// (strategies are stateless apart from Input callbacks).
+    PathGenerator(const eda::Network& net, const PathFormula& formula,
+                  Strategy& strategy, SimOptions options = {});
+
+    /// Simulates one path.
+    [[nodiscard]] PathOutcome run(Rng& rng) const { return run_impl(rng, nullptr); }
+
+    /// Simulates one path, recording every step into `trace`.
+    [[nodiscard]] PathOutcome run_traced(Rng& rng, Trace& trace) const {
+        return run_impl(rng, &trace);
+    }
+
+    /// Stepping interface for advanced drivers (importance splitting):
+    /// advances `state` by exactly one simulation iteration — one discrete
+    /// step, one pure delay, or a final elapse deciding the formula. Returns
+    /// the outcome once the path has ended, nullopt while it continues.
+    /// `steps` counts discrete steps (Zeno guard). Uses the Restart memory
+    /// policy regardless of options.
+    [[nodiscard]] std::optional<PathOutcome> step(eda::NetworkState& state, Rng& rng,
+                                                  std::size_t& steps) const;
+
+    [[nodiscard]] const eda::Network& network() const { return net_; }
+    [[nodiscard]] const PathFormula& formula() const { return formula_; }
+
+private:
+    enum class Verdict : std::uint8_t { Undecided, Satisfied, Refuted };
+    struct MonitorResult {
+        Verdict verdict = Verdict::Undecided;
+        double at = 0.0; // delay (relative to the current instant) of the decision
+    };
+
+    [[nodiscard]] PathOutcome run_impl(Rng& rng, Trace* trace) const;
+    /// One simulation iteration; shared by run_impl and step().
+    [[nodiscard]] std::optional<PathOutcome> iterate(eda::NetworkState& s, Rng& rng,
+                                                     std::size_t& steps, Trace* trace,
+                                                     std::optional<double>* sched_abs) const;
+    /// Formula verdict at the current instant.
+    [[nodiscard]] MonitorResult instant_verdict(const eda::NetworkState& s) const;
+    /// Formula verdict along the elapse segment (0, d] from the current
+    /// state (constant derivatives; solved exactly).
+    [[nodiscard]] MonitorResult elapse_verdict(const eda::NetworkState& s, double d) const;
+
+    const eda::Network& net_;
+    const PathFormula& formula_;
+    Strategy& strategy_;
+    SimOptions options_;
+};
+
+} // namespace slimsim::sim

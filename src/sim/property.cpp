@@ -1,0 +1,106 @@
+#include "sim/property.hpp"
+
+#include <sstream>
+
+#include "slim/parser.hpp"
+#include "slim/resolver.hpp"
+
+namespace slimsim::sim {
+
+namespace {
+
+/// Symbol table over all global variables, with slot i == VarId i, so that
+/// resolved goals evaluate with identity (empty) bindings.
+slim::SymbolTable global_symbols(const slim::InstanceModel& model) {
+    slim::SymbolTable table;
+    for (const auto& v : model.vars) {
+        slim::Symbol sym;
+        sym.name = v.full_name;
+        sym.kind = slim::SymKind::Data;
+        sym.type = v.type;
+        table.add(std::move(sym));
+    }
+    return table;
+}
+
+expr::ExprPtr resolve_source(const slim::InstanceModel& model, std::string_view source) {
+    return resolve_goal(model, slim::parse_expression(source, "<property>"));
+}
+
+void check_interval(double lo, double hi) {
+    if (!(hi > 0.0)) throw Error("property time bound must be positive");
+    if (lo < 0.0 || lo > hi) throw Error("property time interval must satisfy 0 <= lo <= hi");
+}
+
+} // namespace
+
+std::string to_string(FormulaKind k) {
+    switch (k) {
+    case FormulaKind::Reach: return "reach";
+    case FormulaKind::Until: return "until";
+    case FormulaKind::Globally: return "globally";
+    }
+    return "?";
+}
+
+expr::ExprPtr resolve_goal(const slim::InstanceModel& model, expr::ExprPtr goal) {
+    SLIMSIM_ASSERT(goal != nullptr);
+    const slim::SymbolTable table = global_symbols(model);
+    DiagnosticSink sink;
+    slim::resolve_expr(*goal, table, sink);
+    sink.throw_if_errors("property resolution");
+    if (!goal->type.is_bool()) {
+        throw Error(goal->loc, "property goal must be a Boolean expression");
+    }
+    return goal;
+}
+
+TimedReachability make_reachability(const slim::InstanceModel& model,
+                                    std::string_view goal_source, double bound) {
+    return make_reachability_interval(model, goal_source, 0.0, bound);
+}
+
+PathFormula make_reachability_interval(const slim::InstanceModel& model,
+                                       std::string_view goal_source, double lo,
+                                       double hi) {
+    check_interval(lo, hi);
+    PathFormula f;
+    f.kind = FormulaKind::Reach;
+    f.goal = resolve_source(model, goal_source);
+    f.lo = lo;
+    f.bound = hi;
+    std::ostringstream os;
+    os << "<> [" << lo << "," << hi << "] " << goal_source;
+    f.text = os.str();
+    return f;
+}
+
+PathFormula make_until(const slim::InstanceModel& model, std::string_view hold_source,
+                       std::string_view goal_source, double lo, double hi) {
+    check_interval(lo, hi);
+    PathFormula f;
+    f.kind = FormulaKind::Until;
+    f.hold = resolve_source(model, hold_source);
+    f.goal = resolve_source(model, goal_source);
+    f.lo = lo;
+    f.bound = hi;
+    std::ostringstream os;
+    os << "(" << hold_source << ") U [" << lo << "," << hi << "] (" << goal_source << ")";
+    f.text = os.str();
+    return f;
+}
+
+PathFormula make_globally(const slim::InstanceModel& model, std::string_view goal_source,
+                          double bound) {
+    check_interval(0.0, bound);
+    PathFormula f;
+    f.kind = FormulaKind::Globally;
+    f.goal = resolve_source(model, goal_source);
+    f.bound = bound;
+    std::ostringstream os;
+    os << "[] [0," << bound << "] " << goal_source;
+    f.text = os.str();
+    return f;
+}
+
+} // namespace slimsim::sim

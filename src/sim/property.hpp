@@ -1,0 +1,61 @@
+// Path properties checked by the simulator.
+//
+// The paper's tool checks timed reachability P( <> [0,u] goal ); its future
+// work section asks for a fuller CSL fragment. We support three time-bounded
+// path formulas (all with exact continuous-time monitoring along paths,
+// including goals over clocks/continuous variables):
+//   Reach:    <> [lo,hi] goal            (lo = 0 gives the paper's property)
+//   Until:    hold U [lo,hi] goal
+//   Globally: [] [0,hi] goal
+#pragma once
+
+#include <string_view>
+
+#include "slim/instantiate.hpp"
+
+namespace slimsim::sim {
+
+enum class FormulaKind : std::uint8_t { Reach, Until, Globally };
+
+[[nodiscard]] std::string to_string(FormulaKind k);
+
+/// A time-bounded path formula; expressions are resolved with identity
+/// bindings (slot == VarId).
+struct PathFormula {
+    FormulaKind kind = FormulaKind::Reach;
+    expr::ExprPtr hold; // Until: the left-hand side; null otherwise
+    expr::ExprPtr goal; // Reach/Until target; Globally: the invariant
+    double lo = 0.0;    // lower time bound (Reach/Until)
+    double bound = 0.0; // upper time bound
+    std::string text;   // original spelling, for reports
+};
+
+/// The paper's property type: P( <> [0,u] goal ).
+using TimedReachability = PathFormula;
+
+/// P( <> [0,bound] goal ). Throws slimsim::Error on unknown names, type
+/// errors or a non-positive bound.
+[[nodiscard]] TimedReachability make_reachability(const slim::InstanceModel& model,
+                                                  std::string_view goal_source,
+                                                  double bound);
+
+/// P( <> [lo,hi] goal ) with 0 <= lo <= hi.
+[[nodiscard]] PathFormula make_reachability_interval(const slim::InstanceModel& model,
+                                                     std::string_view goal_source,
+                                                     double lo, double hi);
+
+/// P( hold U [lo,hi] goal ).
+[[nodiscard]] PathFormula make_until(const slim::InstanceModel& model,
+                                     std::string_view hold_source,
+                                     std::string_view goal_source, double lo, double hi);
+
+/// P( [] [0,bound] goal ).
+[[nodiscard]] PathFormula make_globally(const slim::InstanceModel& model,
+                                        std::string_view goal_source, double bound);
+
+/// Resolves an already-parsed Boolean expression against the model's global
+/// variable table (identity bindings).
+[[nodiscard]] expr::ExprPtr resolve_goal(const slim::InstanceModel& model,
+                                         expr::ExprPtr goal);
+
+} // namespace slimsim::sim

@@ -1,0 +1,48 @@
+#include "sim/runner.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/memprobe.hpp"
+
+namespace slimsim::sim {
+
+std::string EstimationResult::to_string() const {
+    std::ostringstream os;
+    os << "p^ = " << estimate << " (" << successes << "/" << samples << " paths, strategy "
+       << strategy << ", " << criterion << ", " << wall_seconds << " s)";
+    return os.str();
+}
+
+EstimationResult estimate(const eda::Network& net, const TimedReachability& property,
+                          Strategy& strategy, const stat::StopCriterion& criterion,
+                          std::uint64_t seed, const SimOptions& options) {
+    const auto start = std::chrono::steady_clock::now();
+    PathGenerator gen(net, property, strategy, options);
+    Rng rng(seed);
+    stat::BernoulliSummary summary;
+    EstimationResult result;
+    while (!criterion.should_stop(summary)) {
+        const PathOutcome out = gen.run(rng);
+        summary.add(out.satisfied);
+        ++result.terminals[static_cast<std::size_t>(out.terminal)];
+    }
+    result.estimate = summary.mean();
+    result.samples = summary.count;
+    result.successes = summary.successes;
+    result.strategy = strategy.name();
+    result.criterion = criterion.name();
+    result.peak_rss_bytes = peak_rss_bytes();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+EstimationResult estimate(const eda::Network& net, const TimedReachability& property,
+                          StrategyKind strategy, const stat::StopCriterion& criterion,
+                          std::uint64_t seed, const SimOptions& options) {
+    const auto strat = make_strategy(strategy);
+    return estimate(net, property, *strat, criterion, seed, options);
+}
+
+} // namespace slimsim::sim

@@ -1,0 +1,40 @@
+// Sequential Monte Carlo estimation runner.
+#pragma once
+
+#include <array>
+
+#include "sim/path_generator.hpp"
+#include "stat/generators.hpp"
+
+namespace slimsim::sim {
+
+struct EstimationResult {
+    double estimate = 0.0;
+    std::size_t samples = 0;
+    std::size_t successes = 0;
+    double wall_seconds = 0.0;
+    std::size_t peak_rss_bytes = 0;
+    std::string strategy;
+    std::string criterion;
+    /// How each path terminated (indexed by PathTerminal).
+    std::array<std::size_t, kPathTerminalCount> terminals{};
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Estimates P( <> [0,u] goal ) by sequential Monte Carlo until the stopping
+/// criterion is met. Deterministic in `seed`.
+[[nodiscard]] EstimationResult estimate(const eda::Network& net,
+                                        const TimedReachability& property,
+                                        Strategy& strategy,
+                                        const stat::StopCriterion& criterion,
+                                        std::uint64_t seed, const SimOptions& options = {});
+
+/// Convenience overload constructing the strategy from its kind.
+[[nodiscard]] EstimationResult estimate(const eda::Network& net,
+                                        const TimedReachability& property,
+                                        StrategyKind strategy,
+                                        const stat::StopCriterion& criterion,
+                                        std::uint64_t seed, const SimOptions& options = {});
+
+} // namespace slimsim::sim

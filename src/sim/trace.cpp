@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace slimsim::sim {
+
+std::string Trace::to_string() const {
+    std::ostringstream os;
+    for (const auto& s : steps_) {
+        os << "[t=" << s.time << "] " << s.description << '\n';
+    }
+    return os.str();
+}
+
+std::string describe_step(const eda::Network& net, const eda::StepInfo& info) {
+    const auto& m = net.model();
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [pid, t] : info.fired) {
+        const auto& p = m.processes[static_cast<std::size_t>(pid)];
+        const auto& tr = p.transitions[static_cast<std::size_t>(t)];
+        if (!first) os << "; ";
+        first = false;
+        os << p.name << ": " << p.locations[static_cast<std::size_t>(tr.src)].name << " -> "
+           << p.locations[static_cast<std::size_t>(tr.dst)].name;
+        if (!tr.label.empty()) os << " [" << tr.label << "]";
+        if (tr.markovian()) os << " (rate " << tr.rate << ")";
+    }
+    if (first) os << "(no transition)";
+    return os.str();
+}
+
+std::string describe_state(const eda::Network& net, const eda::NetworkState& state,
+                           std::size_t max_vars) {
+    const auto& m = net.model();
+    std::ostringstream os;
+    os << "t=" << state.time;
+    for (std::size_t p = 0; p < m.processes.size(); ++p) {
+        os << ' ' << m.processes[p].name << '@'
+           << m.processes[p].locations[static_cast<std::size_t>(state.locations[p])].name;
+    }
+    std::size_t shown = 0;
+    for (std::size_t v = 0; v < m.vars.size() && shown < max_vars; ++v) {
+        if (m.vars[v].full_name.find("@timer") != std::string::npos) continue;
+        os << ' ' << m.vars[v].full_name << '=' << state.values[v].to_string();
+        ++shown;
+    }
+    return os.str();
+}
+
+} // namespace slimsim::sim

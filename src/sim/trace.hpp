@@ -1,0 +1,37 @@
+// Human-readable recording of one simulated path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eda/network.hpp"
+
+namespace slimsim::sim {
+
+struct TraceStep {
+    double time = 0.0;
+    std::string description;
+};
+
+class Trace {
+public:
+    void record(double time, std::string description) {
+        steps_.push_back({time, std::move(description)});
+    }
+
+    [[nodiscard]] const std::vector<TraceStep>& steps() const { return steps_; }
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<TraceStep> steps_;
+};
+
+/// Describes a fired step: "gps1: acquisition -> active [fix]; ...".
+[[nodiscard]] std::string describe_step(const eda::Network& net, const eda::StepInfo& info);
+
+/// One-line state summary of selected variables ("name=value ...").
+[[nodiscard]] std::string describe_state(const eda::Network& net,
+                                         const eda::NetworkState& state,
+                                         std::size_t max_vars = 16);
+
+} // namespace slimsim::sim

@@ -1,0 +1,31 @@
+// VCD (Value Change Dump) export of simulated paths.
+//
+// Writes one simulated path as an IEEE-1364 VCD waveform so the evolution of
+// the model's data elements and process locations can be inspected in any
+// waveform viewer (GTKWave etc.) — the batch-friendly counterpart of the
+// paper's interactive GUI inspection (Fig. 1).
+//
+// Booleans map to 1-bit wires, integers to 64-bit registers, reals/clocks/
+// continuous variables to VCD `real` signals sampled at every discrete event
+// (VCD has no native piecewise-linear encoding; between events a linear ramp
+// is implied by the model semantics). Process locations are emitted as
+// integer signals (the location index).
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/path_generator.hpp"
+
+namespace slimsim::sim {
+
+struct VcdOptions {
+    /// Timescale of one VCD tick in seconds (default: 1 ms resolution).
+    double tick_seconds = 1e-3;
+};
+
+/// Runs one path with the given generator/RNG and streams it as VCD.
+/// Returns the path outcome.
+PathOutcome write_vcd(const PathGenerator& gen, Rng& rng, std::ostream& out,
+                      const VcdOptions& options = {});
+
+} // namespace slimsim::sim

@@ -1,0 +1,31 @@
+#include "slim/ast.hpp"
+
+namespace slimsim::slim {
+
+std::string to_string(Category c) {
+    switch (c) {
+    case Category::System: return "system";
+    case Category::Device: return "device";
+    case Category::Processor: return "processor";
+    case Category::Process: return "process";
+    case Category::Thread: return "thread";
+    case Category::Bus: return "bus";
+    case Category::Memory: return "memory";
+    case Category::Abstract: return "abstract";
+    }
+    return "?";
+}
+
+std::optional<Category> category_from(std::string_view folded_word) {
+    if (folded_word == "system") return Category::System;
+    if (folded_word == "device") return Category::Device;
+    if (folded_word == "processor") return Category::Processor;
+    if (folded_word == "process") return Category::Process;
+    if (folded_word == "thread") return Category::Thread;
+    if (folded_word == "bus") return Category::Bus;
+    if (folded_word == "memory") return Category::Memory;
+    if (folded_word == "abstract") return Category::Abstract;
+    return std::nullopt;
+}
+
+} // namespace slimsim::slim

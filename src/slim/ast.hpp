@@ -1,0 +1,223 @@
+// Declaration-level AST of a SLIM model file.
+//
+// Our concrete dialect (documented in docs/slim-language.md) covers the
+// subset the paper's tool supports: component types with event/data port
+// features; implementations with data subcomponents (bool / ranged int /
+// real / clock / continuous), component subcomponents with mode-dependent
+// activation (dynamic reconfiguration), data & event port connections,
+// flows, modes with invariants ("while" clauses), guarded transitions with
+// effects, mode-dependent trends (derivatives); error models with error
+// states, error events (optionally Poisson-distributed), error propagations;
+// and a fault-injection block binding error models to components.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/ast.hpp"
+
+namespace slimsim::slim {
+
+enum class Category : std::uint8_t {
+    System, Device, Processor, Process, Thread, Bus, Memory, Abstract,
+};
+
+[[nodiscard]] std::string to_string(Category c);
+[[nodiscard]] std::optional<Category> category_from(std::string_view folded_word);
+
+enum class PortDir : std::uint8_t { In, Out };
+
+/// A feature of a component type: an event port or a data port.
+struct FeatureDecl {
+    std::string name;
+    SourceLoc loc;
+    bool is_event = false;
+    PortDir dir = PortDir::In;
+    Type data_type;                 // data ports only
+    expr::ExprPtr default_value;    // data ports only; may be null
+};
+
+/// A data subcomponent (a state variable).
+struct DataDecl {
+    std::string name;
+    SourceLoc loc;
+    Type type;
+    expr::ExprPtr default_value; // may be null -> type default
+};
+
+/// A component subcomponent, optionally active only in some parent modes.
+struct SubcompDecl {
+    std::string name;
+    SourceLoc loc;
+    Category category = Category::System;
+    std::string type_name; // "Type" or "Type.Impl"
+    std::vector<std::string> in_modes; // empty = active in all modes
+};
+
+struct ModeDecl {
+    std::string name;
+    SourceLoc loc;
+    bool initial = false;
+    expr::ExprPtr invariant; // may be null -> true
+};
+
+/// Reference to a port: `port` (own feature) or `sub.port`.
+struct PortRef {
+    std::string component; // empty = the declaring component itself
+    std::string port;
+    SourceLoc loc;
+
+    [[nodiscard]] std::string to_string() const {
+        return component.empty() ? port : component + "." + port;
+    }
+};
+
+struct ConnectionDecl {
+    bool is_event = false;
+    PortRef src;
+    PortRef dst;
+    std::vector<std::string> in_modes; // empty = all modes
+    SourceLoc loc;
+};
+
+/// Immediate data flow: target port := expression over data elements,
+/// re-evaluated whenever the model takes a discrete step.
+struct FlowDecl {
+    PortRef target;
+    expr::ExprPtr value;
+    std::vector<std::string> in_modes;
+    SourceLoc loc;
+};
+
+enum class TriggerKind : std::uint8_t {
+    Internal,     // no event: tau
+    Port,         // event port (nominal) / error event / propagation (error)
+    Activation,   // reserved @activation broadcast
+    Deactivation, // reserved @deactivation broadcast
+};
+
+struct Trigger {
+    TriggerKind kind = TriggerKind::Internal;
+    PortRef port; // for TriggerKind::Port
+    SourceLoc loc;
+};
+
+struct AssignDecl {
+    PortRef target;
+    expr::ExprPtr value;
+    SourceLoc loc;
+};
+
+struct TransitionDecl {
+    std::string src;
+    std::string dst;
+    SourceLoc loc;
+    Trigger trigger;
+    expr::ExprPtr guard; // may be null -> true
+    std::vector<AssignDecl> effects;
+};
+
+/// Derivative specification: `v' = <const-expr> in m1, m2;` (continuous vars).
+struct TrendDecl {
+    std::string var;
+    expr::ExprPtr rate;
+    std::vector<std::string> modes; // empty = all modes
+    SourceLoc loc;
+};
+
+struct ComponentType {
+    Category category = Category::System;
+    std::string name;
+    SourceLoc loc;
+    std::vector<FeatureDecl> features;
+};
+
+struct ComponentImpl {
+    Category category = Category::System;
+    std::string type_name;
+    std::string impl_name;
+    SourceLoc loc;
+    std::vector<DataDecl> data;
+    std::vector<SubcompDecl> subcomponents;
+    std::vector<ConnectionDecl> connections;
+    std::vector<FlowDecl> flows;
+    std::vector<ModeDecl> modes;
+    std::vector<TransitionDecl> transitions;
+    std::vector<TrendDecl> trends;
+
+    [[nodiscard]] std::string full_name() const { return type_name + "." + impl_name; }
+};
+
+// --- Error models ---------------------------------------------------------
+
+struct ErrorStateDecl {
+    std::string name;
+    SourceLoc loc;
+    bool initial = false;
+    expr::ExprPtr invariant; // may be null
+};
+
+struct PropagationDecl {
+    std::string name;
+    SourceLoc loc;
+    PortDir dir = PortDir::Out;
+};
+
+struct ErrorModelType {
+    std::string name;
+    SourceLoc loc;
+    std::vector<ErrorStateDecl> states;
+    std::vector<PropagationDecl> propagations;
+};
+
+/// An error event; with a rate it fires with an exponential distribution,
+/// without one it is a non-deterministic internal event.
+struct ErrorEventDecl {
+    std::string name;
+    SourceLoc loc;
+    std::optional<double> rate; // canonical unit: events per second
+};
+
+struct ErrorModelImpl {
+    std::string type_name;
+    std::string impl_name;
+    SourceLoc loc;
+    std::vector<ErrorEventDecl> events;
+    std::vector<DataDecl> data;
+    std::vector<TransitionDecl> transitions;
+    std::vector<TrendDecl> trends;
+
+    [[nodiscard]] std::string full_name() const { return type_name + "." + impl_name; }
+};
+
+// --- Fault injection block -------------------------------------------------
+
+/// `component <path> uses error model <Impl>;`
+struct ErrorBindingDecl {
+    std::vector<std::string> component_path; // from the root system, may be empty
+    std::string error_impl;                  // "Type.Impl"
+    SourceLoc loc;
+};
+
+/// `component <path> in state <s> effect <var> := <expr>;`
+struct InjectionDecl {
+    std::vector<std::string> component_path;
+    std::string state;
+    std::string target_var; // data element of the bound component
+    expr::ExprPtr value;
+    SourceLoc loc;
+};
+
+/// A parsed SLIM model file (pre-resolution).
+struct ModelFile {
+    std::vector<ComponentType> component_types;
+    std::vector<ComponentImpl> component_impls;
+    std::vector<ErrorModelType> error_types;
+    std::vector<ErrorModelImpl> error_impls;
+    std::vector<ErrorBindingDecl> error_bindings;
+    std::vector<InjectionDecl> injections;
+    std::string root; // "Type.Impl"; empty = sole/last system implementation
+};
+
+} // namespace slimsim::slim

@@ -1,0 +1,223 @@
+#include "slim/extension.hpp"
+
+#include <algorithm>
+
+#include "expr/eval.hpp"
+
+namespace slimsim::slim {
+
+namespace {
+
+Value const_eval_resolved(const expr::Expr& e) {
+    return expr::evaluate(e, expr::EvalContext{{}, {}});
+}
+
+std::string join_path(const std::vector<std::string>& parts) {
+    std::string out;
+    for (const auto& p : parts) {
+        if (!out.empty()) out += '.';
+        out += p;
+    }
+    return out;
+}
+
+/// Builds one error process for `binding`, appends its variables and returns
+/// its ProcessId. `channel_of` interns propagation names as channels.
+ProcessId build_error_process(InstanceModel& m, const ResolvedErrorImpl& eimpl,
+                              InstanceId host,
+                              std::unordered_map<std::string, ChannelId>& channel_ids) {
+    Instance& inst = m.instances[static_cast<std::size_t>(host)];
+    const std::string prefix = inst.path.empty() ? "#error" : inst.path + "#error";
+
+    InstProcess p;
+    p.name = prefix;
+    p.instance = host;
+    p.is_error = true;
+    p.initial_location = eimpl.initial_state;
+
+    // Variables and bindings.
+    auto bindings = std::make_shared<std::vector<VarId>>();
+    std::unordered_map<std::string, VarId> own;
+    for (const Symbol& sym : eimpl.symbols.all()) {
+        GlobalVar var;
+        var.full_name = prefix + "." + sym.name;
+        var.type = sym.type;
+        var.owner = host;
+        var.init = sym.default_value
+                       ? const_eval_resolved(*sym.default_value).coerce_to(sym.type)
+                       : Value::default_for(sym.type);
+        const auto id = static_cast<VarId>(m.vars.size());
+        own.emplace(sym.name, id);
+        bindings->push_back(id);
+        m.vars.push_back(std::move(var));
+        m.var_by_name.emplace(m.vars.back().full_name, id);
+    }
+    p.bindings = bindings;
+    p.timer = own.at("@timer");
+
+    // Locations: error states, their invariants and derivative tables.
+    const std::size_t n_states = eimpl.state_names.size();
+    std::vector<std::vector<std::pair<VarId, double>>> rates(n_states);
+    for (const DataDecl& d : eimpl.impl->data) {
+        if (d.type.kind == TypeKind::Clock) {
+            for (auto& r : rates) r.emplace_back(own.at(d.name), 1.0);
+        }
+    }
+    for (const TrendDecl& t : eimpl.impl->trends) {
+        const VarId v = own.at(t.var);
+        const double slope = const_eval_resolved(*t.rate).as_real();
+        if (t.modes.empty()) {
+            for (auto& r : rates) r.emplace_back(v, slope);
+        } else {
+            for (const auto& sn : t.modes) {
+                rates[static_cast<std::size_t>(eimpl.state_index.at(sn))].emplace_back(v,
+                                                                                       slope);
+            }
+        }
+    }
+    for (auto& r : rates) r.emplace_back(p.timer, 1.0);
+
+    for (std::size_t s = 0; s < n_states; ++s) {
+        InstLocation loc;
+        loc.name = eimpl.state_names[s];
+        loc.invariant = eimpl.state_invariants[s];
+        loc.rates = std::move(rates[s]);
+        p.locations.push_back(std::move(loc));
+    }
+
+    // Transitions.
+    for (const TransitionDecl& t : eimpl.impl->transitions) {
+        InstTransition tr;
+        tr.src = eimpl.state_index.at(t.src);
+        tr.dst = eimpl.state_index.at(t.dst);
+        tr.loc = t.loc;
+        tr.guard = t.guard;
+        switch (t.trigger.kind) {
+        case TriggerKind::Internal:
+            break;
+        case TriggerKind::Port: {
+            const std::string& name = t.trigger.port.port;
+            if (const auto ev = eimpl.events.find(name); ev != eimpl.events.end()) {
+                tr.label = name;
+                if (ev->second->rate) tr.rate = *ev->second->rate;
+            } else {
+                const PortDir dir = eimpl.propagations.at(name);
+                const auto [it, inserted] =
+                    channel_ids.emplace(name, static_cast<ChannelId>(m.channels.size()));
+                if (inserted) m.channels.push_back({name});
+                tr.channel = it->second;
+                tr.role = dir;
+                tr.label = name;
+            }
+            break;
+        }
+        case TriggerKind::Activation:
+            tr.trigger = TriggerClass::OnActivate;
+            tr.label = "@activation";
+            break;
+        case TriggerKind::Deactivation:
+            tr.trigger = TriggerClass::OnDeactivate;
+            tr.label = "@deactivation";
+            break;
+        }
+        for (const AssignDecl& a : t.effects) {
+            InstAssign ia;
+            ia.target = *eimpl.symbols.slot_of(a.target.to_string());
+            ia.value = a.value;
+            tr.effects.push_back(std::move(ia));
+        }
+        p.transitions.push_back(std::move(tr));
+    }
+
+    const auto pid = static_cast<ProcessId>(m.processes.size());
+    inst.error_process = pid;
+    m.processes.push_back(std::move(p));
+    return pid;
+}
+
+/// Error processes of sibling, parent and child instances of `host`.
+std::vector<ProcessId> neighbour_error_processes(const InstanceModel& m, InstanceId host) {
+    std::vector<ProcessId> peers;
+    const Instance& inst = m.instances[static_cast<std::size_t>(host)];
+    auto add = [&](InstanceId other) {
+        if (other == host) return;
+        const ProcessId ep = m.instances[static_cast<std::size_t>(other)].error_process;
+        if (ep >= 0) peers.push_back(ep);
+    };
+    if (inst.parent >= 0) {
+        add(inst.parent);
+        for (const InstanceId sib : m.instances[static_cast<std::size_t>(inst.parent)].children) {
+            add(sib);
+        }
+    }
+    for (const InstanceId child : inst.children) add(child);
+    std::sort(peers.begin(), peers.end());
+    peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+    return peers;
+}
+
+} // namespace
+
+void extend_model(InstanceModel& m, const ResolvedModel& r) {
+    std::unordered_map<std::string, ChannelId> channel_ids;
+    std::unordered_map<ProcessId, const ResolvedErrorImpl*> impl_of_process;
+
+    for (const ErrorBindingDecl& b : r.file.error_bindings) {
+        const std::string path = join_path(b.component_path);
+        const InstanceId host = m.instance(path); // throws on unknown path
+        if (m.instances[static_cast<std::size_t>(host)].error_process >= 0) {
+            throw Error(b.loc, "component `" + (path.empty() ? "root" : path) +
+                                   "` already has an error model");
+        }
+        const ResolvedErrorImpl& eimpl = r.error_impl_of(b.error_impl);
+        const ProcessId pid = build_error_process(m, eimpl, host, channel_ids);
+        impl_of_process.emplace(pid, &eimpl);
+    }
+
+    // Propagation neighbourhoods (sender -> candidate receivers).
+    for (auto& [pid, eimpl] : impl_of_process) {
+        (void)eimpl;
+        InstProcess& p = m.processes[static_cast<std::size_t>(pid)];
+        p.propagation_peers = neighbour_error_processes(m, p.instance);
+    }
+
+    // Fault injections.
+    for (const InjectionDecl& inj : r.file.injections) {
+        const std::string path = join_path(inj.component_path);
+        const InstanceId host = m.instance(path);
+        const Instance& inst = m.instances[static_cast<std::size_t>(host)];
+        if (inst.error_process < 0) {
+            throw Error(inj.loc, "fault injection into `" + (path.empty() ? "root" : path) +
+                                     "`, which has no error model bound");
+        }
+        const ResolvedErrorImpl& eimpl = *impl_of_process.at(inst.error_process);
+        const auto state_it = eimpl.state_index.find(inj.state);
+        if (state_it == eimpl.state_index.end()) {
+            throw Error(inj.loc, "error model of `" + path + "` has no state `" + inj.state +
+                                     "`");
+        }
+        const auto var_it = inst.own_vars.find(inj.target_var);
+        if (var_it == inst.own_vars.end()) {
+            throw Error(inj.loc, "component `" + path + "` has no data element `" +
+                                     inj.target_var + "`");
+        }
+        const VarId target = var_it->second;
+        if (m.vars[target].type.is_timed()) {
+            throw Error(inj.loc, "fault injection target must not be a clock or "
+                                 "continuous variable");
+        }
+        // The injection value must be a constant expression.
+        DiagnosticSink sink;
+        resolve_const_expr(*inj.value, sink);
+        sink.throw_if_errors("fault injection");
+        Injection out;
+        out.process = inst.error_process;
+        out.state = state_it->second;
+        out.target = target;
+        out.value = const_eval_resolved(*inj.value).coerce_to(m.vars[target].type);
+        out.restore = m.vars[target].init;
+        m.injections.push_back(out);
+    }
+}
+
+} // namespace slimsim::slim

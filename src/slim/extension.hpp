@@ -1,0 +1,19 @@
+// Model extension: attaches error models to component instances.
+//
+// Implements the COMPASS "model extension" step: each error-model binding
+// becomes an additional process running in parallel with its host component;
+// error propagations become broadcast channels between error models of
+// neighbouring (sibling / parent / child) components; fault injections
+// become state-entry effects forcing nominal data elements to failure values
+// (restored to their nominal defaults when the error state is left).
+#pragma once
+
+#include "slim/instantiate.hpp"
+
+namespace slimsim::slim {
+
+/// Applies all error bindings and fault injections of the model file to an
+/// instance model under construction. Called by instantiate().
+void extend_model(InstanceModel& m, const ResolvedModel& r);
+
+} // namespace slimsim::slim

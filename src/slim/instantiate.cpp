@@ -1,0 +1,509 @@
+#include "slim/instantiate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "expr/eval.hpp"
+#include "slim/extension.hpp"
+
+namespace slimsim::slim {
+
+namespace {
+
+Value const_eval(const expr::Expr& e) {
+    return expr::evaluate(e, expr::EvalContext{{}, {}});
+}
+
+void check_range(const Type& t, const Value& v, const std::string& name,
+                 const SourceLoc& loc) {
+    if (!t.is_int() || !t.lo) return;
+    const std::int64_t i = v.as_int();
+    if (i < *t.lo || i > *t.hi) {
+        throw Error(loc, "initial value " + v.to_string() + " of `" + name +
+                             "` is outside its range " + t.to_string());
+    }
+}
+
+/// Union-find over event-port instances.
+class UnionFind {
+public:
+    int make() {
+        parent_.push_back(static_cast<int>(parent_.size()));
+        return parent_.back();
+    }
+    int find(int x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+    void unite(int a, int b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<int> parent_;
+};
+
+class Instantiator {
+public:
+    explicit Instantiator(std::shared_ptr<const ResolvedModel> model) {
+        m_.resolved = std::move(model);
+    }
+
+    InstanceModel run() {
+        build_instance(m_.resolved->root_impl, "", -1, {});
+        assign_process_ids();
+        build_bindings();
+        build_sync_groups();
+        for (std::size_t i = 0; i < m_.instances.size(); ++i) {
+            build_process(static_cast<InstanceId>(i));
+        }
+        build_flows();
+        extend_model(m_, *m_.resolved);
+        for (std::size_t v = 0; v < m_.vars.size(); ++v) {
+            m_.var_by_name.emplace(m_.vars[v].full_name, static_cast<VarId>(v));
+        }
+        return std::move(m_);
+    }
+
+private:
+    [[nodiscard]] static std::string joined(const std::string& path,
+                                            const std::string& name) {
+        return path.empty() ? name : path + "." + name;
+    }
+
+    InstanceId build_instance(const std::string& impl_name, const std::string& path,
+                              InstanceId parent, std::vector<int> parent_modes) {
+        const ResolvedImpl& impl = m_.resolved->impl_of(impl_name);
+        const auto id = static_cast<InstanceId>(m_.instances.size());
+        m_.instances.push_back({});
+        {
+            Instance& inst = m_.instances.back();
+            inst.path = path;
+            inst.parent = parent;
+            inst.impl = &impl;
+            inst.parent_modes = std::move(parent_modes);
+        }
+        m_.instance_by_path.emplace(path, id);
+
+        // Allocate global variables for the instance's own data elements.
+        for (const Symbol& sym : impl.symbols.all()) {
+            if (sym.kind == SymKind::SubInDataPort || sym.kind == SymKind::SubOutDataPort) {
+                continue;
+            }
+            GlobalVar var;
+            var.full_name = joined(path, sym.name);
+            var.type = sym.type;
+            var.owner = id;
+            var.init = sym.default_value
+                           ? const_eval(*sym.default_value).coerce_to(sym.type)
+                           : Value::default_for(sym.type);
+            check_range(var.type, var.init, var.full_name, {});
+            m_.instances[id].own_vars.emplace(sym.name,
+                                              static_cast<VarId>(m_.vars.size()));
+            m_.vars.push_back(std::move(var));
+        }
+
+        // Recurse into subcomponents.
+        for (const SubcompDecl& s : impl.impl->subcomponents) {
+            const auto child_it = impl.subcomp_impl.find(s.name);
+            if (child_it == impl.subcomp_impl.end()) continue; // diagnosed earlier
+            std::vector<int> modes;
+            modes.reserve(s.in_modes.size());
+            for (const auto& mn : s.in_modes) modes.push_back(impl.mode_index.at(mn));
+            std::sort(modes.begin(), modes.end());
+            const InstanceId child =
+                build_instance(child_it->second, joined(path, s.name), id, std::move(modes));
+            m_.instances[id].children.push_back(child);
+        }
+        return id;
+    }
+
+    void assign_process_ids() {
+        ProcessId next = 0;
+        for (auto& inst : m_.instances) {
+            if (inst.impl->has_behavior()) inst.process = next++;
+        }
+    }
+
+    void build_bindings() {
+        bindings_.resize(m_.instances.size());
+        for (std::size_t i = 0; i < m_.instances.size(); ++i) {
+            const Instance& inst = m_.instances[i];
+            auto table = std::make_shared<std::vector<VarId>>();
+            table->reserve(inst.impl->symbols.size());
+            for (const Symbol& sym : inst.impl->symbols.all()) {
+                if (sym.kind == SymKind::SubInDataPort ||
+                    sym.kind == SymKind::SubOutDataPort) {
+                    const InstanceId child = m_.instance(joined(inst.path, sym.sub));
+                    table->push_back(m_.instances[child].own_vars.at(sym.port));
+                } else {
+                    table->push_back(inst.own_vars.at(sym.name));
+                }
+            }
+            bindings_[i] = std::move(table);
+        }
+    }
+
+    /// Computes event synchronization groups from event-port connections.
+    void build_sync_groups() {
+        UnionFind uf;
+        std::unordered_map<std::string, int> port_node; // "inst:port" -> node
+        auto node_of = [&](InstanceId inst, const std::string& port) {
+            const std::string key = std::to_string(inst) + ":" + port;
+            const auto it = port_node.find(key);
+            if (it != port_node.end()) return it->second;
+            const int n = uf.make();
+            port_node.emplace(key, n);
+            return n;
+        };
+
+        for (std::size_t i = 0; i < m_.instances.size(); ++i) {
+            const Instance& inst = m_.instances[i];
+            for (const ConnectionDecl& c : inst.impl->impl->connections) {
+                if (!c.is_event) continue;
+                if (!c.in_modes.empty()) {
+                    throw Error(c.loc,
+                                "mode-dependent event connections are not supported");
+                }
+                const auto endpoint = [&](const PortRef& ref) {
+                    if (ref.component.empty()) {
+                        return node_of(static_cast<InstanceId>(i), ref.port);
+                    }
+                    return node_of(m_.instance(joined(inst.path, ref.component)), ref.port);
+                };
+                uf.unite(endpoint(c.src), endpoint(c.dst));
+            }
+        }
+
+        // Which ports are actually used by transitions (and with which role)?
+        struct Use {
+            InstanceId inst;
+            std::string port;
+        };
+        std::vector<Use> uses;
+        for (std::size_t i = 0; i < m_.instances.size(); ++i) {
+            const Instance& inst = m_.instances[i];
+            for (const TransitionDecl& t : inst.impl->impl->transitions) {
+                if (t.trigger.kind == TriggerKind::Port) {
+                    uses.push_back({static_cast<InstanceId>(i), t.trigger.port.port});
+                }
+            }
+        }
+
+        // One action per connection group containing a used port.
+        std::unordered_map<int, ActionId> action_of_root;
+        for (const Use& u : uses) {
+            const int root = uf.find(node_of(u.inst, u.port));
+            auto [it, inserted] =
+                action_of_root.emplace(root, static_cast<ActionId>(m_.actions.size()));
+            if (inserted) {
+                ActionDef def;
+                def.name = joined(m_.instances[u.inst].path, u.port);
+                m_.actions.push_back(std::move(def));
+            }
+            action_of_port_.emplace(std::to_string(u.inst) + ":" + u.port, it->second);
+            // Register the process as a participant.
+            const ProcessId pid = m_.instances[u.inst].process;
+            SLIMSIM_ASSERT(pid >= 0);
+            auto& parts = m_.actions[it->second].participants;
+            if (std::find(parts.begin(), parts.end(), pid) == parts.end()) {
+                parts.push_back(pid);
+            }
+        }
+        for (auto& a : m_.actions) std::sort(a.participants.begin(), a.participants.end());
+    }
+
+    /// Computes per-mode derivative tables for an implementation's timed
+    /// variables. Returns rates[mode] = {(var, slope)...}.
+    std::vector<std::vector<std::pair<VarId, double>>>
+    build_rate_tables(const Instance& inst, std::size_t mode_count,
+                      const std::unordered_map<std::string, int>& mode_index,
+                      const std::vector<DataDecl>& data,
+                      const std::vector<TrendDecl>& trends, VarId timer) {
+        std::vector<std::vector<std::pair<VarId, double>>> rates(mode_count);
+        // Clocks tick at slope 1 everywhere; continuous variables default to 0.
+        std::vector<std::pair<VarId, std::vector<double>>> continuous;
+        for (const DataDecl& d : data) {
+            const VarId v = inst.own_vars.at(d.name);
+            if (d.type.kind == TypeKind::Clock) {
+                for (auto& r : rates) r.emplace_back(v, 1.0);
+            } else if (d.type.kind == TypeKind::Continuous) {
+                continuous.emplace_back(v, std::vector<double>(mode_count, 0.0));
+            }
+        }
+        for (const TrendDecl& t : trends) {
+            const VarId v = inst.own_vars.at(t.var);
+            const double slope = const_eval(*t.rate).as_real();
+            auto it = std::find_if(continuous.begin(), continuous.end(),
+                                   [v](const auto& c) { return c.first == v; });
+            SLIMSIM_ASSERT(it != continuous.end());
+            if (t.modes.empty()) {
+                for (double& s : it->second) s = slope;
+            } else {
+                for (const auto& mn : t.modes) {
+                    it->second[static_cast<std::size_t>(mode_index.at(mn))] = slope;
+                }
+            }
+        }
+        for (const auto& [v, slopes] : continuous) {
+            for (std::size_t mode = 0; mode < mode_count; ++mode) {
+                if (slopes[mode] != 0.0) rates[mode].emplace_back(v, slopes[mode]);
+            }
+        }
+        for (auto& r : rates) r.emplace_back(timer, 1.0);
+        return rates;
+    }
+
+    void build_process(InstanceId i) {
+        const Instance& inst = m_.instances[i];
+        const ResolvedImpl& impl = *inst.impl;
+        if (!impl.has_behavior()) return;
+
+        InstProcess p;
+        p.name = inst.path.empty() ? "<root>" : inst.path;
+        p.instance = i;
+        p.bindings = bindings_[i];
+        p.timer = inst.own_vars.at("@timer");
+        p.initial_location = impl.initial_mode;
+
+        auto rate_tables =
+            build_rate_tables(inst, impl.mode_names.size(), impl.mode_index,
+                              impl.impl->data, impl.impl->trends, p.timer);
+        for (std::size_t mode = 0; mode < impl.mode_names.size(); ++mode) {
+            InstLocation loc;
+            loc.name = impl.mode_names[mode];
+            loc.invariant = impl.impl->modes[mode].invariant;
+            loc.rates = std::move(rate_tables[mode]);
+            p.locations.push_back(std::move(loc));
+        }
+
+        for (const TransitionDecl& t : impl.impl->transitions) {
+            InstTransition tr;
+            tr.src = impl.mode_index.at(t.src);
+            tr.dst = impl.mode_index.at(t.dst);
+            tr.loc = t.loc;
+            tr.guard = t.guard;
+            switch (t.trigger.kind) {
+            case TriggerKind::Internal:
+                break;
+            case TriggerKind::Port: {
+                tr.action = action_of_port_.at(std::to_string(i) + ":" + t.trigger.port.port);
+                tr.role = impl.event_ports.at(t.trigger.port.port);
+                tr.label = t.trigger.port.port;
+                break;
+            }
+            case TriggerKind::Activation:
+                tr.trigger = TriggerClass::OnActivate;
+                tr.label = "@activation";
+                break;
+            case TriggerKind::Deactivation:
+                tr.trigger = TriggerClass::OnDeactivate;
+                tr.label = "@deactivation";
+                break;
+            }
+            for (const AssignDecl& a : t.effects) {
+                InstAssign ia;
+                ia.target = *impl.symbols.slot_of(a.target.to_string());
+                ia.value = a.value;
+                tr.effects.push_back(std::move(ia));
+            }
+            p.transitions.push_back(std::move(tr));
+        }
+
+        SLIMSIM_ASSERT(static_cast<ProcessId>(m_.processes.size()) == inst.process);
+        m_.processes.push_back(std::move(p));
+    }
+
+    /// Collects the global variables read by a bound expression.
+    static void collect_reads(const expr::Expr& e, const std::vector<VarId>& bindings,
+                              std::vector<VarId>& out) {
+        if (e.kind == expr::ExprKind::Var) {
+            SLIMSIM_ASSERT(e.slot != expr::kInvalidSlot);
+            out.push_back(bindings[e.slot]);
+            return;
+        }
+        if (e.a) collect_reads(*e.a, bindings, out);
+        if (e.b) collect_reads(*e.b, bindings, out);
+        if (e.c) collect_reads(*e.c, bindings, out);
+    }
+
+    void build_flows() {
+        std::vector<InstFlow> flows;
+        for (std::size_t i = 0; i < m_.instances.size(); ++i) {
+            const Instance& inst = m_.instances[i];
+            const ResolvedImpl& impl = *inst.impl;
+            const auto& bindings = *bindings_[i];
+
+            auto gate_for = [&](const std::vector<std::string>& in_modes, InstFlow& f) {
+                f.owner = static_cast<InstanceId>(i);
+                if (in_modes.empty()) return;
+                f.gate_process = inst.process;
+                for (const auto& mn : in_modes) {
+                    f.gate_locations.push_back(impl.mode_index.at(mn));
+                }
+                std::sort(f.gate_locations.begin(), f.gate_locations.end());
+            };
+
+            for (const ConnectionDecl& c : impl.impl->connections) {
+                if (c.is_event) continue;
+                InstFlow f;
+                const expr::Slot dst_slot = *impl.symbols.slot_of(c.dst.to_string());
+                const expr::Slot src_slot = *impl.symbols.slot_of(c.src.to_string());
+                f.target = bindings[dst_slot];
+                f.value = expr::make_var_slot(src_slot, impl.symbols.at(src_slot).type,
+                                              c.src.to_string());
+                f.bindings = bindings_[i];
+                gate_for(c.in_modes, f);
+                flows.push_back(std::move(f));
+            }
+            for (const FlowDecl& fd : impl.impl->flows) {
+                InstFlow f;
+                f.target = bindings[*impl.symbols.slot_of(fd.target.to_string())];
+                f.value = fd.value;
+                f.bindings = bindings_[i];
+                gate_for(fd.in_modes, f);
+                flows.push_back(std::move(f));
+            }
+        }
+
+        // Reject flows reading timed variables (their value would be stale
+        // between discrete steps). Several flows may target the same data
+        // element only when their mode gates are provably disjoint (the
+        // mode-switched routing pattern, e.g. redundancy switch-over).
+        std::unordered_map<VarId, std::vector<std::size_t>> targets_of;
+        for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+            const InstFlow& f = flows[fi];
+            std::vector<VarId> reads;
+            collect_reads(*f.value, *f.bindings, reads);
+            for (const VarId v : reads) {
+                if (m_.vars[v].type.is_timed()) {
+                    throw Error("flow into `" + m_.vars[f.target].full_name +
+                                "` reads the clock/continuous variable `" +
+                                m_.vars[v].full_name +
+                                "`; latch the value with a transition effect instead");
+                }
+            }
+            targets_of[f.target].push_back(fi);
+        }
+        for (const auto& [var, writers] : targets_of) {
+            for (std::size_t a = 0; a < writers.size(); ++a) {
+                for (std::size_t b = a + 1; b < writers.size(); ++b) {
+                    const InstFlow& fa = flows[writers[a]];
+                    const InstFlow& fb = flows[writers[b]];
+                    const bool disjoint =
+                        fa.gate_process >= 0 && fa.gate_process == fb.gate_process &&
+                        !fa.gate_locations.empty() && !fb.gate_locations.empty() &&
+                        std::find_first_of(fa.gate_locations.begin(),
+                                           fa.gate_locations.end(),
+                                           fb.gate_locations.begin(),
+                                           fb.gate_locations.end()) ==
+                            fa.gate_locations.end();
+                    if (!disjoint) {
+                        throw Error("data element `" + m_.vars[var].full_name +
+                                    "` is the target of multiple flows/connections that "
+                                    "can be active in the same mode");
+                    }
+                }
+            }
+        }
+
+        // Topological sort: a flow reading v runs after every flow writing v.
+        const std::size_t n = flows.size();
+        std::vector<std::vector<std::size_t>> succ(n);
+        std::vector<std::size_t> indegree(n, 0);
+        for (std::size_t fi = 0; fi < n; ++fi) {
+            std::vector<VarId> reads;
+            collect_reads(*flows[fi].value, *flows[fi].bindings, reads);
+            for (const VarId v : reads) {
+                if (const auto it = targets_of.find(v); it != targets_of.end()) {
+                    for (const std::size_t writer : it->second) {
+                        succ[writer].push_back(fi);
+                        ++indegree[fi];
+                    }
+                }
+            }
+        }
+        std::vector<std::size_t> order;
+        order.reserve(n);
+        for (std::size_t fi = 0; fi < n; ++fi) {
+            if (indegree[fi] == 0) order.push_back(fi);
+        }
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            for (const std::size_t next : succ[order[head]]) {
+                if (--indegree[next] == 0) order.push_back(next);
+            }
+        }
+        if (order.size() != n) {
+            throw Error("cyclic data flow between connections/flows");
+        }
+        m_.flows.reserve(n);
+        for (const std::size_t fi : order) m_.flows.push_back(std::move(flows[fi]));
+    }
+
+    InstanceModel m_;
+    std::vector<std::shared_ptr<const std::vector<VarId>>> bindings_;
+    std::unordered_map<std::string, ActionId> action_of_port_;
+};
+
+} // namespace
+
+VarId InstanceModel::var(const std::string& full_name) const {
+    const auto it = var_by_name.find(full_name);
+    if (it == var_by_name.end()) {
+        throw Error("unknown data element `" + full_name + "`");
+    }
+    return it->second;
+}
+
+InstanceId InstanceModel::instance(const std::string& path) const {
+    const auto it = instance_by_path.find(path);
+    if (it == instance_by_path.end()) {
+        throw Error("unknown component instance `" + path + "`");
+    }
+    return it->second;
+}
+
+std::vector<Value> InstanceModel::initial_valuation() const {
+    std::vector<Value> vals;
+    vals.reserve(vars.size());
+    for (const auto& v : vars) vals.push_back(v.init);
+
+    // Static initial activation: an instance is active iff its parent is and
+    // the parent's *initial* mode permits it.
+    std::vector<bool> active(instances.size(), true);
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        const Instance& inst = instances[i];
+        if (inst.parent < 0) continue;
+        const Instance& par = instances[static_cast<std::size_t>(inst.parent)];
+        bool a = active[static_cast<std::size_t>(inst.parent)];
+        if (a && !inst.parent_modes.empty()) {
+            SLIMSIM_ASSERT(par.process >= 0);
+            const int init_mode = processes[static_cast<std::size_t>(par.process)]
+                                      .initial_location;
+            a = std::binary_search(inst.parent_modes.begin(), inst.parent_modes.end(),
+                                   init_mode);
+        }
+        active[i] = a;
+    }
+
+    for (const InstFlow& f : flows) {
+        if (!active[static_cast<std::size_t>(f.owner)]) continue;
+        if (f.gate_process >= 0 && !f.gate_locations.empty()) {
+            const int loc =
+                processes[static_cast<std::size_t>(f.gate_process)].initial_location;
+            if (!std::binary_search(f.gate_locations.begin(), f.gate_locations.end(), loc)) {
+                continue;
+            }
+        }
+        const expr::EvalContext ctx{vals, *f.bindings};
+        vals[f.target] = expr::evaluate(*f.value, ctx).coerce_to(vars[f.target].type);
+    }
+    return vals;
+}
+
+InstanceModel instantiate(std::shared_ptr<const ResolvedModel> model) {
+    return Instantiator(std::move(model)).run();
+}
+
+} // namespace slimsim::slim

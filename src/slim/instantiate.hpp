@@ -1,0 +1,172 @@
+// Model instantiation: from a resolved SLIM model to a flat, executable
+// instance model (the input of the Event-Data Automata network).
+//
+// Instantiation expands the component containment hierarchy into an instance
+// tree, allocates one *global variable* per data element of every instance,
+// turns every behavioral component into a *process* (locations = modes,
+// plus derivative tables and an implicit @timer clock), computes the event
+// synchronization groups induced by event-port connections, lowers data
+// connections and flow declarations into one topologically-sorted list of
+// *flows*, and applies *model extension*: error-model bindings become
+// additional processes, error propagations become broadcast actions between
+// neighbouring components, and fault injections become state-entry effects.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "slim/resolver.hpp"
+
+namespace slimsim::slim {
+
+/// Index of a process in InstanceModel::processes.
+using ProcessId = std::int32_t;
+/// Index of an instance in InstanceModel::instances.
+using InstanceId = std::int32_t;
+/// Index of an action in InstanceModel::actions; kTau means internal.
+using ActionId = std::int32_t;
+inline constexpr ActionId kTau = -1;
+
+struct GlobalVar {
+    std::string full_name; // e.g. "gps1.x"; root-level elements have no prefix
+    Type type;
+    Value init;
+    InstanceId owner = -1;
+};
+
+/// A synchronization action induced by a group of connected event ports:
+/// every process with the action in its alphabet must join each occurrence
+/// (CSP-style synchronization on the shared alphabet).
+struct ActionDef {
+    std::string name;
+    std::vector<ProcessId> participants; // processes with the action in their alphabet
+};
+
+/// A broadcast channel induced by an error propagation name: a sending
+/// transition fires on its own; *ready* receivers in the sender's
+/// neighbourhood (sibling / parent / child components) join, others do not
+/// block. Receivers are matched dynamically via InstProcess::propagation_peers.
+using ChannelId = std::int32_t;
+inline constexpr ChannelId kNoChannel = -1;
+
+struct ChannelDef {
+    std::string name; // the propagation name
+};
+
+struct InstAssign {
+    expr::Slot target = expr::kInvalidSlot; // slot in the owning process's bindings
+    expr::ExprPtr value;
+};
+
+/// How a transition is triggered, beyond its action/guard/rate.
+enum class TriggerClass : std::uint8_t {
+    Normal,       // tau or action-labelled
+    OnActivate,   // fires when the owning instance is (re)activated
+    OnDeactivate, // fires when the owning instance is deactivated
+};
+
+struct InstTransition {
+    int src = 0;
+    int dst = 0;
+    ActionId action = kTau;         // sync action, or kTau
+    ChannelId channel = kNoChannel; // broadcast channel (error propagations)
+    PortDir role = PortDir::Out;    // sender (Out) or receiver (In)
+    TriggerClass trigger = TriggerClass::Normal;
+    double rate = 0.0;              // > 0: Markovian (action must be kTau)
+    expr::ExprPtr guard;            // null = true
+    std::vector<InstAssign> effects;
+    std::string label;              // for traces: trigger spelling or ""
+    SourceLoc loc;
+
+    [[nodiscard]] bool markovian() const { return rate > 0.0; }
+    /// A broadcast receive only fires when dragged along by a sender.
+    [[nodiscard]] bool receive_only() const {
+        return channel != kNoChannel && role == PortDir::In;
+    }
+};
+
+struct InstLocation {
+    std::string name;
+    expr::ExprPtr invariant; // null = true
+    /// Derivatives of this process's timed variables while in this location
+    /// (global var id -> slope). Variables not listed have slope 0.
+    std::vector<std::pair<VarId, double>> rates;
+};
+
+struct InstProcess {
+    std::string name; // instance path, or "<path>#error"
+    InstanceId instance = -1;
+    bool is_error = false;
+    std::vector<InstLocation> locations;
+    int initial_location = 0;
+    std::vector<InstTransition> transitions;
+    /// Maps expression slots to global variable ids; shared by all
+    /// expressions of this process.
+    std::shared_ptr<const std::vector<VarId>> bindings;
+    VarId timer = kInvalidVar; // the process's implicit @timer variable
+    /// Error processes that may receive this process's propagations
+    /// (error processes of sibling / parent / child component instances).
+    std::vector<ProcessId> propagation_peers;
+};
+
+/// An immediate data propagation: target := value, re-evaluated after every
+/// discrete step (in list order, which is topological).
+struct InstFlow {
+    VarId target = kInvalidVar;
+    expr::ExprPtr value;
+    std::shared_ptr<const std::vector<VarId>> bindings;
+    InstanceId owner = -1;            // flow is inert while this instance is inactive
+    ProcessId gate_process = -1;      // mode-gated flows: owner's process
+    std::vector<int> gate_locations;  // sorted; empty = all locations
+};
+
+/// A fault-injection effect: while `process` is in `state`, `target` is
+/// forced to `value`; on leaving the state it is restored to `restore`.
+struct Injection {
+    ProcessId process = -1;
+    int state = 0;
+    VarId target = kInvalidVar;
+    Value value;
+    Value restore;
+};
+
+struct Instance {
+    std::string path; // "" for the root
+    InstanceId parent = -1;
+    const ResolvedImpl* impl = nullptr;
+    ProcessId process = -1;       // -1 when the component has no modes
+    ProcessId error_process = -1; // -1 when no error model is bound
+    /// Active iff the parent is active and the parent process's location is
+    /// in this set (empty = unconditional). Only set when the parent has a
+    /// process.
+    std::vector<int> parent_modes;
+    std::vector<InstanceId> children;
+    /// Maps this instance's own symbol names (data, ports) to global vars.
+    std::unordered_map<std::string, VarId> own_vars;
+};
+
+struct InstanceModel {
+    std::shared_ptr<const ResolvedModel> resolved; // keeps the AST alive
+    std::vector<GlobalVar> vars;
+    std::vector<InstProcess> processes;
+    std::vector<ActionDef> actions;
+    std::vector<ChannelDef> channels;
+    std::vector<Instance> instances;
+    std::vector<InstFlow> flows; // topologically sorted
+    std::vector<Injection> injections;
+    std::unordered_map<std::string, VarId> var_by_name;
+    std::unordered_map<std::string, InstanceId> instance_by_path;
+
+    /// Looks up a variable by its full dotted name; throws slimsim::Error.
+    [[nodiscard]] VarId var(const std::string& full_name) const;
+    [[nodiscard]] InstanceId instance(const std::string& path) const;
+    /// Builds the initial valuation (defaults, then initial flow evaluation).
+    [[nodiscard]] std::vector<Value> initial_valuation() const;
+};
+
+/// Instantiates the resolved model from its root implementation.
+/// Throws slimsim::Error on instantiation errors (flow cycles, bad fault
+/// injection paths, ...).
+[[nodiscard]] InstanceModel instantiate(std::shared_ptr<const ResolvedModel> model);
+
+} // namespace slimsim::slim

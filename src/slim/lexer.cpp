@@ -1,0 +1,210 @@
+#include "slim/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace slimsim::slim {
+
+namespace {
+
+class Lexer {
+public:
+    Lexer(std::string_view source, std::string filename)
+        : src_(source), filename_(std::move(filename)) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> tokens;
+        for (;;) {
+            skip_trivia();
+            Token t = next_token();
+            const bool done = t.kind == TokenKind::EndOfFile;
+            tokens.push_back(std::move(t));
+            if (done) return tokens;
+        }
+    }
+
+private:
+    [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char advance() {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    [[nodiscard]] SourceLoc here() const { return {filename_, line_, column_}; }
+
+    void skip_trivia() {
+        for (;;) {
+            while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+            if (peek() == '-' && peek(1) == '-') {
+                while (!at_end() && peek() != '\n') advance();
+                continue;
+            }
+            return;
+        }
+    }
+
+    Token next_token() {
+        const SourceLoc loc = here();
+        if (at_end()) return make(TokenKind::EndOfFile, loc);
+        const char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident(loc);
+        if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(loc);
+        return lex_punct(loc);
+    }
+
+    Token make(TokenKind k, SourceLoc loc) const {
+        Token t;
+        t.kind = k;
+        t.loc = loc;
+        return t;
+    }
+
+    Token lex_ident(SourceLoc loc) {
+        const std::size_t start = pos_;
+        while (!at_end()) {
+            const char c = peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+                advance();
+            } else {
+                break;
+            }
+        }
+        Token t = make(TokenKind::Ident, std::move(loc));
+        t.text = std::string(src_.substr(start, pos_ - start));
+        t.folded = t.text;
+        for (char& ch : t.folded) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        return t;
+    }
+
+    Token lex_number(SourceLoc loc) {
+        const std::size_t start = pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        bool is_real = false;
+        // A '.' starts a fraction only if followed by a digit ('..' is a range).
+        if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            is_real = true;
+            advance();
+            while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            const std::size_t mark = pos_;
+            advance();
+            if (peek() == '+' || peek() == '-') advance();
+            if (std::isdigit(static_cast<unsigned char>(peek()))) {
+                is_real = true;
+                while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+            } else {
+                // Not an exponent after all (e.g. `2 end`): back out.
+                pos_ = mark;
+            }
+        }
+        const std::string text(src_.substr(start, pos_ - start));
+        if (is_real) {
+            Token t = make(TokenKind::Real, std::move(loc));
+            t.real_value = std::strtod(text.c_str(), nullptr);
+            t.text = text;
+            return t;
+        }
+        Token t = make(TokenKind::Integer, std::move(loc));
+        auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), t.int_value);
+        if (ec != std::errc()) throw Error(t.loc, "integer literal out of range: " + text);
+        t.text = text;
+        return t;
+    }
+
+    Token lex_punct(SourceLoc loc) {
+        const char c = advance();
+        switch (c) {
+        case '(': return make(TokenKind::LParen, loc);
+        case ')': return make(TokenKind::RParen, loc);
+        case '[': return make(TokenKind::LBracket, loc);
+        case ',': return make(TokenKind::Comma, loc);
+        case ';': return make(TokenKind::Semicolon, loc);
+        case '\'': return make(TokenKind::Prime, loc);
+        case '@': return make(TokenKind::At, loc);
+        case '+': return make(TokenKind::Plus, loc);
+        case '*': return make(TokenKind::Star, loc);
+        case '/': return make(TokenKind::Slash, loc);
+        case ':':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Assign, loc);
+            }
+            return make(TokenKind::Colon, loc);
+        case '.':
+            if (peek() == '.') {
+                advance();
+                return make(TokenKind::DotDot, loc);
+            }
+            return make(TokenKind::Dot, loc);
+        case '-':
+            if (peek() == '[') {
+                advance();
+                return make(TokenKind::TransBegin, loc);
+            }
+            if (peek() == '>') {
+                advance();
+                return make(TokenKind::Arrow, loc);
+            }
+            return make(TokenKind::Minus, loc);
+        case ']':
+            if (peek() == '-' && peek(1) == '>') {
+                advance();
+                advance();
+                return make(TokenKind::TransEnd, loc);
+            }
+            return make(TokenKind::RBracket, loc);
+        case '<':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Le, loc);
+            }
+            return make(TokenKind::Lt, loc);
+        case '>':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Ge, loc);
+            }
+            return make(TokenKind::Gt, loc);
+        case '=':
+            if (peek() == '>') {
+                advance();
+                return make(TokenKind::FatArrow, loc);
+            }
+            return make(TokenKind::EqEq, loc);
+        case '!':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Neq, loc);
+            }
+            throw Error(loc, "unexpected character `!` (use `!=` or `not`)");
+        default:
+            throw Error(loc, std::string("unexpected character `") + c + "`");
+        }
+    }
+
+    std::string_view src_;
+    std::string filename_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t column_ = 1;
+};
+
+} // namespace
+
+std::vector<Token> tokenize(std::string_view source, std::string filename) {
+    return Lexer(source, std::move(filename)).run();
+}
+
+} // namespace slimsim::slim

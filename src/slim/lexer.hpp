@@ -1,0 +1,17 @@
+// Lexer for SLIM source text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "slim/token.hpp"
+
+namespace slimsim::slim {
+
+/// Tokenizes an entire SLIM source. Comments run from `--` to end of line.
+/// Throws slimsim::Error on malformed input (bad characters, bad numbers).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source,
+                                          std::string filename = "<input>");
+
+} // namespace slimsim::slim

@@ -1,0 +1,762 @@
+#include "slim/parser.hpp"
+
+#include <optional>
+
+#include "slim/lexer.hpp"
+
+namespace slimsim::slim {
+
+namespace {
+
+using expr::BinaryOp;
+using expr::ExprPtr;
+using expr::UnaryOp;
+
+/// Canonical time unit is the second.
+std::optional<double> time_unit_seconds(std::string_view folded) {
+    if (folded == "msec") return 0.001;
+    if (folded == "sec") return 1.0;
+    if (folded == "min") return 60.0;
+    if (folded == "hour") return 3600.0;
+    if (folded == "day") return 86400.0;
+    return std::nullopt;
+}
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+    ModelFile parse_file() {
+        ModelFile file;
+        while (!at(TokenKind::EndOfFile)) {
+            if (accept_kw("root")) {
+                file.root = parse_dotted_name();
+                expect(TokenKind::Semicolon);
+            } else if (peek_kw("error")) {
+                parse_error_decl(file);
+            } else if (peek_kw("fault")) {
+                parse_fault_block(file);
+            } else if (auto cat = category_from(peek().folded);
+                       cat && peek().kind == TokenKind::Ident) {
+                parse_component_decl(file, *cat);
+            } else {
+                throw Error(peek().loc, "expected a declaration, found " + peek().to_string());
+            }
+        }
+        return file;
+    }
+
+    ExprPtr parse_whole_expression() {
+        ExprPtr e = parse_expr();
+        if (!at(TokenKind::EndOfFile)) {
+            throw Error(peek().loc, "trailing input after expression: " + peek().to_string());
+        }
+        return e;
+    }
+
+private:
+    // --- token helpers ------------------------------------------------------
+
+    [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    [[nodiscard]] bool at(TokenKind k) const { return peek().kind == k; }
+    [[nodiscard]] bool peek_kw(std::string_view kw, std::size_t ahead = 0) const {
+        return peek(ahead).is_ident(kw);
+    }
+
+    const Token& advance() {
+        const Token& t = toks_[pos_];
+        if (pos_ + 1 < toks_.size()) ++pos_;
+        return t;
+    }
+
+    bool accept(TokenKind k) {
+        if (!at(k)) return false;
+        advance();
+        return true;
+    }
+
+    bool accept_kw(std::string_view kw) {
+        if (!peek_kw(kw)) return false;
+        advance();
+        return true;
+    }
+
+    const Token& expect(TokenKind k) {
+        if (!at(k)) {
+            throw Error(peek().loc, "expected " + std::string(to_string(k)) + ", found " +
+                                        peek().to_string());
+        }
+        return advance();
+    }
+
+    void expect_kw(std::string_view kw) {
+        if (!accept_kw(kw)) {
+            throw Error(peek().loc,
+                        "expected `" + std::string(kw) + "`, found " + peek().to_string());
+        }
+    }
+
+    std::string expect_ident() { return expect(TokenKind::Ident).text; }
+
+    /// `a` or `a.b` (component-qualified names and implementation names).
+    std::string parse_dotted_name() {
+        std::string name = expect_ident();
+        while (accept(TokenKind::Dot)) {
+            name += '.';
+            name += expect_ident();
+        }
+        return name;
+    }
+
+    std::vector<std::string> parse_ident_list() {
+        std::vector<std::string> names;
+        names.push_back(expect_ident());
+        while (accept(TokenKind::Comma)) names.push_back(expect_ident());
+        return names;
+    }
+
+    /// `in modes (m1, m2)` clause; returns empty when absent.
+    std::vector<std::string> parse_in_modes_opt() {
+        if (!peek_kw("in") || !peek_kw("modes", 1)) return {};
+        expect_kw("in");
+        expect_kw("modes");
+        expect(TokenKind::LParen);
+        auto names = parse_ident_list();
+        expect(TokenKind::RParen);
+        return names;
+    }
+
+    PortRef parse_port_ref() {
+        PortRef ref;
+        ref.loc = peek().loc;
+        ref.port = expect_ident();
+        if (accept(TokenKind::Dot)) {
+            ref.component = std::move(ref.port);
+            ref.port = expect_ident();
+        }
+        return ref;
+    }
+
+    // --- types --------------------------------------------------------------
+
+    Type parse_data_type() {
+        const Token& t = expect(TokenKind::Ident);
+        if (t.folded == "bool") return Type::boolean();
+        if (t.folded == "real") return Type::real();
+        if (t.folded == "clock") return Type::clock();
+        if (t.folded == "continuous") return Type::continuous();
+        if (t.folded == "int") {
+            if (accept(TokenKind::LBracket)) {
+                const std::int64_t lo = parse_signed_int();
+                expect(TokenKind::DotDot);
+                const std::int64_t hi = parse_signed_int();
+                expect(TokenKind::RBracket);
+                if (lo > hi) throw Error(t.loc, "empty integer range");
+                return Type::integer_range(lo, hi);
+            }
+            return Type::integer();
+        }
+        throw Error(t.loc, "expected a data type (bool, int, real, clock, continuous)");
+    }
+
+    std::int64_t parse_signed_int() {
+        const bool neg = accept(TokenKind::Minus);
+        const Token& t = expect(TokenKind::Integer);
+        return neg ? -t.int_value : t.int_value;
+    }
+
+    // --- expressions ----------------------------------------------------------
+    //
+    // expr    := implies
+    // implies := or ('=>' implies)?          (right associative)
+    // or      := and ('or' and)*
+    // and     := cmp ('and' cmp)*
+    // cmp     := add (cmpop add)?            (non associative)
+    // add     := mul (('+'|'-') mul)*
+    // mul     := unary (('*'|'/'|'mod') unary)*
+    // unary   := ('not'|'-') unary | primary
+    // primary := literal [time-unit] | 'true' | 'false' | dotted-name
+    //          | '(' expr ')' | 'if' expr 'then' expr 'else' expr
+
+    ExprPtr parse_expr() { return parse_implies(); }
+
+    ExprPtr parse_implies() {
+        ExprPtr lhs = parse_or();
+        if (at(TokenKind::FatArrow)) {
+            const SourceLoc loc = advance().loc;
+            return expr::make_binary(BinaryOp::Implies, std::move(lhs), parse_implies(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_or() {
+        ExprPtr lhs = parse_and();
+        while (peek_kw("or")) {
+            const SourceLoc loc = advance().loc;
+            lhs = expr::make_binary(BinaryOp::Or, std::move(lhs), parse_and(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_and() {
+        ExprPtr lhs = parse_cmp();
+        while (peek_kw("and")) {
+            const SourceLoc loc = advance().loc;
+            lhs = expr::make_binary(BinaryOp::And, std::move(lhs), parse_cmp(), loc);
+        }
+        return lhs;
+    }
+
+    std::optional<BinaryOp> peek_cmp_op() const {
+        switch (peek().kind) {
+        case TokenKind::Lt: return BinaryOp::Lt;
+        case TokenKind::Le: return BinaryOp::Le;
+        case TokenKind::Gt: return BinaryOp::Gt;
+        case TokenKind::Ge: return BinaryOp::Ge;
+        case TokenKind::EqEq: return BinaryOp::Eq;
+        case TokenKind::Neq: return BinaryOp::Ne;
+        default: return std::nullopt;
+        }
+    }
+
+    ExprPtr parse_cmp() {
+        ExprPtr lhs = parse_add();
+        if (auto op = peek_cmp_op()) {
+            const SourceLoc loc = advance().loc;
+            return expr::make_binary(*op, std::move(lhs), parse_add(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_add() {
+        ExprPtr lhs = parse_mul();
+        for (;;) {
+            if (at(TokenKind::Plus)) {
+                const SourceLoc loc = advance().loc;
+                lhs = expr::make_binary(BinaryOp::Add, std::move(lhs), parse_mul(), loc);
+            } else if (at(TokenKind::Minus)) {
+                const SourceLoc loc = advance().loc;
+                lhs = expr::make_binary(BinaryOp::Sub, std::move(lhs), parse_mul(), loc);
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    ExprPtr parse_mul() {
+        ExprPtr lhs = parse_unary();
+        for (;;) {
+            if (at(TokenKind::Star)) {
+                const SourceLoc loc = advance().loc;
+                lhs = expr::make_binary(BinaryOp::Mul, std::move(lhs), parse_unary(), loc);
+            } else if (at(TokenKind::Slash)) {
+                const SourceLoc loc = advance().loc;
+                lhs = expr::make_binary(BinaryOp::Div, std::move(lhs), parse_unary(), loc);
+            } else if (peek_kw("mod")) {
+                const SourceLoc loc = advance().loc;
+                lhs = expr::make_binary(BinaryOp::Mod, std::move(lhs), parse_unary(), loc);
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    ExprPtr parse_unary() {
+        if (peek_kw("not")) {
+            const SourceLoc loc = advance().loc;
+            return expr::make_unary(UnaryOp::Not, parse_unary(), loc);
+        }
+        if (at(TokenKind::Minus)) {
+            const SourceLoc loc = advance().loc;
+            return expr::make_unary(UnaryOp::Neg, parse_unary(), loc);
+        }
+        return parse_primary();
+    }
+
+    ExprPtr parse_primary() {
+        const Token& t = peek();
+        switch (t.kind) {
+        case TokenKind::Integer: {
+            advance();
+            if (auto unit = time_unit_seconds(peek().folded)) {
+                advance();
+                return expr::make_literal(Value(static_cast<double>(t.int_value) * *unit),
+                                          t.loc);
+            }
+            return expr::make_literal(Value(t.int_value), t.loc);
+        }
+        case TokenKind::Real: {
+            advance();
+            double v = t.real_value;
+            if (auto unit = time_unit_seconds(peek().folded)) {
+                advance();
+                v *= *unit;
+            }
+            return expr::make_literal(Value(v), t.loc);
+        }
+        case TokenKind::LParen: {
+            advance();
+            ExprPtr e = parse_expr();
+            expect(TokenKind::RParen);
+            return e;
+        }
+        case TokenKind::At: {
+            // @timer: the implicit per-process clock, reset on every
+            // discrete transition of the declaring process.
+            const SourceLoc loc = advance().loc;
+            const Token& name = expect(TokenKind::Ident);
+            if (name.folded != "timer") {
+                throw Error(loc, "unknown implicit variable @" + name.text);
+            }
+            return expr::make_var("@timer", loc);
+        }
+        case TokenKind::Ident: {
+            if (t.folded == "true") {
+                advance();
+                return expr::make_literal(Value(true), t.loc);
+            }
+            if (t.folded == "false") {
+                advance();
+                return expr::make_literal(Value(false), t.loc);
+            }
+            if (t.folded == "if") {
+                advance();
+                ExprPtr cond = parse_expr();
+                expect_kw("then");
+                ExprPtr then_e = parse_expr();
+                expect_kw("else");
+                ExprPtr else_e = parse_expr();
+                return expr::make_ite(std::move(cond), std::move(then_e), std::move(else_e),
+                                      t.loc);
+            }
+            return expr::make_var(parse_dotted_name(), t.loc);
+        }
+        default:
+            throw Error(t.loc, "expected an expression, found " + t.to_string());
+        }
+    }
+
+    // --- component declarations ----------------------------------------------
+
+    void parse_component_decl(ModelFile& file, Category category) {
+        advance(); // category word
+        if (accept_kw("implementation")) {
+            file.component_impls.push_back(parse_component_impl(category));
+        } else {
+            file.component_types.push_back(parse_component_type(category));
+        }
+    }
+
+    ComponentType parse_component_type(Category category) {
+        ComponentType type;
+        type.category = category;
+        type.loc = peek().loc;
+        type.name = expect_ident();
+        if (accept_kw("features")) {
+            while (!peek_kw("end")) type.features.push_back(parse_feature());
+        }
+        expect_kw("end");
+        const std::string closing = expect_ident();
+        if (closing != type.name) {
+            throw Error(peek().loc, "component type `" + type.name + "` closed as `" +
+                                        closing + "`");
+        }
+        expect(TokenKind::Semicolon);
+        return type;
+    }
+
+    FeatureDecl parse_feature() {
+        FeatureDecl f;
+        f.loc = peek().loc;
+        f.name = expect_ident();
+        expect(TokenKind::Colon);
+        if (accept_kw("in")) {
+            f.dir = PortDir::In;
+        } else if (accept_kw("out")) {
+            f.dir = PortDir::Out;
+        } else {
+            throw Error(peek().loc, "expected `in` or `out` in feature declaration");
+        }
+        if (accept_kw("event")) {
+            f.is_event = true;
+            expect_kw("port");
+        } else {
+            expect_kw("data");
+            expect_kw("port");
+            f.data_type = parse_data_type();
+            if (accept_kw("default")) f.default_value = parse_expr();
+        }
+        expect(TokenKind::Semicolon);
+        return f;
+    }
+
+    ComponentImpl parse_component_impl(Category category) {
+        ComponentImpl impl;
+        impl.category = category;
+        impl.loc = peek().loc;
+        impl.type_name = expect_ident();
+        expect(TokenKind::Dot);
+        impl.impl_name = expect_ident();
+        for (;;) {
+            if (accept_kw("subcomponents")) {
+                while (!at_section_end()) parse_subcomponent(impl);
+            } else if (accept_kw("connections")) {
+                while (!at_section_end()) impl.connections.push_back(parse_connection());
+            } else if (accept_kw("flows")) {
+                while (!at_section_end()) impl.flows.push_back(parse_flow());
+            } else if (accept_kw("modes")) {
+                while (!at_section_end()) impl.modes.push_back(parse_mode());
+            } else if (accept_kw("transitions")) {
+                while (!at_section_end()) impl.transitions.push_back(parse_transition());
+            } else if (accept_kw("trends")) {
+                while (!at_section_end()) impl.trends.push_back(parse_trend());
+            } else {
+                break;
+            }
+        }
+        expect_kw("end");
+        const std::string closing = parse_dotted_name();
+        if (closing != impl.full_name()) {
+            throw Error(peek().loc, "implementation `" + impl.full_name() + "` closed as `" +
+                                        closing + "`");
+        }
+        expect(TokenKind::Semicolon);
+        return impl;
+    }
+
+    [[nodiscard]] bool at_section_end() const {
+        return peek_kw("end") || peek_kw("subcomponents") || peek_kw("connections") ||
+               peek_kw("flows") || peek_kw("modes") || peek_kw("transitions") ||
+               peek_kw("trends") || peek_kw("events") || at(TokenKind::EndOfFile);
+    }
+
+    void parse_subcomponent(ComponentImpl& impl) {
+        const SourceLoc loc = peek().loc;
+        std::string name = expect_ident();
+        expect(TokenKind::Colon);
+        if (peek_kw("data")) {
+            advance();
+            DataDecl d;
+            d.name = std::move(name);
+            d.loc = loc;
+            d.type = parse_data_type();
+            if (accept_kw("default")) d.default_value = parse_expr();
+            expect(TokenKind::Semicolon);
+            impl.data.push_back(std::move(d));
+            return;
+        }
+        const Token& cat_tok = expect(TokenKind::Ident);
+        const auto cat = category_from(cat_tok.folded);
+        if (!cat) {
+            throw Error(cat_tok.loc,
+                        "expected `data` or a component category, found `" + cat_tok.text + "`");
+        }
+        SubcompDecl s;
+        s.name = std::move(name);
+        s.loc = loc;
+        s.category = *cat;
+        s.type_name = parse_dotted_name();
+        s.in_modes = parse_in_modes_opt();
+        expect(TokenKind::Semicolon);
+        impl.subcomponents.push_back(std::move(s));
+    }
+
+    ConnectionDecl parse_connection() {
+        ConnectionDecl c;
+        c.loc = peek().loc;
+        if (accept_kw("event")) {
+            c.is_event = true;
+        } else {
+            expect_kw("data");
+        }
+        expect_kw("port");
+        c.src = parse_port_ref();
+        expect(TokenKind::Arrow);
+        c.dst = parse_port_ref();
+        c.in_modes = parse_in_modes_opt();
+        expect(TokenKind::Semicolon);
+        return c;
+    }
+
+    FlowDecl parse_flow() {
+        FlowDecl f;
+        f.loc = peek().loc;
+        f.target = parse_port_ref();
+        expect(TokenKind::Assign);
+        f.value = parse_expr();
+        f.in_modes = parse_in_modes_opt();
+        expect(TokenKind::Semicolon);
+        return f;
+    }
+
+    ModeDecl parse_mode() {
+        ModeDecl m;
+        m.loc = peek().loc;
+        m.name = expect_ident();
+        expect(TokenKind::Colon);
+        if (accept_kw("initial")) m.initial = true;
+        expect_kw("mode");
+        if (accept_kw("while")) m.invariant = parse_expr();
+        expect(TokenKind::Semicolon);
+        return m;
+    }
+
+    TransitionDecl parse_transition() {
+        TransitionDecl t;
+        t.loc = peek().loc;
+        t.src = expect_ident();
+        expect(TokenKind::TransBegin);
+        t.trigger = parse_trigger();
+        if (accept_kw("when")) t.guard = parse_expr();
+        if (accept_kw("then")) {
+            t.effects.push_back(parse_assign());
+            while (accept(TokenKind::Semicolon)) t.effects.push_back(parse_assign());
+        }
+        expect(TokenKind::TransEnd);
+        t.dst = expect_ident();
+        expect(TokenKind::Semicolon);
+        return t;
+    }
+
+    Trigger parse_trigger() {
+        Trigger tr;
+        tr.loc = peek().loc;
+        if (at(TokenKind::At)) {
+            advance();
+            const Token& name = expect(TokenKind::Ident);
+            if (name.folded == "activation") {
+                tr.kind = TriggerKind::Activation;
+            } else if (name.folded == "deactivation") {
+                tr.kind = TriggerKind::Deactivation;
+            } else {
+                throw Error(name.loc, "unknown reserved event @" + name.text);
+            }
+            return tr;
+        }
+        if (peek_kw("when") || peek_kw("then") || at(TokenKind::TransEnd)) {
+            tr.kind = TriggerKind::Internal;
+            return tr;
+        }
+        tr.kind = TriggerKind::Port;
+        tr.port = parse_port_ref();
+        return tr;
+    }
+
+    AssignDecl parse_assign() {
+        AssignDecl a;
+        a.loc = peek().loc;
+        a.target = parse_port_ref();
+        expect(TokenKind::Assign);
+        a.value = parse_expr();
+        return a;
+    }
+
+    TrendDecl parse_trend() {
+        TrendDecl t;
+        t.loc = peek().loc;
+        t.var = expect_ident();
+        expect(TokenKind::Prime);
+        expect(TokenKind::EqEq);
+        t.rate = parse_expr();
+        if (accept_kw("in")) {
+            accept_kw("modes");
+            const bool parens = accept(TokenKind::LParen);
+            t.modes = parse_ident_list();
+            if (parens) expect(TokenKind::RParen);
+        }
+        expect(TokenKind::Semicolon);
+        return t;
+    }
+
+    // --- error models ----------------------------------------------------------
+
+    void parse_error_decl(ModelFile& file) {
+        expect_kw("error");
+        expect_kw("model");
+        if (accept_kw("implementation")) {
+            file.error_impls.push_back(parse_error_impl());
+        } else {
+            file.error_types.push_back(parse_error_type());
+        }
+    }
+
+    ErrorModelType parse_error_type() {
+        ErrorModelType type;
+        type.loc = peek().loc;
+        type.name = expect_ident();
+        if (accept_kw("features")) {
+            while (!peek_kw("end")) parse_error_feature(type);
+        }
+        expect_kw("end");
+        const std::string closing = expect_ident();
+        if (closing != type.name) {
+            throw Error(peek().loc,
+                        "error model `" + type.name + "` closed as `" + closing + "`");
+        }
+        expect(TokenKind::Semicolon);
+        return type;
+    }
+
+    void parse_error_feature(ErrorModelType& type) {
+        const SourceLoc loc = peek().loc;
+        std::string name = expect_ident();
+        expect(TokenKind::Colon);
+        if (peek_kw("in") || peek_kw("out")) {
+            PropagationDecl p;
+            p.loc = loc;
+            p.name = std::move(name);
+            p.dir = accept_kw("in") ? PortDir::In : (expect_kw("out"), PortDir::Out);
+            expect_kw("propagation");
+            expect(TokenKind::Semicolon);
+            type.propagations.push_back(std::move(p));
+            return;
+        }
+        ErrorStateDecl s;
+        s.loc = loc;
+        s.name = std::move(name);
+        if (accept_kw("initial")) s.initial = true;
+        accept_kw("error"); // optional `error state` / plain `state`
+        expect_kw("state");
+        if (accept_kw("while")) s.invariant = parse_expr();
+        expect(TokenKind::Semicolon);
+        type.states.push_back(std::move(s));
+    }
+
+    ErrorModelImpl parse_error_impl() {
+        ErrorModelImpl impl;
+        impl.loc = peek().loc;
+        impl.type_name = expect_ident();
+        expect(TokenKind::Dot);
+        impl.impl_name = expect_ident();
+        for (;;) {
+            if (accept_kw("events")) {
+                while (!at_section_end()) impl.events.push_back(parse_error_event());
+            } else if (accept_kw("subcomponents")) {
+                while (!at_section_end()) parse_error_data(impl);
+            } else if (accept_kw("transitions")) {
+                while (!at_section_end()) impl.transitions.push_back(parse_transition());
+            } else if (accept_kw("trends")) {
+                while (!at_section_end()) impl.trends.push_back(parse_trend());
+            } else {
+                break;
+            }
+        }
+        expect_kw("end");
+        const std::string closing = parse_dotted_name();
+        if (closing != impl.full_name()) {
+            throw Error(peek().loc, "error model implementation `" + impl.full_name() +
+                                        "` closed as `" + closing + "`");
+        }
+        expect(TokenKind::Semicolon);
+        return impl;
+    }
+
+    ErrorEventDecl parse_error_event() {
+        ErrorEventDecl e;
+        e.loc = peek().loc;
+        e.name = expect_ident();
+        expect(TokenKind::Colon);
+        expect_kw("error");
+        expect_kw("event");
+        if (accept_kw("occurrence")) {
+            expect_kw("poisson");
+            const Token& t = advance();
+            double rate = 0.0;
+            if (t.kind == TokenKind::Integer) {
+                rate = static_cast<double>(t.int_value);
+            } else if (t.kind == TokenKind::Real) {
+                rate = t.real_value;
+            } else {
+                throw Error(t.loc, "expected a rate value after `poisson`");
+            }
+            if (accept_kw("per")) {
+                const Token& u = expect(TokenKind::Ident);
+                const auto unit = time_unit_seconds(u.folded);
+                if (!unit) throw Error(u.loc, "unknown time unit `" + u.text + "`");
+                rate /= *unit;
+            }
+            if (rate <= 0.0) throw Error(e.loc, "poisson rate must be positive");
+            e.rate = rate;
+        }
+        expect(TokenKind::Semicolon);
+        return e;
+    }
+
+    void parse_error_data(ErrorModelImpl& impl) {
+        DataDecl d;
+        d.loc = peek().loc;
+        d.name = expect_ident();
+        expect(TokenKind::Colon);
+        expect_kw("data");
+        d.type = parse_data_type();
+        if (accept_kw("default")) d.default_value = parse_expr();
+        expect(TokenKind::Semicolon);
+        impl.data.push_back(std::move(d));
+    }
+
+    // --- fault injection block ---------------------------------------------------
+
+    void parse_fault_block(ModelFile& file) {
+        expect_kw("fault");
+        expect_kw("injections");
+        while (!peek_kw("end")) {
+            expect_kw("component");
+            const SourceLoc loc = peek().loc;
+            std::vector<std::string> path = parse_component_path();
+            if (accept_kw("uses")) {
+                expect_kw("error");
+                expect_kw("model");
+                ErrorBindingDecl b;
+                b.loc = loc;
+                b.component_path = std::move(path);
+                b.error_impl = parse_dotted_name();
+                expect(TokenKind::Semicolon);
+                file.error_bindings.push_back(std::move(b));
+            } else {
+                expect_kw("in");
+                expect_kw("state");
+                InjectionDecl inj;
+                inj.loc = loc;
+                inj.component_path = std::move(path);
+                inj.state = expect_ident();
+                expect_kw("effect");
+                inj.target_var = expect_ident();
+                expect(TokenKind::Assign);
+                inj.value = parse_expr();
+                expect(TokenKind::Semicolon);
+                file.injections.push_back(std::move(inj));
+            }
+        }
+        expect_kw("end");
+        expect_kw("fault");
+        expect_kw("injections");
+        expect(TokenKind::Semicolon);
+    }
+
+    /// `root` (the root component itself) or `a.b.c` (subcomponent path).
+    std::vector<std::string> parse_component_path() {
+        if (accept_kw("root")) return {};
+        std::vector<std::string> path;
+        path.push_back(expect_ident());
+        while (accept(TokenKind::Dot)) path.push_back(expect_ident());
+        return path;
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+ModelFile parse_model(std::string_view source, std::string filename) {
+    return Parser(tokenize(source, std::move(filename))).parse_file();
+}
+
+expr::ExprPtr parse_expression(std::string_view source, std::string filename) {
+    return Parser(tokenize(source, std::move(filename))).parse_whole_expression();
+}
+
+} // namespace slimsim::slim

@@ -1,0 +1,21 @@
+// Recursive-descent parser for SLIM model files.
+//
+// See docs/slim-language.md for the concrete grammar of our dialect.
+#pragma once
+
+#include <string_view>
+
+#include "slim/ast.hpp"
+
+namespace slimsim::slim {
+
+/// Parses a complete model file. Throws slimsim::Error on the first syntax
+/// error (with source location).
+[[nodiscard]] ModelFile parse_model(std::string_view source,
+                                    std::string filename = "<input>");
+
+/// Parses a single expression (used by the property front-end and tests).
+[[nodiscard]] expr::ExprPtr parse_expression(std::string_view source,
+                                             std::string filename = "<expr>");
+
+} // namespace slimsim::slim

@@ -1,0 +1,230 @@
+#include "slim/printer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace slimsim::slim {
+
+namespace {
+
+void print_modes_clause(std::ostringstream& os, const std::vector<std::string>& modes) {
+    if (modes.empty()) return;
+    os << " in modes (";
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << modes[i];
+    }
+    os << ')';
+}
+
+void print_data_type(std::ostringstream& os, const Type& t) {
+    switch (t.kind) {
+    case TypeKind::Bool: os << "bool"; break;
+    case TypeKind::Int:
+        os << "int";
+        if (t.lo && t.hi) os << " [" << *t.lo << ".." << *t.hi << ']';
+        break;
+    case TypeKind::Real: os << "real"; break;
+    case TypeKind::Clock: os << "clock"; break;
+    case TypeKind::Continuous: os << "continuous"; break;
+    }
+}
+
+void print_transition(std::ostringstream& os, const TransitionDecl& t) {
+    os << "  " << t.src << " -[";
+    switch (t.trigger.kind) {
+    case TriggerKind::Internal: break;
+    case TriggerKind::Port: os << t.trigger.port.to_string(); break;
+    case TriggerKind::Activation: os << "@activation"; break;
+    case TriggerKind::Deactivation: os << "@deactivation"; break;
+    }
+    if (t.guard != nullptr) {
+        if (t.trigger.kind != TriggerKind::Internal) os << ' ';
+        os << "when " << t.guard->to_string();
+    }
+    if (!t.effects.empty()) {
+        if (t.trigger.kind != TriggerKind::Internal || t.guard != nullptr) os << ' ';
+        os << "then ";
+        for (std::size_t i = 0; i < t.effects.size(); ++i) {
+            if (i > 0) os << "; ";
+            os << t.effects[i].target.to_string() << " := "
+               << t.effects[i].value->to_string();
+        }
+    }
+    os << "]-> " << t.dst << ";\n";
+}
+
+void print_data_decl(std::ostringstream& os, const DataDecl& d) {
+    os << "  " << d.name << ": data ";
+    print_data_type(os, d.type);
+    if (d.default_value != nullptr) os << " default " << d.default_value->to_string();
+    os << ";\n";
+}
+
+void print_trend(std::ostringstream& os, const TrendDecl& t) {
+    os << "  " << t.var << "' = " << t.rate->to_string();
+    if (!t.modes.empty()) {
+        os << " in ";
+        for (std::size_t i = 0; i < t.modes.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << t.modes[i];
+        }
+    }
+    os << ";\n";
+}
+
+std::string path_or_root(const std::vector<std::string>& path) {
+    if (path.empty()) return "root";
+    std::string out;
+    for (const auto& p : path) {
+        if (!out.empty()) out += '.';
+        out += p;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string print_component_type(const ComponentType& t) {
+    std::ostringstream os;
+    os << to_string(t.category) << ' ' << t.name << '\n';
+    if (!t.features.empty()) {
+        os << "features\n";
+        for (const auto& f : t.features) {
+            os << "  " << f.name << ": " << (f.dir == PortDir::In ? "in" : "out") << ' ';
+            if (f.is_event) {
+                os << "event port";
+            } else {
+                os << "data port ";
+                print_data_type(os, f.data_type);
+                if (f.default_value != nullptr) {
+                    os << " default " << f.default_value->to_string();
+                }
+            }
+            os << ";\n";
+        }
+    }
+    os << "end " << t.name << ";\n";
+    return os.str();
+}
+
+std::string print_component_impl(const ComponentImpl& impl) {
+    std::ostringstream os;
+    os << to_string(impl.category) << " implementation " << impl.full_name() << '\n';
+    if (!impl.data.empty() || !impl.subcomponents.empty()) {
+        os << "subcomponents\n";
+        for (const auto& d : impl.data) print_data_decl(os, d);
+        for (const auto& s : impl.subcomponents) {
+            os << "  " << s.name << ": " << to_string(s.category) << ' ' << s.type_name;
+            print_modes_clause(os, s.in_modes);
+            os << ";\n";
+        }
+    }
+    if (!impl.connections.empty()) {
+        os << "connections\n";
+        for (const auto& c : impl.connections) {
+            os << "  " << (c.is_event ? "event" : "data") << " port "
+               << c.src.to_string() << " -> " << c.dst.to_string();
+            print_modes_clause(os, c.in_modes);
+            os << ";\n";
+        }
+    }
+    if (!impl.flows.empty()) {
+        os << "flows\n";
+        for (const auto& f : impl.flows) {
+            os << "  " << f.target.to_string() << " := " << f.value->to_string();
+            print_modes_clause(os, f.in_modes);
+            os << ";\n";
+        }
+    }
+    if (!impl.modes.empty()) {
+        os << "modes\n";
+        for (const auto& m : impl.modes) {
+            os << "  " << m.name << ": " << (m.initial ? "initial " : "") << "mode";
+            if (m.invariant != nullptr) os << " while " << m.invariant->to_string();
+            os << ";\n";
+        }
+    }
+    if (!impl.transitions.empty()) {
+        os << "transitions\n";
+        for (const auto& t : impl.transitions) print_transition(os, t);
+    }
+    if (!impl.trends.empty()) {
+        os << "trends\n";
+        for (const auto& t : impl.trends) print_trend(os, t);
+    }
+    os << "end " << impl.full_name() << ";\n";
+    return os.str();
+}
+
+std::string print_error_type(const ErrorModelType& t) {
+    std::ostringstream os;
+    os << "error model " << t.name << '\n';
+    os << "features\n";
+    for (const auto& s : t.states) {
+        os << "  " << s.name << ": " << (s.initial ? "initial " : "") << "state";
+        if (s.invariant != nullptr) os << " while " << s.invariant->to_string();
+        os << ";\n";
+    }
+    for (const auto& p : t.propagations) {
+        os << "  " << p.name << ": " << (p.dir == PortDir::In ? "in" : "out")
+           << " propagation;\n";
+    }
+    os << "end " << t.name << ";\n";
+    return os.str();
+}
+
+std::string print_error_impl(const ErrorModelImpl& impl) {
+    std::ostringstream os;
+    os << "error model implementation " << impl.full_name() << '\n';
+    if (!impl.events.empty()) {
+        os << "events\n";
+        for (const auto& e : impl.events) {
+            os << "  " << e.name << ": error event";
+            if (e.rate) {
+                os << " occurrence poisson " << std::setprecision(17) << *e.rate
+                   << " per sec";
+            }
+            os << ";\n";
+        }
+    }
+    if (!impl.data.empty()) {
+        os << "subcomponents\n";
+        for (const auto& d : impl.data) print_data_decl(os, d);
+    }
+    if (!impl.transitions.empty()) {
+        os << "transitions\n";
+        for (const auto& t : impl.transitions) print_transition(os, t);
+    }
+    if (!impl.trends.empty()) {
+        os << "trends\n";
+        for (const auto& t : impl.trends) print_trend(os, t);
+    }
+    os << "end " << impl.full_name() << ";\n";
+    return os.str();
+}
+
+std::string print_model(const ModelFile& file) {
+    std::ostringstream os;
+    if (!file.root.empty()) os << "root " << file.root << ";\n\n";
+    for (const auto& t : file.component_types) os << print_component_type(t) << '\n';
+    for (const auto& i : file.component_impls) os << print_component_impl(i) << '\n';
+    for (const auto& t : file.error_types) os << print_error_type(t) << '\n';
+    for (const auto& i : file.error_impls) os << print_error_impl(i) << '\n';
+    if (!file.error_bindings.empty() || !file.injections.empty()) {
+        os << "fault injections\n";
+        for (const auto& b : file.error_bindings) {
+            os << "  component " << path_or_root(b.component_path)
+               << " uses error model " << b.error_impl << ";\n";
+        }
+        for (const auto& inj : file.injections) {
+            os << "  component " << path_or_root(inj.component_path) << " in state "
+               << inj.state << " effect " << inj.target_var << " := "
+               << inj.value->to_string() << ";\n";
+        }
+        os << "end fault injections;\n";
+    }
+    return os.str();
+}
+
+} // namespace slimsim::slim

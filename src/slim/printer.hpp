@@ -1,0 +1,24 @@
+// Pretty-printer for SLIM declaration ASTs.
+//
+// Produces concrete syntax in the dialect the parser accepts, such that
+// parse(print(parse(src))) is equivalent to parse(src) — verified by the
+// round-trip test suite. Useful for emitting programmatically-built models
+// and for normalizing model files.
+#pragma once
+
+#include <string>
+
+#include "slim/ast.hpp"
+
+namespace slimsim::slim {
+
+/// Prints a complete model file.
+[[nodiscard]] std::string print_model(const ModelFile& file);
+
+/// Individual declaration printers (used by print_model; exposed for tools).
+[[nodiscard]] std::string print_component_type(const ComponentType& t);
+[[nodiscard]] std::string print_component_impl(const ComponentImpl& impl);
+[[nodiscard]] std::string print_error_type(const ErrorModelType& t);
+[[nodiscard]] std::string print_error_impl(const ErrorModelImpl& impl);
+
+} // namespace slimsim::slim

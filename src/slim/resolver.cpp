@@ -1,0 +1,774 @@
+#include "slim/resolver.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace slimsim::slim {
+
+using expr::BinaryOp;
+using expr::Expr;
+using expr::ExprKind;
+using expr::UnaryOp;
+
+// --- SymbolTable -------------------------------------------------------------
+
+expr::Slot SymbolTable::add(Symbol sym) {
+    const auto slot = static_cast<expr::Slot>(symbols_.size());
+    by_name_.emplace(sym.name, slot);
+    symbols_.push_back(std::move(sym));
+    return slot;
+}
+
+const Symbol* SymbolTable::find(std::string_view name) const {
+    const auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? nullptr : &symbols_[it->second];
+}
+
+std::optional<expr::Slot> SymbolTable::slot_of(std::string_view name) const {
+    const auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end()) return std::nullopt;
+    return it->second;
+}
+
+// --- expression resolution ----------------------------------------------------
+
+namespace {
+
+void resolve_expr_rec(Expr& e, const SymbolTable* symbols, DiagnosticSink& sink) {
+    switch (e.kind) {
+    case ExprKind::Literal:
+        return; // typed at construction
+    case ExprKind::Var: {
+        if (symbols == nullptr) {
+            sink.error(e.loc, "expression must be constant, but references `" +
+                                  e.var_name + "`");
+            e.type = Type::real();
+            return;
+        }
+        const Symbol* sym = symbols->find(e.var_name);
+        if (sym == nullptr) {
+            sink.error(e.loc, "unknown data element `" + e.var_name + "`");
+            e.type = Type::real();
+            return;
+        }
+        e.slot = *symbols->slot_of(e.var_name);
+        e.type = sym->type;
+        return;
+    }
+    case ExprKind::Unary: {
+        resolve_expr_rec(*e.a, symbols, sink);
+        if (e.uop == UnaryOp::Not) {
+            if (!e.a->type.is_bool()) {
+                sink.error(e.loc, "`not` requires a Boolean operand");
+            }
+            e.type = Type::boolean();
+        } else {
+            if (!e.a->type.is_numeric()) {
+                sink.error(e.loc, "unary `-` requires a numeric operand");
+            }
+            e.type = e.a->type.is_int() ? Type::integer() : Type::real();
+        }
+        return;
+    }
+    case ExprKind::Binary: {
+        resolve_expr_rec(*e.a, symbols, sink);
+        resolve_expr_rec(*e.b, symbols, sink);
+        const Type& l = e.a->type;
+        const Type& r = e.b->type;
+        if (expr::is_logical(e.bop)) {
+            if (!l.is_bool() || !r.is_bool()) {
+                sink.error(e.loc, "`" + expr::to_string(e.bop) +
+                                      "` requires Boolean operands");
+            }
+            e.type = Type::boolean();
+        } else if (expr::is_comparison(e.bop)) {
+            const bool eq = e.bop == BinaryOp::Eq || e.bop == BinaryOp::Ne;
+            const bool ok = (l.is_numeric() && r.is_numeric()) ||
+                            (eq && l.is_bool() && r.is_bool());
+            if (!ok) {
+                sink.error(e.loc, "invalid operand types for `" +
+                                      expr::to_string(e.bop) + "`: " + l.to_string() +
+                                      " and " + r.to_string());
+            }
+            e.type = Type::boolean();
+        } else { // arithmetic
+            if (e.bop == BinaryOp::Mod) {
+                if (!l.is_int() || !r.is_int()) {
+                    sink.error(e.loc, "`mod` requires integer operands");
+                }
+                e.type = Type::integer();
+            } else {
+                if (!l.is_numeric() || !r.is_numeric()) {
+                    sink.error(e.loc, "arithmetic requires numeric operands");
+                }
+                e.type = (l.is_int() && r.is_int()) ? Type::integer() : Type::real();
+            }
+        }
+        return;
+    }
+    case ExprKind::Ite: {
+        resolve_expr_rec(*e.a, symbols, sink);
+        resolve_expr_rec(*e.b, symbols, sink);
+        resolve_expr_rec(*e.c, symbols, sink);
+        if (!e.a->type.is_bool()) {
+            sink.error(e.loc, "`if` condition must be Boolean");
+        }
+        const Type& t = e.b->type;
+        const Type& f = e.c->type;
+        if (t.is_bool() && f.is_bool()) {
+            e.type = Type::boolean();
+        } else if (t.is_numeric() && f.is_numeric()) {
+            e.type = (t.is_int() && f.is_int()) ? Type::integer() : Type::real();
+        } else {
+            sink.error(e.loc, "`if` branches have incompatible types");
+            e.type = t;
+        }
+        return;
+    }
+    }
+}
+
+/// Checks a resolved default/initial-value expression for assignability.
+void check_assignable(const Type& target, const Expr& value, DiagnosticSink& sink,
+                      const SourceLoc& loc, std::string_view what) {
+    if (!target.accepts(value.type)) {
+        sink.error(loc, std::string(what) + ": cannot assign " + value.type.to_string() +
+                            " to " + target.to_string());
+    }
+}
+
+// --- model resolution -----------------------------------------------------------
+
+class Resolver {
+public:
+    explicit Resolver(ModelFile file) : model_{} { model_.file = std::move(file); }
+
+    ResolvedModel run() {
+        index_declarations();
+        sink_.throw_if_errors("resolution");
+        for (auto& impl : model_.file.component_impls) resolve_impl_pass1(impl);
+        for (auto& eimpl : model_.file.error_impls) resolve_error_impl_pass1(eimpl);
+        sink_.throw_if_errors("resolution");
+        check_recursion();
+        sink_.throw_if_errors("resolution");
+        for (auto& impl : model_.file.component_impls) resolve_impl_pass2(impl);
+        for (auto& eimpl : model_.file.error_impls) resolve_error_impl_pass2(eimpl);
+        resolve_root();
+        sink_.throw_if_errors("resolution");
+        return std::move(model_);
+    }
+
+private:
+    void index_declarations() {
+        for (const auto& t : model_.file.component_types) {
+            if (!model_.types.emplace(t.name, &t).second) {
+                sink_.error(t.loc, "duplicate component type `" + t.name + "`");
+            }
+            std::unordered_set<std::string> seen;
+            for (const auto& f : t.features) {
+                if (!seen.insert(f.name).second) {
+                    sink_.error(f.loc, "duplicate feature `" + f.name + "` in `" + t.name + "`");
+                }
+            }
+        }
+        for (const auto& t : model_.file.error_types) {
+            if (!model_.error_types.emplace(t.name, &t).second) {
+                sink_.error(t.loc, "duplicate error model type `" + t.name + "`");
+            }
+        }
+        for (auto& impl : model_.file.component_impls) {
+            ResolvedImpl r;
+            r.impl = &impl;
+            if (!model_.impls.emplace(impl.full_name(), std::move(r)).second) {
+                sink_.error(impl.loc, "duplicate implementation `" + impl.full_name() + "`");
+            }
+        }
+        for (auto& eimpl : model_.file.error_impls) {
+            ResolvedErrorImpl r;
+            r.impl = &eimpl;
+            if (!model_.error_impls.emplace(eimpl.full_name(), std::move(r)).second) {
+                sink_.error(eimpl.loc,
+                            "duplicate error model implementation `" + eimpl.full_name() + "`");
+            }
+        }
+    }
+
+    /// Finds the implementation a subcomponent's `type_name` refers to:
+    /// either "Type.Impl" directly or "Type" when the type has exactly one
+    /// implementation.
+    const std::string* lookup_impl_name(const std::string& type_name, const SourceLoc& loc) {
+        if (type_name.find('.') != std::string::npos) {
+            const auto it = model_.impls.find(type_name);
+            if (it == model_.impls.end()) {
+                sink_.error(loc, "unknown implementation `" + type_name + "`");
+                return nullptr;
+            }
+            return &it->first;
+        }
+        const std::string* found = nullptr;
+        for (const auto& [name, r] : model_.impls) {
+            if (r.impl->type_name == type_name) {
+                if (found != nullptr) {
+                    sink_.error(loc, "component type `" + type_name +
+                                         "` has multiple implementations; qualify the name");
+                    return nullptr;
+                }
+                found = &name;
+            }
+        }
+        if (found == nullptr) {
+            sink_.error(loc, "no implementation found for component type `" + type_name + "`");
+        }
+        return found;
+    }
+
+    // Pass 1: component type link, modes, event ports, subcomponent impls,
+    // symbol table construction.
+    void resolve_impl_pass1(ComponentImpl& impl) {
+        ResolvedImpl& r = model_.impls.at(impl.full_name());
+        const auto type_it = model_.types.find(impl.type_name);
+        if (type_it == model_.types.end()) {
+            sink_.error(impl.loc, "implementation of unknown component type `" +
+                                      impl.type_name + "`");
+            return;
+        }
+        r.type = type_it->second;
+        if (r.type->category != impl.category) {
+            sink_.error(impl.loc, "implementation category `" + to_string(impl.category) +
+                                      "` does not match type category `" +
+                                      to_string(r.type->category) + "`");
+        }
+
+        // Modes.
+        for (const auto& m : impl.modes) {
+            if (r.mode_index.contains(m.name)) {
+                sink_.error(m.loc, "duplicate mode `" + m.name + "`");
+                continue;
+            }
+            r.mode_index.emplace(m.name, static_cast<int>(r.mode_names.size()));
+            r.mode_names.push_back(m.name);
+            if (m.initial) {
+                if (r.initial_mode >= 0) {
+                    sink_.error(m.loc, "multiple initial modes in `" + impl.full_name() + "`");
+                }
+                r.initial_mode = r.mode_index.at(m.name);
+            }
+        }
+        if (!impl.modes.empty() && r.initial_mode < 0) {
+            sink_.error(impl.loc, "`" + impl.full_name() + "` declares modes but no initial mode");
+        }
+        if (impl.modes.empty() && !impl.transitions.empty()) {
+            sink_.error(impl.loc,
+                        "`" + impl.full_name() + "` has transitions but declares no modes");
+        }
+
+        // Symbols: own data ports, own data subcomponents.
+        for (const auto& f : r.type->features) {
+            if (f.is_event) {
+                r.event_ports.emplace(f.name, f.dir);
+                continue;
+            }
+            if (f.data_type.is_timed()) {
+                // Data connections are limited to the discrete and real
+                // types (paper, Sec. II-D).
+                sink_.error(f.loc, "data port `" + f.name +
+                                       "` must not be a clock or continuous variable");
+            }
+            Symbol sym;
+            sym.name = f.name;
+            sym.kind = f.dir == PortDir::In ? SymKind::InDataPort : SymKind::OutDataPort;
+            sym.type = f.data_type;
+            sym.default_value = f.default_value;
+            sym.port = f.name;
+            r.symbols.add(std::move(sym));
+        }
+        std::unordered_set<std::string> local_names;
+        for (const auto& f : r.type->features) local_names.insert(f.name);
+        for (const auto& d : impl.data) {
+            if (!local_names.insert(d.name).second) {
+                sink_.error(d.loc, "duplicate data element `" + d.name + "`");
+                continue;
+            }
+            Symbol sym;
+            sym.name = d.name;
+            sym.kind = SymKind::Data;
+            sym.type = d.type;
+            sym.default_value = d.default_value;
+            r.symbols.add(std::move(sym));
+        }
+
+        // Subcomponents: record impls and expose their data ports as symbols.
+        for (const auto& s : impl.subcomponents) {
+            if (!local_names.insert(s.name).second) {
+                sink_.error(s.loc, "duplicate subcomponent `" + s.name + "`");
+                continue;
+            }
+            const std::string* child_name = lookup_impl_name(s.type_name, s.loc);
+            if (child_name == nullptr) continue;
+            r.subcomp_impl.emplace(s.name, *child_name);
+            const ResolvedImpl& child = model_.impls.at(*child_name);
+            const auto child_type_it = model_.types.find(child.impl->type_name);
+            if (child_type_it == model_.types.end()) continue; // already diagnosed
+            if (child.impl->category != s.category) {
+                sink_.error(s.loc, "subcomponent `" + s.name + "` declared as `" +
+                                       to_string(s.category) + "` but `" + *child_name +
+                                       "` is a `" + to_string(child.impl->category) + "`");
+            }
+            for (const auto& f : child_type_it->second->features) {
+                if (f.is_event) continue;
+                Symbol sym;
+                sym.name = s.name + "." + f.name;
+                sym.kind = f.dir == PortDir::In ? SymKind::SubInDataPort
+                                                : SymKind::SubOutDataPort;
+                sym.type = f.data_type;
+                sym.sub = s.name;
+                sym.port = f.name;
+                r.symbols.add(std::move(sym));
+            }
+        }
+
+        // Implicit per-process clock.
+        Symbol timer;
+        timer.name = "@timer";
+        timer.kind = SymKind::Timer;
+        timer.type = Type::clock();
+        r.symbols.add(std::move(timer));
+    }
+
+    void resolve_error_impl_pass1(ErrorModelImpl& eimpl) {
+        ResolvedErrorImpl& r = model_.error_impls.at(eimpl.full_name());
+        const auto type_it = model_.error_types.find(eimpl.type_name);
+        if (type_it == model_.error_types.end()) {
+            sink_.error(eimpl.loc,
+                        "implementation of unknown error model type `" + eimpl.type_name + "`");
+            return;
+        }
+        r.type = type_it->second;
+        for (const auto& s : r.type->states) {
+            if (r.state_index.contains(s.name)) {
+                sink_.error(s.loc, "duplicate error state `" + s.name + "`");
+                continue;
+            }
+            r.state_index.emplace(s.name, static_cast<int>(r.state_names.size()));
+            r.state_names.push_back(s.name);
+            if (s.initial) {
+                if (r.initial_state >= 0) {
+                    sink_.error(s.loc, "multiple initial states in `" + r.type->name + "`");
+                }
+                r.initial_state = r.state_index.at(s.name);
+            }
+        }
+        if (r.initial_state < 0) {
+            sink_.error(r.type->loc, "error model `" + r.type->name + "` has no initial state");
+        }
+        for (const auto& p : r.type->propagations) {
+            if (!r.propagations.emplace(p.name, p.dir).second) {
+                sink_.error(p.loc, "duplicate propagation `" + p.name + "`");
+            }
+        }
+        for (const auto& ev : eimpl.events) {
+            if (!r.events.emplace(ev.name, &ev).second) {
+                sink_.error(ev.loc, "duplicate error event `" + ev.name + "`");
+            }
+            if (r.propagations.contains(ev.name)) {
+                sink_.error(ev.loc, "error event `" + ev.name + "` collides with a propagation");
+            }
+        }
+        std::unordered_set<std::string> names;
+        for (const auto& d : eimpl.data) {
+            if (!names.insert(d.name).second) {
+                sink_.error(d.loc, "duplicate data element `" + d.name + "`");
+                continue;
+            }
+            Symbol sym;
+            sym.name = d.name;
+            sym.kind = SymKind::Data;
+            sym.type = d.type;
+            sym.default_value = d.default_value;
+            r.symbols.add(std::move(sym));
+        }
+        Symbol timer;
+        timer.name = "@timer";
+        timer.kind = SymKind::Timer;
+        timer.type = Type::clock();
+        r.symbols.add(std::move(timer));
+    }
+
+    /// Rejects recursive component containment (a component containing
+    /// itself directly or transitively).
+    void check_recursion() {
+        enum class Mark : std::uint8_t { White, Grey, Black };
+        std::unordered_map<std::string, Mark> marks;
+        for (const auto& [name, r] : model_.impls) {
+            (void)r;
+            marks.emplace(name, Mark::White);
+        }
+        auto dfs = [&](auto&& self, const std::string& name) -> void {
+            Mark& m = marks.at(name);
+            if (m != Mark::White) return;
+            m = Mark::Grey;
+            for (const auto& [sub, child] : model_.impls.at(name).subcomp_impl) {
+                (void)sub;
+                if (marks.at(child) == Mark::Grey) {
+                    sink_.error(model_.impls.at(name).impl->loc,
+                                "recursive component containment involving `" + child + "`");
+                } else {
+                    self(self, child);
+                }
+            }
+            m = Mark::Black;
+        };
+        for (const auto& [name, r] : model_.impls) {
+            (void)r;
+            dfs(dfs, name);
+        }
+    }
+
+    // Pass 2: expressions, transitions, connections, flows, trends.
+    void resolve_impl_pass2(ComponentImpl& impl) {
+        ResolvedImpl& r = model_.impls.at(impl.full_name());
+        if (r.type == nullptr) return;
+        const SymbolTable& syms = r.symbols;
+
+        // Defaults must be constant and assignable (resolve once per type;
+        // defaults are constant, so the resolution is scope-independent).
+        if (resolved_types_.insert(r.type).second) {
+            for (auto& f : const_cast<ComponentType*>(r.type)->features) {
+                if (f.default_value) {
+                    resolve_expr_rec(*f.default_value, nullptr, sink_);
+                    check_assignable(f.data_type, *f.default_value, sink_, f.loc,
+                                     "default of `" + f.name + "`");
+                }
+            }
+        }
+        for (auto& d : impl.data) {
+            if (d.default_value) {
+                resolve_expr_rec(*d.default_value, nullptr, sink_);
+                check_assignable(d.type, *d.default_value, sink_, d.loc,
+                                 "default of `" + d.name + "`");
+            }
+        }
+
+        auto check_modes_exist = [&](const std::vector<std::string>& names,
+                                     const SourceLoc& loc) {
+            for (const auto& m : names) {
+                if (!r.mode_index.contains(m)) {
+                    sink_.error(loc, "unknown mode `" + m + "`");
+                }
+            }
+        };
+
+        for (auto& m : impl.modes) {
+            if (m.invariant) {
+                resolve_expr_rec(*m.invariant, &syms, sink_);
+                if (!m.invariant->type.is_bool()) {
+                    sink_.error(m.loc, "mode invariant must be Boolean");
+                }
+            }
+        }
+
+        for (auto& s : impl.subcomponents) check_modes_exist(s.in_modes, s.loc);
+
+        for (auto& t : impl.transitions) resolve_transition(t, r);
+
+        for (auto& c : impl.connections) resolve_connection(c, r);
+
+        for (auto& f : impl.flows) {
+            resolve_expr_rec(*f.value, &syms, sink_);
+            const Symbol* target = syms.find(f.target.to_string());
+            if (target == nullptr) {
+                sink_.error(f.loc, "unknown flow target `" + f.target.to_string() + "`");
+            } else if (target->kind != SymKind::OutDataPort &&
+                       target->kind != SymKind::SubInDataPort) {
+                sink_.error(f.loc, "flow target `" + f.target.to_string() +
+                                       "` must be an own out data port or a subcomponent "
+                                       "in data port");
+            } else {
+                check_assignable(target->type, *f.value, sink_, f.loc, "flow");
+                if (target->type.is_timed()) {
+                    sink_.error(f.loc, "flow target must not be a clock or continuous variable");
+                }
+            }
+            check_modes_exist(f.in_modes, f.loc);
+        }
+
+        for (auto& tr : impl.trends) {
+            const Symbol* var = syms.find(tr.var);
+            if (var == nullptr || var->kind != SymKind::Data ||
+                var->type.kind != TypeKind::Continuous) {
+                sink_.error(tr.loc, "trend target `" + tr.var +
+                                        "` must be an own continuous data element");
+            }
+            resolve_expr_rec(*tr.rate, nullptr, sink_); // must be constant
+            if (!tr.rate->type.is_numeric()) {
+                sink_.error(tr.loc, "trend rate must be numeric");
+            }
+            check_modes_exist(tr.modes, tr.loc);
+        }
+    }
+
+    void resolve_transition(TransitionDecl& t, ResolvedImpl& r) {
+        if (!r.mode_index.contains(t.src)) {
+            sink_.error(t.loc, "unknown source mode `" + t.src + "`");
+        }
+        if (!r.mode_index.contains(t.dst)) {
+            sink_.error(t.loc, "unknown target mode `" + t.dst + "`");
+        }
+        if (t.trigger.kind == TriggerKind::Port) {
+            if (!t.trigger.port.component.empty() ||
+                !r.event_ports.contains(t.trigger.port.port)) {
+                sink_.error(t.trigger.loc, "transition trigger `" + t.trigger.port.to_string() +
+                                               "` is not an event port of this component");
+            }
+        }
+        if (t.guard) {
+            resolve_expr_rec(*t.guard, &r.symbols, sink_);
+            if (!t.guard->type.is_bool()) {
+                sink_.error(t.loc, "transition guard must be Boolean");
+            }
+        }
+        for (auto& eff : t.effects) {
+            resolve_expr_rec(*eff.value, &r.symbols, sink_);
+            const Symbol* target = r.symbols.find(eff.target.to_string());
+            if (target == nullptr) {
+                sink_.error(eff.loc, "unknown effect target `" + eff.target.to_string() + "`");
+                continue;
+            }
+            if (target->kind != SymKind::Data && target->kind != SymKind::OutDataPort) {
+                sink_.error(eff.loc, "effect target `" + eff.target.to_string() +
+                                         "` must be an own data element or out data port");
+                continue;
+            }
+            check_assignable(target->type, *eff.value, sink_, eff.loc, "effect");
+        }
+    }
+
+    /// Validates a connection's endpoints and directionality. Legal shapes:
+    ///   sub.out -> sub.in | sub.out -> own out | own in -> sub.in
+    ///   | own in -> own out.
+    void resolve_connection(ConnectionDecl& c, ResolvedImpl& r) {
+        const auto port_info = [&](const PortRef& ref, bool& is_event, PortDir& dir,
+                                   Type& type) -> bool {
+            if (ref.component.empty()) {
+                if (const auto it = r.event_ports.find(ref.port); it != r.event_ports.end()) {
+                    is_event = true;
+                    dir = it->second;
+                    return true;
+                }
+                const Symbol* s = r.symbols.find(ref.port);
+                if (s != nullptr &&
+                    (s->kind == SymKind::InDataPort || s->kind == SymKind::OutDataPort)) {
+                    is_event = false;
+                    dir = s->kind == SymKind::InDataPort ? PortDir::In : PortDir::Out;
+                    type = s->type;
+                    return true;
+                }
+                sink_.error(ref.loc, "unknown port `" + ref.to_string() + "`");
+                return false;
+            }
+            const auto sub_it = r.subcomp_impl.find(ref.component);
+            if (sub_it == r.subcomp_impl.end()) {
+                sink_.error(ref.loc, "unknown subcomponent `" + ref.component + "`");
+                return false;
+            }
+            const ResolvedImpl& child = model_.impls.at(sub_it->second);
+            if (const auto it = child.event_ports.find(ref.port);
+                it != child.event_ports.end()) {
+                is_event = true;
+                dir = it->second;
+                return true;
+            }
+            const Symbol* s = child.symbols.find(ref.port);
+            if (s != nullptr &&
+                (s->kind == SymKind::InDataPort || s->kind == SymKind::OutDataPort)) {
+                is_event = false;
+                dir = s->kind == SymKind::InDataPort ? PortDir::In : PortDir::Out;
+                type = s->type;
+                return true;
+            }
+            sink_.error(ref.loc, "`" + ref.component + "` has no port `" + ref.port + "`");
+            return false;
+        };
+
+        bool src_event = false, dst_event = false;
+        PortDir src_dir = PortDir::Out, dst_dir = PortDir::In;
+        Type src_type, dst_type;
+        const bool src_ok = port_info(c.src, src_event, src_dir, src_type);
+        const bool dst_ok = port_info(c.dst, dst_event, dst_dir, dst_type);
+        if (!src_ok || !dst_ok) return;
+        if (src_event != c.is_event || dst_event != c.is_event) {
+            sink_.error(c.loc, "connection kind does not match the ports");
+            return;
+        }
+        // Effective role: a port is a valid source if it produces data at this
+        // level (sub.out or own in), and a valid destination if it consumes
+        // data at this level (sub.in or own out).
+        const bool src_produces = c.src.component.empty() ? src_dir == PortDir::In
+                                                          : src_dir == PortDir::Out;
+        const bool dst_consumes = c.dst.component.empty() ? dst_dir == PortDir::Out
+                                                          : dst_dir == PortDir::In;
+        if (!src_produces) {
+            sink_.error(c.loc, "`" + c.src.to_string() + "` cannot be a connection source here");
+        }
+        if (!dst_consumes) {
+            sink_.error(c.loc,
+                        "`" + c.dst.to_string() + "` cannot be a connection destination here");
+        }
+        if (!c.is_event && !dst_type.accepts(src_type)) {
+            sink_.error(c.loc, "data connection type mismatch: " + src_type.to_string() +
+                                   " -> " + dst_type.to_string());
+        }
+        for (const auto& m : c.in_modes) {
+            if (!r.mode_index.contains(m)) sink_.error(c.loc, "unknown mode `" + m + "`");
+        }
+    }
+
+    void resolve_error_impl_pass2(ErrorModelImpl& eimpl) {
+        ResolvedErrorImpl& r = model_.error_impls.at(eimpl.full_name());
+        if (r.type == nullptr) return;
+        for (auto& d : eimpl.data) {
+            if (d.default_value) {
+                resolve_expr_rec(*d.default_value, nullptr, sink_);
+                check_assignable(d.type, *d.default_value, sink_, d.loc,
+                                 "default of `" + d.name + "`");
+            }
+        }
+        // State invariants are declared on the type but may reference
+        // implementation data; resolve a private clone per implementation.
+        r.state_invariants.assign(r.state_names.size(), nullptr);
+        for (const auto& s : r.type->states) {
+            if (!s.invariant) continue;
+            const auto idx_it = r.state_index.find(s.name);
+            if (idx_it == r.state_index.end()) continue;
+            expr::ExprPtr inv = expr::clone(*s.invariant);
+            resolve_expr_rec(*inv, &r.symbols, sink_);
+            if (!inv->type.is_bool()) {
+                sink_.error(s.loc, "error state invariant must be Boolean");
+            }
+            r.state_invariants[static_cast<std::size_t>(idx_it->second)] = std::move(inv);
+        }
+        for (auto& t : eimpl.transitions) {
+            if (!r.state_index.contains(t.src)) {
+                sink_.error(t.loc, "unknown source state `" + t.src + "`");
+            }
+            if (!r.state_index.contains(t.dst)) {
+                sink_.error(t.loc, "unknown target state `" + t.dst + "`");
+            }
+            if (t.trigger.kind == TriggerKind::Port) {
+                const std::string& name = t.trigger.port.port;
+                if (!t.trigger.port.component.empty() ||
+                    (!r.events.contains(name) && !r.propagations.contains(name))) {
+                    sink_.error(t.trigger.loc, "trigger `" + t.trigger.port.to_string() +
+                                                   "` is neither an error event nor a "
+                                                   "propagation of this error model");
+                } else if (const auto ev = r.events.find(name);
+                           ev != r.events.end() && ev->second->rate && t.guard) {
+                    sink_.error(t.loc, "transition on Poisson event `" + name +
+                                           "` must not carry a guard");
+                }
+            }
+            if (t.guard) {
+                resolve_expr_rec(*t.guard, &r.symbols, sink_);
+                if (!t.guard->type.is_bool()) {
+                    sink_.error(t.loc, "transition guard must be Boolean");
+                }
+            }
+            for (auto& eff : t.effects) {
+                resolve_expr_rec(*eff.value, &r.symbols, sink_);
+                const Symbol* target = r.symbols.find(eff.target.to_string());
+                if (target == nullptr || target->kind != SymKind::Data) {
+                    sink_.error(eff.loc, "effect target `" + eff.target.to_string() +
+                                             "` must be a data element of the error model");
+                    continue;
+                }
+                check_assignable(target->type, *eff.value, sink_, eff.loc, "effect");
+            }
+        }
+        for (auto& tr : eimpl.trends) {
+            const Symbol* var = r.symbols.find(tr.var);
+            if (var == nullptr || var->kind != SymKind::Data ||
+                var->type.kind != TypeKind::Continuous) {
+                sink_.error(tr.loc, "trend target `" + tr.var +
+                                        "` must be an own continuous data element");
+            }
+            resolve_expr_rec(*tr.rate, nullptr, sink_);
+            for (const auto& m : tr.modes) {
+                if (!r.state_index.contains(m)) {
+                    sink_.error(tr.loc, "unknown error state `" + m + "`");
+                }
+            }
+        }
+    }
+
+    void resolve_root() {
+        if (!model_.file.root.empty()) {
+            if (!model_.impls.contains(model_.file.root)) {
+                sink_.error({}, "root implementation `" + model_.file.root + "` not found");
+                return;
+            }
+            model_.root_impl = model_.file.root;
+            return;
+        }
+        // No explicit root: pick the unique implementation that is not used
+        // as a subcomponent anywhere.
+        std::unordered_set<std::string> used;
+        for (const auto& [name, r] : model_.impls) {
+            (void)name;
+            for (const auto& [sub, child] : r.subcomp_impl) {
+                (void)sub;
+                used.insert(child);
+            }
+        }
+        std::vector<std::string> candidates;
+        for (const auto& [name, r] : model_.impls) {
+            (void)r;
+            if (!used.contains(name)) candidates.push_back(name);
+        }
+        if (candidates.size() == 1) {
+            model_.root_impl = candidates.front();
+            return;
+        }
+        if (candidates.empty()) {
+            sink_.error({}, "cannot determine a root component; add a `root Type.Impl;` "
+                            "declaration");
+        } else {
+            std::sort(candidates.begin(), candidates.end());
+            std::string list;
+            for (const auto& c : candidates) list += " " + c;
+            sink_.error({}, "multiple root candidates:" + list +
+                                "; add a `root Type.Impl;` declaration");
+        }
+    }
+
+    ResolvedModel model_;
+    DiagnosticSink sink_;
+    std::unordered_set<const ComponentType*> resolved_types_;
+};
+
+} // namespace
+
+const ResolvedImpl& ResolvedModel::impl_of(const std::string& full_name) const {
+    const auto it = impls.find(full_name);
+    if (it == impls.end()) throw Error("unknown implementation `" + full_name + "`");
+    return it->second;
+}
+
+const ResolvedErrorImpl& ResolvedModel::error_impl_of(const std::string& full_name) const {
+    const auto it = error_impls.find(full_name);
+    if (it == error_impls.end()) {
+        throw Error("unknown error model implementation `" + full_name + "`");
+    }
+    return it->second;
+}
+
+ResolvedModel resolve(ModelFile file) { return Resolver(std::move(file)).run(); }
+
+void resolve_expr(expr::Expr& e, const SymbolTable& symbols, DiagnosticSink& sink) {
+    resolve_expr_rec(e, &symbols, sink);
+}
+
+void resolve_const_expr(expr::Expr& e, DiagnosticSink& sink) {
+    resolve_expr_rec(e, nullptr, sink);
+}
+
+} // namespace slimsim::slim

@@ -1,0 +1,111 @@
+// Name resolution and type checking of a parsed SLIM model.
+//
+// Each component implementation gets a *symbol table* assigning a slot to
+// every data-valued entity visible inside it: its own data subcomponents,
+// its own data ports, the data ports of its direct subcomponents (dotted
+// `sub.port` names) and the implicit per-process clock `@timer`. Expressions
+// are resolved in place: variable references receive their slot and every
+// node its static type. Component *instances* later provide a binding table
+// mapping slots to global variable ids, so resolved expression trees are
+// shared between all instances of an implementation.
+#pragma once
+
+#include <unordered_map>
+
+#include "slim/ast.hpp"
+
+namespace slimsim::slim {
+
+enum class SymKind : std::uint8_t {
+    Data,           // own data subcomponent
+    InDataPort,     // own in data port
+    OutDataPort,    // own out data port
+    SubInDataPort,  // in data port of a direct subcomponent
+    SubOutDataPort, // out data port of a direct subcomponent
+    Timer,          // implicit @timer clock
+};
+
+struct Symbol {
+    std::string name; // as referenced: "x", "port", "sub.port", "@timer"
+    SymKind kind = SymKind::Data;
+    Type type;
+    expr::ExprPtr default_value; // may be null (type default)
+    std::string sub;             // for Sub*DataPort: subcomponent name
+    std::string port;            // for Sub*DataPort / ports: the port name
+};
+
+class SymbolTable {
+public:
+    /// Adds a symbol; returns its slot. Duplicate names are the caller's
+    /// responsibility to diagnose (lookup returns the first).
+    expr::Slot add(Symbol sym);
+
+    [[nodiscard]] const Symbol* find(std::string_view name) const;
+    [[nodiscard]] std::optional<expr::Slot> slot_of(std::string_view name) const;
+
+    [[nodiscard]] const std::vector<Symbol>& all() const { return symbols_; }
+    [[nodiscard]] const Symbol& at(expr::Slot s) const { return symbols_[s]; }
+    [[nodiscard]] std::size_t size() const { return symbols_.size(); }
+
+private:
+    std::vector<Symbol> symbols_;
+    std::unordered_map<std::string, expr::Slot> by_name_;
+};
+
+/// A resolved component implementation.
+struct ResolvedImpl {
+    const ComponentImpl* impl = nullptr;
+    const ComponentType* type = nullptr;
+    SymbolTable symbols;
+    std::vector<std::string> mode_names;
+    std::unordered_map<std::string, int> mode_index;
+    int initial_mode = -1; // -1 when the component has no modes
+    std::unordered_map<std::string, PortDir> event_ports;
+    /// Maps each subcomponent name to the full name of its implementation.
+    std::unordered_map<std::string, std::string> subcomp_impl;
+
+    [[nodiscard]] bool has_behavior() const { return !mode_names.empty(); }
+};
+
+/// A resolved error model implementation.
+struct ResolvedErrorImpl {
+    const ErrorModelImpl* impl = nullptr;
+    const ErrorModelType* type = nullptr;
+    SymbolTable symbols; // own data + @timer
+    std::vector<std::string> state_names;
+    std::unordered_map<std::string, int> state_index;
+    int initial_state = -1;
+    std::unordered_map<std::string, PortDir> propagations;
+    std::unordered_map<std::string, const ErrorEventDecl*> events;
+    /// Per-state invariant, resolved against *this* implementation's symbols
+    /// (state declarations live on the error model type, but may reference
+    /// implementation data). Indexed by state; null = no invariant.
+    std::vector<expr::ExprPtr> state_invariants;
+};
+
+/// The fully resolved model; owns the AST.
+struct ResolvedModel {
+    ModelFile file;
+    std::unordered_map<std::string, const ComponentType*> types;
+    std::unordered_map<std::string, ResolvedImpl> impls; // key: "Type.Impl"
+    std::unordered_map<std::string, const ErrorModelType*> error_types;
+    std::unordered_map<std::string, ResolvedErrorImpl> error_impls;
+    std::string root_impl; // full name of the root implementation
+
+    [[nodiscard]] const ResolvedImpl& impl_of(const std::string& full_name) const;
+    [[nodiscard]] const ResolvedErrorImpl& error_impl_of(const std::string& full_name) const;
+};
+
+/// Resolves and type-checks the whole model. Collects as many diagnostics as
+/// possible and throws slimsim::Error listing them all if any is an error.
+[[nodiscard]] ResolvedModel resolve(ModelFile file);
+
+/// Resolves one expression against a symbol table (exposed for the property
+/// front-end and programmatic model builders). Fills slots and types in
+/// place; reports unknown names / type errors to `sink`.
+void resolve_expr(expr::Expr& e, const SymbolTable& symbols, DiagnosticSink& sink);
+
+/// Resolves an expression that must be constant (no variable references).
+void resolve_const_expr(expr::Expr& e, DiagnosticSink& sink);
+
+} // namespace slimsim::slim

@@ -1,0 +1,68 @@
+#include "slim/summary.hpp"
+
+#include <sstream>
+
+namespace slimsim::slim {
+
+namespace {
+
+void print_instance(std::ostringstream& os, const InstanceModel& m, InstanceId id,
+                    int depth) {
+    const Instance& inst = m.instances[static_cast<std::size_t>(id)];
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << (inst.path.empty() ? "<root>" : inst.path.substr(inst.path.rfind('.') + 1));
+    os << " (" << inst.impl->impl->full_name() << ")";
+    if (inst.process >= 0) {
+        const auto& p = m.processes[static_cast<std::size_t>(inst.process)];
+        os << " [" << p.locations.size() << " modes, " << p.transitions.size()
+           << " transitions]";
+    }
+    if (inst.error_process >= 0) {
+        const auto& p = m.processes[static_cast<std::size_t>(inst.error_process)];
+        os << " +error[" << p.locations.size() << " states]";
+    }
+    if (!inst.parent_modes.empty()) os << " (mode-gated)";
+    os << '\n';
+    for (const InstanceId child : inst.children) print_instance(os, m, child, depth + 1);
+}
+
+} // namespace
+
+std::string model_summary(const InstanceModel& m) {
+    std::ostringstream os;
+    os << "instances (" << m.instances.size() << "):\n";
+    print_instance(os, m, 0, 1);
+
+    std::size_t error_procs = 0;
+    std::size_t transitions = 0;
+    std::size_t markovian = 0;
+    for (const auto& p : m.processes) {
+        if (p.is_error) ++error_procs;
+        transitions += p.transitions.size();
+        for (const auto& t : p.transitions) {
+            if (t.markovian()) ++markovian;
+        }
+    }
+    os << "processes: " << m.processes.size() << " (" << error_procs
+       << " error models), " << transitions << " transitions (" << markovian
+       << " Markovian)\n";
+
+    std::size_t timed_vars = 0;
+    for (const auto& v : m.vars) {
+        if (v.type.is_timed()) ++timed_vars;
+    }
+    os << "variables: " << m.vars.size() << " (" << timed_vars << " clocks/continuous)\n";
+    os << "sync actions: " << m.actions.size();
+    for (const auto& a : m.actions) {
+        os << "  [" << a.name << ": " << a.participants.size() << " participants]";
+    }
+    os << '\n';
+    os << "broadcast channels: " << m.channels.size();
+    for (const auto& c : m.channels) os << "  [" << c.name << "]";
+    os << '\n';
+    os << "data flows: " << m.flows.size() << ", fault injections: " << m.injections.size()
+       << '\n';
+    return os.str();
+}
+
+} // namespace slimsim::slim

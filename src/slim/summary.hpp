@@ -1,0 +1,15 @@
+// Human-readable inventory of an instantiated model (CLI `--info`).
+#pragma once
+
+#include <string>
+
+#include "slim/instantiate.hpp"
+
+namespace slimsim::slim {
+
+/// Multi-line summary: instance tree, processes with location/transition
+/// counts, variables, synchronization actions, broadcast channels, flows
+/// and fault injections.
+[[nodiscard]] std::string model_summary(const InstanceModel& m);
+
+} // namespace slimsim::slim

@@ -1,0 +1,50 @@
+#include "slim/token.hpp"
+
+namespace slimsim::slim {
+
+std::string_view to_string(TokenKind k) {
+    switch (k) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Integer: return "integer";
+    case TokenKind::Real: return "real";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LBracket: return "[";
+    case TokenKind::RBracket: return "]";
+    case TokenKind::Colon: return ":";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Dot: return ".";
+    case TokenKind::DotDot: return "..";
+    case TokenKind::Arrow: return "->";
+    case TokenKind::TransBegin: return "-[";
+    case TokenKind::TransEnd: return "]->";
+    case TokenKind::Assign: return ":=";
+    case TokenKind::Prime: return "'";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Slash: return "/";
+    case TokenKind::Lt: return "<";
+    case TokenKind::Le: return "<=";
+    case TokenKind::Gt: return ">";
+    case TokenKind::Ge: return ">=";
+    case TokenKind::EqEq: return "=";
+    case TokenKind::Neq: return "!=";
+    case TokenKind::FatArrow: return "=>";
+    case TokenKind::At: return "@";
+    case TokenKind::EndOfFile: return "<eof>";
+    }
+    return "?";
+}
+
+std::string Token::to_string() const {
+    switch (kind) {
+    case TokenKind::Ident: return "identifier `" + text + "`";
+    case TokenKind::Integer: return "integer " + std::to_string(int_value);
+    case TokenKind::Real: return "real literal";
+    default: return "`" + std::string(slimsim::slim::to_string(kind)) + "`";
+    }
+}
+
+} // namespace slimsim::slim

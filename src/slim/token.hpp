@@ -1,0 +1,52 @@
+// Tokens of the SLIM language (the COMPASS dialect of AADL).
+//
+// SLIM/AADL keywords are *contextual*: the lexer only distinguishes
+// identifiers, numbers and punctuation, and the parser matches keywords by
+// spelling. This mirrors AADL, where e.g. `data` and `mode` also appear in
+// identifier positions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::slim {
+
+enum class TokenKind : std::uint8_t {
+    Ident,
+    Integer,
+    Real,
+    // punctuation / operators
+    LParen, RParen, LBracket, RBracket,
+    Colon, Semicolon, Comma, Dot, DotDot,
+    Arrow,      // ->
+    TransBegin, // -[
+    TransEnd,   // ]->
+    Assign,     // :=
+    Prime,      // '
+    Plus, Minus, Star, Slash,
+    Lt, Le, Gt, Ge, EqEq, Neq, // =  is EqEq; != is Neq
+    FatArrow,   // =>
+    At,         // @
+    EndOfFile,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind k);
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;            // identifier spelling (lowercased copy in `folded`)
+    std::string folded;          // case-folded identifier for keyword matching
+    std::int64_t int_value = 0;  // for Integer
+    double real_value = 0.0;     // for Real
+    SourceLoc loc;
+
+    [[nodiscard]] bool is_ident(std::string_view keyword) const {
+        return kind == TokenKind::Ident && folded == keyword;
+    }
+    [[nodiscard]] std::string to_string() const;
+};
+
+} // namespace slimsim::slim

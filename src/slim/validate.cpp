@@ -1,0 +1,56 @@
+#include "slim/validate.hpp"
+
+namespace slimsim::slim {
+
+std::vector<Diagnostic> validate(const InstanceModel& m) {
+    DiagnosticSink sink;
+    for (const InstProcess& p : m.processes) {
+        std::vector<bool> has_rate(p.locations.size(), false);
+        std::vector<bool> has_guarded_internal(p.locations.size(), false);
+        for (const InstTransition& t : p.transitions) {
+            const auto src = static_cast<std::size_t>(t.src);
+            if (t.markovian()) {
+                has_rate[src] = true;
+                if (t.action != kTau || t.channel != kNoChannel) {
+                    sink.error(t.loc, "process `" + p.name +
+                                          "`: Markovian transitions must be internal");
+                }
+                if (t.guard != nullptr) {
+                    sink.error(t.loc, "process `" + p.name +
+                                          "`: a transition cannot have both a guard and "
+                                          "an exit rate");
+                }
+            } else if (t.action == kTau && t.channel == kNoChannel &&
+                       t.trigger == TriggerClass::Normal && t.guard != nullptr) {
+                has_guarded_internal[src] = true;
+            }
+        }
+        for (std::size_t l = 0; l < p.locations.size(); ++l) {
+            if (has_rate[l] && has_guarded_internal[l]) {
+                sink.warning({}, "process `" + p.name + "`, location `" +
+                                     p.locations[l].name +
+                                     "` mixes exit-rate and guarded internal transitions; "
+                                     "the simulator resolves this as a race");
+            }
+            if (has_rate[l] && p.locations[l].invariant != nullptr) {
+                sink.warning({}, "process `" + p.name + "`, location `" +
+                                     p.locations[l].name +
+                                     "` has Markovian transitions and a non-trivial "
+                                     "invariant; exponential delays are truncated at the "
+                                     "invariant horizon");
+            }
+        }
+    }
+    return sink.all();
+}
+
+void validate_or_throw(const InstanceModel& m) {
+    const auto diags = validate(m);
+    DiagnosticSink sink;
+    for (const auto& d : diags) {
+        if (d.severity == Severity::Error) sink.error(d.loc, d.message);
+    }
+    sink.throw_if_errors("validation");
+}
+
+} // namespace slimsim::slim

@@ -1,0 +1,21 @@
+// Post-instantiation well-formedness checks (paper, Sec. II-E).
+#pragma once
+
+#include "slim/instantiate.hpp"
+
+namespace slimsim::slim {
+
+/// Checks the semantic restrictions the paper places on processes:
+///  * a location should not mix Markovian (exit-rate) transitions with
+///    guarded internal transitions (reported as a warning; the simulator
+///    resolves the mix as a race),
+///  * a location with Markovian transitions should have invariant `true`
+///    (warning; the exponential delay is truncated by the invariant horizon),
+///  * Markovian transitions must be internal (error).
+/// Returns all diagnostics; errors are also thrown via `validate_or_throw`.
+[[nodiscard]] std::vector<Diagnostic> validate(const InstanceModel& m);
+
+/// Runs validate() and throws slimsim::Error if any diagnostic is an error.
+void validate_or_throw(const InstanceModel& m);
+
+} // namespace slimsim::slim

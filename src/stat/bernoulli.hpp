@@ -1,0 +1,31 @@
+// Bernoulli sample summaries for Monte Carlo estimation.
+#pragma once
+
+#include <cstddef>
+
+namespace slimsim::stat {
+
+/// Running summary of i.i.d. Bernoulli samples (one per simulated path;
+/// success = the path satisfied the property).
+struct BernoulliSummary {
+    std::size_t count = 0;
+    std::size_t successes = 0;
+
+    void add(bool success) {
+        ++count;
+        if (success) ++successes;
+    }
+
+    [[nodiscard]] double mean() const {
+        return count == 0 ? 0.0
+                          : static_cast<double>(successes) / static_cast<double>(count);
+    }
+
+    /// Unbiased-ish sample variance of a Bernoulli(p̂): p̂(1-p̂)·n/(n-1).
+    [[nodiscard]] double variance() const;
+};
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err| < 1e-9).
+[[nodiscard]] double normal_quantile(double p);
+
+} // namespace slimsim::stat

@@ -1,0 +1,54 @@
+#include "stat/collector.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::stat {
+
+SampleCollector::SampleCollector(std::size_t worker_count) : buffers_(worker_count) {
+    SLIMSIM_ASSERT(worker_count >= 1);
+}
+
+void SampleCollector::push(std::size_t worker, bool sample) {
+    std::lock_guard lock(mutex_);
+    SLIMSIM_ASSERT(worker < buffers_.size());
+    buffers_[worker].push_back(sample ? 1 : 0);
+}
+
+std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary,
+                                          std::size_t max_rounds) {
+    std::lock_guard lock(mutex_);
+    std::size_t rounds = buffers_.front().size();
+    for (const auto& b : buffers_) rounds = std::min(rounds, b.size());
+    rounds = std::min(rounds, max_rounds);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (auto& b : buffers_) {
+            summary.add(b.front() != 0);
+            b.pop_front();
+        }
+    }
+    return rounds * buffers_.size();
+}
+
+std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary) {
+    std::lock_guard lock(mutex_);
+    std::size_t consumed = 0;
+    for (auto& b : buffers_) {
+        while (!b.empty()) {
+            summary.add(b.front() != 0);
+            b.pop_front();
+            ++consumed;
+        }
+    }
+    return consumed;
+}
+
+std::size_t SampleCollector::buffered() const {
+    std::lock_guard lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b.size();
+    return total;
+}
+
+} // namespace slimsim::stat

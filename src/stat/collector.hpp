@@ -1,0 +1,48 @@
+// Bias-free parallel sample collection (paper, Sec. III-C).
+//
+// Consuming samples in completion order biases the estimate when sample
+// outcome correlates with simulation time (fast-failing paths arrive first)
+// [21]. The fix from [22]: buffer samples per worker and consume *rounds* —
+// one sample from every worker per round — so the accepted sample set does
+// not depend on worker speed. This also makes parallel runs reproducible:
+// the accepted multiset is exactly the first R samples of every worker's
+// deterministic stream.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "stat/bernoulli.hpp"
+
+namespace slimsim::stat {
+
+class SampleCollector {
+public:
+    explicit SampleCollector(std::size_t worker_count);
+
+    /// Called by worker threads; thread-safe.
+    void push(std::size_t worker, bool sample);
+
+    /// Consumes up to `max_rounds` complete rounds into `summary`.
+    /// Returns the number of samples consumed. Thread-safe. Draining one
+    /// round at a time and consulting the stop criterion in between keeps
+    /// the accepted sample set deterministic in (seed, worker count).
+    std::size_t drain_rounds(BernoulliSummary& summary,
+                             std::size_t max_rounds = static_cast<std::size_t>(-1));
+
+    /// Unbiased (first-come) consumption, for the bias-demonstration bench.
+    std::size_t drain_unordered(BernoulliSummary& summary);
+
+    /// Samples currently buffered across all workers.
+    [[nodiscard]] std::size_t buffered() const;
+
+    [[nodiscard]] std::size_t worker_count() const { return buffers_.size(); }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::deque<char>> buffers_;
+};
+
+} // namespace slimsim::stat

@@ -1,0 +1,66 @@
+#include "support/diagnostics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace slimsim {
+
+std::string SourceLoc::to_string() const {
+    if (!known()) return file.empty() ? std::string("<unknown>") : file;
+    std::ostringstream os;
+    os << (file.empty() ? "<input>" : file) << ':' << line << ':' << column;
+    return os.str();
+}
+
+Error::Error(std::string message) : std::runtime_error(std::move(message)) {}
+
+Error::Error(SourceLoc loc, std::string message)
+    : std::runtime_error(loc.to_string() + ": " + message), loc_(std::move(loc)) {}
+
+std::string_view to_string(Severity s) {
+    switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string Diagnostic::to_string() const {
+    std::ostringstream os;
+    if (loc.known() || !loc.file.empty()) os << loc.to_string() << ": ";
+    os << slimsim::to_string(severity) << ": " << message;
+    return os.str();
+}
+
+void DiagnosticSink::note(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Note, std::move(loc), std::move(message)});
+}
+
+void DiagnosticSink::warning(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Warning, std::move(loc), std::move(message)});
+}
+
+void DiagnosticSink::error(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Error, std::move(loc), std::move(message)});
+    ++errors_;
+}
+
+void DiagnosticSink::throw_if_errors(std::string_view phase) const {
+    if (!has_errors()) return;
+    std::ostringstream os;
+    os << phase << " failed with " << errors_ << " error(s):";
+    for (const auto& d : diags_) os << '\n' << "  " << d.to_string();
+    throw Error(os.str());
+}
+
+namespace detail {
+void assert_fail(const char* cond, const char* file, int line) {
+    std::fprintf(stderr, "slimsim internal error: assertion `%s` failed at %s:%d\n",
+                 cond, file, line);
+    std::abort();
+}
+} // namespace detail
+
+} // namespace slimsim

@@ -1,0 +1,82 @@
+// Diagnostics: source locations, user-facing errors and warning collection.
+//
+// All errors caused by user input (bad SLIM syntax, type errors, ill-formed
+// models, invalid CLI arguments) are reported as slimsim::Error carrying an
+// optional source location. Internal invariant violations use SLIMSIM_ASSERT.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slimsim {
+
+/// A position in a SLIM source file (1-based line/column; 0 means unknown).
+struct SourceLoc {
+    std::string file;
+    std::uint32_t line = 0;
+    std::uint32_t column = 0;
+
+    [[nodiscard]] bool known() const { return line != 0; }
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// User-facing error (parse error, type error, invalid model, bad property).
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string message);
+    Error(SourceLoc loc, std::string message);
+
+    [[nodiscard]] const SourceLoc& where() const { return loc_; }
+
+private:
+    SourceLoc loc_;
+};
+
+/// Severity of a collected diagnostic.
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// One collected diagnostic message.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Accumulates diagnostics during parsing / validation so that multiple
+/// problems can be reported in one pass.
+class DiagnosticSink {
+public:
+    void note(SourceLoc loc, std::string message);
+    void warning(SourceLoc loc, std::string message);
+    void error(SourceLoc loc, std::string message);
+
+    [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+    [[nodiscard]] std::size_t error_count() const { return errors_; }
+    [[nodiscard]] bool has_errors() const { return errors_ > 0; }
+
+    /// Throws slimsim::Error summarizing all collected errors, if any.
+    void throw_if_errors(std::string_view phase) const;
+
+private:
+    std::vector<Diagnostic> diags_;
+    std::size_t errors_ = 0;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line);
+}
+
+} // namespace slimsim
+
+/// Internal invariant check; active in all build types (cheap conditions only).
+#define SLIMSIM_ASSERT(cond)                                                   \
+    do {                                                                       \
+        if (!(cond)) ::slimsim::detail::assert_fail(#cond, __FILE__, __LINE__); \
+    } while (false)

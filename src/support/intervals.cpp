@@ -1,0 +1,159 @@
+#include "support/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace slimsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool Interval::unbounded() const { return std::isinf(hi); }
+
+double Interval::length() const { return unbounded() ? kInf : hi - lo; }
+
+IntervalSet::IntervalSet(double lo, double hi) {
+    SLIMSIM_ASSERT(lo <= hi);
+    parts_.push_back({lo, hi});
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals) : parts_(std::move(intervals)) {
+    for (const auto& iv : parts_) SLIMSIM_ASSERT(iv.lo <= iv.hi);
+    normalize();
+}
+
+IntervalSet IntervalSet::all() { return {0.0, kInf}; }
+
+void IntervalSet::normalize() {
+    if (parts_.empty()) return;
+    std::sort(parts_.begin(), parts_.end(),
+              [](const Interval& a, const Interval& b) {
+                  return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+              });
+    std::vector<Interval> merged;
+    merged.reserve(parts_.size());
+    for (const auto& iv : parts_) {
+        if (!merged.empty() && iv.lo <= merged.back().hi) {
+            merged.back().hi = std::max(merged.back().hi, iv.hi);
+        } else {
+            merged.push_back(iv);
+        }
+    }
+    parts_ = std::move(merged);
+}
+
+bool IntervalSet::contains(double t) const {
+    // Binary search over sorted disjoint parts.
+    auto it = std::upper_bound(parts_.begin(), parts_.end(), t,
+                               [](double v, const Interval& iv) { return v < iv.lo; });
+    if (it == parts_.begin()) return false;
+    return std::prev(it)->contains(t);
+}
+
+double IntervalSet::measure() const {
+    double total = 0.0;
+    for (const auto& iv : parts_) {
+        if (iv.unbounded()) return kInf;
+        total += iv.length();
+    }
+    return total;
+}
+
+std::optional<double> IntervalSet::earliest() const {
+    if (parts_.empty()) return std::nullopt;
+    return parts_.front().lo;
+}
+
+std::optional<double> IntervalSet::latest() const {
+    if (parts_.empty() || parts_.back().unbounded()) return std::nullopt;
+    return parts_.back().hi;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+    std::vector<Interval> all_parts = parts_;
+    all_parts.insert(all_parts.end(), other.parts_.begin(), other.parts_.end());
+    return IntervalSet(std::move(all_parts));
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+    std::vector<Interval> out;
+    // Two-pointer sweep over the sorted parts of both sets.
+    std::size_t i = 0, j = 0;
+    while (i < parts_.size() && j < other.parts_.size()) {
+        const Interval& a = parts_[i];
+        const Interval& b = other.parts_[j];
+        const double lo = std::max(a.lo, b.lo);
+        const double hi = std::min(a.hi, b.hi);
+        if (lo <= hi) out.push_back({lo, hi});
+        if (a.hi < b.hi) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::complement(double bound) const {
+    // Closed-set complement of a closed set is open; we return its closure,
+    // consistent with the closed over-approximation documented in the header.
+    std::vector<Interval> out;
+    double cursor = 0.0;
+    for (const auto& iv : parts_) {
+        if (iv.lo > bound) break;
+        if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, bound)});
+        cursor = std::max(cursor, iv.hi);
+        if (cursor >= bound) break;
+    }
+    if (cursor < bound) out.push_back({cursor, bound});
+    return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::clamp(double lo, double hi) const {
+    SLIMSIM_ASSERT(lo <= hi);
+    return intersect(IntervalSet(lo, hi));
+}
+
+std::optional<double> IntervalSet::prefix_horizon() const {
+    if (parts_.empty() || parts_.front().lo > 0.0) return std::nullopt;
+    return parts_.front().hi;
+}
+
+double IntervalSet::sample_uniform(Rng& rng) const {
+    SLIMSIM_ASSERT(!parts_.empty());
+    const double total = measure();
+    SLIMSIM_ASSERT(std::isfinite(total));
+    if (total == 0.0) {
+        // Pure point set: uniform among the points.
+        return parts_[rng.uniform_index(parts_.size())].lo;
+    }
+    double r = rng.uniform01() * total;
+    for (const auto& iv : parts_) {
+        const double len = iv.length();
+        if (r <= len) return std::min(iv.lo + r, iv.hi);
+        r -= len;
+    }
+    return parts_.back().hi; // numeric slack fallback
+}
+
+std::string IntervalSet::to_string() const {
+    if (parts_.empty()) return "{}";
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& iv : parts_) {
+        if (!first) os << " u ";
+        first = false;
+        os << '[' << iv.lo << ", ";
+        if (iv.unbounded()) {
+            os << "inf)";
+        } else {
+            os << iv.hi << ']';
+        }
+    }
+    return os.str();
+}
+
+} // namespace slimsim

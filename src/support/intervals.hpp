@@ -1,0 +1,89 @@
+// Interval sets over the non-negative time axis.
+//
+// The timing analysis of slimsim reduces "when is this guard/invariant true
+// under time elapse?" to finite unions of closed intervals of the delay t.
+// IntervalSet is the normalized representation used by the strategies:
+//   ASAP        -> earliest()
+//   MaxTime     -> latest()
+//   Progressive -> sample_uniform() over the set's measure
+//   Local       -> sample over the invariant horizon interval
+//
+// Bounds are closed; strict comparisons are closed over-approximated at their
+// boundary, a measure-zero effect on sampled paths (see DESIGN.md §3).
+// Upper bounds may be +infinity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace slimsim {
+
+/// A closed interval [lo, hi] with lo <= hi; hi may be +infinity.
+/// Point intervals (lo == hi) are allowed and meaningful (equality guards).
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    [[nodiscard]] bool is_point() const { return lo == hi; }
+    [[nodiscard]] bool unbounded() const;
+    [[nodiscard]] double length() const; // +inf when unbounded
+    [[nodiscard]] bool contains(double t) const { return lo <= t && t <= hi; }
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A finite union of disjoint, non-adjacent, sorted closed intervals.
+class IntervalSet {
+public:
+    IntervalSet() = default;
+    /// Singleton set {[lo, hi]}; requires lo <= hi.
+    IntervalSet(double lo, double hi);
+    /// Builds from arbitrary (possibly overlapping, unsorted) intervals.
+    explicit IntervalSet(std::vector<Interval> intervals);
+
+    [[nodiscard]] static IntervalSet empty_set() { return IntervalSet(); }
+    /// The full time axis [0, +inf).
+    [[nodiscard]] static IntervalSet all();
+    [[nodiscard]] static IntervalSet point(double t) { return {t, t}; }
+
+    [[nodiscard]] bool empty() const { return parts_.empty(); }
+    [[nodiscard]] const std::vector<Interval>& parts() const { return parts_; }
+    [[nodiscard]] bool contains(double t) const;
+
+    /// Total length; +inf if any part is unbounded. Point parts contribute 0.
+    [[nodiscard]] double measure() const;
+    /// Smallest element, if non-empty.
+    [[nodiscard]] std::optional<double> earliest() const;
+    /// Largest element; nullopt if empty or unbounded above.
+    [[nodiscard]] std::optional<double> latest() const;
+
+    [[nodiscard]] IntervalSet unite(const IntervalSet& other) const;
+    [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+    /// Complement within [0, bound] (bound may be +inf).
+    [[nodiscard]] IntervalSet complement(double bound) const;
+    /// Intersection with [lo, hi].
+    [[nodiscard]] IntervalSet clamp(double lo, double hi) const;
+
+    /// Largest T such that [0, T] is entirely contained in the set;
+    /// nullopt if 0 is not in the set. Used for invariant horizons.
+    [[nodiscard]] std::optional<double> prefix_horizon() const;
+
+    /// Uniform sample by measure. Sets of positive measure sample by length
+    /// (point parts then have probability zero); pure point sets sample
+    /// uniformly among the points. Requires non-empty and finite measure.
+    [[nodiscard]] double sample_uniform(Rng& rng) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+private:
+    void normalize();
+
+    std::vector<Interval> parts_; // sorted, disjoint, non-adjacent
+};
+
+} // namespace slimsim

@@ -1,0 +1,46 @@
+// Minimal fixed-size thread pool used by the parallel simulation runner.
+//
+// Tasks are plain std::function<void()>; completion is coordinated by the
+// caller (the runner uses the round-robin sample collector, see
+// stat/collector.hpp). Destruction joins all workers after draining.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slimsim {
+
+class ThreadPool {
+public:
+    /// Spawns `worker_count` threads (at least 1).
+    explicit ThreadPool(std::size_t worker_count);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task; never blocks.
+    void submit(std::function<void()> task);
+
+    [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+    /// Blocks until the queue is empty and all running tasks have finished.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace slimsim

@@ -1,0 +1,131 @@
+#include "ctmc/bisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ctmc/uniformization.hpp"
+#include "support/rng.hpp"
+
+namespace slimsim::ctmc {
+namespace {
+
+TEST(Bisim, SymmetricStatesAreLumped) {
+    // Two identical branches 0 -> {1, 2} -> 3(goal); 1 and 2 are bisimilar.
+    CtmcModel m;
+    m.transitions.resize(4);
+    m.transitions[0] = {{1, 1.0}, {2, 1.0}};
+    m.transitions[1] = {{3, 2.0}};
+    m.transitions[2] = {{3, 2.0}};
+    m.goal = {0, 0, 0, 1};
+    m.initial = {{0, 1.0}};
+
+    const LumpResult r = lump(m);
+    EXPECT_EQ(r.block_of[1], r.block_of[2]);
+    EXPECT_NE(r.block_of[0], r.block_of[1]);
+    EXPECT_NE(r.block_of[1], r.block_of[3]);
+    EXPECT_EQ(r.block_count, 3u);
+}
+
+TEST(Bisim, DifferentRatesNotLumped) {
+    CtmcModel m;
+    m.transitions.resize(4);
+    m.transitions[0] = {{1, 1.0}, {2, 1.0}};
+    m.transitions[1] = {{3, 2.0}};
+    m.transitions[2] = {{3, 5.0}}; // different rate
+    m.goal = {0, 0, 0, 1};
+    m.initial = {{0, 1.0}};
+    const LumpResult r = lump(m);
+    EXPECT_NE(r.block_of[1], r.block_of[2]);
+}
+
+TEST(Bisim, GoalLabelSeparates) {
+    // Identical dynamics but different labels must not merge.
+    CtmcModel m;
+    m.transitions.resize(2);
+    m.transitions[0] = {};
+    m.transitions[1] = {};
+    m.goal = {0, 1};
+    m.initial = {{0, 1.0}};
+    const LumpResult r = lump(m);
+    EXPECT_NE(r.block_of[0], r.block_of[1]);
+}
+
+TEST(Bisim, QuotientPreservesStructure) {
+    CtmcModel m;
+    m.transitions.resize(4);
+    m.transitions[0] = {{1, 1.0}, {2, 1.0}};
+    m.transitions[1] = {{3, 2.0}};
+    m.transitions[2] = {{3, 2.0}};
+    m.goal = {0, 0, 0, 1};
+    m.initial = {{0, 1.0}};
+
+    const CtmcModel q = minimize(m);
+    EXPECT_EQ(q.state_count(), 3u);
+    q.check();
+    // Quotient: initial -> merged middle with total rate 2 -> goal rate 2.
+    EXPECT_NEAR(transient_reachability(q, 1.7), transient_reachability(m, 1.7), 1e-9);
+}
+
+TEST(Bisim, ChainOfIdenticalStatesDoesNotOverMerge) {
+    // Erlang chain: states differ by distance to goal; nothing lumps.
+    CtmcModel m;
+    m.transitions.resize(4);
+    m.transitions[0] = {{1, 1.0}};
+    m.transitions[1] = {{2, 1.0}};
+    m.transitions[2] = {{3, 1.0}};
+    m.goal = {0, 0, 0, 1};
+    m.initial = {{0, 1.0}};
+    const LumpResult r = lump(m);
+    EXPECT_EQ(r.block_count, 4u);
+}
+
+// Property-based: random symmetric duplication — duplicate every state of a
+// random chain; the lumped quotient must have (at most) the original size
+// and identical transient probabilities.
+class BisimRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BisimRandom, DuplicatedChainLumpsToOriginal) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+    const std::size_t n = 4 + rng.uniform_index(5);
+    // Random base chain over states 0..n-1, last state is the goal.
+    CtmcModel base;
+    base.transitions.resize(n);
+    base.goal.assign(n, 0);
+    base.goal[n - 1] = 1;
+    base.initial = {{0, 1.0}};
+    for (std::size_t s = 0; s + 1 < n; ++s) {
+        const std::size_t fanout = 1 + rng.uniform_index(2);
+        for (std::size_t k = 0; k < fanout; ++k) {
+            const auto target = static_cast<StateId>(1 + rng.uniform_index(n - 1));
+            base.transitions[s].emplace_back(target,
+                                             0.25 * static_cast<double>(1 + rng.uniform_index(4)));
+        }
+    }
+
+    // Duplicate: state s' = s + n mirrors s; initial mass split 50/50.
+    CtmcModel dup;
+    dup.transitions.resize(2 * n);
+    dup.goal.assign(2 * n, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+        dup.goal[s] = dup.goal[s + n] = base.goal[s];
+        for (const auto& [t, r] : base.transitions[s]) {
+            dup.transitions[s].emplace_back(t, r);
+            dup.transitions[s + n].emplace_back(static_cast<StateId>(t + n), r);
+        }
+    }
+    dup.initial = {{0, 0.5}, {static_cast<StateId>(n), 0.5}};
+
+    LumpResult lr;
+    const CtmcModel q = minimize(dup, &lr);
+    EXPECT_LE(q.state_count(), n);
+    for (std::size_t s = 0; s < n; ++s) {
+        EXPECT_EQ(lr.block_of[s], lr.block_of[s + n]) << "state " << s;
+    }
+    for (const double t : {0.3, 1.0, 2.5}) {
+        EXPECT_NEAR(transient_reachability(q, t), transient_reachability(base, t), 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisimRandom, ::testing::Range(1, 21));
+
+} // namespace
+} // namespace slimsim::ctmc

@@ -1,0 +1,188 @@
+// End-to-end tests of the slimsim command-line tool (run as a subprocess).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "models/gps.hpp"
+#include "models/sensor_filter.hpp"
+
+namespace {
+
+#ifndef SLIMSIM_CLI_PATH
+#error "SLIMSIM_CLI_PATH must be defined by the build"
+#endif
+
+struct CliResult {
+    int exit_code = -1;
+    std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+    const std::string cmd = std::string(SLIMSIM_CLI_PATH) + " " + args + " 2>&1";
+    std::FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    CliResult res;
+    std::array<char, 4096> buf{};
+    while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) res.output += buf.data();
+    const int status = pclose(pipe);
+    res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return res;
+}
+
+class CliTest : public ::testing::Test {
+protected:
+    // ctest may run several test processes in the same directory
+    // concurrently; use process-unique fixture file names.
+    static std::string gps_file() {
+        static const std::string name =
+            "cli_gps_" + std::to_string(getpid()) + ".slim";
+        return name;
+    }
+    static std::string sf_file() {
+        static const std::string name = "cli_sf_" + std::to_string(getpid()) + ".slim";
+        return name;
+    }
+
+    static void SetUpTestSuite() {
+        std::ofstream(gps_file()) << slimsim::models::gps_source();
+        std::ofstream(sf_file()) << slimsim::models::sensor_filter_source(1);
+    }
+
+    static void TearDownTestSuite() {
+        std::remove(gps_file().c_str());
+        std::remove(sf_file().c_str());
+    }
+};
+
+TEST_F(CliTest, HelpExitsCleanly) {
+    const CliResult res = run_cli("--help");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("usage:"), std::string::npos);
+    EXPECT_NE(res.output.find("--strategy"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingModelShowsUsage) {
+    const CliResult res = run_cli("");
+    EXPECT_EQ(res.exit_code, 2);
+}
+
+TEST_F(CliTest, ValidateMode) {
+    const CliResult res = run_cli(gps_file() + "  --validate");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("validation ok"), std::string::npos);
+    EXPECT_NE(res.output.find("2 processes"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateWithGoalAndBound) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound '30 min' --eps 0.05 "
+                "--strategy asap --seed 3");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("P( <> [0,1800] gps.measurement )"), std::string::npos);
+    EXPECT_NE(res.output.find("strategy asap"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateWithPattern) {
+    const CliResult res = run_cli(
+        gps_file() +
+        " --property 'probability of reaching gps.measurement within 30 min' "
+        "--eps 0.05");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("~="), std::string::npos);
+}
+
+TEST_F(CliTest, TraceMode) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --trace 2 --seed 5");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("--- path 1:"), std::string::npos);
+    EXPECT_NE(res.output.find("--- path 2:"), std::string::npos);
+    EXPECT_NE(res.output.find("path ends:"), std::string::npos);
+}
+
+TEST_F(CliTest, CtmcMode) {
+    const CliResult res =
+        run_cli(sf_file() + "  --goal failed --bound '100 hour' --ctmc");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("ctmc flow: p = 0.77"), std::string::npos);
+}
+
+TEST_F(CliTest, CtmcRejectsTimedModel) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --ctmc");
+    EXPECT_EQ(res.exit_code, 1);
+    EXPECT_NE(res.output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, HypothesisMode) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound '30 min' --test 0.5 "
+                "--strategy asap");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("accept (P >= threshold)"), std::string::npos);
+}
+
+TEST_F(CliTest, CutSetsMode) {
+    const CliResult res =
+        run_cli(sf_file() + "  --goal 'sensor0.reading > 5' --bound 3600 --cut-sets 1");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("sensor0:failed"), std::string::npos);
+}
+
+TEST_F(CliTest, ParallelWorkers) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 "
+                "--workers 3 --seed 9");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("~="), std::string::npos);
+}
+
+TEST_F(CliTest, InfoMode) {
+    const CliResult res = run_cli(gps_file() + "  --info");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("instances (2):"), std::string::npos);
+    EXPECT_NE(res.output.find("fault injections: 3"), std::string::npos);
+}
+
+TEST_F(CliTest, PrintMode) {
+    const CliResult res = run_cli(gps_file() + "  --print");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("system implementation GPS.Imp"), std::string::npos);
+    EXPECT_NE(res.output.find("fault injections"), std::string::npos);
+    // The normalized output is itself a valid model.
+    std::ofstream("cli_printed_" + std::to_string(getpid()) + ".slim" "") << res.output;
+    const CliResult revalidate = run_cli("cli_printed_" + std::to_string(getpid()) + ".slim" " --validate");
+    EXPECT_EQ(revalidate.exit_code, 0);
+}
+
+TEST_F(CliTest, VcdMode) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --vcd cli_path.vcd "
+                "--seed 4 --strategy asap");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("wrote cli_path.vcd"), std::string::npos);
+    std::ifstream vcd("cli_path.vcd");
+    ASSERT_TRUE(vcd.good());
+    std::string first;
+    std::getline(vcd, first);
+    EXPECT_NE(first.find("$comment"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownOptionFails) {
+    const CliResult res = run_cli(gps_file() + "  --frobnicate");
+    EXPECT_EQ(res.exit_code, 1);
+    EXPECT_NE(res.output.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileFails) {
+    const CliResult res = run_cli("no_such_model.slim --validate");
+    EXPECT_EQ(res.exit_code, 1);
+    EXPECT_NE(res.output.find("cannot open"), std::string::npos);
+}
+
+} // namespace

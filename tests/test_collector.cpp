@@ -1,0 +1,138 @@
+#include "stat/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace slimsim::stat {
+namespace {
+
+TEST(Collector, DrainRequiresCompleteRounds) {
+    SampleCollector c(3);
+    BernoulliSummary s;
+    c.push(0, true);
+    c.push(1, true);
+    EXPECT_EQ(c.drain_rounds(s), 0u); // worker 2 has not delivered yet
+    c.push(2, false);
+    EXPECT_EQ(c.drain_rounds(s), 3u);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.successes, 2u);
+}
+
+TEST(Collector, DrainConsumesMultipleRounds) {
+    SampleCollector c(2);
+    for (int i = 0; i < 5; ++i) c.push(0, true);
+    for (int i = 0; i < 3; ++i) c.push(1, false);
+    BernoulliSummary s;
+    EXPECT_EQ(c.drain_rounds(s), 6u); // 3 complete rounds
+    EXPECT_EQ(c.buffered(), 2u);      // 2 leftover from worker 0
+}
+
+TEST(Collector, MaxRoundsLimitsConsumption) {
+    SampleCollector c(2);
+    for (int i = 0; i < 4; ++i) {
+        c.push(0, true);
+        c.push(1, true);
+    }
+    BernoulliSummary s;
+    EXPECT_EQ(c.drain_rounds(s, 1), 2u);
+    EXPECT_EQ(c.drain_rounds(s, 2), 4u);
+    EXPECT_EQ(c.buffered(), 2u);
+}
+
+TEST(Collector, UnorderedDrainTakesEverything) {
+    SampleCollector c(3);
+    c.push(0, true);
+    c.push(0, true);
+    c.push(2, false);
+    BernoulliSummary s;
+    EXPECT_EQ(c.drain_unordered(s), 3u);
+    EXPECT_EQ(c.buffered(), 0u);
+}
+
+TEST(Collector, RoundRobinOrderIsPerWorkerFifo) {
+    SampleCollector c(2);
+    c.push(0, true);
+    c.push(1, false);
+    c.push(0, false);
+    c.push(1, true);
+    BernoulliSummary s;
+    c.drain_rounds(s);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.successes, 2u);
+}
+
+TEST(Collector, ThreadSafety) {
+    SampleCollector c(4);
+    std::vector<std::thread> threads;
+    constexpr int kPerWorker = 10000;
+    for (std::size_t w = 0; w < 4; ++w) {
+        threads.emplace_back([&c, w] {
+            Rng rng(w + 1);
+            for (int i = 0; i < kPerWorker; ++i) c.push(w, rng.bernoulli(0.5));
+        });
+    }
+    BernoulliSummary s;
+    std::size_t consumed = 0;
+    while (consumed < 4 * kPerWorker) {
+        consumed += c.drain_rounds(s);
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(s.count, 4u * kPerWorker);
+    EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Collector, RoundRobinEliminatesSpeedBias) {
+    // Two workers sample the same Bernoulli(0.5) stream, but worker 1 only
+    // delivers its *successes* early (simulating "fast paths finish first"
+    // outcome-speed correlation). With first-come consumption, stopping
+    // after 1000 samples is biased toward successes; with round-robin it is
+    // not.
+    Rng rng(77);
+    const int target = 1000;
+
+    // Build per-worker streams: worker 0 normal, worker 1 delivers failures
+    // late (after all successes).
+    std::vector<char> w0;
+    std::vector<char> w1_success, w1_failure;
+    for (int i = 0; i < 4000; ++i) {
+        w0.push_back(rng.bernoulli(0.5) ? 1 : 0);
+        const bool b = rng.bernoulli(0.5);
+        (b ? w1_success : w1_failure).push_back(b ? 1 : 0);
+    }
+
+    // First-come: all of worker 1's early (success-only) deliveries count.
+    {
+        SampleCollector c(2);
+        BernoulliSummary s;
+        std::size_t i0 = 0, i1 = 0;
+        while (s.count < target) {
+            // Worker 1 "races ahead" with successes.
+            if (i1 < w1_success.size()) c.push(1, w1_success[i1++] != 0);
+            if (i1 < w1_success.size()) c.push(1, w1_success[i1++] != 0);
+            if (i0 < w0.size()) c.push(0, w0[i0++] != 0);
+            c.drain_unordered(s);
+        }
+        EXPECT_GT(s.mean(), 0.6); // visibly biased
+    }
+
+    // Round-robin: one sample per worker per round; worker 1's stream must
+    // be consumed in its true order, so we emulate its true order here.
+    {
+        SampleCollector c(2);
+        BernoulliSummary s;
+        Rng r2(78);
+        std::size_t i0 = 0;
+        while (s.count < target) {
+            if (i0 < w0.size()) c.push(0, w0[i0++] != 0);
+            c.push(1, r2.bernoulli(0.5));
+            c.drain_rounds(s);
+        }
+        EXPECT_NEAR(s.mean(), 0.5, 0.06);
+    }
+}
+
+} // namespace
+} // namespace slimsim::stat

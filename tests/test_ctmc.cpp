@@ -1,0 +1,201 @@
+#include "ctmc/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eda/network.hpp"
+#include "sim/property.hpp"
+
+namespace slimsim::ctmc {
+namespace {
+
+TEST(Imc, EliminateNoVanishing) {
+    Imc imc;
+    imc.states.resize(2);
+    imc.states[0].markovian = {{1, 2.0}};
+    imc.states[1].goal = true;
+    const CtmcModel m = eliminate_vanishing(imc);
+    EXPECT_EQ(m.state_count(), 2u);
+    EXPECT_EQ(m.transitions[0].size(), 1u);
+    EXPECT_TRUE(m.goal[1]);
+}
+
+TEST(Imc, EliminateChainOfVanishing) {
+    // 0 (markov r=1) -> 1 (vanishing, 50/50) -> {2, 3}.
+    Imc imc;
+    imc.states.resize(4);
+    imc.states[0].markovian = {{1, 1.0}};
+    imc.states[1].vanishing = true;
+    imc.states[1].immediate = {{2, 0.5}, {3, 0.5}};
+    imc.states[2].goal = true;
+    const CtmcModel m = eliminate_vanishing(imc);
+    EXPECT_EQ(m.state_count(), 3u); // states 0, 2, 3
+    ASSERT_EQ(m.transitions[0].size(), 2u);
+    EXPECT_DOUBLE_EQ(m.transitions[0][0].second, 0.5);
+    EXPECT_DOUBLE_EQ(m.transitions[0][1].second, 0.5);
+}
+
+TEST(Imc, EliminateNestedVanishing) {
+    // vanishing -> vanishing -> tangible; probabilities multiply.
+    Imc imc;
+    imc.states.resize(4);
+    imc.initial = 0;
+    imc.states[0].vanishing = true;
+    imc.states[0].immediate = {{1, 0.5}, {3, 0.5}};
+    imc.states[1].vanishing = true;
+    imc.states[1].immediate = {{2, 1.0}};
+    imc.states[2].goal = true;
+    const CtmcModel m = eliminate_vanishing(imc);
+    // Initial distribution: 0.5 to state 2 (goal), 0.5 to state 3.
+    ASSERT_EQ(m.initial.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.initial[0].second, 0.5);
+    EXPECT_DOUBLE_EQ(transient_reachability(m, 0.0), 0.5);
+}
+
+TEST(Imc, RejectsImmediateCycle) {
+    Imc imc;
+    imc.states.resize(3);
+    imc.states[0].vanishing = true;
+    imc.states[0].immediate = {{1, 1.0}};
+    imc.states[1].vanishing = true;
+    imc.states[1].immediate = {{0, 1.0}};
+    EXPECT_THROW(eliminate_vanishing(imc), Error);
+}
+
+TEST(Imc, RejectsAllVanishing) {
+    Imc imc;
+    imc.states.resize(1);
+    imc.states[0].vanishing = true;
+    EXPECT_THROW(eliminate_vanishing(imc), Error);
+}
+
+// --- state-space builder on real SLIM models -------------------------------
+
+eda::Network net_of(const std::string& src) {
+    return eda::build_network_from_source(src);
+}
+
+constexpr const char* kSimpleMarkov = R"(
+    root S.I;
+    system S
+    features broken: out data port bool default false;
+    end S;
+    system implementation S.I end S.I;
+    error model EM
+    features ok: initial state; bad: error state;
+    end EM;
+    error model implementation EM.I
+    events f: error event occurrence poisson 0.5 per sec;
+    transitions ok -[f]-> bad;
+    end EM.I;
+    fault injections
+      component root uses error model EM.I;
+      component root in state bad effect broken := true;
+    end fault injections;
+)";
+
+TEST(StateSpace, SimpleMarkovModel) {
+    const eda::Network net = net_of(kSimpleMarkov);
+    const auto prop = sim::make_reachability(net.model(), "broken", 1.0);
+    BuildStats stats;
+    const Imc imc = build_state_space(net, *prop.goal, {}, &stats);
+    EXPECT_EQ(stats.states, 2u);
+    EXPECT_EQ(stats.vanishing, 0u);
+    const CtmcModel m = eliminate_vanishing(imc);
+    // P = 1 - exp(-0.5 * 1).
+    EXPECT_NEAR(transient_reachability(m, 1.0), 1.0 - std::exp(-0.5), 1e-9);
+}
+
+TEST(StateSpace, RejectsTimedModels) {
+    const eda::Network net = net_of(R"(
+        root S.I;
+        system S
+        features done: out data port bool default false;
+        end S;
+        system implementation S.I
+        subcomponents x: data clock;
+        modes a: initial mode while x <= 5; b: mode;
+        transitions a -[when x >= 1 then done := true]-> b;
+        end S.I;
+    )");
+    const auto prop = sim::make_reachability(net.model(), "done", 1.0);
+    EXPECT_THROW(build_state_space(net, *prop.goal), Error);
+}
+
+TEST(StateSpace, ImmediateTransitionsAreVanishing) {
+    // Fault triggers an immediate monitor reaction (guarded, untimed).
+    const eda::Network net = net_of(R"(
+        root S.I;
+        system S
+        features alarm: out data port bool default false;
+                 broken: out data port bool default false;
+        end S;
+        system implementation S.I
+        modes watch: initial mode; alerted: mode;
+        transitions watch -[when broken then alarm := true]-> alerted;
+        end S.I;
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 1 per sec;
+        transitions ok -[f]-> bad;
+        end EM.I;
+        fault injections
+          component root uses error model EM.I;
+          component root in state bad effect broken := true;
+        end fault injections;
+    )");
+    const auto prop = sim::make_reachability(net.model(), "alarm", 2.0);
+    BuildStats stats;
+    const Imc imc = build_state_space(net, *prop.goal, {}, &stats);
+    EXPECT_GE(stats.vanishing, 1u);
+    const CtmcModel m = eliminate_vanishing(imc);
+    // The alarm follows the fault immediately: P = 1 - exp(-2).
+    EXPECT_NEAR(transient_reachability(m, 2.0), 1.0 - std::exp(-2.0), 1e-9);
+}
+
+TEST(StateSpace, MaxStatesEnforced) {
+    const eda::Network net = net_of(kSimpleMarkov);
+    const auto prop = sim::make_reachability(net.model(), "broken", 1.0);
+    BuildOptions opt;
+    opt.max_states = 1;
+    EXPECT_THROW(build_state_space(net, *prop.goal, opt), Error);
+}
+
+TEST(Flow, EndToEndMatchesAnalytic) {
+    const eda::Network net = net_of(kSimpleMarkov);
+    const auto prop = sim::make_reachability(net.model(), "broken", 3.0);
+    const FlowResult res = run_ctmc_flow(net, *prop.goal, 3.0);
+    EXPECT_NEAR(res.probability, 1.0 - std::exp(-1.5), 1e-9);
+    EXPECT_GE(res.ctmc_states, res.lumped_states);
+    EXPECT_GT(res.total_seconds, 0.0);
+}
+
+TEST(Flow, MinimizationTogglePreservesResult) {
+    const eda::Network net = net_of(kSimpleMarkov);
+    const auto prop = sim::make_reachability(net.model(), "broken", 2.0);
+    FlowOptions with;
+    FlowOptions without;
+    without.minimize = false;
+    const double p1 = run_ctmc_flow(net, *prop.goal, 2.0, with).probability;
+    const double p2 = run_ctmc_flow(net, *prop.goal, 2.0, without).probability;
+    EXPECT_NEAR(p1, p2, 1e-12);
+}
+
+TEST(Quotient, MergesParallelEdges) {
+    CtmcModel m;
+    m.transitions.resize(3);
+    m.transitions[0] = {{1, 1.0}, {2, 1.0}};
+    m.goal = {0, 1, 1};
+    m.initial = {{0, 1.0}};
+    // Merge states 1 and 2 into one block.
+    const CtmcModel q = quotient(m, {0, 1, 1}, 2);
+    ASSERT_EQ(q.transitions[0].size(), 1u);
+    EXPECT_DOUBLE_EQ(q.transitions[0][0].second, 2.0);
+    EXPECT_TRUE(q.goal[1]);
+}
+
+} // namespace
+} // namespace slimsim::ctmc

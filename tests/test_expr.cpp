@@ -1,0 +1,183 @@
+#include "expr/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "slim/parser.hpp"
+#include "slim/resolver.hpp"
+
+namespace slimsim {
+namespace {
+
+using expr::BinaryOp;
+using expr::ExprPtr;
+using expr::UnaryOp;
+
+/// Helper: parse + resolve an expression over the given symbols, then
+/// evaluate it against `values` (identity bindings).
+Value eval_str(const std::string& source, const std::vector<std::pair<std::string, Value>>&
+                                              vars = {}) {
+    slim::SymbolTable table;
+    std::vector<Value> values;
+    for (const auto& [name, value] : vars) {
+        slim::Symbol sym;
+        sym.name = name;
+        sym.kind = slim::SymKind::Data;
+        sym.type = value.is_bool()  ? Type::boolean()
+                   : value.is_int() ? Type::integer()
+                                    : Type::real();
+        table.add(std::move(sym));
+        values.push_back(value);
+    }
+    ExprPtr e = slim::parse_expression(source);
+    DiagnosticSink sink;
+    slim::resolve_expr(*e, table, sink);
+    sink.throw_if_errors("test expression");
+    return expr::evaluate(*e, expr::EvalContext{values, {}});
+}
+
+TEST(Eval, Literals) {
+    EXPECT_EQ(eval_str("true"), Value(true));
+    EXPECT_EQ(eval_str("false"), Value(false));
+    EXPECT_EQ(eval_str("42"), Value(std::int64_t{42}));
+    EXPECT_EQ(eval_str("2.5"), Value(2.5));
+}
+
+TEST(Eval, TimeUnitLiterals) {
+    EXPECT_EQ(eval_str("300 msec"), Value(0.3));
+    EXPECT_EQ(eval_str("2 min"), Value(120.0));
+    EXPECT_EQ(eval_str("1 hour"), Value(3600.0));
+    EXPECT_EQ(eval_str("1.5 sec"), Value(1.5));
+}
+
+TEST(Eval, IntegerArithmetic) {
+    EXPECT_EQ(eval_str("2 + 3 * 4"), Value(std::int64_t{14}));
+    EXPECT_EQ(eval_str("(2 + 3) * 4"), Value(std::int64_t{20}));
+    EXPECT_EQ(eval_str("7 / 2"), Value(std::int64_t{3}));
+    EXPECT_EQ(eval_str("7 mod 2"), Value(std::int64_t{1}));
+    EXPECT_EQ(eval_str("-5 + 2"), Value(std::int64_t{-3}));
+}
+
+TEST(Eval, MixedArithmeticWidensToReal) {
+    EXPECT_EQ(eval_str("1 + 2.5"), Value(3.5));
+    EXPECT_EQ(eval_str("5 / 2.0"), Value(2.5));
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+    EXPECT_THROW(eval_str("1 / 0"), Error);
+    EXPECT_THROW(eval_str("1 mod 0"), Error);
+    EXPECT_THROW(eval_str("1.0 / 0.0"), Error);
+}
+
+TEST(Eval, Comparisons) {
+    EXPECT_EQ(eval_str("1 < 2"), Value(true));
+    EXPECT_EQ(eval_str("2 <= 2"), Value(true));
+    EXPECT_EQ(eval_str("3 > 4"), Value(false));
+    EXPECT_EQ(eval_str("3 >= 4"), Value(false));
+    EXPECT_EQ(eval_str("3 = 3"), Value(true));
+    EXPECT_EQ(eval_str("3 != 3"), Value(false));
+    EXPECT_EQ(eval_str("1 = 1.0"), Value(true)); // numeric comparison widens
+    EXPECT_EQ(eval_str("true = true"), Value(true));
+    EXPECT_EQ(eval_str("true != false"), Value(true));
+}
+
+TEST(Eval, Logic) {
+    EXPECT_EQ(eval_str("true and false"), Value(false));
+    EXPECT_EQ(eval_str("true or false"), Value(true));
+    EXPECT_EQ(eval_str("not true"), Value(false));
+    EXPECT_EQ(eval_str("false => true"), Value(true));
+    EXPECT_EQ(eval_str("true => false"), Value(false));
+    EXPECT_EQ(eval_str("false => false"), Value(true));
+}
+
+TEST(Eval, ShortCircuitPreventsDivisionByZero) {
+    EXPECT_EQ(eval_str("false and 1 / 0 = 1"), Value(false));
+    EXPECT_EQ(eval_str("true or 1 / 0 = 1"), Value(true));
+    EXPECT_EQ(eval_str("false => 1 / 0 = 1"), Value(true));
+}
+
+TEST(Eval, IfThenElse) {
+    EXPECT_EQ(eval_str("if true then 1 else 2"), Value(std::int64_t{1}));
+    EXPECT_EQ(eval_str("if 1 > 2 then 1 else 2"), Value(std::int64_t{2}));
+    EXPECT_EQ(eval_str("if true then 1.5 else 2"), Value(1.5));
+}
+
+TEST(Eval, Variables) {
+    EXPECT_EQ(eval_str("x + y", {{"x", Value(std::int64_t{2})}, {"y", Value(std::int64_t{5})}}),
+              Value(std::int64_t{7}));
+    EXPECT_EQ(eval_str("flag and x > 1",
+                       {{"flag", Value(true)}, {"x", Value(std::int64_t{2})}}),
+              Value(true));
+}
+
+TEST(Eval, DottedVariableNames) {
+    EXPECT_EQ(eval_str("gps.measurement", {{"gps.measurement", Value(true)}}), Value(true));
+}
+
+TEST(Eval, OperatorPrecedence) {
+    // and binds tighter than or; comparisons tighter than logic.
+    EXPECT_EQ(eval_str("true or false and false"), Value(true));
+    EXPECT_EQ(eval_str("1 + 1 = 2 and 2 * 2 = 4"), Value(true));
+    // implies is right-associative and weakest.
+    EXPECT_EQ(eval_str("false => false => false"), Value(true));
+}
+
+TEST(Eval, UnaryMinusPrecedence) {
+    EXPECT_EQ(eval_str("-2 * 3"), Value(std::int64_t{-6}));
+    EXPECT_EQ(eval_str("2 - -3"), Value(std::int64_t{5}));
+}
+
+TEST(TypeChecking, RejectsBadTypes) {
+    EXPECT_THROW(eval_str("1 and true"), Error);
+    EXPECT_THROW(eval_str("not 3"), Error);
+    EXPECT_THROW(eval_str("true + 1"), Error);
+    EXPECT_THROW(eval_str("true < false"), Error);
+    EXPECT_THROW(eval_str("1.5 mod 2"), Error);
+    EXPECT_THROW(eval_str("if 1 then 2 else 3"), Error);
+    EXPECT_THROW(eval_str("if true then 1 else false"), Error);
+}
+
+TEST(TypeChecking, UnknownVariable) {
+    EXPECT_THROW(eval_str("nonexistent"), Error);
+}
+
+TEST(ExprAst, CloneIsDeep) {
+    ExprPtr e = slim::parse_expression("x + 2 * y");
+    ExprPtr c = expr::clone(*e);
+    EXPECT_NE(e.get(), c.get());
+    EXPECT_NE(e->a.get(), c->a.get());
+    EXPECT_EQ(e->to_string(), c->to_string());
+    // Mutating the clone leaves the original untouched.
+    c->a->var_name = "z";
+    EXPECT_NE(e->to_string(), c->to_string());
+}
+
+TEST(ExprAst, ToStringRoundTrips) {
+    const ExprPtr e = slim::parse_expression("(a + 1) * b >= 3 and not c");
+    const std::string s = e->to_string();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("not"), std::string::npos);
+}
+
+TEST(ValueTest, CoerceToTruncatesTowardZero) {
+    EXPECT_EQ(Value(2.9).coerce_to(Type::integer()), Value(std::int64_t{2}));
+    EXPECT_EQ(Value(-2.9).coerce_to(Type::integer()), Value(std::int64_t{-2}));
+    EXPECT_EQ(Value(std::int64_t{3}).coerce_to(Type::real()), Value(3.0));
+}
+
+TEST(ValueTest, DefaultForType) {
+    EXPECT_EQ(Value::default_for(Type::boolean()), Value(false));
+    EXPECT_EQ(Value::default_for(Type::integer()), Value(std::int64_t{0}));
+    EXPECT_EQ(Value::default_for(Type::integer_range(3, 9)), Value(std::int64_t{3}));
+    EXPECT_EQ(Value::default_for(Type::clock()), Value(0.0));
+}
+
+TEST(TypeTest, Accepts) {
+    EXPECT_TRUE(Type::boolean().accepts(Type::boolean()));
+    EXPECT_FALSE(Type::boolean().accepts(Type::integer()));
+    EXPECT_TRUE(Type::real().accepts(Type::integer()));
+    EXPECT_TRUE(Type::integer().accepts(Type::real())); // dynamic truncation
+    EXPECT_FALSE(Type::integer().accepts(Type::boolean()));
+}
+
+} // namespace
+} // namespace slimsim

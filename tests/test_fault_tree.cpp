@@ -1,0 +1,164 @@
+#include "safety/fault_tree.hpp"
+#include "safety/fdir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/failover.hpp"
+#include "models/gps.hpp"
+#include "models/launcher.hpp"
+#include "sim/runner.hpp"
+#include "slim/parser.hpp"
+
+namespace slimsim::safety {
+namespace {
+
+TEST(BasicEvent, SingleExponentialMode) {
+    // GPS error model: P(hot within t) for a race of three exponentials:
+    // P = (l_h / L)(1 - e^{-L t}) with L the total exit rate of `ok`.
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto modes = failure_modes(net);
+    const double t = 3600.0;
+    const double lt = 0.1 / 3600.0, lh = 0.05 / 3600.0, lp = 0.01 / 3600.0;
+    const double total = lt + lh + lp;
+    for (const auto& fm : modes) {
+        const double p = basic_event_probability(net, fm, t);
+        if (fm.mode == "hot") {
+            EXPECT_NEAR(p, lh / total * (1.0 - std::exp(-total * t)), 1e-9);
+        } else if (fm.mode == "permanent") {
+            EXPECT_NEAR(p, lp / total * (1.0 - std::exp(-total * t)), 1e-9);
+        }
+    }
+}
+
+TEST(FaultTreeTest, FailoverMatchesAnalyticExactly) {
+    // Permanent pump faults, instant detection: TOP = P(worn_1)·P(worn_2).
+    models::FailoverOptions opt;
+    opt.pump_fail_per_hour = 0.5;
+    const eda::Network net =
+        eda::build_network_from_source(models::failover_source(opt));
+    // The static failure condition is the physical one (all pumping
+    // capability lost); the monitor's `failed` flag is behavioural and
+    // invisible to a static analysis.
+    const auto loss = sim::resolve_goal(
+        net.model(), slim::parse_expression("primary.broken and backup.broken"));
+    const FaultTree tree = build_fault_tree(net, loss, 2.0 * 3600.0, 2);
+    ASSERT_EQ(tree.cut_sets.size(), 1u);
+    ASSERT_EQ(tree.events.size(), 2u);
+    const double p_single = 1.0 - std::exp(-0.5 / 3600.0 * 2.0 * 3600.0);
+    EXPECT_NEAR(tree.events[0].probability, p_single, 1e-9);
+    EXPECT_NEAR(tree.top_probability, p_single * p_single, 1e-9);
+
+    // ... which equals the simulated probability of the monitor-observed
+    // failure on this model (the monitor reacts instantly).
+    const auto prop = sim::make_reachability(net.model(), models::failover_goal(),
+                                             2.0 * 3600.0);
+    const stat::ChernoffHoeffding ch(0.05, 0.02);
+    const double simulated =
+        sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 3).estimate;
+    EXPECT_NEAR(tree.top_probability, simulated, 0.03);
+}
+
+TEST(FaultTreeTest, LauncherTreeIsConservative) {
+    // Static cut sets ignore transient recovery and fault ordering, so the
+    // tree's TOP is an upper bound on the simulated failure probability.
+    const eda::Network net =
+        eda::build_network_from_source(models::launcher_source());
+    const double u = 0.5 * 3600.0;
+    const auto prop = sim::make_reachability(net.model(), models::launcher_goal(), u);
+    const FaultTree tree = build_fault_tree(net, prop.goal, u, 2);
+    EXPECT_EQ(tree.cut_sets.size(), 20u);
+    EXPECT_GT(tree.top_probability, 0.0);
+    EXPECT_LE(tree.top_probability, 1.0);
+
+    const stat::ChernoffHoeffding ch(0.1, 0.03);
+    const double simulated =
+        sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 7).estimate;
+    EXPECT_GE(tree.top_probability, simulated - 0.03);
+}
+
+TEST(FaultTreeTest, InclusionExclusionHandlesSharedEvents) {
+    // Cut sets {A,B} and {A,C}: P(top) = P(A)(P(B)+P(C)-P(B)P(C)), not the
+    // independent-gate product. Build a 3-component model where the goal is
+    // a and (b or c).
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system Leaf
+        features broken: out data port bool default false;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system S
+        features hit: out data port bool default false;
+        end S;
+        system implementation S.I
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+          c: system Leaf.I;
+        flows
+          hit := a.broken and (b.broken or c.broken);
+        end S.I;
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 1 per sec;
+        transitions ok -[f]-> bad;
+        end EM.I;
+        fault injections
+          component a uses error model EM.I;
+          component a in state bad effect broken := true;
+          component b uses error model EM.I;
+          component b in state bad effect broken := true;
+          component c uses error model EM.I;
+          component c in state bad effect broken := true;
+        end fault injections;
+    )");
+    const auto prop = sim::make_reachability(net.model(), "hit", 1.0);
+    const FaultTree tree = build_fault_tree(net, prop.goal, 1.0, 2);
+    ASSERT_EQ(tree.cut_sets.size(), 2u);
+    ASSERT_EQ(tree.events.size(), 3u);
+    const double p = 1.0 - std::exp(-1.0);
+    EXPECT_NEAR(tree.top_probability, p * (2.0 * p - p * p), 1e-9);
+}
+
+TEST(FaultTreeTest, FormatterListsGatesAndEvents) {
+    const eda::Network net =
+        eda::build_network_from_source(models::failover_source());
+    const auto loss = sim::resolve_goal(
+        net.model(), slim::parse_expression("primary.broken and backup.broken"));
+    const FaultTree tree = build_fault_tree(net, loss, 3600.0, 2);
+    const std::string text = tree.to_string();
+    EXPECT_NE(text.find("TOP event"), std::string::npos);
+    EXPECT_NE(text.find("primary:worn & backup:worn"), std::string::npos);
+    EXPECT_NE(text.find("basic events:"), std::string::npos);
+}
+
+TEST(Fdir, GpsRestartDetectionAndRecovery) {
+    // Alarm: the fix is lost; nominal: the fix is back. A hot fault must be
+    // recovered by the power-cycling controller; a permanent one must not.
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const auto alarm = sim::resolve_goal(
+        net.model(), slim::parse_expression("not gps.measurement"));
+    const auto nominal =
+        sim::resolve_goal(net.model(), slim::parse_expression("gps.measurement"));
+    FdirOptions opt;
+    opt.eps = 0.05;
+    const auto rows = fdir_coverage(net, alarm, nominal, 15.0 * 60.0, 5, opt);
+    ASSERT_EQ(rows.size(), 3u); // transient, hot, permanent
+    for (const auto& r : rows) {
+        EXPECT_DOUBLE_EQ(r.detection_probability, 1.0) << r.mode.mode;
+        if (r.mode.mode == "hot" || r.mode.mode == "transient") {
+            EXPECT_GT(r.recovery_probability, 0.85) << r.mode.mode;
+        } else {
+            EXPECT_LT(r.recovery_probability, 0.1) << r.mode.mode;
+        }
+    }
+    const std::string table = format_fdir(rows);
+    EXPECT_NE(table.find("P(detected)"), std::string::npos);
+}
+
+} // namespace
+} // namespace slimsim::safety

@@ -1,0 +1,263 @@
+// Path formulas beyond plain reachability: interval reach, bounded Until,
+// Globally (the paper's future-work CSL fragment).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/runner.hpp"
+
+namespace slimsim::sim {
+namespace {
+
+constexpr const char* kClockModel = R"(
+    root S.I;
+    system S end S;
+    system implementation S.I
+    subcomponents x: data clock;
+    modes a: initial mode;
+    end S.I;
+)";
+
+
+// Two independent fault sources bound to two subcomponents, with flags on
+// the root.
+constexpr const char* kTwoFaultsFull = R"(
+    root S.I;
+    system Leaf
+    features broken: out data port bool default false;
+    end Leaf;
+    system implementation Leaf.I end Leaf.I;
+    system S
+    features
+      a_failed: out data port bool default false;
+      b_failed: out data port bool default false;
+    end S;
+    system implementation S.I
+    subcomponents
+      a: system Leaf.I;
+      b: system Leaf.I;
+    flows
+      a_failed := a.broken;
+      b_failed := b.broken;
+    end S.I;
+    error model EM
+    features ok: initial state; bad: error state;
+    end EM;
+    error model implementation EM.FastEM
+    events f: error event occurrence poisson 1.5 per sec;
+    transitions ok -[f]-> bad;
+    end EM.FastEM;
+    error model implementation EM.SlowEM
+    events f: error event occurrence poisson 0.5 per sec;
+    transitions ok -[f]-> bad;
+    end EM.SlowEM;
+    fault injections
+      component a uses error model EM.FastEM;
+      component a in state bad effect broken := true;
+      component b uses error model EM.SlowEM;
+      component b in state bad effect broken := true;
+    end fault injections;
+)";
+
+PathOutcome run_formula(const eda::Network& net, const PathFormula& f,
+                        StrategyKind kind = StrategyKind::Asap, std::uint64_t seed = 1) {
+    auto strat = make_strategy(kind);
+    const PathGenerator gen(net, f, *strat);
+    Rng rng(seed);
+    return gen.run(rng);
+}
+
+double estimate_formula(const eda::Network& net, const PathFormula& f, double eps = 0.02,
+                        std::uint64_t seed = 7) {
+    const stat::ChernoffHoeffding ch(0.05, eps);
+    return estimate(net, f, StrategyKind::Asap, ch, seed).estimate;
+}
+
+TEST(IntervalReach, LowerBoundDelaysSatisfaction) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    // x >= 3 becomes true at t=3, but the interval starts at 5.
+    const PathFormula f = make_reachability_interval(net.model(), "x >= 3", 5.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_TRUE(out.satisfied);
+    EXPECT_DOUBLE_EQ(out.end_time, 5.0);
+}
+
+TEST(IntervalReach, TransientGoalMissedByWindow) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    // Goal only true on [3,4]; window [5,10] misses it.
+    const PathFormula f =
+        make_reachability_interval(net.model(), "x >= 3 and x <= 4", 5.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_FALSE(out.satisfied);
+    // This model has no discrete transitions at all, so running out the
+    // window classifies as a deadlock (the paper's Sec. III-D semantics).
+    EXPECT_EQ(out.terminal, PathTerminal::Deadlock);
+}
+
+TEST(IntervalReach, GoalInsideWindow) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    const PathFormula f =
+        make_reachability_interval(net.model(), "x >= 7 and x <= 8", 5.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_TRUE(out.satisfied);
+    EXPECT_DOUBLE_EQ(out.end_time, 7.0);
+}
+
+TEST(IntervalReach, RejectsBadInterval) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    EXPECT_THROW((void)make_reachability_interval(net.model(), "x >= 1", 5.0, 3.0), Error);
+    EXPECT_THROW((void)make_reachability_interval(net.model(), "x >= 1", -1.0, 3.0),
+                 Error);
+}
+
+TEST(Until, DeterministicSatisfaction) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    // (x <= 7) U [0,10] (x >= 5): goal at 5, hold survives until 7 >= 5.
+    const PathFormula f = make_until(net.model(), "x <= 7", "x >= 5", 0.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_TRUE(out.satisfied);
+    EXPECT_DOUBLE_EQ(out.end_time, 5.0);
+}
+
+TEST(Until, HoldFailsBeforeGoal) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    // (x <= 4) U [0,10] (x >= 5): hold dies at 4 before the goal at 5.
+    const PathFormula f = make_until(net.model(), "x <= 4", "x >= 5", 0.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_FALSE(out.satisfied);
+    EXPECT_EQ(out.terminal, PathTerminal::Refuted);
+    EXPECT_DOUBLE_EQ(out.end_time, 4.0);
+}
+
+TEST(Until, HoldFalseInitially) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    const PathFormula f = make_until(net.model(), "x >= 1", "x >= 5", 0.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_FALSE(out.satisfied);
+    EXPECT_EQ(out.terminal, PathTerminal::Refuted);
+    EXPECT_DOUBLE_EQ(out.end_time, 0.0);
+}
+
+TEST(Until, GoalTrueImmediatelyOverridesHold) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    // psi true at t=0 within window: satisfied regardless of phi.
+    const PathFormula f = make_until(net.model(), "x >= 99", "x <= 1", 0.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_TRUE(out.satisfied);
+    EXPECT_DOUBLE_EQ(out.end_time, 0.0);
+}
+
+TEST(Until, LowerBoundRequiresHoldThroughGap) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    // psi true everywhere, window [5,10]; phi = x <= 3 dies at 3 < 5.
+    const PathFormula f = make_until(net.model(), "x <= 3", "true or x >= 0", 5.0, 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_FALSE(out.satisfied);
+    EXPECT_DOUBLE_EQ(out.end_time, 3.0);
+    // phi = x <= 6 also dies before 5? No: 6 >= 5, so psi at 5 wins.
+    const PathFormula g = make_until(net.model(), "x <= 6", "x >= 0", 5.0, 10.0);
+    const PathOutcome out2 = run_formula(net, g);
+    EXPECT_TRUE(out2.satisfied);
+    EXPECT_DOUBLE_EQ(out2.end_time, 5.0);
+}
+
+TEST(Until, CompetingExponentialsMatchAnalytic) {
+    const eda::Network net = eda::build_network_from_source(kTwoFaultsFull);
+    // P( not b_failed U [0,u] a_failed ): the fast fault (rate a=1.5) must
+    // beat the slow one (rate b=0.5) within u:
+    //   p = a/(a+b) * (1 - exp(-(a+b) u)).
+    const double u = 1.0;
+    const PathFormula f = make_until(net.model(), "not b_failed", "a_failed", 0.0, u);
+    const double expected = 1.5 / 2.0 * (1.0 - std::exp(-2.0 * u));
+    EXPECT_NEAR(estimate_formula(net, f), expected, 0.03);
+}
+
+TEST(Globally, ClockViolation) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    const PathFormula f = make_globally(net.model(), "x <= 5", 10.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_FALSE(out.satisfied);
+    EXPECT_EQ(out.terminal, PathTerminal::Refuted);
+    EXPECT_DOUBLE_EQ(out.end_time, 5.0);
+}
+
+TEST(Globally, SatisfiedWhenBoundEndsFirst) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    const PathFormula f = make_globally(net.model(), "x <= 5", 4.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_TRUE(out.satisfied);
+    EXPECT_EQ(out.terminal, PathTerminal::Goal);
+    EXPECT_DOUBLE_EQ(out.end_time, 4.0);
+}
+
+TEST(Globally, DeadlockDoesNotFalsify) {
+    // A deadlocked model (no transitions) with a constantly-true invariant:
+    // G [0,u] must be *satisfied*, unlike reachability.
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S
+        features ok: out data port bool default true;
+        end S;
+        system implementation S.I
+        modes a: initial mode;
+        end S.I;
+    )");
+    const PathFormula f = make_globally(net.model(), "ok", 5.0);
+    const PathOutcome out = run_formula(net, f);
+    EXPECT_TRUE(out.satisfied);
+}
+
+TEST(Globally, ComplementOfReachability) {
+    // G [0,u] not broken == not <> [0,u] broken: the estimates must be
+    // complementary on the same model.
+    const eda::Network net = eda::build_network_from_source(kTwoFaultsFull);
+    const double u = 0.7;
+    const PathFormula g = make_globally(net.model(), "not a_failed and not b_failed", u);
+    const PathFormula r = make_reachability(net.model(), "a_failed or b_failed", u);
+    const double pg = estimate_formula(net, g, 0.02, 5);
+    const double pr = estimate_formula(net, r, 0.02, 6);
+    EXPECT_NEAR(pg + pr, 1.0, 0.04);
+    // Analytic: no fault within u at total rate 2: exp(-2u).
+    EXPECT_NEAR(pg, std::exp(-2.0 * u), 0.03);
+}
+
+TEST(Globally, StochasticViolationTerminal) {
+    const eda::Network net = eda::build_network_from_source(kTwoFaultsFull);
+    // With a long bound, a fault almost surely violates G before it.
+    const PathFormula g = make_globally(net.model(), "not a_failed", 100.0);
+    const PathOutcome out = run_formula(net, g, StrategyKind::Asap, 3);
+    EXPECT_FALSE(out.satisfied);
+    EXPECT_EQ(out.terminal, PathTerminal::Refuted);
+    EXPECT_LT(out.end_time, 100.0);
+}
+
+TEST(Formulas, ToStringAndText) {
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    EXPECT_EQ(to_string(FormulaKind::Reach), "reach");
+    EXPECT_EQ(to_string(FormulaKind::Until), "until");
+    EXPECT_EQ(to_string(FormulaKind::Globally), "globally");
+    const PathFormula f = make_until(net.model(), "x <= 7", "x >= 5", 1.0, 10.0);
+    EXPECT_NE(f.text.find("U [1,10]"), std::string::npos);
+}
+
+// Parameterized sweep: interval reach on the pure clock model, exact hit
+// times for every (lo, goal threshold) combination.
+class IntervalReachSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(IntervalReachSweep, HitTimeIsMaxOfThresholdAndLo) {
+    const auto [lo, threshold] = GetParam();
+    const eda::Network net = eda::build_network_from_source(kClockModel);
+    const PathFormula f = make_reachability_interval(
+        net.model(), "x >= " + std::to_string(threshold), lo, 20.0);
+    const PathOutcome out = run_formula(net, f);
+    ASSERT_TRUE(out.satisfied);
+    EXPECT_NEAR(out.end_time, std::max(lo, threshold), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IntervalReachSweep,
+                         ::testing::Combine(::testing::Values(0.0, 2.0, 6.0),
+                                            ::testing::Values(1.0, 5.0, 9.0)));
+
+} // namespace
+} // namespace slimsim::sim

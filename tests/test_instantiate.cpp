@@ -1,0 +1,462 @@
+#include "slim/instantiate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "slim/parser.hpp"
+#include "slim/validate.hpp"
+
+namespace slimsim::slim {
+namespace {
+
+InstanceModel build(const std::string& src) {
+    auto resolved = std::make_shared<ResolvedModel>(resolve(parse_model(src)));
+    return instantiate(std::move(resolved));
+}
+
+TEST(Instantiate, InstanceTreeAndVariables) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Leaf
+        features v: out data port int default 7;
+        end Leaf;
+        system implementation Leaf.I
+        subcomponents d: data bool default true;
+        end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+        end Top.I;
+    )");
+    EXPECT_EQ(m.instances.size(), 3u);
+    EXPECT_EQ(m.instance(""), 0);
+    EXPECT_EQ(m.instances[m.instance("a")].parent, 0);
+    EXPECT_EQ(m.instances[m.instance("b")].parent, 0);
+    // Each Leaf has v, d, @timer; Top has @timer.
+    EXPECT_EQ(m.vars.size(), 7u);
+    EXPECT_EQ(m.vars[m.var("a.v")].init, Value(std::int64_t{7}));
+    EXPECT_EQ(m.vars[m.var("b.d")].init, Value(true));
+    EXPECT_NO_THROW((void)m.var("a.@timer"));
+    EXPECT_THROW((void)m.var("c.v"), Error);
+    EXPECT_THROW((void)m.instance("ghost"), Error);
+}
+
+TEST(Instantiate, ProcessFromModes) {
+    const InstanceModel m = build(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I
+        subcomponents
+          x: data clock;
+          e: data continuous default 10;
+        modes
+          run: initial mode while e >= 0;
+          halt: mode;
+        transitions
+          run -[when x >= 5]-> halt;
+        trends
+          e' = -2 in run;
+        end S.I;
+    )");
+    ASSERT_EQ(m.processes.size(), 1u);
+    const InstProcess& p = m.processes[0];
+    EXPECT_EQ(p.locations.size(), 2u);
+    EXPECT_EQ(p.initial_location, 0);
+    ASSERT_EQ(p.transitions.size(), 1u);
+    EXPECT_EQ(p.transitions[0].src, 0);
+    EXPECT_EQ(p.transitions[0].dst, 1);
+
+    // Rates in `run`: x'=1 (clock), e'=-2 (trend), @timer'=1.
+    const auto& rates_run = p.locations[0].rates;
+    ASSERT_EQ(rates_run.size(), 3u);
+    // Rates in `halt`: x'=1, @timer'=1 (e defaults to slope 0 -> omitted).
+    const auto& rates_halt = p.locations[1].rates;
+    ASSERT_EQ(rates_halt.size(), 2u);
+}
+
+TEST(Instantiate, EventConnectionsBecomeSyncActions) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Sender
+        features done: out event port;
+        end Sender;
+        system implementation Sender.I
+        modes a: initial mode; b: mode;
+        transitions a -[done]-> b;
+        end Sender.I;
+        system Receiver
+        features go: in event port;
+        end Receiver;
+        system implementation Receiver.I
+        modes idle: initial mode; busy: mode;
+        transitions idle -[go]-> busy;
+        end Receiver.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          s: system Sender.I;
+          r: system Receiver.I;
+        connections
+          event port s.done -> r.go;
+        end Top.I;
+    )");
+    ASSERT_EQ(m.actions.size(), 1u);
+    EXPECT_EQ(m.actions[0].participants.size(), 2u);
+    // Both processes' transitions carry the action with matching roles.
+    const auto& ps = m.processes[m.instances[m.instance("s")].process];
+    const auto& pr = m.processes[m.instances[m.instance("r")].process];
+    EXPECT_EQ(ps.transitions[0].action, 0);
+    EXPECT_EQ(ps.transitions[0].role, PortDir::Out);
+    EXPECT_EQ(pr.transitions[0].action, 0);
+    EXPECT_EQ(pr.transitions[0].role, PortDir::In);
+}
+
+TEST(Instantiate, UnconnectedPortsGetSeparateActions) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system A
+        features e1: out event port;
+                 e2: out event port;
+        end A;
+        system implementation A.I
+        modes x: initial mode;
+        transitions
+          x -[e1]-> x;
+          x -[e2]-> x;
+        end A.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents a: system A.I;
+        end Top.I;
+    )");
+    EXPECT_EQ(m.actions.size(), 2u); // singleton groups
+}
+
+TEST(Instantiate, DataConnectionsBecomeFlows) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Leaf
+        features
+          o: out data port int default 3;
+          i: in data port int default 0;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+        connections
+          data port a.o -> b.i;
+        end Top.I;
+    )");
+    ASSERT_EQ(m.flows.size(), 1u);
+    EXPECT_EQ(m.flows[0].target, m.var("b.i"));
+    // Initial valuation propagates the connection.
+    const auto vals = m.initial_valuation();
+    EXPECT_EQ(vals[m.var("b.i")], Value(std::int64_t{3}));
+}
+
+TEST(Instantiate, FlowChainIsTopologicallySorted) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Stage
+        features
+          i: in data port int default 0;
+          o: out data port int default 0;
+        end Stage;
+        system implementation Stage.I
+        flows o := i + 1;
+        end Stage.I;
+        system Top
+        features result: out data port int default 0;
+        end Top;
+        system implementation Top.I
+        subcomponents
+          s1: system Stage.I;
+          s2: system Stage.I;
+        connections
+          data port s1.o -> s2.i;
+          data port s2.o -> result;
+        end Top.I;
+    )");
+    // s1.i=0 -> s1.o=1 -> s2.i=1 -> s2.o=2 -> result=2, regardless of
+    // declaration order.
+    const auto vals = m.initial_valuation();
+    EXPECT_EQ(vals[m.var("result")], Value(std::int64_t{2}));
+}
+
+TEST(Instantiate, RejectsFlowCycle) {
+    EXPECT_THROW(build(R"(
+        root Top.I;
+        system Stage
+        features
+          i: in data port int default 0;
+          o: out data port int default 0;
+        end Stage;
+        system implementation Stage.I
+        flows o := i + 1;
+        end Stage.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          s1: system Stage.I;
+          s2: system Stage.I;
+        connections
+          data port s1.o -> s2.i;
+          data port s2.o -> s1.i;
+        end Top.I;
+    )"),
+                 Error);
+}
+
+TEST(Instantiate, RejectsConflictingFlows) {
+    EXPECT_THROW(build(R"(
+        root Top.I;
+        system Leaf
+        features
+          o: out data port int default 0;
+          i: in data port int default 0;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+          c: system Leaf.I;
+        connections
+          data port a.o -> c.i;
+          data port b.o -> c.i;
+        end Top.I;
+    )"),
+                 Error);
+}
+
+TEST(Instantiate, AllowsDisjointModeGatedFlows) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Leaf
+        features
+          o: out data port int default 3;
+          i: in data port int default 0;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+          c: system Leaf.I;
+        connections
+          data port a.o -> c.i in modes (use_a);
+          data port b.o -> c.i in modes (use_b);
+        modes
+          use_a: initial mode;
+          use_b: mode;
+        transitions
+          use_a -[]-> use_b;
+        end Top.I;
+    )");
+    EXPECT_EQ(m.flows.size(), 2u);
+}
+
+TEST(Instantiate, RejectsFlowReadingClock) {
+    EXPECT_THROW(build(R"(
+        root S.I;
+        system S
+        features o: out data port real default 0;
+        end S;
+        system implementation S.I
+        subcomponents x: data clock;
+        flows o := x;
+        end S.I;
+    )"),
+                 Error);
+}
+
+TEST(Instantiate, ErrorBindingCreatesProcessAndInjections) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Leaf
+        features v: out data port bool default true;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents a: system Leaf.I;
+        end Top.I;
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 1 per hour;
+        transitions ok -[f]-> bad;
+        end EM.I;
+        fault injections
+          component a uses error model EM.I;
+          component a in state bad effect v := false;
+        end fault injections;
+    )");
+    const auto& inst = m.instances[m.instance("a")];
+    ASSERT_GE(inst.error_process, 0);
+    const InstProcess& ep = m.processes[inst.error_process];
+    EXPECT_TRUE(ep.is_error);
+    EXPECT_EQ(ep.locations.size(), 2u);
+    ASSERT_EQ(ep.transitions.size(), 1u);
+    EXPECT_GT(ep.transitions[0].rate, 0.0);
+    ASSERT_EQ(m.injections.size(), 1u);
+    EXPECT_EQ(m.injections[0].target, m.var("a.v"));
+    EXPECT_EQ(m.injections[0].value, Value(false));
+    EXPECT_EQ(m.injections[0].restore, Value(true));
+}
+
+TEST(Instantiate, RejectsInjectionWithoutBinding) {
+    EXPECT_THROW(build(R"(
+        root Top.I;
+        system Leaf
+        features v: out data port bool default true;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents a: system Leaf.I;
+        end Top.I;
+        error model EM features ok: initial state; end EM;
+        error model implementation EM.I end EM.I;
+        fault injections
+          component a in state ok effect v := false;
+        end fault injections;
+    )"),
+                 Error);
+}
+
+TEST(Instantiate, RejectsDoubleErrorBinding) {
+    EXPECT_THROW(build(R"(
+        root Top.I;
+        system Leaf end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents a: system Leaf.I;
+        end Top.I;
+        error model EM features ok: initial state; end EM;
+        error model implementation EM.I end EM.I;
+        fault injections
+          component a uses error model EM.I;
+          component a uses error model EM.I;
+        end fault injections;
+    )"),
+                 Error);
+}
+
+TEST(Instantiate, PropagationPeersAreSiblingsAndParentChild) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Leaf end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+        end Top.I;
+        error model EM
+        features
+          ok: initial state;
+          bad: error state;
+          fail: out propagation;
+          hear: in propagation;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 1 per hour;
+        transitions
+          ok -[f]-> bad;
+          bad -[fail]-> bad;
+          ok -[hear]-> bad;
+        end EM.I;
+        fault injections
+          component a uses error model EM.I;
+          component b uses error model EM.I;
+          component root uses error model EM.I;
+        end fault injections;
+    )");
+    EXPECT_EQ(m.channels.size(), 2u); // fail + hear... (interned per name)
+    const auto pa = m.instances[m.instance("a")].error_process;
+    const auto pb = m.instances[m.instance("b")].error_process;
+    const auto proot = m.instances[m.instance("")].error_process;
+    // a's peers: sibling b and parent root.
+    const auto& peers = m.processes[pa].propagation_peers;
+    EXPECT_EQ(peers.size(), 2u);
+    EXPECT_TRUE(std::find(peers.begin(), peers.end(), pb) != peers.end());
+    EXPECT_TRUE(std::find(peers.begin(), peers.end(), proot) != peers.end());
+    // root's peers: children a and b (it has no parent/siblings).
+    const auto& rpeers = m.processes[proot].propagation_peers;
+    EXPECT_EQ(rpeers.size(), 2u);
+}
+
+TEST(Instantiate, ModeGatedSubcomponentActivation) {
+    const InstanceModel m = build(R"(
+        root Top.I;
+        system Leaf end Leaf;
+        system implementation Leaf.I
+        modes on: initial mode;
+        end Leaf.I;
+        system Top end Top;
+        system implementation Top.I
+        subcomponents
+          primary: system Leaf.I in modes (normal);
+          backup: system Leaf.I in modes (degraded);
+        modes
+          normal: initial mode;
+          degraded: mode;
+        transitions
+          normal -[]-> degraded;
+        end Top.I;
+    )");
+    const auto& primary = m.instances[m.instance("primary")];
+    const auto& backup = m.instances[m.instance("backup")];
+    EXPECT_EQ(primary.parent_modes, (std::vector<int>{0}));
+    EXPECT_EQ(backup.parent_modes, (std::vector<int>{1}));
+}
+
+TEST(Instantiate, IntegerRangeViolationInDefaultRejected) {
+    EXPECT_THROW(build(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I
+        subcomponents x: data int [0..5] default 9;
+        end S.I;
+    )"),
+                 Error);
+}
+
+TEST(Validate, WarnsOnRateGuardMixing) {
+    const InstanceModel m = build(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I end S.I;
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events
+          f: error event occurrence poisson 1 per hour;
+          g: error event;
+        transitions
+          ok -[f]-> bad;
+          ok -[g when @timer >= 1]-> bad;
+        end EM.I;
+        fault injections
+          component root uses error model EM.I;
+        end fault injections;
+    )");
+    const auto diags = validate(m);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_NO_THROW(validate_or_throw(m)); // warnings only
+}
+
+} // namespace
+} // namespace slimsim::slim

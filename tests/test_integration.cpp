@@ -1,0 +1,213 @@
+// Cross-validation: the Monte Carlo simulator against the exhaustive CTMC
+// flow on untimed models (the heart of the paper's Table I claim is that
+// both compute the same probabilities, one approximately, one exactly).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/flow.hpp"
+#include "models/sensor_filter.hpp"
+#include "sim/parallel_runner.hpp"
+
+namespace slimsim {
+namespace {
+
+struct Comparison {
+    double exact = 0.0;
+    double simulated = 0.0;
+};
+
+Comparison compare(const std::string& src, const std::string& goal, double bound,
+                   double eps, std::uint64_t seed) {
+    const eda::Network net = eda::build_network_from_source(src);
+    const auto prop = sim::make_reachability(net.model(), goal, bound);
+    Comparison out;
+    out.exact = ctmc::run_ctmc_flow(net, *prop.goal, bound).probability;
+    const stat::ChernoffHoeffding ch(0.02, eps);
+    // ASAP matches the maximal-progress semantics of the CTMC abstraction.
+    out.simulated = sim::estimate(net, prop, sim::StrategyKind::Asap, ch, seed).estimate;
+    return out;
+}
+
+TEST(Integration, TwoStateFailure) {
+    const auto c = compare(R"(
+        root S.I;
+        system S
+        features broken: out data port bool default false;
+        end S;
+        system implementation S.I end S.I;
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 0.4 per sec;
+        transitions ok -[f]-> bad;
+        end EM.I;
+        fault injections
+          component root uses error model EM.I;
+          component root in state bad effect broken := true;
+        end fault injections;
+    )",
+                           "broken", 2.0, 0.02, 5);
+    EXPECT_NEAR(c.exact, 1.0 - std::exp(-0.8), 1e-9);
+    EXPECT_NEAR(c.simulated, c.exact, 0.03);
+}
+
+TEST(Integration, RepairableSystemSteadyFlow) {
+    // Failure and (Markovian) repair: availability-style model.
+    const auto c = compare(R"(
+        root S.I;
+        system S
+        features
+          down_twice: out data port bool default false;
+          count: out data port int [0..10] default 0;
+        end S;
+        system implementation S.I
+        subcomponents broken: data bool default false;
+        modes watch: initial mode; indown: mode; seen: mode;
+        transitions
+          watch -[when broken and count < 2 then count := count + 1]-> indown;
+          indown -[when not broken]-> watch;
+          watch -[when count >= 2 then down_twice := true]-> seen;
+        end S.I;
+        error model EM
+        features ok: initial state; down: error state;
+        end EM;
+        error model implementation EM.I
+        events
+          fail: error event occurrence poisson 1 per sec;
+          fix: error event occurrence poisson 2 per sec;
+        transitions
+          ok -[fail]-> down;
+          down -[fix]-> ok;
+        end EM.I;
+        fault injections
+          component root uses error model EM.I;
+          component root in state down effect broken := true;
+        end fault injections;
+    )",
+                           "down_twice", 3.0, 0.02, 9);
+    EXPECT_GT(c.exact, 0.5);
+    EXPECT_LT(c.exact, 1.0);
+    EXPECT_NEAR(c.simulated, c.exact, 0.03);
+}
+
+TEST(Integration, SensorFilterSmallSizes) {
+    // The Table I benchmark model at small redundancy: exact vs simulated.
+    for (const int r : {1, 2, 3}) {
+        const eda::Network net =
+            eda::build_network_from_source(models::sensor_filter_source(r, 0.05, 0.02));
+        const double bound = 30.0 * 3600.0;
+        const auto prop =
+            sim::make_reachability(net.model(), models::sensor_filter_goal(), bound);
+        const double exact = ctmc::run_ctmc_flow(net, *prop.goal, bound).probability;
+        const stat::ChernoffHoeffding ch(0.02, 0.02);
+        const double simulated =
+            sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 13).estimate;
+        EXPECT_NEAR(simulated, exact, 0.03) << "R=" << r;
+        EXPECT_GT(exact, 0.01);
+        EXPECT_LT(exact, 0.999);
+    }
+}
+
+TEST(Integration, BisimulationReducesSensorFilter) {
+    // Redundant units are symmetric: lumping must shrink the chain.
+    const eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(2));
+    const auto prop =
+        sim::make_reachability(net.model(), models::sensor_filter_goal(), 3600.0);
+    ctmc::FlowOptions with;
+    ctmc::FlowOptions without;
+    without.minimize = false;
+    const auto rw = ctmc::run_ctmc_flow(net, *prop.goal, 3600.0, with);
+    const auto ro = ctmc::run_ctmc_flow(net, *prop.goal, 3600.0, without);
+    EXPECT_LT(rw.lumped_states, rw.ctmc_states);
+    EXPECT_NEAR(rw.probability, ro.probability, 1e-9);
+}
+
+// Randomized cross-validation: generate small untimed fault models with
+// random rates and a random monotone failure condition; the Monte Carlo
+// estimate must agree with the exact CTMC value on every one of them.
+class RandomizedCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedCrossValidation, SimulatorAgreesWithExactFlow) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    const int n = 2 + static_cast<int>(rng.uniform_index(3)); // 2..4 components
+
+    std::string src = "root S.I;\n"
+                      "system Leaf\nfeatures broken: out data port bool default false;\n"
+                      "end Leaf;\nsystem implementation Leaf.I end Leaf.I;\n"
+                      "system S\nfeatures failed: out data port bool default false;\n"
+                      "end S;\nsystem implementation S.I\nsubcomponents\n";
+    for (int i = 0; i < n; ++i) src += "  c" + std::to_string(i) + ": system Leaf.I;\n";
+    // Random monotone condition: OR over random AND-pairs (and singles).
+    src += "flows\n  failed := ";
+    const int terms = 1 + static_cast<int>(rng.uniform_index(2));
+    for (int t = 0; t < terms; ++t) {
+        if (t > 0) src += " or ";
+        const int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+        const int b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+        src += "(c" + std::to_string(a) + ".broken and c" + std::to_string(b) +
+               ".broken)";
+    }
+    src += ";\nend S.I;\n";
+    // Per-component error model: fail / (sometimes) repair at random rates.
+    for (int i = 0; i < n; ++i) {
+        const double fail = 0.2 + rng.uniform(0.0, 1.5);
+        const bool repairable = rng.bernoulli(0.5);
+        const double fix = 0.5 + rng.uniform(0.0, 2.0);
+        const std::string em = "EM" + std::to_string(i);
+        src += "error model " + em + "\nfeatures ok: initial state; bad: error state;\n";
+        src += "end " + em + ";\n";
+        src += "error model implementation " + em + ".I\nevents\n";
+        src += "  f: error event occurrence poisson " + std::to_string(fail) +
+               " per sec;\n";
+        if (repairable) {
+            src += "  g: error event occurrence poisson " + std::to_string(fix) +
+                   " per sec;\n";
+        }
+        src += "transitions\n  ok -[f]-> bad;\n";
+        if (repairable) src += "  bad -[g]-> ok;\n";
+        src += "end " + em + ".I;\n";
+    }
+    src += "fault injections\n";
+    for (int i = 0; i < n; ++i) {
+        src += "  component c" + std::to_string(i) + " uses error model EM" +
+               std::to_string(i) + ".I;\n";
+        src += "  component c" + std::to_string(i) +
+               " in state bad effect broken := true;\n";
+    }
+    src += "end fault injections;\n";
+
+    const eda::Network net = eda::build_network_from_source(src);
+    const double bound = 0.5 + rng.uniform(0.0, 2.0);
+    const auto prop = sim::make_reachability(net.model(), "failed", bound);
+    const double exact = ctmc::run_ctmc_flow(net, *prop.goal, bound).probability;
+    const stat::ChernoffHoeffding ch(0.05, 0.025);
+    const double simulated =
+        sim::estimate(net, prop, sim::StrategyKind::Asap, ch,
+                      static_cast<std::uint64_t>(GetParam()))
+            .estimate;
+    EXPECT_NEAR(simulated, exact, 0.04) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedCrossValidation, ::testing::Range(1, 21));
+
+TEST(Integration, ParallelMatchesSequential) {
+    const eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(1, 0.05, 0.02));
+    const double bound = 20.0 * 3600.0;
+    const auto prop =
+        sim::make_reachability(net.model(), models::sensor_filter_goal(), bound);
+    const stat::ChernoffHoeffding ch(0.05, 0.03);
+    const auto seq = sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 101);
+    sim::ParallelOptions po;
+    po.workers = 4;
+    const auto par =
+        sim::estimate_parallel(net, prop, sim::StrategyKind::Asap, ch, 101, po);
+    EXPECT_NEAR(par.estimate, seq.estimate, 0.05);
+    EXPECT_GE(par.samples, seq.samples); // rounds may overshoot N slightly
+}
+
+} // namespace
+} // namespace slimsim

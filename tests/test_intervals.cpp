@@ -1,0 +1,237 @@
+#include "support/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace slimsim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Interval, BasicProperties) {
+    const Interval iv{1.0, 3.0};
+    EXPECT_FALSE(iv.is_point());
+    EXPECT_FALSE(iv.unbounded());
+    EXPECT_DOUBLE_EQ(iv.length(), 2.0);
+    EXPECT_TRUE(iv.contains(1.0));
+    EXPECT_TRUE(iv.contains(3.0));
+    EXPECT_FALSE(iv.contains(3.0001));
+
+    const Interval pt{2.0, 2.0};
+    EXPECT_TRUE(pt.is_point());
+    EXPECT_DOUBLE_EQ(pt.length(), 0.0);
+
+    const Interval ub{5.0, kInf};
+    EXPECT_TRUE(ub.unbounded());
+    EXPECT_TRUE(std::isinf(ub.length()));
+    EXPECT_TRUE(ub.contains(1e18));
+}
+
+TEST(IntervalSet, EmptyAndAll) {
+    const IntervalSet empty = IntervalSet::empty_set();
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.earliest(), std::nullopt);
+    EXPECT_EQ(empty.latest(), std::nullopt);
+    EXPECT_DOUBLE_EQ(empty.measure(), 0.0);
+
+    const IntervalSet all = IntervalSet::all();
+    EXPECT_FALSE(all.empty());
+    EXPECT_EQ(all.earliest(), 0.0);
+    EXPECT_EQ(all.latest(), std::nullopt); // unbounded
+    EXPECT_TRUE(std::isinf(all.measure()));
+    EXPECT_TRUE(all.contains(0.0));
+    EXPECT_TRUE(all.contains(1e100));
+}
+
+TEST(IntervalSet, NormalizationMergesOverlaps) {
+    const IntervalSet s({{1.0, 3.0}, {2.0, 5.0}, {7.0, 8.0}});
+    ASSERT_EQ(s.parts().size(), 2u);
+    EXPECT_EQ(s.parts()[0], (Interval{1.0, 5.0}));
+    EXPECT_EQ(s.parts()[1], (Interval{7.0, 8.0}));
+}
+
+TEST(IntervalSet, NormalizationMergesAdjacent) {
+    const IntervalSet s({{1.0, 2.0}, {2.0, 3.0}});
+    ASSERT_EQ(s.parts().size(), 1u);
+    EXPECT_EQ(s.parts()[0], (Interval{1.0, 3.0}));
+}
+
+TEST(IntervalSet, Contains) {
+    const IntervalSet s({{1.0, 2.0}, {4.0, 4.0}, {6.0, 9.0}});
+    EXPECT_FALSE(s.contains(0.5));
+    EXPECT_TRUE(s.contains(1.0));
+    EXPECT_TRUE(s.contains(2.0));
+    EXPECT_FALSE(s.contains(3.0));
+    EXPECT_TRUE(s.contains(4.0));
+    EXPECT_FALSE(s.contains(4.1));
+    EXPECT_TRUE(s.contains(7.0));
+    EXPECT_FALSE(s.contains(9.1));
+}
+
+TEST(IntervalSet, Measure) {
+    const IntervalSet s({{1.0, 2.0}, {4.0, 4.0}, {6.0, 9.0}});
+    EXPECT_DOUBLE_EQ(s.measure(), 4.0);
+}
+
+TEST(IntervalSet, Unite) {
+    const IntervalSet a(0.0, 2.0);
+    const IntervalSet b(5.0, 7.0);
+    const IntervalSet u = a.unite(b);
+    EXPECT_EQ(u.parts().size(), 2u);
+    EXPECT_TRUE(u.contains(1.0));
+    EXPECT_TRUE(u.contains(6.0));
+    EXPECT_FALSE(u.contains(3.0));
+}
+
+TEST(IntervalSet, Intersect) {
+    const IntervalSet a({{0.0, 4.0}, {6.0, 10.0}});
+    const IntervalSet b({{3.0, 7.0}});
+    const IntervalSet i = a.intersect(b);
+    ASSERT_EQ(i.parts().size(), 2u);
+    EXPECT_EQ(i.parts()[0], (Interval{3.0, 4.0}));
+    EXPECT_EQ(i.parts()[1], (Interval{6.0, 7.0}));
+}
+
+TEST(IntervalSet, IntersectDisjointIsEmpty) {
+    const IntervalSet a(0.0, 1.0);
+    const IntervalSet b(2.0, 3.0);
+    EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(IntervalSet, IntersectWithPoint) {
+    const IntervalSet a(0.0, 5.0);
+    const IntervalSet p = IntervalSet::point(3.0);
+    const IntervalSet i = a.intersect(p);
+    ASSERT_EQ(i.parts().size(), 1u);
+    EXPECT_TRUE(i.parts()[0].is_point());
+}
+
+TEST(IntervalSet, ComplementWithinBound) {
+    const IntervalSet s({{1.0, 2.0}, {4.0, 5.0}});
+    const IntervalSet c = s.complement(6.0);
+    ASSERT_EQ(c.parts().size(), 3u);
+    EXPECT_EQ(c.parts()[0], (Interval{0.0, 1.0}));
+    EXPECT_EQ(c.parts()[1], (Interval{2.0, 4.0}));
+    EXPECT_EQ(c.parts()[2], (Interval{5.0, 6.0}));
+}
+
+TEST(IntervalSet, ComplementOfEmptyIsFull) {
+    const IntervalSet c = IntervalSet::empty_set().complement(3.0);
+    ASSERT_EQ(c.parts().size(), 1u);
+    EXPECT_EQ(c.parts()[0], (Interval{0.0, 3.0}));
+}
+
+TEST(IntervalSet, ComplementUnbounded) {
+    const IntervalSet s(2.0, 3.0);
+    const IntervalSet c = s.complement(kInf);
+    ASSERT_EQ(c.parts().size(), 2u);
+    EXPECT_TRUE(c.parts()[1].unbounded());
+}
+
+TEST(IntervalSet, ComplementStartingAtZero) {
+    const IntervalSet s(0.0, 2.0);
+    const IntervalSet c = s.complement(5.0);
+    ASSERT_EQ(c.parts().size(), 1u);
+    EXPECT_EQ(c.parts()[0], (Interval{2.0, 5.0}));
+}
+
+TEST(IntervalSet, Clamp) {
+    const IntervalSet s({{0.0, 10.0}});
+    const IntervalSet c = s.clamp(3.0, 5.0);
+    ASSERT_EQ(c.parts().size(), 1u);
+    EXPECT_EQ(c.parts()[0], (Interval{3.0, 5.0}));
+}
+
+TEST(IntervalSet, PrefixHorizon) {
+    EXPECT_EQ(IntervalSet(0.0, 5.0).prefix_horizon(), 5.0);
+    EXPECT_EQ(IntervalSet(1.0, 5.0).prefix_horizon(), std::nullopt);
+    EXPECT_EQ(IntervalSet::all().prefix_horizon(), kInf);
+    EXPECT_EQ(IntervalSet::empty_set().prefix_horizon(), std::nullopt);
+    // [0,2] u [3,4]: the prefix stops at 2.
+    const IntervalSet s({{0.0, 2.0}, {3.0, 4.0}});
+    EXPECT_EQ(s.prefix_horizon(), 2.0);
+}
+
+TEST(IntervalSet, SampleUniformStaysInSet) {
+    Rng rng(7);
+    const IntervalSet s({{1.0, 2.0}, {5.0, 8.0}});
+    for (int i = 0; i < 1000; ++i) {
+        const double t = s.sample_uniform(rng);
+        EXPECT_TRUE(s.contains(t)) << t;
+    }
+}
+
+TEST(IntervalSet, SampleUniformProportionalToLength) {
+    Rng rng(11);
+    const IntervalSet s({{0.0, 1.0}, {10.0, 13.0}});
+    int in_second = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (s.sample_uniform(rng) >= 10.0) ++in_second;
+    }
+    // Second part has 3/4 of the measure.
+    EXPECT_NEAR(static_cast<double>(in_second) / n, 0.75, 0.02);
+}
+
+TEST(IntervalSet, SampleUniformPurestPoints) {
+    Rng rng(3);
+    const IntervalSet s({{1.0, 1.0}, {2.0, 2.0}});
+    int ones = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double t = s.sample_uniform(rng);
+        EXPECT_TRUE(t == 1.0 || t == 2.0);
+        if (t == 1.0) ++ones;
+    }
+    EXPECT_GT(ones, 300);
+    EXPECT_LT(ones, 700);
+}
+
+TEST(IntervalSet, ToString) {
+    EXPECT_EQ(IntervalSet::empty_set().to_string(), "{}");
+    EXPECT_EQ(IntervalSet(1.0, 2.0).to_string(), "[1, 2]");
+    EXPECT_EQ(IntervalSet::all().to_string(), "[0, inf)");
+}
+
+// Property-style sweep: intersect/unite/complement laws on random sets.
+class IntervalSetLaws : public ::testing::TestWithParam<int> {};
+
+IntervalSet random_set(Rng& rng) {
+    std::vector<Interval> parts;
+    const std::size_t n = rng.uniform_index(4);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double lo = rng.uniform(0.0, 20.0);
+        parts.push_back({lo, lo + rng.uniform(0.0, 5.0)});
+    }
+    return IntervalSet(std::move(parts));
+}
+
+TEST_P(IntervalSetLaws, AlgebraicLaws) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const IntervalSet a = random_set(rng);
+    const IntervalSet b = random_set(rng);
+
+    // Commutativity.
+    EXPECT_EQ(a.unite(b), b.unite(a));
+    EXPECT_EQ(a.intersect(b), b.intersect(a));
+    // Idempotence.
+    EXPECT_EQ(a.unite(a), a);
+    EXPECT_EQ(a.intersect(a), a);
+    // Absorption: a ∩ (a u b) == a.
+    EXPECT_EQ(a.intersect(a.unite(b)), a);
+    // De Morgan within a bound (closure effects only at measure-zero
+    // boundaries; check by membership sampling away from endpoints).
+    const double bound = 30.0;
+    const IntervalSet lhs = a.unite(b).complement(bound);
+    const IntervalSet rhs = a.complement(bound).intersect(b.complement(bound));
+    for (int i = 0; i < 100; ++i) {
+        const double t = rng.uniform(0.0, bound);
+        EXPECT_EQ(lhs.contains(t), rhs.contains(t)) << "at t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetLaws, ::testing::Range(1, 33));
+
+} // namespace
+} // namespace slimsim

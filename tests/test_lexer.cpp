@@ -1,0 +1,119 @@
+#include "slim/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slimsim::slim {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+    std::vector<TokenKind> out;
+    for (const Token& t : tokenize(src)) out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, EmptyInput) {
+    const auto toks = tokenize("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Identifiers) {
+    const auto toks = tokenize("foo Bar_9 _x");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "foo");
+    EXPECT_EQ(toks[1].text, "Bar_9");
+    EXPECT_EQ(toks[1].folded, "bar_9"); // case-folded for keyword matching
+    EXPECT_EQ(toks[2].text, "_x");
+}
+
+TEST(Lexer, Numbers) {
+    const auto toks = tokenize("42 3.25 1e3 2.5e-2");
+    EXPECT_EQ(toks[0].kind, TokenKind::Integer);
+    EXPECT_EQ(toks[0].int_value, 42);
+    EXPECT_EQ(toks[1].kind, TokenKind::Real);
+    EXPECT_DOUBLE_EQ(toks[1].real_value, 3.25);
+    EXPECT_EQ(toks[2].kind, TokenKind::Real);
+    EXPECT_DOUBLE_EQ(toks[2].real_value, 1000.0);
+    EXPECT_DOUBLE_EQ(toks[3].real_value, 0.025);
+}
+
+TEST(Lexer, RangeDotsAreNotFraction) {
+    // `0..5` must lex as Integer DotDot Integer, not as reals.
+    const auto k = kinds("0..5");
+    ASSERT_EQ(k.size(), 4u);
+    EXPECT_EQ(k[0], TokenKind::Integer);
+    EXPECT_EQ(k[1], TokenKind::DotDot);
+    EXPECT_EQ(k[2], TokenKind::Integer);
+}
+
+TEST(Lexer, NumberFollowedByIdentE) {
+    // `2 end` must not eat `e` as an exponent.
+    const auto toks = tokenize("2 end");
+    EXPECT_EQ(toks[0].kind, TokenKind::Integer);
+    EXPECT_EQ(toks[1].text, "end");
+}
+
+TEST(Lexer, TransitionPunctuation) {
+    const auto k = kinds("a -[ e when g then x := 1 ]-> b;");
+    EXPECT_EQ(k[1], TokenKind::TransBegin);
+    EXPECT_EQ(k[7], TokenKind::Assign);
+    EXPECT_EQ(k[9], TokenKind::TransEnd);
+    EXPECT_EQ(k[11], TokenKind::Semicolon);
+}
+
+TEST(Lexer, ArrowVsMinus) {
+    const auto k = kinds("a -> b - c -[");
+    EXPECT_EQ(k[1], TokenKind::Arrow);
+    EXPECT_EQ(k[3], TokenKind::Minus);
+    EXPECT_EQ(k[5], TokenKind::TransBegin);
+}
+
+TEST(Lexer, ComparisonOperators) {
+    const auto k = kinds("< <= > >= = != =>");
+    EXPECT_EQ(k[0], TokenKind::Lt);
+    EXPECT_EQ(k[1], TokenKind::Le);
+    EXPECT_EQ(k[2], TokenKind::Gt);
+    EXPECT_EQ(k[3], TokenKind::Ge);
+    EXPECT_EQ(k[4], TokenKind::EqEq);
+    EXPECT_EQ(k[5], TokenKind::Neq);
+    EXPECT_EQ(k[6], TokenKind::FatArrow);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+    const auto toks = tokenize("a -- comment with -[ tokens ]->\nb");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, SourceLocations) {
+    const auto toks = tokenize("a\n  b", "test.slim");
+    EXPECT_EQ(toks[0].loc.line, 1u);
+    EXPECT_EQ(toks[0].loc.column, 1u);
+    EXPECT_EQ(toks[1].loc.line, 2u);
+    EXPECT_EQ(toks[1].loc.column, 3u);
+    EXPECT_EQ(toks[1].loc.file, "test.slim");
+}
+
+TEST(Lexer, AtPrime) {
+    const auto k = kinds("@timer x' = 1");
+    EXPECT_EQ(k[0], TokenKind::At);
+    EXPECT_EQ(k[2], TokenKind::Ident);
+    EXPECT_EQ(k[3], TokenKind::Prime);
+}
+
+TEST(Lexer, RejectsBadCharacters) {
+    EXPECT_THROW(tokenize("a # b"), Error);
+    EXPECT_THROW(tokenize("a ! b"), Error); // bare ! (not !=)
+    EXPECT_THROW(tokenize("a $ b"), Error);
+}
+
+TEST(Lexer, BracketCloseVsTransEnd) {
+    const auto k = kinds("x[1] ]->");
+    EXPECT_EQ(k[1], TokenKind::LBracket);
+    EXPECT_EQ(k[3], TokenKind::RBracket);
+    EXPECT_EQ(k[4], TokenKind::TransEnd);
+}
+
+} // namespace
+} // namespace slimsim::slim

@@ -1,0 +1,176 @@
+#include "models/gps.hpp"
+#include "models/launcher.hpp"
+#include "models/sensor_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eda/network.hpp"
+#include "sim/runner.hpp"
+#include "slim/validate.hpp"
+
+namespace slimsim {
+namespace {
+
+TEST(GpsModel, ParsesAndValidates) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto& m = net.model();
+    EXPECT_EQ(m.instances.size(), 2u); // satellite + gps
+    // Processes: gps nominal + gps error model.
+    EXPECT_EQ(m.processes.size(), 2u);
+    EXPECT_EQ(m.injections.size(), 3u);
+}
+
+TEST(GpsModel, AsapAcquiresFixAtTenSeconds) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto prop = sim::make_reachability(net.model(), models::gps_goal(), 1800.0);
+    auto strat = sim::make_strategy(sim::StrategyKind::Asap);
+    const sim::PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    const sim::PathOutcome out = gen.run(rng);
+    EXPECT_TRUE(out.satisfied);
+    // ASAP fires the acquisition transition at its earliest instant, 10 s
+    // (unless an extremely early fault preempted it, which seed 1 does not).
+    EXPECT_NEAR(out.end_time, 10.0, 1e-9);
+}
+
+TEST(GpsModel, AllStrategiesReachFixWithHighProbability) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto prop = sim::make_reachability(net.model(), models::gps_goal(), 1800.0);
+    const stat::ChernoffHoeffding ch(0.1, 0.05);
+    for (const auto k : sim::automated_strategies()) {
+        const auto res = sim::estimate(net, prop, k, ch, 11);
+        EXPECT_GT(res.estimate, 0.9) << sim::to_string(k);
+    }
+}
+
+TEST(GpsModel, ProgressiveAcquisitionIsUniformOverWindow) {
+    // Under Progressive, the fix time is ~uniform over [10 s, 120 s]
+    // (Sec. III-B): P(fix by 65 s) = (65-10)/110 = 0.5.
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto prop = sim::make_reachability(net.model(), models::gps_goal(), 65.0);
+    const stat::ChernoffHoeffding ch(0.05, 0.02);
+    const auto res = sim::estimate(net, prop, sim::StrategyKind::Progressive, ch, 23);
+    EXPECT_NEAR(res.estimate, 55.0 / 110.0, 0.03);
+}
+
+TEST(SensorFilterModel, GeneratesForEachRedundancy) {
+    for (int r = 1; r <= 4; ++r) {
+        const eda::Network net =
+            eda::build_network_from_source(models::sensor_filter_source(r));
+        const auto& m = net.model();
+        // Instances: root + r sensors + r filters.
+        EXPECT_EQ(m.instances.size(), 1u + 2u * static_cast<std::size_t>(r));
+        // Processes: root monitor + 2r error models.
+        EXPECT_EQ(m.processes.size(), 1u + 2u * static_cast<std::size_t>(r));
+        // Injections: one per unit.
+        EXPECT_EQ(m.injections.size(), 2u * static_cast<std::size_t>(r));
+        // Monitor has r^2 + 1 modes.
+        EXPECT_EQ(m.processes[0].locations.size(),
+                  static_cast<std::size_t>(r) * static_cast<std::size_t>(r) + 1u);
+    }
+}
+
+TEST(SensorFilterModel, RejectsZeroRedundancy) {
+    EXPECT_THROW(models::sensor_filter_source(0), Error);
+}
+
+TEST(SensorFilterModel, NoRedundancyFailsOnFirstFault) {
+    // R=1: first unit failure kills the system; P = 1 - exp(-(ls+lf)u).
+    const eda::Network net = eda::build_network_from_source(
+        models::sensor_filter_source(1, 0.01, 0.005));
+    const auto prop =
+        sim::make_reachability(net.model(), models::sensor_filter_goal(), 100.0 * 3600.0);
+    const stat::ChernoffHoeffding ch(0.05, 0.02);
+    const auto res = sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 3);
+    const double expected = 1.0 - std::exp(-(0.01 + 0.005) * 100.0);
+    EXPECT_NEAR(res.estimate, expected, 0.03);
+}
+
+TEST(SensorFilterModel, RedundancyImprovesReliability) {
+    const double u = 200.0 * 3600.0;
+    const stat::ChernoffHoeffding ch(0.05, 0.02);
+    double prev = 1.1;
+    for (int r = 1; r <= 3; ++r) {
+        const eda::Network net =
+            eda::build_network_from_source(models::sensor_filter_source(r));
+        const auto prop =
+            sim::make_reachability(net.model(), models::sensor_filter_goal(), u);
+        const double p = sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 17).estimate;
+        EXPECT_LT(p, prev + 0.01) << "R=" << r;
+        prev = p;
+    }
+}
+
+TEST(LauncherModel, ParsesBothVariants) {
+    for (const bool recoverable : {false, true}) {
+        models::LauncherOptions opt;
+        opt.recoverable_dpu = recoverable;
+        const eda::Network net =
+            eda::build_network_from_source(models::launcher_source(opt));
+        const auto& m = net.model();
+        EXPECT_EQ(m.instances.size(), 23u); // root + devices + batteries + PCDU outputs
+        // 12 bound error models + 3 behavioural processes (2 batteries...).
+        std::size_t error_processes = 0;
+        for (const auto& p : m.processes) {
+            if (p.is_error) ++error_processes;
+        }
+        EXPECT_EQ(error_processes, 12u);
+        EXPECT_GE(m.injections.size(), 16u);
+        const auto diags = slim::validate(m);
+        for (const auto& d : diags) {
+            EXPECT_NE(d.severity, Severity::Error) << d.to_string();
+        }
+    }
+}
+
+TEST(LauncherModel, NoFailureInitially) {
+    const eda::Network net = eda::build_network_from_source(models::launcher_source());
+    const eda::NetworkState s = net.initial_state();
+    const auto prop = sim::make_reachability(net.model(), models::launcher_goal(), 60.0);
+    EXPECT_FALSE(net.eval_global(s, *prop.goal));
+    // Commands are initially live.
+    EXPECT_EQ(s.values[net.model().var("dpu1.command")], Value(true));
+    EXPECT_EQ(s.values[net.model().var("dpu2.command")], Value(true));
+}
+
+TEST(LauncherModel, PermanentVariantStrategiesAgree) {
+    models::LauncherOptions opt;
+    opt.recoverable_dpu = false;
+    const eda::Network net = eda::build_network_from_source(models::launcher_source(opt));
+    const double u = 2.0 * 3600.0;
+    const auto prop = sim::make_reachability(net.model(), models::launcher_goal(), u);
+    const stat::ChernoffHoeffding ch(0.1, 0.04);
+    // Fig. 5 left: all strategies coincide (within statistical error) since
+    // only probabilistic/deterministic behaviour remains.
+    const double p_asap =
+        sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 21).estimate;
+    const double p_max =
+        sim::estimate(net, prop, sim::StrategyKind::MaxTime, ch, 22).estimate;
+    EXPECT_NEAR(p_asap, p_max, 0.1);
+    EXPECT_GT(p_asap, 0.3); // exaggerated rates produce a visible failure mass
+}
+
+TEST(LauncherModel, RecoverableVariantSeparatesStrategies) {
+    models::LauncherOptions opt;
+    opt.recoverable_dpu = true;
+    const eda::Network net = eda::build_network_from_source(models::launcher_source(opt));
+    const double u = 2.0 * 3600.0;
+    const auto prop = sim::make_reachability(net.model(), models::launcher_goal(), u);
+    const stat::ChernoffHoeffding ch(0.1, 0.04);
+    // Fig. 5 right: ASAP always repairs too early (fault becomes permanent),
+    // MaxTime always repairs in time.
+    const double p_asap =
+        sim::estimate(net, prop, sim::StrategyKind::Asap, ch, 31).estimate;
+    const double p_max =
+        sim::estimate(net, prop, sim::StrategyKind::MaxTime, ch, 32).estimate;
+    const double p_prog =
+        sim::estimate(net, prop, sim::StrategyKind::Progressive, ch, 33).estimate;
+    EXPECT_GT(p_asap, p_max + 0.2);
+    EXPECT_GT(p_asap + 0.02, p_prog);
+    EXPECT_GT(p_prog + 0.02, p_max);
+}
+
+} // namespace
+} // namespace slimsim

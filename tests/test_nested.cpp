@@ -1,0 +1,147 @@
+// Nested probabilistic operators (paper Sec. VII-A future work).
+#include "sim/nested.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/runner.hpp"
+#include "slim/parser.hpp"
+
+namespace slimsim::sim {
+namespace {
+
+/// Repairable component: fails at rate 1/s, repaired at rate 2/s.
+constexpr const char* kRepairable = R"(
+    root S.I;
+    system S
+    features broken: out data port bool default false;
+    end S;
+    system implementation S.I end S.I;
+    error model EM
+    features ok: initial state; down: error state;
+    end EM;
+    error model implementation EM.I
+    events
+      fail: error event occurrence poisson 1 per sec;
+      fix: error event occurrence poisson 2 per sec;
+    transitions
+      ok -[fail]-> down;
+      down -[fix]-> ok;
+    end EM.I;
+    fault injections
+      component root uses error model EM.I;
+      component root in state down effect broken := true;
+    end fault injections;
+)";
+
+expr::ExprPtr goal_of(const eda::Network& net, const std::string& src) {
+    return resolve_goal(net.model(), slim::parse_expression(src));
+}
+
+TEST(Nested, StateFormulaStructure) {
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    const StateFormula atom = StateFormula::atom(goal_of(net, "broken"));
+    EXPECT_FALSE(atom.has_nested());
+    PathFormula inner = make_reachability(net.model(), "broken", 1.0);
+    const StateFormula prob = StateFormula::probability_at_least(inner, 0.5);
+    EXPECT_TRUE(prob.has_nested());
+    EXPECT_TRUE(StateFormula::negation(prob).has_nested());
+    EXPECT_TRUE(StateFormula::conjunction(atom, prob).has_nested());
+    EXPECT_FALSE(StateFormula::disjunction(atom, atom).has_nested());
+}
+
+TEST(Nested, PureAtomMatchesPlainEstimation) {
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    const StateFormula phi = StateFormula::atom(goal_of(net, "broken"));
+    NestedOptions opt;
+    opt.eps = 0.02;
+    const NestedResult nested = estimate_nested(net, phi, 1.0, 7, opt);
+    EXPECT_EQ(nested.inner_tests, 0u);
+
+    const auto prop = make_reachability(net.model(), "broken", 1.0);
+    const stat::ChernoffHoeffding ch(0.05, 0.02);
+    const double plain = estimate(net, prop, StrategyKind::Asap, ch, 7).estimate;
+    EXPECT_NEAR(nested.estimate, plain, 0.03);
+}
+
+TEST(Nested, InnerOperatorMatchesAnalytic) {
+    // "Risky" := P>=0.9( <> [0,1] broken ). From `ok`, P(break within 1 s)
+    // = 1 - e^-1 ~ 0.63 < 0.9: not risky. From `down` it is 1: risky.
+    // Hence P( <> [0,u] Risky ) = P(first failure within u) = 1 - e^-u.
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    PathFormula inner = make_reachability(net.model(), "broken", 1.0);
+    const StateFormula risky = StateFormula::probability_at_least(inner, 0.9, 0.05, 0.01);
+    const double u = 1.5;
+    NestedOptions opt;
+    opt.eps = 0.02;
+    const NestedResult res = estimate_nested(net, risky, u, 11, opt);
+    EXPECT_NEAR(res.estimate, 1.0 - std::exp(-u), 0.04);
+    // Memoization: the model has exactly two discrete states.
+    EXPECT_LE(res.inner_tests, 2u);
+    EXPECT_GT(res.memo_hits, res.inner_tests);
+}
+
+TEST(Nested, NegationAndConjunction) {
+    // NOT risky AND NOT broken: true exactly in `ok`-with-low-risk... with
+    // threshold 0.5 (< 0.63), even `ok` is risky, so the formula is never
+    // true and the outer probability is 0.
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    PathFormula inner = make_reachability(net.model(), "broken", 1.0);
+    const StateFormula risky = StateFormula::probability_at_least(inner, 0.5, 0.05, 0.01);
+    const StateFormula phi = StateFormula::conjunction(
+        StateFormula::negation(risky), StateFormula::atom(goal_of(net, "not broken")));
+    NestedOptions opt;
+    opt.eps = 0.05;
+    const NestedResult res = estimate_nested(net, phi, 1.0, 3, opt);
+    EXPECT_DOUBLE_EQ(res.estimate, 0.0);
+}
+
+TEST(Nested, DeterministicInSeed) {
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    PathFormula inner = make_reachability(net.model(), "broken", 1.0);
+    const StateFormula risky = StateFormula::probability_at_least(inner, 0.9, 0.05, 0.05);
+    NestedOptions opt;
+    opt.eps = 0.05;
+    const NestedResult a = estimate_nested(net, risky, 1.0, 21, opt);
+    const NestedResult b = estimate_nested(net, risky, 1.0, 21, opt);
+    EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+    EXPECT_EQ(a.inner_paths, b.inner_paths);
+}
+
+TEST(Nested, RejectsTimedModels) {
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S
+        features done: out data port bool default false;
+        end S;
+        system implementation S.I
+        subcomponents x: data clock;
+        modes a: initial mode while x <= 5; b: mode;
+        transitions a -[when x >= 1 then done := true]-> b;
+        end S.I;
+    )");
+    const StateFormula phi = StateFormula::atom(goal_of(net, "done"));
+    EXPECT_THROW((void)estimate_nested(net, phi, 1.0, 1, {}), Error);
+}
+
+TEST(Nested, InconclusiveSprtRaises) {
+    // Threshold placed at the true inner probability with a hair-thin
+    // indifference region and a small budget: must raise, not loop forever.
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    PathFormula inner = make_reachability(net.model(), "broken", 1.0);
+    const StateFormula risky =
+        StateFormula::probability_at_least(inner, 1.0 - std::exp(-1.0), 1e-6, 0.01);
+    NestedOptions opt;
+    opt.inner_max_samples = 200;
+    EXPECT_THROW((void)estimate_nested(net, risky, 1.0, 5, opt), Error);
+}
+
+TEST(Nested, RejectsBadBound) {
+    const eda::Network net = eda::build_network_from_source(kRepairable);
+    const StateFormula phi = StateFormula::atom(goal_of(net, "broken"));
+    EXPECT_THROW((void)estimate_nested(net, phi, 0.0, 1, {}), Error);
+}
+
+} // namespace
+} // namespace slimsim::sim

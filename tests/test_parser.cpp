@@ -1,0 +1,268 @@
+#include "slim/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slimsim::slim {
+namespace {
+
+TEST(Parser, ComponentType) {
+    const ModelFile f = parse_model(R"(
+        system GPS
+        features
+          activation: in event port;
+          measurement: out data port bool default false;
+          level: out data port int [0..9] default 3;
+          temp: in data port real;
+        end GPS;
+    )");
+    ASSERT_EQ(f.component_types.size(), 1u);
+    const ComponentType& t = f.component_types[0];
+    EXPECT_EQ(t.name, "GPS");
+    EXPECT_EQ(t.category, Category::System);
+    ASSERT_EQ(t.features.size(), 4u);
+    EXPECT_TRUE(t.features[0].is_event);
+    EXPECT_EQ(t.features[0].dir, PortDir::In);
+    EXPECT_FALSE(t.features[1].is_event);
+    EXPECT_EQ(t.features[1].dir, PortDir::Out);
+    EXPECT_EQ(t.features[1].data_type.kind, TypeKind::Bool);
+    ASSERT_TRUE(t.features[1].default_value != nullptr);
+    EXPECT_EQ(t.features[2].data_type, Type::integer_range(0, 9));
+    EXPECT_EQ(t.features[3].data_type.kind, TypeKind::Real);
+}
+
+TEST(Parser, AllCategories) {
+    const ModelFile f = parse_model(R"(
+        system A end A;
+        device B end B;
+        processor C end C;
+        process D end D;
+        thread E end E;
+        bus F end F;
+        memory G end G;
+        abstract H end H;
+    )");
+    ASSERT_EQ(f.component_types.size(), 8u);
+    EXPECT_EQ(f.component_types[1].category, Category::Device);
+    EXPECT_EQ(f.component_types[7].category, Category::Abstract);
+}
+
+TEST(Parser, Implementation) {
+    const ModelFile f = parse_model(R"(
+        system S end S;
+        system implementation S.Imp
+        subcomponents
+          x: data clock;
+          e: data continuous default 100.0;
+          sub: device Dev.Imp in modes (working);
+        modes
+          working: initial mode while x <= 2 min;
+          broken: mode;
+        transitions
+          working -[when x >= 10 then e := e + 1]-> broken;
+          broken -[]-> working;
+        trends
+          e' = -0.5 in working;
+        end S.Imp;
+    )");
+    ASSERT_EQ(f.component_impls.size(), 1u);
+    const ComponentImpl& impl = f.component_impls[0];
+    EXPECT_EQ(impl.full_name(), "S.Imp");
+    ASSERT_EQ(impl.data.size(), 2u);
+    EXPECT_EQ(impl.data[0].type.kind, TypeKind::Clock);
+    ASSERT_EQ(impl.subcomponents.size(), 1u);
+    EXPECT_EQ(impl.subcomponents[0].type_name, "Dev.Imp");
+    ASSERT_EQ(impl.subcomponents[0].in_modes.size(), 1u);
+    ASSERT_EQ(impl.modes.size(), 2u);
+    EXPECT_TRUE(impl.modes[0].initial);
+    ASSERT_TRUE(impl.modes[0].invariant != nullptr);
+    ASSERT_EQ(impl.transitions.size(), 2u);
+    EXPECT_EQ(impl.transitions[0].src, "working");
+    EXPECT_EQ(impl.transitions[0].dst, "broken");
+    ASSERT_TRUE(impl.transitions[0].guard != nullptr);
+    ASSERT_EQ(impl.transitions[0].effects.size(), 1u);
+    EXPECT_EQ(impl.transitions[1].trigger.kind, TriggerKind::Internal);
+    ASSERT_EQ(impl.trends.size(), 1u);
+    EXPECT_EQ(impl.trends[0].var, "e");
+}
+
+TEST(Parser, TransitionTriggers) {
+    const ModelFile f = parse_model(R"(
+        system S end S;
+        system implementation S.Imp
+        modes
+          a: initial mode;
+          b: mode;
+        transitions
+          a -[go]-> b;
+          a -[@activation]-> b;
+          b -[@deactivation]-> a;
+          a -[when true]-> b;
+          a -[then x := 1]-> b;
+          a -[go when true then x := 1; y := 2]-> b;
+        end S.Imp;
+    )");
+    const auto& tr = f.component_impls[0].transitions;
+    ASSERT_EQ(tr.size(), 6u);
+    EXPECT_EQ(tr[0].trigger.kind, TriggerKind::Port);
+    EXPECT_EQ(tr[0].trigger.port.port, "go");
+    EXPECT_EQ(tr[1].trigger.kind, TriggerKind::Activation);
+    EXPECT_EQ(tr[2].trigger.kind, TriggerKind::Deactivation);
+    EXPECT_EQ(tr[3].trigger.kind, TriggerKind::Internal);
+    ASSERT_TRUE(tr[3].guard != nullptr);
+    EXPECT_EQ(tr[4].effects.size(), 1u);
+    EXPECT_EQ(tr[5].effects.size(), 2u);
+}
+
+TEST(Parser, ConnectionsAndFlows) {
+    const ModelFile f = parse_model(R"(
+        system S end S;
+        system implementation S.Imp
+        subcomponents
+          a: device D.Imp;
+          b: device D.Imp;
+        connections
+          data port a.out_p -> b.in_p;
+          event port a.done -> b.go;
+          data port a.out_p -> b.in_p in modes (m1, m2);
+        flows
+          b.in_p := a.out_p * 2;
+        modes
+          m1: initial mode;
+          m2: mode;
+        end S.Imp;
+    )");
+    const auto& impl = f.component_impls[0];
+    ASSERT_EQ(impl.connections.size(), 3u);
+    EXPECT_FALSE(impl.connections[0].is_event);
+    EXPECT_EQ(impl.connections[0].src.to_string(), "a.out_p");
+    EXPECT_TRUE(impl.connections[1].is_event);
+    EXPECT_EQ(impl.connections[2].in_modes.size(), 2u);
+    ASSERT_EQ(impl.flows.size(), 1u);
+    EXPECT_EQ(impl.flows[0].target.to_string(), "b.in_p");
+}
+
+TEST(Parser, ErrorModel) {
+    const ModelFile f = parse_model(R"(
+        error model EM
+        features
+          ok: initial state;
+          bad: error state while @timer <= 300 msec;
+          fail_out: out propagation;
+          fail_in: in propagation;
+        end EM;
+        error model implementation EM.Imp
+        events
+          fault: error event occurrence poisson 0.1 per hour;
+          recover: error event;
+        subcomponents
+          c: data clock;
+        transitions
+          ok -[fault]-> bad;
+          bad -[recover when c >= 1]-> ok;
+          bad -[fail_out]-> bad;
+          ok -[fail_in]-> bad;
+        end EM.Imp;
+    )");
+    ASSERT_EQ(f.error_types.size(), 1u);
+    const ErrorModelType& t = f.error_types[0];
+    ASSERT_EQ(t.states.size(), 2u);
+    EXPECT_TRUE(t.states[0].initial);
+    ASSERT_TRUE(t.states[1].invariant != nullptr);
+    ASSERT_EQ(t.propagations.size(), 2u);
+    EXPECT_EQ(t.propagations[0].dir, PortDir::Out);
+    EXPECT_EQ(t.propagations[1].dir, PortDir::In);
+
+    ASSERT_EQ(f.error_impls.size(), 1u);
+    const ErrorModelImpl& impl = f.error_impls[0];
+    ASSERT_EQ(impl.events.size(), 2u);
+    ASSERT_TRUE(impl.events[0].rate.has_value());
+    EXPECT_NEAR(*impl.events[0].rate, 0.1 / 3600.0, 1e-12); // per hour -> per sec
+    EXPECT_FALSE(impl.events[1].rate.has_value());
+    EXPECT_EQ(impl.transitions.size(), 4u);
+}
+
+TEST(Parser, FaultInjections) {
+    const ModelFile f = parse_model(R"(
+        fault injections
+          component gps uses error model EM.Imp;
+          component gps in state bad effect measurement := false;
+          component a.b.c uses error model EM.Imp;
+          component root uses error model EM.Imp;
+        end fault injections;
+    )");
+    ASSERT_EQ(f.error_bindings.size(), 3u);
+    EXPECT_EQ(f.error_bindings[0].component_path,
+              (std::vector<std::string>{"gps"}));
+    EXPECT_EQ(f.error_bindings[1].component_path,
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(f.error_bindings[2].component_path.empty()); // "root"
+    ASSERT_EQ(f.injections.size(), 1u);
+    EXPECT_EQ(f.injections[0].state, "bad");
+    EXPECT_EQ(f.injections[0].target_var, "measurement");
+}
+
+TEST(Parser, RootDeclaration) {
+    const ModelFile f = parse_model("root Sys.Imp;\nsystem Sys end Sys;");
+    EXPECT_EQ(f.root, "Sys.Imp");
+}
+
+TEST(Parser, RejectsMismatchedEnd) {
+    EXPECT_THROW(parse_model("system A end B;"), Error);
+    EXPECT_THROW(parse_model("system implementation A.I end A.J;"), Error);
+}
+
+TEST(Parser, RejectsGarbage) {
+    EXPECT_THROW(parse_model("systems A end A;"), Error);
+    EXPECT_THROW(parse_model("system A features x end A;"), Error);
+    EXPECT_THROW(parse_model("system A end A"), Error); // missing semicolon
+}
+
+TEST(Parser, RejectsBadRate) {
+    EXPECT_THROW(parse_model(R"(
+        error model E features ok: initial state; end E;
+        error model implementation E.I
+        events f: error event occurrence poisson 0 per hour;
+        end E.I;
+    )"),
+                 Error);
+}
+
+TEST(Parser, RejectsEmptyIntegerRange) {
+    EXPECT_THROW(parse_model(R"(
+        system S end S;
+        system implementation S.I
+        subcomponents x: data int [5..2];
+        end S.I;
+    )"),
+                 Error);
+}
+
+TEST(Parser, ExpressionEntryPoint) {
+    const expr::ExprPtr e = parse_expression("a and b or not c");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->kind, expr::ExprKind::Binary);
+    EXPECT_EQ(e->bop, expr::BinaryOp::Or);
+    EXPECT_THROW(parse_expression("a b"), Error); // trailing input
+}
+
+TEST(Parser, TimerInGuards) {
+    const ModelFile f = parse_model(R"(
+        system S end S;
+        system implementation S.Imp
+        modes
+          a: initial mode;
+        transitions
+          a -[when @timer >= 200 msec]-> a;
+        end S.Imp;
+    )");
+    const auto& g = f.component_impls[0].transitions[0].guard;
+    ASSERT_TRUE(g != nullptr);
+    EXPECT_NE(g->to_string().find("@timer"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownImplicitVar) {
+    EXPECT_THROW(parse_expression("@clock >= 1"), Error);
+}
+
+} // namespace
+} // namespace slimsim::slim

@@ -1,0 +1,191 @@
+#include "props/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eda/network.hpp"
+#include "sim/property.hpp"
+
+namespace slimsim {
+namespace {
+
+TEST(ParseDuration, PlainSeconds) {
+    EXPECT_DOUBLE_EQ(props::parse_duration("1800"), 1800.0);
+    EXPECT_DOUBLE_EQ(props::parse_duration("2.5"), 2.5);
+}
+
+TEST(ParseDuration, Units) {
+    EXPECT_DOUBLE_EQ(props::parse_duration("300 msec"), 0.3);
+    EXPECT_DOUBLE_EQ(props::parse_duration("30 min"), 1800.0);
+    EXPECT_DOUBLE_EQ(props::parse_duration("2 hour"), 7200.0);
+    EXPECT_DOUBLE_EQ(props::parse_duration("2h"), 7200.0);
+    EXPECT_DOUBLE_EQ(props::parse_duration("1 day"), 86400.0);
+    EXPECT_DOUBLE_EQ(props::parse_duration("  5 sec  "), 5.0);
+}
+
+TEST(ParseDuration, Rejects) {
+    EXPECT_THROW((void)props::parse_duration("abc"), Error);
+    EXPECT_THROW((void)props::parse_duration("5 lightyears"), Error);
+    EXPECT_THROW((void)props::parse_duration(""), Error);
+}
+
+TEST(ParsePattern, ProbabilisticExistence) {
+    const props::ParsedPattern p =
+        props::parse_pattern("probability of reaching gps.measurement within 30 min");
+    EXPECT_EQ(p.goal_text, "gps.measurement");
+    EXPECT_DOUBLE_EQ(p.bound, 1800.0);
+}
+
+TEST(ParsePattern, CaseInsensitiveKeywords) {
+    const props::ParsedPattern p =
+        props::parse_pattern("Probability of reaching failed within 2 hour");
+    EXPECT_EQ(p.goal_text, "failed");
+    EXPECT_DOUBLE_EQ(p.bound, 7200.0);
+}
+
+TEST(ParsePattern, ComplexGoalExpression) {
+    const props::ParsedPattern p = props::parse_pattern(
+        "probability of reaching a.x > 3 and not b.y within 10 sec");
+    EXPECT_EQ(p.goal_text, "a.x > 3 and not b.y");
+    EXPECT_DOUBLE_EQ(p.bound, 10.0);
+}
+
+TEST(ParsePattern, CslSpelling) {
+    const props::ParsedPattern p = props::parse_pattern("P( <> [0, 2 hour] failure )");
+    EXPECT_EQ(p.goal_text, "failure");
+    EXPECT_DOUBLE_EQ(p.bound, 7200.0);
+}
+
+TEST(ParsePattern, CslNonZeroLowerBoundIsIntervalReach) {
+    const props::ParsedPattern p = props::parse_pattern("P( <> [1, 2] failure )");
+    EXPECT_EQ(p.kind, props::PatternKind::Reach);
+    EXPECT_DOUBLE_EQ(p.lo, 1.0);
+    EXPECT_DOUBLE_EQ(p.bound, 2.0);
+}
+
+TEST(ParsePattern, BetweenInterval) {
+    const props::ParsedPattern p = props::parse_pattern(
+        "probability of reaching failed between 10 min and 2 hour");
+    EXPECT_EQ(p.kind, props::PatternKind::Reach);
+    EXPECT_EQ(p.goal_text, "failed");
+    EXPECT_DOUBLE_EQ(p.lo, 600.0);
+    EXPECT_DOUBLE_EQ(p.bound, 7200.0);
+}
+
+TEST(ParsePattern, UntilVerbose) {
+    const props::ParsedPattern p = props::parse_pattern(
+        "probability of not b.failed until a.failed within 30 min");
+    EXPECT_EQ(p.kind, props::PatternKind::Until);
+    EXPECT_EQ(p.hold_text, "not b.failed");
+    EXPECT_EQ(p.goal_text, "a.failed");
+    EXPECT_DOUBLE_EQ(p.lo, 0.0);
+    EXPECT_DOUBLE_EQ(p.bound, 1800.0);
+}
+
+TEST(ParsePattern, UntilVerboseWithInterval) {
+    const props::ParsedPattern p = props::parse_pattern(
+        "probability of safe until done between 5 sec and 10 sec");
+    EXPECT_EQ(p.kind, props::PatternKind::Until);
+    EXPECT_EQ(p.hold_text, "safe");
+    EXPECT_EQ(p.goal_text, "done");
+    EXPECT_DOUBLE_EQ(p.lo, 5.0);
+    EXPECT_DOUBLE_EQ(p.bound, 10.0);
+}
+
+TEST(ParsePattern, MaintainingGlobally) {
+    const props::ParsedPattern p =
+        props::parse_pattern("probability of maintaining not failure for 2 hour");
+    EXPECT_EQ(p.kind, props::PatternKind::Globally);
+    EXPECT_EQ(p.goal_text, "not failure");
+    EXPECT_DOUBLE_EQ(p.bound, 7200.0);
+}
+
+TEST(ParsePattern, CslIntervalReach) {
+    const props::ParsedPattern p = props::parse_pattern("P( <> [5 sec, 2 min] done )");
+    EXPECT_EQ(p.kind, props::PatternKind::Reach);
+    EXPECT_DOUBLE_EQ(p.lo, 5.0);
+    EXPECT_DOUBLE_EQ(p.bound, 120.0);
+    EXPECT_EQ(p.goal_text, "done");
+}
+
+TEST(ParsePattern, CslUntil) {
+    const props::ParsedPattern p =
+        props::parse_pattern("P( (safe and armed) U [0, 1 hour] (done or x > 3) )");
+    EXPECT_EQ(p.kind, props::PatternKind::Until);
+    EXPECT_EQ(p.hold_text, "safe and armed");
+    EXPECT_EQ(p.goal_text, "done or x > 3");
+    EXPECT_DOUBLE_EQ(p.bound, 3600.0);
+}
+
+TEST(ParsePattern, CslGlobally) {
+    const props::ParsedPattern p = props::parse_pattern("P( [] [0, 90 sec] ok )");
+    EXPECT_EQ(p.kind, props::PatternKind::Globally);
+    EXPECT_EQ(p.goal_text, "ok");
+    EXPECT_DOUBLE_EQ(p.bound, 90.0);
+}
+
+TEST(ParsePattern, RejectsBadIntervals) {
+    EXPECT_THROW(props::parse_pattern("P( <> [5, 2] x )"), Error);
+    EXPECT_THROW(props::parse_pattern("probability of reaching x between 9 sec and 2 sec"),
+                 Error);
+    EXPECT_THROW(props::parse_pattern("P( [] [1, 5] x )"), Error);
+    EXPECT_THROW(props::parse_pattern("probability of a until b"), Error);
+    EXPECT_THROW(props::parse_pattern("probability of maintaining x"), Error);
+    EXPECT_THROW(props::parse_pattern("P( (a U [0,5] b )"), Error);
+}
+
+TEST(ParsePattern, RejectsMalformed) {
+    EXPECT_THROW(props::parse_pattern("reach x eventually"), Error);
+    EXPECT_THROW(props::parse_pattern("probability of reaching x"), Error);
+    EXPECT_THROW(props::parse_pattern("probability of reaching within 5"), Error);
+    EXPECT_THROW(props::parse_pattern("P( <> [0 2] x )"), Error);
+}
+
+TEST(Property, MakeReachabilityResolvesGoal) {
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S
+        features ok: out data port bool default true;
+        end S;
+        system implementation S.I
+        subcomponents n: data int default 0;
+        end S.I;
+    )");
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), "ok and n >= 0", 10.0);
+    EXPECT_DOUBLE_EQ(prop.bound, 10.0);
+    const eda::NetworkState s = net.initial_state();
+    EXPECT_TRUE(net.eval_global(s, *prop.goal));
+}
+
+TEST(Property, RejectsUnknownVariable) {
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I end S.I;
+    )");
+    EXPECT_THROW(sim::make_reachability(net.model(), "ghost", 1.0), Error);
+}
+
+TEST(Property, RejectsNonBooleanGoal) {
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I
+        subcomponents n: data int default 0;
+        end S.I;
+    )");
+    EXPECT_THROW(sim::make_reachability(net.model(), "n + 1", 1.0), Error);
+}
+
+TEST(Property, RejectsNonPositiveBound) {
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I end S.I;
+    )");
+    EXPECT_THROW(sim::make_reachability(net.model(), "true", 0.0), Error);
+    EXPECT_THROW(sim::make_reachability(net.model(), "true", -5.0), Error);
+}
+
+} // namespace
+} // namespace slimsim

@@ -1,0 +1,437 @@
+#include "slim/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "slim/parser.hpp"
+
+namespace slimsim::slim {
+namespace {
+
+ResolvedModel resolve_src(const std::string& src) { return resolve(parse_model(src)); }
+
+constexpr const char* kMinimal = R"(
+    root S.Imp;
+    system S end S;
+    system implementation S.Imp
+    end S.Imp;
+)";
+
+TEST(Resolver, MinimalModel) {
+    const ResolvedModel m = resolve_src(kMinimal);
+    EXPECT_EQ(m.root_impl, "S.Imp");
+    EXPECT_EQ(m.impls.size(), 1u);
+    EXPECT_FALSE(m.impl_of("S.Imp").has_behavior());
+}
+
+TEST(Resolver, RootInferredWhenUnique) {
+    const ResolvedModel m = resolve_src(R"(
+        system Leaf end Leaf;
+        system implementation Leaf.Imp end Leaf.Imp;
+        system Top end Top;
+        system implementation Top.Imp
+        subcomponents l: system Leaf.Imp;
+        end Top.Imp;
+    )");
+    EXPECT_EQ(m.root_impl, "Top.Imp"); // Leaf is used as a subcomponent
+}
+
+TEST(Resolver, AmbiguousRootRejected) {
+    EXPECT_THROW(resolve_src(R"(
+        system A end A;
+        system implementation A.I end A.I;
+        system B end B;
+        system implementation B.I end B.I;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, SymbolTableContents) {
+    const ResolvedModel m = resolve_src(R"(
+        root S.Imp;
+        system Sub
+        features
+          val: out data port int default 1;
+          cmd: in data port bool;
+        end Sub;
+        system implementation Sub.Imp end Sub.Imp;
+        system S
+        features
+          o: out data port real;
+        end S;
+        system implementation S.Imp
+        subcomponents
+          x: data clock;
+          child: system Sub.Imp;
+        end S.Imp;
+    )");
+    const ResolvedImpl& impl = m.impl_of("S.Imp");
+    ASSERT_TRUE(impl.symbols.find("o") != nullptr);
+    EXPECT_EQ(impl.symbols.find("o")->kind, SymKind::OutDataPort);
+    ASSERT_TRUE(impl.symbols.find("x") != nullptr);
+    EXPECT_EQ(impl.symbols.find("x")->kind, SymKind::Data);
+    ASSERT_TRUE(impl.symbols.find("child.val") != nullptr);
+    EXPECT_EQ(impl.symbols.find("child.val")->kind, SymKind::SubOutDataPort);
+    ASSERT_TRUE(impl.symbols.find("child.cmd") != nullptr);
+    EXPECT_EQ(impl.symbols.find("child.cmd")->kind, SymKind::SubInDataPort);
+    ASSERT_TRUE(impl.symbols.find("@timer") != nullptr);
+    EXPECT_EQ(impl.symbols.find("@timer")->type.kind, TypeKind::Clock);
+}
+
+TEST(Resolver, ModeBookkeeping) {
+    const ResolvedModel m = resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        modes
+          a: mode;
+          b: initial mode;
+        transitions
+          a -[]-> b;
+        end S.Imp;
+    )");
+    const ResolvedImpl& impl = m.impl_of("S.Imp");
+    EXPECT_EQ(impl.mode_names, (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(impl.initial_mode, 1);
+}
+
+TEST(Resolver, RejectsNoInitialMode) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        modes a: mode;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsTwoInitialModes) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        modes
+          a: initial mode;
+          b: initial mode;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsTransitionsWithoutModes) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        transitions a -[]-> b;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsUnknownModeInTransition) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        modes a: initial mode;
+        transitions a -[]-> nowhere;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsRecursiveContainment) {
+    EXPECT_THROW(resolve_src(R"(
+        root A.I;
+        system A end A;
+        system implementation A.I
+        subcomponents child: system A.I;
+        end A.I;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsMutualRecursion) {
+    EXPECT_THROW(resolve_src(R"(
+        root A.I;
+        system A end A;
+        system B end B;
+        system implementation A.I
+        subcomponents b: system B.I;
+        end A.I;
+        system implementation B.I
+        subcomponents a: system A.I;
+        end B.I;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsUnknownSubcomponentImpl) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        subcomponents x: system Ghost.Imp;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, TypeNameResolvesUniqueImplementation) {
+    const ResolvedModel m = resolve_src(R"(
+        root S.Imp;
+        system Leaf end Leaf;
+        system implementation Leaf.OnlyOne end Leaf.OnlyOne;
+        system S end S;
+        system implementation S.Imp
+        subcomponents l: system Leaf;
+        end S.Imp;
+    )");
+    EXPECT_EQ(m.impl_of("S.Imp").subcomp_impl.at("l"), "Leaf.OnlyOne");
+}
+
+TEST(Resolver, RejectsAmbiguousTypeName) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system Leaf end Leaf;
+        system implementation Leaf.A end Leaf.A;
+        system implementation Leaf.B end Leaf.B;
+        system S end S;
+        system implementation S.Imp
+        subcomponents l: system Leaf;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsCategoryMismatch) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system Leaf end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system S end S;
+        system implementation S.Imp
+        subcomponents l: device Leaf.I;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsTimedDataPort) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S
+        features c: out data port clock;
+        end S;
+        system implementation S.Imp end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsNonConstantDefault) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        subcomponents
+          a: data int default 1;
+          b: data int default a + 1;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsNonBooleanGuard) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        subcomponents x: data int default 0;
+        modes a: initial mode;
+        transitions a -[when x + 1]-> a;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsEffectOnInputPort) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S
+        features i: in data port int;
+        end S;
+        system implementation S.Imp
+        modes a: initial mode;
+        transitions a -[then i := 1]-> a;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsEffectTypeMismatch) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        subcomponents b: data bool;
+        modes a: initial mode;
+        transitions a -[then b := 3]-> a;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, ConnectionDirectionality) {
+    // Legal: sub.out -> sub.in, sub.out -> own out, own in -> sub.in.
+    const ResolvedModel m = resolve_src(R"(
+        root S.Imp;
+        system Leaf
+        features
+          o: out data port int default 0;
+          i: in data port int default 0;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system S
+        features
+          so: out data port int default 0;
+          si: in data port int default 0;
+        end S;
+        system implementation S.Imp
+        subcomponents
+          a: system Leaf.I;
+          b: system Leaf.I;
+        connections
+          data port a.o -> b.i;
+          data port a.o -> so;
+          data port si -> b.i;
+        end S.Imp;
+    )");
+    EXPECT_EQ(m.impl_of("S.Imp").impl->connections.size(), 3u);
+}
+
+TEST(Resolver, RejectsBackwardConnection) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system Leaf
+        features o: out data port int default 0;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system S end S;
+        system implementation S.Imp
+        subcomponents a: system Leaf.I;
+                      b: system Leaf.I;
+        connections
+          data port a.o -> b.o;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsConnectionKindMismatch) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system Leaf
+        features
+          o: out data port int default 0;
+          e: in event port;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system S end S;
+        system implementation S.Imp
+        subcomponents a: system Leaf.I;
+                      b: system Leaf.I;
+        connections
+          event port a.o -> b.e;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, ErrorModelResolution) {
+    const ResolvedModel m = resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp end S.Imp;
+        error model EM
+        features
+          ok: initial state;
+          bad: error state while @timer <= 1;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 1 per hour;
+        transitions ok -[f]-> bad;
+        end EM.I;
+    )");
+    const ResolvedErrorImpl& e = m.error_impl_of("EM.I");
+    EXPECT_EQ(e.initial_state, 0);
+    EXPECT_EQ(e.state_names, (std::vector<std::string>{"ok", "bad"}));
+    ASSERT_EQ(e.state_invariants.size(), 2u);
+    EXPECT_EQ(e.state_invariants[0], nullptr);
+    ASSERT_NE(e.state_invariants[1], nullptr);
+}
+
+TEST(Resolver, RejectsGuardOnPoissonEvent) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp end S.Imp;
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson 1 per hour;
+        transitions ok -[f when @timer >= 1]-> bad;
+        end EM.I;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsErrorModelWithoutInitialState) {
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp end S.Imp;
+        error model EM
+        features ok: state;
+        end EM;
+        error model implementation EM.I
+        end EM.I;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, RejectsDuplicateDeclarations) {
+    EXPECT_THROW(resolve_src("system A end A;\nsystem A end A;"), Error);
+    EXPECT_THROW(resolve_src(R"(
+        root S.Imp;
+        system S end S;
+        system implementation S.Imp
+        subcomponents x: data int; x: data bool;
+        end S.Imp;
+    )"),
+                 Error);
+}
+
+TEST(Resolver, CollectsMultipleErrors) {
+    // Both the unknown mode and the bad guard should be reported.
+    try {
+        (void)resolve_src(R"(
+            root S.Imp;
+            system S end S;
+            system implementation S.Imp
+            modes a: initial mode;
+            transitions
+              a -[when 3]-> a;
+              a -[]-> nowhere;
+            end S.Imp;
+        )");
+        FAIL() << "expected an error";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2 error"), std::string::npos) << msg;
+    }
+}
+
+} // namespace
+} // namespace slimsim::slim

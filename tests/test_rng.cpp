@@ -1,0 +1,151 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace slimsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01Mean) {
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform01();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 7.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LE(u, 7.0);
+    }
+    EXPECT_DOUBLE_EQ(rng.uniform(3.0, 3.0), 3.0); // degenerate interval
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+    Rng rng(21);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexUnbiased) {
+    Rng rng(33);
+    std::array<int, 5> counts{};
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) counts[rng.uniform_index(5)]++;
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+    }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(41);
+    const double rate = 2.5;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialMemorylessQuantile) {
+    // P(X > t) == exp(-rate t): check the median.
+    Rng rng(43);
+    const double rate = 1.0;
+    const double median = std::log(2.0) / rate;
+    int above = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.exponential(rate) > median) ++above;
+    }
+    EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(51);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+    Rng r2(52);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r2.bernoulli(0.0));
+        EXPECT_TRUE(r2.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitIsDeterministic) {
+    const Rng parent(99);
+    Rng a = parent.split(3);
+    Rng b = parent.split(3);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+    const Rng parent(99);
+    Rng a = parent.split(0);
+    Rng b = parent.split(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitDiffersFromParent) {
+    Rng parent(7);
+    Rng child = parent.split(0);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent() == child()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+// Parameterized: each split stream passes the same basic statistics.
+class SplitStreams : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitStreams, UniformMean) {
+    Rng stream = Rng(1234).split(static_cast<std::uint64_t>(GetParam()));
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += stream.uniform01();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SplitStreams, ::testing::Range(0, 16));
+
+} // namespace
+} // namespace slimsim

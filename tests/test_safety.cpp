@@ -1,0 +1,162 @@
+#include "safety/fmea.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/launcher.hpp"
+#include "sim/property.hpp"
+
+namespace slimsim::safety {
+namespace {
+
+struct LauncherSafety : ::testing::Test {
+    LauncherSafety()
+        : net(eda::build_network_from_source(models::launcher_source())),
+          prop(sim::make_reachability(net.model(), models::launcher_goal(),
+                                      2.0 * 3600.0)) {}
+
+    eda::Network net;
+    sim::PathFormula prop;
+};
+
+TEST_F(LauncherSafety, EnumeratesFailureModes) {
+    const auto modes = failure_modes(net);
+    // 2 batteries (dead) + 4 sensors (transient, permanent) + 2 DPUs
+    // (permanent) + 4 thrusters (stuck) = 2 + 8 + 2 + 4 = 16.
+    EXPECT_EQ(modes.size(), 16u);
+    int battery_modes = 0;
+    for (const auto& fm : modes) {
+        if (fm.mode == "dead") ++battery_modes;
+        EXPECT_FALSE(fm.component.empty());
+    }
+    EXPECT_EQ(battery_modes, 2);
+}
+
+TEST_F(LauncherSafety, SingleModesAreNotImmediateSystemFailures) {
+    // The launcher is single-fault tolerant: no single mode trips the
+    // failure condition at t = 0.
+    for (const auto& fm : failure_modes(net)) {
+        const auto s = net.forced_initial_state({{std::pair{fm.process, fm.state}}});
+        EXPECT_FALSE(net.eval_global(s, *prop.goal))
+            << fm.component << ":" << fm.mode;
+    }
+}
+
+TEST_F(LauncherSafety, MinimalCutSetsOrderTwo) {
+    const auto sets = minimal_cut_sets(net, prop.goal, 2);
+    ASSERT_FALSE(sets.empty());
+    // Every reported set must be of order 2 (single-fault tolerant design)...
+    for (const auto& cs : sets) {
+        EXPECT_EQ(cs.modes.size(), 2u) << format_cut_sets({cs});
+    }
+    // ... and must contain the expected combinations.
+    const auto has = [&](const std::string& c1, const std::string& m1,
+                         const std::string& c2, const std::string& m2) {
+        return std::any_of(sets.begin(), sets.end(), [&](const CutSet& cs) {
+            const auto match = [&](const FailureMode& fm, const std::string& c,
+                                   const std::string& m) {
+                return fm.component == c && fm.mode == m;
+            };
+            return (match(cs.modes[0], c1, m1) && match(cs.modes[1], c2, m2)) ||
+                   (match(cs.modes[0], c2, m2) && match(cs.modes[1], c1, m1));
+        });
+    };
+    // Both DPUs down kills both command chains.
+    EXPECT_TRUE(has("dpu1", "permanent", "dpu2", "permanent"));
+    // Both batteries dead unpowers both sides.
+    EXPECT_TRUE(has("pcdu1.battery", "dead", "pcdu2.battery", "dead"));
+    // Both GPS units failed kills navigation for both DPUs.
+    EXPECT_TRUE(has("gps1", "permanent", "gps2", "permanent"));
+    // Cross failures: one battery + the other side's DPU.
+    EXPECT_TRUE(has("pcdu1.battery", "dead", "dpu2", "permanent"));
+    // Thrusters do not feed the failure condition: no thruster cut sets.
+    for (const auto& cs : sets) {
+        for (const auto& fm : cs.modes) EXPECT_NE(fm.mode, "stuck");
+    }
+}
+
+TEST_F(LauncherSafety, CutSetsRespectMinimality) {
+    const auto sets = minimal_cut_sets(net, prop.goal, 2);
+    // No set may be a superset of another.
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        for (std::size_t j = 0; j < sets.size(); ++j) {
+            if (i == j) continue;
+            const auto& small = sets[i].modes;
+            const auto& big = sets[j].modes;
+            if (small.size() >= big.size()) continue;
+            const bool subset = std::all_of(
+                small.begin(), small.end(), [&](const FailureMode& fm) {
+                    return std::any_of(big.begin(), big.end(), [&](const FailureMode& o) {
+                        return o.process == fm.process && o.state == fm.state;
+                    });
+                });
+            EXPECT_FALSE(subset);
+        }
+    }
+}
+
+TEST_F(LauncherSafety, FmeaRanksCriticalModesHigher) {
+    FmeaOptions opt;
+    opt.eps = 0.05;
+    // A short mission keeps the baseline low enough for margins to show.
+    const auto rows = fmea(net, prop.goal, 0.5 * 3600.0, 42, opt);
+    ASSERT_EQ(rows.size(), 16u);
+
+    double dpu_perm = -1.0;
+    double thruster = -1.0;
+    double baseline = -1.0;
+    for (const auto& r : rows) {
+        baseline = r.baseline_probability;
+        if (r.mode.component == "dpu1" && r.mode.mode == "permanent") {
+            dpu_perm = r.failure_probability;
+        }
+        if (r.mode.component == "thruster1") thruster = r.failure_probability;
+        EXPECT_FALSE(r.immediate_failure); // single-fault tolerant
+    }
+    ASSERT_GE(dpu_perm, 0.0);
+    ASSERT_GE(thruster, 0.0);
+    // Losing a DPU for good substantially raises the failure probability;
+    // a stuck thruster is irrelevant to the (command-based) condition.
+    EXPECT_GT(dpu_perm, baseline + 0.1);
+    EXPECT_NEAR(thruster, baseline, 0.12);
+    // Rows are sorted by severity.
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i - 1].failure_probability, rows[i].failure_probability);
+    }
+}
+
+TEST_F(LauncherSafety, FmeaReportsImmediateEffects) {
+    FmeaOptions opt;
+    opt.eps = 0.2; // effects only; keep the probability part cheap
+    const auto rows = fmea(net, prop.goal, 60.0, 7, opt);
+    // Find the battery failure row: it must unpower one power chain.
+    bool found = false;
+    for (const auto& r : rows) {
+        if (r.mode.component == "pcdu1.battery" && r.mode.mode == "dead") {
+            found = true;
+            // power false propagates: battery.power, pcdu1.power, and the
+            // power_in of gps1/gyro1/dpu1, plus dpu1.command.
+            EXPECT_GE(r.immediate_effects.size(), 5u);
+            bool saw_command = false;
+            for (const auto& e : r.immediate_effects) {
+                if (e.find("dpu1.command") != std::string::npos) saw_command = true;
+            }
+            EXPECT_TRUE(saw_command);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(LauncherSafety, FormattersProduceReadableOutput) {
+    const auto sets = minimal_cut_sets(net, prop.goal, 2);
+    const std::string cs_text = format_cut_sets(sets);
+    EXPECT_NE(cs_text.find("dpu1:permanent"), std::string::npos);
+    FmeaOptions opt;
+    opt.eps = 0.2;
+    const auto rows = fmea(net, prop.goal, 60.0, 3, opt);
+    const std::string table = format_fmea(rows);
+    EXPECT_NE(table.find("P(failure)"), std::string::npos);
+    EXPECT_NE(table.find("->"), std::string::npos);
+}
+
+} // namespace
+} // namespace slimsim::safety

@@ -1,0 +1,181 @@
+#include "rare/splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/flow.hpp"
+#include "expr/eval.hpp"
+#include "sim/runner.hpp"
+
+namespace slimsim::rare {
+namespace {
+
+/// N independent components; the goal requires all of them failed.
+std::string n_component_model(int n, double rate_per_sec) {
+    std::string src = R"(
+        root S.I;
+        system Leaf
+        features broken: out data port bool default false;
+        end Leaf;
+        system implementation Leaf.I end Leaf.I;
+        system S
+        features all_broken: out data port bool default false;
+        end S;
+        system implementation S.I
+        subcomponents
+)";
+    for (int i = 0; i < n; ++i) src += "          c" + std::to_string(i) + ": system Leaf.I;\n";
+    src += "        flows\n          all_broken := ";
+    for (int i = 0; i < n; ++i) {
+        if (i > 0) src += " and ";
+        src += "c" + std::to_string(i) + ".broken";
+    }
+    src += ";\n        end S.I;\n";
+    src += R"(
+        error model EM
+        features ok: initial state; bad: error state;
+        end EM;
+        error model implementation EM.I
+        events f: error event occurrence poisson )";
+    src += std::to_string(rate_per_sec);
+    src += R"( per sec;
+        transitions ok -[f]-> bad;
+        end EM.I;
+        fault injections
+)";
+    for (int i = 0; i < n; ++i) {
+        src += "          component c" + std::to_string(i) + " uses error model EM.I;\n";
+        src += "          component c" + std::to_string(i) +
+               " in state bad effect broken := true;\n";
+    }
+    src += "        end fault injections;\n";
+    return src;
+}
+
+std::string level_sum(int n) {
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+        if (i > 0) out += " + ";
+        out += "(if c" + std::to_string(i) + ".broken then 1 else 0)";
+    }
+    return out;
+}
+
+TEST(Splitting, LevelFunctionResolution) {
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(2, 1.0));
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(2));
+    const eda::NetworkState s = net.initial_state();
+    EXPECT_EQ(expr::evaluate(*level, expr::EvalContext{s.values, {}}).as_int(), 0);
+    EXPECT_THROW((void)make_level_function(net.model(), "c0.broken"), Error); // bool
+    EXPECT_THROW((void)make_level_function(net.model(), "ghost + 1"), Error);
+}
+
+TEST(Splitting, UnbiasedOnNonRareEvent) {
+    // Moderate probability: splitting must agree with the exact value.
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(2, 1.0));
+    const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
+    const double exact = ctmc::run_ctmc_flow(net, *prop.goal, 1.0).probability;
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(2));
+    SplittingOptions opt;
+    opt.splitting_factor = 2;
+    opt.base_runs = 8192;
+    const SplittingResult res =
+        estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 7, opt);
+    EXPECT_NEAR(res.estimate, exact, 0.05);
+    EXPECT_GT(res.total_paths, opt.base_runs); // clones were spawned
+}
+
+TEST(Splitting, RareEventWithinFactorOfExact) {
+    // p = (1 - e^{-0.01})^3 ~ 9.7e-7: hopeless for crude Monte Carlo at
+    // this budget, routine for splitting.
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(3, 0.01));
+    const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
+    const double exact = ctmc::run_ctmc_flow(net, *prop.goal, 1.0).probability;
+    ASSERT_LT(exact, 2e-6);
+    ASSERT_GT(exact, 1e-7);
+
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(3));
+    SplittingOptions opt;
+    opt.splitting_factor = 16;
+    opt.base_runs = 20000;
+    const SplittingResult res =
+        estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 11, opt);
+    EXPECT_GT(res.goal_hits, 0u);
+    EXPECT_GT(res.estimate, exact / 3.0);
+    EXPECT_LT(res.estimate, exact * 3.0);
+
+    // Crude Monte Carlo with the same number of *root* paths almost surely
+    // sees nothing.
+    const stat::ChernoffHoeffding tiny(0.9, 0.0049); // ~20k paths
+    const auto naive = sim::estimate(net, prop, sim::StrategyKind::Asap, tiny, 11);
+    EXPECT_EQ(naive.successes, 0u);
+}
+
+TEST(Splitting, DeterministicInSeed) {
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(2, 0.2));
+    const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(2));
+    SplittingOptions opt;
+    opt.base_runs = 512;
+    const auto a = estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 5, opt);
+    const auto b = estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 5, opt);
+    EXPECT_EQ(a.total_paths, b.total_paths);
+    EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+TEST(Splitting, RejectsBadConfiguration) {
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(2, 1.0));
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(2));
+    const auto until = sim::make_until(net.model(), "not all_broken", "all_broken", 0.0, 1.0);
+    EXPECT_THROW(
+        (void)estimate_splitting(net, until, sim::StrategyKind::Asap, level, 1, {}),
+        Error);
+    const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
+    SplittingOptions opt;
+    opt.splitting_factor = 0;
+    EXPECT_THROW(
+        (void)estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 1, opt),
+        Error);
+    opt.splitting_factor = 2;
+    opt.base_runs = 0;
+    EXPECT_THROW(
+        (void)estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 1, opt),
+        Error);
+}
+
+TEST(Splitting, PathBudgetEnforced) {
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(3, 2.0)); // faults common
+    const auto prop = sim::make_reachability(net.model(), "all_broken", 5.0);
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(3));
+    SplittingOptions opt;
+    opt.splitting_factor = 16;
+    opt.base_runs = 4096;
+    opt.max_total_paths = 1000;
+    EXPECT_THROW(
+        (void)estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 1, opt),
+        Error);
+}
+
+TEST(Splitting, SplittingFactorOneIsCrudeMonteCarlo) {
+    const eda::Network net =
+        eda::build_network_from_source(n_component_model(2, 1.0));
+    const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
+    const expr::ExprPtr level = make_level_function(net.model(), level_sum(2));
+    SplittingOptions opt;
+    opt.splitting_factor = 1;
+    opt.base_runs = 2048;
+    const auto res = estimate_splitting(net, prop, sim::StrategyKind::Asap, level, 3, opt);
+    EXPECT_EQ(res.total_paths, opt.base_runs); // no clones
+    const double exact = ctmc::run_ctmc_flow(net, *prop.goal, 1.0).probability;
+    EXPECT_NEAR(res.estimate, exact, 0.06);
+}
+
+} // namespace
+} // namespace slimsim::rare

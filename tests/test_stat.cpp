@@ -1,0 +1,165 @@
+#include "stat/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace slimsim::stat {
+namespace {
+
+TEST(Bernoulli, SummaryBasics) {
+    BernoulliSummary s;
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(true);
+    s.add(false);
+    s.add(true);
+    s.add(true);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.successes, 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.75);
+}
+
+TEST(Bernoulli, VarianceWorstCaseBeforeData) {
+    BernoulliSummary s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.25);
+    s.add(true);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.25);
+}
+
+TEST(NormalQuantile, KnownValues) {
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+    EXPECT_NEAR(normal_quantile(1e-6), -4.753424, 1e-4);
+}
+
+TEST(ChernoffHoeffdingTest, SampleCountFormula) {
+    // N = ceil(ln(2/delta) / (2 eps^2)).
+    EXPECT_EQ(ChernoffHoeffding::sample_count(0.05, 0.01),
+              static_cast<std::size_t>(std::ceil(std::log(2.0 / 0.05) / (2.0 * 1e-4))));
+    // The paper's Fig. 5 parameters.
+    const std::size_t n = ChernoffHoeffding::sample_count(0.1, 0.005);
+    EXPECT_EQ(n, static_cast<std::size_t>(std::ceil(std::log(20.0) / (2.0 * 2.5e-5))));
+}
+
+TEST(ChernoffHoeffdingTest, StopsExactlyAtN) {
+    const ChernoffHoeffding ch(0.1, 0.1);
+    const std::size_t n = *ch.fixed_sample_count();
+    BernoulliSummary s;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        s.add(false);
+        EXPECT_FALSE(ch.should_stop(s));
+    }
+    s.add(true);
+    EXPECT_TRUE(ch.should_stop(s));
+}
+
+TEST(ChernoffHoeffdingTest, RejectsBadParameters) {
+    EXPECT_THROW(ChernoffHoeffding(0.0, 0.1), Error);
+    EXPECT_THROW(ChernoffHoeffding(1.0, 0.1), Error);
+    EXPECT_THROW(ChernoffHoeffding(0.1, 0.0), Error);
+    EXPECT_THROW(ChernoffHoeffding(0.1, 1.0), Error);
+}
+
+TEST(ChernoffHoeffdingTest, CoverageProperty) {
+    // Empirically: the CH estimate is within eps of the true p with
+    // frequency >= 1 - delta (loose check over repeated experiments).
+    const double p = 0.3;
+    const double delta = 0.2;
+    const double eps = 0.05;
+    const ChernoffHoeffding ch(delta, eps);
+    const std::size_t n = *ch.fixed_sample_count();
+    Rng rng(2024);
+    int covered = 0;
+    const int experiments = 60;
+    for (int e = 0; e < experiments; ++e) {
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rng.bernoulli(p)) ++hits;
+        }
+        const double estimate = static_cast<double>(hits) / static_cast<double>(n);
+        if (std::abs(estimate - p) <= eps) ++covered;
+    }
+    EXPECT_GE(covered, static_cast<int>(experiments * (1.0 - delta)));
+}
+
+TEST(GaussTest, SmallerThanChernoffHoeffding) {
+    const GaussCriterion g(0.05, 0.01);
+    const ChernoffHoeffding ch(0.05, 0.01);
+    EXPECT_LT(*g.fixed_sample_count(), *ch.fixed_sample_count());
+    EXPECT_GT(*g.fixed_sample_count(), 0u);
+}
+
+TEST(ChowRobbinsTest, AdaptsToExtremeProbabilities) {
+    // For p near 0, Chow-Robbins stops far earlier than CH.
+    const ChowRobbins cr(0.05, 0.01);
+    const ChernoffHoeffding ch(0.05, 0.01);
+    Rng rng(7);
+    BernoulliSummary s;
+    std::size_t n_cr = 0;
+    while (!cr.should_stop(s)) {
+        s.add(rng.bernoulli(0.001));
+        ++n_cr;
+    }
+    EXPECT_LT(n_cr, *ch.fixed_sample_count() / 2);
+}
+
+TEST(ChowRobbinsTest, NeedsMinimumSamples) {
+    const ChowRobbins cr(0.05, 0.5, 64);
+    BernoulliSummary s;
+    for (int i = 0; i < 63; ++i) {
+        s.add(false);
+        EXPECT_FALSE(cr.should_stop(s));
+    }
+}
+
+TEST(SprtTest, DecidesCorrectlyForClearCases) {
+    Rng rng(99);
+    // True p = 0.8, threshold 0.5: H0 (p >= 0.55) should be accepted.
+    {
+        const Sprt sprt(0.5, 0.05, 0.01);
+        BernoulliSummary s;
+        while (!sprt.should_stop(s)) s.add(rng.bernoulli(0.8));
+        EXPECT_EQ(sprt.verdict(s), +1);
+    }
+    // True p = 0.2: H1 (p <= 0.45) should be accepted.
+    {
+        const Sprt sprt(0.5, 0.05, 0.01);
+        BernoulliSummary s;
+        while (!sprt.should_stop(s)) s.add(rng.bernoulli(0.2));
+        EXPECT_EQ(sprt.verdict(s), -1);
+    }
+}
+
+TEST(SprtTest, RejectsBadIndifference) {
+    EXPECT_THROW(Sprt(0.5, 0.6, 0.05), Error);
+    EXPECT_THROW(Sprt(0.01, 0.05, 0.05), Error);
+}
+
+TEST(MakeCriterion, Factory) {
+    EXPECT_EQ(make_criterion(CriterionKind::ChernoffHoeffding, 0.1, 0.1)->name(),
+              "chernoff-hoeffding");
+    EXPECT_EQ(make_criterion(CriterionKind::Gauss, 0.1, 0.1)->name(), "gauss");
+    EXPECT_EQ(make_criterion(CriterionKind::ChowRobbins, 0.1, 0.1)->name(),
+              "chow-robbins");
+}
+
+// Parameterized sweep: CH sample count is monotone in delta and eps.
+class ChMonotone : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ChMonotone, MonotoneInParameters) {
+    const auto [delta, eps] = GetParam();
+    const std::size_t n = ChernoffHoeffding::sample_count(delta, eps);
+    EXPECT_GE(n, ChernoffHoeffding::sample_count(delta * 1.5, eps));
+    EXPECT_GE(n, ChernoffHoeffding::sample_count(delta, eps * 1.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ChMonotone,
+                         ::testing::Combine(::testing::Values(0.01, 0.05, 0.1, 0.3),
+                                            ::testing::Values(0.005, 0.01, 0.05, 0.1)));
+
+} // namespace
+} // namespace slimsim::stat

@@ -1,0 +1,220 @@
+#include "sim/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slimsim::sim {
+namespace {
+
+/// Builds candidates with the given enablement sets (network/state are not
+/// consulted by the automated strategies beyond the candidate list).
+std::vector<eda::Candidate> cands(std::initializer_list<IntervalSet> sets) {
+    std::vector<eda::Candidate> out;
+    int i = 0;
+    for (const auto& s : sets) {
+        eda::Candidate c;
+        c.kind = eda::Candidate::Kind::Tau;
+        c.process = i;
+        c.transition = 0;
+        c.enabled = s;
+        out.push_back(std::move(c));
+        ++i;
+    }
+    return out;
+}
+
+/// A throwaway network for the strategy interface (never dereferenced by
+/// the automated strategies). We build a minimal real one.
+const eda::Network& dummy_net() {
+    static const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S end S;
+        system implementation S.I end S.I;
+    )");
+    return net;
+}
+
+struct StrategyTest : ::testing::Test {
+    eda::NetworkState state = dummy_net().initial_state();
+    Rng rng{42};
+};
+
+TEST_F(StrategyTest, NamesRoundTrip) {
+    for (const StrategyKind k : automated_strategies()) {
+        EXPECT_EQ(strategy_from_string(to_string(k)), k);
+        EXPECT_EQ(make_strategy(k)->name(), to_string(k));
+    }
+    EXPECT_EQ(strategy_from_string("input"), StrategyKind::Input);
+    EXPECT_EQ(strategy_from_string("bogus"), std::nullopt);
+    EXPECT_THROW(make_strategy(StrategyKind::Input), Error);
+}
+
+TEST_F(StrategyTest, AsapPicksEarliestInstant) {
+    auto s = make_strategy(StrategyKind::Asap);
+    const auto cs = cands({IntervalSet(5.0, 9.0), IntervalSet(2.0, 3.0)});
+    const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_DOUBLE_EQ(choice->delay, 2.0);
+    EXPECT_EQ(choice->candidate, 1);
+}
+
+TEST_F(StrategyTest, AsapTieBrokenUniformly) {
+    auto s = make_strategy(StrategyKind::Asap);
+    const auto cs = cands({IntervalSet(2.0, 9.0), IntervalSet(2.0, 3.0)});
+    int first = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+        ASSERT_TRUE(choice.has_value());
+        EXPECT_DOUBLE_EQ(choice->delay, 2.0);
+        if (choice->candidate == 0) ++first;
+    }
+    EXPECT_GT(first, 800);
+    EXPECT_LT(first, 1200);
+}
+
+TEST_F(StrategyTest, AsapNoCandidates) {
+    auto s = make_strategy(StrategyKind::Asap);
+    EXPECT_EQ(s->choose(dummy_net(), state, {}, 10.0, rng), std::nullopt);
+}
+
+TEST_F(StrategyTest, ProgressiveSamplesWithinUnion) {
+    auto s = make_strategy(StrategyKind::Progressive);
+    const auto cs = cands({IntervalSet(1.0, 2.0), IntervalSet(4.0, 6.0)});
+    int in_second = 0;
+    const int n = 6000;
+    for (int i = 0; i < n; ++i) {
+        const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+        ASSERT_TRUE(choice.has_value());
+        const double t = choice->delay;
+        ASSERT_TRUE((t >= 1.0 && t <= 2.0) || (t >= 4.0 && t <= 6.0)) << t;
+        ASSERT_GE(choice->candidate, 0);
+        EXPECT_TRUE(cs[static_cast<std::size_t>(choice->candidate)].enabled.contains(t));
+        if (t >= 4.0) ++in_second;
+    }
+    // The second window carries 2/3 of the measure.
+    EXPECT_NEAR(static_cast<double>(in_second) / n, 2.0 / 3.0, 0.03);
+}
+
+TEST_F(StrategyTest, ProgressivePicksUniformlyAmongOverlapping) {
+    auto s = make_strategy(StrategyKind::Progressive);
+    const auto cs = cands({IntervalSet(0.0, 10.0), IntervalSet(0.0, 10.0)});
+    int first = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+        if (choice->candidate == 0) ++first;
+    }
+    EXPECT_GT(first, 800);
+    EXPECT_LT(first, 1200);
+}
+
+TEST_F(StrategyTest, LocalIgnoresGuardsAndUsesHorizon) {
+    auto s = make_strategy(StrategyKind::Local);
+    // Candidate only enabled in [8,9], horizon 10: Local samples over
+    // [0,10], so most draws hit no candidate (pure delay).
+    const auto cs = cands({IntervalSet(8.0, 9.0)});
+    int pure_delay = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+        ASSERT_TRUE(choice.has_value());
+        EXPECT_GE(choice->delay, 0.0);
+        EXPECT_LE(choice->delay, 10.0);
+        if (choice->candidate < 0) {
+            ++pure_delay;
+        } else {
+            EXPECT_TRUE(cs[0].enabled.contains(choice->delay));
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(pure_delay) / n, 0.9, 0.03);
+}
+
+TEST_F(StrategyTest, LocalWithNothingAtAll) {
+    auto s = make_strategy(StrategyKind::Local);
+    EXPECT_EQ(s->choose(dummy_net(), state, {}, 0.0, rng), std::nullopt);
+    // With a positive horizon, Local still makes progress by pure delay.
+    const auto choice = s->choose(dummy_net(), state, {}, 5.0, rng);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(choice->candidate, -1);
+}
+
+TEST_F(StrategyTest, MaxTimeDelaysToHorizon) {
+    auto s = make_strategy(StrategyKind::MaxTime);
+    const auto cs = cands({IntervalSet(2.0, 10.0)});
+    const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_DOUBLE_EQ(choice->delay, 10.0);
+    EXPECT_EQ(choice->candidate, 0);
+}
+
+TEST_F(StrategyTest, MaxTimePureDelayWhenNothingEnabledAtHorizon) {
+    auto s = make_strategy(StrategyKind::MaxTime);
+    const auto cs = cands({IntervalSet(1.0, 2.0)});
+    const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_DOUBLE_EQ(choice->delay, 10.0);
+    EXPECT_EQ(choice->candidate, -1); // actionlock detection behaviour
+}
+
+TEST_F(StrategyTest, MaxTimeActionlockAtZero) {
+    auto s = make_strategy(StrategyKind::MaxTime);
+    EXPECT_EQ(s->choose(dummy_net(), state, {}, 0.0, rng), std::nullopt);
+}
+
+TEST_F(StrategyTest, InputStrategyDelegates) {
+    int calls = 0;
+    auto s = make_input_strategy(
+        [&calls](const eda::Network&, const eda::NetworkState&,
+                 std::span<const eda::Candidate> cs,
+                 double) -> std::optional<ScheduledChoice> {
+            ++calls;
+            if (cs.empty()) return std::nullopt;
+            return ScheduledChoice{cs[0].enabled.earliest().value_or(0.0), 0};
+        });
+    EXPECT_EQ(s->name(), "input");
+    const auto cs = cands({IntervalSet(3.0, 4.0)});
+    const auto choice = s->choose(dummy_net(), state, cs, 10.0, rng);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_DOUBLE_EQ(choice->delay, 3.0);
+    EXPECT_EQ(calls, 1);
+    EXPECT_THROW(make_input_strategy(nullptr), Error);
+}
+
+// The paper's Fig. 2 walkthrough: guard [200,300] msec, invariant 300 msec.
+class PaperExample : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(PaperExample, DelaySelection) {
+    Rng rng(1);
+    const eda::NetworkState state = dummy_net().initial_state();
+    auto s = make_strategy(GetParam());
+    const double horizon = 0.3;
+    const auto cs = cands({IntervalSet(0.2, 0.3)});
+    for (int i = 0; i < 200; ++i) {
+        const auto choice = s->choose(dummy_net(), state, cs, horizon, rng);
+        ASSERT_TRUE(choice.has_value());
+        switch (GetParam()) {
+        case StrategyKind::Asap:
+            EXPECT_DOUBLE_EQ(choice->delay, 0.2); // schedules 200 msec
+            break;
+        case StrategyKind::MaxTime:
+            EXPECT_DOUBLE_EQ(choice->delay, 0.3); // schedules 300 msec
+            break;
+        case StrategyKind::Progressive:
+            EXPECT_GE(choice->delay, 0.2); // uniform over [200,300]
+            EXPECT_LE(choice->delay, 0.3);
+            break;
+        case StrategyKind::Local:
+            EXPECT_GE(choice->delay, 0.0); // uniform over [0,300]
+            EXPECT_LE(choice->delay, 0.3);
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, PaperExample,
+                         ::testing::Values(StrategyKind::Asap, StrategyKind::Progressive,
+                                           StrategyKind::Local, StrategyKind::MaxTime),
+                         [](const auto& info) { return to_string(info.param); });
+
+} // namespace
+} // namespace slimsim::sim

@@ -1,0 +1,160 @@
+#include "ctmc/uniformization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::ctmc {
+namespace {
+
+TEST(PoissonWeightsTest, SumsToOne) {
+    for (const double lambda : {0.1, 1.0, 10.0, 100.0, 5000.0}) {
+        const PoissonWeights pw = poisson_weights(lambda, 1e-10);
+        double total = 0.0;
+        for (const double w : pw.weights) total += w;
+        EXPECT_NEAR(total, 1.0, 1e-12) << "lambda=" << lambda;
+    }
+}
+
+TEST(PoissonWeightsTest, MatchesExactSmallLambda) {
+    const double lambda = 2.0;
+    const PoissonWeights pw = poisson_weights(lambda, 1e-12);
+    ASSERT_EQ(pw.left, 0u);
+    for (std::size_t k = 0; k < 8; ++k) {
+        double expected = std::exp(-lambda);
+        for (std::size_t i = 1; i <= k; ++i) expected *= lambda / static_cast<double>(i);
+        EXPECT_NEAR(pw.weights[k], expected, 1e-10) << "k=" << k;
+    }
+}
+
+TEST(PoissonWeightsTest, ZeroLambdaIsDirac) {
+    const PoissonWeights pw = poisson_weights(0.0, 1e-10);
+    ASSERT_EQ(pw.weights.size(), 1u);
+    EXPECT_DOUBLE_EQ(pw.weights[0], 1.0);
+}
+
+TEST(PoissonWeightsTest, LargeLambdaTruncatesLeft) {
+    const PoissonWeights pw = poisson_weights(10000.0, 1e-10);
+    EXPECT_GT(pw.left, 9000u); // left truncation kicks in
+    EXPECT_LT(pw.weights.size(), 4000u);
+}
+
+/// Two-state chain: 0 --rate r--> 1 (absorbing goal).
+CtmcModel two_state(double r) {
+    CtmcModel m;
+    m.transitions.resize(2);
+    m.transitions[0] = {{1, r}};
+    m.goal = {0, 1};
+    m.initial = {{0, 1.0}};
+    return m;
+}
+
+TEST(Transient, SingleExponentialStep) {
+    // P(reach goal by t) = 1 - exp(-r t).
+    const CtmcModel m = two_state(0.5);
+    for (const double t : {0.1, 1.0, 3.0, 10.0}) {
+        EXPECT_NEAR(transient_reachability(m, t), 1.0 - std::exp(-0.5 * t), 1e-9)
+            << "t=" << t;
+    }
+}
+
+TEST(Transient, TimeZero) {
+    const CtmcModel m = two_state(1.0);
+    EXPECT_DOUBLE_EQ(transient_reachability(m, 0.0), 0.0);
+}
+
+TEST(Transient, GoalInInitialState) {
+    CtmcModel m;
+    m.transitions.resize(1);
+    m.goal = {1};
+    m.initial = {{0, 1.0}};
+    EXPECT_DOUBLE_EQ(transient_reachability(m, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(transient_reachability(m, 5.0), 1.0);
+}
+
+TEST(Transient, ErlangChain) {
+    // 0 -r-> 1 -r-> 2 (goal): Erlang(2, r) CDF = 1 - e^{-rt}(1 + rt).
+    CtmcModel m;
+    m.transitions.resize(3);
+    m.transitions[0] = {{1, 2.0}};
+    m.transitions[1] = {{2, 2.0}};
+    m.goal = {0, 0, 1};
+    m.initial = {{0, 1.0}};
+    for (const double t : {0.5, 1.0, 2.0}) {
+        const double expected = 1.0 - std::exp(-2.0 * t) * (1.0 + 2.0 * t);
+        EXPECT_NEAR(transient_reachability(m, t), expected, 1e-9);
+    }
+}
+
+TEST(Transient, CompetingRisks) {
+    // 0 splits to goal (rate a) and a non-goal trap (rate b):
+    // P(goal eventually) = a/(a+b); by time t: (a/(a+b))(1 - e^{-(a+b)t}).
+    const double a = 1.5, b = 0.5;
+    CtmcModel m;
+    m.transitions.resize(3);
+    m.transitions[0] = {{1, a}, {2, b}};
+    m.goal = {0, 1, 0};
+    m.initial = {{0, 1.0}};
+    for (const double t : {0.2, 1.0, 4.0}) {
+        const double expected = a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+        EXPECT_NEAR(transient_reachability(m, t), expected, 1e-9);
+    }
+}
+
+TEST(Transient, InitialDistribution) {
+    // Start 50/50 in state 0 (rate 1 to goal) and in the goal itself.
+    CtmcModel m;
+    m.transitions.resize(2);
+    m.transitions[0] = {{1, 1.0}};
+    m.goal = {0, 1};
+    m.initial = {{0, 0.5}, {1, 0.5}};
+    EXPECT_NEAR(transient_reachability(m, 1.0), 0.5 + 0.5 * (1.0 - std::exp(-1.0)), 1e-9);
+}
+
+TEST(Transient, SelfLoopInUniformizedChainIsHandled) {
+    // Different exit rates force self-loops in the uniformized DTMC.
+    CtmcModel m;
+    m.transitions.resize(3);
+    m.transitions[0] = {{1, 0.1}};
+    m.transitions[1] = {{2, 10.0}};
+    m.goal = {0, 0, 1};
+    m.initial = {{0, 1.0}};
+    // Hypoexponential(0.1, 10): CDF(t) = 1 - (b e^{-at} - a e^{-bt})/(b-a).
+    const double aa = 0.1, bb = 10.0, t = 5.0;
+    const double expected =
+        1.0 - (bb * std::exp(-aa * t) - aa * std::exp(-bb * t)) / (bb - aa);
+    EXPECT_NEAR(transient_reachability(m, t), expected, 1e-8);
+}
+
+TEST(Transient, RejectsNegativeTime) {
+    EXPECT_THROW((void)transient_reachability(two_state(1.0), -1.0), Error);
+}
+
+TEST(Transient, StatsReported) {
+    TransientStats stats;
+    (void)transient_reachability(two_state(2.0), 3.0, {}, &stats);
+    EXPECT_DOUBLE_EQ(stats.uniformization_rate, 2.0);
+    EXPECT_GT(stats.iterations, 0u);
+}
+
+// Parameterized: reachability is monotone in t and bounded by 1.
+class TransientMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransientMonotone, MonotoneInTime) {
+    const CtmcModel m = two_state(GetParam());
+    double prev = 0.0;
+    for (double t = 0.0; t <= 8.0; t += 0.5) {
+        const double p = transient_reachability(m, t);
+        EXPECT_GE(p, prev - 1e-12);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TransientMonotone,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0));
+
+} // namespace
+} // namespace slimsim::ctmc

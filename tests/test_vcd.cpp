@@ -1,0 +1,110 @@
+#include "sim/vcd.hpp"
+#include "slim/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/failover.hpp"
+#include "models/gps.hpp"
+#include "sim/runner.hpp"
+
+namespace slimsim::sim {
+namespace {
+
+TEST(Vcd, HeaderAndInitialDump) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto prop = make_reachability(net.model(), models::gps_goal(), 1800.0);
+    auto strat = make_strategy(StrategyKind::Asap);
+    const PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    std::ostringstream out;
+    const PathOutcome res = write_vcd(gen, rng, out);
+    EXPECT_TRUE(res.satisfied);
+    const std::string vcd = out.str();
+    EXPECT_NE(vcd.find("$timescale 1 ms $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(vcd.find("gps_measurement"), std::string::npos);
+    EXPECT_NE(vcd.find("gps_loc"), std::string::npos);
+    EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+    EXPECT_NE(vcd.find("#0\n"), std::string::npos);
+    // ASAP acquires at exactly 10 s = tick 10000.
+    EXPECT_NE(vcd.find("#10000"), std::string::npos);
+}
+
+TEST(Vcd, TimestampsAreMonotone) {
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const auto prop = make_reachability(net.model(), models::gps_restart_goal(), 2700.0);
+    auto strat = make_strategy(StrategyKind::Asap);
+    const PathGenerator gen(net, prop, *strat);
+    Rng rng(4);
+    std::ostringstream out;
+    (void)write_vcd(gen, rng, out);
+    std::istringstream in(out.str());
+    std::string line;
+    long long prev = -1;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#') {
+            const long long t = std::stoll(line.substr(1));
+            EXPECT_GT(t, prev);
+            prev = t;
+        }
+    }
+    EXPECT_GE(prev, 0);
+}
+
+TEST(Vcd, IntegerSignalsUseBinary) {
+    const eda::Network net = eda::build_network_from_source(R"(
+        root S.I;
+        system S
+        features n: out data port int [0..10] default 5;
+        end S;
+        system implementation S.I
+        modes a: initial mode; b: mode;
+        transitions a -[when @timer >= 1 then n := 6]-> b;
+        end S.I;
+    )");
+    const auto prop = make_reachability(net.model(), "n = 6", 10.0);
+    auto strat = make_strategy(StrategyKind::Asap);
+    const PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    std::ostringstream out;
+    const PathOutcome res = write_vcd(gen, rng, out);
+    EXPECT_TRUE(res.satisfied);
+    EXPECT_NE(out.str().find("b101 "), std::string::npos); // 5
+    EXPECT_NE(out.str().find("b110 "), std::string::npos); // 6
+}
+
+TEST(Vcd, RejectsBadTick) {
+    const eda::Network net = eda::build_network_from_source(models::gps_source());
+    const auto prop = make_reachability(net.model(), models::gps_goal(), 10.0);
+    auto strat = make_strategy(StrategyKind::Asap);
+    const PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    std::ostringstream out;
+    VcdOptions opt;
+    opt.tick_seconds = 0.0;
+    EXPECT_THROW((void)write_vcd(gen, rng, out, opt), Error);
+}
+
+TEST(Summary, ListsInventory) {
+    const eda::Network net =
+        eda::build_network_from_source(models::failover_source());
+    const std::string text = slim::model_summary(net.model());
+    EXPECT_NE(text.find("instances (4):"), std::string::npos);
+    EXPECT_NE(text.find("controller (Controller.Imp)"), std::string::npos);
+    EXPECT_NE(text.find("(2 error models)"), std::string::npos);
+    EXPECT_NE(text.find("sync actions: 2"), std::string::npos);
+    EXPECT_NE(text.find("fault injections: 2"), std::string::npos);
+}
+
+TEST(Summary, MarksModeGatedInstances) {
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const std::string text = slim::model_summary(net.model());
+    EXPECT_NE(text.find("(mode-gated)"), std::string::npos);
+}
+
+} // namespace
+} // namespace slimsim::sim

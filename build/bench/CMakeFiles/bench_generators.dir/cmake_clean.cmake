@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generators.dir/bench_generators.cpp.o"
+  "CMakeFiles/bench_generators.dir/bench_generators.cpp.o.d"
+  "bench_generators"
+  "bench_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

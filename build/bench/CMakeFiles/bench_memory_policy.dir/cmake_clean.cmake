@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_policy.dir/bench_memory_policy.cpp.o"
+  "CMakeFiles/bench_memory_policy.dir/bench_memory_policy.cpp.o.d"
+  "bench_memory_policy"
+  "bench_memory_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rare.dir/bench_rare.cpp.o"
+  "CMakeFiles/bench_rare.dir/bench_rare.cpp.o.d"
+  "bench_rare"
+  "bench_rare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

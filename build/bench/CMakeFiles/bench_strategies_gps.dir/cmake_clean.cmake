@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategies_gps.dir/bench_strategies_gps.cpp.o"
+  "CMakeFiles/bench_strategies_gps.dir/bench_strategies_gps.cpp.o.d"
+  "bench_strategies_gps"
+  "bench_strategies_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategies_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

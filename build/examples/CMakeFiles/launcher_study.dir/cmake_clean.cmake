@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launcher_study.dir/launcher_study.cpp.o"
+  "CMakeFiles/launcher_study.dir/launcher_study.cpp.o.d"
+  "launcher_study"
+  "launcher_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launcher_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_study.dir/redundancy_study.cpp.o"
+  "CMakeFiles/redundancy_study.dir/redundancy_study.cpp.o.d"
+  "redundancy_study"
+  "redundancy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

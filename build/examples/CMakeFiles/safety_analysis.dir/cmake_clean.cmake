@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_analysis.dir/safety_analysis.cpp.o"
+  "CMakeFiles/safety_analysis.dir/safety_analysis.cpp.o.d"
+  "safety_analysis"
+  "safety_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_strategy.dir/scripted_strategy.cpp.o"
+  "CMakeFiles/scripted_strategy.dir/scripted_strategy.cpp.o.d"
+  "scripted_strategy"
+  "scripted_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

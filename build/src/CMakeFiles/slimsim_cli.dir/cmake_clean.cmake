@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_cli.dir/cli/main.cpp.o"
+  "CMakeFiles/slimsim_cli.dir/cli/main.cpp.o.d"
+  "slimsim"
+  "slimsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

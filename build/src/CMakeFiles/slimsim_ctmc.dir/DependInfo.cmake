@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/bisim.cpp" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/bisim.cpp.o" "gcc" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/bisim.cpp.o.d"
+  "/root/repo/src/ctmc/ctmc.cpp" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/ctmc.cpp.o" "gcc" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/flow.cpp" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/flow.cpp.o" "gcc" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/flow.cpp.o.d"
+  "/root/repo/src/ctmc/imc.cpp" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/imc.cpp.o" "gcc" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/imc.cpp.o.d"
+  "/root/repo/src/ctmc/state_space.cpp" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/state_space.cpp.o" "gcc" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/state_space.cpp.o.d"
+  "/root/repo/src/ctmc/uniformization.cpp" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/uniformization.cpp.o" "gcc" "src/CMakeFiles/slimsim_ctmc.dir/ctmc/uniformization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_eda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_slim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

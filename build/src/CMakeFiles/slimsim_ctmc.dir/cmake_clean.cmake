@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/bisim.cpp.o"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/bisim.cpp.o.d"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/ctmc.cpp.o"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/ctmc.cpp.o.d"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/flow.cpp.o"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/flow.cpp.o.d"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/imc.cpp.o"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/imc.cpp.o.d"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/state_space.cpp.o"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/state_space.cpp.o.d"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/uniformization.cpp.o"
+  "CMakeFiles/slimsim_ctmc.dir/ctmc/uniformization.cpp.o.d"
+  "libslimsim_ctmc.a"
+  "libslimsim_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

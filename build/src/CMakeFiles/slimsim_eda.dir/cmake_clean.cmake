@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_eda.dir/eda/network.cpp.o"
+  "CMakeFiles/slimsim_eda.dir/eda/network.cpp.o.d"
+  "CMakeFiles/slimsim_eda.dir/eda/state.cpp.o"
+  "CMakeFiles/slimsim_eda.dir/eda/state.cpp.o.d"
+  "libslimsim_eda.a"
+  "libslimsim_eda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_eda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

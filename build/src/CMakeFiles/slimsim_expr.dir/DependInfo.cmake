@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/ast.cpp" "src/CMakeFiles/slimsim_expr.dir/expr/ast.cpp.o" "gcc" "src/CMakeFiles/slimsim_expr.dir/expr/ast.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/CMakeFiles/slimsim_expr.dir/expr/eval.cpp.o" "gcc" "src/CMakeFiles/slimsim_expr.dir/expr/eval.cpp.o.d"
+  "/root/repo/src/expr/timeline.cpp" "src/CMakeFiles/slimsim_expr.dir/expr/timeline.cpp.o" "gcc" "src/CMakeFiles/slimsim_expr.dir/expr/timeline.cpp.o.d"
+  "/root/repo/src/expr/type.cpp" "src/CMakeFiles/slimsim_expr.dir/expr/type.cpp.o" "gcc" "src/CMakeFiles/slimsim_expr.dir/expr/type.cpp.o.d"
+  "/root/repo/src/expr/value.cpp" "src/CMakeFiles/slimsim_expr.dir/expr/value.cpp.o" "gcc" "src/CMakeFiles/slimsim_expr.dir/expr/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_expr.dir/expr/ast.cpp.o"
+  "CMakeFiles/slimsim_expr.dir/expr/ast.cpp.o.d"
+  "CMakeFiles/slimsim_expr.dir/expr/eval.cpp.o"
+  "CMakeFiles/slimsim_expr.dir/expr/eval.cpp.o.d"
+  "CMakeFiles/slimsim_expr.dir/expr/timeline.cpp.o"
+  "CMakeFiles/slimsim_expr.dir/expr/timeline.cpp.o.d"
+  "CMakeFiles/slimsim_expr.dir/expr/type.cpp.o"
+  "CMakeFiles/slimsim_expr.dir/expr/type.cpp.o.d"
+  "CMakeFiles/slimsim_expr.dir/expr/value.cpp.o"
+  "CMakeFiles/slimsim_expr.dir/expr/value.cpp.o.d"
+  "libslimsim_expr.a"
+  "libslimsim_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

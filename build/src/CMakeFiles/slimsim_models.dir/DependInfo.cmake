@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/failover.cpp" "src/CMakeFiles/slimsim_models.dir/models/failover.cpp.o" "gcc" "src/CMakeFiles/slimsim_models.dir/models/failover.cpp.o.d"
+  "/root/repo/src/models/gps.cpp" "src/CMakeFiles/slimsim_models.dir/models/gps.cpp.o" "gcc" "src/CMakeFiles/slimsim_models.dir/models/gps.cpp.o.d"
+  "/root/repo/src/models/launcher.cpp" "src/CMakeFiles/slimsim_models.dir/models/launcher.cpp.o" "gcc" "src/CMakeFiles/slimsim_models.dir/models/launcher.cpp.o.d"
+  "/root/repo/src/models/sensor_filter.cpp" "src/CMakeFiles/slimsim_models.dir/models/sensor_filter.cpp.o" "gcc" "src/CMakeFiles/slimsim_models.dir/models/sensor_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_slim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_models.dir/models/failover.cpp.o"
+  "CMakeFiles/slimsim_models.dir/models/failover.cpp.o.d"
+  "CMakeFiles/slimsim_models.dir/models/gps.cpp.o"
+  "CMakeFiles/slimsim_models.dir/models/gps.cpp.o.d"
+  "CMakeFiles/slimsim_models.dir/models/launcher.cpp.o"
+  "CMakeFiles/slimsim_models.dir/models/launcher.cpp.o.d"
+  "CMakeFiles/slimsim_models.dir/models/sensor_filter.cpp.o"
+  "CMakeFiles/slimsim_models.dir/models/sensor_filter.cpp.o.d"
+  "libslimsim_models.a"
+  "libslimsim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

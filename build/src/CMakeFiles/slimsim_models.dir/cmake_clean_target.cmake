@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslimsim_models.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_props.dir/props/pattern.cpp.o"
+  "CMakeFiles/slimsim_props.dir/props/pattern.cpp.o.d"
+  "libslimsim_props.a"
+  "libslimsim_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

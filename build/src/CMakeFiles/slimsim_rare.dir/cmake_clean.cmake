@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_rare.dir/rare/splitting.cpp.o"
+  "CMakeFiles/slimsim_rare.dir/rare/splitting.cpp.o.d"
+  "libslimsim_rare.a"
+  "libslimsim_rare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_rare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

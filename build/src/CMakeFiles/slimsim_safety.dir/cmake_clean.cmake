@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_safety.dir/safety/fault_tree.cpp.o"
+  "CMakeFiles/slimsim_safety.dir/safety/fault_tree.cpp.o.d"
+  "CMakeFiles/slimsim_safety.dir/safety/fdir.cpp.o"
+  "CMakeFiles/slimsim_safety.dir/safety/fdir.cpp.o.d"
+  "CMakeFiles/slimsim_safety.dir/safety/fmea.cpp.o"
+  "CMakeFiles/slimsim_safety.dir/safety/fmea.cpp.o.d"
+  "libslimsim_safety.a"
+  "libslimsim_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

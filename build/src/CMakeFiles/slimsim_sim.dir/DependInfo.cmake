@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/hypothesis.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/hypothesis.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/hypothesis.cpp.o.d"
+  "/root/repo/src/sim/nested.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/nested.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/nested.cpp.o.d"
+  "/root/repo/src/sim/parallel_runner.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/parallel_runner.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/parallel_runner.cpp.o.d"
+  "/root/repo/src/sim/path_generator.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/path_generator.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/path_generator.cpp.o.d"
+  "/root/repo/src/sim/property.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/property.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/property.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/strategy.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/strategy.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/strategy.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/slimsim_sim.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/slimsim_sim.dir/sim/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_eda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_slim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_sim.dir/sim/hypothesis.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/hypothesis.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/nested.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/nested.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/parallel_runner.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/parallel_runner.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/path_generator.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/path_generator.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/property.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/property.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/strategy.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/strategy.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/slimsim_sim.dir/sim/vcd.cpp.o"
+  "CMakeFiles/slimsim_sim.dir/sim/vcd.cpp.o.d"
+  "libslimsim_sim.a"
+  "libslimsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slim/ast.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/ast.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/ast.cpp.o.d"
+  "/root/repo/src/slim/extension.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/extension.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/extension.cpp.o.d"
+  "/root/repo/src/slim/instantiate.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/instantiate.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/instantiate.cpp.o.d"
+  "/root/repo/src/slim/lexer.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/lexer.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/lexer.cpp.o.d"
+  "/root/repo/src/slim/parser.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/parser.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/parser.cpp.o.d"
+  "/root/repo/src/slim/printer.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/printer.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/printer.cpp.o.d"
+  "/root/repo/src/slim/resolver.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/resolver.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/resolver.cpp.o.d"
+  "/root/repo/src/slim/summary.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/summary.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/summary.cpp.o.d"
+  "/root/repo/src/slim/token.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/token.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/token.cpp.o.d"
+  "/root/repo/src/slim/validate.cpp" "src/CMakeFiles/slimsim_slim.dir/slim/validate.cpp.o" "gcc" "src/CMakeFiles/slimsim_slim.dir/slim/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_slim.dir/slim/ast.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/ast.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/extension.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/extension.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/instantiate.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/instantiate.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/lexer.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/lexer.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/parser.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/parser.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/printer.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/printer.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/resolver.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/resolver.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/summary.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/summary.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/token.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/token.cpp.o.d"
+  "CMakeFiles/slimsim_slim.dir/slim/validate.cpp.o"
+  "CMakeFiles/slimsim_slim.dir/slim/validate.cpp.o.d"
+  "libslimsim_slim.a"
+  "libslimsim_slim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_slim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for slimsim_slim.
+# This may be replaced when dependencies are built.

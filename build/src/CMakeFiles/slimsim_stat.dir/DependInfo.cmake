@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stat/bernoulli.cpp" "src/CMakeFiles/slimsim_stat.dir/stat/bernoulli.cpp.o" "gcc" "src/CMakeFiles/slimsim_stat.dir/stat/bernoulli.cpp.o.d"
+  "/root/repo/src/stat/collector.cpp" "src/CMakeFiles/slimsim_stat.dir/stat/collector.cpp.o" "gcc" "src/CMakeFiles/slimsim_stat.dir/stat/collector.cpp.o.d"
+  "/root/repo/src/stat/generators.cpp" "src/CMakeFiles/slimsim_stat.dir/stat/generators.cpp.o" "gcc" "src/CMakeFiles/slimsim_stat.dir/stat/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_stat.dir/stat/bernoulli.cpp.o"
+  "CMakeFiles/slimsim_stat.dir/stat/bernoulli.cpp.o.d"
+  "CMakeFiles/slimsim_stat.dir/stat/collector.cpp.o"
+  "CMakeFiles/slimsim_stat.dir/stat/collector.cpp.o.d"
+  "CMakeFiles/slimsim_stat.dir/stat/generators.cpp.o"
+  "CMakeFiles/slimsim_stat.dir/stat/generators.cpp.o.d"
+  "libslimsim_stat.a"
+  "libslimsim_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

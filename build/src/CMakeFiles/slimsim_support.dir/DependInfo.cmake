@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/slimsim_support.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/slimsim_support.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/intervals.cpp" "src/CMakeFiles/slimsim_support.dir/support/intervals.cpp.o" "gcc" "src/CMakeFiles/slimsim_support.dir/support/intervals.cpp.o.d"
+  "/root/repo/src/support/memprobe.cpp" "src/CMakeFiles/slimsim_support.dir/support/memprobe.cpp.o" "gcc" "src/CMakeFiles/slimsim_support.dir/support/memprobe.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/slimsim_support.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/slimsim_support.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/slimsim_support.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/slimsim_support.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slimsim_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/slimsim_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/slimsim_support.dir/support/intervals.cpp.o"
+  "CMakeFiles/slimsim_support.dir/support/intervals.cpp.o.d"
+  "CMakeFiles/slimsim_support.dir/support/memprobe.cpp.o"
+  "CMakeFiles/slimsim_support.dir/support/memprobe.cpp.o.d"
+  "CMakeFiles/slimsim_support.dir/support/rng.cpp.o"
+  "CMakeFiles/slimsim_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/slimsim_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/slimsim_support.dir/support/thread_pool.cpp.o.d"
+  "libslimsim_support.a"
+  "libslimsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slimsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

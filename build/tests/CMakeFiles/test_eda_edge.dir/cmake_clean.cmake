@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eda_edge.dir/test_eda_edge.cpp.o"
+  "CMakeFiles/test_eda_edge.dir/test_eda_edge.cpp.o.d"
+  "test_eda_edge"
+  "test_eda_edge.pdb"
+  "test_eda_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eda_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expr_roundtrip.dir/test_expr_roundtrip.cpp.o"
+  "CMakeFiles/test_expr_roundtrip.dir/test_expr_roundtrip.cpp.o.d"
+  "test_expr_roundtrip"
+  "test_expr_roundtrip.pdb"
+  "test_expr_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expr_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

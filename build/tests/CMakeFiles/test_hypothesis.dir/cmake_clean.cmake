@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypothesis.dir/test_hypothesis.cpp.o"
+  "CMakeFiles/test_hypothesis.dir/test_hypothesis.cpp.o.d"
+  "test_hypothesis"
+  "test_hypothesis.pdb"
+  "test_hypothesis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypothesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

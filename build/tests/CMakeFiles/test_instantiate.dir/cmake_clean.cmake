@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instantiate.dir/test_instantiate.cpp.o"
+  "CMakeFiles/test_instantiate.dir/test_instantiate.cpp.o.d"
+  "test_instantiate"
+  "test_instantiate.pdb"
+  "test_instantiate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instantiate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intervals.dir/test_intervals.cpp.o"
+  "CMakeFiles/test_intervals.dir/test_intervals.cpp.o.d"
+  "test_intervals"
+  "test_intervals.pdb"
+  "test_intervals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

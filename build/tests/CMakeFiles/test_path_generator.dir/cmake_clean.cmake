@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_generator.dir/test_path_generator.cpp.o"
+  "CMakeFiles/test_path_generator.dir/test_path_generator.cpp.o.d"
+  "test_path_generator"
+  "test_path_generator.pdb"
+  "test_path_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

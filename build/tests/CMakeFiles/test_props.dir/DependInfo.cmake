@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_props.cpp" "tests/CMakeFiles/test_props.dir/test_props.cpp.o" "gcc" "tests/CMakeFiles/test_props.dir/test_props.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slimsim_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_rare.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_eda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_slim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slimsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stat.dir/test_stat.cpp.o"
+  "CMakeFiles/test_stat.dir/test_stat.cpp.o.d"
+  "test_stat"
+  "test_stat.pdb"
+  "test_stat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniformization.dir/test_uniformization.cpp.o"
+  "CMakeFiles/test_uniformization.dir/test_uniformization.cpp.o.d"
+  "test_uniformization"
+  "test_uniformization.pdb"
+  "test_uniformization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniformization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,165 @@
+#include "api/analysis.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/memprobe.hpp"
+
+namespace slimsim {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+} // namespace
+
+std::string to_string(AnalysisMode mode) {
+    switch (mode) {
+    case AnalysisMode::Estimate: return "estimate";
+    case AnalysisMode::EstimateParallel: return "estimate-parallel";
+    case AnalysisMode::HypothesisTest: return "hypothesis-test";
+    case AnalysisMode::CtmcFlow: return "ctmc-flow";
+    }
+    return "?";
+}
+
+std::string AnalysisResult::to_string() const {
+    std::ostringstream os;
+    switch (mode) {
+    case AnalysisMode::Estimate:
+    case AnalysisMode::EstimateParallel: {
+        os << "P( " << report.property << " ) ~= " << value << "\n"
+           << estimation.to_string() << "\n"
+           << "terminals:";
+        for (const auto& [name, n] : sim::terminal_histogram(estimation.terminals)) {
+            os << " " << name << "=" << n;
+        }
+        break;
+    }
+    case AnalysisMode::HypothesisTest:
+        os << "P( " << report.property << " ) >= " << hypothesis.threshold << " ?\n"
+           << hypothesis.to_string();
+        break;
+    case AnalysisMode::CtmcFlow: os << "ctmc flow: " << flow.to_string(); break;
+    }
+    return os.str();
+}
+
+AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& request) {
+    const auto start = std::chrono::steady_clock::now();
+    AnalysisResult result;
+    result.mode = request.mode;
+
+    telemetry::RunReport& report = result.report;
+    report.mode = to_string(request.mode);
+    report.model = request.model_label;
+    report.property = request.property.text;
+    report.seed = request.seed;
+    report.workers = request.mode == AnalysisMode::EstimateParallel ? request.workers : 1;
+    report.phases = request.frontend_phases;
+    report.params.emplace_back("bound", request.property.bound);
+
+    telemetry::Recorder local_recorder;
+    telemetry::Recorder* recorder =
+        request.recorder != nullptr ? request.recorder
+        : request.telemetry         ? &local_recorder
+                                    : nullptr;
+    telemetry::RunReport* rp = request.telemetry ? &report : nullptr;
+
+    sim::SimOptions sim_options = request.sim;
+    if (recorder != nullptr) sim_options.recorder = recorder;
+
+    switch (request.mode) {
+    case AnalysisMode::Estimate: {
+        report.params.emplace_back("delta", request.delta);
+        report.params.emplace_back("eps", request.eps);
+        const auto criterion =
+            stat::make_criterion(request.criterion, request.delta, request.eps);
+        const auto t0 = std::chrono::steady_clock::now();
+        result.estimation = sim::estimate(net, request.property, request.strategy,
+                                          *criterion, request.seed, sim_options, rp);
+        report.phases.push_back({"simulate", seconds_since(t0)});
+        result.value = result.estimation.estimate;
+        break;
+    }
+    case AnalysisMode::EstimateParallel: {
+        report.params.emplace_back("delta", request.delta);
+        report.params.emplace_back("eps", request.eps);
+        const auto criterion =
+            stat::make_criterion(request.criterion, request.delta, request.eps);
+        sim::ParallelOptions po;
+        po.workers = request.workers;
+        po.collection = request.collection;
+        po.sim = sim_options;
+        const auto t0 = std::chrono::steady_clock::now();
+        result.estimation = sim::estimate_parallel(net, request.property, request.strategy,
+                                                   *criterion, request.seed, po, rp);
+        report.phases.push_back({"simulate", seconds_since(t0)});
+        result.value = result.estimation.estimate;
+        break;
+    }
+    case AnalysisMode::HypothesisTest: {
+        report.params.emplace_back("delta", request.delta);
+        report.params.emplace_back("indifference", request.indifference);
+        report.params.emplace_back("threshold", request.threshold);
+        sim::HypothesisOptions ho;
+        ho.indifference = request.indifference;
+        ho.delta = request.delta;
+        ho.max_samples = request.max_samples;
+        ho.sim = sim_options;
+        const auto t0 = std::chrono::steady_clock::now();
+        result.hypothesis =
+            sim::test_hypothesis(net, request.property, request.strategy,
+                                 request.threshold, request.seed, ho, rp);
+        report.phases.push_back({"simulate", seconds_since(t0)});
+        result.value = result.hypothesis.samples > 0
+                           ? static_cast<double>(result.hypothesis.successes) /
+                                 static_cast<double>(result.hypothesis.samples)
+                           : 0.0;
+        break;
+    }
+    case AnalysisMode::CtmcFlow: {
+        if (request.property.kind != sim::FormulaKind::Reach || request.property.lo != 0.0) {
+            throw Error("the CTMC flow supports P( <> [0,u] goal ) only");
+        }
+        report.params.emplace_back("precision", request.flow.transient.precision);
+        result.flow = ctmc::run_ctmc_flow(net, *request.property.goal,
+                                          request.property.bound, request.flow, rp);
+        result.value = result.flow.probability;
+        break;
+    }
+    }
+
+    // Mirror the engine results into the report even when full telemetry is
+    // off, so the identity/result sections are always populated.
+    report.value = result.value;
+    if (rp == nullptr) {
+        switch (request.mode) {
+        case AnalysisMode::Estimate:
+        case AnalysisMode::EstimateParallel:
+            report.samples = result.estimation.samples;
+            report.successes = result.estimation.successes;
+            report.strategy = result.estimation.strategy;
+            report.criterion = result.estimation.criterion;
+            report.terminals = sim::terminal_histogram(result.estimation.terminals);
+            break;
+        case AnalysisMode::HypothesisTest:
+            report.samples = result.hypothesis.samples;
+            report.successes = result.hypothesis.successes;
+            report.strategy = sim::to_string(request.strategy);
+            report.criterion = "sprt";
+            report.verdict = sim::to_string(result.hypothesis.verdict);
+            break;
+        case AnalysisMode::CtmcFlow: break;
+        }
+    }
+    if (recorder != nullptr && request.telemetry) report.absorb(*recorder);
+    report.wall_seconds = seconds_since(start);
+    report.peak_rss_bytes = peak_rss_bytes();
+    return result;
+}
+
+} // namespace slimsim

@@ -1,0 +1,100 @@
+// The unified analysis surface: one request/result pair and one entry point
+// for every analysis mode the engine offers — quantitative estimation
+// (sequential or parallel), qualitative SPRT hypothesis testing, and the
+// exhaustive CTMC flow. Mirrors the uniform query interface of UPPAAL-SMC:
+// callers build an AnalysisRequest, call run_analysis(), and get an
+// AnalysisResult carrying both the mode-specific result struct and a
+// structured telemetry::RunReport (rendered as versioned JSON by the CLI's
+// --json flag).
+//
+// The legacy entry points (sim::estimate, sim::estimate_parallel,
+// sim::test_hypothesis, ctmc::run_ctmc_flow) remain available as the
+// underlying engines; run_analysis is the surface new code and the CLI use.
+#pragma once
+
+#include "ctmc/flow.hpp"
+#include "sim/hypothesis.hpp"
+#include "sim/parallel_runner.hpp"
+
+namespace slimsim {
+
+enum class AnalysisMode : std::uint8_t {
+    Estimate,         // sequential Monte Carlo estimation
+    EstimateParallel, // round-based parallel Monte Carlo estimation
+    HypothesisTest,   // Wald SPRT: is P >= threshold?
+    CtmcFlow,         // exhaustive: state space -> CTMC -> uniformization
+};
+
+[[nodiscard]] std::string to_string(AnalysisMode mode);
+
+/// One analysis query. Mode-specific fields are ignored by other modes.
+struct AnalysisRequest {
+    AnalysisMode mode = AnalysisMode::Estimate;
+
+    /// The path property (sim::make_reachability and friends). The CTMC
+    /// flow requires kind == Reach with lo == 0.
+    sim::PathFormula property;
+
+    /// Label recorded in the run report (the CLI passes the model path).
+    std::string model_label = "<model>";
+
+    // Simulation-based modes.
+    sim::StrategyKind strategy = sim::StrategyKind::Progressive;
+    stat::CriterionKind criterion = stat::CriterionKind::ChernoffHoeffding;
+    double delta = 0.05; // 1 - confidence
+    double eps = 0.01;   // error bound
+    std::uint64_t seed = 1;
+    std::size_t workers = 1; // EstimateParallel: worker thread count
+    sim::CollectionMode collection = sim::CollectionMode::RoundRobin;
+    sim::SimOptions sim;
+
+    // HypothesisTest.
+    double threshold = 0.5;
+    double indifference = 0.01;
+    std::size_t max_samples = 10'000'000;
+
+    // CtmcFlow.
+    ctmc::FlowOptions flow;
+
+    /// Collect the telemetry run report (counters, histograms, phase
+    /// timings). Off: the report carries identity/result fields only and
+    /// simulation pays no instrumentation cost.
+    bool telemetry = true;
+
+    /// Optional external recorder; when null and telemetry is on,
+    /// run_analysis uses a private one. The recorder feeds the report's
+    /// counters/timers/histograms sections.
+    telemetry::Recorder* recorder = nullptr;
+
+    /// Front-end phases (parse/instantiate) timed by the caller while
+    /// loading the model; prepended to the report's phase breakdown.
+    std::vector<telemetry::Phase> frontend_phases;
+};
+
+/// The uniform result: the headline value, the mode-specific result struct
+/// (others default-constructed), and the structured run report.
+struct AnalysisResult {
+    AnalysisMode mode = AnalysisMode::Estimate;
+
+    /// Estimate / CTMC probability; for HypothesisTest the observed
+    /// success ratio (the verdict is in `hypothesis` and the report).
+    double value = 0.0;
+
+    sim::EstimationResult estimation; // Estimate / EstimateParallel
+    sim::HypothesisResult hypothesis; // HypothesisTest
+    ctmc::FlowResult flow;            // CtmcFlow
+
+    telemetry::RunReport report;
+
+    /// One-paragraph human-readable summary (the CLI's default output).
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the requested analysis on `net`. Deterministic in
+/// (request.seed, request.workers) for every mode. Throws slimsim::Error on
+/// invalid requests (e.g. CTMC flow on a timed model or a non-Reach
+/// property, Input strategy in parallel runs).
+[[nodiscard]] AnalysisResult run_analysis(const eda::Network& net,
+                                          const AnalysisRequest& request);
+
+} // namespace slimsim

@@ -10,15 +10,12 @@
 #include <iostream>
 #include <sstream>
 
-#include "ctmc/flow.hpp"
+#include "api/analysis.hpp"
 #include "eda/network.hpp"
 #include <fstream>
 
 #include "props/pattern.hpp"
 #include "safety/fmea.hpp"
-#include "sim/hypothesis.hpp"
-#include "sim/parallel_runner.hpp"
-#include "sim/runner.hpp"
 #include "sim/vcd.hpp"
 #include "slim/parser.hpp"
 #include "slim/printer.hpp"
@@ -67,7 +64,14 @@ void usage() {
         "  --validate           parse, instantiate and validate only\n"
         "  --info               print the instantiated model inventory\n"
         "  --print              print the normalized (pretty-printed) model\n"
-        "  --vcd FILE           dump one simulated path as a VCD waveform\n");
+        "  --vcd FILE           dump one simulated path as a VCD waveform\n"
+        "\n"
+        "reporting:\n"
+        "  --json FILE          write the structured run report as versioned JSON\n"
+        "                       ('-' for stdout; schema: docs/run-report.md)\n"
+        "  --report             print the human-readable run report\n"
+        "  --no-telemetry       skip engine counters/histograms (identity and\n"
+        "                       result sections of the report only)\n");
 }
 
 double parse_duration(const std::string& text) {
@@ -147,6 +151,9 @@ int run(int argc, char** argv) {
     bool show_info = false;
     bool print_normalized = false;
     std::string vcd_path;
+    std::string json_path;
+    bool show_report = false;
+    bool telemetry = true;
     sim::SimOptions sim_options;
 
     auto need_value = [&](int& i, const char* flag) -> std::string {
@@ -199,6 +206,12 @@ int run(int argc, char** argv) {
             print_normalized = true;
         } else if (arg == "--vcd") {
             vcd_path = need_value(i, "--vcd");
+        } else if (arg == "--json") {
+            json_path = need_value(i, "--json");
+        } else if (arg == "--report") {
+            show_report = true;
+        } else if (arg == "--no-telemetry") {
+            telemetry = false;
         } else if (arg == "--deadlock") {
             sim_options.deadlock = need_value(i, "--deadlock") == std::string("error")
                                        ? sim::StuckPolicy::Error
@@ -235,7 +248,8 @@ int run(int argc, char** argv) {
         return 0;
     }
 
-    const eda::Network net = eda::build_network_from_file(model_path);
+    eda::LoadPhases load_phases;
+    const eda::Network net = eda::build_network_from_file(model_path, &load_phases);
     const auto& m = net.model();
     std::printf("model: %zu instances, %zu processes, %zu variables, %zu sync actions\n",
                 m.instances.size(), m.processes.size(), m.vars.size(), m.actions.size());
@@ -271,17 +285,6 @@ int run(int argc, char** argv) {
             throw Error("a property is required: --goal EXPR --bound TIME (or --property)");
         }
         prop = sim::make_reachability(m, goal_text, bound);
-    }
-
-    if (use_ctmc) {
-        if (prop.kind != sim::FormulaKind::Reach || prop.lo != 0.0) {
-            throw Error("the CTMC flow supports P( <> [0,u] goal ) only");
-        }
-        ctmc::FlowOptions fo;
-        fo.minimize = minimize;
-        const ctmc::FlowResult res = ctmc::run_ctmc_flow(net, *prop.goal, bound, fo);
-        std::printf("ctmc flow: %s\n", res.to_string().c_str());
-        return 0;
     }
 
     if (!vcd_path.empty()) {
@@ -343,43 +346,64 @@ int run(int argc, char** argv) {
         return 0;
     }
 
-    if (test_threshold >= 0.0) {
-        sim::HypothesisOptions ho;
-        ho.indifference = indifference;
-        ho.delta = delta;
-        ho.sim = sim_options;
-        const sim::HypothesisResult res =
-            sim::test_hypothesis(net, prop, *kind, test_threshold, seed, ho);
-        std::printf("P( %s ) >= %g ?\n%s\n", prop.text.c_str(), test_threshold,
-                    res.to_string().c_str());
-        return res.verdict == sim::HypothesisVerdict::Inconclusive ? 3 : 0;
-    }
+    // Everything below is a proper analysis: one AnalysisRequest, one
+    // run_analysis() call, one structured run report.
+    AnalysisRequest req;
+    req.property = prop;
+    req.model_label = model_path;
+    req.strategy = *kind;
+    req.delta = delta;
+    req.eps = eps;
+    req.seed = seed;
+    req.sim = sim_options;
+    req.telemetry = telemetry;
+    req.frontend_phases = {{"parse", load_phases.parse_seconds},
+                           {"instantiate", load_phases.instantiate_seconds}};
 
-    stat::CriterionKind ck = stat::CriterionKind::ChernoffHoeffding;
     if (criterion_name == "gauss") {
-        ck = stat::CriterionKind::Gauss;
+        req.criterion = stat::CriterionKind::Gauss;
     } else if (criterion_name == "chow-robbins") {
-        ck = stat::CriterionKind::ChowRobbins;
+        req.criterion = stat::CriterionKind::ChowRobbins;
     } else if (criterion_name != "ch" && criterion_name != "chernoff-hoeffding") {
         throw Error("unknown criterion `" + criterion_name + "`");
     }
-    const auto criterion = stat::make_criterion(ck, delta, eps);
 
-    sim::EstimationResult res;
-    if (workers <= 1) {
-        res = sim::estimate(net, prop, *kind, *criterion, seed, sim_options);
+    if (use_ctmc) {
+        req.mode = AnalysisMode::CtmcFlow;
+        req.flow.minimize = minimize;
+    } else if (test_threshold >= 0.0) {
+        req.mode = AnalysisMode::HypothesisTest;
+        req.threshold = test_threshold;
+        req.indifference = indifference;
+    } else if (workers > 1) {
+        req.mode = AnalysisMode::EstimateParallel;
+        req.workers = workers;
     } else {
-        sim::ParallelOptions po;
-        po.workers = workers;
-        po.sim = sim_options;
-        res = sim::estimate_parallel(net, prop, *kind, *criterion, seed, po);
+        req.mode = AnalysisMode::Estimate;
     }
-    std::printf("P( %s ) ~= %g\n", prop.text.c_str(), res.estimate);
-    (void)bound;
+
+    // Open the report file up front so a bad path fails before the analysis.
+    std::ofstream json_out;
+    if (!json_path.empty() && json_path != "-") {
+        json_out.open(json_path);
+        if (!json_out) throw Error("cannot open `" + json_path + "` for writing");
+    }
+
+    const AnalysisResult res = run_analysis(net, req);
     std::printf("%s\n", res.to_string().c_str());
-    std::printf("terminals: goal=%zu time-bound=%zu refuted=%zu deadlock=%zu timelock=%zu\n",
-                res.terminals[0], res.terminals[1], res.terminals[2], res.terminals[3],
-                res.terminals[4]);
+    if (show_report) std::fputs(res.report.to_text().c_str(), stdout);
+    if (!json_path.empty()) {
+        const std::string doc = res.report.to_json().dump(2) + "\n";
+        if (json_path == "-") {
+            std::fputs(doc.c_str(), stdout);
+        } else {
+            json_out << doc;
+        }
+    }
+    if (req.mode == AnalysisMode::HypothesisTest &&
+        res.hypothesis.verdict == sim::HypothesisVerdict::Inconclusive) {
+        return 3;
+    }
     return 0;
 }
 

@@ -15,7 +15,7 @@ std::string FlowResult::to_string() const {
 }
 
 FlowResult run_ctmc_flow(const eda::Network& net, const expr::Expr& goal, double bound,
-                         const FlowOptions& options) {
+                         const FlowOptions& options, telemetry::RunReport* report) {
     const auto t0 = std::chrono::steady_clock::now();
     FlowResult res;
 
@@ -35,11 +35,29 @@ FlowResult run_ctmc_flow(const eda::Network& net, const expr::Expr& goal, double
     const auto t3 = std::chrono::steady_clock::now();
     res.bisim_seconds = std::chrono::duration<double>(t3 - t2).count();
 
-    res.probability = transient_reachability(chain, bound, options.transient);
+    res.probability = transient_reachability(chain, bound, options.transient,
+                                             &res.transient);
     const auto t4 = std::chrono::steady_clock::now();
     res.analysis_seconds = std::chrono::duration<double>(t4 - t3).count();
     res.total_seconds = std::chrono::duration<double>(t4 - t0).count();
     res.peak_rss_bytes = peak_rss_bytes();
+
+    if (report != nullptr) {
+        report->value = res.probability;
+        report->workers = 1;
+        report->phases.push_back({"explore", res.build.seconds});
+        report->phases.push_back({"eliminate", res.eliminate_seconds});
+        report->phases.push_back({"minimize", res.bisim_seconds});
+        report->phases.push_back({"transient", res.analysis_seconds});
+        report->counters.emplace_back("ctmc.ctmc_states", res.ctmc_states);
+        report->counters.emplace_back("ctmc.ctmc_transitions", res.ctmc_transitions);
+        report->counters.emplace_back("ctmc.imc_states", res.build.states);
+        report->counters.emplace_back("ctmc.imc_transitions", res.build.transitions);
+        report->counters.emplace_back("ctmc.lumped_states", res.lumped_states);
+        report->counters.emplace_back("ctmc.uniformization_iterations",
+                                      res.transient.iterations);
+        report->counters.emplace_back("ctmc.vanishing_states", res.build.vanishing);
+    }
     return res;
 }
 

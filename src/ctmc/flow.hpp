@@ -7,6 +7,7 @@
 #include "ctmc/bisim.hpp"
 #include "ctmc/state_space.hpp"
 #include "ctmc/uniformization.hpp"
+#include "support/telemetry.hpp"
 
 namespace slimsim::ctmc {
 
@@ -22,6 +23,7 @@ struct FlowResult {
     std::size_t ctmc_states = 0;      // after vanishing elimination
     std::size_t ctmc_transitions = 0;
     std::size_t lumped_states = 0;    // after minimization (== ctmc_states if off)
+    TransientStats transient;         // uniformization statistics
     double eliminate_seconds = 0.0;
     double bisim_seconds = 0.0;
     double analysis_seconds = 0.0;
@@ -31,8 +33,11 @@ struct FlowResult {
     [[nodiscard]] std::string to_string() const;
 };
 
-/// Runs the full flow for P( <> [0,bound] goal ) on an untimed model.
+/// Runs the full flow for P( <> [0,bound] goal ) on an untimed model. When
+/// `report` is non-null, the phase breakdown (explore/eliminate/minimize/
+/// transient), state-space counters and the probability are recorded.
 [[nodiscard]] FlowResult run_ctmc_flow(const eda::Network& net, const expr::Expr& goal,
-                                       double bound, const FlowOptions& options = {});
+                                       double bound, const FlowOptions& options = {},
+                                       telemetry::RunReport* report = nullptr);
 
 } // namespace slimsim::ctmc

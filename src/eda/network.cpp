@@ -1,6 +1,7 @@
 #include "eda/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -557,24 +558,33 @@ void Network::fire_trigger_class(NetworkState& s, std::size_t instance, TriggerC
 // --- pipeline helpers -----------------------------------------------------------
 
 std::shared_ptr<const InstanceModel> load_instance_model(std::string_view source,
-                                                         std::string filename) {
+                                                         std::string filename,
+                                                         LoadPhases* phases) {
+    const auto t0 = std::chrono::steady_clock::now();
     auto resolved = std::make_shared<slim::ResolvedModel>(
         slim::resolve(slim::parse_model(source, std::move(filename))));
+    const auto t1 = std::chrono::steady_clock::now();
     auto model = std::make_shared<InstanceModel>(slim::instantiate(std::move(resolved)));
     slim::validate_or_throw(*model);
+    if (phases != nullptr) {
+        const auto t2 = std::chrono::steady_clock::now();
+        phases->parse_seconds = std::chrono::duration<double>(t1 - t0).count();
+        phases->instantiate_seconds = std::chrono::duration<double>(t2 - t1).count();
+    }
     return model;
 }
 
-Network build_network_from_source(std::string_view source, std::string filename) {
-    return Network(load_instance_model(source, std::move(filename)));
+Network build_network_from_source(std::string_view source, std::string filename,
+                                  LoadPhases* phases) {
+    return Network(load_instance_model(source, std::move(filename), phases));
 }
 
-Network build_network_from_file(const std::string& path) {
+Network build_network_from_file(const std::string& path, LoadPhases* phases) {
     std::ifstream in(path);
     if (!in) throw Error("cannot open model file `" + path + "`");
     std::ostringstream buf;
     buf << in.rdbuf();
-    return build_network_from_source(buf.str(), path);
+    return build_network_from_source(buf.str(), path, phases);
 }
 
 } // namespace slimsim::eda

@@ -148,12 +148,22 @@ private:
     std::vector<std::vector<std::vector<int>>> outgoing_;
 };
 
+/// Front-end phase timings of build_network_from_* (telemetry run reports).
+struct LoadPhases {
+    double parse_seconds = 0.0;       // lex + parse + resolve
+    double instantiate_seconds = 0.0; // instantiate + validate
+};
+
 /// Convenience pipeline: SLIM source -> parsed -> resolved -> instantiated ->
 /// validated -> Network. Throws slimsim::Error on any front-end error.
+/// `phases`, when non-null, receives the front-end timing breakdown.
 [[nodiscard]] Network build_network_from_source(std::string_view source,
-                                                std::string filename = "<input>");
-[[nodiscard]] Network build_network_from_file(const std::string& path);
+                                                std::string filename = "<input>",
+                                                LoadPhases* phases = nullptr);
+[[nodiscard]] Network build_network_from_file(const std::string& path,
+                                              LoadPhases* phases = nullptr);
 [[nodiscard]] std::shared_ptr<const InstanceModel>
-load_instance_model(std::string_view source, std::string filename = "<input>");
+load_instance_model(std::string_view source, std::string filename = "<input>",
+                    LoadPhases* phases = nullptr);
 
 } // namespace slimsim::eda

@@ -43,11 +43,13 @@ struct HypothesisOptions {
 };
 
 /// Tests whether P(formula) exceeds `threshold` under the given strategy.
-/// Deterministic in `seed`.
+/// Deterministic in `seed`. When `report` is non-null the sampling
+/// statistics (samples, terminal histogram, SPRT trajectory) are recorded.
 [[nodiscard]] HypothesisResult test_hypothesis(const eda::Network& net,
                                                const PathFormula& formula,
                                                StrategyKind strategy, double threshold,
                                                std::uint64_t seed,
-                                               const HypothesisOptions& options = {});
+                                               const HypothesisOptions& options = {},
+                                               telemetry::RunReport* report = nullptr);
 
 } // namespace slimsim::sim

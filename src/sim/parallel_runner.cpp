@@ -13,7 +13,8 @@ namespace slimsim::sim {
 EstimationResult estimate_parallel(const eda::Network& net,
                                    const TimedReachability& property, StrategyKind strategy,
                                    const stat::StopCriterion& criterion, std::uint64_t seed,
-                                   const ParallelOptions& options) {
+                                   const ParallelOptions& options,
+                                   telemetry::RunReport* report) {
     if (strategy == StrategyKind::Input) {
         throw Error("the input strategy cannot be used in parallel runs");
     }
@@ -25,7 +26,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
     std::atomic<bool> stop{false};
 
     std::mutex merge_mutex;
-    std::array<std::size_t, kPathTerminalCount> terminals{}; // over *generated* paths
+    std::vector<std::uint64_t> generated(options.workers, 0);
     std::exception_ptr worker_error;
 
     std::vector<std::thread> threads;
@@ -36,14 +37,16 @@ EstimationResult estimate_parallel(const eda::Network& net,
                 Rng rng = master.split(w);
                 const auto strat = make_strategy(strategy);
                 const PathGenerator gen(net, property, *strat, options.sim);
-                std::array<std::size_t, kPathTerminalCount> local{};
+                std::uint64_t local_generated = 0;
                 while (!stop.load(std::memory_order_relaxed)) {
                     const PathOutcome out = gen.run(rng);
-                    local[static_cast<std::size_t>(out.terminal)]++;
-                    collector.push(w, out.satisfied);
+                    ++local_generated;
+                    collector.push(w, stat::TaggedSample{
+                                          out.satisfied,
+                                          static_cast<std::uint8_t>(out.terminal)});
                 }
                 std::lock_guard lock(merge_mutex);
-                for (std::size_t i = 0; i < local.size(); ++i) terminals[i] += local[i];
+                generated[w] = local_generated;
             } catch (...) {
                 std::lock_guard lock(merge_mutex);
                 if (!worker_error) worker_error = std::current_exception();
@@ -53,14 +56,23 @@ EstimationResult estimate_parallel(const eda::Network& net,
     }
 
     stat::BernoulliSummary summary;
+    // Terminal counts over *accepted* samples: deterministic in (seed, k)
+    // under round-robin collection, unlike counts over generated paths.
+    std::vector<std::uint64_t> terminal_tags;
+    const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
+    std::uint64_t next_mark = 1;
     while (!stop.load(std::memory_order_relaxed)) {
         std::size_t consumed = 0;
         if (options.collection == CollectionMode::RoundRobin) {
             // One round at a time, consulting the criterion in between:
             // the accepted sample set is then deterministic in (seed, k).
-            consumed = collector.drain_rounds(summary, 1);
+            consumed = collector.drain_rounds(summary, 1, &terminal_tags);
         } else {
-            consumed = collector.drain_unordered(summary);
+            consumed = collector.drain_unordered(summary, &terminal_tags);
+        }
+        if (report != nullptr && consumed > 0 && summary.count >= next_mark) {
+            report->stop_trajectory.push_back({summary.count, required});
+            while (next_mark <= summary.count) next_mark *= 2;
         }
         if (consumed > 0 && criterion.should_stop(summary)) {
             stop.store(true);
@@ -80,11 +92,42 @@ EstimationResult estimate_parallel(const eda::Network& net,
     result.successes = summary.successes;
     result.strategy = to_string(strategy);
     result.criterion = criterion.name();
-    result.terminals = terminals;
+    for (std::size_t t = 0; t < terminal_tags.size() && t < result.terminals.size(); ++t) {
+        result.terminals[t] = terminal_tags[t];
+    }
     result.peak_rss_bytes = peak_rss_bytes();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    if (report != nullptr) {
+        if (report->stop_trajectory.empty() ||
+            report->stop_trajectory.back().samples != summary.count) {
+            report->stop_trajectory.push_back({summary.count, required});
+        }
+        report->value = result.estimate;
+        report->samples = result.samples;
+        report->successes = result.successes;
+        report->strategy = result.strategy;
+        report->criterion = result.criterion;
+        report->seed = seed;
+        report->workers = options.workers;
+        report->terminals = terminal_histogram(result.terminals);
+        report->collector = collector.stats();
+        const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
+        report->worker_stats.clear();
+        for (std::size_t w = 0; w < options.workers; ++w) {
+            report->worker_stats.push_back(
+                telemetry::WorkerStats{w, w, generated[w], accepted[w]});
+        }
+    }
     return result;
+}
+
+EstimationResult estimate_parallel(const eda::Network& net,
+                                   const TimedReachability& property, StrategyKind strategy,
+                                   const stat::StopCriterion& criterion, std::uint64_t seed,
+                                   const ParallelOptions& options) {
+    return estimate_parallel(net, property, strategy, criterion, seed, options, nullptr);
 }
 
 } // namespace slimsim::sim

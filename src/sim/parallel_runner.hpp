@@ -25,7 +25,21 @@ struct ParallelOptions {
 
 /// Estimates P( <> [0,u] goal ) with k parallel workers. Each worker uses
 /// its own Strategy instance of the given kind (the Input strategy is not
-/// supported in parallel runs).
+/// supported in parallel runs). Worker i simulates with RNG stream
+/// split(seed, i). When `report` is non-null, sampling statistics are
+/// recorded: the terminal histogram and per-worker accepted counts are
+/// computed over *accepted* samples and are deterministic in
+/// (seed, workers); generated-path counts and collector high-water marks
+/// land in the report's runtime section.
+[[nodiscard]] EstimationResult estimate_parallel(const eda::Network& net,
+                                                 const TimedReachability& property,
+                                                 StrategyKind strategy,
+                                                 const stat::StopCriterion& criterion,
+                                                 std::uint64_t seed,
+                                                 const ParallelOptions& options,
+                                                 telemetry::RunReport* report);
+
+/// Thin wrapper over the reporting overload (no report).
 [[nodiscard]] EstimationResult estimate_parallel(const eda::Network& net,
                                                  const TimedReachability& property,
                                                  StrategyKind strategy,

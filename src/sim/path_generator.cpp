@@ -11,6 +11,16 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+terminal_histogram(const std::array<std::size_t, kPathTerminalCount>& terminals) {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(kPathTerminalCount);
+    for (std::size_t i = 0; i < kPathTerminalCount; ++i) {
+        out.emplace_back(to_string(static_cast<PathTerminal>(i)), terminals[i]);
+    }
+    return out;
+}
+
 std::string to_string(PathTerminal t) {
     switch (t) {
     case PathTerminal::Goal: return "goal";
@@ -27,6 +37,15 @@ PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula
     : net_(net), formula_(formula), strategy_(strategy), options_(options) {
     SLIMSIM_ASSERT(formula_.goal != nullptr);
     SLIMSIM_ASSERT(formula_.kind != FormulaKind::Until || formula_.hold != nullptr);
+    if (telemetry::Recorder* rec = options_.recorder;
+        rec != nullptr && rec->enabled()) {
+        c_paths_ = &rec->counter("sim.paths");
+        c_steps_ = &rec->counter("sim.steps");
+        c_markovian_ = &rec->counter("sim.markovian_steps");
+        c_strategy_ = &rec->counter("sim.strategy_steps");
+        c_delays_ = &rec->counter("sim.pure_delays");
+        h_steps_ = &rec->histogram("sim.steps_per_path");
+    }
 }
 
 PathGenerator::MonitorResult PathGenerator::instant_verdict(
@@ -208,6 +227,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         net_.elapse(s, t_markov);
         const eda::StepInfo info = net_.execute_markovian(s, markov_winner, rng);
         if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
+        if (c_markovian_ != nullptr) c_markovian_->add();
         ++steps;
         // Exponential memorylessness makes resampling unbiased; the
         // Continue policy only preserves the *strategy's* schedule.
@@ -226,8 +246,10 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
                 net_.execute(s, cands[static_cast<std::size_t>(choice->candidate)], rng);
             if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
             if (sched_abs != nullptr) sched_abs->reset();
-        } else if (trace != nullptr) {
-            trace->record(s.time, "delay (no transition chosen)");
+            if (c_strategy_ != nullptr) c_strategy_->add();
+        } else {
+            if (trace != nullptr) trace->record(s.time, "delay (no transition chosen)");
+            if (c_delays_ != nullptr) c_delays_->add();
         }
         ++steps;
         return std::nullopt;
@@ -271,7 +293,14 @@ PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
     std::size_t steps = 0;
     if (trace != nullptr) trace->record(0.0, "initial " + describe_state(net_, s));
     for (;;) {
-        if (auto out = iterate(s, rng, steps, trace, &scheduled_abs)) return *out;
+        if (auto out = iterate(s, rng, steps, trace, &scheduled_abs)) {
+            if (c_paths_ != nullptr) {
+                c_paths_->add();
+                c_steps_->add(out->steps);
+                h_steps_->add(out->steps);
+            }
+            return *out;
+        }
     }
 }
 

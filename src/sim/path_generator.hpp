@@ -15,9 +15,12 @@
 // configurable: falsify or error, Sec. III-D).
 #pragma once
 
+#include <array>
+
 #include "sim/property.hpp"
 #include "sim/strategy.hpp"
 #include "sim/trace.hpp"
+#include "support/telemetry.hpp"
 
 namespace slimsim::sim {
 
@@ -36,6 +39,11 @@ struct SimOptions {
     /// Bound on discrete steps per path; exceeding it indicates a Zeno model
     /// and raises an error.
     std::size_t max_steps = 1'000'000;
+    /// Optional telemetry sink; when null (default) or disabled, path
+    /// generation pays a single branch per event. Counters recorded:
+    /// sim.paths, sim.steps, sim.markovian_steps, sim.strategy_steps,
+    /// sim.pure_delays; histogram: sim.steps_per_path.
+    telemetry::Recorder* recorder = nullptr;
 };
 
 enum class PathTerminal : std::uint8_t {
@@ -48,6 +56,11 @@ enum class PathTerminal : std::uint8_t {
 inline constexpr std::size_t kPathTerminalCount = 5;
 
 [[nodiscard]] std::string to_string(PathTerminal t);
+
+/// Terminal counts as a named histogram for run reports (all bins, in enum
+/// order, including empty ones so documents are shape-stable).
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+terminal_histogram(const std::array<std::size_t, kPathTerminalCount>& terminals);
 
 struct PathOutcome {
     bool satisfied = false;
@@ -105,6 +118,13 @@ private:
     const PathFormula& formula_;
     Strategy& strategy_;
     SimOptions options_;
+    // Telemetry instruments, resolved once at construction (null when off).
+    telemetry::Counter* c_paths_ = nullptr;
+    telemetry::Counter* c_steps_ = nullptr;
+    telemetry::Counter* c_markovian_ = nullptr;
+    telemetry::Counter* c_strategy_ = nullptr;
+    telemetry::Counter* c_delays_ = nullptr;
+    telemetry::Histogram* h_steps_ = nullptr;
 };
 
 } // namespace slimsim::sim

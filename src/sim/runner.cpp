@@ -16,16 +16,23 @@ std::string EstimationResult::to_string() const {
 
 EstimationResult estimate(const eda::Network& net, const TimedReachability& property,
                           Strategy& strategy, const stat::StopCriterion& criterion,
-                          std::uint64_t seed, const SimOptions& options) {
+                          std::uint64_t seed, const SimOptions& options,
+                          telemetry::RunReport* report) {
     const auto start = std::chrono::steady_clock::now();
     PathGenerator gen(net, property, strategy, options);
     Rng rng(seed);
     stat::BernoulliSummary summary;
     EstimationResult result;
+    const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
+    std::uint64_t next_mark = 1; // stop-criterion trajectory at powers of two
     while (!criterion.should_stop(summary)) {
         const PathOutcome out = gen.run(rng);
         summary.add(out.satisfied);
         ++result.terminals[static_cast<std::size_t>(out.terminal)];
+        if (report != nullptr && summary.count == next_mark) {
+            report->stop_trajectory.push_back({summary.count, required});
+            next_mark *= 2;
+        }
     }
     result.estimate = summary.mean();
     result.samples = summary.count;
@@ -35,14 +42,38 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
     result.peak_rss_bytes = peak_rss_bytes();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (report != nullptr) {
+        if (report->stop_trajectory.empty() ||
+            report->stop_trajectory.back().samples != summary.count) {
+            report->stop_trajectory.push_back({summary.count, required});
+        }
+        report->value = result.estimate;
+        report->samples = result.samples;
+        report->successes = result.successes;
+        report->strategy = result.strategy;
+        report->criterion = result.criterion;
+        report->seed = seed;
+        report->workers = 1;
+        report->terminals = terminal_histogram(result.terminals);
+        // Stream 0 denotes the master stream (parallel workers use splits).
+        report->worker_stats = {
+            telemetry::WorkerStats{0, 0, result.samples, result.samples}};
+    }
     return result;
 }
 
 EstimationResult estimate(const eda::Network& net, const TimedReachability& property,
-                          StrategyKind strategy, const stat::StopCriterion& criterion,
+                          Strategy& strategy, const stat::StopCriterion& criterion,
                           std::uint64_t seed, const SimOptions& options) {
+    return estimate(net, property, strategy, criterion, seed, options, nullptr);
+}
+
+EstimationResult estimate(const eda::Network& net, const TimedReachability& property,
+                          StrategyKind strategy, const stat::StopCriterion& criterion,
+                          std::uint64_t seed, const SimOptions& options,
+                          telemetry::RunReport* report) {
     const auto strat = make_strategy(strategy);
-    return estimate(net, property, *strat, criterion, seed, options);
+    return estimate(net, property, *strat, criterion, seed, options, report);
 }
 
 } // namespace slimsim::sim

@@ -23,7 +23,18 @@ struct EstimationResult {
 };
 
 /// Estimates P( <> [0,u] goal ) by sequential Monte Carlo until the stopping
-/// criterion is met. Deterministic in `seed`.
+/// criterion is met. Deterministic in `seed`. When `report` is non-null the
+/// sampling statistics (samples, terminals, worker entry, stop-criterion
+/// trajectory) are recorded into it; identity fields (mode, model, phases)
+/// are the caller's responsibility — run_analysis() fills them.
+[[nodiscard]] EstimationResult estimate(const eda::Network& net,
+                                        const TimedReachability& property,
+                                        Strategy& strategy,
+                                        const stat::StopCriterion& criterion,
+                                        std::uint64_t seed, const SimOptions& options,
+                                        telemetry::RunReport* report);
+
+/// Thin wrapper over the reporting overload (no report).
 [[nodiscard]] EstimationResult estimate(const eda::Network& net,
                                         const TimedReachability& property,
                                         Strategy& strategy,
@@ -35,6 +46,7 @@ struct EstimationResult {
                                         const TimedReachability& property,
                                         StrategyKind strategy,
                                         const stat::StopCriterion& criterion,
-                                        std::uint64_t seed, const SimOptions& options = {});
+                                        std::uint64_t seed, const SimOptions& options = {},
+                                        telemetry::RunReport* report = nullptr);
 
 } // namespace slimsim::sim

@@ -6,38 +6,55 @@
 
 namespace slimsim::stat {
 
-SampleCollector::SampleCollector(std::size_t worker_count) : buffers_(worker_count) {
+SampleCollector::SampleCollector(std::size_t worker_count)
+    : buffers_(worker_count), consumed_(worker_count, 0) {
     SLIMSIM_ASSERT(worker_count >= 1);
 }
 
-void SampleCollector::push(std::size_t worker, bool sample) {
+void SampleCollector::push(std::size_t worker, TaggedSample sample) {
     std::lock_guard lock(mutex_);
     SLIMSIM_ASSERT(worker < buffers_.size());
-    buffers_[worker].push_back(sample ? 1 : 0);
+    buffers_[worker].push_back(sample);
+    ++pushed_;
+    max_buffered_ = std::max(max_buffered_, pushed_ - accepted_);
 }
 
-std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary,
-                                          std::size_t max_rounds) {
+void SampleCollector::consume_locked(BernoulliSummary& summary, std::size_t worker,
+                                     std::vector<std::uint64_t>* tag_counts) {
+    auto& buffer = buffers_[worker];
+    const TaggedSample s = buffer.front();
+    buffer.pop_front();
+    summary.add(s.value);
+    if (tag_counts != nullptr) {
+        if (tag_counts->size() <= s.tag) tag_counts->resize(s.tag + 1, 0);
+        ++(*tag_counts)[s.tag];
+    }
+    ++consumed_[worker];
+    ++accepted_;
+}
+
+std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary, std::size_t max_rounds,
+                                          std::vector<std::uint64_t>* tag_counts) {
     std::lock_guard lock(mutex_);
     std::size_t rounds = buffers_.front().size();
     for (const auto& b : buffers_) rounds = std::min(rounds, b.size());
     rounds = std::min(rounds, max_rounds);
     for (std::size_t r = 0; r < rounds; ++r) {
-        for (auto& b : buffers_) {
-            summary.add(b.front() != 0);
-            b.pop_front();
+        for (std::size_t w = 0; w < buffers_.size(); ++w) {
+            consume_locked(summary, w, tag_counts);
         }
     }
+    rounds_ += rounds;
     return rounds * buffers_.size();
 }
 
-std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary) {
+std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary,
+                                             std::vector<std::uint64_t>* tag_counts) {
     std::lock_guard lock(mutex_);
     std::size_t consumed = 0;
-    for (auto& b : buffers_) {
-        while (!b.empty()) {
-            summary.add(b.front() != 0);
-            b.pop_front();
+    for (std::size_t w = 0; w < buffers_.size(); ++w) {
+        while (!buffers_[w].empty()) {
+            consume_locked(summary, w, tag_counts);
             ++consumed;
         }
     }
@@ -49,6 +66,21 @@ std::size_t SampleCollector::buffered() const {
     std::size_t total = 0;
     for (const auto& b : buffers_) total += b.size();
     return total;
+}
+
+telemetry::CollectorStats SampleCollector::stats() const {
+    std::lock_guard lock(mutex_);
+    telemetry::CollectorStats s;
+    s.rounds = rounds_;
+    s.accepted = accepted_;
+    s.discarded = pushed_ - accepted_;
+    s.max_buffered = max_buffered_;
+    return s;
+}
+
+std::vector<std::uint64_t> SampleCollector::consumed_per_worker() const {
+    std::lock_guard lock(mutex_);
+    return consumed_;
 }
 
 } // namespace slimsim::stat

@@ -7,42 +7,77 @@
 // not depend on worker speed. This also makes parallel runs reproducible:
 // the accepted multiset is exactly the first R samples of every worker's
 // deterministic stream.
+//
+// Samples optionally carry a small integer tag (the simulator uses the path
+// terminal); tags counted over *accepted* samples are deterministic in
+// (seed, worker count), unlike anything counted over generated paths. The
+// collector also keeps round statistics for the telemetry run report.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
 
 #include "stat/bernoulli.hpp"
+#include "support/telemetry.hpp"
 
 namespace slimsim::stat {
+
+/// One buffered Bernoulli sample with an optional classification tag.
+struct TaggedSample {
+    bool value = false;
+    std::uint8_t tag = 0;
+};
 
 class SampleCollector {
 public:
     explicit SampleCollector(std::size_t worker_count);
 
     /// Called by worker threads; thread-safe.
-    void push(std::size_t worker, bool sample);
+    void push(std::size_t worker, bool sample) { push(worker, TaggedSample{sample, 0}); }
+    void push(std::size_t worker, TaggedSample sample);
 
     /// Consumes up to `max_rounds` complete rounds into `summary`.
     /// Returns the number of samples consumed. Thread-safe. Draining one
     /// round at a time and consulting the stop criterion in between keeps
     /// the accepted sample set deterministic in (seed, worker count).
+    /// When `tag_counts` is given it is grown as needed and tag occurrences
+    /// of the accepted samples are accumulated into it.
     std::size_t drain_rounds(BernoulliSummary& summary,
-                             std::size_t max_rounds = static_cast<std::size_t>(-1));
+                             std::size_t max_rounds = static_cast<std::size_t>(-1),
+                             std::vector<std::uint64_t>* tag_counts = nullptr);
 
     /// Unbiased (first-come) consumption, for the bias-demonstration bench.
-    std::size_t drain_unordered(BernoulliSummary& summary);
+    std::size_t drain_unordered(BernoulliSummary& summary,
+                                std::vector<std::uint64_t>* tag_counts = nullptr);
 
     /// Samples currently buffered across all workers.
     [[nodiscard]] std::size_t buffered() const;
 
     [[nodiscard]] std::size_t worker_count() const { return buffers_.size(); }
 
+    /// Round statistics so far: consumed rounds, accepted samples, samples
+    /// still buffered (discarded if the run stops now) and the buffered
+    /// high-water mark.
+    [[nodiscard]] telemetry::CollectorStats stats() const;
+
+    /// Samples consumed from each worker's buffer so far (== rounds for
+    /// round-based draining).
+    [[nodiscard]] std::vector<std::uint64_t> consumed_per_worker() const;
+
 private:
+    void consume_locked(BernoulliSummary& summary, std::size_t worker,
+                        std::vector<std::uint64_t>* tag_counts);
+
     mutable std::mutex mutex_;
-    std::vector<std::deque<char>> buffers_;
+    std::vector<std::deque<TaggedSample>> buffers_;
+    std::vector<std::uint64_t> consumed_;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t max_buffered_ = 0;
 };
 
 } // namespace slimsim::stat

@@ -1,0 +1,416 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::json {
+
+Value Value::array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value Value::object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool Value::as_bool() const {
+    if (kind_ != Kind::Bool) throw Error("json: value is not a boolean");
+    return bool_;
+}
+
+std::int64_t Value::as_int() const {
+    if (kind_ == Kind::Int) return int_;
+    if (kind_ == Kind::Uint) return static_cast<std::int64_t>(uint_);
+    throw Error("json: value is not an integer");
+}
+
+std::uint64_t Value::as_uint() const {
+    if (kind_ == Kind::Uint) return uint_;
+    if (kind_ == Kind::Int && int_ >= 0) return static_cast<std::uint64_t>(int_);
+    throw Error("json: value is not a non-negative integer");
+}
+
+double Value::as_double() const {
+    switch (kind_) {
+    case Kind::Int: return static_cast<double>(int_);
+    case Kind::Uint: return static_cast<double>(uint_);
+    case Kind::Double: return double_;
+    default: throw Error("json: value is not a number");
+    }
+}
+
+const std::string& Value::as_string() const {
+    if (kind_ != Kind::String) throw Error("json: value is not a string");
+    return string_;
+}
+
+void Value::push_back(Value v) {
+    if (kind_ == Kind::Null) kind_ = Kind::Array;
+    if (kind_ != Kind::Array) throw Error("json: push_back on a non-array");
+    array_.push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+    if (kind_ == Kind::Array) return array_.size();
+    if (kind_ == Kind::Object) return object_.size();
+    throw Error("json: size() on a non-container");
+}
+
+const Value& Value::at(std::size_t index) const {
+    if (kind_ != Kind::Array) throw Error("json: indexing a non-array");
+    if (index >= array_.size()) throw Error("json: array index out of range");
+    return array_[index];
+}
+
+Value& Value::operator[](std::string_view key) {
+    if (kind_ == Kind::Null) kind_ = Kind::Object;
+    if (kind_ != Kind::Object) throw Error("json: member access on a non-object");
+    for (auto& [k, v] : object_) {
+        if (k == key) return v;
+    }
+    object_.emplace_back(std::string(key), Value());
+    return object_.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    for (const auto& [k, v] : object_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+    const Value* v = find(key);
+    if (v == nullptr) throw Error("json: missing member `" + std::string(key) + "`");
+    return *v;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+    if (kind_ != Kind::Object) throw Error("json: members() on a non-object");
+    return object_;
+}
+
+bool Value::operator==(const Value& other) const {
+    if (is_number() && other.is_number()) {
+        // Integers compare exactly when both sides are integral.
+        if (kind_ != Kind::Double && other.kind_ != Kind::Double) {
+            const bool neg = kind_ == Kind::Int && int_ < 0;
+            const bool other_neg = other.kind_ == Kind::Int && other.int_ < 0;
+            if (neg != other_neg) return false;
+            return neg ? as_int() == other.as_int() : as_uint() == other.as_uint();
+        }
+        return as_double() == other.as_double();
+    }
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == other.bool_;
+    case Kind::String: return string_ == other.string_;
+    case Kind::Array: return array_ == other.array_;
+    case Kind::Object: {
+        if (object_.size() != other.object_.size()) return false;
+        for (const auto& [k, v] : object_) {
+            const Value* ov = other.find(k);
+            if (ov == nullptr || !(v == *ov)) return false;
+        }
+        return true;
+    }
+    default: return false; // numbers handled above
+    }
+}
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string format_double(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    SLIMSIM_ASSERT(ec == std::errc());
+    std::string out(buf, ptr);
+    // Bare shortest forms like "1" are valid JSON numbers; keep them as-is.
+    return out;
+}
+
+void Value::write(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent < 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(int_); break;
+    case Kind::Uint: out += std::to_string(uint_); break;
+    case Kind::Double: out += format_double(double_); break;
+    case Kind::String: out += escape(string_); break;
+    case Kind::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0) out += ',';
+            newline(depth + 1);
+            array_[i].write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    }
+    case Kind::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i > 0) out += ',';
+            newline(depth + 1);
+            out += escape(object_[i].first);
+            out += indent < 0 ? ":" : ": ";
+            object_[i].second.write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string Value::dump(int indent) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing garbage after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw Error("json: " + what + " at offset " + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected `") + c + "`");
+    }
+
+    bool consume_word(std::string_view w) {
+        if (text_.substr(pos_, w.size()) == w) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    Value parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return Value(parse_string());
+        case 't':
+            if (consume_word("true")) return Value(true);
+            fail("invalid literal");
+        case 'f':
+            if (consume_word("false")) return Value(false);
+            fail("invalid literal");
+        case 'n':
+            if (consume_word("null")) return Value(nullptr);
+            fail("invalid literal");
+        default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Value obj = Value::object();
+        skip_ws();
+        if (consume('}')) return obj;
+        for (;;) {
+            skip_ws();
+            if (peek() != '"') fail("expected member name");
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj[key] = parse_value();
+            skip_ws();
+            if (consume('}')) return obj;
+            expect(',');
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Value arr = Value::array();
+        skip_ws();
+        if (consume(']')) return arr;
+        for (;;) {
+            arr.push_back(parse_value());
+            skip_ws();
+            if (consume(']')) return arr;
+            expect(',');
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else fail("invalid \\u escape");
+                }
+                // UTF-8 encode the code point (surrogate pairs are passed
+                // through as two 3-byte sequences; reports are ASCII anyway).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+            }
+            default: fail("invalid escape");
+            }
+        }
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' || c == 'e' ||
+                c == 'E') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty()) fail("invalid value");
+        const bool integral = tok.find_first_of(".eE") == std::string_view::npos;
+        if (integral) {
+            if (tok[0] == '-') {
+                std::int64_t v = 0;
+                const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
+                if (ec == std::errc() && p == tok.end()) return Value(v);
+            } else {
+                std::uint64_t v = 0;
+                const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
+                if (ec == std::errc() && p == tok.end()) return Value(v);
+            }
+            // Fall through to double on overflow.
+        }
+        double v = 0.0;
+        const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
+        if (ec != std::errc() || p != tok.end()) fail("invalid number");
+        return Value(v);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+} // namespace slimsim::json

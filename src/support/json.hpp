@@ -1,0 +1,94 @@
+// Minimal dependency-free JSON document model: build, serialize, parse.
+//
+// Backs the machine-readable run reports (--json): the writer emits stable,
+// deterministic output — object members keep insertion order, doubles use
+// shortest round-trip formatting — so equal documents serialize to equal
+// bytes and reports can be diffed across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slimsim::json {
+
+enum class Kind : std::uint8_t { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+class Value {
+public:
+    Value() = default; // null
+    Value(std::nullptr_t) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int v) : kind_(Kind::Int), int_(v) {}
+    Value(long v) : kind_(Kind::Int), int_(v) {}
+    Value(long long v) : kind_(Kind::Int), int_(v) {}
+    Value(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+    Value(unsigned long v) : kind_(Kind::Uint), uint_(v) {}
+    Value(unsigned long long v) : kind_(Kind::Uint), uint_(v) {}
+    Value(double v) : kind_(Kind::Double), double_(v) {}
+    Value(const char* s) : kind_(Kind::String), string_(s) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(std::string_view s) : kind_(Kind::String), string_(s) {}
+
+    [[nodiscard]] static Value array();
+    [[nodiscard]] static Value object();
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+    [[nodiscard]] bool is_number() const {
+        return kind_ == Kind::Int || kind_ == Kind::Uint || kind_ == Kind::Double;
+    }
+
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] std::uint64_t as_uint() const;
+    [[nodiscard]] double as_double() const; // any numeric kind
+    [[nodiscard]] const std::string& as_string() const;
+
+    /// Array access.
+    void push_back(Value v);
+    [[nodiscard]] std::size_t size() const; // array/object element count
+    [[nodiscard]] const Value& at(std::size_t index) const;
+
+    /// Object access: operator[] inserts a null member if absent (in
+    /// insertion order); find returns nullptr if absent.
+    Value& operator[](std::string_view key);
+    [[nodiscard]] const Value* find(std::string_view key) const;
+    [[nodiscard]] const Value& at(std::string_view key) const; // throws if absent
+    [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members() const;
+
+    /// Structural equality (object member *order* is ignored).
+    [[nodiscard]] bool operator==(const Value& other) const;
+
+    /// Serializes the document. indent < 0: compact single line;
+    /// indent >= 0: pretty-printed with that many spaces per level.
+    [[nodiscard]] std::string dump(int indent = -1) const;
+
+    /// Parses a complete JSON document. Throws slimsim::Error on malformed
+    /// input or trailing garbage.
+    [[nodiscard]] static Value parse(std::string_view text);
+
+private:
+    void write(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Escapes `s` as a JSON string literal including the quotes.
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Shortest round-trip decimal form of `v` (to_chars); "null" for
+/// non-finite values, which JSON cannot represent.
+[[nodiscard]] std::string format_double(double v);
+
+} // namespace slimsim::json

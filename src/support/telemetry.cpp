@@ -1,0 +1,283 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <tuple>
+
+namespace slimsim::telemetry {
+
+void Histogram::add(std::uint64_t value) {
+    const std::size_t bucket = value == 0 ? 0 : std::bit_width(value);
+    buckets_[std::min(bucket, kBuckets - 1)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::string Histogram::bucket_label(std::size_t bucket) {
+    if (bucket == 0) return "0";
+    if (bucket == 1) return "1";
+    const std::uint64_t lo = std::uint64_t{1} << (bucket - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << bucket) - 1;
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Histogram::bins() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+        if (n > 0) out.emplace_back(bucket_label(b), n);
+    }
+    return out;
+}
+
+template <typename T>
+T& Recorder::lookup(std::deque<std::pair<std::string, T>>& registry,
+                    std::string_view name) {
+    std::lock_guard lock(mutex_);
+    for (auto& [n, instrument] : registry) {
+        if (n == name) return instrument;
+    }
+    // Instruments hold atomics (immovable): construct the pair in place.
+    registry.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                          std::forward_as_tuple());
+    return registry.back().second;
+}
+
+Counter& Recorder::counter(std::string_view name) { return lookup(counters_, name); }
+Timer& Recorder::timer(std::string_view name) { return lookup(timers_, name); }
+Histogram& Recorder::histogram(std::string_view name) { return lookup(histograms_, name); }
+
+std::vector<std::pair<std::string, std::uint64_t>> Recorder::counters() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>> Recorder::timers() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(timers_.size());
+    for (const auto& [name, t] : timers_) out.emplace_back(name, t.seconds());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Recorder::histograms() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, const Histogram*>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) out.emplace_back(name, &h);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void RunReport::absorb(const Recorder& recorder) {
+    for (const auto& entry : recorder.counters()) counters.push_back(entry);
+    std::sort(counters.begin(), counters.end());
+    for (const auto& entry : recorder.timers()) timers.push_back(entry);
+    std::sort(timers.begin(), timers.end());
+    for (const auto& [name, h] : recorder.histograms()) {
+        histograms.emplace_back(name, h->bins());
+    }
+    std::sort(histograms.begin(), histograms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+json::Value RunReport::to_json() const {
+    json::Value doc = json::Value::object();
+    doc["schema"] = "slimsim-run-report";
+    doc["version"] = kSchemaVersion;
+    doc["mode"] = mode;
+    doc["model"] = model;
+    doc["property"] = property;
+
+    json::Value analysis = json::Value::object();
+    if (!strategy.empty()) analysis["strategy"] = strategy;
+    if (!criterion.empty()) analysis["criterion"] = criterion;
+    analysis["seed"] = seed;
+    analysis["workers"] = workers;
+    for (const auto& [name, v] : params) analysis[name] = v;
+    doc["analysis"] = std::move(analysis);
+
+    json::Value result = json::Value::object();
+    result["value"] = value;
+    if (!verdict.empty()) result["verdict"] = verdict;
+    result["samples"] = samples;
+    result["successes"] = successes;
+    doc["result"] = std::move(result);
+
+    if (!terminals.empty()) {
+        json::Value t = json::Value::object();
+        for (const auto& [name, n] : terminals) t[name] = n;
+        doc["terminals"] = std::move(t);
+    }
+
+    // Per-worker *accepted* sample counts are deterministic in
+    // (seed, workers); *generated* counts depend on thread scheduling and
+    // go into the "runtime" section below.
+    if (!worker_stats.empty()) {
+        json::Value ws = json::Value::array();
+        for (const auto& w : worker_stats) {
+            json::Value entry = json::Value::object();
+            entry["worker"] = w.worker;
+            entry["rng_stream"] = w.rng_stream;
+            entry["samples"] = w.accepted;
+            ws.push_back(std::move(entry));
+        }
+        doc["workers"] = std::move(ws);
+    }
+
+    if (collector.rounds > 0 || collector.accepted > 0) {
+        json::Value c = json::Value::object();
+        c["rounds"] = collector.rounds;
+        c["accepted"] = collector.accepted;
+        doc["collector"] = std::move(c);
+    }
+
+    if (!stop_trajectory.empty()) {
+        json::Value traj = json::Value::array();
+        for (const auto& p : stop_trajectory) {
+            json::Value entry = json::Value::object();
+            entry["samples"] = p.samples;
+            entry["required"] = p.required;
+            traj.push_back(std::move(entry));
+        }
+        json::Value sc = json::Value::object();
+        sc["trajectory"] = std::move(traj);
+        doc["stop_criterion"] = std::move(sc);
+    }
+
+    // Recorder counters/histograms count events over *generated* paths;
+    // with one worker that is deterministic, with several it depends on
+    // when the stop flag lands, so they move under "runtime".
+    const bool shared_instruments = workers > 1;
+    json::Value counter_obj = json::Value::object();
+    for (const auto& [name, n] : counters) counter_obj[name] = n;
+    json::Value histo_obj = json::Value::object();
+    for (const auto& [name, bins] : histograms) {
+        json::Value h = json::Value::object();
+        for (const auto& [label, n] : bins) h[label] = n;
+        histo_obj[name] = std::move(h);
+    }
+    if (!shared_instruments) {
+        if (counter_obj.size() > 0) doc["counters"] = std::move(counter_obj);
+        if (histo_obj.size() > 0) doc["histograms"] = std::move(histo_obj);
+    }
+
+    // Everything below is wall-clock or scheduling dependent: two runs with
+    // the same (seed, workers) may differ here and nowhere else.
+    json::Value runtime = json::Value::object();
+    runtime["wall_seconds"] = wall_seconds;
+    if (!phases.empty()) {
+        json::Value ph = json::Value::object();
+        for (const auto& p : phases) ph[p.name] = p.seconds;
+        runtime["phases"] = std::move(ph);
+    }
+    if (!timers.empty()) {
+        json::Value ts = json::Value::object();
+        for (const auto& [name, s] : timers) ts[name] = s;
+        runtime["timers"] = std::move(ts);
+    }
+    if (shared_instruments) {
+        json::Value gen = json::Value::array();
+        for (const auto& w : worker_stats) gen.push_back(w.generated);
+        runtime["generated"] = std::move(gen);
+        json::Value c = json::Value::object();
+        c["discarded"] = collector.discarded;
+        c["max_buffered"] = collector.max_buffered;
+        runtime["collector"] = std::move(c);
+        if (counter_obj.size() > 0) runtime["counters"] = std::move(counter_obj);
+        if (histo_obj.size() > 0) runtime["histograms"] = std::move(histo_obj);
+    }
+    doc["runtime"] = std::move(runtime);
+
+    json::Value resources = json::Value::object();
+    resources["peak_rss_bytes"] = peak_rss_bytes;
+    doc["resources"] = std::move(resources);
+    return doc;
+}
+
+std::string RunReport::to_text() const {
+    std::ostringstream os;
+    os << "run report (schema v" << kSchemaVersion << ")\n";
+    os << "  mode:       " << mode << "\n";
+    os << "  model:      " << model << "\n";
+    os << "  property:   " << property << "\n";
+    if (!strategy.empty()) os << "  strategy:   " << strategy << "\n";
+    if (!criterion.empty()) os << "  criterion:  " << criterion << "\n";
+    os << "  seed:       " << seed << "   workers: " << workers << "\n";
+    for (const auto& [name, v] : params) os << "  " << name << ": " << v << "\n";
+    os << "  value:      " << value;
+    if (!verdict.empty()) os << "  (" << verdict << ")";
+    os << "\n";
+    os << "  samples:    " << samples << " (" << successes << " successes)\n";
+    if (!terminals.empty()) {
+        os << "  terminals:  ";
+        bool first = true;
+        for (const auto& [name, n] : terminals) {
+            if (!first) os << "  ";
+            os << name << "=" << n;
+            first = false;
+        }
+        os << "\n";
+    }
+    if (!worker_stats.empty()) {
+        os << "  workers:\n";
+        for (const auto& w : worker_stats) {
+            os << "    [" << w.worker << "] stream=" << w.rng_stream
+               << " generated=" << w.generated << " accepted=" << w.accepted << "\n";
+        }
+    }
+    if (collector.rounds > 0 || collector.discarded > 0) {
+        os << "  collector:  rounds=" << collector.rounds
+           << " accepted=" << collector.accepted << " discarded=" << collector.discarded
+           << " max_buffered=" << collector.max_buffered << "\n";
+    }
+    if (!stop_trajectory.empty()) {
+        os << "  stop criterion trajectory (n / required):";
+        for (const auto& p : stop_trajectory) {
+            os << " " << p.samples << "/" << (p.required == 0 ? std::string("-")
+                                                              : std::to_string(p.required));
+        }
+        os << "\n";
+    }
+    for (const auto& [name, n] : counters) {
+        os << "  counter " << name << " = " << n << "\n";
+    }
+    for (const auto& [name, bins] : histograms) {
+        os << "  histogram " << name << ":";
+        for (const auto& [label, n] : bins) os << " [" << label << "]=" << n;
+        os << "\n";
+    }
+    if (!phases.empty()) {
+        os << "  phases:     ";
+        bool first = true;
+        for (const auto& p : phases) {
+            if (!first) os << "  ";
+            os << p.name << "=" << p.seconds << "s";
+            first = false;
+        }
+        os << "\n";
+    }
+    for (const auto& [name, s] : timers) {
+        os << "  timer " << name << " = " << s << " s\n";
+    }
+    os << "  wall:       " << wall_seconds << " s\n";
+    os << "  peak rss:   " << peak_rss_bytes << " bytes\n";
+    return os.str();
+}
+
+json::Value deterministic_view(const json::Value& report) {
+    json::Value out = json::Value::object();
+    for (const auto& [key, value] : report.members()) {
+        if (key == "runtime" || key == "resources") continue;
+        out[key] = value;
+    }
+    return out;
+}
+
+} // namespace slimsim::telemetry

@@ -1,0 +1,215 @@
+// Engine telemetry: counters, timers and histograms feeding a structured,
+// machine-readable run report.
+//
+// Instrumented code holds plain pointers into a Recorder; a null Recorder
+// (or a disabled one) costs one branch per event, so simulation hot paths
+// pay nearly nothing when telemetry is off. Event *counts* are
+// deterministic in (seed, workers); wall-clock data is kept in separate
+// report sections so deterministic content can be diffed across runs (see
+// RunReport::to_json and deterministic_view).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace slimsim::telemetry {
+
+/// Monotonic event counter; thread-safe (relaxed increments).
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) { n_.fetch_add(delta, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const { return n_.load(std::memory_order_relaxed); }
+    void reset() { n_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> n_{0};
+};
+
+/// Accumulates elapsed wall time over any number of measured sections;
+/// thread-safe.
+class Timer {
+public:
+    void record_ns(std::int64_t ns) {
+        total_ns_.fetch_add(ns, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    [[nodiscard]] double seconds() const {
+        return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    }
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> total_ns_{0};
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII section timer; a null Timer makes it a no-op.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Timer* timer) : timer_(timer) {
+        if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~ScopedTimer() { stop(); }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    /// Records the elapsed time now instead of at destruction.
+    void stop() {
+        if (timer_ == nullptr) return;
+        timer_->record_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+        timer_ = nullptr;
+    }
+
+private:
+    Timer* timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Power-of-two bucket histogram over non-negative integer values
+/// (value v lands in bucket floor(log2(v))+1; 0 in bucket 0). Thread-safe.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void add(std::uint64_t value);
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /// Non-empty buckets as (range label, count), smallest value first.
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> bins() const;
+
+    /// Label of the bucket `value` falls into ("0", "1", "2-3", "4-7", ...).
+    [[nodiscard]] static std::string bucket_label(std::size_t bucket);
+
+private:
+    std::atomic<std::uint64_t> buckets_[kBuckets]{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Named instrument registry. Instruments are created on first use and live
+/// as long as the recorder; returned references stay valid as the registry
+/// grows. Lookup is meant for setup code — hot paths should resolve their
+/// instruments once and keep the pointers.
+class Recorder {
+public:
+    explicit Recorder(bool enabled = true) : enabled_(enabled) {}
+
+    [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+    [[nodiscard]] Counter& counter(std::string_view name);
+    [[nodiscard]] Timer& timer(std::string_view name);
+    [[nodiscard]] Histogram& histogram(std::string_view name);
+
+    /// Snapshots sorted by name; counters/histograms are deterministic in
+    /// (seed, workers), timers are wall-clock.
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+    [[nodiscard]] std::vector<std::pair<std::string, double>> timers() const;
+    [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+private:
+    template <typename T>
+    T& lookup(std::deque<std::pair<std::string, T>>& registry, std::string_view name);
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_;
+    std::deque<std::pair<std::string, Counter>> counters_;
+    std::deque<std::pair<std::string, Timer>> timers_;
+    std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+/// One named phase of an analysis (parse, instantiate, simulate, ...).
+struct Phase {
+    std::string name;
+    double seconds = 0.0;
+};
+
+/// Per-worker sampling statistics of a (possibly single-worker) run.
+struct WorkerStats {
+    std::size_t worker = 0;       // worker index
+    std::uint64_t rng_stream = 0; // RNG stream id (split index of the master seed)
+    std::uint64_t generated = 0;  // paths simulated by this worker
+    std::uint64_t accepted = 0;   // samples consumed into the estimate
+};
+
+/// Round statistics of the bias-free parallel sample collector.
+struct CollectorStats {
+    std::uint64_t rounds = 0;       // complete rounds consumed
+    std::uint64_t accepted = 0;     // samples consumed into the summary
+    std::uint64_t discarded = 0;    // samples buffered but never consumed
+    std::uint64_t max_buffered = 0; // high-water mark of buffered samples
+};
+
+/// One point of the stop-criterion trajectory: after `samples` accepted
+/// samples, the criterion required `required` (0 = adaptive, no a-priori n).
+struct StopPoint {
+    std::uint64_t samples = 0;
+    std::uint64_t required = 0;
+};
+
+/// The structured result record every analysis emits. Everything outside
+/// the "runtime"/"resources" sections is deterministic in (seed, workers).
+struct RunReport {
+    static constexpr std::uint64_t kSchemaVersion = 1;
+
+    std::string mode;     // estimate | estimate-parallel | hypothesis-test | ctmc-flow
+    std::string model;    // model path (or a caller-chosen label)
+    std::string property; // property text, e.g. "<> [0,1800] gps.measurement"
+    std::string strategy; // empty for ctmc-flow
+    std::string criterion;
+    std::uint64_t seed = 0;
+    std::size_t workers = 1;
+    /// Mode-specific numeric parameters (delta, eps, threshold, ...), in
+    /// insertion order.
+    std::vector<std::pair<std::string, double>> params;
+
+    double value = 0.0; // headline result: estimate / probability
+    std::string verdict; // hypothesis-test only ("" otherwise)
+    std::uint64_t samples = 0;
+    std::uint64_t successes = 0;
+
+    std::vector<std::pair<std::string, std::uint64_t>> terminals; // path-terminal histogram
+    std::vector<WorkerStats> worker_stats;
+    CollectorStats collector;
+    std::vector<StopPoint> stop_trajectory;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
+        histograms;
+
+    std::vector<Phase> phases; // wall-clock phase breakdown
+    std::vector<std::pair<std::string, double>> timers;
+    double wall_seconds = 0.0;
+    std::uint64_t peak_rss_bytes = 0;
+
+    /// Pulls counter/timer/histogram snapshots out of `recorder`.
+    void absorb(const Recorder& recorder);
+
+    /// The versioned JSON document (schema: docs/run-report.md).
+    [[nodiscard]] json::Value to_json() const;
+
+    /// Human-readable rendering (the CLI's --report output).
+    [[nodiscard]] std::string to_text() const;
+};
+
+/// Copy of a report document with the wall-clock / scheduling-dependent
+/// sections ("runtime", "resources") removed: the remainder is
+/// deterministic in (seed, workers).
+[[nodiscard]] json::Value deterministic_view(const json::Value& report);
+
+} // namespace slimsim::telemetry

@@ -1,0 +1,204 @@
+// Tests of the unified analysis API: every mode through run_analysis(),
+// report content, and byte-identical deterministic report views.
+#include "api/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim {
+namespace {
+
+// Markovian single-fault model: P( <> [0,2] broken ) = 1 - e^{-0.5 * 2}.
+constexpr const char* kModel = R"(
+    root S.I;
+    system S
+    features broken: out data port bool default false;
+    end S;
+    system implementation S.I end S.I;
+    error model EM
+    features ok: initial state; bad: error state;
+    end EM;
+    error model implementation EM.I
+    events f: error event occurrence poisson 0.5 per sec;
+    transitions ok -[f]-> bad;
+    end EM.I;
+    fault injections
+      component root uses error model EM.I;
+      component root in state bad effect broken := true;
+    end fault injections;
+)";
+
+struct AnalysisApiTest : ::testing::Test {
+    eda::Network net = eda::build_network_from_source(kModel);
+    double expected = 1.0 - std::exp(-1.0);
+
+    [[nodiscard]] AnalysisRequest base_request() const {
+        AnalysisRequest req;
+        req.property = sim::make_reachability(net.model(), "broken", 2.0);
+        req.model_label = "fault.slim";
+        req.delta = 0.1;
+        req.eps = 0.05;
+        req.seed = 7;
+        return req;
+    }
+
+    [[nodiscard]] static bool has_phase(const telemetry::RunReport& report,
+                                        std::string_view name) {
+        return std::any_of(report.phases.begin(), report.phases.end(),
+                           [&](const telemetry::Phase& p) { return p.name == name; });
+    }
+};
+
+TEST_F(AnalysisApiTest, EstimateModeFillsReport) {
+    const AnalysisResult res = run_analysis(net, base_request());
+    EXPECT_EQ(res.mode, AnalysisMode::Estimate);
+    EXPECT_NEAR(res.value, expected, 0.08);
+    EXPECT_EQ(res.value, res.estimation.estimate);
+
+    const telemetry::RunReport& report = res.report;
+    EXPECT_EQ(report.mode, "estimate");
+    EXPECT_EQ(report.model, "fault.slim");
+    EXPECT_EQ(report.property, "<> [0,2] broken");
+    EXPECT_EQ(report.strategy, "progressive");
+    EXPECT_EQ(report.criterion, "chernoff-hoeffding");
+    EXPECT_EQ(report.seed, 7u);
+    EXPECT_EQ(report.workers, 1u);
+    EXPECT_GT(report.samples, 0u);
+    ASSERT_EQ(report.worker_stats.size(), 1u);
+    EXPECT_EQ(report.worker_stats[0].rng_stream, 0u);
+    EXPECT_EQ(report.worker_stats[0].accepted, report.samples);
+    EXPECT_FALSE(report.terminals.empty());
+    EXPECT_FALSE(report.stop_trajectory.empty());
+    EXPECT_EQ(report.stop_trajectory.back().samples, report.samples);
+    EXPECT_TRUE(has_phase(report, "simulate"));
+    // Engine telemetry flowed through the recorder into the report.
+    const auto paths =
+        std::find_if(report.counters.begin(), report.counters.end(),
+                     [](const auto& c) { return c.first == "sim.paths"; });
+    ASSERT_NE(paths, report.counters.end());
+    EXPECT_GE(paths->second, report.samples);
+}
+
+TEST_F(AnalysisApiTest, MatchesLegacyEntryPoint) {
+    AnalysisRequest req = base_request();
+    const AnalysisResult res = run_analysis(net, req);
+    const stat::ChernoffHoeffding ch(req.delta, req.eps);
+    const sim::EstimationResult legacy = sim::estimate(
+        net, req.property, sim::StrategyKind::Progressive, ch, req.seed);
+    EXPECT_EQ(res.estimation.samples, legacy.samples);
+    EXPECT_EQ(res.estimation.successes, legacy.successes);
+    EXPECT_EQ(res.value, legacy.estimate);
+}
+
+TEST_F(AnalysisApiTest, DeterministicViewIsByteStableAcrossRuns) {
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+        AnalysisRequest req = base_request();
+        if (workers > 1) {
+            req.mode = AnalysisMode::EstimateParallel;
+            req.workers = workers;
+        }
+        const AnalysisResult a = run_analysis(net, req);
+        const AnalysisResult b = run_analysis(net, req);
+        const std::string da =
+            telemetry::deterministic_view(a.report.to_json()).dump(2);
+        const std::string db =
+            telemetry::deterministic_view(b.report.to_json()).dump(2);
+        EXPECT_EQ(da, db) << workers << " workers";
+    }
+}
+
+TEST_F(AnalysisApiTest, ParallelModeReportsPerWorkerStreams) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::EstimateParallel;
+    req.workers = 3;
+    const AnalysisResult res = run_analysis(net, req);
+    EXPECT_NEAR(res.value, expected, 0.08);
+    const telemetry::RunReport& report = res.report;
+    EXPECT_EQ(report.mode, "estimate-parallel");
+    EXPECT_EQ(report.workers, 3u);
+    ASSERT_EQ(report.worker_stats.size(), 3u);
+    std::uint64_t accepted = 0;
+    for (std::size_t w = 0; w < 3; ++w) {
+        EXPECT_EQ(report.worker_stats[w].worker, w);
+        EXPECT_EQ(report.worker_stats[w].rng_stream, w);
+        accepted += report.worker_stats[w].accepted;
+    }
+    EXPECT_EQ(accepted, report.samples);
+    EXPECT_GT(report.collector.rounds, 0u);
+    EXPECT_EQ(report.collector.accepted, report.samples);
+}
+
+TEST_F(AnalysisApiTest, HypothesisTestMode) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::HypothesisTest;
+    req.threshold = 0.1; // far below the true 0.63: accept quickly
+    const AnalysisResult res = run_analysis(net, req);
+    EXPECT_EQ(res.hypothesis.verdict, sim::HypothesisVerdict::AcceptAbove);
+    EXPECT_EQ(res.report.mode, "hypothesis-test");
+    EXPECT_EQ(res.report.criterion, "sprt");
+    EXPECT_FALSE(res.report.verdict.empty());
+    EXPECT_GT(res.report.samples, 0u);
+    const double threshold =
+        std::find_if(res.report.params.begin(), res.report.params.end(),
+                     [](const auto& p) { return p.first == "threshold"; })
+            ->second;
+    EXPECT_EQ(threshold, 0.1);
+}
+
+TEST_F(AnalysisApiTest, CtmcFlowMode) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::CtmcFlow;
+    const AnalysisResult res = run_analysis(net, req);
+    EXPECT_NEAR(res.value, expected, 1e-6);
+    EXPECT_EQ(res.report.mode, "ctmc-flow");
+    EXPECT_TRUE(has_phase(res.report, "explore"));
+    EXPECT_TRUE(has_phase(res.report, "transient"));
+    const auto states =
+        std::find_if(res.report.counters.begin(), res.report.counters.end(),
+                     [](const auto& c) { return c.first == "ctmc.imc_states"; });
+    ASSERT_NE(states, res.report.counters.end());
+    EXPECT_GT(states->second, 0u);
+}
+
+TEST_F(AnalysisApiTest, CtmcFlowRejectsUnsupportedProperties) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::CtmcFlow;
+    req.property = sim::make_reachability_interval(net.model(), "broken", 0.5, 2.0);
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+}
+
+TEST_F(AnalysisApiTest, TelemetryOffStillReportsResults) {
+    AnalysisRequest req = base_request();
+    req.telemetry = false;
+    const AnalysisResult res = run_analysis(net, req);
+    EXPECT_NEAR(res.value, expected, 0.08);
+    EXPECT_GT(res.report.samples, 0u);
+    EXPECT_EQ(res.report.value, res.value);
+    EXPECT_FALSE(res.report.terminals.empty());
+    EXPECT_TRUE(res.report.counters.empty());
+    EXPECT_TRUE(res.report.stop_trajectory.empty());
+}
+
+TEST_F(AnalysisApiTest, ReportJsonRoundTripsThroughParser) {
+    const AnalysisResult res = run_analysis(net, base_request());
+    const json::Value doc = res.report.to_json();
+    EXPECT_EQ(json::Value::parse(doc.dump()), doc);
+    EXPECT_EQ(json::Value::parse(doc.dump(2)), doc);
+    EXPECT_EQ(doc.at("schema").as_string(), "slimsim-run-report");
+    EXPECT_EQ(doc.at("analysis").at("workers").as_uint(), 1u);
+}
+
+TEST_F(AnalysisApiTest, ToStringCarriesHeadline) {
+    const AnalysisResult res = run_analysis(net, base_request());
+    const std::string text = res.to_string();
+    EXPECT_NE(text.find("P( <> [0,2] broken ) ~="), std::string::npos);
+    EXPECT_NE(text.find("terminals:"), std::string::npos);
+    EXPECT_NE(text.find("goal="), std::string::npos);
+}
+
+} // namespace
+} // namespace slimsim

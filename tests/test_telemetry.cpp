@@ -1,0 +1,221 @@
+// Unit tests for the telemetry layer (counters, timers, histograms,
+// recorder, run reports) and the JSON document model backing --json.
+#include "support/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+    telemetry::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+    telemetry::Counter c;
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10'000; ++i) c.add();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), 40'000u);
+}
+
+TEST(Timer, ScopedTimerRecordsSections) {
+    telemetry::Timer t;
+    {
+        telemetry::ScopedTimer scope(&t);
+    }
+    {
+        telemetry::ScopedTimer scope(&t);
+        scope.stop();
+        scope.stop(); // idempotent
+    }
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, NullScopedTimerIsNoop) {
+    telemetry::ScopedTimer scope(nullptr);
+    scope.stop(); // must not crash
+}
+
+TEST(Histogram, PowerOfTwoBuckets) {
+    telemetry::Histogram h;
+    for (const std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 7u, 8u}) h.add(v);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 25u);
+    const auto bins = h.bins();
+    ASSERT_EQ(bins.size(), 5u);
+    EXPECT_EQ(bins[0], (std::pair<std::string, std::uint64_t>{"0", 1}));
+    EXPECT_EQ(bins[1], (std::pair<std::string, std::uint64_t>{"1", 1}));
+    EXPECT_EQ(bins[2], (std::pair<std::string, std::uint64_t>{"2-3", 2}));
+    EXPECT_EQ(bins[3], (std::pair<std::string, std::uint64_t>{"4-7", 2}));
+    EXPECT_EQ(bins[4], (std::pair<std::string, std::uint64_t>{"8-15", 1}));
+    EXPECT_EQ(telemetry::Histogram::bucket_label(4), "8-15");
+}
+
+TEST(Recorder, InstrumentsAreStableAcrossLookups) {
+    telemetry::Recorder rec;
+    telemetry::Counter& a = rec.counter("sim.paths");
+    a.add(3);
+    telemetry::Counter& b = rec.counter("sim.paths");
+    EXPECT_EQ(&a, &b);
+    // References survive registry growth.
+    for (int i = 0; i < 100; ++i) rec.counter("c" + std::to_string(i)).add();
+    a.add();
+    EXPECT_EQ(rec.counter("sim.paths").value(), 4u);
+}
+
+TEST(Recorder, SnapshotsAreSortedByName) {
+    telemetry::Recorder rec;
+    rec.counter("zeta").add(1);
+    rec.counter("alpha").add(2);
+    const auto counters = rec.counters();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].first, "alpha");
+    EXPECT_EQ(counters[1].first, "zeta");
+}
+
+TEST(Recorder, EnabledFlag) {
+    telemetry::Recorder rec(false);
+    EXPECT_FALSE(rec.enabled());
+    rec.set_enabled(true);
+    EXPECT_TRUE(rec.enabled());
+}
+
+TEST(Json, ScalarsRoundTrip) {
+    EXPECT_EQ(json::Value(true).dump(), "true");
+    EXPECT_EQ(json::Value(nullptr).dump(), "null");
+    EXPECT_EQ(json::Value(-3).dump(), "-3");
+    EXPECT_EQ(json::Value(18'446'744'073'709'551'615ull).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(json::Value(0.25).dump(), "0.25");
+    EXPECT_EQ(json::Value("a\"b\n").dump(), "\"a\\\"b\\n\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+    json::Value obj = json::Value::object();
+    obj["zeta"] = 1;
+    obj["alpha"] = 2;
+    EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2}");
+    // Structural equality ignores member order.
+    json::Value other = json::Value::object();
+    other["alpha"] = 2;
+    other["zeta"] = 1;
+    EXPECT_EQ(obj, other);
+}
+
+TEST(Json, ParseDumpRoundTrip) {
+    const std::string text =
+        R"({"a":[1,2.5,"x",true,null],"b":{"nested":-7},"c":"é"})";
+    const json::Value doc = json::Value::parse(text);
+    EXPECT_EQ(doc.at("a").size(), 5u);
+    EXPECT_EQ(doc.at("a").at(1).as_double(), 2.5);
+    EXPECT_EQ(doc.at("b").at("nested").as_int(), -7);
+    EXPECT_EQ(doc.at("c").as_string(), "\xc3\xa9");
+    EXPECT_EQ(json::Value::parse(doc.dump()), doc);
+    EXPECT_EQ(json::Value::parse(doc.dump(2)), doc);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+    EXPECT_THROW((void)json::Value::parse("{"), Error);
+    EXPECT_THROW((void)json::Value::parse("[1,]"), Error);
+    EXPECT_THROW((void)json::Value::parse("42 garbage"), Error);
+    EXPECT_THROW((void)json::Value::parse(""), Error);
+}
+
+TEST(Json, FindAndMissingKeys) {
+    json::Value obj = json::Value::object();
+    obj["present"] = 1;
+    EXPECT_NE(obj.find("present"), nullptr);
+    EXPECT_EQ(obj.find("absent"), nullptr);
+    EXPECT_THROW((void)obj.at("absent"), Error);
+}
+
+TEST(RunReport, JsonHasSchemaAndVersion) {
+    telemetry::RunReport report;
+    report.mode = "estimate";
+    report.model = "m.slim";
+    report.property = "<> [0,2] broken";
+    report.strategy = "progressive";
+    report.criterion = "chernoff-hoeffding";
+    report.seed = 7;
+    report.workers = 1;
+    report.params.emplace_back("delta", 0.05);
+    report.value = 0.5;
+    report.samples = 10;
+    report.successes = 5;
+    report.terminals = {{"goal", 5}, {"time-bound", 5}};
+    report.worker_stats = {{0, 0, 10, 10}};
+    report.stop_trajectory = {{10, 10}};
+    report.phases = {{"simulate", 0.1}};
+    report.wall_seconds = 0.2;
+    report.peak_rss_bytes = 1024;
+
+    const json::Value doc = report.to_json();
+    EXPECT_EQ(doc.at("schema").as_string(), "slimsim-run-report");
+    EXPECT_EQ(doc.at("version").as_uint(), telemetry::RunReport::kSchemaVersion);
+    EXPECT_EQ(doc.at("mode").as_string(), "estimate");
+    EXPECT_EQ(doc.at("analysis").at("seed").as_uint(), 7u);
+    EXPECT_EQ(doc.at("result").at("samples").as_uint(), 10u);
+    EXPECT_EQ(doc.at("terminals").at("goal").as_uint(), 5u);
+    EXPECT_EQ(doc.at("workers").at(0).at("rng_stream").as_uint(), 0u);
+    EXPECT_NE(doc.find("runtime"), nullptr);
+    EXPECT_NE(doc.find("resources"), nullptr);
+
+    // The deterministic view drops exactly the wall-clock sections.
+    const json::Value det = telemetry::deterministic_view(doc);
+    EXPECT_EQ(det.find("runtime"), nullptr);
+    EXPECT_EQ(det.find("resources"), nullptr);
+    EXPECT_EQ(det.at("result").at("value").as_double(), 0.5);
+
+    // Text rendering mentions the headline facts.
+    const std::string text = report.to_text();
+    EXPECT_NE(text.find("estimate"), std::string::npos);
+    EXPECT_NE(text.find("goal=5"), std::string::npos);
+}
+
+TEST(RunReport, AbsorbMergesRecorderSnapshots) {
+    telemetry::Recorder rec;
+    rec.counter("sim.paths").add(12);
+    rec.histogram("sim.steps_per_path").add(3);
+
+    telemetry::RunReport report;
+    report.counters.emplace_back("ctmc.imc_states", 99);
+    report.absorb(rec);
+    ASSERT_EQ(report.counters.size(), 2u);
+    EXPECT_EQ(report.counters[0].first, "ctmc.imc_states"); // sorted, pre-fill kept
+    EXPECT_EQ(report.counters[1].first, "sim.paths");
+    EXPECT_EQ(report.counters[1].second, 12u);
+    ASSERT_EQ(report.histograms.size(), 1u);
+    EXPECT_EQ(report.histograms[0].first, "sim.steps_per_path");
+}
+
+TEST(RunReport, ParallelReportsMoveSharedInstrumentsToRuntime) {
+    telemetry::RunReport report;
+    report.workers = 4;
+    report.counters.emplace_back("sim.paths", 100);
+    report.worker_stats = {{0, 0, 25, 25}, {1, 1, 25, 25}};
+    const json::Value doc = report.to_json();
+    EXPECT_EQ(doc.find("counters"), nullptr);
+    EXPECT_NE(doc.at("runtime").find("counters"), nullptr);
+    EXPECT_EQ(doc.at("runtime").at("generated").size(), 2u);
+}
+
+} // namespace
+} // namespace slimsim

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.hpp"
 #include "ctmc/flow.hpp"
 #include "models/sensor_filter.hpp"
 #include "sim/property.hpp"
@@ -27,6 +28,9 @@ int main(int argc, char** argv) {
             }
         }
         const double u = hours * 3600.0;
+        benchio::Report report("bisim");
+        report.param("max_r", max_r);
+        report.param("hours", hours);
         std::printf("== bisimulation minimization ablation ==\n");
         std::printf("%-3s | %-9s %-9s %-8s | %-12s %-12s | %-10s\n", "R", "ctmc-st",
                     "lumped", "ratio", "t(with)", "t(without)", "|dp|");
@@ -47,6 +51,14 @@ int main(int argc, char** argv) {
                                                                       : rw.lumped_states),
                         rw.total_seconds, ro.total_seconds,
                         rw.probability - ro.probability);
+            json::Value row = json::Value::object();
+            row["r"] = r;
+            row["ctmc_states"] = static_cast<std::uint64_t>(rw.ctmc_states);
+            row["lumped_states"] = static_cast<std::uint64_t>(rw.lumped_states);
+            row["with_seconds"] = rw.total_seconds;
+            row["without_seconds"] = ro.total_seconds;
+            row["dp"] = rw.probability - ro.probability;
+            report.add_row(std::move(row));
         }
         std::puts("\nexpected: symmetric redundant units lump; the reduction factor"
                   " grows with R; probabilities agree to solver precision.");

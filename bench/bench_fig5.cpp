@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "models/launcher.hpp"
 #include "sim/runner.hpp"
 
@@ -37,7 +38,7 @@ std::vector<double> hit_times(const eda::Network& net, const sim::TimedReachabil
 }
 
 void run_variant(bool recoverable, double delta, double eps, double mission_min,
-                 std::FILE* csv) {
+                 std::FILE* csv, benchio::Report& report) {
     models::LauncherOptions opt;
     opt.recoverable_dpu = recoverable;
     const eda::Network net = eda::build_network_from_source(models::launcher_source(opt));
@@ -65,13 +66,19 @@ void run_variant(bool recoverable, double delta, double eps, double mission_min,
             std::fprintf(csv, "%s,%g", recoverable ? "recoverable" : "permanent",
                          u / 60.0);
         }
-        for (const auto& h : hits) {
+        json::Value row = json::Value::object();
+        row["variant"] = recoverable ? "recoverable" : "permanent";
+        row["u_min"] = u / 60.0;
+        for (std::size_t si = 0; si < strategies.size(); ++si) {
+            const auto& h = hits[si];
             const auto count = static_cast<double>(
                 std::upper_bound(h.begin(), h.end(), u) - h.begin());
             const double p = count / static_cast<double>(n);
             std::printf("  %-12.4f", p);
             if (csv != nullptr) std::fprintf(csv, ",%.6f", p);
+            row[sim::to_string(strategies[si])] = p;
         }
+        report.add_row(std::move(row));
         std::printf("\n");
         if (csv != nullptr) std::fprintf(csv, "\n");
     }
@@ -108,6 +115,11 @@ int main(int argc, char** argv) {
                 return 2;
             }
         }
+        benchio::Report report("fig5");
+        report.param("variant", variant);
+        report.param("eps", eps);
+        report.param("delta", delta);
+        report.param("mission_min", mission_min);
         std::FILE* csv = nullptr;
         if (!csv_path.empty()) {
             csv = std::fopen(csv_path.c_str(), "w");
@@ -118,10 +130,10 @@ int main(int argc, char** argv) {
             std::fputs("variant,u_min,asap,progressive,local,maxtime\n", csv);
         }
         if (variant == "permanent" || variant == "both") {
-            run_variant(false, delta, eps, mission_min, csv);
+            run_variant(false, delta, eps, mission_min, csv, report);
         }
         if (variant == "recoverable" || variant == "both") {
-            run_variant(true, delta, eps, mission_min, csv);
+            run_variant(true, delta, eps, mission_min, csv, report);
         }
         if (csv != nullptr) {
             std::fclose(csv);

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -57,6 +58,9 @@ int main(int argc, char** argv) {
                 return 2;
             }
         }
+        benchio::Report report("generators");
+        report.param("eps", eps);
+        report.param("delta", delta);
         std::printf("== stopping criteria at delta=%g eps=%g ==\n", delta, eps);
         std::printf("%-8s | %-22s | %-22s | %-22s\n", "true p", "chernoff-hoeffding",
                     "gauss", "chow-robbins");
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
             const sim::TimedReachability prop =
                 sim::make_reachability(net.model(), "broken", 1.0);
             std::printf("%-8.3f |", p);
+            json::Value row = json::Value::object();
+            row["true_p"] = p;
             for (const auto kind :
                  {stat::CriterionKind::ChernoffHoeffding, stat::CriterionKind::Gauss,
                   stat::CriterionKind::ChowRobbins}) {
@@ -76,7 +82,12 @@ int main(int argc, char** argv) {
                 const auto res = sim::estimate(net, prop, sim::StrategyKind::Progressive,
                                                *criterion, 11);
                 std::printf(" %-10.4f %-11zu |", res.estimate, res.samples);
+                json::Value cell = json::Value::object();
+                cell["estimate"] = res.estimate;
+                cell["samples"] = static_cast<std::uint64_t>(res.samples);
+                row[res.criterion] = std::move(cell);
             }
+            report.add_row(std::move(row));
             std::printf("\n");
         }
         std::puts("\nexpected: CH uses a fixed worst-case N; Gauss a smaller fixed N;"

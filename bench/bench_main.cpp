@@ -1,0 +1,85 @@
+#include "bench_main.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace slimsim::benchio {
+
+json::Value Timing::to_json() const {
+    json::Value v = json::Value::object();
+    v["reps"] = static_cast<std::uint64_t>(seconds.size());
+    v["min_s"] = min_seconds;
+    v["mean_s"] = mean_seconds;
+    v["max_s"] = max_seconds;
+    json::Value all = json::Value::array();
+    for (const double s : seconds) all.push_back(s);
+    v["all_s"] = std::move(all);
+    return v;
+}
+
+Timing measure(const std::function<void()>& fn, int reps, int warmup) {
+    for (int i = 0; i < warmup; ++i) fn();
+    Timing t;
+    if (reps < 1) reps = 1;
+    t.seconds.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        t.seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    t.min_seconds = t.max_seconds = t.seconds.front();
+    double total = 0.0;
+    for (const double s : t.seconds) {
+        if (s < t.min_seconds) t.min_seconds = s;
+        if (s > t.max_seconds) t.max_seconds = s;
+        total += s;
+    }
+    t.mean_seconds = total / static_cast<double>(t.seconds.size());
+    return t;
+}
+
+Report::Report(std::string name) : name_(std::move(name)) {
+    doc_ = json::Value::object();
+    doc_["bench"] = name_;
+    doc_["schema"] = 1;
+    doc_["params"] = json::Value::object();
+    doc_["rows"] = json::Value::array();
+}
+
+Report::~Report() {
+    if (!written_) {
+        try {
+            write();
+        } catch (...) {
+            // Destructor: swallow I/O failures rather than terminate.
+        }
+    }
+}
+
+void Report::param(const std::string& key, json::Value value) {
+    doc_["params"][key] = std::move(value);
+}
+
+void Report::add_row(json::Value row) { doc_["rows"].push_back(std::move(row)); }
+
+std::string Report::write() {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("SLIMSIM_BENCH_DIR");
+        dir != nullptr && dir[0] != '\0') {
+        path = std::string(dir) + "/" + path;
+    }
+    std::ofstream out(path);
+    if (out) {
+        out << doc_.dump(1) << "\n";
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+    written_ = true;
+    return path;
+}
+
+} // namespace slimsim::benchio

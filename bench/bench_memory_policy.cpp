@@ -8,6 +8,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.hpp"
 #include "models/launcher.hpp"
 #include "sim/runner.hpp"
 
@@ -30,6 +31,9 @@ int main(int argc, char** argv) {
         const sim::TimedReachability prop =
             sim::make_reachability(net.model(), models::launcher_goal(), 2.0 * 3600.0);
         const stat::ChernoffHoeffding criterion(0.1, eps);
+        benchio::Report report("memory_policy");
+        report.param("eps", eps);
+        report.param("paths", static_cast<std::uint64_t>(*criterion.fixed_sample_count()));
 
         std::printf("== memory policy ablation (launcher, recoverable DPUs, N = %zu) "
                     "==\n",
@@ -44,6 +48,12 @@ int main(int argc, char** argv) {
             const double pc = sim::estimate(net, prop, kind, criterion, 5, cont).estimate;
             std::printf("%-12s  %-12.4f  %-12.4f  %+.4f\n", sim::to_string(kind).c_str(),
                         pr, pc, pc - pr);
+            json::Value row = json::Value::object();
+            row["strategy"] = sim::to_string(kind);
+            row["restart"] = pr;
+            row["continue"] = pc;
+            row["delta"] = pc - pr;
+            report.add_row(std::move(row));
         }
         std::puts("\nexpected: ASAP/MaxTime are insensitive (their choices are\n"
                   "re-derived identically); Local/Progressive can shift, since Continue\n"

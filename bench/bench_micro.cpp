@@ -2,6 +2,11 @@
 // expression solving, network stepping and end-to-end path generation.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "expr/eval.hpp"
 #include "models/gps.hpp"
 #include "models/sensor_filter.hpp"
@@ -107,4 +112,30 @@ BENCHMARK(BM_InvariantHorizon);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): in addition to the console
+// table, mirror the results as BENCH_micro.json (google-benchmark's own
+// JSON schema) so CI's bench-smoke job can parse every bench's output the
+// same way (see bench_main.hpp for the harness the table benches use).
+// Implemented by injecting --benchmark_out flags ahead of the user's
+// arguments (which can therefore still override the destination).
+int main(int argc, char** argv) {
+    std::string path = "BENCH_micro.json";
+    if (const char* dir = std::getenv("SLIMSIM_BENCH_DIR");
+        dir != nullptr && dir[0] != '\0') {
+        path = std::string(dir) + "/" + path;
+    }
+    std::string out_flag = "--benchmark_out=" + path;
+    std::string format_flag = "--benchmark_out_format=json";
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+    for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    benchmark::Shutdown();
+    return 0;
+}

@@ -11,15 +11,17 @@
 #include <string>
 #include <thread>
 
+#include "bench_main.hpp"
 #include "models/sensor_filter.hpp"
 #include "sim/parallel_runner.hpp"
 #include "stat/collector.hpp"
+#include "support/tracer/tracer.hpp"
 
 namespace {
 
 using namespace slimsim;
 
-void scaling(double eps) {
+void scaling(double eps, benchio::Report& report) {
     const eda::Network net =
         eda::build_network_from_source(models::sensor_filter_source(5));
     const sim::TimedReachability prop = sim::make_reachability(
@@ -46,10 +48,60 @@ void scaling(double eps) {
         std::printf("%-8zu  %-10.4f  %-9.2fs  %-10.0f  %.2fx\n", workers, res.estimate,
                     res.wall_seconds, static_cast<double>(res.samples) / res.wall_seconds,
                     base / res.wall_seconds);
+        json::Value row = json::Value::object();
+        row["workers"] = static_cast<std::uint64_t>(workers);
+        row["estimate"] = res.estimate;
+        row["seconds"] = res.wall_seconds;
+        row["paths_per_s"] = static_cast<double>(res.samples) / res.wall_seconds;
+        row["speedup"] = base / res.wall_seconds;
+        report.add_row(std::move(row));
     }
 }
 
-void bias_demo() {
+// Execution-trace overhead: the same fixed-N parallel estimation with the
+// tracer left disabled (hot path sees only null-lane checks) vs. attached
+// (per-worker ring buffers recording every span). The disabled number is
+// the headline throughput CI tracks; the acceptance bound is that carrying
+// the instrumentation costs < 2% when no tracer is attached.
+void tracing_overhead(benchio::Report& report) {
+    const eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(4));
+    const sim::TimedReachability prop = sim::make_reachability(
+        net.model(), models::sensor_filter_goal(), 200.0 * 3600.0);
+    const stat::ChernoffHoeffding criterion(0.05, 0.02);
+    const std::size_t n = *criterion.fixed_sample_count();
+    std::printf("\n== tracing overhead (N = %zu paths, 4 workers, min of 3 reps) ==\n",
+                n);
+    json::Value section = json::Value::object();
+    double disabled_pps = 0.0;
+    for (const bool traced : {false, true}) {
+        tracer::Tracer tracer(tracer::Tracer::Options{traced, 1 << 14});
+        const auto timing = benchio::measure(
+            [&] {
+                sim::ParallelOptions po;
+                po.workers = 4;
+                if (traced) po.tracer = &tracer;
+                (void)sim::estimate_parallel(net, prop, sim::StrategyKind::Asap,
+                                             criterion, 9, po);
+            },
+            3, 1);
+        const double pps = static_cast<double>(n) / timing.min_seconds;
+        std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n",
+                    traced ? "tracer attached" : "tracer disabled", timing.min_seconds,
+                    pps);
+        section[traced ? "enabled" : "disabled"] = timing.to_json();
+        section[traced ? "enabled_paths_per_s" : "disabled_paths_per_s"] = pps;
+        if (!traced) disabled_pps = pps;
+        if (traced && disabled_pps > 0.0) {
+            const double overhead = (disabled_pps / pps - 1.0) * 100.0;
+            std::printf("recording overhead: %.1f%%\n", overhead);
+            section["recording_overhead_percent"] = overhead;
+        }
+    }
+    report.root()["tracing_overhead"] = std::move(section);
+}
+
+void bias_demo(benchio::Report& report) {
     // Synthetic workload reproducing the hazard of [21]: true p = 0.5, but
     // success paths are fast (one tick) while failure paths are slow (two
     // ticks). With 16 workers and a small sample target, stopping on
@@ -98,6 +150,11 @@ void bias_demo() {
         const double mean = total / kTrials;
         std::printf("%-14s  %-12.4f  %+.4f\n", round_robin ? "round-robin" : "first-come",
                     mean, mean - 0.5);
+        json::Value row = json::Value::object();
+        row["collection"] = round_robin ? "round-robin" : "first-come";
+        row["mean_estimate"] = mean;
+        row["bias"] = mean - 0.5;
+        report.root()["bias_demo"].push_back(std::move(row));
     }
     std::puts("expected: first-come is biased high (slow failures are in flight when\n"
               "the target is reached); round-robin stays at ~0.5.");
@@ -116,8 +173,12 @@ int main(int argc, char** argv) {
                 return 2;
             }
         }
-        scaling(eps);
-        bias_demo();
+        benchio::Report report("parallel");
+        report.param("eps", eps);
+        report.root()["bias_demo"] = json::Value::array();
+        scaling(eps, report);
+        tracing_overhead(report);
+        bias_demo(report);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

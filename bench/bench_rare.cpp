@@ -8,6 +8,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.hpp"
 #include "ctmc/flow.hpp"
 #include "rare/splitting.hpp"
 #include "sim/runner.hpp"
@@ -68,6 +69,12 @@ int main(int argc, char** argv) {
             eda::build_network_from_source(model_src(components, rate));
         const auto prop = sim::make_reachability(net.model(), "all_broken", 1.0);
         const double exact = ctmc::run_ctmc_flow(net, *prop.goal, 1.0).probability;
+        benchio::Report report("rare");
+        report.param("components", components);
+        report.param("rate", rate);
+        report.param("factor", static_cast<std::uint64_t>(factor));
+        report.param("roots", static_cast<std::uint64_t>(roots));
+        report.root()["exact_p"] = exact;
         std::printf("== rare event: all %d components fail within 1 s ==\n", components);
         std::printf("exact (CTMC):        p = %.3e\n", exact);
 
@@ -82,6 +89,11 @@ int main(int argc, char** argv) {
             }
             std::printf("crude MC (%zu paths): %zu hits -> p^ = %.3e\n", roots, hits,
                         static_cast<double>(hits) / static_cast<double>(roots));
+            json::Value row = json::Value::object();
+            row["method"] = "crude";
+            row["hits"] = static_cast<std::uint64_t>(hits);
+            row["estimate"] = static_cast<double>(hits) / static_cast<double>(roots);
+            report.add_row(std::move(row));
         }
 
         // Importance splitting on the failed-component count.
@@ -100,6 +112,11 @@ int main(int argc, char** argv) {
             std::printf("splitting (K=%zu):    %s\n", factor, res.to_string().c_str());
             std::printf("relative error:      %.1f%%\n",
                         100.0 * std::abs(res.estimate - exact) / exact);
+            json::Value row = json::Value::object();
+            row["method"] = "splitting";
+            row["estimate"] = res.estimate;
+            row["relative_error"] = std::abs(res.estimate - exact) / exact;
+            report.add_row(std::move(row));
         }
         std::puts("\nexpected: crude MC sees ~0 hits; splitting lands within a small"
                   " factor of the exact value at comparable work.");

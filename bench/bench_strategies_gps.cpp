@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.hpp"
 #include "models/gps.hpp"
 #include "sim/runner.hpp"
 
@@ -27,6 +28,9 @@ int main(int argc, char** argv) {
         }
         const eda::Network net = eda::build_network_from_source(models::gps_source());
         const stat::ChernoffHoeffding criterion(0.05, eps);
+        benchio::Report report("strategies_gps");
+        report.param("eps", eps);
+        report.param("paths", static_cast<std::uint64_t>(*criterion.fixed_sample_count()));
         std::printf("== GPS fix-by-deadline per strategy (N = %zu paths) ==\n",
                     *criterion.fixed_sample_count());
         std::printf("%-12s", "deadline");
@@ -38,10 +42,14 @@ int main(int argc, char** argv) {
             std::printf("%-10.0fs ", deadline);
             const sim::TimedReachability prop =
                 sim::make_reachability(net.model(), models::gps_goal(), deadline);
+            json::Value row = json::Value::object();
+            row["deadline_s"] = deadline;
             for (const auto k : sim::automated_strategies()) {
                 const auto res = sim::estimate(net, prop, k, criterion, 77);
                 std::printf("  %-12.4f", res.estimate);
+                row[sim::to_string(k)] = res.estimate;
             }
+            report.add_row(std::move(row));
             std::printf("\n");
         }
         std::puts("\nexpected: asap ~1 from deadline >= 10 s; maxtime ~0 before 120 s"

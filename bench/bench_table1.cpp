@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.hpp"
 #include "ctmc/flow.hpp"
 #include "models/sensor_filter.hpp"
 #include "sim/runner.hpp"
@@ -40,6 +41,12 @@ int main(int argc, char** argv) {
         }
         const double u = hours * 3600.0;
         const stat::ChernoffHoeffding criterion(delta, eps);
+
+        benchio::Report report("table1");
+        report.param("max_r", max_r);
+        report.param("eps", eps);
+        report.param("delta", delta);
+        report.param("hours", hours);
 
         std::printf("== Table I: CTMC flow vs simulator (sensor/filter benchmark) ==\n");
         std::printf("horizon %.0f h, delta=%g, eps=%g (N = %zu paths)\n\n", hours, delta,
@@ -78,6 +85,17 @@ int main(int argc, char** argv) {
             if (std::abs(exact.probability - mc.estimate) > 2 * eps) {
                 std::printf("  !! disagreement beyond 2*eps\n");
             }
+            json::Value row = json::Value::object();
+            row["r"] = r;
+            row["size"] = 2 * r;
+            row["ctmc_p"] = exact.probability;
+            row["ctmc_seconds"] = exact.total_seconds;
+            row["ctmc_states"] = static_cast<std::uint64_t>(exact.build.states);
+            row["ctmc_mib"] = ctmc_mib;
+            row["sim_p"] = mc.estimate;
+            row["sim_seconds"] = mc.wall_seconds;
+            row["sim_mib"] = sim_mib;
+            report.add_row(std::move(row));
         }
         std::puts("\nexpected shape: ctmc-time/states grow combinatorially with R;"
                   " sim-time stays nearly flat; probabilities agree within eps.");

@@ -71,6 +71,12 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
 
     sim::SimOptions sim_options = request.sim;
     if (recorder != nullptr) sim_options.recorder = recorder;
+    sim_options.witness = request.witness;
+    sim_options.progress = request.progress;
+    sim_options.progress.delta = request.delta;
+    sim_options.progress.eps = request.eps;
+    tracer::Tracer* tracer =
+        request.tracer != nullptr && request.tracer->enabled() ? request.tracer : nullptr;
 
     switch (request.mode) {
     case AnalysisMode::Estimate: {
@@ -78,6 +84,7 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         report.params.emplace_back("eps", request.eps);
         const auto criterion =
             stat::make_criterion(request.criterion, request.delta, request.eps);
+        if (tracer != nullptr) sim_options.trace_lane = tracer->lane("main");
         const auto t0 = std::chrono::steady_clock::now();
         result.estimation = sim::estimate(net, request.property, request.strategy,
                                           *criterion, request.seed, sim_options, rp);
@@ -94,6 +101,7 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         po.workers = request.workers;
         po.collection = request.collection;
         po.sim = sim_options;
+        po.tracer = tracer;
         const auto t0 = std::chrono::steady_clock::now();
         result.estimation = sim::estimate_parallel(net, request.property, request.strategy,
                                                    *criterion, request.seed, po, rp);
@@ -109,6 +117,7 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         ho.indifference = request.indifference;
         ho.delta = request.delta;
         ho.max_samples = request.max_samples;
+        if (tracer != nullptr) sim_options.trace_lane = tracer->lane("main");
         ho.sim = sim_options;
         const auto t0 = std::chrono::steady_clock::now();
         result.hypothesis =
@@ -126,8 +135,10 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
             throw Error("the CTMC flow supports P( <> [0,u] goal ) only");
         }
         report.params.emplace_back("precision", request.flow.transient.precision);
+        ctmc::FlowOptions flow_options = request.flow;
+        if (tracer != nullptr) flow_options.trace_lane = tracer->lane("ctmc");
         result.flow = ctmc::run_ctmc_flow(net, *request.property.goal,
-                                          request.property.bound, request.flow, rp);
+                                          request.property.bound, flow_options, rp);
         result.value = result.flow.probability;
         break;
     }

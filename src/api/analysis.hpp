@@ -66,6 +66,24 @@ struct AnalysisRequest {
     /// counters/timers/histograms sections.
     telemetry::Recorder* recorder = nullptr;
 
+    /// Optional execution tracer (docs/tracing.md). Estimate/HypothesisTest
+    /// record on a "main" lane, EstimateParallel on per-worker lanes plus a
+    /// "collector" lane, CtmcFlow on a "ctmc" lane. The caller exports the
+    /// trace afterwards (Tracer::to_chrome_json; the CLI's --trace flag).
+    tracer::Tracer* tracer = nullptr;
+
+    /// Witness capture (estimation modes): retain the first
+    /// witness.per_kind accepting and non-accepting paths, replayed into
+    /// AnalysisResult::estimation.witnesses. Deterministic in
+    /// (seed, workers).
+    sim::WitnessOptions witness;
+
+    /// Live progress streaming (estimation modes): invoked from the
+    /// consuming thread, throttled to progress.min_interval_seconds; the
+    /// confidence parameters for the CI half-width / ETA are taken from
+    /// delta and eps above.
+    sim::ProgressOptions progress;
+
     /// Front-end phases (parse/instantiate) timed by the caller while
     /// loading the model; prepended to the report's phase breakdown.
     std::vector<telemetry::Phase> frontend_phases;

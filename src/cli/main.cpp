@@ -12,6 +12,7 @@
 
 #include "api/analysis.hpp"
 #include "eda/network.hpp"
+#include <filesystem>
 #include <fstream>
 
 #include "props/pattern.hpp"
@@ -51,7 +52,7 @@ void usage() {
         "  --criterion NAME     ch (default) | gauss | chow-robbins\n"
         "  --seed N             RNG seed (default 1)\n"
         "  --workers K          parallel workers (default 1 = sequential)\n"
-        "  --trace N            print N simulated paths instead of estimating\n"
+        "  --paths N            print N simulated paths instead of estimating\n"
         "  --deadlock POLICY    falsify (default) | error\n"
         "  --timelock POLICY    falsify (default) | error\n"
         "  --memory POLICY      restart (default) | continue\n"
@@ -71,7 +72,15 @@ void usage() {
         "                       ('-' for stdout; schema: docs/run-report.md)\n"
         "  --report             print the human-readable run report\n"
         "  --no-telemetry       skip engine counters/histograms (identity and\n"
-        "                       result sections of the report only)\n");
+        "                       result sections of the report only)\n"
+        "\n"
+        "observability (docs/tracing.md):\n"
+        "  --trace FILE         write a Chrome trace-event JSON timeline of the\n"
+        "                       run (open in Perfetto / chrome://tracing)\n"
+        "  --witness DIR        save the first accepting and non-accepting paths\n"
+        "                       as text + VCD witness files under DIR\n"
+        "  --progress           stream live progress (samples, estimate, CI\n"
+        "                       half-width, ETA) to stderr while estimating\n");
 }
 
 double parse_duration(const std::string& text) {
@@ -152,6 +161,9 @@ int run(int argc, char** argv) {
     bool print_normalized = false;
     std::string vcd_path;
     std::string json_path;
+    std::string trace_path;
+    std::string witness_dir;
+    bool show_progress = false;
     bool show_report = false;
     bool telemetry = true;
     sim::SimOptions sim_options;
@@ -184,8 +196,14 @@ int run(int argc, char** argv) {
             seed = std::stoull(need_value(i, "--seed"));
         } else if (arg == "--workers") {
             workers = std::stoul(need_value(i, "--workers"));
+        } else if (arg == "--paths") {
+            trace_paths = std::stoul(need_value(i, "--paths"));
         } else if (arg == "--trace") {
-            trace_paths = std::stoul(need_value(i, "--trace"));
+            trace_path = need_value(i, "--trace");
+        } else if (arg == "--witness") {
+            witness_dir = need_value(i, "--witness");
+        } else if (arg == "--progress") {
+            show_progress = true;
         } else if (arg == "--ctmc") {
             use_ctmc = true;
         } else if (arg == "--test") {
@@ -382,14 +400,83 @@ int run(int argc, char** argv) {
         req.mode = AnalysisMode::Estimate;
     }
 
-    // Open the report file up front so a bad path fails before the analysis.
+    // Open the output files / directories up front so a bad path fails
+    // before the analysis runs.
     std::ofstream json_out;
     if (!json_path.empty() && json_path != "-") {
         json_out.open(json_path);
         if (!json_out) throw Error("cannot open `" + json_path + "` for writing");
     }
+    std::ofstream trace_out;
+    tracer::Tracer tracer(tracer::Tracer::Options{!trace_path.empty(), 1 << 16});
+    if (!trace_path.empty()) {
+        trace_out.open(trace_path);
+        if (!trace_out) throw Error("cannot open `" + trace_path + "` for writing");
+        req.tracer = &tracer;
+    }
+    if (!witness_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(witness_dir, ec);
+        if (ec) {
+            throw Error("cannot create witness directory `" + witness_dir +
+                        "`: " + ec.message());
+        }
+        req.witness.per_kind = 2;
+    }
+    if (show_progress) {
+        req.progress.callback = [](const sim::ProgressSnapshot& p) {
+            std::string eta = "?";
+            if (p.eta_seconds >= 0.0) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%.1fs", p.eta_seconds);
+                eta = buf;
+            }
+            std::fprintf(stderr,
+                         "\r%12llu samples   p^ = %.6f +- %.6f   elapsed %.1fs   eta %s   ",
+                         static_cast<unsigned long long>(p.samples), p.estimate,
+                         p.half_width, p.elapsed_seconds, eta.c_str());
+        };
+    }
 
     const AnalysisResult res = run_analysis(net, req);
+    if (show_progress) std::fputc('\n', stderr);
+
+    if (!trace_path.empty()) {
+        trace_out << tracer.to_chrome_json().dump(1) << "\n";
+        std::printf("wrote execution trace %s (open in Perfetto / chrome://tracing)\n",
+                    trace_path.c_str());
+    }
+    if (!witness_dir.empty()) {
+        // Witness export: text from the replayed trace, VCD by replaying the
+        // captured pre-path RNG state once more through the VCD writer.
+        auto witness_strat = sim::make_strategy(*kind);
+        const sim::PathGenerator witness_gen(net, prop, *witness_strat, sim_options);
+        std::size_t n_accepting = 0;
+        std::size_t n_rejecting = 0;
+        for (const sim::Witness& w : res.estimation.witnesses) {
+            const bool acc = w.outcome.satisfied;
+            const std::string base =
+                witness_dir + "/" + (acc ? "accepting-" : "rejecting-") +
+                std::to_string(acc ? ++n_accepting : ++n_rejecting);
+            std::ofstream text(base + ".txt");
+            if (!text) throw Error("cannot open `" + base + ".txt` for writing");
+            text << "# slimsim witness path\n"
+                 << "# model: " << model_path << "\n"
+                 << "# property: " << prop.text << "\n"
+                 << "# worker " << w.worker << ", path " << w.path_index
+                 << ", terminal " << sim::to_string(w.outcome.terminal) << ", "
+                 << (acc ? "satisfied" : "not satisfied") << ", " << w.outcome.steps
+                 << " steps, end t=" << w.outcome.end_time << "\n"
+                 << w.trace.to_string();
+            std::ofstream vcd(base + ".vcd");
+            if (!vcd) throw Error("cannot open `" + base + ".vcd` for writing");
+            Rng replay_rng = w.rng;
+            (void)sim::write_vcd(witness_gen, replay_rng, vcd);
+        }
+        std::printf("wrote %zu witness path(s) (%zu accepting, %zu non-accepting) to %s\n",
+                    res.estimation.witnesses.size(), n_accepting, n_rejecting,
+                    witness_dir.c_str());
+    }
     std::printf("%s\n", res.to_string().c_str());
     if (show_report) std::fputs(res.report.to_text().c_str(), stdout);
     if (!json_path.empty()) {

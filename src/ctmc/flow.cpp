@@ -19,24 +19,39 @@ FlowResult run_ctmc_flow(const eda::Network& net, const expr::Expr& goal, double
     const auto t0 = std::chrono::steady_clock::now();
     FlowResult res;
 
+    tracer::Lane* lane = options.trace_lane;
+    tracer::NameId n_states = tracer::kNoName;
+    if (lane != nullptr) n_states = lane->intern("states");
+
+    if (lane != nullptr) lane->begin(lane->intern("ctmc.explore"));
     const Imc imc = build_state_space(net, goal, options.build, &res.build);
+    if (lane != nullptr) lane->end(n_states, static_cast<double>(res.build.states));
 
     const auto t1 = std::chrono::steady_clock::now();
+    if (lane != nullptr) lane->begin(lane->intern("ctmc.eliminate"));
     CtmcModel chain = eliminate_vanishing(imc);
     res.ctmc_states = chain.state_count();
     res.ctmc_transitions = chain.transition_count();
+    if (lane != nullptr) lane->end(n_states, static_cast<double>(res.ctmc_states));
     const auto t2 = std::chrono::steady_clock::now();
     res.eliminate_seconds = std::chrono::duration<double>(t2 - t1).count();
 
+    if (lane != nullptr) lane->begin(lane->intern("ctmc.minimize"));
     if (options.minimize) {
         chain = minimize(chain);
     }
     res.lumped_states = chain.state_count();
+    if (lane != nullptr) lane->end(n_states, static_cast<double>(res.lumped_states));
     const auto t3 = std::chrono::steady_clock::now();
     res.bisim_seconds = std::chrono::duration<double>(t3 - t2).count();
 
+    if (lane != nullptr) lane->begin(lane->intern("ctmc.transient"));
     res.probability = transient_reachability(chain, bound, options.transient,
                                              &res.transient);
+    if (lane != nullptr) {
+        lane->end(lane->intern("iterations"),
+                  static_cast<double>(res.transient.iterations));
+    }
     const auto t4 = std::chrono::steady_clock::now();
     res.analysis_seconds = std::chrono::duration<double>(t4 - t3).count();
     res.total_seconds = std::chrono::duration<double>(t4 - t0).count();

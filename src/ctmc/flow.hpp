@@ -8,6 +8,7 @@
 #include "ctmc/state_space.hpp"
 #include "ctmc/uniformization.hpp"
 #include "support/telemetry.hpp"
+#include "support/tracer/tracer.hpp"
 
 namespace slimsim::ctmc {
 
@@ -15,6 +16,10 @@ struct FlowOptions {
     bool minimize = true; // apply bisimulation reduction (sigref step)
     BuildOptions build;
     TransientOptions transient;
+    /// Optional execution-trace lane: the flow phases (ctmc.explore,
+    /// ctmc.eliminate, ctmc.minimize, ctmc.transient) are recorded as spans
+    /// with the resulting state counts as arguments.
+    tracer::Lane* trace_lane = nullptr;
 };
 
 struct FlowResult {

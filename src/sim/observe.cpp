@@ -1,0 +1,46 @@
+#include "sim/observe.hpp"
+
+#include <cmath>
+
+#include "stat/bernoulli.hpp"
+
+namespace slimsim::sim {
+
+ProgressSnapshot make_progress_snapshot(std::uint64_t samples, std::uint64_t successes,
+                                        std::uint64_t required, double elapsed_seconds,
+                                        const ProgressOptions& options) {
+    ProgressSnapshot snap;
+    snap.samples = samples;
+    snap.successes = successes;
+    snap.required = required;
+    snap.elapsed_seconds = elapsed_seconds;
+    if (samples == 0) return snap;
+
+    stat::BernoulliSummary summary;
+    summary.count = samples;
+    summary.successes = successes;
+    snap.estimate = summary.mean();
+
+    const double z = stat::normal_quantile(1.0 - options.delta / 2.0);
+    if (samples >= 2) {
+        snap.half_width = z * std::sqrt(summary.variance() / static_cast<double>(samples));
+    }
+
+    // ETA: fixed criteria expose their sample count; for adaptive criteria
+    // extrapolate the Chow-Robbins stop point n ~= z^2 var / eps^2 from the
+    // current variance estimate.
+    double target = static_cast<double>(required);
+    if (required == 0 && options.eps > 0.0 && samples >= 2) {
+        target = std::ceil(z * z * summary.variance() / (options.eps * options.eps));
+    }
+    if (target > 0.0 && elapsed_seconds > 0.0) {
+        const double remaining = target - static_cast<double>(samples);
+        snap.eta_seconds =
+            remaining <= 0.0
+                ? 0.0
+                : elapsed_seconds * remaining / static_cast<double>(samples);
+    }
+    return snap;
+}
+
+} // namespace slimsim::sim

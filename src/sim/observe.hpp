@@ -1,0 +1,61 @@
+// Observability options shared by the estimation runners: witness-path
+// capture and live progress streaming. Kept free of heavy dependencies so
+// SimOptions can embed them (the path generator itself ignores both; the
+// runners act on them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace slimsim::sim {
+
+/// Witness capture: retain the first K accepting and first K non-accepting
+/// paths of a run (in accepted-sample order, so the selection is
+/// deterministic in (seed, workers)) as replayable sim::Trace objects.
+struct WitnessOptions {
+    /// Paths to keep per kind (accepting / non-accepting); 0 disables
+    /// witness capture entirely (the hot path then pays nothing).
+    std::size_t per_kind = 0;
+    /// Hard bound on the total retained trace text across all witnesses;
+    /// steps beyond the budget are dropped (Trace::set_byte_limit).
+    std::size_t max_bytes = 4u << 20;
+};
+
+/// One point of the live progress stream.
+struct ProgressSnapshot {
+    std::uint64_t samples = 0;
+    std::uint64_t successes = 0;
+    double estimate = 0.0;   // running p^
+    double half_width = 0.0; // CLT confidence-interval half-width at 1-delta
+    /// Samples the stop criterion requires (0 for adaptive criteria).
+    std::uint64_t required = 0;
+    double elapsed_seconds = 0.0;
+    /// Extrapolated seconds to completion; < 0 when unknown.
+    double eta_seconds = -1.0;
+};
+
+/// Invoked from the runner's consuming thread only, so callbacks can never
+/// perturb the deterministic (seed, workers) sample order. Throttled to
+/// min_interval_seconds; one final snapshot is always emitted at the end.
+using ProgressFn = std::function<void(const ProgressSnapshot&)>;
+
+struct ProgressOptions {
+    ProgressFn callback; // null = progress streaming off
+    double min_interval_seconds = 0.2;
+    /// Confidence parameters used for the half-width / ETA extrapolation;
+    /// run_analysis fills them from the request.
+    double delta = 0.05;
+    double eps = 0.01;
+};
+
+/// Derives the estimate, CI half-width and ETA for a snapshot. `required`
+/// is the criterion's a-priori sample count (0 = adaptive: the ETA is then
+/// extrapolated from the current variance via the Chow-Robbins stop rule).
+[[nodiscard]] ProgressSnapshot make_progress_snapshot(std::uint64_t samples,
+                                                      std::uint64_t successes,
+                                                      std::uint64_t required,
+                                                      double elapsed_seconds,
+                                                      const ProgressOptions& options);
+
+} // namespace slimsim::sim

@@ -29,6 +29,23 @@ EstimationResult estimate_parallel(const eda::Network& net,
     std::vector<std::uint64_t> generated(options.workers, 0);
     std::exception_ptr worker_error;
 
+    // Lanes are created in worker order *before* the threads start, so lane
+    // ids (the exported tid values) are deterministic in (seed, workers).
+    std::vector<tracer::Lane*> lanes(options.workers, nullptr);
+    if (options.tracer != nullptr && options.tracer->enabled()) {
+        for (std::size_t w = 0; w < options.workers; ++w) {
+            lanes[w] = options.tracer->lane("worker " + std::to_string(w));
+        }
+        collector.set_trace(options.tracer->lane("collector"));
+    }
+
+    const std::size_t witness_k = options.sim.witness.per_kind;
+    std::vector<WitnessBuffer> witness_buffers;
+    witness_buffers.reserve(options.workers);
+    for (std::size_t w = 0; w < options.workers; ++w) {
+        witness_buffers.emplace_back(witness_k);
+    }
+
     std::vector<std::thread> threads;
     threads.reserve(options.workers);
     for (std::size_t w = 0; w < options.workers; ++w) {
@@ -36,10 +53,17 @@ EstimationResult estimate_parallel(const eda::Network& net,
             try {
                 Rng rng = master.split(w);
                 const auto strat = make_strategy(strategy);
-                const PathGenerator gen(net, property, *strat, options.sim);
+                SimOptions sim_options = options.sim;
+                sim_options.trace_lane = lanes[w];
+                const PathGenerator gen(net, property, *strat, sim_options);
+                WitnessBuffer& witnesses = witness_buffers[w];
+                const bool capture = witnesses.active();
+                Rng pre_path(0);
                 std::uint64_t local_generated = 0;
                 while (!stop.load(std::memory_order_relaxed)) {
+                    if (capture && !witnesses.saturated()) pre_path = rng;
                     const PathOutcome out = gen.run(rng);
+                    if (capture) witnesses.offer(local_generated, pre_path, out);
                     ++local_generated;
                     collector.push(w, stat::TaggedSample{
                                           out.satisfied,
@@ -61,6 +85,14 @@ EstimationResult estimate_parallel(const eda::Network& net,
     std::vector<std::uint64_t> terminal_tags;
     const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
     std::uint64_t next_mark = 1;
+    // Progress callbacks fire from this consuming thread only, so they can
+    // never perturb the deterministic (seed, workers) sample order.
+    const ProgressFn& progress = options.sim.progress.callback;
+    auto last_progress = start;
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    };
     while (!stop.load(std::memory_order_relaxed)) {
         std::size_t consumed = 0;
         if (options.collection == CollectionMode::RoundRobin) {
@@ -74,6 +106,16 @@ EstimationResult estimate_parallel(const eda::Network& net,
             report->stop_trajectory.push_back({summary.count, required});
             while (next_mark <= summary.count) next_mark *= 2;
         }
+        if (progress && consumed > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            if (std::chrono::duration<double>(now - last_progress).count() >=
+                options.sim.progress.min_interval_seconds) {
+                progress(make_progress_snapshot(summary.count, summary.successes,
+                                                required, elapsed(),
+                                                options.sim.progress));
+                last_progress = now;
+            }
+        }
         if (consumed > 0 && criterion.should_stop(summary)) {
             stop.store(true);
             break;
@@ -84,6 +126,10 @@ EstimationResult estimate_parallel(const eda::Network& net,
     {
         std::lock_guard lock(merge_mutex);
         if (worker_error) std::rethrow_exception(worker_error);
+    }
+    if (progress) {
+        progress(make_progress_snapshot(summary.count, summary.successes, required,
+                                        elapsed(), options.sim.progress));
     }
 
     EstimationResult result;
@@ -99,6 +145,21 @@ EstimationResult estimate_parallel(const eda::Network& net,
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
+    const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
+    if (witness_k > 0) {
+        // Replay the selected paths on this thread with a fresh strategy
+        // instance of the same kind (strategies are stateless) and with
+        // instruments stripped, so replay does not double-count telemetry.
+        SimOptions replay_options = options.sim;
+        replay_options.recorder = nullptr;
+        replay_options.trace_lane = nullptr;
+        const auto replay_strat = make_strategy(strategy);
+        const PathGenerator replay_gen(net, property, *replay_strat, replay_options);
+        const auto selected = select_witness_paths(witness_buffers, accepted, witness_k);
+        result.witnesses =
+            replay_witnesses(replay_gen, selected, options.sim.witness.max_bytes);
+    }
+
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
             report->stop_trajectory.back().samples != summary.count) {
@@ -113,7 +174,6 @@ EstimationResult estimate_parallel(const eda::Network& net,
         report->workers = options.workers;
         report->terminals = terminal_histogram(result.terminals);
         report->collector = collector.stats();
-        const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
         report->worker_stats.clear();
         for (std::size_t w = 0; w < options.workers; ++w) {
             report->worker_stats.push_back(

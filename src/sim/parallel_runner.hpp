@@ -21,6 +21,12 @@ struct ParallelOptions {
     std::size_t workers = 4;
     CollectionMode collection = CollectionMode::RoundRobin;
     SimOptions sim;
+    /// Optional execution tracer: one lane per worker ("worker N") plus a
+    /// "collector" lane with round-boundary instant events. Worker lanes
+    /// are created in worker order before the threads start, so lane ids
+    /// are deterministic. sim.trace_lane is ignored in parallel runs (each
+    /// worker gets its own lane).
+    tracer::Tracer* tracer = nullptr;
 };
 
 /// Estimates P( <> [0,u] goal ) with k parallel workers. Each worker uses

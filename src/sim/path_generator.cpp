@@ -46,6 +46,16 @@ PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula
         c_delays_ = &rec->counter("sim.pure_delays");
         h_steps_ = &rec->histogram("sim.steps_per_path");
     }
+    if (tracer::Lane* lane = options_.trace_lane; lane != nullptr) {
+        lane_ = lane;
+        n_path_ = lane->intern("sim.path");
+        n_delay_ = lane->intern("sim.delay_sample");
+        n_choose_ = lane->intern("sim.strategy_choose");
+        n_fire_markov_ = lane->intern("sim.fire_markovian");
+        n_fire_strategy_ = lane->intern("sim.fire_strategy");
+        n_arg_steps_ = lane->intern("steps");
+        n_arg_count_ = lane->intern("count");
+    }
 }
 
 PathGenerator::MonitorResult PathGenerator::instant_verdict(
@@ -136,7 +146,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         out.end_time = s.time;
         out.steps = steps;
         if (trace != nullptr) {
-            trace->record(s.time, "path ends: " + to_string(terminal));
+            trace->set_result(s.time, to_string(terminal), satisfied);
         }
         return out;
     };
@@ -168,6 +178,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
     // Markovian race: earliest exponential among rate locations.
     double t_markov = kInf;
     eda::ProcessId markov_winner = -1;
+    if (lane_ != nullptr) lane_->begin(n_delay_);
     const auto rates = net_.markovian_rates(s);
     for (const auto& [proc, rate] : rates) {
         const double d = rng.exponential(rate);
@@ -176,6 +187,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
             markov_winner = proc;
         }
     }
+    if (lane_ != nullptr) lane_->end(n_arg_count_, static_cast<double>(rates.size()));
 
     const std::vector<eda::Candidate> cands = net_.candidates(s, window);
 
@@ -196,7 +208,11 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         }
     }
     if (!choice) {
+        if (lane_ != nullptr) lane_->begin(n_choose_);
         choice = strategy_.choose(net_, s, cands, window, rng);
+        if (lane_ != nullptr) {
+            lane_->end(n_arg_count_, static_cast<double>(cands.size()));
+        }
         if (choice && continue_policy) *sched_abs = s.time + choice->delay;
     }
     SLIMSIM_ASSERT(!choice || (choice->delay >= 0.0 && choice->delay <= window));
@@ -228,6 +244,9 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         const eda::StepInfo info = net_.execute_markovian(s, markov_winner, rng);
         if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
         if (c_markovian_ != nullptr) c_markovian_->add();
+        if (lane_ != nullptr) {
+            lane_->instant(n_fire_markov_, n_arg_steps_, static_cast<double>(steps + 1));
+        }
         ++steps;
         // Exponential memorylessness makes resampling unbiased; the
         // Continue policy only preserves the *strategy's* schedule.
@@ -247,6 +266,10 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
             if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
             if (sched_abs != nullptr) sched_abs->reset();
             if (c_strategy_ != nullptr) c_strategy_->add();
+            if (lane_ != nullptr) {
+                lane_->instant(n_fire_strategy_, n_arg_steps_,
+                               static_cast<double>(steps + 1));
+            }
         } else {
             if (trace != nullptr) trace->record(s.time, "delay (no transition chosen)");
             if (c_delays_ != nullptr) c_delays_->add();
@@ -292,12 +315,16 @@ PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
     std::optional<double> scheduled_abs; // Continue memory policy
     std::size_t steps = 0;
     if (trace != nullptr) trace->record(0.0, "initial " + describe_state(net_, s));
+    if (lane_ != nullptr) lane_->begin(n_path_);
     for (;;) {
         if (auto out = iterate(s, rng, steps, trace, &scheduled_abs)) {
             if (c_paths_ != nullptr) {
                 c_paths_->add();
                 c_steps_->add(out->steps);
                 h_steps_->add(out->steps);
+            }
+            if (lane_ != nullptr) {
+                lane_->end(n_arg_steps_, static_cast<double>(out->steps));
             }
             return *out;
         }

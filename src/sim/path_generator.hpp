@@ -17,10 +17,12 @@
 
 #include <array>
 
+#include "sim/observe.hpp"
 #include "sim/property.hpp"
 #include "sim/strategy.hpp"
 #include "sim/trace.hpp"
 #include "support/telemetry.hpp"
+#include "support/tracer/tracer.hpp"
 
 namespace slimsim::sim {
 
@@ -44,6 +46,15 @@ struct SimOptions {
     /// sim.paths, sim.steps, sim.markovian_steps, sim.strategy_steps,
     /// sim.pure_delays; histogram: sim.steps_per_path.
     telemetry::Recorder* recorder = nullptr;
+    /// Optional execution-trace lane; when null (default) path generation
+    /// pays a single branch per event. Spans recorded: sim.path (whole
+    /// path), sim.delay_sample (the Markovian race), sim.strategy_choose;
+    /// instants: sim.fire_markovian, sim.fire_strategy (docs/tracing.md).
+    tracer::Lane* trace_lane = nullptr;
+    /// Witness capture and progress streaming; acted on by the estimation
+    /// runners (the path generator itself ignores both).
+    WitnessOptions witness;
+    ProgressOptions progress;
 };
 
 enum class PathTerminal : std::uint8_t {
@@ -125,6 +136,15 @@ private:
     telemetry::Counter* c_strategy_ = nullptr;
     telemetry::Counter* c_delays_ = nullptr;
     telemetry::Histogram* h_steps_ = nullptr;
+    // Trace lane + interned event names, resolved once (lane null when off).
+    tracer::Lane* lane_ = nullptr;
+    tracer::NameId n_path_ = tracer::kNoName;
+    tracer::NameId n_delay_ = tracer::kNoName;
+    tracer::NameId n_choose_ = tracer::kNoName;
+    tracer::NameId n_fire_markov_ = tracer::kNoName;
+    tracer::NameId n_fire_strategy_ = tracer::kNoName;
+    tracer::NameId n_arg_steps_ = tracer::kNoName;
+    tracer::NameId n_arg_count_ = tracer::kNoName;
 };
 
 } // namespace slimsim::sim

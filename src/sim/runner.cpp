@@ -25,14 +25,63 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
     EstimationResult result;
     const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
     std::uint64_t next_mark = 1; // stop-criterion trajectory at powers of two
+
+    const bool capture = options.witness.per_kind > 0;
+    WitnessBuffer witness_buffer(options.witness.per_kind);
+    const ProgressFn& progress = options.progress.callback;
+    auto last_progress = start;
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    tracer::Span run_span(options.trace_lane,
+                          options.trace_lane != nullptr
+                              ? options.trace_lane->intern("sim.estimate")
+                              : tracer::kNoName);
+
+    Rng pre_path(0);
+    std::uint64_t path_index = 0;
     while (!criterion.should_stop(summary)) {
+        if (capture && !witness_buffer.saturated()) pre_path = rng;
         const PathOutcome out = gen.run(rng);
+        if (capture) witness_buffer.offer(path_index, pre_path, out);
+        ++path_index;
         summary.add(out.satisfied);
         ++result.terminals[static_cast<std::size_t>(out.terminal)];
         if (report != nullptr && summary.count == next_mark) {
             report->stop_trajectory.push_back({summary.count, required});
             next_mark *= 2;
         }
+        if (progress) {
+            const auto now = std::chrono::steady_clock::now();
+            if (std::chrono::duration<double>(now - last_progress).count() >=
+                options.progress.min_interval_seconds) {
+                progress(make_progress_snapshot(summary.count, summary.successes,
+                                                required, elapsed(), options.progress));
+                last_progress = now;
+            }
+        }
+    }
+    if (progress) {
+        progress(make_progress_snapshot(summary.count, summary.successes, required,
+                                        elapsed(), options.progress));
+    }
+    run_span.end();
+
+    if (capture) {
+        // Replay with instruments stripped so witnesses do not double-count
+        // telemetry or trace events.
+        SimOptions replay_options = options;
+        replay_options.recorder = nullptr;
+        replay_options.trace_lane = nullptr;
+        const PathGenerator replay_gen(net, property, strategy, replay_options);
+        const WitnessBuffer buffers[] = {witness_buffer};
+        const std::uint64_t accepted[] = {summary.count};
+        const auto selected =
+            select_witness_paths(buffers, accepted, options.witness.per_kind);
+        result.witnesses =
+            replay_witnesses(replay_gen, selected, options.witness.max_bytes);
     }
     result.estimate = summary.mean();
     result.samples = summary.count;

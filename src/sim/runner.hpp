@@ -4,6 +4,7 @@
 #include <array>
 
 #include "sim/path_generator.hpp"
+#include "sim/witness.hpp"
 #include "stat/generators.hpp"
 
 namespace slimsim::sim {
@@ -18,6 +19,10 @@ struct EstimationResult {
     std::string criterion;
     /// How each path terminated (indexed by PathTerminal).
     std::array<std::size_t, kPathTerminalCount> terminals{};
+    /// Captured witness paths (empty unless SimOptions::witness asks for
+    /// them): first K accepting then first K non-accepting, in accepted
+    /// order — deterministic in (seed, workers).
+    std::vector<Witness> witnesses;
 
     [[nodiscard]] std::string to_string() const;
 };

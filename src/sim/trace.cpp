@@ -9,6 +9,13 @@ std::string Trace::to_string() const {
     for (const auto& s : steps_) {
         os << "[t=" << s.time << "] " << s.description << '\n';
     }
+    if (omitted_ > 0) {
+        os << "... (" << omitted_ << " steps omitted: trace byte limit)\n";
+    }
+    if (finished_) {
+        os << "[t=" << end_time_ << "] path ends: " << terminal_ << " ("
+           << (satisfied_ ? "satisfied" : "not satisfied") << ")\n";
+    }
     return os.str();
 }
 

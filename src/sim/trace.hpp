@@ -15,15 +15,51 @@ struct TraceStep {
 
 class Trace {
 public:
+    /// Caps retained step text at `bytes` (0 = unlimited). Steps beyond the
+    /// budget are counted but not stored, so a pathological path cannot blow
+    /// up memory; the result fields are recorded regardless.
+    void set_byte_limit(std::size_t bytes) { byte_limit_ = bytes; }
+
     void record(double time, std::string description) {
+        if (byte_limit_ != 0 && bytes_ + description.size() > byte_limit_) {
+            ++omitted_;
+            return;
+        }
+        bytes_ += description.size() + sizeof(TraceStep);
         steps_.push_back({time, std::move(description)});
     }
 
+    /// Records how the path ended: the terminal ("goal", "time-bound", ...),
+    /// whether the formula was satisfied, and the final model time — so a
+    /// trace is self-contained (timeout vs goal-reached is explicit).
+    void set_result(double end_time, std::string terminal, bool satisfied) {
+        finished_ = true;
+        end_time_ = end_time;
+        terminal_ = std::move(terminal);
+        satisfied_ = satisfied;
+    }
+
     [[nodiscard]] const std::vector<TraceStep>& steps() const { return steps_; }
+    [[nodiscard]] bool finished() const { return finished_; }
+    [[nodiscard]] double end_time() const { return end_time_; }
+    [[nodiscard]] const std::string& terminal() const { return terminal_; }
+    [[nodiscard]] bool satisfied() const { return satisfied_; }
+    /// Steps dropped by the byte limit.
+    [[nodiscard]] std::size_t omitted() const { return omitted_; }
+    /// Approximate retained size of the recorded step text.
+    [[nodiscard]] std::size_t memory_bytes() const { return bytes_; }
+
     [[nodiscard]] std::string to_string() const;
 
 private:
     std::vector<TraceStep> steps_;
+    std::size_t byte_limit_ = 0;
+    std::size_t bytes_ = 0;
+    std::size_t omitted_ = 0;
+    bool finished_ = false;
+    bool satisfied_ = false;
+    double end_time_ = 0.0;
+    std::string terminal_;
 };
 
 /// Describes a fired step: "gps1: acquisition -> active [fix]; ...".

@@ -43,9 +43,20 @@ std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary, std::size_t
         for (std::size_t w = 0; w < buffers_.size(); ++w) {
             consume_locked(summary, w, tag_counts);
         }
+        if (lane_ != nullptr) {
+            lane_->instant(n_round_, n_arg_accepted_, static_cast<double>(accepted_));
+        }
     }
     rounds_ += rounds;
     return rounds * buffers_.size();
+}
+
+void SampleCollector::set_trace(tracer::Lane* lane) {
+    lane_ = lane;
+    if (lane_ != nullptr) {
+        n_round_ = lane_->intern("collector.round");
+        n_arg_accepted_ = lane_->intern("accepted");
+    }
 }
 
 std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary,

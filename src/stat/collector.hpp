@@ -22,6 +22,7 @@
 
 #include "stat/bernoulli.hpp"
 #include "support/telemetry.hpp"
+#include "support/tracer/tracer.hpp"
 
 namespace slimsim::stat {
 
@@ -67,6 +68,11 @@ public:
     /// round-based draining).
     [[nodiscard]] std::vector<std::uint64_t> consumed_per_worker() const;
 
+    /// Attaches an execution-trace lane: each consumed round emits a
+    /// "collector.round" instant event (arg: accepted samples so far). The
+    /// lane must be owned by the draining thread.
+    void set_trace(tracer::Lane* lane);
+
 private:
     void consume_locked(BernoulliSummary& summary, std::size_t worker,
                         std::vector<std::uint64_t>* tag_counts);
@@ -78,6 +84,9 @@ private:
     std::uint64_t accepted_ = 0;
     std::uint64_t rounds_ = 0;
     std::uint64_t max_buffered_ = 0;
+    tracer::Lane* lane_ = nullptr;
+    tracer::NameId n_round_ = tracer::kNoName;
+    tracer::NameId n_arg_accepted_ = tracer::kNoName;
 };
 
 } // namespace slimsim::stat

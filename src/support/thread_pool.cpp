@@ -1,14 +1,23 @@
 #include "support/thread_pool.hpp"
 
+#include <string>
+
 #include "support/diagnostics.hpp"
 
 namespace slimsim {
 
-ThreadPool::ThreadPool(std::size_t worker_count) {
+ThreadPool::ThreadPool(std::size_t worker_count, tracer::Tracer* tracer) {
     SLIMSIM_ASSERT(worker_count >= 1);
     workers_.reserve(worker_count);
+    tracer::NameId task_name = tracer::kNoName;
+    if (tracer != nullptr && tracer->enabled()) task_name = tracer->intern("pool.task");
     for (std::size_t i = 0; i < worker_count; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        tracer::Lane* lane =
+            tracer != nullptr && tracer->enabled()
+                ? tracer->lane("pool worker " + std::to_string(i))
+                : nullptr;
+        workers_.emplace_back(
+            [this, lane, task_name] { worker_loop(lane, task_name); });
     }
 }
 
@@ -34,7 +43,7 @@ void ThreadPool::wait_idle() {
     idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(tracer::Lane* lane, tracer::NameId task_name) {
     for (;;) {
         std::function<void()> task;
         {
@@ -45,7 +54,10 @@ void ThreadPool::worker_loop() {
             queue_.pop_front();
             ++active_;
         }
-        task();
+        {
+            tracer::Span span(lane, task_name);
+            task();
+        }
         {
             std::lock_guard lock(mutex_);
             --active_;

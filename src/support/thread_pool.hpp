@@ -12,12 +12,17 @@
 #include <thread>
 #include <vector>
 
+#include "support/tracer/tracer.hpp"
+
 namespace slimsim {
 
 class ThreadPool {
 public:
-    /// Spawns `worker_count` threads (at least 1).
-    explicit ThreadPool(std::size_t worker_count);
+    /// Spawns `worker_count` threads (at least 1). With a tracer, each
+    /// worker records its tasks as "pool.task" spans on a "pool worker N"
+    /// lane (lanes are created in worker order before the threads start,
+    /// so lane ids are deterministic).
+    explicit ThreadPool(std::size_t worker_count, tracer::Tracer* tracer = nullptr);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -32,7 +37,7 @@ public:
     void wait_idle();
 
 private:
-    void worker_loop();
+    void worker_loop(tracer::Lane* lane, tracer::NameId task_name);
 
     std::mutex mutex_;
     std::condition_variable wake_;

@@ -1,0 +1,185 @@
+#include "support/tracer/tracer.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::tracer {
+
+Lane::Lane(Tracer& tracer, std::uint32_t id, std::string label, std::size_t capacity,
+           std::chrono::steady_clock::time_point epoch)
+    : tracer_(&tracer), id_(id), label_(std::move(label)), epoch_(epoch),
+      capacity_(capacity) {
+    SLIMSIM_ASSERT(capacity_ >= 1);
+    open_.reserve(8);
+}
+
+NameId Lane::intern(std::string_view name) { return tracer_->intern(name); }
+
+std::int64_t Lane::now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void Lane::push(const Event& event) {
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+        ++total_;
+        return;
+    }
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+    ++total_;
+}
+
+void Lane::begin(NameId name) { open_.push_back({now_ns(), name}); }
+
+void Lane::end() { end(kNoName, 0.0); }
+
+void Lane::end(NameId arg_name, double arg) {
+    if (open_.empty()) return;
+    const OpenSpan span = open_.back();
+    open_.pop_back();
+    Event e;
+    e.ts_ns = span.ts_ns;
+    e.dur_ns = now_ns() - span.ts_ns;
+    if (e.dur_ns < 0) e.dur_ns = 0;
+    e.name = span.name;
+    e.arg_name = arg_name;
+    e.arg = arg;
+    push(e);
+}
+
+void Lane::instant(NameId name) { instant(name, kNoName, 0.0); }
+
+void Lane::instant(NameId name, NameId arg_name, double arg) {
+    Event e;
+    e.ts_ns = now_ns();
+    e.name = name;
+    e.arg_name = arg_name;
+    e.arg = arg;
+    push(e);
+}
+
+std::vector<Event> Lane::events() const {
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+        return out;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+Tracer::Tracer(Options options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+Lane* Tracer::lane(std::string_view label) {
+    if (!options_.enabled) return nullptr;
+    std::lock_guard lock(mutex_);
+    for (Lane& l : lanes_) {
+        if (l.label() == label) return &l;
+    }
+    const auto id = static_cast<std::uint32_t>(lanes_.size());
+    lanes_.emplace_back(
+        Lane(*this, id, std::string(label), options_.lane_capacity, epoch_));
+    return &lanes_.back();
+}
+
+NameId Tracer::intern(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return static_cast<NameId>(i);
+    }
+    SLIMSIM_ASSERT(names_.size() < kNoName);
+    names_.emplace_back(name);
+    return static_cast<NameId>(names_.size() - 1);
+}
+
+const std::string& Tracer::name(NameId id) const {
+    std::lock_guard lock(mutex_);
+    SLIMSIM_ASSERT(id < names_.size());
+    return names_[id];
+}
+
+json::Value Tracer::to_chrome_json() const {
+    std::lock_guard lock(mutex_);
+    json::Value events = json::Value::array();
+
+    auto base = [](std::string_view name, const char* ph, std::uint32_t tid) {
+        json::Value e = json::Value::object();
+        e["name"] = name;
+        e["ph"] = ph;
+        e["pid"] = 1;
+        e["tid"] = tid;
+        return e;
+    };
+
+    // Process + per-lane thread metadata first: named, ordered lanes.
+    {
+        json::Value meta = base("process_name", "M", 0);
+        meta["args"] = json::Value::object();
+        meta["args"]["name"] = "slimsim";
+        events.push_back(std::move(meta));
+    }
+    for (const Lane& lane : lanes_) {
+        json::Value meta = base("thread_name", "M", lane.id());
+        meta["args"] = json::Value::object();
+        meta["args"]["name"] = lane.label();
+        events.push_back(std::move(meta));
+        json::Value sort = base("thread_sort_index", "M", lane.id());
+        sort["args"] = json::Value::object();
+        sort["args"]["sort_index"] = lane.id();
+        events.push_back(std::move(sort));
+    }
+
+    for (const Lane& lane : lanes_) {
+        for (const Event& ev : lane.events()) {
+            const bool span = ev.dur_ns >= 0;
+            json::Value e = base(names_[ev.name], span ? "X" : "i", lane.id());
+            e["ts"] = static_cast<double>(ev.ts_ns) / 1000.0; // microseconds
+            if (span) {
+                e["dur"] = static_cast<double>(ev.dur_ns) / 1000.0;
+            } else {
+                e["s"] = "t"; // thread-scoped instant
+            }
+            if (ev.arg_name != kNoName) {
+                e["args"] = json::Value::object();
+                e["args"][names_[ev.arg_name]] = ev.arg;
+            }
+            events.push_back(std::move(e));
+        }
+        if (lane.dropped() > 0) {
+            json::Value e = base("tracer.dropped", "i", lane.id());
+            e["ts"] = 0.0;
+            e["s"] = "t";
+            e["args"] = json::Value::object();
+            e["args"]["events"] = lane.dropped();
+            events.push_back(std::move(e));
+        }
+    }
+
+    json::Value doc = json::Value::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    return doc;
+}
+
+json::Value deterministic_view(const json::Value& chrome_doc) {
+    json::Value out = chrome_doc;
+    const json::Value* events = chrome_doc.find("traceEvents");
+    if (events == nullptr || events->kind() != json::Kind::Array) return out;
+    json::Value scrubbed = json::Value::array();
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        json::Value e = events->at(i);
+        if (e.find("ts") != nullptr) e["ts"] = 0.0;
+        if (e.find("dur") != nullptr) e["dur"] = 0.0;
+        scrubbed.push_back(std::move(e));
+    }
+    out["traceEvents"] = std::move(scrubbed);
+    return out;
+}
+
+} // namespace slimsim::tracer

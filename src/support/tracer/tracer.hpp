@@ -1,0 +1,168 @@
+// Execution tracing: thread-aware span/instant events on per-lane bounded
+// ring buffers, exported as Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing).
+//
+// Design mirrors support/telemetry: instrumented code holds a plain
+// `Lane*`; a null lane costs one branch per event, so hot paths pay nearly
+// nothing when tracing is off. Recording takes no locks — each lane is
+// owned by exactly one thread at a time; creating lanes and interning event
+// names (setup-time operations) take the tracer mutex. Each lane keeps a
+// fixed-capacity ring of events: on overflow the oldest events are dropped
+// and the newest kept, so a bounded trace always shows the run's tail.
+//
+// Determinism contract (same as the run report, docs/run-report.md): event
+// names, arguments, per-lane ordering and counts are deterministic in
+// (seed, workers); only the "ts"/"dur" timestamp fields are wall-clock.
+// deterministic_view() strips them so traces can be diffed across runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace slimsim::tracer {
+
+/// Interned event-name handle (see Tracer::intern / Lane::intern).
+using NameId = std::uint16_t;
+inline constexpr NameId kNoName = 0xFFFF;
+
+/// One recorded event. dur_ns >= 0: completed span; dur_ns < 0: instant.
+struct Event {
+    std::int64_t ts_ns = 0;   // wall clock, ns since the tracer epoch
+    std::int64_t dur_ns = -1; // span duration; -1 for instant events
+    double arg = 0.0;         // numeric argument (valid iff arg_name != kNoName)
+    NameId name = kNoName;
+    NameId arg_name = kNoName;
+};
+
+class Tracer;
+
+/// One timeline (a worker thread, the collector, the CTMC flow, ...).
+/// Recording methods are lock-free and must only be called by the lane's
+/// owning thread; spans nest (begin/end pairs) within a lane.
+class Lane {
+public:
+    /// Interns `name` in the owning tracer (setup-time; takes the lock).
+    [[nodiscard]] NameId intern(std::string_view name);
+
+    /// Opens a span; close it with end(). Unclosed spans are discarded.
+    void begin(NameId name);
+    /// Closes the innermost open span, optionally attaching a numeric arg.
+    void end();
+    void end(NameId arg_name, double arg);
+    /// Records a zero-duration instant event.
+    void instant(NameId name);
+    void instant(NameId name, NameId arg_name, double arg);
+
+    [[nodiscard]] std::uint32_t id() const { return id_; }
+    [[nodiscard]] const std::string& label() const { return label_; }
+    /// Events ever recorded (kept + overwritten).
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    /// Oldest events overwritten by ring overflow.
+    [[nodiscard]] std::uint64_t dropped() const {
+        return total_ > ring_.size() ? total_ - ring_.size() : 0;
+    }
+    /// Retained events, oldest first.
+    [[nodiscard]] std::vector<Event> events() const;
+
+private:
+    friend class Tracer;
+    Lane(Tracer& tracer, std::uint32_t id, std::string label, std::size_t capacity,
+         std::chrono::steady_clock::time_point epoch);
+    [[nodiscard]] std::int64_t now_ns() const;
+    void push(const Event& event);
+
+    struct OpenSpan {
+        std::int64_t ts_ns = 0;
+        NameId name = kNoName;
+    };
+
+    Tracer* tracer_;
+    std::uint32_t id_;
+    std::string label_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::size_t capacity_;
+    std::vector<Event> ring_; // grows to capacity_, then wraps
+    std::size_t next_ = 0;    // ring write position once full
+    std::uint64_t total_ = 0;
+    std::vector<OpenSpan> open_;
+};
+
+/// RAII span over an optional lane; a null lane makes it a no-op.
+class Span {
+public:
+    Span(Lane* lane, NameId name) : lane_(lane) {
+        if (lane_ != nullptr) lane_->begin(name);
+    }
+    ~Span() { end(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Closes the span now, optionally with a numeric argument.
+    void end() {
+        if (lane_ == nullptr) return;
+        lane_->end();
+        lane_ = nullptr;
+    }
+    void end(NameId arg_name, double arg) {
+        if (lane_ == nullptr) return;
+        lane_->end(arg_name, arg);
+        lane_ = nullptr;
+    }
+
+private:
+    Lane* lane_;
+};
+
+/// The trace sink: owns lanes and the interned name table. Create lanes in
+/// deterministic order (before spawning the threads that use them) so lane
+/// ids — and thus the exported tid values — are stable across runs.
+class Tracer {
+public:
+    struct Options {
+        bool enabled = true;
+        /// Ring capacity per lane, in events (newest kept on overflow).
+        std::size_t lane_capacity = 1 << 16;
+    };
+
+    // Two constructors instead of `Options options = {}`: GCC rejects
+    // brace-init default arguments of a nested class with member
+    // initializers while the enclosing class is incomplete.
+    Tracer() : Tracer(Options{}) {}
+    explicit Tracer(Options options);
+
+    [[nodiscard]] bool enabled() const { return options_.enabled; }
+
+    /// Returns the lane labelled `label`, creating it on first use; null
+    /// when tracing is disabled (instrumentation then short-circuits).
+    [[nodiscard]] Lane* lane(std::string_view label);
+
+    /// Interns an event name; ids are assigned in interning order.
+    [[nodiscard]] NameId intern(std::string_view name);
+
+    [[nodiscard]] const std::string& name(NameId id) const;
+
+    /// The Chrome trace-event document: {"traceEvents": [...], ...} with
+    /// one tid per lane, thread_name metadata, "X" spans and "i" instants.
+    /// Call after all recording threads have finished.
+    [[nodiscard]] json::Value to_chrome_json() const;
+
+private:
+    mutable std::mutex mutex_;
+    Options options_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::deque<Lane> lanes_; // deque: lane addresses stay valid as it grows
+    std::vector<std::string> names_;
+};
+
+/// Copy of a Chrome trace document with the wall-clock "ts"/"dur" fields
+/// zeroed: the remainder is deterministic in (seed, workers).
+[[nodiscard]] json::Value deterministic_view(const json::Value& chrome_doc);
+
+} // namespace slimsim::tracer

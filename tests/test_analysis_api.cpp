@@ -192,6 +192,156 @@ TEST_F(AnalysisApiTest, ReportJsonRoundTripsThroughParser) {
     EXPECT_EQ(doc.at("analysis").at("workers").as_uint(), 1u);
 }
 
+TEST_F(AnalysisApiTest, WitnessCaptureReturnsBothKinds) {
+    AnalysisRequest req = base_request();
+    req.witness.per_kind = 2;
+    const AnalysisResult res = run_analysis(net, req);
+    const auto& witnesses = res.estimation.witnesses;
+    ASSERT_FALSE(witnesses.empty());
+    std::size_t accepting = 0;
+    std::size_t rejecting = 0;
+    for (const sim::Witness& w : witnesses) {
+        // The replayed trace agrees with the outcome captured live.
+        EXPECT_TRUE(w.trace.finished());
+        EXPECT_EQ(w.trace.satisfied(), w.outcome.satisfied);
+        EXPECT_EQ(w.trace.end_time(), w.outcome.end_time);
+        (w.outcome.satisfied ? accepting : rejecting) += 1;
+    }
+    // True p ~ 0.63: both outcomes occur well within the sample budget.
+    EXPECT_EQ(accepting, 2u);
+    EXPECT_EQ(rejecting, 2u);
+    // Accepting witnesses come first, each kind in path-index order.
+    EXPECT_TRUE(witnesses[0].outcome.satisfied);
+    EXPECT_LE(witnesses[0].path_index, witnesses[1].path_index);
+}
+
+TEST_F(AnalysisApiTest, WitnessCaptureIsDeterministic) {
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+        AnalysisRequest req = base_request();
+        req.witness.per_kind = 1;
+        if (workers > 1) {
+            req.mode = AnalysisMode::EstimateParallel;
+            req.workers = workers;
+        }
+        const AnalysisResult a = run_analysis(net, req);
+        const AnalysisResult b = run_analysis(net, req);
+        ASSERT_EQ(a.estimation.witnesses.size(), b.estimation.witnesses.size())
+            << workers << " workers";
+        for (std::size_t i = 0; i < a.estimation.witnesses.size(); ++i) {
+            const sim::Witness& wa = a.estimation.witnesses[i];
+            const sim::Witness& wb = b.estimation.witnesses[i];
+            EXPECT_EQ(wa.worker, wb.worker);
+            EXPECT_EQ(wa.path_index, wb.path_index);
+            // Byte-identical witness text for the same (seed, workers).
+            EXPECT_EQ(wa.trace.to_string(), wb.trace.to_string())
+                << workers << " workers, witness " << i;
+        }
+    }
+}
+
+TEST_F(AnalysisApiTest, WitnessCaptureDoesNotPerturbTheEstimate) {
+    AnalysisRequest req = base_request();
+    const AnalysisResult plain = run_analysis(net, req);
+    req.witness.per_kind = 2;
+    const AnalysisResult with = run_analysis(net, req);
+    EXPECT_EQ(plain.value, with.value);
+    EXPECT_EQ(plain.estimation.samples, with.estimation.samples);
+    // Replay does not double-count engine telemetry: sim.paths still
+    // matches the sample count.
+    const auto paths =
+        std::find_if(with.report.counters.begin(), with.report.counters.end(),
+                     [](const auto& c) { return c.first == "sim.paths"; });
+    ASSERT_NE(paths, with.report.counters.end());
+    EXPECT_EQ(paths->second, with.report.samples);
+}
+
+TEST_F(AnalysisApiTest, TracerRecordsLanesPerMode) {
+    // Sequential estimation: one "main" lane with sim.path spans.
+    {
+        tracer::Tracer tracer;
+        AnalysisRequest req = base_request();
+        req.tracer = &tracer;
+        (void)run_analysis(net, req);
+        tracer::Lane* main_lane = tracer.lane("main");
+        ASSERT_NE(main_lane, nullptr);
+        EXPECT_GT(main_lane->total(), 0u);
+    }
+    // Parallel estimation: per-worker lanes plus the collector lane, in
+    // deterministic id order.
+    {
+        tracer::Tracer tracer;
+        AnalysisRequest req = base_request();
+        req.mode = AnalysisMode::EstimateParallel;
+        req.workers = 2;
+        req.tracer = &tracer;
+        (void)run_analysis(net, req);
+        tracer::Lane* w0 = tracer.lane("worker 0");
+        tracer::Lane* w1 = tracer.lane("worker 1");
+        tracer::Lane* coll = tracer.lane("collector");
+        ASSERT_NE(w0, nullptr);
+        ASSERT_NE(w1, nullptr);
+        ASSERT_NE(coll, nullptr);
+        EXPECT_EQ(w0->id(), 0u);
+        EXPECT_EQ(w1->id(), 1u);
+        EXPECT_EQ(coll->id(), 2u);
+        EXPECT_GT(w0->total(), 0u);
+        EXPECT_GT(w1->total(), 0u);
+        EXPECT_GT(coll->total(), 0u);
+        const json::Value doc = tracer.to_chrome_json();
+        EXPECT_EQ(json::Value::parse(doc.dump()), doc);
+    }
+    // Disabled tracer attached: no lanes are created.
+    {
+        tracer::Tracer::Options off;
+        off.enabled = false;
+        tracer::Tracer tracer(off);
+        AnalysisRequest req = base_request();
+        req.tracer = &tracer;
+        (void)run_analysis(net, req);
+        EXPECT_EQ(tracer.to_chrome_json().at("traceEvents").size(), 1u);
+    }
+}
+
+TEST_F(AnalysisApiTest, ProgressCallbackStreamsMonotonically) {
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+        AnalysisRequest req = base_request();
+        if (workers > 1) {
+            req.mode = AnalysisMode::EstimateParallel;
+            req.workers = workers;
+        }
+        std::vector<sim::ProgressSnapshot> snaps;
+        req.progress.callback = [&](const sim::ProgressSnapshot& p) {
+            snaps.push_back(p);
+        };
+        req.progress.min_interval_seconds = 0.0; // every round
+        const AnalysisResult res = run_analysis(net, req);
+        ASSERT_FALSE(snaps.empty()) << workers << " workers";
+        std::uint64_t prev = 0;
+        for (const sim::ProgressSnapshot& p : snaps) {
+            EXPECT_GE(p.samples, prev);
+            prev = p.samples;
+            EXPECT_LE(p.successes, p.samples);
+            EXPECT_GE(p.half_width, 0.0);
+        }
+        // The final snapshot is always emitted and matches the result.
+        EXPECT_EQ(snaps.back().samples, res.estimation.samples);
+        EXPECT_EQ(snaps.back().successes, res.estimation.successes);
+        EXPECT_EQ(snaps.back().required, res.estimation.samples);
+    }
+}
+
+TEST_F(AnalysisApiTest, ProgressSnapshotMath) {
+    sim::ProgressOptions opt;
+    opt.delta = 0.05;
+    const sim::ProgressSnapshot p = sim::make_progress_snapshot(100, 50, 400, 1.0, opt);
+    EXPECT_EQ(p.samples, 100u);
+    EXPECT_EQ(p.estimate, 0.5);
+    // CLT half-width at 95%: 1.96 * sqrt(0.25/100) ~ 0.098.
+    EXPECT_NEAR(p.half_width, 0.098, 0.002);
+    // Fixed criterion: ETA extrapolates run rate to the remaining samples.
+    EXPECT_NEAR(p.eta_seconds, 3.0, 1e-9);
+}
+
 TEST_F(AnalysisApiTest, ToStringCarriesHeadline) {
     const AnalysisResult res = run_analysis(net, base_request());
     const std::string text = res.to_string();

@@ -3,7 +3,9 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <unistd.h>
@@ -96,13 +98,56 @@ TEST_F(CliTest, EstimateWithPattern) {
     EXPECT_NE(res.output.find("~="), std::string::npos);
 }
 
-TEST_F(CliTest, TraceMode) {
+TEST_F(CliTest, PathsMode) {
     const CliResult res =
-        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --trace 2 --seed 5");
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --paths 2 --seed 5");
     EXPECT_EQ(res.exit_code, 0);
     EXPECT_NE(res.output.find("--- path 1:"), std::string::npos);
     EXPECT_NE(res.output.find("--- path 2:"), std::string::npos);
     EXPECT_NE(res.output.find("path ends:"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFileMode) {
+    const std::string trace = "cli_trace_" + std::to_string(getpid()) + ".json";
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
+                "--seed 5 --trace " + trace);
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("wrote execution trace"), std::string::npos);
+    std::ifstream in(trace);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("sim.path"), std::string::npos);
+    std::remove(trace.c_str());
+}
+
+TEST_F(CliTest, WitnessMode) {
+    const std::string dir = "cli_witness_" + std::to_string(getpid());
+    // Bound 60 s sits inside the [10,120] s acquisition window: the default
+    // progressive strategy yields both accepting and rejecting paths.
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 60 --eps 0.1 "
+                "--seed 5 --witness " + dir);
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("witness path(s)"), std::string::npos);
+    // Both outcomes occur at this bound; each kind is exported as text and
+    // as VCD.
+    EXPECT_TRUE(std::ifstream(dir + "/accepting-1.txt").good());
+    EXPECT_TRUE(std::ifstream(dir + "/accepting-1.vcd").good());
+    EXPECT_TRUE(std::ifstream(dir + "/rejecting-1.txt").good());
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+TEST_F(CliTest, ProgressFlag) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
+                "--seed 5 --progress");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("samples"), std::string::npos);
+    EXPECT_NE(res.output.find("p^ ="), std::string::npos);
 }
 
 TEST_F(CliTest, CtmcMode) {

@@ -1,0 +1,198 @@
+// Tests of the execution tracer: ring-buffer overflow semantics, the
+// disabled-tracer no-op path, and the Chrome trace-event JSON export.
+#include "support/tracer/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace slimsim::tracer {
+namespace {
+
+Tracer::Options small(std::size_t capacity) {
+    Tracer::Options o;
+    o.lane_capacity = capacity;
+    return o;
+}
+
+TEST(Tracer, LaneRecordsSpansAndInstants) {
+    Tracer tracer;
+    Lane* lane = tracer.lane("main");
+    ASSERT_NE(lane, nullptr);
+    const NameId work = lane->intern("work");
+    const NameId tick = lane->intern("tick");
+    const NameId count = lane->intern("count");
+
+    lane->begin(work);
+    lane->instant(tick);
+    lane->end(count, 3.0);
+
+    const auto events = lane->events();
+    ASSERT_EQ(events.size(), 2u);
+    // The instant completes first; the span is recorded when it closes.
+    EXPECT_EQ(tracer.name(events[0].name), "tick");
+    EXPECT_LT(events[0].dur_ns, 0);
+    EXPECT_EQ(tracer.name(events[1].name), "work");
+    EXPECT_GE(events[1].dur_ns, 0);
+    EXPECT_EQ(tracer.name(events[1].arg_name), "count");
+    EXPECT_EQ(events[1].arg, 3.0);
+    EXPECT_EQ(lane->total(), 2u);
+    EXPECT_EQ(lane->dropped(), 0u);
+}
+
+TEST(Tracer, RingOverflowKeepsNewest) {
+    Tracer tracer(small(4));
+    Lane* lane = tracer.lane("ring");
+    ASSERT_NE(lane, nullptr);
+    const NameId tick = lane->intern("tick");
+    const NameId n = lane->intern("n");
+    for (int i = 0; i < 10; ++i) {
+        lane->instant(tick, n, static_cast<double>(i));
+    }
+    EXPECT_EQ(lane->total(), 10u);
+    EXPECT_EQ(lane->dropped(), 6u);
+    const auto events = lane->events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest first, and only the newest four survive.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].arg, 6.0 + i);
+    }
+}
+
+TEST(Tracer, DisabledTracerHandsOutNullLanes) {
+    Tracer::Options off;
+    off.enabled = false;
+    Tracer tracer(off);
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_EQ(tracer.lane("main"), nullptr);
+    // Null-lane spans are the no-op fast path instrumented code relies on.
+    Span span(nullptr, kNoName);
+    span.end(kNoName, 1.0);
+    span.end();
+    const json::Value doc = tracer.to_chrome_json();
+    ASSERT_NE(doc.find("traceEvents"), nullptr);
+}
+
+TEST(Tracer, SpansNestWithinALane) {
+    Tracer tracer;
+    Lane* lane = tracer.lane("nest");
+    const NameId outer = lane->intern("outer");
+    const NameId inner = lane->intern("inner");
+    lane->begin(outer);
+    lane->begin(inner);
+    lane->end();
+    lane->end();
+    const auto events = lane->events();
+    ASSERT_EQ(events.size(), 2u);
+    // Inner closes first; both are complete spans with inner nested inside.
+    EXPECT_EQ(tracer.name(events[0].name), "inner");
+    EXPECT_EQ(tracer.name(events[1].name), "outer");
+    EXPECT_GE(events[0].ts_ns, events[1].ts_ns);
+    EXPECT_LE(events[0].ts_ns + events[0].dur_ns, events[1].ts_ns + events[1].dur_ns);
+}
+
+TEST(Tracer, LaneLookupIsByLabel) {
+    Tracer tracer;
+    Lane* a = tracer.lane("worker 0");
+    Lane* b = tracer.lane("worker 1");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tracer.lane("worker 0"), a);
+    EXPECT_EQ(a->id(), 0u);
+    EXPECT_EQ(b->id(), 1u);
+    EXPECT_EQ(a->label(), "worker 0");
+}
+
+TEST(Tracer, ChromeJsonSchema) {
+    Tracer tracer;
+    Lane* lane = tracer.lane("worker 0");
+    const NameId work = lane->intern("work");
+    const NameId tick = lane->intern("tick");
+    const NameId n = lane->intern("n");
+    lane->begin(work);
+    lane->end(n, 7.0);
+    lane->instant(tick);
+
+    const json::Value doc = tracer.to_chrome_json();
+    // Round-trips through the parser (valid JSON).
+    EXPECT_EQ(json::Value::parse(doc.dump()), doc);
+    EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+
+    const json::Value& events = doc.at("traceEvents");
+    ASSERT_GE(events.size(), 4u); // >= 2 metadata + span + instant
+    bool saw_thread_name = false;
+    bool saw_span = false;
+    bool saw_instant = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        ASSERT_NE(e.find("ph"), nullptr);
+        ASSERT_NE(e.find("pid"), nullptr);
+        const std::string& ph = e.at("ph").as_string();
+        if (ph == "M" && e.at("name").as_string() == "thread_name") {
+            saw_thread_name =
+                e.at("args").at("name").as_string() == "worker 0";
+        } else if (ph == "X") {
+            saw_span = true;
+            EXPECT_EQ(e.at("name").as_string(), "work");
+            EXPECT_NE(e.find("ts"), nullptr);
+            EXPECT_GE(e.at("dur").as_double(), 0.0);
+            EXPECT_EQ(e.at("args").at("n").as_double(), 7.0);
+        } else if (ph == "i") {
+            saw_instant = true;
+            EXPECT_EQ(e.at("name").as_string(), "tick");
+            EXPECT_EQ(e.at("s").as_string(), "t");
+        }
+    }
+    EXPECT_TRUE(saw_thread_name);
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_instant);
+}
+
+TEST(Tracer, DroppedEventsAreSurfacedInTheExport) {
+    Tracer tracer(small(2));
+    Lane* lane = tracer.lane("busy");
+    const NameId tick = lane->intern("tick");
+    for (int i = 0; i < 5; ++i) lane->instant(tick);
+    const json::Value doc = tracer.to_chrome_json();
+    bool saw_dropped = false;
+    const json::Value& events = doc.at("traceEvents");
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        if (e.at("name").as_string() == "tracer.dropped") {
+            saw_dropped = true;
+            EXPECT_EQ(e.at("args").at("events").as_double(), 3.0);
+        }
+    }
+    EXPECT_TRUE(saw_dropped);
+}
+
+TEST(Tracer, DeterministicViewZeroesTimestamps) {
+    Tracer tracer;
+    Lane* lane = tracer.lane("main");
+    const NameId work = lane->intern("work");
+    lane->begin(work);
+    lane->end();
+    lane->instant(work);
+    const json::Value det = deterministic_view(tracer.to_chrome_json());
+    const json::Value& events = det.at("traceEvents");
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        if (e.find("ts") != nullptr) EXPECT_EQ(e.at("ts").as_double(), 0.0);
+        if (e.find("dur") != nullptr) EXPECT_EQ(e.at("dur").as_double(), 0.0);
+    }
+}
+
+TEST(Tracer, UnclosedSpansAreDiscarded) {
+    Tracer tracer;
+    Lane* lane = tracer.lane("main");
+    lane->begin(lane->intern("never closed"));
+    // Still open: nothing recorded yet, so an abandoned span never shows.
+    EXPECT_EQ(lane->events().size(), 0u);
+    EXPECT_EQ(lane->total(), 0u);
+    // end() without any matching begin() is ignored rather than corrupting.
+    lane->end();
+    lane->end();
+    EXPECT_EQ(lane->total(), 1u);
+}
+
+} // namespace
+} // namespace slimsim::tracer

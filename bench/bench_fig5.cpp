@@ -1,13 +1,17 @@
 // Fig. 5: launcher failure probability over the mission time, per strategy.
 //
 //   $ ./bench_fig5 [--variant permanent|recoverable|both] [--eps E]
-//                  [--delta D] [--mission MIN]
+//                  [--delta D] [--mission MIN] [--grid N]
 //
 // Left graph (permanent DPU faults): all strategies coincide.
 // Right graph (recoverable DPU faults): ASAP repairs too early and loses
 // DPUs for good, MaxTime always repairs in time; Local/Progressive land in
-// between. Each strategy runs N paths to the full mission horizon; the
-// curve P( <> [0,u] failure ) is the empirical CDF of goal-hit times.
+// between. Each strategy's whole curve P( <> [0,u] failure ) comes from ONE
+// engine run in shared-path curve mode (sim::estimate_curve); a local
+// re-simulation of the same per-path RNG streams cross-checks the engine
+// points against the empirical CDF of goal-hit times. The speedup section
+// compares that one run against the K independent single-bound runs it
+// replaces.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -22,45 +26,78 @@ namespace {
 
 using namespace slimsim;
 
-std::vector<double> hit_times(const eda::Network& net, const sim::TimedReachability& prop,
-                              sim::StrategyKind kind, std::size_t paths,
-                              std::uint64_t seed) {
+std::vector<double> uniform_grid(double u_max, std::size_t k) {
+    std::vector<double> grid;
+    grid.reserve(k);
+    for (std::size_t i = 1; i <= k; ++i) {
+        grid.push_back(u_max * static_cast<double>(i) / static_cast<double>(k));
+    }
+    return grid;
+}
+
+/// Empirical CDF cross-check: re-simulates the exact per-path streams the
+/// curve engine used (Rng(seed).split(j)) and counts hits per bound by hand.
+/// Returns true iff every grid point matches the engine's successes exactly.
+bool cross_check(const eda::Network& net, const sim::TimedReachability& prop,
+                 sim::StrategyKind kind, std::uint64_t seed,
+                 const std::vector<double>& grid, const sim::CurveResult& res) {
     auto strat = sim::make_strategy(kind);
     const sim::PathGenerator gen(net, prop, *strat);
-    Rng rng(seed);
+    const Rng master(seed);
     std::vector<double> hits;
-    for (std::size_t i = 0; i < paths; ++i) {
+    for (std::uint64_t j = 0; j < res.samples; ++j) {
+        Rng rng = master.split(j);
         const sim::PathOutcome out = gen.run(rng);
         if (out.satisfied) hits.push_back(out.end_time);
     }
     std::sort(hits.begin(), hits.end());
-    return hits;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto expected = static_cast<std::uint64_t>(
+            std::upper_bound(hits.begin(), hits.end(), grid[i]) - hits.begin());
+        if (res.points[i].successes != expected) return false;
+    }
+    return true;
 }
 
 void run_variant(bool recoverable, double delta, double eps, double mission_min,
-                 std::FILE* csv, benchio::Report& report) {
+                 std::size_t grid_points, std::FILE* csv, benchio::Report& report) {
     models::LauncherOptions opt;
     opt.recoverable_dpu = recoverable;
     const eda::Network net = eda::build_network_from_source(models::launcher_source(opt));
     const double u_max = mission_min * 60.0;
     const sim::TimedReachability prop =
         sim::make_reachability(net.model(), models::launcher_goal(), u_max);
-    const std::size_t n = stat::ChernoffHoeffding::sample_count(delta, eps);
+    const std::vector<double> grid = uniform_grid(u_max, grid_points);
 
-    std::printf("\n== Fig. 5 %s: %s DPU faults (N = %zu paths per strategy) ==\n",
+    // The DKW band gives the whole grid simultaneous 1-delta confidence at
+    // the single-bound Chernoff-Hoeffding sample count — the curve is free.
+    const stat::ChernoffHoeffding criterion(
+        stat::per_bound_delta(stat::BandKind::DKW, delta, grid.size()), eps);
+    sim::CurveOptions co;
+    co.bounds = grid;
+    co.delta = delta;
+
+    std::printf("\n== Fig. 5 %s: %s DPU faults (N = %zu shared paths per strategy, "
+                "%zu-point curve) ==\n",
                 recoverable ? "right" : "left",
-                recoverable ? "recoverable" : "permanent", n);
+                recoverable ? "recoverable" : "permanent",
+                stat::ChernoffHoeffding::sample_count(delta, eps), grid.size());
     std::printf("%-10s", "u [min]");
     const auto strategies = sim::automated_strategies();
     for (const auto k : strategies) std::printf("  %-12s", sim::to_string(k).c_str());
     std::printf("\n");
 
-    std::vector<std::vector<double>> hits;
+    std::vector<sim::CurveResult> curves;
+    bool all_exact = true;
     for (std::size_t si = 0; si < strategies.size(); ++si) {
-        hits.push_back(hit_times(net, prop, strategies[si], n, 1000 + si));
+        const std::uint64_t seed = 1000 + si;
+        curves.push_back(
+            sim::estimate_curve(net, prop, strategies[si], criterion, co, seed));
+        all_exact = all_exact &&
+                    cross_check(net, prop, strategies[si], seed, grid, curves.back());
     }
-    for (double frac = 0.125; frac <= 1.0001; frac += 0.125) {
-        const double u = frac * u_max;
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+        const double u = grid[gi];
         std::printf("%-10.0f", u / 60.0);
         if (csv != nullptr) {
             std::fprintf(csv, "%s,%g", recoverable ? "recoverable" : "permanent",
@@ -70,10 +107,7 @@ void run_variant(bool recoverable, double delta, double eps, double mission_min,
         row["variant"] = recoverable ? "recoverable" : "permanent";
         row["u_min"] = u / 60.0;
         for (std::size_t si = 0; si < strategies.size(); ++si) {
-            const auto& h = hits[si];
-            const auto count = static_cast<double>(
-                std::upper_bound(h.begin(), h.end(), u) - h.begin());
-            const double p = count / static_cast<double>(n);
+            const double p = curves[si].points[gi].estimate;
             std::printf("  %-12.4f", p);
             if (csv != nullptr) std::fprintf(csv, ",%.6f", p);
             row[sim::to_string(strategies[si])] = p;
@@ -82,12 +116,78 @@ void run_variant(bool recoverable, double delta, double eps, double mission_min,
         std::printf("\n");
         if (csv != nullptr) std::fprintf(csv, "\n");
     }
+    std::printf("cross-check vs empirical hit-time CDF: %s\n",
+                all_exact ? "exact" : "MISMATCH");
+    if (!all_exact) report.root()["cross_check_failed"] = true;
     if (recoverable) {
         std::puts("expected: asap >= local >= progressive >= maxtime (pointwise),"
                   " with clear asap/maxtime separation");
     } else {
         std::puts("expected: all four curves coincide within eps");
     }
+}
+
+/// One shared-path curve run vs the K independent single-bound runs it
+/// replaces (permanent variant, Progressive strategy). Writes the "speedup"
+/// section CI validates.
+void measure_speedup(double delta, double eps, double mission_min,
+                     std::size_t grid_points, benchio::Report& report) {
+    models::LauncherOptions opt;
+    opt.recoverable_dpu = false;
+    const eda::Network net = eda::build_network_from_source(models::launcher_source(opt));
+    const double u_max = mission_min * 60.0;
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::launcher_goal(), u_max);
+    const std::vector<double> grid = uniform_grid(u_max, grid_points);
+    const std::uint64_t seed = 4242;
+
+    const stat::ChernoffHoeffding criterion(
+        stat::per_bound_delta(stat::BandKind::DKW, delta, grid.size()), eps);
+    sim::CurveOptions co;
+    co.bounds = grid;
+    co.delta = delta;
+
+    sim::CurveResult curve;
+    const benchio::Timing curve_t = benchio::measure(
+        [&] {
+            curve = sim::estimate_curve(net, prop, sim::StrategyKind::Progressive,
+                                        criterion, co, seed);
+        },
+        1, 0);
+    const bool exact = cross_check(net, prop, sim::StrategyKind::Progressive, seed,
+                                   grid, curve);
+
+    // Baseline: what the old workflow costs — one full estimation per bound.
+    const stat::ChernoffHoeffding single(delta, eps);
+    const benchio::Timing repeated_t = benchio::measure(
+        [&] {
+            for (const double u : grid) {
+                sim::TimedReachability p = prop;
+                p.bound = u;
+                (void)sim::estimate(net, p, sim::StrategyKind::Progressive, single, seed);
+            }
+        },
+        1, 0);
+
+    const double factor = curve_t.min_seconds > 0.0
+                              ? repeated_t.min_seconds / curve_t.min_seconds
+                              : 0.0;
+    std::printf("\n== speedup: %zu-point curve, one shared-path run vs %zu "
+                "independent runs ==\n",
+                grid.size(), grid.size());
+    std::printf("curve run:     %.3f s (%zu paths)\n", curve_t.min_seconds,
+                curve.samples);
+    std::printf("repeated runs: %.3f s\n", repeated_t.min_seconds);
+    std::printf("speedup:       %.1fx, cross-check %s\n", factor,
+                exact ? "exact" : "MISMATCH");
+
+    json::Value sp = json::Value::object();
+    sp["grid_points"] = static_cast<std::uint64_t>(grid.size());
+    sp["curve_seconds"] = curve_t.min_seconds;
+    sp["repeated_seconds"] = repeated_t.min_seconds;
+    sp["factor"] = factor;
+    sp["cross_check"] = exact ? "exact" : "mismatch";
+    report.root()["speedup"] = std::move(sp);
 }
 
 } // namespace
@@ -99,6 +199,7 @@ int main(int argc, char** argv) {
         double eps = 0.02;
         double delta = 0.1;
         double mission_min = 120.0;
+        std::size_t grid_points = 16;
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
                 variant = argv[++i];
@@ -110,16 +211,23 @@ int main(int argc, char** argv) {
                 delta = std::stod(argv[++i]);
             } else if (std::strcmp(argv[i], "--mission") == 0 && i + 1 < argc) {
                 mission_min = std::stod(argv[++i]);
+            } else if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+                grid_points = static_cast<std::size_t>(std::stoul(argv[++i]));
             } else {
                 std::fprintf(stderr, "unknown argument %s\n", argv[i]);
                 return 2;
             }
+        }
+        if (grid_points == 0) {
+            std::fprintf(stderr, "--grid must be positive\n");
+            return 2;
         }
         benchio::Report report("fig5");
         report.param("variant", variant);
         report.param("eps", eps);
         report.param("delta", delta);
         report.param("mission_min", mission_min);
+        report.param("grid", static_cast<std::uint64_t>(grid_points));
         std::FILE* csv = nullptr;
         if (!csv_path.empty()) {
             csv = std::fopen(csv_path.c_str(), "w");
@@ -130,11 +238,12 @@ int main(int argc, char** argv) {
             std::fputs("variant,u_min,asap,progressive,local,maxtime\n", csv);
         }
         if (variant == "permanent" || variant == "both") {
-            run_variant(false, delta, eps, mission_min, csv, report);
+            run_variant(false, delta, eps, mission_min, grid_points, csv, report);
         }
         if (variant == "recoverable" || variant == "both") {
-            run_variant(true, delta, eps, mission_min, csv, report);
+            run_variant(true, delta, eps, mission_min, grid_points, csv, report);
         }
+        measure_speedup(delta, eps, mission_min, grid_points, report);
         if (csv != nullptr) {
             std::fclose(csv);
             std::printf("\nwrote %s\n", csv_path.c_str());

@@ -31,6 +31,16 @@ std::string AnalysisResult::to_string() const {
     switch (mode) {
     case AnalysisMode::Estimate:
     case AnalysisMode::EstimateParallel: {
+        if (!curve.points.empty()) {
+            os << "P( " << report.property << " ) ~= " << value
+               << " at the largest bound\n"
+               << curve.to_string() << "\n"
+               << "terminals:";
+            for (const auto& [name, n] : sim::terminal_histogram(curve.terminals)) {
+                os << " " << name << "=" << n;
+            }
+            break;
+        }
         os << "P( " << report.property << " ) ~= " << value << "\n"
            << estimation.to_string() << "\n"
            << "terminals:";
@@ -82,31 +92,67 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     case AnalysisMode::Estimate: {
         report.params.emplace_back("delta", request.delta);
         report.params.emplace_back("eps", request.eps);
-        const auto criterion =
-            stat::make_criterion(request.criterion, request.delta, request.eps);
+        // Curve mode tightens the per-bound delta so the whole grid carries
+        // simultaneous 1-delta confidence (no-op for the DKW band).
+        const bool curve_mode = !request.curve_bounds.empty();
+        const auto criterion = stat::make_criterion(
+            request.criterion,
+            curve_mode ? stat::per_bound_delta(request.curve_band, request.delta,
+                                               request.curve_bounds.size())
+                       : request.delta,
+            request.eps);
+        sim_options.progress.min_samples = criterion->min_sample_count();
         if (tracer != nullptr) sim_options.trace_lane = tracer->lane("main");
         const auto t0 = std::chrono::steady_clock::now();
-        result.estimation = sim::estimate(net, request.property, request.strategy,
-                                          *criterion, request.seed, sim_options, rp);
+        if (curve_mode) {
+            sim::CurveOptions co;
+            co.bounds = request.curve_bounds;
+            co.band = request.curve_band;
+            co.delta = request.delta;
+            result.curve = sim::estimate_curve(net, request.property, request.strategy,
+                                               *criterion, co, request.seed, sim_options,
+                                               rp);
+            result.value = result.curve.points.back().estimate;
+        } else {
+            result.estimation = sim::estimate(net, request.property, request.strategy,
+                                              *criterion, request.seed, sim_options, rp);
+            result.value = result.estimation.estimate;
+        }
         report.phases.push_back({"simulate", seconds_since(t0)});
-        result.value = result.estimation.estimate;
         break;
     }
     case AnalysisMode::EstimateParallel: {
         report.params.emplace_back("delta", request.delta);
         report.params.emplace_back("eps", request.eps);
-        const auto criterion =
-            stat::make_criterion(request.criterion, request.delta, request.eps);
+        const bool curve_mode = !request.curve_bounds.empty();
+        const auto criterion = stat::make_criterion(
+            request.criterion,
+            curve_mode ? stat::per_bound_delta(request.curve_band, request.delta,
+                                               request.curve_bounds.size())
+                       : request.delta,
+            request.eps);
+        sim_options.progress.min_samples = criterion->min_sample_count();
         sim::ParallelOptions po;
         po.workers = request.workers;
         po.collection = request.collection;
         po.sim = sim_options;
         po.tracer = tracer;
         const auto t0 = std::chrono::steady_clock::now();
-        result.estimation = sim::estimate_parallel(net, request.property, request.strategy,
-                                                   *criterion, request.seed, po, rp);
+        if (curve_mode) {
+            sim::CurveOptions co;
+            co.bounds = request.curve_bounds;
+            co.band = request.curve_band;
+            co.delta = request.delta;
+            result.curve =
+                sim::estimate_curve_parallel(net, request.property, request.strategy,
+                                             *criterion, co, request.seed, po, rp);
+            result.value = result.curve.points.back().estimate;
+        } else {
+            result.estimation = sim::estimate_parallel(
+                net, request.property, request.strategy, *criterion, request.seed, po, rp);
+            result.value = result.estimation.estimate;
+        }
         report.phases.push_back({"simulate", seconds_since(t0)});
-        result.value = result.estimation.estimate;
         break;
     }
     case AnalysisMode::HypothesisTest: {
@@ -151,6 +197,16 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         switch (request.mode) {
         case AnalysisMode::Estimate:
         case AnalysisMode::EstimateParallel:
+            if (!result.curve.points.empty()) {
+                report.samples = result.curve.samples;
+                report.successes = result.curve.points.back().successes;
+                report.strategy = result.curve.strategy;
+                report.criterion = result.curve.criterion;
+                report.terminals = sim::terminal_histogram(result.curve.terminals);
+                report.curve = {result.curve.band, result.curve.simultaneous_eps,
+                                result.curve.points};
+                break;
+            }
             report.samples = result.estimation.samples;
             report.successes = result.estimation.successes;
             report.strategy = result.estimation.strategy;

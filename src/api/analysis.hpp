@@ -48,6 +48,21 @@ struct AnalysisRequest {
     sim::CollectionMode collection = sim::CollectionMode::RoundRobin;
     sim::SimOptions sim;
 
+    /// Multi-bound curve estimation (Estimate / EstimateParallel): when
+    /// non-empty, the engine estimates P( <> [0,u] goal ) for every bound of
+    /// this strictly ascending grid from ONE shared path set — each path
+    /// runs to the largest bound and its first goal-hit time decides every
+    /// bound at once. Bounds must lie in (0, property.bound]; requires a
+    /// Reach property with lo == 0. Results land in AnalysisResult::curve
+    /// and the report's "curve" section; the headline value is the largest
+    /// bound's estimate. The stop criterion is built with
+    /// stat::per_bound_delta(curve_band, delta, K) so the whole curve
+    /// carries simultaneous 1-delta confidence. Per-path RNG streams make
+    /// curve results byte-identical across worker counts. Witness capture is
+    /// not supported in curve mode.
+    std::vector<double> curve_bounds;
+    stat::BandKind curve_band = stat::BandKind::DKW;
+
     // HypothesisTest.
     double threshold = 0.5;
     double indifference = 0.01;
@@ -99,6 +114,7 @@ struct AnalysisResult {
     double value = 0.0;
 
     sim::EstimationResult estimation; // Estimate / EstimateParallel
+    sim::CurveResult curve;           // estimation modes with curve_bounds set
     sim::HypothesisResult hypothesis; // HypothesisTest
     ctmc::FlowResult flow;            // CtmcFlow
 

@@ -47,11 +47,18 @@ void usage() {
         "\n"
         "analysis (default: Monte Carlo simulation):\n"
         "  --strategy NAME      asap | progressive (default) | local | maxtime | input\n"
-        "  --delta D            1 - confidence (default 0.05)\n"
-        "  --eps E              error bound (default 0.01)\n"
+        "  --delta D            1 - confidence, in (0,1) (default 0.05)\n"
+        "  --eps E              error bound, in (0,1) (default 0.01)\n"
         "  --criterion NAME     ch (default) | gauss | chow-robbins\n"
         "  --seed N             RNG seed (default 1)\n"
         "  --workers K          parallel workers (default 1 = sequential)\n"
+        "  --curve U1,U2,...    estimate the whole curve P( <> [0,u] goal ) at the\n"
+        "                       given ascending bounds from ONE shared path set\n"
+        "  --curve-grid N       same, over a uniform N-point grid up to --bound\n"
+        "  --curve-band NAME    simultaneous confidence band over the grid:\n"
+        "                       dkw (default) | bonferroni\n"
+        "  --curve-csv FILE     also write the curve as CSV\n"
+        "                       (header: bound,estimate,successes,samples)\n"
         "  --paths N            print N simulated paths instead of estimating\n"
         "  --deadlock POLICY    falsify (default) | error\n"
         "  --timelock POLICY    falsify (default) | error\n"
@@ -81,6 +88,22 @@ void usage() {
         "                       as text + VCD witness files under DIR\n"
         "  --progress           stream live progress (samples, estimate, CI\n"
         "                       half-width, ETA) to stderr while estimating\n");
+}
+
+/// Validates confidence-style flags at the CLI boundary so a bad value
+/// yields one diagnostic naming the flag instead of a bare engine error.
+double parse_unit_interval(const std::string& text, const char* flag) {
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+        value = std::stod(text, &used);
+    } catch (const std::exception&) {
+        used = 0;
+    }
+    if (used != text.size() || !(value > 0.0 && value < 1.0)) {
+        throw Error(std::string(flag) + " expects a value in (0,1), got `" + text + "`");
+    }
+    return value;
 }
 
 double parse_duration(const std::string& text) {
@@ -163,6 +186,10 @@ int run(int argc, char** argv) {
     std::string json_path;
     std::string trace_path;
     std::string witness_dir;
+    std::string curve_list;
+    std::size_t curve_grid = 0;
+    std::string curve_band_name = "dkw";
+    std::string curve_csv_path;
     bool show_progress = false;
     bool show_report = false;
     bool telemetry = true;
@@ -187,15 +214,23 @@ int run(int argc, char** argv) {
         } else if (arg == "--strategy") {
             strategy_name = need_value(i, "--strategy");
         } else if (arg == "--delta") {
-            delta = std::stod(need_value(i, "--delta"));
+            delta = parse_unit_interval(need_value(i, "--delta"), "--delta");
         } else if (arg == "--eps") {
-            eps = std::stod(need_value(i, "--eps"));
+            eps = parse_unit_interval(need_value(i, "--eps"), "--eps");
         } else if (arg == "--criterion") {
             criterion_name = need_value(i, "--criterion");
         } else if (arg == "--seed") {
             seed = std::stoull(need_value(i, "--seed"));
         } else if (arg == "--workers") {
             workers = std::stoul(need_value(i, "--workers"));
+        } else if (arg == "--curve") {
+            curve_list = need_value(i, "--curve");
+        } else if (arg == "--curve-grid") {
+            curve_grid = std::stoul(need_value(i, "--curve-grid"));
+        } else if (arg == "--curve-band") {
+            curve_band_name = need_value(i, "--curve-band");
+        } else if (arg == "--curve-csv") {
+            curve_csv_path = need_value(i, "--curve-csv");
         } else if (arg == "--paths") {
             trace_paths = std::stoul(need_value(i, "--paths"));
         } else if (arg == "--trace") {
@@ -386,6 +421,37 @@ int run(int argc, char** argv) {
         throw Error("unknown criterion `" + criterion_name + "`");
     }
 
+    // Curve mode: a grid of bounds, all estimated from one shared path set.
+    if (!curve_list.empty() && curve_grid > 0) {
+        throw Error("--curve and --curve-grid are mutually exclusive");
+    }
+    if (!curve_list.empty()) {
+        std::stringstream items(curve_list);
+        std::string item;
+        while (std::getline(items, item, ',')) {
+            if (!item.empty()) req.curve_bounds.push_back(parse_duration(item));
+        }
+        if (req.curve_bounds.empty()) throw Error("--curve expects at least one bound");
+    } else if (curve_grid > 0) {
+        for (std::size_t i = 1; i <= curve_grid; ++i) {
+            req.curve_bounds.push_back(prop.bound * static_cast<double>(i) /
+                                       static_cast<double>(curve_grid));
+        }
+    }
+    if (!req.curve_bounds.empty()) {
+        if (use_ctmc || test_threshold >= 0.0) {
+            throw Error("--curve is an estimation mode (not --ctmc / --test)");
+        }
+        if (curve_band_name == "bonferroni") {
+            req.curve_band = stat::BandKind::Bonferroni;
+        } else if (curve_band_name != "dkw") {
+            throw Error("unknown curve band `" + curve_band_name +
+                        "` (dkw | bonferroni)");
+        }
+    } else if (!curve_csv_path.empty()) {
+        throw Error("--curve-csv needs --curve or --curve-grid");
+    }
+
     if (use_ctmc) {
         req.mode = AnalysisMode::CtmcFlow;
         req.flow.minimize = minimize;
@@ -406,6 +472,13 @@ int run(int argc, char** argv) {
     if (!json_path.empty() && json_path != "-") {
         json_out.open(json_path);
         if (!json_out) throw Error("cannot open `" + json_path + "` for writing");
+    }
+    std::ofstream curve_csv_out;
+    if (!curve_csv_path.empty()) {
+        curve_csv_out.open(curve_csv_path);
+        if (!curve_csv_out) {
+            throw Error("cannot open `" + curve_csv_path + "` for writing");
+        }
     }
     std::ofstream trace_out;
     tracer::Tracer tracer(tracer::Tracer::Options{!trace_path.empty(), 1 << 16});
@@ -476,6 +549,15 @@ int run(int argc, char** argv) {
         std::printf("wrote %zu witness path(s) (%zu accepting, %zu non-accepting) to %s\n",
                     res.estimation.witnesses.size(), n_accepting, n_rejecting,
                     witness_dir.c_str());
+    }
+    if (!curve_csv_path.empty()) {
+        curve_csv_out << "bound,estimate,successes,samples\n";
+        for (const auto& p : res.curve.points) {
+            curve_csv_out << p.bound << ',' << p.estimate << ',' << p.successes << ','
+                          << res.curve.samples << '\n';
+        }
+        std::printf("wrote curve CSV %s (%zu bounds)\n", curve_csv_path.c_str(),
+                    res.curve.points.size());
     }
     std::printf("%s\n", res.to_string().c_str());
     if (show_report) std::fputs(res.report.to_text().c_str(), stdout);

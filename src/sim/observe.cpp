@@ -32,6 +32,9 @@ ProgressSnapshot make_progress_snapshot(std::uint64_t samples, std::uint64_t suc
     double target = static_cast<double>(required);
     if (required == 0 && options.eps > 0.0 && samples >= 2) {
         target = std::ceil(z * z * summary.variance() / (options.eps * options.eps));
+        // An adaptive criterion cannot legally stop before its sample floor,
+        // however tight the variance extrapolation already looks.
+        target = std::max(target, static_cast<double>(options.min_samples));
     }
     if (target > 0.0 && elapsed_seconds > 0.0) {
         const double remaining = target - static_cast<double>(samples);

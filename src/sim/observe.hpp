@@ -47,6 +47,11 @@ struct ProgressOptions {
     /// run_analysis fills them from the request.
     double delta = 0.05;
     double eps = 0.01;
+    /// Sample floor of an adaptive stop criterion (StopCriterion::
+    /// min_sample_count); the ETA extrapolation never targets fewer samples,
+    /// so it cannot report 0 while the criterion is still barred from
+    /// stopping. run_analysis fills it from the criterion.
+    std::uint64_t min_samples = 0;
 };
 
 /// Derives the estimate, CI half-width and ETA for a snapshot. `required`

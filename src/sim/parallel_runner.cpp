@@ -190,4 +190,159 @@ EstimationResult estimate_parallel(const eda::Network& net,
     return estimate_parallel(net, property, strategy, criterion, seed, options, nullptr);
 }
 
+CurveResult estimate_curve_parallel(const eda::Network& net,
+                                    const TimedReachability& property,
+                                    StrategyKind strategy,
+                                    const stat::StopCriterion& criterion,
+                                    const CurveOptions& curve, std::uint64_t seed,
+                                    const ParallelOptions& options,
+                                    telemetry::RunReport* report) {
+    if (strategy == StrategyKind::Input) {
+        throw Error("the input strategy cannot be used in parallel runs");
+    }
+    if (options.workers < 1) throw Error("worker count must be at least 1");
+    validate_curve_request(property, curve);
+
+    const auto start = std::chrono::steady_clock::now();
+    // Paths only need to run to the largest requested bound.
+    TimedReachability horizon = property;
+    horizon.bound = curve.bounds.back();
+    const Rng master(seed);
+    const std::size_t k = options.workers;
+    stat::SampleCollector collector(k);
+    std::atomic<bool> stop{false};
+
+    std::mutex merge_mutex;
+    std::vector<std::uint64_t> generated(k, 0);
+    std::exception_ptr worker_error;
+
+    std::vector<tracer::Lane*> lanes(k, nullptr);
+    if (options.tracer != nullptr && options.tracer->enabled()) {
+        for (std::size_t w = 0; w < k; ++w) {
+            lanes[w] = options.tracer->lane("worker " + std::to_string(w));
+        }
+        collector.set_trace(options.tracer->lane("collector"));
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (std::size_t w = 0; w < k; ++w) {
+        threads.emplace_back([&, w] {
+            try {
+                const auto strat = make_strategy(strategy);
+                SimOptions sim_options = options.sim;
+                sim_options.trace_lane = lanes[w];
+                const PathGenerator gen(net, horizon, *strat, sim_options);
+                std::uint64_t local_generated = 0;
+                // Worker w owns the global path indices w, w+k, w+2k, ...;
+                // each path gets its own RNG stream, so sample r of worker w
+                // is the same path for every worker count.
+                for (std::uint64_t j = w; !stop.load(std::memory_order_relaxed); j += k) {
+                    Rng rng = master.split(j);
+                    const PathOutcome out = gen.run(rng);
+                    ++local_generated;
+                    collector.push(w, stat::TaggedSample{
+                                          out.satisfied,
+                                          static_cast<std::uint8_t>(out.terminal),
+                                          out.end_time});
+                }
+                std::lock_guard lock(merge_mutex);
+                generated[w] = local_generated;
+            } catch (...) {
+                std::lock_guard lock(merge_mutex);
+                if (!worker_error) worker_error = std::current_exception();
+                stop.store(true);
+            }
+        });
+    }
+
+    stat::CurveSummary summary(curve.bounds);
+    stat::BernoulliSummary last; // the largest bound (sim horizon == u_max)
+    std::vector<std::uint64_t> terminal_tags;
+    const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
+    std::uint64_t next_mark = 1;
+    const ProgressFn& progress = options.sim.progress.callback;
+    auto last_progress = start;
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    while (!stop.load(std::memory_order_relaxed)) {
+        // Sample-granular ordered draining: the criterion is consulted after
+        // every sample, so the run stops at exactly the same accepted prefix
+        // as a sequential run — even when the final count is mid-round.
+        const std::size_t consumed = collector.drain_ordered(
+            last, summary, &terminal_tags,
+            [&] { return criterion.should_stop_curve(summary); });
+        if (report != nullptr && consumed > 0 && summary.count() >= next_mark) {
+            report->stop_trajectory.push_back({summary.count(), required});
+            while (next_mark <= summary.count()) next_mark *= 2;
+        }
+        if (progress && consumed > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            if (std::chrono::duration<double>(now - last_progress).count() >=
+                options.sim.progress.min_interval_seconds) {
+                progress(make_progress_snapshot(summary.count(), last.successes, required,
+                                                elapsed(), options.sim.progress));
+                last_progress = now;
+            }
+        }
+        if (consumed > 0 && criterion.should_stop_curve(summary)) {
+            stop.store(true);
+            break;
+        }
+        if (consumed == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (auto& t : threads) t.join();
+    {
+        std::lock_guard lock(merge_mutex);
+        if (worker_error) std::rethrow_exception(worker_error);
+    }
+    if (progress) {
+        progress(make_progress_snapshot(summary.count(), last.successes, required,
+                                        elapsed(), options.sim.progress));
+    }
+
+    CurveResult result;
+    result.points = curve_points(summary);
+    result.samples = summary.count();
+    result.band = stat::to_string(curve.band);
+    result.simultaneous_eps = stat::simultaneous_half_width(curve.band, curve.delta,
+                                                            summary.size(), result.samples);
+    result.strategy = to_string(strategy);
+    result.criterion = criterion.name();
+    for (std::size_t t = 0; t < terminal_tags.size() && t < result.terminals.size(); ++t) {
+        result.terminals[t] = terminal_tags[t];
+    }
+    result.peak_rss_bytes = peak_rss_bytes();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    if (report != nullptr) {
+        if (report->stop_trajectory.empty() ||
+            report->stop_trajectory.back().samples != result.samples) {
+            report->stop_trajectory.push_back({result.samples, required});
+        }
+        report->value = result.points.back().estimate;
+        report->samples = result.samples;
+        report->successes = last.successes;
+        report->strategy = result.strategy;
+        report->criterion = result.criterion;
+        report->seed = seed;
+        report->workers = k;
+        report->terminals = terminal_histogram(result.terminals);
+        report->collector = collector.stats();
+        report->worker_stats.clear();
+        const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
+        for (std::size_t w = 0; w < k; ++w) {
+            // In curve mode streams are per path; stream id w stands for the
+            // worker's family {w, w+k, w+2k, ...}.
+            report->worker_stats.push_back(
+                telemetry::WorkerStats{w, w, generated[w], accepted[w]});
+        }
+        report->curve = {result.band, result.simultaneous_eps, result.points};
+    }
+    return result;
+}
+
 } // namespace slimsim::sim

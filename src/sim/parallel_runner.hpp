@@ -53,4 +53,22 @@ struct ParallelOptions {
                                                  std::uint64_t seed,
                                                  const ParallelOptions& options = {});
 
+/// Parallel multi-bound curve estimation. Unlike estimate_parallel, RNG
+/// streams are per *path*, not per worker: worker w of k simulates paths
+/// j = w, w+k, w+2k, ... each with stream split(seed, j), and the collector
+/// consumes at sample granularity in global path order (drain_ordered), so
+/// the accepted set, the stop point, and hence every curve point are
+/// byte-identical for every worker count — a strictly stronger guarantee
+/// than estimate_parallel's per-fixed-k determinism. Witness capture and the
+/// FirstCome collection mode are not supported in curve mode
+/// (ParallelOptions::collection and sim.witness are ignored).
+[[nodiscard]] CurveResult estimate_curve_parallel(const eda::Network& net,
+                                                  const TimedReachability& property,
+                                                  StrategyKind strategy,
+                                                  const stat::StopCriterion& criterion,
+                                                  const CurveOptions& curve,
+                                                  std::uint64_t seed,
+                                                  const ParallelOptions& options = {},
+                                                  telemetry::RunReport* report = nullptr);
+
 } // namespace slimsim::sim

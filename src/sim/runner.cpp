@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "support/diagnostics.hpp"
 #include "support/memprobe.hpp"
 
 namespace slimsim::sim {
@@ -123,6 +124,141 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                           telemetry::RunReport* report) {
     const auto strat = make_strategy(strategy);
     return estimate(net, property, *strat, criterion, seed, options, report);
+}
+
+std::string CurveResult::to_string() const {
+    std::ostringstream os;
+    os << "curve over " << points.size() << " bounds (" << samples
+       << " shared paths, strategy " << strategy << ", " << criterion << ", " << band
+       << " band +-" << simultaneous_eps << ", " << wall_seconds << " s)";
+    for (const auto& p : points) {
+        os << "\n  u = " << p.bound << "  p^ = " << p.estimate << "  (" << p.successes
+           << "/" << samples << ")";
+    }
+    return os.str();
+}
+
+void validate_curve_request(const TimedReachability& property, const CurveOptions& curve) {
+    if (property.kind != FormulaKind::Reach || property.lo != 0.0) {
+        throw Error("curve estimation supports plain timed reachability "
+                    "P( <> [0,u] goal ) only");
+    }
+    if (curve.bounds.empty()) throw Error("curve estimation needs at least one bound");
+    double prev = 0.0;
+    for (const double b : curve.bounds) {
+        if (!(b > prev)) throw Error("curve bounds must be positive and strictly ascending");
+        prev = b;
+    }
+    if (curve.bounds.back() > property.bound) {
+        throw Error("curve bounds must not exceed the property's time bound");
+    }
+}
+
+std::vector<telemetry::CurvePoint> curve_points(const stat::CurveSummary& summary) {
+    std::vector<telemetry::CurvePoint> out;
+    out.reserve(summary.size());
+    for (std::size_t i = 0; i < summary.size(); ++i) {
+        out.push_back({summary.bounds()[i], summary.successes(i), summary.estimate(i)});
+    }
+    return out;
+}
+
+CurveResult estimate_curve(const eda::Network& net, const TimedReachability& property,
+                           Strategy& strategy, const stat::StopCriterion& criterion,
+                           const CurveOptions& curve, std::uint64_t seed,
+                           const SimOptions& options, telemetry::RunReport* report) {
+    validate_curve_request(property, curve);
+    const auto start = std::chrono::steady_clock::now();
+    // Paths only need to run to the largest requested bound; the hit time of
+    // a path simulated to u_max decides every smaller bound at once.
+    TimedReachability horizon = property;
+    horizon.bound = curve.bounds.back();
+    PathGenerator gen(net, horizon, strategy, options);
+    const Rng master(seed);
+    stat::CurveSummary summary(curve.bounds);
+    stat::BernoulliSummary last; // the largest bound; drives progress/trajectory
+    CurveResult result;
+    const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
+    std::uint64_t next_mark = 1; // stop-criterion trajectory at powers of two
+
+    const ProgressFn& progress = options.progress.callback;
+    auto last_progress = start;
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    tracer::Span run_span(options.trace_lane,
+                          options.trace_lane != nullptr
+                              ? options.trace_lane->intern("sim.estimate_curve")
+                              : tracer::kNoName);
+
+    std::uint64_t path_index = 0;
+    while (!criterion.should_stop_curve(summary)) {
+        // Per-path RNG streams: path j simulates with split(seed, j)
+        // whatever the worker count, so curve results never depend on it.
+        Rng rng = master.split(path_index);
+        const PathOutcome out = gen.run(rng);
+        ++path_index;
+        summary.add(out.satisfied, out.end_time);
+        last.add(out.satisfied);
+        ++result.terminals[static_cast<std::size_t>(out.terminal)];
+        if (report != nullptr && summary.count() == next_mark) {
+            report->stop_trajectory.push_back({summary.count(), required});
+            next_mark *= 2;
+        }
+        if (progress) {
+            const auto now = std::chrono::steady_clock::now();
+            if (std::chrono::duration<double>(now - last_progress).count() >=
+                options.progress.min_interval_seconds) {
+                progress(make_progress_snapshot(summary.count(), last.successes, required,
+                                                elapsed(), options.progress));
+                last_progress = now;
+            }
+        }
+    }
+    if (progress) {
+        progress(make_progress_snapshot(summary.count(), last.successes, required,
+                                        elapsed(), options.progress));
+    }
+    run_span.end();
+
+    result.points = curve_points(summary);
+    result.samples = summary.count();
+    result.band = stat::to_string(curve.band);
+    result.simultaneous_eps = stat::simultaneous_half_width(curve.band, curve.delta,
+                                                            summary.size(), result.samples);
+    result.strategy = strategy.name();
+    result.criterion = criterion.name();
+    result.peak_rss_bytes = peak_rss_bytes();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (report != nullptr) {
+        if (report->stop_trajectory.empty() ||
+            report->stop_trajectory.back().samples != result.samples) {
+            report->stop_trajectory.push_back({result.samples, required});
+        }
+        report->value = result.points.back().estimate;
+        report->samples = result.samples;
+        report->successes = last.successes;
+        report->strategy = result.strategy;
+        report->criterion = result.criterion;
+        report->seed = seed;
+        report->workers = 1;
+        report->terminals = terminal_histogram(result.terminals);
+        report->worker_stats = {
+            telemetry::WorkerStats{0, 0, result.samples, result.samples}};
+        report->curve = {result.band, result.simultaneous_eps, result.points};
+    }
+    return result;
+}
+
+CurveResult estimate_curve(const eda::Network& net, const TimedReachability& property,
+                           StrategyKind strategy, const stat::StopCriterion& criterion,
+                           const CurveOptions& curve, std::uint64_t seed,
+                           const SimOptions& options, telemetry::RunReport* report) {
+    const auto strat = make_strategy(strategy);
+    return estimate_curve(net, property, *strat, criterion, curve, seed, options, report);
 }
 
 } // namespace slimsim::sim

@@ -5,6 +5,7 @@
 
 #include "sim/path_generator.hpp"
 #include "sim/witness.hpp"
+#include "stat/curve.hpp"
 #include "stat/generators.hpp"
 
 namespace slimsim::sim {
@@ -53,5 +54,68 @@ struct EstimationResult {
                                         const stat::StopCriterion& criterion,
                                         std::uint64_t seed, const SimOptions& options = {},
                                         telemetry::RunReport* report = nullptr);
+
+/// Multi-bound curve estimation: one shared path set serves a whole grid of
+/// time bounds (the paper's Fig. 5 workload).
+struct CurveOptions {
+    /// Strictly ascending bounds; each must lie in (0, property.bound].
+    /// Paths are simulated to u_max = bounds.back(): the curve is the
+    /// first-hit distribution under the u_max-horizon scheduler.
+    std::vector<double> bounds;
+    /// Simultaneous-confidence construction over the grid.
+    stat::BandKind band = stat::BandKind::DKW;
+    /// 1 - confidence of the simultaneous band (reporting only; build the
+    /// stop criterion with stat::per_bound_delta(band, delta, K) yourself).
+    double delta = 0.05;
+};
+
+struct CurveResult {
+    std::vector<telemetry::CurvePoint> points; // one per grid bound, ascending
+    std::size_t samples = 0;                   // shared by every bound
+    std::string band;
+    /// Achieved half-width of the simultaneous confidence band at `samples`.
+    double simultaneous_eps = 0.0;
+    std::string strategy;
+    std::string criterion;
+    std::array<std::size_t, kPathTerminalCount> terminals{};
+    double wall_seconds = 0.0;
+    std::size_t peak_rss_bytes = 0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Throws Error unless `property` is plain timed reachability (Reach with
+/// lo == 0) and the grid is strictly ascending within (0, property.bound].
+void validate_curve_request(const TimedReachability& property, const CurveOptions& curve);
+
+/// Estimates the whole curve { P( <> [0,u_i] goal ) } from ONE path set:
+/// each path runs to u_max = bounds.back() and its first goal-hit time
+/// decides every bound at once (monotonicity), so a K-point curve costs one
+/// run instead of K. Path j always simulates with the RNG stream
+/// Rng(seed).split(j) — per-PATH streams, so curve results are
+/// byte-identical for every worker count, not just deterministic at a fixed
+/// one. Witness capture is not supported in curve mode (SimOptions::witness
+/// is ignored).
+[[nodiscard]] CurveResult estimate_curve(const eda::Network& net,
+                                         const TimedReachability& property,
+                                         Strategy& strategy,
+                                         const stat::StopCriterion& criterion,
+                                         const CurveOptions& curve, std::uint64_t seed,
+                                         const SimOptions& options = {},
+                                         telemetry::RunReport* report = nullptr);
+
+/// Convenience overload constructing the strategy from its kind.
+[[nodiscard]] CurveResult estimate_curve(const eda::Network& net,
+                                         const TimedReachability& property,
+                                         StrategyKind strategy,
+                                         const stat::StopCriterion& criterion,
+                                         const CurveOptions& curve, std::uint64_t seed,
+                                         const SimOptions& options = {},
+                                         telemetry::RunReport* report = nullptr);
+
+/// Shared by the sequential and parallel curve runners: per-bound points of
+/// a finished CurveSummary, and the common report fill.
+[[nodiscard]] std::vector<telemetry::CurvePoint> curve_points(
+    const stat::CurveSummary& summary);
 
 } // namespace slimsim::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stat/curve.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slimsim::stat {
@@ -20,11 +21,13 @@ void SampleCollector::push(std::size_t worker, TaggedSample sample) {
 }
 
 void SampleCollector::consume_locked(BernoulliSummary& summary, std::size_t worker,
-                                     std::vector<std::uint64_t>* tag_counts) {
+                                     std::vector<std::uint64_t>* tag_counts,
+                                     CurveSummary* curve) {
     auto& buffer = buffers_[worker];
     const TaggedSample s = buffer.front();
     buffer.pop_front();
     summary.add(s.value);
+    if (curve != nullptr) curve->add(s.value, s.time);
     if (tag_counts != nullptr) {
         if (tag_counts->size() <= s.tag) tag_counts->resize(s.tag + 1, 0);
         ++(*tag_counts)[s.tag];
@@ -57,6 +60,26 @@ void SampleCollector::set_trace(tracer::Lane* lane) {
         n_round_ = lane_->intern("collector.round");
         n_arg_accepted_ = lane_->intern("accepted");
     }
+}
+
+std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSummary& curve,
+                                           std::vector<std::uint64_t>* tag_counts,
+                                           const std::function<bool()>& done) {
+    std::lock_guard lock(mutex_);
+    std::size_t consumed = 0;
+    while (!buffers_[cursor_].empty()) {
+        consume_locked(summary, cursor_, tag_counts, &curve);
+        ++consumed;
+        cursor_ = (cursor_ + 1) % buffers_.size();
+        if (cursor_ == 0) {
+            ++rounds_;
+            if (lane_ != nullptr) {
+                lane_->instant(n_round_, n_arg_accepted_, static_cast<double>(accepted_));
+            }
+        }
+        if (done()) break;
+    }
+    return consumed;
 }
 
 std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary,

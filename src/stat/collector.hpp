@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -26,10 +27,15 @@
 
 namespace slimsim::stat {
 
+class CurveSummary;
+
 /// One buffered Bernoulli sample with an optional classification tag.
 struct TaggedSample {
     bool value = false;
     std::uint8_t tag = 0;
+    /// Terminal time of the path (the first goal-hit time for satisfied
+    /// samples); consumed by multi-bound curve estimation.
+    double time = 0.0;
 };
 
 class SampleCollector {
@@ -54,6 +60,20 @@ public:
     std::size_t drain_unordered(BernoulliSummary& summary,
                                 std::vector<std::uint64_t>* tag_counts = nullptr);
 
+    /// Round-robin consumption at *sample* granularity, for curve
+    /// estimation: consumes in global accepted order (sample r of worker 0,
+    /// 1, ..., K-1, then sample r+1, ...), resuming mid-round across calls,
+    /// and stops as soon as `done()` returns true after a sample or the next
+    /// worker in order has nothing buffered. Each consumed sample updates
+    /// `curve` with (value, time) alongside `summary`. Unlike whole-round
+    /// draining, the accepted prefix can end mid-round, so the stop point is
+    /// the same for every worker count — with per-path RNG streams this
+    /// makes curve results independent of the worker count, not just
+    /// deterministic at a fixed one. Thread-safe.
+    std::size_t drain_ordered(BernoulliSummary& summary, CurveSummary& curve,
+                              std::vector<std::uint64_t>* tag_counts,
+                              const std::function<bool()>& done);
+
     /// Samples currently buffered across all workers.
     [[nodiscard]] std::size_t buffered() const;
 
@@ -75,11 +95,13 @@ public:
 
 private:
     void consume_locked(BernoulliSummary& summary, std::size_t worker,
-                        std::vector<std::uint64_t>* tag_counts);
+                        std::vector<std::uint64_t>* tag_counts,
+                        CurveSummary* curve = nullptr);
 
     mutable std::mutex mutex_;
     std::vector<std::deque<TaggedSample>> buffers_;
     std::vector<std::uint64_t> consumed_;
+    std::size_t cursor_ = 0; // next worker in ordered (sample-granular) draining
     std::uint64_t pushed_ = 0;
     std::uint64_t accepted_ = 0;
     std::uint64_t rounds_ = 0;

@@ -1,0 +1,75 @@
+#include "stat/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::stat {
+
+std::string to_string(BandKind band) {
+    switch (band) {
+    case BandKind::DKW: return "dkw";
+    case BandKind::Bonferroni: return "bonferroni-chernoff";
+    }
+    return "?";
+}
+
+double per_bound_delta(BandKind band, double delta, std::size_t k) {
+    SLIMSIM_ASSERT(k >= 1);
+    return band == BandKind::DKW ? delta : delta / static_cast<double>(k);
+}
+
+double simultaneous_half_width(BandKind band, double delta, std::size_t k,
+                               std::size_t n) {
+    if (n == 0) return 1.0;
+    const double d = per_bound_delta(band, delta, k);
+    return std::sqrt(std::log(2.0 / d) / (2.0 * static_cast<double>(n)));
+}
+
+CurveSummary::CurveSummary(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (bounds_.empty()) throw Error("curve bound grid must not be empty");
+    double prev = 0.0;
+    for (const double b : bounds_) {
+        if (!(b > prev)) {
+            throw Error("curve bounds must be positive and strictly ascending");
+        }
+        prev = b;
+    }
+    tree_.assign(bounds_.size() + 1, 0);
+}
+
+void CurveSummary::add(bool satisfied, double hit_time) {
+    ++count_;
+    if (!satisfied) return;
+    // The first bound the hit decides positively: the smallest u_i >= t.
+    // Hits land within bounds().back() by construction (paths are simulated
+    // to u_K); clamp to the last bucket against floating-point dust.
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), hit_time);
+    const std::size_t bucket =
+        it == bounds_.end() ? bounds_.size() - 1
+                            : static_cast<std::size_t>(it - bounds_.begin());
+    for (std::size_t i = bucket + 1; i < tree_.size(); i += i & (0 - i)) tree_[i] += 1;
+}
+
+std::uint64_t CurveSummary::successes(std::size_t i) const {
+    SLIMSIM_ASSERT(i < bounds_.size());
+    std::uint64_t sum = 0;
+    for (std::size_t j = i + 1; j > 0; j -= j & (0 - j)) sum += tree_[j];
+    return sum;
+}
+
+BernoulliSummary CurveSummary::summary(std::size_t i) const {
+    BernoulliSummary s;
+    s.count = count_;
+    s.successes = successes(i);
+    return s;
+}
+
+double CurveSummary::estimate(std::size_t i) const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(successes(i)) / static_cast<double>(count_);
+}
+
+} // namespace slimsim::stat

@@ -1,0 +1,84 @@
+// Shared-path multi-bound curve estimation (the paper's Fig. 5 artifact).
+//
+// A path simulated to the largest bound u_K yields its first goal-hit time
+// t, and monotonicity of timed reachability (hit within u  <=>  t <= u)
+// decides *every* bound of a grid u_1 < ... < u_K at once. CurveSummary
+// keeps one Bernoulli summary per bound, updated in O(log K) per path: a
+// binary search maps the hit time to the first bound it satisfies and a
+// Fenwick tree accumulates the per-bound success counts (all bounds share
+// the sample count, so a K-point curve costs one run instead of K).
+//
+// Simultaneous confidence over the whole grid is caller-selectable:
+//   - DKW: the Dvoretzky-Kiefer-Wolfowitz inequality bounds the sup-norm
+//     error of the empirical CDF, P( sup_u |F_n(u) - F(u)| > eps ) <=
+//     2 exp(-2 n eps^2) — the same sample count as a *single* bound's
+//     Chernoff-Hoeffding interval, so the whole curve costs no extra
+//     samples;
+//   - Bonferroni: a union bound over K per-bound Chernoff-Hoeffding
+//     intervals, each run at confidence parameter delta / K.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stat/bernoulli.hpp"
+
+namespace slimsim::stat {
+
+/// Simultaneous-confidence construction over a bound grid.
+enum class BandKind : std::uint8_t { DKW, Bonferroni };
+
+[[nodiscard]] std::string to_string(BandKind band);
+
+/// The per-bound confidence parameter that gives *simultaneous* 1-delta
+/// coverage over k bounds: delta itself for DKW (the inequality is uniform
+/// by construction) and delta / k for the Bonferroni union bound. Feed the
+/// result to the per-bound stop criterion.
+[[nodiscard]] double per_bound_delta(BandKind band, double delta, std::size_t k);
+
+/// Half-width of the simultaneous band over k bounds after n samples:
+/// sqrt( ln(2/d) / (2n) ) with d = per_bound_delta(band, delta, k).
+[[nodiscard]] double simultaneous_half_width(BandKind band, double delta, std::size_t k,
+                                             std::size_t n);
+
+/// Per-bound Bernoulli summaries over a shared path set. Bounds are fixed
+/// at construction; every add() updates all of them at once (the sample
+/// count is shared, successes live in a Fenwick tree over first-hit
+/// buckets).
+class CurveSummary {
+public:
+    CurveSummary() = default;
+
+    /// `bounds` must be strictly ascending and positive.
+    explicit CurveSummary(std::vector<double> bounds);
+
+    /// Records one path: satisfied with first goal-hit time `hit_time`
+    /// (<= bounds().back() up to rounding; ignored for unsatisfied paths).
+    /// O(log K).
+    void add(bool satisfied, double hit_time);
+
+    [[nodiscard]] std::size_t size() const { return bounds_.size(); }
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+    /// Paths recorded so far (shared by every bound).
+    [[nodiscard]] std::size_t count() const { return count_; }
+
+    /// Successes at bound i: paths whose hit time is <= bounds()[i].
+    /// O(log K).
+    [[nodiscard]] std::uint64_t successes(std::size_t i) const;
+
+    /// The Bernoulli summary of bound i (count = count(), successes as
+    /// above); what per-bound stop criteria consume.
+    [[nodiscard]] BernoulliSummary summary(std::size_t i) const;
+
+    [[nodiscard]] double estimate(std::size_t i) const;
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> tree_; // 1-based Fenwick tree over hit buckets
+    std::size_t count_ = 0;
+};
+
+} // namespace slimsim::stat

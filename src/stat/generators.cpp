@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "stat/curve.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slimsim::stat {
@@ -16,6 +17,16 @@ void check_params(double delta, double epsilon) {
     }
 }
 } // namespace
+
+bool StopCriterion::should_stop_curve(const CurveSummary& curve) const {
+    // Fixed-count criteria depend on the shared count only; one comparison.
+    if (const auto n = fixed_sample_count()) return curve.count() >= *n;
+    // Adaptive criteria must be satisfied at the loosest bound too.
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (!should_stop(curve.summary(i))) return false;
+    }
+    return curve.size() > 0;
+}
 
 ChernoffHoeffding::ChernoffHoeffding(double delta, double epsilon)
     : n_(sample_count(delta, epsilon)) {}

@@ -16,6 +16,8 @@
 
 namespace slimsim::stat {
 
+class CurveSummary;
+
 class StopCriterion {
 public:
     virtual ~StopCriterion() = default;
@@ -26,8 +28,19 @@ public:
         return std::nullopt;
     }
 
+    /// Samples this criterion requires before it may stop at all (the
+    /// adaptive Chow-Robbins floor); 0 when there is no such floor. Progress
+    /// ETAs must never extrapolate a target below this.
+    [[nodiscard]] virtual std::size_t min_sample_count() const { return 0; }
+
     /// True once enough samples have been collected.
     [[nodiscard]] virtual bool should_stop(const BernoulliSummary& s) const = 0;
+
+    /// True once the criterion is met *simultaneously* at every bound of a
+    /// multi-bound curve — the worst bound governs (all bounds share the
+    /// sample count). For simultaneous 1-delta coverage, construct the
+    /// criterion with stat::per_bound_delta(band, delta, K).
+    [[nodiscard]] virtual bool should_stop_curve(const CurveSummary& curve) const;
 
     [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -77,6 +90,7 @@ class ChowRobbins final : public StopCriterion {
 public:
     ChowRobbins(double delta, double epsilon, std::size_t min_samples = 64);
 
+    [[nodiscard]] std::size_t min_sample_count() const override { return min_samples_; }
     [[nodiscard]] bool should_stop(const BernoulliSummary& s) const override;
     [[nodiscard]] std::string name() const override { return "chow-robbins"; }
 

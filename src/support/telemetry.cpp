@@ -151,6 +151,25 @@ json::Value RunReport::to_json() const {
         doc["stop_criterion"] = std::move(sc);
     }
 
+    // The curve section is deterministic in (seed, workers) like the result
+    // section — with per-path RNG streams it is in fact identical for every
+    // worker count.
+    if (!curve.points.empty()) {
+        json::Value pts = json::Value::array();
+        for (const auto& p : curve.points) {
+            json::Value entry = json::Value::object();
+            entry["bound"] = p.bound;
+            entry["estimate"] = p.estimate;
+            entry["successes"] = p.successes;
+            pts.push_back(std::move(entry));
+        }
+        json::Value c = json::Value::object();
+        c["band"] = curve.band;
+        c["simultaneous_eps"] = curve.simultaneous_eps;
+        c["points"] = std::move(pts);
+        doc["curve"] = std::move(c);
+    }
+
     // Recorder counters/histograms count events over *generated* paths;
     // with one worker that is deterministic, with several it depends on
     // when the stop flag lands, so they move under "runtime".
@@ -244,6 +263,13 @@ std::string RunReport::to_text() const {
                                                               : std::to_string(p.required));
         }
         os << "\n";
+    }
+    if (!curve.points.empty()) {
+        os << "  curve (" << curve.band << ", +-" << curve.simultaneous_eps << "):\n";
+        for (const auto& p : curve.points) {
+            os << "    u=" << p.bound << "  p^=" << p.estimate << "  successes="
+               << p.successes << "\n";
+        }
     }
     for (const auto& [name, n] : counters) {
         os << "  counter " << name << " = " << n << "\n";

@@ -163,6 +163,20 @@ struct StopPoint {
     std::uint64_t required = 0;
 };
 
+/// One bound of a multi-bound curve estimate P( <> [0,u] goal ).
+struct CurvePoint {
+    double bound = 0.0;
+    std::uint64_t successes = 0;
+    double estimate = 0.0;
+};
+
+/// The curve section of a run report; empty points = no curve estimated.
+struct CurveReport {
+    std::string band;              // dkw | bonferroni-chernoff
+    double simultaneous_eps = 0.0; // achieved band half-width at the final n
+    std::vector<CurvePoint> points;
+};
+
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
@@ -188,6 +202,7 @@ struct RunReport {
     std::vector<WorkerStats> worker_stats;
     CollectorStats collector;
     std::vector<StopPoint> stop_trajectory;
+    CurveReport curve; // multi-bound curve estimation (empty otherwise)
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
         histograms;

@@ -342,6 +342,41 @@ TEST_F(AnalysisApiTest, ProgressSnapshotMath) {
     EXPECT_NEAR(p.eta_seconds, 3.0, 1e-9);
 }
 
+TEST_F(AnalysisApiTest, ProgressEtaHonorsAdaptiveSampleFloor) {
+    // Regression: with few successes the variance extrapolation can target
+    // fewer samples than the adaptive criterion's floor, making the ETA hit
+    // 0 while Chow-Robbins is still barred from stopping. The target must be
+    // clamped to min_samples.
+    sim::ProgressOptions opt;
+    opt.delta = 0.05;
+    opt.eps = 0.1;
+    opt.min_samples = 64;
+    const sim::ProgressSnapshot p = sim::make_progress_snapshot(30, 1, 0, 1.0, opt);
+    EXPECT_GT(p.eta_seconds, 0.0);
+    EXPECT_NEAR(p.eta_seconds, 1.0 * (64.0 - 30.0) / 30.0, 1e-9);
+    // Past the floor the variance extrapolation governs again.
+    const sim::ProgressSnapshot q = sim::make_progress_snapshot(70, 2, 0, 1.0, opt);
+    EXPECT_EQ(q.eta_seconds, 0.0);
+}
+
+TEST_F(AnalysisApiTest, AdaptiveProgressNeverReportsZeroEtaBeforeFloor) {
+    AnalysisRequest req = base_request();
+    req.criterion = stat::CriterionKind::ChowRobbins;
+    std::vector<sim::ProgressSnapshot> snaps;
+    req.progress.callback = [&](const sim::ProgressSnapshot& p) { snaps.push_back(p); };
+    req.progress.min_interval_seconds = 0.0;
+    const AnalysisResult res = run_analysis(net, req);
+    ASSERT_FALSE(snaps.empty());
+    EXPECT_GE(res.estimation.samples, 64u); // the Chow-Robbins floor held
+    for (const sim::ProgressSnapshot& p : snaps) {
+        if (p.samples >= 2 && p.samples < 64) {
+            // ETA is either unknown (< 0, elapsed not yet measurable) or a
+            // genuine positive extrapolation — never "done now".
+            EXPECT_NE(p.eta_seconds, 0.0) << "at " << p.samples << " samples";
+        }
+    }
+}
+
 TEST_F(AnalysisApiTest, ToStringCarriesHeadline) {
     const AnalysisResult res = run_analysis(net, base_request());
     const std::string text = res.to_string();

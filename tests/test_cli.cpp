@@ -218,6 +218,75 @@ TEST_F(CliTest, VcdMode) {
     EXPECT_NE(first.find("$comment"), std::string::npos);
 }
 
+TEST_F(CliTest, InvalidEpsFailsWithDiagnostic) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 1.5");
+    EXPECT_EQ(res.exit_code, 1);
+    EXPECT_NE(res.output.find("error:"), std::string::npos);
+    EXPECT_NE(res.output.find("--eps"), std::string::npos);
+    EXPECT_NE(res.output.find("(0,1)"), std::string::npos);
+}
+
+TEST_F(CliTest, InvalidDeltaFailsWithDiagnostic) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --delta 0");
+    EXPECT_EQ(res.exit_code, 1);
+    EXPECT_NE(res.output.find("error:"), std::string::npos);
+    EXPECT_NE(res.output.find("--delta"), std::string::npos);
+    // Non-numeric input gets the same one-line diagnostic, not a stod abort.
+    const CliResult junk =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --delta banana");
+    EXPECT_EQ(junk.exit_code, 1);
+    EXPECT_NE(junk.output.find("--delta"), std::string::npos);
+}
+
+TEST_F(CliTest, CurveGridMode) {
+    const std::string csv = "cli_curve_" + std::to_string(getpid()) + ".csv";
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound '30 min' --eps 0.1 "
+                "--seed 3 --curve-grid 4 --curve-csv " + csv);
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("curve over 4 bounds"), std::string::npos);
+    EXPECT_NE(res.output.find("wrote curve CSV"), std::string::npos);
+    std::ifstream in(csv);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "bound,estimate,successes,samples");
+    std::size_t rows = 0;
+    for (std::string line; std::getline(in, line);) {
+        if (!line.empty()) ++rows;
+    }
+    EXPECT_EQ(rows, 4u);
+    std::remove(csv.c_str());
+}
+
+TEST_F(CliTest, CurveExplicitBounds) {
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
+                "--seed 3 --curve '600,1200,30 min'");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("curve over 3 bounds"), std::string::npos);
+    EXPECT_NE(res.output.find("u = 1800"), std::string::npos);
+}
+
+TEST_F(CliTest, CurveRejectsConflictsAndBadBands) {
+    const CliResult both =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
+                "--curve 600 --curve-grid 4");
+    EXPECT_EQ(both.exit_code, 1);
+    EXPECT_NE(both.output.find("error:"), std::string::npos);
+    const CliResult band =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
+                "--curve-grid 4 --curve-band nope");
+    EXPECT_EQ(band.exit_code, 1);
+    EXPECT_NE(band.output.find("unknown curve band"), std::string::npos);
+    const CliResult csv_alone =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
+                "--curve-csv out.csv");
+    EXPECT_EQ(csv_alone.exit_code, 1);
+}
+
 TEST_F(CliTest, UnknownOptionFails) {
     const CliResult res = run_cli(gps_file() + "  --frobnicate");
     EXPECT_EQ(res.exit_code, 1);

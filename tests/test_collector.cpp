@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "stat/curve.hpp"
 #include "support/rng.hpp"
 
 namespace slimsim::stat {
@@ -132,6 +133,64 @@ TEST(Collector, RoundRobinEliminatesSpeedBias) {
         }
         EXPECT_NEAR(s.mean(), 0.5, 0.06);
     }
+}
+
+TEST(Collector, UnorderedDrainGrowsTagCounts) {
+    // Regression: every drain path shares consume_locked, so a tag larger
+    // than the current tag_counts size must grow the vector on the unordered
+    // path too (not just drain_rounds).
+    SampleCollector c(2);
+    c.push(0, TaggedSample{true, 200});
+    c.push(1, TaggedSample{false, 3});
+    std::vector<std::uint64_t> tags;
+    BernoulliSummary s;
+    EXPECT_EQ(c.drain_unordered(s, &tags), 2u);
+    ASSERT_EQ(tags.size(), 201u);
+    EXPECT_EQ(tags[200], 1u);
+    EXPECT_EQ(tags[3], 1u);
+    EXPECT_EQ(tags[0], 0u);
+}
+
+TEST(Collector, OrderedDrainConsumesGlobalOrderAndStopsMidRound) {
+    // Three workers, two buffered samples each. done() after 4 samples: the
+    // accepted prefix is (w0,r0),(w1,r0),(w2,r0),(w0,r1) — it ends mid-round.
+    SampleCollector c(3);
+    for (std::size_t w = 0; w < 3; ++w) {
+        c.push(w, TaggedSample{w == 0, 0, 1.0});
+        c.push(w, TaggedSample{true, 0, 3.0});
+    }
+    BernoulliSummary s;
+    CurveSummary curve({2.0, 4.0});
+    const auto n = c.drain_ordered(s, curve, nullptr, [&] { return s.count >= 4; });
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.successes, 2u); // w0 round 0 (true@1.0) + w0 round 1 (true@3.0)
+    EXPECT_EQ(curve.successes(0), 1u);
+    EXPECT_EQ(curve.successes(1), 2u);
+    EXPECT_EQ(c.buffered(), 2u); // w1/w2 round-1 samples stay buffered
+}
+
+TEST(Collector, OrderedDrainResumesMidRoundAcrossCalls) {
+    // The cursor persists: after stopping mid-round at worker 1, the next
+    // call must continue with worker 1, never re-serve worker 0.
+    SampleCollector c(2);
+    c.push(0, TaggedSample{true, 0, 1.0});
+    c.push(1, TaggedSample{false, 0, 1.0});
+    BernoulliSummary s;
+    CurveSummary curve({2.0});
+    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [&] { return s.count >= 1; }), 1u);
+    EXPECT_EQ(s.successes, 1u); // worker 0's sample
+    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [] { return false; }), 1u);
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.successes, 1u); // worker 1's failure, not a re-read of worker 0
+    // A gap in the next-in-order worker stalls the drain even if others have
+    // samples buffered (global order is sample r of w0, w1, then r+1 ...).
+    c.push(1, TaggedSample{true, 0, 1.0});
+    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [] { return false; }), 0u);
+    EXPECT_EQ(c.buffered(), 1u);
+    c.push(0, TaggedSample{true, 0, 1.0});
+    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [] { return false; }), 2u);
+    EXPECT_EQ(s.count, 4u);
 }
 
 } // namespace

@@ -1,0 +1,256 @@
+// Tests of shared-path multi-bound curve estimation: the CurveSummary
+// bookkeeping (Fenwick tree vs a naive CDF), the simultaneous-confidence
+// band math, curve-aware stop criteria, and the engine mode end to end —
+// including the property-based cross-check against the empirical CDF of
+// per-path hit times and byte-identity across worker counts.
+#include "stat/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "models/sensor_filter.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace slimsim {
+namespace {
+
+TEST(CurveSummary, RejectsBadGrids) {
+    EXPECT_THROW(stat::CurveSummary(std::vector<double>{}), Error);
+    EXPECT_THROW(stat::CurveSummary({1.0, 1.0}), Error);
+    EXPECT_THROW(stat::CurveSummary({2.0, 1.0}), Error);
+    EXPECT_THROW(stat::CurveSummary({0.0, 1.0}), Error);
+    EXPECT_THROW(stat::CurveSummary({-1.0, 1.0}), Error);
+}
+
+TEST(CurveSummary, CountsHitsPerBound) {
+    stat::CurveSummary c({1.0, 2.0, 3.0});
+    c.add(true, 0.5);  // hit before every bound
+    c.add(true, 2.0);  // boundary hit counts at its bound (t <= u)
+    c.add(true, 2.5);  // only the last bound
+    c.add(false, 3.0); // unsatisfied: no bound
+    EXPECT_EQ(c.count(), 4u);
+    EXPECT_EQ(c.successes(0), 1u);
+    EXPECT_EQ(c.successes(1), 2u);
+    EXPECT_EQ(c.successes(2), 3u);
+    EXPECT_EQ(c.estimate(1), 0.5);
+    const stat::BernoulliSummary s = c.summary(2);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.successes, 3u);
+}
+
+TEST(CurveSummary, MatchesNaiveCdfOnRandomHits) {
+    // Property-based check of the Fenwick bookkeeping against the obvious
+    // sorted-hit-times CDF.
+    std::vector<double> bounds;
+    for (int i = 1; i <= 13; ++i) bounds.push_back(0.37 * i);
+    stat::CurveSummary curve(bounds);
+    std::vector<double> hits;
+    Rng rng(42);
+    const std::size_t n = 2000;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool satisfied = rng.bernoulli(0.7);
+        const double t = rng.uniform(0.0, bounds.back());
+        curve.add(satisfied, t);
+        if (satisfied) hits.push_back(t);
+    }
+    std::sort(hits.begin(), hits.end());
+    EXPECT_EQ(curve.count(), n);
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        const auto expected = static_cast<std::uint64_t>(
+            std::upper_bound(hits.begin(), hits.end(), bounds[i]) - hits.begin());
+        EXPECT_EQ(curve.successes(i), expected) << "bound " << bounds[i];
+    }
+}
+
+TEST(CurveBand, SimultaneousHalfWidths) {
+    // DKW needs the same n as a single Chernoff-Hoeffding bound: at
+    // n = n_CH(delta, eps) the simultaneous half-width is (just under) eps.
+    const std::size_t n = stat::ChernoffHoeffding::sample_count(0.05, 0.02);
+    const double dkw = stat::simultaneous_half_width(stat::BandKind::DKW, 0.05, 16, n);
+    EXPECT_LE(dkw, 0.02);
+    EXPECT_NEAR(dkw, 0.02, 1e-3);
+    // The Bonferroni union bound is strictly wider at the same n for K > 1.
+    const double bonf =
+        stat::simultaneous_half_width(stat::BandKind::Bonferroni, 0.05, 16, n);
+    EXPECT_GT(bonf, dkw);
+    // Per-bound deltas: DKW is uniform by construction, Bonferroni splits.
+    EXPECT_EQ(stat::per_bound_delta(stat::BandKind::DKW, 0.05, 16), 0.05);
+    EXPECT_EQ(stat::per_bound_delta(stat::BandKind::Bonferroni, 0.05, 16), 0.05 / 16);
+    // No samples yet: the band is vacuous.
+    EXPECT_EQ(stat::simultaneous_half_width(stat::BandKind::DKW, 0.05, 16, 0), 1.0);
+    EXPECT_EQ(stat::to_string(stat::BandKind::DKW), "dkw");
+    EXPECT_EQ(stat::to_string(stat::BandKind::Bonferroni), "bonferroni-chernoff");
+}
+
+TEST(CurveCriterion, FixedCountComparesSharedCount) {
+    const stat::ChernoffHoeffding ch(0.1, 0.1);
+    const std::size_t n = *ch.fixed_sample_count();
+    stat::CurveSummary curve({1.0, 2.0});
+    for (std::size_t i = 0; i + 1 < n; ++i) curve.add(false, 0.0);
+    EXPECT_FALSE(ch.should_stop_curve(curve));
+    curve.add(true, 0.5);
+    EXPECT_TRUE(ch.should_stop_curve(curve));
+}
+
+TEST(CurveCriterion, AdaptiveStopsOnTheWorstBound) {
+    // Alternate hits at t = 1.5: bound 1 sees p^ = 0 (tight interval),
+    // bound 2 sees p^ = 0.5 (the widest possible). The curve must not stop
+    // until the *worst* bound's interval is narrow enough.
+    const stat::ChowRobbins chow(0.05, 0.05);
+    stat::CurveSummary curve({1.0, 2.0});
+    for (std::size_t i = 0; i < 100; ++i) curve.add(i % 2 == 0, 1.5);
+    EXPECT_TRUE(chow.should_stop(curve.summary(0)));
+    EXPECT_FALSE(chow.should_stop(curve.summary(1)));
+    EXPECT_FALSE(chow.should_stop_curve(curve));
+    // With a tolerant epsilon the worst bound passes too.
+    const stat::ChowRobbins loose(0.05, 0.2);
+    EXPECT_TRUE(loose.should_stop_curve(curve));
+    EXPECT_EQ(chow.min_sample_count(), 64u);
+}
+
+// Engine-mode tests on the sensor/filter model (untimed, so hit times are
+// spread over the whole horizon).
+struct CurveEngineTest : ::testing::Test {
+    eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(1));
+    static constexpr double kBound = 360000.0; // 100 hours
+
+    [[nodiscard]] AnalysisRequest base_request() const {
+        AnalysisRequest req;
+        req.property =
+            sim::make_reachability(net.model(), models::sensor_filter_goal(), kBound);
+        req.model_label = "sensor_filter.slim";
+        req.delta = 0.1;
+        req.eps = 0.05;
+        req.seed = 11;
+        for (int i = 1; i <= 8; ++i) req.curve_bounds.push_back(kBound * i / 8.0);
+        return req;
+    }
+};
+
+TEST_F(CurveEngineTest, EngineCurveMatchesEmpiricalHitTimeCdf) {
+    const AnalysisRequest req = base_request();
+    const AnalysisResult res = run_analysis(net, req);
+    ASSERT_EQ(res.curve.points.size(), 8u);
+    // CH at (delta, eps) = (0.1, 0.05): the DKW band costs no extra samples.
+    EXPECT_EQ(res.curve.samples, stat::ChernoffHoeffding::sample_count(0.1, 0.05));
+
+    // Re-simulate the exact per-path streams the engine used and build the
+    // empirical CDF of first-hit times by hand.
+    const auto strat = sim::make_strategy(sim::StrategyKind::Progressive);
+    const sim::PathGenerator gen(net, req.property, *strat, sim::SimOptions{});
+    const Rng master(req.seed);
+    std::vector<double> hits;
+    for (std::uint64_t j = 0; j < res.curve.samples; ++j) {
+        Rng rng = master.split(j);
+        const sim::PathOutcome out = gen.run(rng);
+        if (out.satisfied) hits.push_back(out.end_time);
+    }
+    std::sort(hits.begin(), hits.end());
+    for (std::size_t i = 0; i < res.curve.points.size(); ++i) {
+        const auto expected = static_cast<std::uint64_t>(
+            std::upper_bound(hits.begin(), hits.end(), req.curve_bounds[i]) -
+            hits.begin());
+        EXPECT_EQ(res.curve.points[i].successes, expected)
+            << "bound " << req.curve_bounds[i];
+        EXPECT_EQ(res.curve.points[i].estimate,
+                  static_cast<double>(expected) /
+                      static_cast<double>(res.curve.samples));
+    }
+    // Monotone: later bounds can only accumulate more hits.
+    for (std::size_t i = 1; i < res.curve.points.size(); ++i) {
+        EXPECT_GE(res.curve.points[i].successes, res.curve.points[i - 1].successes);
+    }
+    // The headline value is the largest bound's estimate.
+    EXPECT_EQ(res.value, res.curve.points.back().estimate);
+}
+
+TEST_F(CurveEngineTest, ByteIdenticalAcrossWorkerCounts) {
+    AnalysisRequest seq = base_request();
+    AnalysisRequest par = base_request();
+    par.mode = AnalysisMode::EstimateParallel;
+    par.workers = 4;
+    const AnalysisResult a = run_analysis(net, seq);
+    const AnalysisResult b = run_analysis(net, par);
+    ASSERT_EQ(a.curve.points.size(), b.curve.points.size());
+    EXPECT_EQ(a.curve.samples, b.curve.samples);
+    for (std::size_t i = 0; i < a.curve.points.size(); ++i) {
+        EXPECT_EQ(a.curve.points[i].bound, b.curve.points[i].bound);
+        EXPECT_EQ(a.curve.points[i].successes, b.curve.points[i].successes);
+        EXPECT_EQ(a.curve.points[i].estimate, b.curve.points[i].estimate);
+    }
+    // The serialized curve sections are byte-identical — a stronger claim
+    // than the per-fixed-worker-count determinism of plain estimation.
+    EXPECT_EQ(a.report.to_json().at("curve").dump(2),
+              b.report.to_json().at("curve").dump(2));
+    EXPECT_EQ(a.curve.band, "dkw");
+    EXPECT_GT(a.curve.simultaneous_eps, 0.0);
+}
+
+TEST_F(CurveEngineTest, AdaptiveCriterionIdenticalAcrossWorkerCounts) {
+    // Chow-Robbins stops at a data-dependent n; sample-granular ordered
+    // draining must land on the same n for any worker count.
+    AnalysisRequest seq = base_request();
+    seq.criterion = stat::CriterionKind::ChowRobbins;
+    AnalysisRequest par = seq;
+    par.mode = AnalysisMode::EstimateParallel;
+    par.workers = 3;
+    const AnalysisResult a = run_analysis(net, seq);
+    const AnalysisResult b = run_analysis(net, par);
+    EXPECT_EQ(a.curve.samples, b.curve.samples);
+    ASSERT_EQ(a.curve.points.size(), b.curve.points.size());
+    for (std::size_t i = 0; i < a.curve.points.size(); ++i) {
+        EXPECT_EQ(a.curve.points[i].successes, b.curve.points[i].successes);
+    }
+}
+
+TEST_F(CurveEngineTest, BonferroniBandTightensPerBoundDelta) {
+    AnalysisRequest req = base_request();
+    req.curve_band = stat::BandKind::Bonferroni;
+    const AnalysisResult res = run_analysis(net, req);
+    // CH at delta/K needs more samples than at delta.
+    EXPECT_EQ(res.curve.samples,
+              stat::ChernoffHoeffding::sample_count(0.1 / 8, 0.05));
+    EXPECT_EQ(res.curve.band, "bonferroni-chernoff");
+}
+
+TEST_F(CurveEngineTest, ReportCarriesCurveSection) {
+    const AnalysisResult res = run_analysis(net, base_request());
+    const json::Value doc = res.report.to_json();
+    ASSERT_NE(doc.find("curve"), nullptr);
+    EXPECT_EQ(doc.at("curve").at("points").size(), 8u);
+    EXPECT_EQ(doc.at("curve").at("band").as_string(), "dkw");
+    // Round-trips through the parser and survives the deterministic view.
+    EXPECT_EQ(json::Value::parse(doc.dump(2)), doc);
+    EXPECT_NE(telemetry::deterministic_view(doc).find("curve"), nullptr);
+    // Curve results render into the human-readable outputs too.
+    EXPECT_NE(res.to_string().find("curve over 8 bounds"), std::string::npos);
+    EXPECT_NE(res.report.to_text().find("curve ("), std::string::npos);
+}
+
+TEST_F(CurveEngineTest, RejectsInvalidRequests) {
+    // Descending grid.
+    AnalysisRequest req = base_request();
+    req.curve_bounds = {2000.0, 1000.0};
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+    // Bounds beyond the property bound.
+    req = base_request();
+    req.curve_bounds = {kBound * 2};
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+    // Non-Reach property.
+    req = base_request();
+    req.property = sim::make_globally(net.model(), models::sensor_filter_goal(), kBound);
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+    // Reach with a non-zero lower bound.
+    req = base_request();
+    req.property = sim::make_reachability_interval(
+        net.model(), models::sensor_filter_goal(), 10.0, kBound);
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+}
+
+} // namespace
+} // namespace slimsim

@@ -41,6 +41,47 @@ Timing measure(const std::function<void()>& fn, int reps, int warmup) {
     return t;
 }
 
+namespace {
+
+void finalize(Timing& t) {
+    t.min_seconds = t.max_seconds = t.seconds.front();
+    double total = 0.0;
+    for (const double s : t.seconds) {
+        if (s < t.min_seconds) t.min_seconds = s;
+        if (s > t.max_seconds) t.max_seconds = s;
+        total += s;
+    }
+    t.mean_seconds = total / static_cast<double>(t.seconds.size());
+}
+
+} // namespace
+
+std::pair<Timing, Timing> measure_interleaved(const std::function<void()>& a,
+                                              const std::function<void()>& b, int reps,
+                                              int warmup) {
+    for (int i = 0; i < warmup; ++i) {
+        a();
+        b();
+    }
+    if (reps < 1) reps = 1;
+    Timing ta;
+    Timing tb;
+    ta.seconds.reserve(static_cast<std::size_t>(reps));
+    tb.seconds.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        for (const bool second : {false, true}) {
+            const auto t0 = std::chrono::steady_clock::now();
+            (second ? b : a)();
+            const auto t1 = std::chrono::steady_clock::now();
+            (second ? tb : ta)
+                .seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+        }
+    }
+    finalize(ta);
+    finalize(tb);
+    return {std::move(ta), std::move(tb)};
+}
+
 Report::Report(std::string name) : name_(std::move(name)) {
     doc_ = json::Value::object();
     doc_["bench"] = name_;

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/json.hpp"
@@ -31,6 +32,14 @@ struct Timing {
 /// so min_seconds approximates steady-state cost.
 [[nodiscard]] Timing measure(const std::function<void()>& fn, int reps = 3,
                              int warmup = 1);
+
+/// Times two workloads with their repetitions interleaved (a, b, a, b, ...)
+/// so slow drift of the host (thermal, co-tenants) biases both the same
+/// way. Use when the *ratio* of the two timings is the reported result,
+/// e.g. an instrumentation-overhead bound.
+[[nodiscard]] std::pair<Timing, Timing>
+measure_interleaved(const std::function<void()>& a, const std::function<void()>& b,
+                    int reps = 3, int warmup = 1);
 
 /// Accumulates one bench binary's results and writes BENCH_<name>.json on
 /// write() (or from the destructor if never written). The document is

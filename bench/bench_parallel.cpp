@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "bench_main.hpp"
+#include "models/gps.hpp"
 #include "models/sensor_filter.hpp"
 #include "sim/parallel_runner.hpp"
 #include "stat/collector.hpp"
@@ -101,6 +102,58 @@ void tracing_overhead(benchio::Report& report) {
     report.root()["tracing_overhead"] = std::move(section);
 }
 
+// Coverage-profiler overhead: a fixed-N parallel *curve* estimation with
+// coverage off vs. on. The curve runner always uses per-path RNG streams
+// and sample-granular ordered draining — exactly the regime coverage
+// requires — so both sides simulate the byte-identical path set and the
+// ratio isolates pure recording cost (shard hooks + decision observer +
+// merge), not a change of workload. The model is the power-cycled GPS:
+// its restart loop keeps paths long (~300 steps at a 96 h bound), which is
+// the regime coverage profiling targets, and keeps per-path bookkeeping
+// amortized. The acceptance bound CI enforces is <= 10% recording overhead.
+void coverage_overhead(benchio::Report& report) {
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const double bound = 96.0 * 3600.0;
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::gps_restart_goal(), bound);
+    const stat::ChernoffHoeffding criterion(0.05, 0.03);
+    const std::size_t n = *criterion.fixed_sample_count();
+    std::printf("\n== coverage overhead (N = %zu paths, 4 workers, min of 10 "
+                "interleaved reps) ==\n",
+                n);
+    auto run = [&](bool profiled) {
+        return [&, profiled] {
+            sim::ParallelOptions po;
+            po.workers = 4;
+            po.sim.coverage = profiled;
+            sim::CurveOptions curve;
+            curve.bounds = {bound};
+            (void)sim::estimate_curve_parallel(net, prop, sim::StrategyKind::Asap,
+                                               criterion, curve, 9, po);
+        };
+    };
+    // Reps are interleaved: the CI bound is on the off/on throughput ratio,
+    // which host drift would skew if the two sides were measured in
+    // separate windows.
+    const auto [off, on] = benchio::measure_interleaved(run(false), run(true), 10, 2);
+    json::Value section = json::Value::object();
+    const double disabled_pps = static_cast<double>(n) / off.min_seconds;
+    const double enabled_pps = static_cast<double>(n) / on.min_seconds;
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "coverage off", off.min_seconds,
+                disabled_pps);
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "coverage on", on.min_seconds,
+                enabled_pps);
+    const double overhead = (disabled_pps / enabled_pps - 1.0) * 100.0;
+    std::printf("recording overhead: %.1f%%\n", overhead);
+    section["disabled"] = off.to_json();
+    section["enabled"] = on.to_json();
+    section["disabled_paths_per_s"] = disabled_pps;
+    section["enabled_paths_per_s"] = enabled_pps;
+    section["recording_overhead_percent"] = overhead;
+    report.root()["coverage_overhead"] = std::move(section);
+}
+
 void bias_demo(benchio::Report& report) {
     // Synthetic workload reproducing the hazard of [21]: true p = 0.5, but
     // success paths are fast (one tick) while failure paths are slow (two
@@ -178,6 +231,7 @@ int main(int argc, char** argv) {
         report.root()["bias_demo"] = json::Value::array();
         scaling(eps, report);
         tracing_overhead(report);
+        coverage_overhead(report);
         bias_demo(report);
         return 0;
     } catch (const std::exception& e) {

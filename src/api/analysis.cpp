@@ -79,8 +79,14 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
                                     : nullptr;
     telemetry::RunReport* rp = request.telemetry ? &report : nullptr;
 
+    if (request.coverage && request.mode != AnalysisMode::Estimate &&
+        request.mode != AnalysisMode::EstimateParallel) {
+        throw Error("coverage profiling is only available in the estimation modes");
+    }
+
     sim::SimOptions sim_options = request.sim;
     if (recorder != nullptr) sim_options.recorder = recorder;
+    sim_options.coverage = request.coverage;
     sim_options.witness = request.witness;
     sim_options.progress = request.progress;
     sim_options.progress.delta = request.delta;
@@ -193,6 +199,11 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     // Mirror the engine results into the report even when full telemetry is
     // off, so the identity/result sections are always populated.
     report.value = result.value;
+    if (request.coverage) {
+        result.coverage = !result.curve.points.empty() ? result.curve.coverage
+                                                       : result.estimation.coverage;
+        report.coverage = result.coverage;
+    }
     if (rp == nullptr) {
         switch (request.mode) {
         case AnalysisMode::Estimate:

@@ -99,6 +99,15 @@ struct AnalysisRequest {
     /// delta and eps above.
     sim::ProgressOptions progress;
 
+    /// Coverage & occupancy profiling (estimation modes): per-mode visit
+    /// counts and time-in-mode occupancy, per-transition fire counts,
+    /// strategy decision histograms and a coverage-saturation series over
+    /// the accepted paths (docs/coverage.md). Profiling switches estimation
+    /// to per-PATH RNG streams, so the profile — and the estimate — is
+    /// byte-identical across worker counts at a fixed seed. Rejected for
+    /// HypothesisTest and CtmcFlow.
+    bool coverage = false;
+
     /// Front-end phases (parse/instantiate) timed by the caller while
     /// loading the model; prepended to the report's phase breakdown.
     std::vector<telemetry::Phase> frontend_phases;
@@ -117,6 +126,10 @@ struct AnalysisResult {
     sim::CurveResult curve;           // estimation modes with curve_bounds set
     sim::HypothesisResult hypothesis; // HypothesisTest
     ctmc::FlowResult flow;            // CtmcFlow
+
+    /// Coverage profile (enabled=false unless request.coverage was set).
+    /// Identical to the report's "coverage" section.
+    telemetry::CoverageReport coverage;
 
     telemetry::RunReport report;
 

@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "props/pattern.hpp"
+#include "support/metrics_text.hpp"
 #include "safety/fmea.hpp"
 #include "sim/vcd.hpp"
 #include "slim/parser.hpp"
@@ -87,7 +88,17 @@ void usage() {
         "  --witness DIR        save the first accepting and non-accepting paths\n"
         "                       as text + VCD witness files under DIR\n"
         "  --progress           stream live progress (samples, estimate, CI\n"
-        "                       half-width, ETA) to stderr while estimating\n");
+        "                       half-width, ETA) to stderr while estimating\n"
+        "  --coverage [FILE.csv]\n"
+        "                       profile model coverage over the accepted paths:\n"
+        "                       mode visits and time-in-mode occupancy, transition\n"
+        "                       fire counts, strategy decision histograms and the\n"
+        "                       coverage-saturation series; warns about unreached\n"
+        "                       modes and never-fired transitions; optionally also\n"
+        "                       written as CSV (docs/coverage.md)\n"
+        "  --metrics-out FILE   write run metrics in Prometheus text exposition\n"
+        "                       format (result/coverage gauges + engine counters;\n"
+        "                       docs/coverage.md)\n");
 }
 
 /// Validates confidence-style flags at the CLI boundary so a bad value
@@ -193,6 +204,9 @@ int run(int argc, char** argv) {
     bool show_progress = false;
     bool show_report = false;
     bool telemetry = true;
+    bool coverage = false;
+    std::string coverage_csv_path;
+    std::string metrics_path;
     sim::SimOptions sim_options;
 
     auto need_value = [&](int& i, const char* flag) -> std::string {
@@ -239,6 +253,18 @@ int run(int argc, char** argv) {
             witness_dir = need_value(i, "--witness");
         } else if (arg == "--progress") {
             show_progress = true;
+        } else if (arg == "--coverage") {
+            coverage = true;
+            // The CSV path is optional; only a *.csv value is consumed so a
+            // following flag or model path is never swallowed.
+            if (i + 1 < argc) {
+                const std::string next = argv[i + 1];
+                if (next.size() > 4 && next.substr(next.size() - 4) == ".csv") {
+                    coverage_csv_path = argv[++i];
+                }
+            }
+        } else if (arg == "--metrics-out") {
+            metrics_path = need_value(i, "--metrics-out");
         } else if (arg == "--ctmc") {
             use_ctmc = true;
         } else if (arg == "--test") {
@@ -452,6 +478,11 @@ int run(int argc, char** argv) {
         throw Error("--curve-csv needs --curve or --curve-grid");
     }
 
+    if (coverage && (use_ctmc || test_threshold >= 0.0)) {
+        throw Error("--coverage is an estimation-mode option (not --ctmc / --test)");
+    }
+    req.coverage = coverage;
+
     if (use_ctmc) {
         req.mode = AnalysisMode::CtmcFlow;
         req.flow.minimize = minimize;
@@ -478,6 +509,22 @@ int run(int argc, char** argv) {
         curve_csv_out.open(curve_csv_path);
         if (!curve_csv_out) {
             throw Error("cannot open `" + curve_csv_path + "` for writing");
+        }
+    }
+    std::ofstream coverage_csv_out;
+    if (!coverage_csv_path.empty()) {
+        coverage_csv_out.open(coverage_csv_path);
+        if (!coverage_csv_out) {
+            throw Error("--coverage: cannot open `" + coverage_csv_path +
+                        "` for writing");
+        }
+    }
+    std::ofstream metrics_out;
+    if (!metrics_path.empty()) {
+        metrics_out.open(metrics_path);
+        if (!metrics_out) {
+            throw Error("--metrics-out: cannot open `" + metrics_path +
+                        "` for writing");
         }
     }
     std::ofstream trace_out;
@@ -560,6 +607,17 @@ int run(int argc, char** argv) {
                     res.curve.points.size());
     }
     std::printf("%s\n", res.to_string().c_str());
+    if (coverage) {
+        std::fputs(res.coverage.summary_text().c_str(), stdout);
+        if (!coverage_csv_path.empty()) {
+            coverage_csv_out << res.coverage.to_csv();
+            std::printf("wrote coverage CSV %s\n", coverage_csv_path.c_str());
+        }
+    }
+    if (!metrics_path.empty()) {
+        metrics_out << telemetry::prometheus_text(res.report);
+        std::printf("wrote Prometheus metrics %s\n", metrics_path.c_str());
+    }
     if (show_report) std::fputs(res.report.to_text().c_str(), stdout);
     if (!json_path.empty()) {
         const std::string doc = res.report.to_json().dump(2) + "\n";

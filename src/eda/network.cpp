@@ -4,6 +4,7 @@
 #include <chrono>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 #include "expr/timeline.hpp"
@@ -44,6 +45,41 @@ std::string Candidate::describe(const InstanceModel& m) const {
     }
     os << " @ " << enabled.to_string();
     return os.str();
+}
+
+ElementIndex::ElementIndex(const InstanceModel& m) {
+    mode_base_.reserve(m.processes.size());
+    transition_base_.reserve(m.processes.size());
+    for (const auto& p : m.processes) {
+        mode_base_.push_back(static_cast<std::uint32_t>(mode_names_.size()));
+        transition_base_.push_back(static_cast<std::uint32_t>(transition_names_.size()));
+        for (const auto& loc : p.locations) mode_names_.push_back(p.name + "." + loc.name);
+        for (const auto& t : p.transitions) {
+            std::string name = p.name + ": " + p.locations[static_cast<std::size_t>(t.src)].name +
+                               " -> " + p.locations[static_cast<std::size_t>(t.dst)].name;
+            if (!t.label.empty()) name += " [" + t.label + "]";
+            transition_names_.push_back(std::move(name));
+            transition_dst_mode_.push_back(mode_base_.back() + static_cast<std::uint32_t>(t.dst));
+            transition_error_.push_back(p.is_error ? 1 : 0);
+        }
+    }
+    // Two transitions of one process may share src, dst and label (differing
+    // only in guards); qualify repeated names by id so every name is unique
+    // (Prometheus series keyed by name must not collide).
+    std::map<std::string, std::uint32_t> uses;
+    for (auto& name : transition_names_) ++uses[name];
+    std::map<std::string, std::uint32_t> next;
+    for (std::size_t id = 0; id < transition_names_.size(); ++id) {
+        std::string& name = transition_names_[id];
+        if (uses[name] > 1) name += " #" + std::to_string(++next[name]);
+    }
+    action_names_.reserve(m.actions.size());
+    for (const auto& a : m.actions) action_names_.push_back("sync " + a.name);
+}
+
+const std::string& ElementIndex::alternative_name(std::uint32_t id) const {
+    if (id < transition_count()) return transition_names_[id];
+    return action_names_[id - transition_count()];
 }
 
 Network::Network(std::shared_ptr<const InstanceModel> model) : model_(std::move(model)) {

@@ -54,6 +54,69 @@ struct StepInfo {
     std::vector<std::pair<ProcessId, int>> fired; // (process, transition idx)
 };
 
+/// Stable flat numbering of the instantiated network's elements, for
+/// profilers that key counters over the model (sim/coverage): every process
+/// location ("mode") gets an id in [0, mode_count()) in (process, location)
+/// declaration order, every transition an id in [0, transition_count())
+/// likewise. Strategy choice points additionally use an *alternative* id
+/// space in which sync actions follow the transitions. Ids and names are a
+/// pure function of the InstanceModel — never of execution order — so
+/// profiles keyed by them merge deterministically across workers.
+class ElementIndex {
+public:
+    explicit ElementIndex(const InstanceModel& m);
+
+    [[nodiscard]] std::size_t mode_count() const { return mode_names_.size(); }
+    [[nodiscard]] std::size_t transition_count() const { return transition_names_.size(); }
+    [[nodiscard]] std::size_t alternative_count() const {
+        return transition_names_.size() + action_names_.size();
+    }
+
+    [[nodiscard]] std::uint32_t mode_id(ProcessId p, int location) const {
+        return mode_base_[static_cast<std::size_t>(p)] + static_cast<std::uint32_t>(location);
+    }
+    [[nodiscard]] std::uint32_t transition_id(ProcessId p, int transition) const {
+        return transition_base_[static_cast<std::size_t>(p)] +
+               static_cast<std::uint32_t>(transition);
+    }
+    /// Destination mode id of a transition (the mode entered by firing it).
+    [[nodiscard]] std::uint32_t transition_dst_mode(std::uint32_t id) const {
+        return transition_dst_mode_[id];
+    }
+    /// Alternative id of a strategy-choice candidate: its transition id for
+    /// Tau / BroadcastSend, transition_count() + action id for Sync.
+    [[nodiscard]] std::uint32_t alternative_id(const Candidate& c) const {
+        if (c.kind == Candidate::Kind::Sync) {
+            return static_cast<std::uint32_t>(transition_count()) +
+                   static_cast<std::uint32_t>(c.action);
+        }
+        return transition_id(c.process, c.transition);
+    }
+
+    [[nodiscard]] const std::string& mode_name(std::uint32_t id) const {
+        return mode_names_[id];
+    }
+    [[nodiscard]] const std::string& transition_name(std::uint32_t id) const {
+        return transition_names_[id];
+    }
+    /// Name of an alternative id (a transition name or "sync ACTION").
+    [[nodiscard]] const std::string& alternative_name(std::uint32_t id) const;
+    /// True when firing the transition is an error-event activation (it
+    /// belongs to an attached error-model process).
+    [[nodiscard]] bool transition_is_error(std::uint32_t id) const {
+        return transition_error_[id] != 0;
+    }
+
+private:
+    std::vector<std::uint32_t> mode_base_;       // per process
+    std::vector<std::uint32_t> transition_base_; // per process
+    std::vector<std::string> mode_names_;
+    std::vector<std::string> transition_names_;
+    std::vector<std::string> action_names_; // alternative id - transition_count()
+    std::vector<std::uint32_t> transition_dst_mode_;
+    std::vector<char> transition_error_;
+};
+
 class Network {
 public:
     explicit Network(std::shared_ptr<const InstanceModel> model);

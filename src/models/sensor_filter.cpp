@@ -117,4 +117,86 @@ std::string sensor_filter_source(int redundancy, double sensor_fail_per_hour,
 
 std::string sensor_filter_goal() { return "failed"; }
 
+std::string sensor_filter_panic_source(double sensor_fail_per_hour,
+                                       double filter_fail_per_hour) {
+    std::ostringstream os;
+    os << "-- Sensor/filter monitor that panics on simultaneous failure\n"
+          "-- signatures. The panic transition only becomes enabled when the\n"
+          "-- second failure preempts the monitor's reaction to the first:\n"
+          "-- impossible under ASAP (zero reaction delay), possible under\n"
+          "-- Progressive (uniform reaction delay).\n";
+    os << "root System.Imp;\n\n";
+
+    os << "device Sensor\n"
+          "features\n"
+          "  reading: out data port int [0..20] default 3;\n"
+          "end Sensor;\n"
+          "device implementation Sensor.Imp\n"
+          "end Sensor.Imp;\n\n";
+
+    os << "device Filter\n"
+          "features\n"
+          "  raw_in: in data port int [0..20] default 3;\n"
+          "  filtered: out data port int [0..40] default 6;\n"
+          "end Filter;\n"
+          "device implementation Filter.Imp\n"
+          "flows\n"
+          "  filtered := raw_in * 2;\n"
+          "end Filter.Imp;\n\n";
+
+    os << "error model UnitFailure\n"
+          "features\n"
+          "  ok: initial state;\n"
+          "  failed: error state;\n"
+          "end UnitFailure;\n";
+    os << "error model implementation UnitFailure.Sensor\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << sensor_fail_per_hour
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> failed;\n"
+          "end UnitFailure.Sensor;\n";
+    os << "error model implementation UnitFailure.Filter\n"
+          "events\n"
+          "  fault: error event occurrence poisson "
+       << filter_fail_per_hour
+       << " per hour;\n"
+          "transitions\n"
+          "  ok -[fault]-> failed;\n"
+          "end UnitFailure.Filter;\n\n";
+
+    os << "system System\n"
+          "features\n"
+          "  failed: out data port bool default false;\n"
+          "  panicked: out data port bool default false;\n"
+          "end System;\n";
+    os << "system implementation System.Imp\n"
+          "subcomponents\n"
+          "  sensor0: device Sensor.Imp;\n"
+          "  filter0: device Filter.Imp;\n"
+          "connections\n"
+          "  data port sensor0.reading -> filter0.raw_in in modes (m_0_0);\n"
+          "modes\n"
+          "  m_0_0: initial mode;\n"
+          "  dead: mode;\n"
+          "  panic: mode;\n"
+          "transitions\n"
+          "  m_0_0 -[when filter0.filtered > 10 then failed := true]-> dead;\n"
+          "  m_0_0 -[when filter0.filtered = 0 then failed := true]-> dead;\n"
+          "  m_0_0 -[when sensor0.reading = 9 and filter0.filtered = 0 then "
+          "panicked := true]-> panic;\n"
+          "end System.Imp;\n\n";
+
+    os << "fault injections\n"
+          "  component sensor0 uses error model UnitFailure.Sensor;\n"
+          "  component sensor0 in state failed effect reading := 9;\n"
+          "  component filter0 uses error model UnitFailure.Filter;\n"
+          "  component filter0 in state failed effect filtered := 0;\n"
+          "end fault injections;\n";
+    return os.str();
+}
+
+std::string sensor_filter_panic_goal() { return "panicked"; }
+
 } // namespace slimsim::models

@@ -25,4 +25,19 @@ namespace slimsim::models {
 /// Goal expression for the benchmark property P( <> [0,u] failed ).
 [[nodiscard]] std::string sensor_filter_goal();
 
+/// Strategy-sensitive single-redundancy variant for coverage profiling: the
+/// monitor additionally *panics* when it observes both failure signatures at
+/// once (sensor stuck high AND filter output zero). Under the ASAP strategy
+/// the monitor reacts to the first failure with zero delay, so the panic
+/// transition never fires and the panic mode stays unreached — the coverage
+/// profiler flags both — while the Progressive strategy's random reaction
+/// delay lets the second failure slip in first, making the panic goal
+/// reachable. The failure rates default to 0.9/hour so short horizons see
+/// plenty of double failures.
+[[nodiscard]] std::string sensor_filter_panic_source(double sensor_fail_per_hour = 0.9,
+                                                     double filter_fail_per_hour = 0.9);
+
+/// Goal expression for the panic property P( <> [0,u] panicked ).
+[[nodiscard]] std::string sensor_filter_panic_goal();
+
 } // namespace slimsim::models

@@ -1,0 +1,217 @@
+#include "sim/coverage.hpp"
+
+#include <algorithm>
+
+namespace slimsim::sim {
+
+CoverageShard::CoverageShard(const eda::ElementIndex& index)
+    : index_(&index),
+      mode_visits_(index.mode_count(), 0),
+      occupancy_(index.mode_count(), 0.0),
+      fires_(index.transition_count(), 0) {}
+
+void CoverageShard::begin_path(const eda::NetworkState& s) {
+    path_time_ = 0.0;
+    cur_mode_.resize(s.locations.size());
+    entered_at_.assign(s.locations.size(), 0.0);
+    for (std::size_t p = 0; p < s.locations.size(); ++p) {
+        const std::uint32_t id =
+            index_->mode_id(static_cast<eda::ProcessId>(p), s.locations[p]);
+        touch_mode(id);
+        ++mode_visits_[id];
+        cur_mode_[p] = id;
+    }
+}
+
+void CoverageShard::on_step(const eda::StepInfo& info) {
+    for (const auto& [p, t] : info.fired) {
+        const std::uint32_t tid = index_->transition_id(p, t);
+        if (fires_[tid] == 0) touched_fires_.push_back(tid);
+        ++fires_[tid];
+        const std::uint32_t dst = index_->transition_dst_mode(tid);
+        touch_mode(dst);
+        ++mode_visits_[dst];
+        // The left mode was touched when it was entered (its visit count is
+        // non-zero), so crediting its sojourn needs no touch here.
+        const auto pi = static_cast<std::size_t>(p);
+        occupancy_[cur_mode_[pi]] += path_time_ - entered_at_[pi];
+        cur_mode_[pi] = dst;
+        entered_at_[pi] = path_time_;
+    }
+}
+
+void CoverageShard::on_decision(std::span<const eda::Candidate> candidates,
+                                const ScheduledChoice& choice) {
+    // Consecutive decisions usually see the same candidate set; comparing
+    // the raw (unsorted) alternative sequence against the previous call
+    // skips the sort/dedup/lookup entirely on the hot path.
+    raw_scratch_.clear();
+    for (const auto& c : candidates) raw_scratch_.push_back(index_->alternative_id(c));
+    std::uint32_t cp;
+    if (last_cp_ != kNoChoicePoint && raw_scratch_ == last_raw_) {
+        cp = last_cp_;
+    } else {
+        key_scratch_ = raw_scratch_;
+        std::sort(key_scratch_.begin(), key_scratch_.end());
+        key_scratch_.erase(std::unique(key_scratch_.begin(), key_scratch_.end()),
+                           key_scratch_.end());
+        auto it = cp_by_key_.find(key_scratch_);
+        if (it == cp_by_key_.end()) {
+            const auto fresh = static_cast<std::uint32_t>(cp_keys_.size());
+            cp_keys_.push_back(key_scratch_);
+            it = cp_by_key_.emplace(key_scratch_, fresh).first;
+        }
+        cp = it->second;
+        last_cp_ = cp;
+        std::swap(last_raw_, raw_scratch_);
+    }
+    // last_raw_ holds the current sequence on both paths (the fast path
+    // only hits when raw_scratch_ == last_raw_).
+    const std::uint32_t alt =
+        choice.candidate >= 0 ? last_raw_[static_cast<std::size_t>(choice.candidate)]
+                              : kDelayAlternative;
+    for (auto& d : decisions_) {
+        if (d.choice_point == cp && d.alternative == alt) {
+            ++d.count;
+            return;
+        }
+    }
+    decisions_.push_back({cp, alt, 1});
+}
+
+void CoverageShard::end_path() {
+    for (std::size_t p = 0; p < cur_mode_.size(); ++p) {
+        occupancy_[cur_mode_[p]] += path_time_ - entered_at_[p];
+    }
+    for (const std::uint32_t id : touched_modes_) {
+        modes_flat_.push_back({id, mode_visits_[id], occupancy_[id]});
+        mode_visits_[id] = 0;
+        occupancy_[id] = 0.0;
+    }
+    for (const std::uint32_t id : touched_fires_) {
+        fires_flat_.push_back({id, fires_[id]});
+        fires_[id] = 0;
+    }
+    decisions_flat_.insert(decisions_flat_.end(), decisions_.begin(), decisions_.end());
+    path_ends_.push_back({static_cast<std::uint32_t>(modes_flat_.size()),
+                          static_cast<std::uint32_t>(fires_flat_.size()),
+                          static_cast<std::uint32_t>(decisions_flat_.size())});
+    touched_modes_.clear();
+    touched_fires_.clear();
+    decisions_.clear();
+}
+
+CoverageAccumulator::CoverageAccumulator(const eda::ElementIndex& index)
+    : index_(&index),
+      visits_(index.mode_count(), 0),
+      occupancy_(index.mode_count(), 0.0),
+      fires_(index.transition_count(), 0),
+      covered_(index.mode_count() + index.transition_count(), 0) {}
+
+std::vector<std::uint32_t>
+CoverageAccumulator::intern_choice_points(const CoverageShard& shard) {
+    std::vector<std::uint32_t> translation;
+    translation.reserve(shard.choice_point_count());
+    for (std::uint32_t cp = 0; cp < shard.choice_point_count(); ++cp) {
+        const auto [it, fresh] = cp_ids_.try_emplace(
+            shard.choice_point_key(cp), static_cast<std::uint32_t>(cp_alts_.size()));
+        if (fresh) cp_alts_.emplace_back();
+        translation.push_back(it->second);
+    }
+    return translation;
+}
+
+void CoverageAccumulator::merge_path(const CoverageShard& shard, std::size_t local_path,
+                                     std::span<const std::uint32_t> cp_translation) {
+    const std::uint64_t covered_before = covered_count_;
+    for (const auto& m : shard.path_modes(local_path)) {
+        visits_[m.id] += m.visits;
+        occupancy_[m.id] += m.occupancy;
+        if (covered_[m.id] == 0) {
+            covered_[m.id] = 1;
+            ++covered_count_;
+        }
+    }
+    const std::size_t mode_count = index_->mode_count();
+    for (const auto& f : shard.path_fires(local_path)) {
+        fires_[f.id] += f.count;
+        if (covered_[mode_count + f.id] == 0) {
+            covered_[mode_count + f.id] = 1;
+            ++covered_count_;
+        }
+    }
+    for (const auto& d : shard.path_decisions(local_path)) {
+        auto& alts = cp_alts_[cp_translation[d.choice_point]];
+        const auto pos = std::lower_bound(
+            alts.begin(), alts.end(), d.alternative,
+            [](const auto& entry, std::uint32_t alt) { return entry.first < alt; });
+        if (pos != alts.end() && pos->first == d.alternative) {
+            pos->second += d.count;
+        } else {
+            alts.insert(pos, {d.alternative, d.count});
+        }
+    }
+    ++paths_;
+    if (covered_count_ > covered_before) saturation_.push_back({paths_, covered_count_});
+}
+
+telemetry::CoverageReport CoverageAccumulator::report() const {
+    telemetry::CoverageReport out;
+    out.enabled = true;
+    out.paths = paths_;
+    out.modes.reserve(index_->mode_count());
+    for (std::uint32_t id = 0; id < index_->mode_count(); ++id) {
+        out.modes.push_back({index_->mode_name(id), visits_[id], occupancy_[id]});
+    }
+    out.transitions.reserve(index_->transition_count());
+    for (std::uint32_t id = 0; id < index_->transition_count(); ++id) {
+        out.transitions.push_back(
+            {index_->transition_name(id), fires_[id], index_->transition_is_error(id)});
+    }
+    auto alternative_name = [&](std::uint32_t alt) -> std::string {
+        if (alt == kDelayAlternative) return "(delay)";
+        return index_->alternative_name(alt);
+    };
+    for (const auto& [key, id] : cp_ids_) {
+        telemetry::CoverageChoicePoint cp;
+        for (const std::uint32_t alt : key) {
+            if (!cp.key.empty()) cp.key += " | ";
+            cp.key += alternative_name(alt);
+        }
+        for (const auto& [alt, count] : cp_alts_[id]) {
+            cp.decisions += count;
+            cp.alternatives.push_back({alternative_name(alt), count});
+        }
+        out.choice_points.push_back(std::move(cp));
+    }
+    out.saturation = saturation_;
+    // Close the series: the terminal point states how many paths the run
+    // completed even when the last paths covered nothing new.
+    if (out.saturation.empty() || out.saturation.back().paths != paths_) {
+        out.saturation.push_back({paths_, covered_count_});
+    }
+    return out;
+}
+
+telemetry::CoverageReport merge_coverage(std::span<const CoverageShard* const> shards,
+                                         std::span<const std::uint64_t> accepted) {
+    SLIMSIM_ASSERT(!shards.empty() && shards.size() == accepted.size());
+    CoverageAccumulator acc(shards.front()->index());
+    std::vector<std::vector<std::uint32_t>> translations;
+    translations.reserve(shards.size());
+    for (const CoverageShard* shard : shards) {
+        translations.push_back(acc.intern_choice_points(*shard));
+    }
+    std::uint64_t total = 0;
+    for (const std::uint64_t a : accepted) total += a;
+    const auto k = static_cast<std::uint64_t>(shards.size());
+    for (std::uint64_t j = 0; j < total; ++j) {
+        const auto w = static_cast<std::size_t>(j % k);
+        const std::uint64_t local = j / k;
+        SLIMSIM_ASSERT(local < accepted[w] && local < shards[w]->path_count());
+        acc.merge_path(*shards[w], static_cast<std::size_t>(local), translations[w]);
+    }
+    return acc.report();
+}
+
+} // namespace slimsim::sim

@@ -1,0 +1,205 @@
+// Model coverage, occupancy & decision profiling.
+//
+// When coverage is requested, each worker owns one CoverageShard that
+// records a sparse per-path delta over the instantiated network's elements
+// (eda::ElementIndex): mode entry counts, sojourn-time-weighted time-in-mode
+// occupancy (model time, so the numbers are deterministic), transition fire
+// counts (error-model transitions double as error-event activations) and
+// per-choice-point strategy decision histograms (via sim::DecisionObserver).
+//
+// Shards merge into a CoverageAccumulator in *global path order*: coverage
+// runs use the curve runners' per-path RNG streams, worker w of k owns
+// global paths w, w+k, w+2k, ..., and the accumulator replays the accepted
+// prefix path by path. Every floating-point occupancy addition therefore
+// happens in the same order for every worker count, making the merged
+// profile — including the coverage-saturation series — byte-identical
+// across workers at a fixed seed (docs/coverage.md).
+#pragma once
+
+#include <array>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "eda/network.hpp"
+#include "sim/strategy.hpp"
+#include "support/telemetry.hpp"
+
+namespace slimsim::sim {
+
+/// Alternative id of "pure delay, no candidate" decisions (strategies may
+/// schedule a delay without picking a candidate); sorts after every real
+/// alternative of eda::ElementIndex.
+inline constexpr std::uint32_t kDelayAlternative = 0xffffffffu;
+
+/// Sparse coverage delta entries of one completed path, in first-touch
+/// order (a pure function of the path itself, so deltas merge identically
+/// no matter which worker produced them). Deltas live in flat per-shard
+/// arenas — recording a path costs amortized appends, never a per-path
+/// allocation.
+struct PathCoverage {
+    struct ModeEntry {
+        std::uint32_t id = 0;
+        std::uint32_t visits = 0;
+        double occupancy = 0.0;
+    };
+    struct FireEntry {
+        std::uint32_t id = 0;
+        std::uint32_t count = 0;
+    };
+    struct DecisionEntry {
+        std::uint32_t choice_point = 0; // shard-local choice-point id
+        std::uint32_t alternative = 0;  // alternative id / kDelayAlternative
+        std::uint32_t count = 0;
+    };
+};
+
+/// Per-worker coverage accumulator. The path generator drives begin_path /
+/// on_elapse / on_step / end_path; the strategy reports decisions through
+/// the DecisionObserver hook. Dense scratch arrays are reused across paths
+/// (cleared in O(touched elements)), so steady-state recording allocates
+/// only the sealed per-path deltas.
+class CoverageShard final : public DecisionObserver {
+public:
+    explicit CoverageShard(const eda::ElementIndex& index);
+
+    void begin_path(const eda::NetworkState& s);
+    /// Called when the network elapses d time units; O(1) — it only advances
+    /// the path clock. Occupancy is credited when a process *leaves* a mode
+    /// (on_step / end_path), which is exact because every mid-path location
+    /// change is a fired transition reported in eda::StepInfo (activation
+    /// cascades included).
+    void on_elapse(double d) { path_time_ += d; }
+    /// Called after a discrete step; credits fires, destination visits and
+    /// the sojourn occupancy of every mode left by a fired transition.
+    void on_step(const eda::StepInfo& info);
+    void on_decision(std::span<const eda::Candidate> candidates,
+                     const ScheduledChoice& choice) override;
+    /// Seals the current path's delta.
+    void end_path();
+
+    [[nodiscard]] const eda::ElementIndex& index() const { return *index_; }
+    [[nodiscard]] std::size_t path_count() const { return path_ends_.size(); }
+    [[nodiscard]] std::span<const PathCoverage::ModeEntry> path_modes(std::size_t i) const {
+        return {modes_flat_.data() + (i == 0 ? 0 : path_ends_[i - 1].modes),
+                modes_flat_.data() + path_ends_[i].modes};
+    }
+    [[nodiscard]] std::span<const PathCoverage::FireEntry> path_fires(std::size_t i) const {
+        return {fires_flat_.data() + (i == 0 ? 0 : path_ends_[i - 1].fires),
+                fires_flat_.data() + path_ends_[i].fires};
+    }
+    [[nodiscard]] std::span<const PathCoverage::DecisionEntry>
+    path_decisions(std::size_t i) const {
+        return {decisions_flat_.data() + (i == 0 ? 0 : path_ends_[i - 1].decisions),
+                decisions_flat_.data() + path_ends_[i].decisions};
+    }
+    [[nodiscard]] std::size_t choice_point_count() const { return cp_keys_.size(); }
+    /// Sorted alternative-id key of a shard-local choice-point id.
+    [[nodiscard]] const std::vector<std::uint32_t>& choice_point_key(std::uint32_t cp) const {
+        return cp_keys_[cp];
+    }
+
+private:
+    void touch_mode(std::uint32_t id) {
+        if (mode_visits_[id] == 0 && occupancy_[id] == 0.0) touched_modes_.push_back(id);
+    }
+
+    const eda::ElementIndex* index_;
+    // Incremental occupancy: model-time path clock plus each process's
+    // current mode and entry time, so the per-elapse hot path is O(1)
+    // instead of O(processes).
+    double path_time_ = 0.0;
+    std::vector<std::uint32_t> cur_mode_;
+    std::vector<double> entered_at_;
+    // Dense per-path scratch, indexed by element id.
+    std::vector<std::uint32_t> mode_visits_;
+    std::vector<double> occupancy_;
+    std::vector<std::uint32_t> fires_;
+    std::vector<std::uint32_t> touched_modes_;
+    std::vector<std::uint32_t> touched_fires_;
+    std::vector<PathCoverage::DecisionEntry> decisions_;
+    std::vector<std::uint32_t> key_scratch_;
+    std::vector<std::uint32_t> raw_scratch_;
+    std::vector<std::uint32_t> last_raw_;
+    static constexpr std::uint32_t kNoChoicePoint = 0xffffffffu;
+    std::uint32_t last_cp_ = kNoChoicePoint;
+    std::map<std::vector<std::uint32_t>, std::uint32_t> cp_by_key_;
+    std::vector<std::vector<std::uint32_t>> cp_keys_;
+    // Flat per-path delta arenas; path i owns the half-open entry ranges
+    // [path_ends_[i-1], path_ends_[i]) (0 for the first path).
+    struct PathEnd {
+        std::uint32_t modes = 0;
+        std::uint32_t fires = 0;
+        std::uint32_t decisions = 0;
+    };
+    std::vector<PathCoverage::ModeEntry> modes_flat_;
+    std::vector<PathCoverage::FireEntry> fires_flat_;
+    std::vector<PathCoverage::DecisionEntry> decisions_flat_;
+    std::vector<PathEnd> path_ends_;
+};
+
+/// Merges per-path deltas into the whole-run profile and tracks the
+/// coverage-saturation series (distinct covered elements vs. paths).
+class CoverageAccumulator {
+public:
+    explicit CoverageAccumulator(const eda::ElementIndex& index);
+
+    /// Interns every choice point of `shard` and returns the shard-local id
+    /// -> accumulator id translation, so merge_path pays plain vector
+    /// indexing per decision entry instead of a keyed map lookup per path.
+    [[nodiscard]] std::vector<std::uint32_t>
+    intern_choice_points(const CoverageShard& shard);
+
+    /// Folds in shard-local path `local_path`; call in global path order.
+    /// `cp_translation` is intern_choice_points(shard).
+    void merge_path(const CoverageShard& shard, std::size_t local_path,
+                    std::span<const std::uint32_t> cp_translation);
+
+    [[nodiscard]] telemetry::CoverageReport report() const;
+
+private:
+    const eda::ElementIndex* index_;
+    std::uint64_t paths_ = 0;
+    std::vector<std::uint64_t> visits_;
+    std::vector<double> occupancy_;
+    std::vector<std::uint64_t> fires_;
+    // Choice points keyed by their alternative-id sets (shard-local ids are
+    // translated to interned accumulator ids before merging). The report
+    // iterates cp_ids_, so output order is key order regardless of the
+    // interning order.
+    std::map<std::vector<std::uint32_t>, std::uint32_t> cp_ids_;
+    // Per-cp (alternative, count) pairs, kept sorted by alternative; the
+    // handful of alternatives per choice point makes a flat vector cheaper
+    // than a node-based map in the per-path merge loop.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> cp_alts_;
+    std::vector<char> covered_; // modes, then transitions
+    std::uint64_t covered_count_ = 0;
+    std::vector<telemetry::CoverageSaturationPoint> saturation_;
+};
+
+/// Merges the accepted prefix of a sharded run: worker w of k owns global
+/// paths w, w+k, ... and contributed its first accepted[w] paths. With one
+/// shard this is plainly "the first accepted[0] paths".
+[[nodiscard]] telemetry::CoverageReport
+merge_coverage(std::span<const CoverageShard* const> shards,
+               std::span<const std::uint64_t> accepted);
+
+/// RAII: attaches a DecisionObserver to a caller-provided strategy for the
+/// duration of a run, restoring the previous observer on scope exit (the
+/// witness replay after the sampling loop must not pollute the profile).
+class ObserverGuard {
+public:
+    ObserverGuard(Strategy& strategy, DecisionObserver* observer)
+        : strategy_(&strategy), previous_(strategy.observer()) {
+        strategy_->set_observer(observer);
+    }
+    ~ObserverGuard() { strategy_->set_observer(previous_); }
+    ObserverGuard(const ObserverGuard&) = delete;
+    ObserverGuard& operator=(const ObserverGuard&) = delete;
+
+private:
+    Strategy* strategy_;
+    DecisionObserver* previous_;
+};
+
+} // namespace slimsim::sim

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "sim/coverage.hpp"
 #include "stat/collector.hpp"
 #include "support/memprobe.hpp"
 
@@ -19,11 +22,28 @@ EstimationResult estimate_parallel(const eda::Network& net,
         throw Error("the input strategy cannot be used in parallel runs");
     }
     if (options.workers < 1) throw Error("worker count must be at least 1");
+    const bool coverage = options.sim.coverage;
+    if (coverage && options.collection != CollectionMode::RoundRobin) {
+        throw Error("coverage profiling requires round-robin collection");
+    }
 
     const auto start = std::chrono::steady_clock::now();
     const Rng master(seed);
     stat::SampleCollector collector(options.workers);
     std::atomic<bool> stop{false};
+
+    // One shard per worker; worker w records its paths in generation order
+    // (its local path i is global path w + i*k), so merge_coverage can walk
+    // the accepted prefix in global path order after the threads join.
+    std::optional<eda::ElementIndex> element_index;
+    std::vector<std::unique_ptr<CoverageShard>> shards;
+    if (coverage) {
+        element_index.emplace(net.model());
+        shards.reserve(options.workers);
+        for (std::size_t w = 0; w < options.workers; ++w) {
+            shards.push_back(std::make_unique<CoverageShard>(*element_index));
+        }
+    }
 
     std::mutex merge_mutex;
     std::vector<std::uint64_t> generated(options.workers, 0);
@@ -55,12 +75,22 @@ EstimationResult estimate_parallel(const eda::Network& net,
                 const auto strat = make_strategy(strategy);
                 SimOptions sim_options = options.sim;
                 sim_options.trace_lane = lanes[w];
+                if (coverage) {
+                    sim_options.coverage_shard = shards[w].get();
+                    strat->set_observer(shards[w].get());
+                }
                 const PathGenerator gen(net, property, *strat, sim_options);
                 WitnessBuffer& witnesses = witness_buffers[w];
                 const bool capture = witnesses.active();
                 Rng pre_path(0);
                 std::uint64_t local_generated = 0;
                 while (!stop.load(std::memory_order_relaxed)) {
+                    // Coverage runs switch to per-PATH RNG streams (global
+                    // path j uses split(j)) so the accepted path set — and
+                    // the profile — matches every other worker count.
+                    if (coverage) {
+                        rng = master.split(w + local_generated * options.workers);
+                    }
                     if (capture && !witnesses.saturated()) pre_path = rng;
                     const PathOutcome out = gen.run(rng);
                     if (capture) witnesses.offer(local_generated, pre_path, out);
@@ -95,7 +125,14 @@ EstimationResult estimate_parallel(const eda::Network& net,
     };
     while (!stop.load(std::memory_order_relaxed)) {
         std::size_t consumed = 0;
-        if (options.collection == CollectionMode::RoundRobin) {
+        if (coverage) {
+            // Sample-granular ordered draining: with per-path streams the
+            // accepted prefix — possibly ending mid-round — is the same for
+            // every worker count, so the coverage profile is too.
+            consumed = collector.drain_ordered(
+                summary, nullptr, &terminal_tags,
+                [&] { return criterion.should_stop(summary); });
+        } else if (options.collection == CollectionMode::RoundRobin) {
             // One round at a time, consulting the criterion in between:
             // the accepted sample set is then deterministic in (seed, k).
             consumed = collector.drain_rounds(summary, 1, &terminal_tags);
@@ -146,6 +183,12 @@ EstimationResult estimate_parallel(const eda::Network& net,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
     const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
+    if (coverage) {
+        std::vector<const CoverageShard*> shard_ptrs;
+        shard_ptrs.reserve(shards.size());
+        for (const auto& s : shards) shard_ptrs.push_back(s.get());
+        result.coverage = merge_coverage(shard_ptrs, accepted);
+    }
     if (witness_k > 0) {
         // Replay the selected paths on this thread with a fresh strategy
         // instance of the same kind (strategies are stateless) and with
@@ -153,6 +196,8 @@ EstimationResult estimate_parallel(const eda::Network& net,
         SimOptions replay_options = options.sim;
         replay_options.recorder = nullptr;
         replay_options.trace_lane = nullptr;
+        replay_options.coverage = false;
+        replay_options.coverage_shard = nullptr;
         const auto replay_strat = make_strategy(strategy);
         const PathGenerator replay_gen(net, property, *replay_strat, replay_options);
         const auto selected = select_witness_paths(witness_buffers, accepted, witness_k);
@@ -179,6 +224,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
             report->worker_stats.push_back(
                 telemetry::WorkerStats{w, w, generated[w], accepted[w]});
         }
+        if (coverage) report->coverage = result.coverage;
     }
     return result;
 }
@@ -212,6 +258,19 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     stat::SampleCollector collector(k);
     std::atomic<bool> stop{false};
 
+    // Curve workers already use per-path RNG streams and sample-granular
+    // ordered draining, so coverage only needs the per-worker shards.
+    const bool coverage = options.sim.coverage;
+    std::optional<eda::ElementIndex> element_index;
+    std::vector<std::unique_ptr<CoverageShard>> shards;
+    if (coverage) {
+        element_index.emplace(net.model());
+        shards.reserve(k);
+        for (std::size_t w = 0; w < k; ++w) {
+            shards.push_back(std::make_unique<CoverageShard>(*element_index));
+        }
+    }
+
     std::mutex merge_mutex;
     std::vector<std::uint64_t> generated(k, 0);
     std::exception_ptr worker_error;
@@ -232,6 +291,10 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                 const auto strat = make_strategy(strategy);
                 SimOptions sim_options = options.sim;
                 sim_options.trace_lane = lanes[w];
+                if (coverage) {
+                    sim_options.coverage_shard = shards[w].get();
+                    strat->set_observer(shards[w].get());
+                }
                 const PathGenerator gen(net, horizon, *strat, sim_options);
                 std::uint64_t local_generated = 0;
                 // Worker w owns the global path indices w, w+k, w+2k, ...;
@@ -272,7 +335,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         // every sample, so the run stops at exactly the same accepted prefix
         // as a sequential run — even when the final count is mid-round.
         const std::size_t consumed = collector.drain_ordered(
-            last, summary, &terminal_tags,
+            last, &summary, &terminal_tags,
             [&] { return criterion.should_stop_curve(summary); });
         if (report != nullptr && consumed > 0 && summary.count() >= next_mark) {
             report->stop_trajectory.push_back({summary.count(), required});
@@ -303,7 +366,14 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                                         elapsed(), options.sim.progress));
     }
 
+    const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
     CurveResult result;
+    if (coverage) {
+        std::vector<const CoverageShard*> shard_ptrs;
+        shard_ptrs.reserve(shards.size());
+        for (const auto& s : shards) shard_ptrs.push_back(s.get());
+        result.coverage = merge_coverage(shard_ptrs, accepted);
+    }
     result.points = curve_points(summary);
     result.samples = summary.count();
     result.band = stat::to_string(curve.band);
@@ -333,7 +403,6 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         report->terminals = terminal_histogram(result.terminals);
         report->collector = collector.stats();
         report->worker_stats.clear();
-        const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
         for (std::size_t w = 0; w < k; ++w) {
             // In curve mode streams are per path; stream id w stands for the
             // worker's family {w, w+k, w+2k, ...}.
@@ -341,6 +410,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                 telemetry::WorkerStats{w, w, generated[w], accepted[w]});
         }
         report->curve = {result.band, result.simultaneous_eps, result.points};
+        if (coverage) report->coverage = result.coverage;
     }
     return result;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "expr/timeline.hpp"
+#include "sim/coverage.hpp"
 
 namespace slimsim::sim {
 
@@ -34,7 +35,8 @@ std::string to_string(PathTerminal t) {
 
 PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula,
                              Strategy& strategy, SimOptions options)
-    : net_(net), formula_(formula), strategy_(strategy), options_(options) {
+    : net_(net), formula_(formula), strategy_(strategy), options_(options),
+      cov_(options.coverage_shard) {
     SLIMSIM_ASSERT(formula_.goal != nullptr);
     SLIMSIM_ASSERT(formula_.kind != FormulaKind::Until || formula_.hold != nullptr);
     if (telemetry::Recorder* rec = options_.recorder;
@@ -136,6 +138,11 @@ PathGenerator::MonitorResult PathGenerator::elapse_verdict(const eda::NetworkSta
     return {};
 }
 
+void PathGenerator::advance(eda::NetworkState& s, double d) const {
+    if (cov_ != nullptr && d > 0.0) cov_->on_elapse(d);
+    net_.elapse(s, d);
+}
+
 std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng,
                                                   std::size_t& steps, Trace* trace,
                                                   std::optional<double>* sched_abs) const {
@@ -225,7 +232,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
     if (next_event > remaining && next_event <= window) {
         const MonitorResult v = elapse_verdict(s, remaining);
         SLIMSIM_ASSERT(v.verdict != Verdict::Undecided);
-        net_.elapse(s, v.at);
+        advance(s, v.at);
         return finish_decided(v);
     }
 
@@ -237,11 +244,12 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
     if (markov_first) {
         if (const MonitorResult v = elapse_verdict(s, t_markov);
             v.verdict != Verdict::Undecided) {
-            net_.elapse(s, v.at);
+            advance(s, v.at);
             return finish_decided(v);
         }
-        net_.elapse(s, t_markov);
+        advance(s, t_markov);
         const eda::StepInfo info = net_.execute_markovian(s, markov_winner, rng);
+        if (cov_ != nullptr) cov_->on_step(info);
         if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
         if (c_markovian_ != nullptr) c_markovian_->add();
         if (lane_ != nullptr) {
@@ -256,13 +264,14 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
     if (choice) {
         if (const MonitorResult v = elapse_verdict(s, choice->delay);
             v.verdict != Verdict::Undecided) {
-            net_.elapse(s, v.at);
+            advance(s, v.at);
             return finish_decided(v);
         }
-        net_.elapse(s, choice->delay);
+        advance(s, choice->delay);
         if (choice->candidate >= 0) {
             const eda::StepInfo info =
                 net_.execute(s, cands[static_cast<std::size_t>(choice->candidate)], rng);
+            if (cov_ != nullptr) cov_->on_step(info);
             if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
             if (sched_abs != nullptr) sched_abs->reset();
             if (c_strategy_ != nullptr) c_strategy_->add();
@@ -292,11 +301,11 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
                             ": no discrete step can ever happen again");
             }
             if (v.at >= remaining - 1e-12) {
-                net_.elapse(s, v.at);
+                advance(s, v.at);
                 return finish(false, PathTerminal::Deadlock);
             }
         }
-        net_.elapse(s, v.at);
+        advance(s, v.at);
         return finish_decided(v);
     }
     // window < remaining and the monitor is still undecided at the
@@ -306,7 +315,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         throw Error("timelock at t=" + std::to_string(s.time + window) +
                     ": an invariant expires with no enabled transition");
     }
-    net_.elapse(s, window);
+    advance(s, window);
     return finish(false, PathTerminal::Timelock);
 }
 
@@ -316,8 +325,10 @@ PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
     std::size_t steps = 0;
     if (trace != nullptr) trace->record(0.0, "initial " + describe_state(net_, s));
     if (lane_ != nullptr) lane_->begin(n_path_);
+    if (cov_ != nullptr) cov_->begin_path(s);
     for (;;) {
         if (auto out = iterate(s, rng, steps, trace, &scheduled_abs)) {
+            if (cov_ != nullptr) cov_->end_path();
             if (c_paths_ != nullptr) {
                 c_paths_->add();
                 c_steps_->add(out->steps);

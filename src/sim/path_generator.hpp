@@ -26,6 +26,8 @@
 
 namespace slimsim::sim {
 
+class CoverageShard;
+
 /// What to do when a path gets stuck (paper, Sec. III-D).
 enum class StuckPolicy : std::uint8_t { Falsify, Error };
 
@@ -55,6 +57,12 @@ struct SimOptions {
     /// runners (the path generator itself ignores both).
     WitnessOptions witness;
     ProgressOptions progress;
+    /// Coverage profiling (sim/coverage.hpp). `coverage` carries the user's
+    /// request to the estimation runners, which create per-worker shards,
+    /// switch to per-path RNG streams and set `coverage_shard`; a generator
+    /// with a null shard (default) pays one branch per event.
+    bool coverage = false;
+    CoverageShard* coverage_shard = nullptr;
 };
 
 enum class PathTerminal : std::uint8_t {
@@ -124,11 +132,16 @@ private:
     /// Formula verdict along the elapse segment (0, d] from the current
     /// state (constant derivatives; solved exactly).
     [[nodiscard]] MonitorResult elapse_verdict(const eda::NetworkState& s, double d) const;
+    /// net_.elapse with the elapsed sojourn reported to the coverage shard
+    /// (which advances its model-time path clock; occupancy is credited
+    /// when a process leaves a mode).
+    void advance(eda::NetworkState& s, double d) const;
 
     const eda::Network& net_;
     const PathFormula& formula_;
     Strategy& strategy_;
     SimOptions options_;
+    CoverageShard* cov_ = nullptr;
     // Telemetry instruments, resolved once at construction (null when off).
     telemetry::Counter* c_paths_ = nullptr;
     telemetry::Counter* c_steps_ = nullptr;

@@ -1,8 +1,10 @@
 #include "sim/runner.hpp"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 
+#include "sim/coverage.hpp"
 #include "support/diagnostics.hpp"
 #include "support/memprobe.hpp"
 
@@ -20,7 +22,21 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                           std::uint64_t seed, const SimOptions& options,
                           telemetry::RunReport* report) {
     const auto start = std::chrono::steady_clock::now();
-    PathGenerator gen(net, property, strategy, options);
+    // Coverage profiling switches to the curve runners' per-path RNG streams
+    // (path j simulates with Rng(seed).split(j)) so the accepted path set —
+    // and with it the estimate and the profile — matches a parallel coverage
+    // run at any worker count byte for byte (sim/coverage.hpp).
+    const bool coverage = options.coverage;
+    std::optional<eda::ElementIndex> element_index;
+    std::optional<CoverageShard> shard;
+    SimOptions sim_options = options;
+    if (coverage) {
+        element_index.emplace(net.model());
+        shard.emplace(*element_index);
+        sim_options.coverage_shard = &*shard;
+    }
+    PathGenerator gen(net, property, strategy, sim_options);
+    const Rng master(seed);
     Rng rng(seed);
     stat::BernoulliSummary summary;
     EstimationResult result;
@@ -43,24 +59,32 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
 
     Rng pre_path(0);
     std::uint64_t path_index = 0;
-    while (!criterion.should_stop(summary)) {
-        if (capture && !witness_buffer.saturated()) pre_path = rng;
-        const PathOutcome out = gen.run(rng);
-        if (capture) witness_buffer.offer(path_index, pre_path, out);
-        ++path_index;
-        summary.add(out.satisfied);
-        ++result.terminals[static_cast<std::size_t>(out.terminal)];
-        if (report != nullptr && summary.count == next_mark) {
-            report->stop_trajectory.push_back({summary.count, required});
-            next_mark *= 2;
-        }
-        if (progress) {
-            const auto now = std::chrono::steady_clock::now();
-            if (std::chrono::duration<double>(now - last_progress).count() >=
-                options.progress.min_interval_seconds) {
-                progress(make_progress_snapshot(summary.count, summary.successes,
-                                                required, elapsed(), options.progress));
-                last_progress = now;
+    {
+        // Decision observation stays scoped to the sampling loop: the
+        // witness replay below reuses `strategy` and must not pollute the
+        // decision histograms.
+        const ObserverGuard observe(strategy, coverage ? &*shard : nullptr);
+        while (!criterion.should_stop(summary)) {
+            if (coverage) rng = master.split(path_index);
+            if (capture && !witness_buffer.saturated()) pre_path = rng;
+            const PathOutcome out = gen.run(rng);
+            if (capture) witness_buffer.offer(path_index, pre_path, out);
+            ++path_index;
+            summary.add(out.satisfied);
+            ++result.terminals[static_cast<std::size_t>(out.terminal)];
+            if (report != nullptr && summary.count == next_mark) {
+                report->stop_trajectory.push_back({summary.count, required});
+                next_mark *= 2;
+            }
+            if (progress) {
+                const auto now = std::chrono::steady_clock::now();
+                if (std::chrono::duration<double>(now - last_progress).count() >=
+                    options.progress.min_interval_seconds) {
+                    progress(make_progress_snapshot(summary.count, summary.successes,
+                                                    required, elapsed(),
+                                                    options.progress));
+                    last_progress = now;
+                }
             }
         }
     }
@@ -76,6 +100,8 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         SimOptions replay_options = options;
         replay_options.recorder = nullptr;
         replay_options.trace_lane = nullptr;
+        replay_options.coverage = false;
+        replay_options.coverage_shard = nullptr;
         const PathGenerator replay_gen(net, property, strategy, replay_options);
         const WitnessBuffer buffers[] = {witness_buffer};
         const std::uint64_t accepted[] = {summary.count};
@@ -83,6 +109,11 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
             select_witness_paths(buffers, accepted, options.witness.per_kind);
         result.witnesses =
             replay_witnesses(replay_gen, selected, options.witness.max_bytes);
+    }
+    if (coverage) {
+        const CoverageShard* shard_ptr = &*shard;
+        const std::uint64_t accepted = summary.count;
+        result.coverage = merge_coverage({&shard_ptr, 1}, {&accepted, 1});
     }
     result.estimate = summary.mean();
     result.samples = summary.count;
@@ -108,6 +139,7 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         // Stream 0 denotes the master stream (parallel workers use splits).
         report->worker_stats = {
             telemetry::WorkerStats{0, 0, result.samples, result.samples}};
+        if (coverage) report->coverage = result.coverage;
     }
     return result;
 }
@@ -173,7 +205,17 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
     // a path simulated to u_max decides every smaller bound at once.
     TimedReachability horizon = property;
     horizon.bound = curve.bounds.back();
-    PathGenerator gen(net, horizon, strategy, options);
+    const bool coverage = options.coverage;
+    std::optional<eda::ElementIndex> element_index;
+    std::optional<CoverageShard> shard;
+    SimOptions sim_options = options;
+    if (coverage) {
+        element_index.emplace(net.model());
+        shard.emplace(*element_index);
+        sim_options.coverage_shard = &*shard;
+    }
+    const ObserverGuard observe(strategy, coverage ? &*shard : nullptr);
+    PathGenerator gen(net, horizon, strategy, sim_options);
     const Rng master(seed);
     stat::CurveSummary summary(curve.bounds);
     stat::BernoulliSummary last; // the largest bound; drives progress/trajectory
@@ -223,6 +265,11 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
     }
     run_span.end();
 
+    if (coverage) {
+        const CoverageShard* shard_ptr = &*shard;
+        const std::uint64_t accepted = summary.count();
+        result.coverage = merge_coverage({&shard_ptr, 1}, {&accepted, 1});
+    }
     result.points = curve_points(summary);
     result.samples = summary.count();
     result.band = stat::to_string(curve.band);
@@ -249,6 +296,7 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
         report->worker_stats = {
             telemetry::WorkerStats{0, 0, result.samples, result.samples}};
         report->curve = {result.band, result.simultaneous_eps, result.points};
+        if (coverage) report->coverage = result.coverage;
     }
     return result;
 }

@@ -24,6 +24,11 @@ struct EstimationResult {
     /// them): first K accepting then first K non-accepting, in accepted
     /// order — deterministic in (seed, workers).
     std::vector<Witness> witnesses;
+    /// Coverage profile over the accepted paths (enabled only when
+    /// SimOptions::coverage asks for it). Coverage runs use per-path RNG
+    /// streams, so the profile — and the estimate — is byte-identical for
+    /// every worker count at a fixed seed (sim/coverage.hpp).
+    telemetry::CoverageReport coverage;
 
     [[nodiscard]] std::string to_string() const;
 };
@@ -80,6 +85,9 @@ struct CurveResult {
     std::array<std::size_t, kPathTerminalCount> terminals{};
     double wall_seconds = 0.0;
     std::size_t peak_rss_bytes = 0;
+    /// Coverage profile over the shared path set (enabled only when
+    /// SimOptions::coverage asks for it).
+    telemetry::CoverageReport coverage;
 
     [[nodiscard]] std::string to_string() const;
 };

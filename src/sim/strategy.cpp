@@ -24,7 +24,7 @@ class AsapStrategy final : public Strategy {
 public:
     std::string name() const override { return "asap"; }
 
-    std::optional<ScheduledChoice> choose(const eda::Network&, const eda::NetworkState&,
+    std::optional<ScheduledChoice> choose_impl(const eda::Network&, const eda::NetworkState&,
                                           std::span<const eda::Candidate> candidates,
                                           double /*horizon*/, Rng& rng) override {
         double first = kInf;
@@ -42,7 +42,7 @@ class ProgressiveStrategy final : public Strategy {
 public:
     std::string name() const override { return "progressive"; }
 
-    std::optional<ScheduledChoice> choose(const eda::Network&, const eda::NetworkState&,
+    std::optional<ScheduledChoice> choose_impl(const eda::Network&, const eda::NetworkState&,
                                           std::span<const eda::Candidate> candidates,
                                           double /*horizon*/, Rng& rng) override {
         IntervalSet all;
@@ -59,7 +59,7 @@ class LocalStrategy final : public Strategy {
 public:
     std::string name() const override { return "local"; }
 
-    std::optional<ScheduledChoice> choose(const eda::Network&, const eda::NetworkState&,
+    std::optional<ScheduledChoice> choose_impl(const eda::Network&, const eda::NetworkState&,
                                           std::span<const eda::Candidate> candidates,
                                           double horizon, Rng& rng) override {
         if (candidates.empty() && horizon <= 0.0) return std::nullopt;
@@ -78,7 +78,7 @@ class MaxTimeStrategy final : public Strategy {
 public:
     std::string name() const override { return "maxtime"; }
 
-    std::optional<ScheduledChoice> choose(const eda::Network&, const eda::NetworkState&,
+    std::optional<ScheduledChoice> choose_impl(const eda::Network&, const eda::NetworkState&,
                                           std::span<const eda::Candidate> candidates,
                                           double horizon, Rng& rng) override {
         const double t = horizon;
@@ -94,7 +94,7 @@ public:
 
     std::string name() const override { return "input"; }
 
-    std::optional<ScheduledChoice> choose(const eda::Network& net,
+    std::optional<ScheduledChoice> choose_impl(const eda::Network& net,
                                           const eda::NetworkState& state,
                                           std::span<const eda::Candidate> candidates,
                                           double horizon, Rng&) override {

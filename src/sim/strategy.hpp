@@ -37,6 +37,17 @@ struct ScheduledChoice {
     int candidate = -1;
 };
 
+/// Observes every resolved scheduling decision (sim/coverage builds its
+/// per-choice-point decision histograms through this). The observer sees the
+/// candidate span the strategy chose from plus the choice it made; it is only
+/// notified for decisions at a real choice point (a non-empty candidate set).
+class DecisionObserver {
+public:
+    virtual ~DecisionObserver() = default;
+    virtual void on_decision(std::span<const eda::Candidate> candidates,
+                             const ScheduledChoice& choice) = 0;
+};
+
 class Strategy {
 public:
     virtual ~Strategy() = default;
@@ -46,10 +57,31 @@ public:
     /// Chooses a delay (within [0, horizon]) and optionally a candidate
     /// enabled after that delay. Candidates' enablement sets are already
     /// clamped to [0, horizon]. Returns nullopt when the strategy cannot
-    /// make progress (no candidate and no useful delay).
-    [[nodiscard]] virtual std::optional<ScheduledChoice>
+    /// make progress (no candidate and no useful delay). Non-virtual: the
+    /// decision is delegated to choose_impl and, when an observer is
+    /// attached, reported to it.
+    [[nodiscard]] std::optional<ScheduledChoice>
     choose(const eda::Network& net, const eda::NetworkState& state,
-           std::span<const eda::Candidate> candidates, double horizon, Rng& rng) = 0;
+           std::span<const eda::Candidate> candidates, double horizon, Rng& rng) {
+        auto choice = choose_impl(net, state, candidates, horizon, rng);
+        if (observer_ != nullptr && choice.has_value() && !candidates.empty()) {
+            observer_->on_decision(candidates, *choice);
+        }
+        return choice;
+    }
+
+    /// Attaches (or detaches, with nullptr) the decision observer. Not
+    /// thread-safe: parallel runners give each worker its own strategy.
+    void set_observer(DecisionObserver* observer) { observer_ = observer; }
+    [[nodiscard]] DecisionObserver* observer() const { return observer_; }
+
+protected:
+    [[nodiscard]] virtual std::optional<ScheduledChoice>
+    choose_impl(const eda::Network& net, const eda::NetworkState& state,
+                std::span<const eda::Candidate> candidates, double horizon, Rng& rng) = 0;
+
+private:
+    DecisionObserver* observer_ = nullptr;
 };
 
 /// Callback type of the Input strategy. Receiving the same arguments as

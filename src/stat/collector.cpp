@@ -62,13 +62,13 @@ void SampleCollector::set_trace(tracer::Lane* lane) {
     }
 }
 
-std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSummary& curve,
+std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSummary* curve,
                                            std::vector<std::uint64_t>* tag_counts,
                                            const std::function<bool()>& done) {
     std::lock_guard lock(mutex_);
     std::size_t consumed = 0;
     while (!buffers_[cursor_].empty()) {
-        consume_locked(summary, cursor_, tag_counts, &curve);
+        consume_locked(summary, cursor_, tag_counts, curve);
         ++consumed;
         cursor_ = (cursor_ + 1) % buffers_.size();
         if (cursor_ == 0) {

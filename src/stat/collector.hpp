@@ -60,17 +60,18 @@ public:
     std::size_t drain_unordered(BernoulliSummary& summary,
                                 std::vector<std::uint64_t>* tag_counts = nullptr);
 
-    /// Round-robin consumption at *sample* granularity, for curve
-    /// estimation: consumes in global accepted order (sample r of worker 0,
-    /// 1, ..., K-1, then sample r+1, ...), resuming mid-round across calls,
-    /// and stops as soon as `done()` returns true after a sample or the next
-    /// worker in order has nothing buffered. Each consumed sample updates
-    /// `curve` with (value, time) alongside `summary`. Unlike whole-round
-    /// draining, the accepted prefix can end mid-round, so the stop point is
-    /// the same for every worker count — with per-path RNG streams this
-    /// makes curve results independent of the worker count, not just
-    /// deterministic at a fixed one. Thread-safe.
-    std::size_t drain_ordered(BernoulliSummary& summary, CurveSummary& curve,
+    /// Round-robin consumption at *sample* granularity, for curve and
+    /// coverage estimation: consumes in global accepted order (sample r of
+    /// worker 0, 1, ..., K-1, then sample r+1, ...), resuming mid-round
+    /// across calls, and stops as soon as `done()` returns true after a
+    /// sample or the next worker in order has nothing buffered. Each
+    /// consumed sample updates `curve` — when non-null — with (value, time)
+    /// alongside `summary`. Unlike whole-round draining, the accepted
+    /// prefix can end mid-round, so the stop point is the same for every
+    /// worker count — with per-path RNG streams this makes curve/coverage
+    /// results independent of the worker count, not just deterministic at a
+    /// fixed one. Thread-safe.
+    std::size_t drain_ordered(BernoulliSummary& summary, CurveSummary* curve,
                               std::vector<std::uint64_t>* tag_counts,
                               const std::function<bool()>& done);
 

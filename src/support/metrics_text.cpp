@@ -1,0 +1,204 @@
+#include "support/metrics_text.hpp"
+
+#include <string>
+#include <vector>
+
+namespace slimsim::telemetry {
+
+namespace {
+
+/// Escapes a label value (backslash, double quote, newline).
+std::string label_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string label(std::string_view name, std::string_view value) {
+    return std::string(name) + "=\"" + label_escape(value) + "\"";
+}
+
+/// One metric family: a # TYPE line followed by all its samples.
+class Exposition {
+public:
+    void family(std::string_view name, std::string_view type) {
+        out_ += "# TYPE ";
+        out_ += name;
+        out_ += ' ';
+        out_ += type;
+        out_ += '\n';
+        family_ = name;
+    }
+
+    void sample(std::string_view labels, std::string_view value) {
+        out_ += family_;
+        if (!labels.empty()) {
+            out_ += '{';
+            out_ += labels;
+            out_ += '}';
+        }
+        out_ += ' ';
+        out_ += value;
+        out_ += '\n';
+    }
+
+    void gauge(std::string_view name, std::string_view labels, double value) {
+        family(name, "gauge");
+        sample(labels, json::format_double(value));
+    }
+
+    void counter(std::string_view name, std::string_view labels, std::uint64_t value) {
+        family(name, "counter");
+        sample(labels, std::to_string(value));
+    }
+
+    void raw(std::string_view text) { out_ += text; }
+
+    [[nodiscard]] std::string take() { return std::move(out_); }
+
+private:
+    std::string out_;
+    std::string family_;
+};
+
+} // namespace
+
+std::string prometheus_text(const RunReport& report) {
+    Exposition x;
+
+    // --- deterministic section (see header) -------------------------------
+    std::string info = label("model", report.model) + "," +
+                       label("property", report.property);
+    if (!report.strategy.empty()) info += "," + label("strategy", report.strategy);
+    if (!report.criterion.empty()) info += "," + label("criterion", report.criterion);
+    if (!report.verdict.empty()) info += "," + label("verdict", report.verdict);
+    info += "," + label("seed", std::to_string(report.seed));
+    x.gauge("slimsim_info", info, 1.0);
+
+    if (!report.params.empty()) {
+        x.family("slimsim_param", "gauge");
+        for (const auto& [name, v] : report.params) {
+            x.sample(label("name", name), json::format_double(v));
+        }
+    }
+
+    x.gauge("slimsim_result_value", "", report.value);
+    x.counter("slimsim_samples_total", "", report.samples);
+    x.counter("slimsim_successes_total", "", report.successes);
+
+    if (!report.terminals.empty()) {
+        x.family("slimsim_terminal_paths_total", "counter");
+        for (const auto& [name, n] : report.terminals) {
+            x.sample(label("terminal", name), std::to_string(n));
+        }
+    }
+
+    if (!report.curve.points.empty()) {
+        x.gauge("slimsim_curve_simultaneous_eps", "", report.curve.simultaneous_eps);
+        x.family("slimsim_curve_estimate", "gauge");
+        for (const auto& p : report.curve.points) {
+            x.sample(label("bound", json::format_double(p.bound)),
+                     json::format_double(p.estimate));
+        }
+        x.family("slimsim_curve_successes_total", "counter");
+        for (const auto& p : report.curve.points) {
+            x.sample(label("bound", json::format_double(p.bound)),
+                     std::to_string(p.successes));
+        }
+    }
+
+    if (report.coverage.enabled) {
+        const CoverageReport& cov = report.coverage;
+        x.counter("slimsim_coverage_paths_total", "", cov.paths);
+        x.gauge("slimsim_coverage_elements_known", "",
+                static_cast<double>(cov.total_elements()));
+        x.gauge("slimsim_coverage_elements_covered", "",
+                static_cast<double>(cov.covered_elements()));
+        x.gauge("slimsim_coverage_unreached_modes", "",
+                static_cast<double>(cov.unreached_modes().size()));
+        x.gauge("slimsim_coverage_never_fired_transitions", "",
+                static_cast<double>(cov.never_fired_transitions().size()));
+        x.family("slimsim_coverage_mode_visits_total", "counter");
+        for (const auto& m : cov.modes) {
+            x.sample(label("mode", m.name), std::to_string(m.visits));
+        }
+        x.family("slimsim_coverage_mode_occupancy_seconds", "gauge");
+        for (const auto& m : cov.modes) {
+            x.sample(label("mode", m.name), json::format_double(m.occupancy_seconds));
+        }
+        x.family("slimsim_coverage_transition_fires_total", "counter");
+        for (const auto& t : cov.transitions) {
+            x.sample(label("transition", t.name) + "," +
+                         label("error", t.error_event ? "true" : "false"),
+                     std::to_string(t.fires));
+        }
+        if (!cov.choice_points.empty()) {
+            x.family("slimsim_coverage_decisions_total", "counter");
+            for (const auto& cp : cov.choice_points) {
+                for (const auto& a : cp.alternatives) {
+                    x.sample(label("choice_point", cp.key) + "," +
+                                 label("alternative", a.name),
+                             std::to_string(a.count));
+                }
+            }
+        }
+    }
+
+    // --- runtime section ---------------------------------------------------
+    x.raw(std::string(kMetricsRuntimeMarker) + "\n");
+    x.gauge("slimsim_run_info",
+            label("mode", report.mode) + "," +
+                label("schema_version", std::to_string(RunReport::kSchemaVersion)),
+            1.0);
+    x.gauge("slimsim_workers", "", static_cast<double>(report.workers));
+    x.gauge("slimsim_wall_seconds", "", report.wall_seconds);
+    if (!report.phases.empty()) {
+        x.family("slimsim_phase_seconds", "gauge");
+        for (const auto& p : report.phases) x.sample(label("phase", p.name), json::format_double(p.seconds));
+    }
+    if (!report.timers.empty()) {
+        x.family("slimsim_timer_seconds_total", "counter");
+        for (const auto& [name, s] : report.timers) {
+            x.sample(label("name", name), json::format_double(s));
+        }
+    }
+    if (!report.counters.empty()) {
+        x.family("slimsim_counter_total", "counter");
+        for (const auto& [name, n] : report.counters) {
+            x.sample(label("name", name), std::to_string(n));
+        }
+    }
+    if (!report.histograms.empty()) {
+        x.family("slimsim_histogram_events_total", "counter");
+        for (const auto& [name, bins] : report.histograms) {
+            for (const auto& [bucket, n] : bins) {
+                x.sample(label("name", name) + "," + label("bucket", bucket),
+                         std::to_string(n));
+            }
+        }
+    }
+    if (report.collector.rounds > 0 || report.collector.accepted > 0) {
+        x.counter("slimsim_collector_rounds_total", "", report.collector.rounds);
+        x.counter("slimsim_collector_discarded_total", "", report.collector.discarded);
+        x.gauge("slimsim_collector_max_buffered", "",
+                static_cast<double>(report.collector.max_buffered));
+    }
+    x.gauge("slimsim_peak_rss_bytes", "", static_cast<double>(report.peak_rss_bytes));
+    return x.take();
+}
+
+std::string prometheus_deterministic_section(std::string_view text) {
+    const std::size_t pos = text.find(kMetricsRuntimeMarker);
+    if (pos == std::string_view::npos) return std::string(text);
+    return std::string(text.substr(0, pos));
+}
+
+} // namespace slimsim::telemetry

@@ -1,0 +1,33 @@
+// Prometheus text-exposition (version 0.0.4) rendering of a run report, so
+// long-running estimation jobs are scrapeable by standard infrastructure
+// (CLI --metrics-out, docs/coverage.md).
+//
+// The exposition is split in two by a marker comment: everything *above*
+// kMetricsRuntimeMarker is deterministic — result values, terminal counts,
+// curve points and the coverage profile, none of which depend on wall
+// clocks; for coverage/curve runs at a fixed seed the section is
+// byte-identical for every worker count. Everything below the marker
+// (workers, wall clock, phase/timer data, recorder instruments, RSS) is
+// runtime- or scheduling-dependent.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/telemetry.hpp"
+
+namespace slimsim::telemetry {
+
+inline constexpr std::string_view kMetricsRuntimeMarker =
+    "# -- runtime metrics (wall-clock / scheduling dependent) --";
+
+/// Renders `report` as Prometheus text exposition: every metric family is
+/// announced by a `# TYPE` line before its samples and family names are
+/// unique (instruments become labels, not name fragments).
+[[nodiscard]] std::string prometheus_text(const RunReport& report);
+
+/// The deterministic prefix of an exposition produced by prometheus_text
+/// (everything before kMetricsRuntimeMarker; the whole text if absent).
+[[nodiscard]] std::string prometheus_deterministic_section(std::string_view text);
+
+} // namespace slimsim::telemetry

@@ -75,6 +75,160 @@ std::vector<std::pair<std::string, const Histogram*>> Recorder::histograms() con
     return out;
 }
 
+namespace {
+
+/// CSV field quoting: always quoted, internal quotes doubled (RFC 4180), so
+/// element names containing commas or spaces stay one column.
+std::string csv_quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::uint64_t CoverageReport::covered_elements() const {
+    std::uint64_t n = 0;
+    for (const auto& m : modes) n += covered(m) ? 1 : 0;
+    for (const auto& t : transitions) n += t.fires > 0 ? 1 : 0;
+    return n;
+}
+
+std::vector<std::string> CoverageReport::unreached_modes() const {
+    std::vector<std::string> out;
+    for (const auto& m : modes) {
+        if (!covered(m)) out.push_back(m.name);
+    }
+    return out;
+}
+
+std::vector<std::string> CoverageReport::never_fired_transitions() const {
+    std::vector<std::string> out;
+    for (const auto& t : transitions) {
+        if (t.fires == 0) out.push_back(t.name);
+    }
+    return out;
+}
+
+json::Value CoverageReport::to_json() const {
+    json::Value doc = json::Value::object();
+    doc["paths"] = paths;
+    json::Value elements = json::Value::object();
+    elements["total"] = total_elements();
+    elements["covered"] = covered_elements();
+    doc["elements"] = std::move(elements);
+
+    json::Value ms = json::Value::array();
+    for (const auto& m : modes) {
+        json::Value entry = json::Value::object();
+        entry["name"] = m.name;
+        entry["visits"] = m.visits;
+        entry["occupancy_seconds"] = m.occupancy_seconds;
+        ms.push_back(std::move(entry));
+    }
+    doc["modes"] = std::move(ms);
+
+    json::Value ts = json::Value::array();
+    for (const auto& t : transitions) {
+        json::Value entry = json::Value::object();
+        entry["name"] = t.name;
+        entry["fires"] = t.fires;
+        entry["error_event"] = t.error_event;
+        ts.push_back(std::move(entry));
+    }
+    doc["transitions"] = std::move(ts);
+
+    json::Value cps = json::Value::array();
+    for (const auto& cp : choice_points) {
+        json::Value entry = json::Value::object();
+        entry["key"] = cp.key;
+        entry["decisions"] = cp.decisions;
+        json::Value alts = json::Value::array();
+        for (const auto& a : cp.alternatives) {
+            json::Value alt = json::Value::object();
+            alt["name"] = a.name;
+            alt["count"] = a.count;
+            alts.push_back(std::move(alt));
+        }
+        entry["alternatives"] = std::move(alts);
+        cps.push_back(std::move(entry));
+    }
+    doc["choice_points"] = std::move(cps);
+
+    json::Value sat = json::Value::array();
+    for (const auto& p : saturation) {
+        json::Value entry = json::Value::object();
+        entry["paths"] = p.paths;
+        entry["covered"] = p.covered;
+        sat.push_back(std::move(entry));
+    }
+    doc["saturation"] = std::move(sat);
+
+    json::Value unreached = json::Value::array();
+    for (const auto& name : unreached_modes()) unreached.push_back(name);
+    doc["unreached_modes"] = std::move(unreached);
+    json::Value never = json::Value::array();
+    for (const auto& name : never_fired_transitions()) never.push_back(name);
+    doc["never_fired_transitions"] = std::move(never);
+    return doc;
+}
+
+std::string CoverageReport::to_csv() const {
+    std::string out = "kind,name,count,occupancy_seconds\n";
+    for (const auto& m : modes) {
+        out += "mode," + csv_quote(m.name) + "," + std::to_string(m.visits) + "," +
+               json::format_double(m.occupancy_seconds) + "\n";
+    }
+    for (const auto& t : transitions) {
+        out += std::string(t.error_event ? "error-event," : "transition,") +
+               csv_quote(t.name) + "," + std::to_string(t.fires) + ",\n";
+    }
+    for (const auto& cp : choice_points) {
+        for (const auto& a : cp.alternatives) {
+            out += "decision," + csv_quote(cp.key + " => " + a.name) + "," +
+                   std::to_string(a.count) + ",\n";
+        }
+    }
+    for (const auto& p : saturation) {
+        out += "saturation," + csv_quote("paths=" + std::to_string(p.paths)) + "," +
+               std::to_string(p.covered) + ",\n";
+    }
+    return out;
+}
+
+std::string CoverageReport::summary_text() const {
+    std::ostringstream os;
+    std::uint64_t modes_covered = 0;
+    for (const auto& m : modes) modes_covered += covered(m) ? 1 : 0;
+    std::uint64_t fired = 0;
+    std::uint64_t decisions = 0;
+    for (const auto& t : transitions) fired += t.fires > 0 ? 1 : 0;
+    for (const auto& cp : choice_points) decisions += cp.decisions;
+    os << "coverage: " << covered_elements() << "/" << total_elements()
+       << " elements over " << paths << " paths (" << modes_covered << "/" << modes.size()
+       << " modes, " << fired << "/" << transitions.size() << " transitions)\n";
+    os << "  choice points: " << choice_points.size() << " (" << decisions
+       << " strategy decisions)\n";
+    const auto unreached = unreached_modes();
+    if (!unreached.empty()) {
+        os << "  warning: " << unreached.size() << " mode(s) never reached:\n";
+        for (const auto& name : unreached) os << "    " << name << "\n";
+    }
+    const auto never = never_fired_transitions();
+    if (!never.empty()) {
+        os << "  warning: " << never.size() << " transition(s) never fired:\n";
+        for (const auto& name : never) os << "    " << name << "\n";
+    }
+    if (unreached.empty() && never.empty()) {
+        os << "  all modes reached and all transitions fired\n";
+    }
+    return os.str();
+}
+
 void RunReport::absorb(const Recorder& recorder) {
     for (const auto& entry : recorder.counters()) counters.push_back(entry);
     std::sort(counters.begin(), counters.end());
@@ -169,6 +323,11 @@ json::Value RunReport::to_json() const {
         c["points"] = std::move(pts);
         doc["curve"] = std::move(c);
     }
+
+    // The coverage profile is deterministic in the seed alone (coverage
+    // runs use per-path RNG streams; occupancy is model time), so it lives
+    // in the deterministic part of the document.
+    if (coverage.enabled) doc["coverage"] = coverage.to_json();
 
     // Recorder counters/histograms count events over *generated* paths;
     // with one worker that is deterministic, with several it depends on
@@ -270,6 +429,9 @@ std::string RunReport::to_text() const {
             os << "    u=" << p.bound << "  p^=" << p.estimate << "  successes="
                << p.successes << "\n";
         }
+    }
+    if (coverage.enabled) {
+        os << "  " << coverage.summary_text();
     }
     for (const auto& [name, n] : counters) {
         os << "  counter " << name << " = " << n << "\n";

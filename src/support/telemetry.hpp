@@ -9,6 +9,7 @@
 // RunReport::to_json and deterministic_view).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -39,7 +40,10 @@ private:
 class Timer {
 public:
     void record_ns(std::int64_t ns) {
-        total_ns_.fetch_add(ns, std::memory_order_relaxed);
+        // A caller differencing a non-steady clock can hand us a negative
+        // delta; adding it would silently unwind the accumulated total, so
+        // clamp at zero (the section still counts as one measurement).
+        total_ns_.fetch_add(std::max<std::int64_t>(ns, 0), std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
     }
     [[nodiscard]] double seconds() const {
@@ -177,6 +181,76 @@ struct CurveReport {
     std::vector<CurvePoint> points;
 };
 
+/// One mode (process location) of the coverage profile. Occupancy is
+/// sojourn-time weighted *model* time spent in the mode, summed over all
+/// accepted paths — deterministic, unlike wall-clock timers.
+struct CoverageMode {
+    std::string name;
+    std::uint64_t visits = 0;
+    double occupancy_seconds = 0.0;
+};
+
+/// One transition of the coverage profile; error-model transitions double
+/// as error-event activations.
+struct CoverageTransition {
+    std::string name;
+    std::uint64_t fires = 0;
+    bool error_event = false;
+};
+
+/// One alternative of a strategy choice point with its decision count.
+struct CoverageAlternative {
+    std::string name;
+    std::uint64_t count = 0;
+};
+
+/// Decision histogram of one choice point (a distinct set of simultaneously
+/// schedulable alternatives the strategy chose among).
+struct CoverageChoicePoint {
+    std::string key; // alternative names joined with " | "
+    std::uint64_t decisions = 0;
+    std::vector<CoverageAlternative> alternatives;
+};
+
+/// One point of the coverage-saturation series: after `paths` accepted
+/// paths, `covered` distinct elements (modes + transitions) had been seen.
+struct CoverageSaturationPoint {
+    std::uint64_t paths = 0;
+    std::uint64_t covered = 0;
+};
+
+/// The coverage section of a run report (sim/coverage, docs/coverage.md).
+/// Fully deterministic in the seed: coverage runs use per-path RNG streams,
+/// so the profile is byte-identical for every worker count.
+struct CoverageReport {
+    bool enabled = false;
+    std::uint64_t paths = 0; // accepted paths profiled
+    std::vector<CoverageMode> modes;
+    std::vector<CoverageTransition> transitions;
+    std::vector<CoverageChoicePoint> choice_points;
+    std::vector<CoverageSaturationPoint> saturation;
+
+    /// A mode counts as covered when it was entered or time passed in it.
+    [[nodiscard]] static bool covered(const CoverageMode& m) {
+        return m.visits > 0 || m.occupancy_seconds > 0.0;
+    }
+    [[nodiscard]] std::uint64_t covered_elements() const;
+    [[nodiscard]] std::uint64_t total_elements() const {
+        return modes.size() + transitions.size();
+    }
+    /// Dead-model warnings: modes no path reached / transitions that never
+    /// fired across the entire run.
+    [[nodiscard]] std::vector<std::string> unreached_modes() const;
+    [[nodiscard]] std::vector<std::string> never_fired_transitions() const;
+
+    /// The "coverage" report section (schema: docs/coverage.md).
+    [[nodiscard]] json::Value to_json() const;
+    /// CSV rendering (header kind,name,count,occupancy_seconds).
+    [[nodiscard]] std::string to_csv() const;
+    /// Human-readable summary with dead-model warnings (CLI --coverage).
+    [[nodiscard]] std::string summary_text() const;
+};
+
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
@@ -202,7 +276,8 @@ struct RunReport {
     std::vector<WorkerStats> worker_stats;
     CollectorStats collector;
     std::vector<StopPoint> stop_trajectory;
-    CurveReport curve; // multi-bound curve estimation (empty otherwise)
+    CurveReport curve;       // multi-bound curve estimation (empty otherwise)
+    CoverageReport coverage; // model coverage profile (disabled otherwise)
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
         histograms;

@@ -377,6 +377,41 @@ TEST_F(AnalysisApiTest, AdaptiveProgressNeverReportsZeroEtaBeforeFloor) {
     }
 }
 
+TEST_F(AnalysisApiTest, CoverageSectionByteIdenticalAcrossWorkerCounts) {
+    // Coverage runs use per-path RNG streams, so the serialized coverage
+    // section — counts, occupancy doubles, saturation series — must match
+    // byte for byte whatever the worker count (docs/coverage.md).
+    AnalysisRequest seq = base_request();
+    seq.coverage = true;
+    const AnalysisResult a = run_analysis(net, seq);
+    ASSERT_TRUE(a.coverage.enabled);
+    EXPECT_GT(a.coverage.paths, 0u);
+    const json::Value doc = a.report.to_json();
+    const json::Value* section = doc.find("coverage");
+    ASSERT_NE(section, nullptr);
+    const std::string reference = section->dump(2);
+    for (const std::size_t workers : {2u, 4u}) {
+        AnalysisRequest par = base_request();
+        par.coverage = true;
+        par.mode = AnalysisMode::EstimateParallel;
+        par.workers = workers;
+        const AnalysisResult b = run_analysis(net, par);
+        EXPECT_EQ(b.value, a.value) << workers << " workers";
+        EXPECT_EQ(b.report.to_json().at("coverage").dump(2), reference)
+            << workers << " workers";
+    }
+}
+
+TEST_F(AnalysisApiTest, CoverageRejectedOutsideEstimationModes) {
+    AnalysisRequest req = base_request();
+    req.coverage = true;
+    req.mode = AnalysisMode::HypothesisTest;
+    req.threshold = 0.5;
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+    req.mode = AnalysisMode::CtmcFlow;
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+}
+
 TEST_F(AnalysisApiTest, ToStringCarriesHeadline) {
     const AnalysisResult res = run_analysis(net, base_request());
     const std::string text = res.to_string();

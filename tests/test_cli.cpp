@@ -12,6 +12,8 @@
 
 #include "models/gps.hpp"
 #include "models/sensor_filter.hpp"
+#include "support/json.hpp"
+#include "support/metrics_text.hpp"
 
 namespace {
 
@@ -49,15 +51,28 @@ protected:
         static const std::string name = "cli_sf_" + std::to_string(getpid()) + ".slim";
         return name;
     }
+    static std::string panic_file() {
+        static const std::string name =
+            "cli_panic_" + std::to_string(getpid()) + ".slim";
+        return name;
+    }
 
     static void SetUpTestSuite() {
         std::ofstream(gps_file()) << slimsim::models::gps_source();
         std::ofstream(sf_file()) << slimsim::models::sensor_filter_source(1);
+        std::ofstream(panic_file()) << slimsim::models::sensor_filter_panic_source();
     }
 
     static void TearDownTestSuite() {
         std::remove(gps_file().c_str());
         std::remove(sf_file().c_str());
+        std::remove(panic_file().c_str());
+    }
+
+    static std::string read_file(const std::string& path) {
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.is_open()) << path;
+        return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
     }
 };
 
@@ -285,6 +300,82 @@ TEST_F(CliTest, CurveRejectsConflictsAndBadBands) {
         run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.1 "
                 "--curve-csv out.csv");
     EXPECT_EQ(csv_alone.exit_code, 1);
+}
+
+TEST_F(CliTest, CoverageSummaryFlagsDeadModel) {
+    // Under ASAP the panic transition can never fire (the monitor reacts to
+    // the first failure with zero delay), so the coverage summary must warn
+    // about it and the unreached panic mode.
+    const CliResult res =
+        run_cli(panic_file() + "  --goal panicked --bound '4 hour' --strategy asap "
+                "--delta 0.1 --eps 0.05 --seed 7 --coverage");
+    EXPECT_EQ(res.exit_code, 0);
+    EXPECT_NE(res.output.find("coverage:"), std::string::npos);
+    EXPECT_NE(res.output.find("never fired"), std::string::npos);
+    EXPECT_NE(res.output.find("never reached"), std::string::npos);
+    EXPECT_NE(res.output.find("panic"), std::string::npos);
+}
+
+TEST_F(CliTest, CoverageOutputsDeterministicAcrossWorkerCounts) {
+    // The coverage CSV, the JSON coverage section, and the deterministic
+    // prefix of the Prometheus exposition must be byte-identical for
+    // workers 1, 2 and 4 at a fixed seed.
+    const std::string tag = std::to_string(getpid());
+    struct Artifacts {
+        std::string csv, prom_prefix, coverage_json;
+    };
+    auto run_with_workers = [&](int workers) {
+        const std::string csv = "cli_cov_" + tag + ".csv";
+        const std::string prom = "cli_cov_" + tag + ".prom";
+        const std::string json = "cli_cov_" + tag + ".json";
+        const CliResult res = run_cli(
+            panic_file() + "  --goal panicked --bound '4 hour' --delta 0.1 --eps 0.05 "
+            "--seed 7 --workers " + std::to_string(workers) + " --coverage " + csv +
+            " --metrics-out " + prom + " --json " + json);
+        EXPECT_EQ(res.exit_code, 0) << res.output;
+        Artifacts a;
+        a.csv = read_file(csv);
+        a.prom_prefix =
+            slimsim::telemetry::prometheus_deterministic_section(read_file(prom));
+        const auto doc = slimsim::json::Value::parse(read_file(json));
+        a.coverage_json = doc.at("coverage").dump(2);
+        std::remove(csv.c_str());
+        std::remove(prom.c_str());
+        std::remove(json.c_str());
+        return a;
+    };
+    const Artifacts one = run_with_workers(1);
+    EXPECT_NE(one.csv.find("kind,name,count,occupancy_seconds"), std::string::npos);
+    EXPECT_NE(one.prom_prefix.find("slimsim_coverage_paths_total"), std::string::npos);
+    for (const int workers : {2, 4}) {
+        const Artifacts w = run_with_workers(workers);
+        EXPECT_EQ(w.csv, one.csv) << workers << " workers";
+        EXPECT_EQ(w.prom_prefix, one.prom_prefix) << workers << " workers";
+        EXPECT_EQ(w.coverage_json, one.coverage_json) << workers << " workers";
+    }
+}
+
+TEST_F(CliTest, CoverageUnwritablePathFailsWithDiagnostic) {
+    const CliResult cov =
+        run_cli(panic_file() + "  --goal panicked --bound 3600 --coverage "
+                "/nonexistent-dir/cov.csv");
+    EXPECT_EQ(cov.exit_code, 1);
+    EXPECT_NE(cov.output.find("--coverage"), std::string::npos);
+    EXPECT_NE(cov.output.find("cannot open"), std::string::npos);
+
+    const CliResult prom =
+        run_cli(panic_file() + "  --goal panicked --bound 3600 --metrics-out "
+                "/nonexistent-dir/run.prom");
+    EXPECT_EQ(prom.exit_code, 1);
+    EXPECT_NE(prom.output.find("--metrics-out"), std::string::npos);
+    EXPECT_NE(prom.output.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, CoverageRejectedOutsideEstimationModes) {
+    const CliResult res =
+        run_cli(sf_file() + "  --goal failed --bound '100 hour' --ctmc --coverage");
+    EXPECT_EQ(res.exit_code, 1);
+    EXPECT_NE(res.output.find("--coverage"), std::string::npos);
 }
 
 TEST_F(CliTest, UnknownOptionFails) {

@@ -161,7 +161,7 @@ TEST(Collector, OrderedDrainConsumesGlobalOrderAndStopsMidRound) {
     }
     BernoulliSummary s;
     CurveSummary curve({2.0, 4.0});
-    const auto n = c.drain_ordered(s, curve, nullptr, [&] { return s.count >= 4; });
+    const auto n = c.drain_ordered(s, &curve, nullptr, [&] { return s.count >= 4; });
     EXPECT_EQ(n, 4u);
     EXPECT_EQ(s.count, 4u);
     EXPECT_EQ(s.successes, 2u); // w0 round 0 (true@1.0) + w0 round 1 (true@3.0)
@@ -178,18 +178,18 @@ TEST(Collector, OrderedDrainResumesMidRoundAcrossCalls) {
     c.push(1, TaggedSample{false, 0, 1.0});
     BernoulliSummary s;
     CurveSummary curve({2.0});
-    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [&] { return s.count >= 1; }), 1u);
+    EXPECT_EQ(c.drain_ordered(s, &curve, nullptr, [&] { return s.count >= 1; }), 1u);
     EXPECT_EQ(s.successes, 1u); // worker 0's sample
-    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [] { return false; }), 1u);
+    EXPECT_EQ(c.drain_ordered(s, &curve, nullptr, [] { return false; }), 1u);
     EXPECT_EQ(s.count, 2u);
     EXPECT_EQ(s.successes, 1u); // worker 1's failure, not a re-read of worker 0
     // A gap in the next-in-order worker stalls the drain even if others have
     // samples buffered (global order is sample r of w0, w1, then r+1 ...).
     c.push(1, TaggedSample{true, 0, 1.0});
-    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [] { return false; }), 0u);
+    EXPECT_EQ(c.drain_ordered(s, &curve, nullptr, [] { return false; }), 0u);
     EXPECT_EQ(c.buffered(), 1u);
     c.push(0, TaggedSample{true, 0, 1.0});
-    EXPECT_EQ(c.drain_ordered(s, curve, nullptr, [] { return false; }), 2u);
+    EXPECT_EQ(c.drain_ordered(s, &curve, nullptr, [] { return false; }), 2u);
     EXPECT_EQ(s.count, 4u);
 }
 

@@ -54,6 +54,21 @@ TEST(Timer, NullScopedTimerIsNoop) {
     scope.stop(); // must not crash
 }
 
+TEST(Timer, NegativeDeltaClampsToZero) {
+    // A caller differencing a non-steady clock can produce a negative delta;
+    // it must not unwind the accumulated total.
+    telemetry::Timer t;
+    t.record_ns(1'000'000);
+    t.record_ns(-5'000'000);
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_DOUBLE_EQ(t.seconds(), 1e-3);
+
+    telemetry::Timer fresh;
+    fresh.record_ns(-5);
+    EXPECT_EQ(fresh.count(), 1u);
+    EXPECT_EQ(fresh.seconds(), 0.0);
+}
+
 TEST(Histogram, PowerOfTwoBuckets) {
     telemetry::Histogram h;
     for (const std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 7u, 8u}) h.add(v);

@@ -154,6 +154,59 @@ void coverage_overhead(benchio::Report& report) {
     report.root()["coverage_overhead"] = std::move(section);
 }
 
+// Checkpoint overhead: the same fixed-N parallel curve estimation with
+// periodic checkpointing off vs. on. A --checkpoint path forces per-path
+// RNG streams — but the curve runner uses them anyway, so both sides
+// simulate the byte-identical path set and the ratio isolates the pure
+// snapshot cost (serializing the Fenwick tree + fsync-free atomic rename
+// every `checkpoint_every` accepted samples). The acceptance bound CI
+// enforces is <= 5% overhead (docs/robustness.md).
+void checkpoint_overhead(benchio::Report& report) {
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const double bound = 96.0 * 3600.0;
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::gps_restart_goal(), bound);
+    const stat::ChernoffHoeffding criterion(0.05, 0.03);
+    const std::size_t n = *criterion.fixed_sample_count();
+    const std::string ck_path = "bench_checkpoint.ckpt";
+    const std::uint64_t every = 256;
+    std::printf("\n== checkpoint overhead (N = %zu paths, 4 workers, snapshot every "
+                "%llu samples, min of 10 interleaved reps) ==\n",
+                n, static_cast<unsigned long long>(every));
+    auto run = [&](bool checkpointed) {
+        return [&, checkpointed] {
+            sim::ParallelOptions po;
+            po.workers = 4;
+            if (checkpointed) {
+                po.sim.control.checkpoint_path = ck_path;
+                po.sim.control.checkpoint_every = every;
+            }
+            sim::CurveOptions curve;
+            curve.bounds = {bound};
+            (void)sim::estimate_curve_parallel(net, prop, sim::StrategyKind::Asap,
+                                               criterion, curve, 9, po);
+        };
+    };
+    const auto [off, on] = benchio::measure_interleaved(run(false), run(true), 10, 2);
+    std::remove(ck_path.c_str());
+    json::Value section = json::Value::object();
+    const double disabled_pps = static_cast<double>(n) / off.min_seconds;
+    const double enabled_pps = static_cast<double>(n) / on.min_seconds;
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "checkpoint off", off.min_seconds,
+                disabled_pps);
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "checkpoint on", on.min_seconds,
+                enabled_pps);
+    const double overhead = (disabled_pps / enabled_pps - 1.0) * 100.0;
+    std::printf("recording overhead: %.1f%%\n", overhead);
+    section["disabled"] = off.to_json();
+    section["enabled"] = on.to_json();
+    section["disabled_paths_per_s"] = disabled_pps;
+    section["enabled_paths_per_s"] = enabled_pps;
+    section["recording_overhead_percent"] = overhead;
+    report.root()["checkpoint_overhead"] = std::move(section);
+}
+
 void bias_demo(benchio::Report& report) {
     // Synthetic workload reproducing the hazard of [21]: true p = 0.5, but
     // success paths are fast (one tick) while failure paths are slow (two
@@ -232,6 +285,7 @@ int main(int argc, char** argv) {
         scaling(eps, report);
         tracing_overhead(report);
         coverage_overhead(report);
+        checkpoint_overhead(report);
         bias_demo(report);
         return 0;
     } catch (const std::exception& e) {

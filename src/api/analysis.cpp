@@ -83,6 +83,22 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         request.mode != AnalysisMode::EstimateParallel) {
         throw Error("coverage profiling is only available in the estimation modes");
     }
+    const sim::RunControlOptions& control = request.sim.control;
+    if (control.hardened() && request.mode != AnalysisMode::Estimate &&
+        request.mode != AnalysisMode::EstimateParallel) {
+        throw Error("run budgets, --fault, --checkpoint and --resume are only "
+                    "available in the estimation modes");
+    }
+    if (control.resume != nullptr) {
+        // A resumed run replays only the tail of the path set, so artifacts
+        // built over *all* accepted paths cannot be completed.
+        if (request.coverage) {
+            throw Error("--resume cannot be combined with coverage profiling");
+        }
+        if (request.witness.per_kind > 0) {
+            throw Error("--resume cannot be combined with witness capture");
+        }
+    }
 
     sim::SimOptions sim_options = request.sim;
     if (recorder != nullptr) sim_options.recorder = recorder;
@@ -216,6 +232,10 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
                 report.terminals = sim::terminal_histogram(result.curve.terminals);
                 report.curve = {result.curve.band, result.curve.simultaneous_eps,
                                 result.curve.points};
+                sim::fill_run_status(&report, result.curve.status,
+                                     result.curve.stop_cause,
+                                     result.curve.achieved_half_width,
+                                     result.curve.path_errors, result.curve.error_log);
                 break;
             }
             report.samples = result.estimation.samples;
@@ -223,6 +243,11 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
             report.strategy = result.estimation.strategy;
             report.criterion = result.estimation.criterion;
             report.terminals = sim::terminal_histogram(result.estimation.terminals);
+            sim::fill_run_status(&report, result.estimation.status,
+                                 result.estimation.stop_cause,
+                                 result.estimation.achieved_half_width,
+                                 result.estimation.path_errors,
+                                 result.estimation.error_log);
             break;
         case AnalysisMode::HypothesisTest:
             report.samples = result.hypothesis.samples;

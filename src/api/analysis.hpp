@@ -46,6 +46,13 @@ struct AnalysisRequest {
     std::uint64_t seed = 1;
     std::size_t workers = 1; // EstimateParallel: worker thread count
     sim::CollectionMode collection = sim::CollectionMode::RoundRobin;
+    /// Per-path simulation options. `sim.control` carries the run-hardening
+    /// surface (docs/robustness.md): budgets, fault policy, interrupt flag
+    /// and checkpoint/resume. Hardening is rejected for HypothesisTest and
+    /// CtmcFlow; resume cannot be combined with coverage or witness capture.
+    /// Budget-exhausted or interrupted runs return a *partial* result whose
+    /// status/stop_cause/achieved_half_width say how far they got — they do
+    /// not throw.
     sim::SimOptions sim;
 
     /// Multi-bound curve estimation (Estimate / EstimateParallel): when

@@ -98,7 +98,25 @@ void usage() {
         "                       written as CSV (docs/coverage.md)\n"
         "  --metrics-out FILE   write run metrics in Prometheus text exposition\n"
         "                       format (result/coverage gauges + engine counters;\n"
-        "                       docs/coverage.md)\n");
+        "                       docs/coverage.md)\n"
+        "\n"
+        "run hardening (docs/robustness.md):\n"
+        "  --max-seconds T      wall-clock budget; on exhaustion the partial\n"
+        "                       estimate is returned with its achieved half-width\n"
+        "                       (one-line warning, exit 0)\n"
+        "  --max-samples N      accepted-sample budget\n"
+        "  --max-steps N        budget on discrete steps over accepted paths\n"
+        "  --max-path-steps N   per-path step cap (Zeno guard; default 1000000)\n"
+        "  --fault POLICY       failfast (default) | tolerate: a throwing path\n"
+        "                       becomes an error-tagged sample instead of\n"
+        "                       aborting the run\n"
+        "  --max-path-errors N  tolerate only: error samples beyond N stop the\n"
+        "                       run as degraded (default 100)\n"
+        "  --checkpoint FILE    write a resumable snapshot when the run stops\n"
+        "                       (also on SIGINT/SIGTERM and budget exhaustion)\n"
+        "  --checkpoint-every N also snapshot every N accepted samples\n"
+        "  --resume FILE        continue a checkpointed run; byte-identical to\n"
+        "                       the uninterrupted run at any worker count\n");
 }
 
 /// Validates confidence-style flags at the CLI boundary so a bad value
@@ -113,6 +131,25 @@ double parse_unit_interval(const std::string& text, const char* flag) {
     }
     if (used != text.size() || !(value > 0.0 && value < 1.0)) {
         throw Error(std::string(flag) + " expects a value in (0,1), got `" + text + "`");
+    }
+    return value;
+}
+
+/// Integer flags (counts, budgets): one diagnostic naming the flag instead
+/// of a bare std::stoul exception or a silently-wrapped negative.
+std::uint64_t parse_count(const std::string& text, const char* flag,
+                          std::uint64_t min_value = 1) {
+    std::uint64_t value = 0;
+    std::size_t used = 0;
+    try {
+        if (text.empty() || text[0] == '-') throw Error("negative");
+        value = std::stoull(text, &used);
+    } catch (const std::exception&) {
+        used = 0;
+    }
+    if (used != text.size() || value < min_value) {
+        throw Error(std::string(flag) + " expects an integer >= " +
+                    std::to_string(min_value) + ", got `" + text + "`");
     }
     return value;
 }
@@ -207,6 +244,11 @@ int run(int argc, char** argv) {
     bool coverage = false;
     std::string coverage_csv_path;
     std::string metrics_path;
+    std::string checkpoint_path;
+    std::string resume_path;
+    std::uint64_t checkpoint_every = 0;
+    sim::RunBudget budget;
+    sim::FaultPolicy fault;
     sim::SimOptions sim_options;
 
     auto need_value = [&](int& i, const char* flag) -> std::string {
@@ -234,19 +276,50 @@ int run(int argc, char** argv) {
         } else if (arg == "--criterion") {
             criterion_name = need_value(i, "--criterion");
         } else if (arg == "--seed") {
-            seed = std::stoull(need_value(i, "--seed"));
+            seed = parse_count(need_value(i, "--seed"), "--seed", 0);
         } else if (arg == "--workers") {
-            workers = std::stoul(need_value(i, "--workers"));
+            workers = parse_count(need_value(i, "--workers"), "--workers");
         } else if (arg == "--curve") {
             curve_list = need_value(i, "--curve");
         } else if (arg == "--curve-grid") {
-            curve_grid = std::stoul(need_value(i, "--curve-grid"));
+            curve_grid = parse_count(need_value(i, "--curve-grid"), "--curve-grid");
         } else if (arg == "--curve-band") {
             curve_band_name = need_value(i, "--curve-band");
         } else if (arg == "--curve-csv") {
             curve_csv_path = need_value(i, "--curve-csv");
         } else if (arg == "--paths") {
-            trace_paths = std::stoul(need_value(i, "--paths"));
+            trace_paths = parse_count(need_value(i, "--paths"), "--paths");
+        } else if (arg == "--max-seconds") {
+            budget.max_wall_seconds = parse_duration(need_value(i, "--max-seconds"));
+            if (budget.max_wall_seconds <= 0.0) {
+                throw Error("--max-seconds expects a positive duration");
+            }
+        } else if (arg == "--max-samples") {
+            budget.max_samples = parse_count(need_value(i, "--max-samples"),
+                                             "--max-samples");
+        } else if (arg == "--max-steps") {
+            budget.max_total_steps = parse_count(need_value(i, "--max-steps"),
+                                                 "--max-steps");
+        } else if (arg == "--max-path-steps") {
+            sim_options.max_steps = parse_count(need_value(i, "--max-path-steps"),
+                                                "--max-path-steps");
+        } else if (arg == "--fault") {
+            const std::string policy = need_value(i, "--fault");
+            if (policy == "tolerate") {
+                fault.kind = sim::FaultPolicyKind::Tolerate;
+            } else if (policy != "failfast") {
+                throw Error("--fault expects failfast | tolerate, got `" + policy + "`");
+            }
+        } else if (arg == "--max-path-errors") {
+            fault.max_path_errors =
+                parse_count(need_value(i, "--max-path-errors"), "--max-path-errors", 0);
+        } else if (arg == "--checkpoint") {
+            checkpoint_path = need_value(i, "--checkpoint");
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every = parse_count(need_value(i, "--checkpoint-every"),
+                                           "--checkpoint-every");
+        } else if (arg == "--resume") {
+            resume_path = need_value(i, "--resume");
         } else if (arg == "--trace") {
             trace_path = need_value(i, "--trace");
         } else if (arg == "--witness") {
@@ -274,7 +347,8 @@ int run(int argc, char** argv) {
         } else if (arg == "--fmea") {
             run_fmea = true;
         } else if (arg == "--cut-sets") {
-            cut_set_order = std::stoi(need_value(i, "--cut-sets"));
+            cut_set_order =
+                static_cast<int>(parse_count(need_value(i, "--cut-sets"), "--cut-sets"));
         } else if (arg == "--no-minimize") {
             minimize = false;
         } else if (arg == "--validate") {
@@ -497,6 +571,44 @@ int run(int argc, char** argv) {
         req.mode = AnalysisMode::Estimate;
     }
 
+    // Run hardening (docs/robustness.md): budgets, fault policy,
+    // checkpoint/resume and cooperative SIGINT/SIGTERM interruption.
+    const bool hardening = budget.active() ||
+                           fault.kind == sim::FaultPolicyKind::Tolerate ||
+                           !checkpoint_path.empty() || checkpoint_every > 0 ||
+                           !resume_path.empty();
+    if (hardening && (use_ctmc || test_threshold >= 0.0)) {
+        throw Error("--max-seconds/--max-samples/--max-steps, --fault, --checkpoint "
+                    "and --resume are estimation-mode options (not --ctmc / --test)");
+    }
+    if (checkpoint_every > 0 && checkpoint_path.empty()) {
+        throw Error("--checkpoint-every needs --checkpoint FILE");
+    }
+    if (!resume_path.empty() && coverage) {
+        throw Error("--resume cannot be combined with --coverage");
+    }
+    if (!resume_path.empty() && !witness_dir.empty()) {
+        throw Error("--resume cannot be combined with --witness");
+    }
+    sim::RunControlOptions& control = req.sim.control;
+    control.budget = budget;
+    control.fault = fault;
+    control.checkpoint_path = checkpoint_path;
+    control.checkpoint_every = checkpoint_every;
+    std::optional<sim::RunCheckpoint> resume_ck; // must outlive run_analysis
+    if (!checkpoint_path.empty() || !resume_path.empty()) {
+        control.model_hash = sim::hash_file(model_path);
+    }
+    if (!resume_path.empty()) {
+        resume_ck = sim::RunCheckpoint::load(resume_path);
+        control.resume = &*resume_ck;
+    }
+    if (req.mode == AnalysisMode::Estimate ||
+        req.mode == AnalysisMode::EstimateParallel) {
+        sim::install_signal_handlers();
+        control.interrupt = sim::interrupt_flag();
+    }
+
     // Open the output files / directories up front so a bad path fails
     // before the analysis runs.
     std::ofstream json_out;
@@ -607,6 +719,24 @@ int run(int argc, char** argv) {
                     res.curve.points.size());
     }
     std::printf("%s\n", res.to_string().c_str());
+    if (req.mode == AnalysisMode::Estimate ||
+        req.mode == AnalysisMode::EstimateParallel) {
+        // A budget, signal or error-budget stop is a *partial* result, not a
+        // failure: one warning line, exit 0 (docs/robustness.md).
+        const bool curve_mode = !res.curve.points.empty();
+        const sim::RunStatus status =
+            curve_mode ? res.curve.status : res.estimation.status;
+        const std::string& cause =
+            curve_mode ? res.curve.stop_cause : res.estimation.stop_cause;
+        if (status != sim::RunStatus::Converged) {
+            std::fprintf(stderr, "warning: run %s: %s\n",
+                         sim::to_string(status).c_str(), cause.c_str());
+        }
+        if (!checkpoint_path.empty()) {
+            std::printf("wrote checkpoint %s (continue with --resume %s)\n",
+                        checkpoint_path.c_str(), checkpoint_path.c_str());
+        }
+    }
     if (coverage) {
         std::fputs(res.coverage.summary_text().c_str(), stdout);
         if (!coverage_csv_path.empty()) {

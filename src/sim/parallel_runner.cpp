@@ -1,5 +1,6 @@
 #include "sim/parallel_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -12,6 +13,50 @@
 #include "support/memprobe.hpp"
 
 namespace slimsim::sim {
+
+namespace {
+
+/// One quarantined path fault of a worker: (local path index, message).
+/// Bounded at kMaxQuarantinedErrors per worker — each worker's first
+/// kMaxQuarantinedErrors faults cover every possible contribution to the
+/// globally-ordered first kMaxQuarantinedErrors.
+using WorkerFaults = std::vector<std::pair<std::uint64_t, std::string>>;
+
+/// Merges per-worker quarantined faults over *accepted* samples (local index
+/// < accepted[w]) into global accepted order — sample r of worker w of k is
+/// global path base + r*k + w — appended to the resumed log, bounded.
+std::vector<std::string> merge_fault_log(const std::vector<std::string>& resumed_log,
+                                         const std::vector<WorkerFaults>& faults,
+                                         const std::vector<std::uint64_t>& accepted,
+                                         std::uint64_t base, std::size_t k) {
+    std::vector<std::string> log = resumed_log;
+    std::vector<std::pair<std::uint64_t, const std::string*>> merged;
+    for (std::size_t w = 0; w < k; ++w) {
+        for (const auto& [local, msg] : faults[w]) {
+            if (local < accepted[w]) merged.emplace_back(base + local * k + w, &msg);
+        }
+    }
+    std::sort(merged.begin(), merged.end());
+    for (const auto& [idx, msg] : merged) {
+        if (log.size() >= kMaxQuarantinedErrors) break;
+        log.push_back("path " + std::to_string(idx) + ": " + *msg);
+    }
+    return log;
+}
+
+std::uint64_t tag_count(const std::vector<std::uint64_t>& tags, PathTerminal t) {
+    const auto i = static_cast<std::size_t>(t);
+    return tags.size() > i ? tags[i] : 0;
+}
+
+std::array<std::size_t, kPathTerminalCount>
+terminal_array(const std::vector<std::uint64_t>& tags) {
+    std::array<std::size_t, kPathTerminalCount> out{};
+    for (std::size_t t = 0; t < tags.size() && t < out.size(); ++t) out[t] = tags[t];
+    return out;
+}
+
+} // namespace
 
 EstimationResult estimate_parallel(const eda::Network& net,
                                    const TimedReachability& property, StrategyKind strategy,
@@ -26,11 +71,40 @@ EstimationResult estimate_parallel(const eda::Network& net,
     if (coverage && options.collection != CollectionMode::RoundRobin) {
         throw Error("coverage profiling requires round-robin collection");
     }
+    const RunControlOptions& control = options.sim.control;
+    if (control.per_path_streams() && options.collection != CollectionMode::RoundRobin) {
+        throw Error("checkpoint/resume requires round-robin collection");
+    }
+    // Checkpoint/resume switches to per-path RNG streams and sample-granular
+    // ordered draining, exactly like coverage: the accepted prefix (and so
+    // the checkpoint cursor) is then the same for every worker count.
+    const bool per_path = coverage || control.per_path_streams();
+    const bool tolerate = control.fault.kind == FaultPolicyKind::Tolerate;
 
     const auto start = std::chrono::steady_clock::now();
     const Rng master(seed);
     stat::SampleCollector collector(options.workers);
     std::atomic<bool> stop{false};
+
+    stat::BernoulliSummary summary;
+    // Terminal counts over *accepted* samples: deterministic in (seed, k)
+    // under round-robin collection, unlike counts over generated paths.
+    std::vector<std::uint64_t> terminal_tags;
+    std::uint64_t total_steps = 0;
+    std::uint64_t base = 0; // resumed global path cursor
+    std::vector<std::string> resumed_log;
+    if (control.resume != nullptr) {
+        const RunCheckpoint& ck = *control.resume;
+        ck.validate(control.model_hash, seed, property.text, to_string(strategy),
+                    criterion.name(), {});
+        base = ck.cursor;
+        summary.count = ck.cursor;
+        summary.successes = ck.successes;
+        total_steps = ck.total_steps;
+        terminal_tags = ck.terminal_tags;
+        resumed_log = ck.error_log;
+    }
+    RunGovernor governor(control, start);
 
     // One shard per worker; worker w records its paths in generation order
     // (its local path i is global path w + i*k), so merge_coverage can walk
@@ -47,6 +121,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
 
     std::mutex merge_mutex;
     std::vector<std::uint64_t> generated(options.workers, 0);
+    std::vector<WorkerFaults> worker_faults(options.workers);
     std::exception_ptr worker_error;
 
     // Lanes are created in worker order *before* the threads start, so lane
@@ -85,19 +160,42 @@ EstimationResult estimate_parallel(const eda::Network& net,
                 Rng pre_path(0);
                 std::uint64_t local_generated = 0;
                 while (!stop.load(std::memory_order_relaxed)) {
-                    // Coverage runs switch to per-PATH RNG streams (global
-                    // path j uses split(j)) so the accepted path set — and
-                    // the profile — matches every other worker count.
-                    if (coverage) {
-                        rng = master.split(w + local_generated * options.workers);
+                    // Coverage and checkpoint/resume runs switch to per-PATH
+                    // RNG streams (global path j uses split(j); a resumed
+                    // run continues at j = base + ...) so the accepted path
+                    // set matches every other worker count.
+                    if (per_path) {
+                        rng = master.split(base + w + local_generated * options.workers);
                     }
                     if (capture && !witnesses.saturated()) pre_path = rng;
-                    const PathOutcome out = gen.run(rng);
-                    if (capture) witnesses.offer(local_generated, pre_path, out);
+                    PathOutcome out;
+                    if (tolerate) {
+                        try {
+                            out = gen.run(rng);
+                        } catch (const std::exception& e) {
+                            // Fault isolation: the throwing path becomes an
+                            // Error-tagged unsatisfied sample; the message is
+                            // quarantined with its local index so the
+                            // consumer can filter to accepted samples.
+                            out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
+                            std::lock_guard lock(merge_mutex);
+                            if (worker_faults[w].size() < kMaxQuarantinedErrors) {
+                                worker_faults[w].emplace_back(local_generated, e.what());
+                            }
+                        }
+                    } else {
+                        out = gen.run(rng);
+                    }
+                    // Error outcomes never become witnesses: replay would
+                    // rethrow the fault.
+                    if (capture && out.terminal != PathTerminal::Error) {
+                        witnesses.offer(local_generated, pre_path, out);
+                    }
                     ++local_generated;
                     collector.push(w, stat::TaggedSample{
                                           out.satisfied,
-                                          static_cast<std::uint8_t>(out.terminal)});
+                                          static_cast<std::uint8_t>(out.terminal), 0.0,
+                                          out.steps});
                 }
                 std::lock_guard lock(merge_mutex);
                 generated[w] = local_generated;
@@ -109,12 +207,26 @@ EstimationResult estimate_parallel(const eda::Network& net,
         });
     }
 
-    stat::BernoulliSummary summary;
-    // Terminal counts over *accepted* samples: deterministic in (seed, k)
-    // under round-robin collection, unlike counts over generated paths.
-    std::vector<std::uint64_t> terminal_tags;
     const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
     std::uint64_t next_mark = 1;
+    while (next_mark <= base) next_mark *= 2;
+    auto save_checkpoint = [&] {
+        // The consuming thread owns summary/terminal_tags; accepted counts
+        // and fault lists are read under their own locks.
+        const auto accepted_now = collector.consumed_per_worker();
+        std::vector<std::string> log;
+        {
+            std::lock_guard lock(merge_mutex);
+            log = merge_fault_log(resumed_log, worker_faults, accepted_now, base,
+                                  options.workers);
+        }
+        make_run_checkpoint(control, seed, property.text, to_string(strategy),
+                            criterion.name(), summary.count, summary.successes,
+                            total_steps, terminal_array(terminal_tags), log)
+            .save(control.checkpoint_path);
+    };
+    std::uint64_t next_checkpoint =
+        control.checkpoint_every > 0 ? summary.count + control.checkpoint_every : 0;
     // Progress callbacks fire from this consuming thread only, so they can
     // never perturb the deterministic (seed, workers) sample order.
     const ProgressFn& progress = options.sim.progress.callback;
@@ -125,19 +237,29 @@ EstimationResult estimate_parallel(const eda::Network& net,
     };
     while (!stop.load(std::memory_order_relaxed)) {
         std::size_t consumed = 0;
-        if (coverage) {
+        if (per_path) {
             // Sample-granular ordered draining: with per-path streams the
             // accepted prefix — possibly ending mid-round — is the same for
-            // every worker count, so the coverage profile is too.
+            // every worker count. The criterion is consulted before the
+            // governor so a budget landing on the convergence sample still
+            // reports Converged; both run under the collector mutex and must
+            // not call back into the collector (steps/tags are accumulators
+            // the drain updates before done() runs).
             consumed = collector.drain_ordered(
                 summary, nullptr, &terminal_tags,
-                [&] { return criterion.should_stop(summary); });
+                [&] {
+                    return criterion.should_stop(summary) ||
+                           governor.should_stop(
+                               summary.count, total_steps,
+                               tag_count(terminal_tags, PathTerminal::Error));
+                },
+                &total_steps);
         } else if (options.collection == CollectionMode::RoundRobin) {
             // One round at a time, consulting the criterion in between:
             // the accepted sample set is then deterministic in (seed, k).
-            consumed = collector.drain_rounds(summary, 1, &terminal_tags);
+            consumed = collector.drain_rounds(summary, 1, &terminal_tags, &total_steps);
         } else {
-            consumed = collector.drain_unordered(summary, &terminal_tags);
+            consumed = collector.drain_unordered(summary, &terminal_tags, &total_steps);
         }
         if (report != nullptr && consumed > 0 && summary.count >= next_mark) {
             report->stop_trajectory.push_back({summary.count, required});
@@ -157,13 +279,29 @@ EstimationResult estimate_parallel(const eda::Network& net,
             stop.store(true);
             break;
         }
+        if (governor.should_stop(summary.count, total_steps,
+                                 tag_count(terminal_tags, PathTerminal::Error))) {
+            stop.store(true);
+            break;
+        }
+        if (next_checkpoint != 0 && summary.count >= next_checkpoint) {
+            save_checkpoint();
+            while (next_checkpoint <= summary.count) {
+                next_checkpoint += control.checkpoint_every;
+            }
+        }
         if (consumed == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     for (auto& t : threads) t.join();
+    std::exception_ptr pending_error;
     {
         std::lock_guard lock(merge_mutex);
-        if (worker_error) std::rethrow_exception(worker_error);
+        pending_error = worker_error;
     }
+    // The partial summary is still valuable when a worker aborted the run
+    // (FailFast): emit the final progress snapshot and finalize the report
+    // before rethrowing — only witness replay, coverage merge and the final
+    // checkpoint are skipped.
     if (progress) {
         progress(make_progress_snapshot(summary.count, summary.successes, required,
                                         elapsed(), options.sim.progress));
@@ -175,35 +313,48 @@ EstimationResult estimate_parallel(const eda::Network& net,
     result.successes = summary.successes;
     result.strategy = to_string(strategy);
     result.criterion = criterion.name();
-    for (std::size_t t = 0; t < terminal_tags.size() && t < result.terminals.size(); ++t) {
-        result.terminals[t] = terminal_tags[t];
+    result.terminals = terminal_array(terminal_tags);
+    result.status = governor.status();
+    result.stop_cause = governor.stop_cause();
+    result.achieved_half_width = criterion.achieved_half_width(summary);
+    result.path_errors = tag_count(terminal_tags, PathTerminal::Error);
+
+    const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
+    {
+        std::lock_guard lock(merge_mutex);
+        result.error_log =
+            merge_fault_log(resumed_log, worker_faults, accepted, base, options.workers);
+    }
+    if (pending_error == nullptr) {
+        if (coverage) {
+            std::vector<const CoverageShard*> shard_ptrs;
+            shard_ptrs.reserve(shards.size());
+            for (const auto& s : shards) shard_ptrs.push_back(s.get());
+            result.coverage = merge_coverage(shard_ptrs, accepted);
+        }
+        if (witness_k > 0) {
+            // Replay the selected paths on this thread with a fresh strategy
+            // instance of the same kind (strategies are stateless) and with
+            // instruments stripped, so replay does not double-count telemetry.
+            SimOptions replay_options = options.sim;
+            replay_options.recorder = nullptr;
+            replay_options.trace_lane = nullptr;
+            replay_options.coverage = false;
+            replay_options.coverage_shard = nullptr;
+            const auto replay_strat = make_strategy(strategy);
+            const PathGenerator replay_gen(net, property, *replay_strat, replay_options);
+            const auto selected = select_witness_paths(witness_buffers, accepted, witness_k);
+            result.witnesses =
+                replay_witnesses(replay_gen, selected, options.sim.witness.max_bytes);
+        }
+        if (!control.checkpoint_path.empty()) save_checkpoint();
+    } else {
+        result.status = RunStatus::Degraded;
+        result.stop_cause = "fail-fast worker abort";
     }
     result.peak_rss_bytes = peak_rss_bytes();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-
-    const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
-    if (coverage) {
-        std::vector<const CoverageShard*> shard_ptrs;
-        shard_ptrs.reserve(shards.size());
-        for (const auto& s : shards) shard_ptrs.push_back(s.get());
-        result.coverage = merge_coverage(shard_ptrs, accepted);
-    }
-    if (witness_k > 0) {
-        // Replay the selected paths on this thread with a fresh strategy
-        // instance of the same kind (strategies are stateless) and with
-        // instruments stripped, so replay does not double-count telemetry.
-        SimOptions replay_options = options.sim;
-        replay_options.recorder = nullptr;
-        replay_options.trace_lane = nullptr;
-        replay_options.coverage = false;
-        replay_options.coverage_shard = nullptr;
-        const auto replay_strat = make_strategy(strategy);
-        const PathGenerator replay_gen(net, property, *replay_strat, replay_options);
-        const auto selected = select_witness_paths(witness_buffers, accepted, witness_k);
-        result.witnesses =
-            replay_witnesses(replay_gen, selected, options.sim.witness.max_bytes);
-    }
 
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
@@ -224,8 +375,12 @@ EstimationResult estimate_parallel(const eda::Network& net,
             report->worker_stats.push_back(
                 telemetry::WorkerStats{w, w, generated[w], accepted[w]});
         }
-        if (coverage) report->coverage = result.coverage;
+        if (coverage && pending_error == nullptr) report->coverage = result.coverage;
+        fill_run_status(report, result.status, result.stop_cause,
+                        result.achieved_half_width, result.path_errors,
+                        result.error_log);
     }
+    if (pending_error) std::rethrow_exception(pending_error);
     return result;
 }
 
@@ -248,6 +403,8 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     }
     if (options.workers < 1) throw Error("worker count must be at least 1");
     validate_curve_request(property, curve);
+    const RunControlOptions& control = options.sim.control;
+    const bool tolerate = control.fault.kind == FaultPolicyKind::Tolerate;
 
     const auto start = std::chrono::steady_clock::now();
     // Paths only need to run to the largest requested bound.
@@ -257,6 +414,26 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     const std::size_t k = options.workers;
     stat::SampleCollector collector(k);
     std::atomic<bool> stop{false};
+
+    stat::CurveSummary summary(curve.bounds);
+    stat::BernoulliSummary last; // the largest bound (sim horizon == u_max)
+    std::vector<std::uint64_t> terminal_tags;
+    std::uint64_t total_steps = 0;
+    std::uint64_t base = 0; // resumed global path cursor
+    std::vector<std::string> resumed_log;
+    if (control.resume != nullptr) {
+        const RunCheckpoint& ck = *control.resume;
+        ck.validate(control.model_hash, seed, property.text, to_string(strategy),
+                    criterion.name(), curve.bounds);
+        base = ck.cursor;
+        summary.restore(ck.cursor, ck.curve_tree);
+        last.count = ck.cursor;
+        last.successes = ck.successes;
+        total_steps = ck.total_steps;
+        terminal_tags = ck.terminal_tags;
+        resumed_log = ck.error_log;
+    }
+    RunGovernor governor(control, start);
 
     // Curve workers already use per-path RNG streams and sample-granular
     // ordered draining, so coverage only needs the per-worker shards.
@@ -273,6 +450,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
 
     std::mutex merge_mutex;
     std::vector<std::uint64_t> generated(k, 0);
+    std::vector<WorkerFaults> worker_faults(k);
     std::exception_ptr worker_error;
 
     std::vector<tracer::Lane*> lanes(k, nullptr);
@@ -297,17 +475,32 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                 }
                 const PathGenerator gen(net, horizon, *strat, sim_options);
                 std::uint64_t local_generated = 0;
-                // Worker w owns the global path indices w, w+k, w+2k, ...;
-                // each path gets its own RNG stream, so sample r of worker w
-                // is the same path for every worker count.
-                for (std::uint64_t j = w; !stop.load(std::memory_order_relaxed); j += k) {
+                // Worker w owns the global path indices base+w, base+w+k, ...
+                // (base = resume cursor); each path gets its own RNG stream,
+                // so sample r of worker w is the same path for every worker
+                // count — and for every interruption point.
+                for (std::uint64_t j = base + w; !stop.load(std::memory_order_relaxed);
+                     j += k) {
                     Rng rng = master.split(j);
-                    const PathOutcome out = gen.run(rng);
+                    PathOutcome out;
+                    if (tolerate) {
+                        try {
+                            out = gen.run(rng);
+                        } catch (const std::exception& e) {
+                            out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
+                            std::lock_guard lock(merge_mutex);
+                            if (worker_faults[w].size() < kMaxQuarantinedErrors) {
+                                worker_faults[w].emplace_back(local_generated, e.what());
+                            }
+                        }
+                    } else {
+                        out = gen.run(rng);
+                    }
                     ++local_generated;
                     collector.push(w, stat::TaggedSample{
                                           out.satisfied,
                                           static_cast<std::uint8_t>(out.terminal),
-                                          out.end_time});
+                                          out.end_time, out.steps});
                 }
                 std::lock_guard lock(merge_mutex);
                 generated[w] = local_generated;
@@ -319,11 +512,24 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         });
     }
 
-    stat::CurveSummary summary(curve.bounds);
-    stat::BernoulliSummary last; // the largest bound (sim horizon == u_max)
-    std::vector<std::uint64_t> terminal_tags;
     const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
     std::uint64_t next_mark = 1;
+    while (next_mark <= base) next_mark *= 2;
+    auto save_checkpoint = [&] {
+        const auto accepted_now = collector.consumed_per_worker();
+        std::vector<std::string> log;
+        {
+            std::lock_guard lock(merge_mutex);
+            log = merge_fault_log(resumed_log, worker_faults, accepted_now, base, k);
+        }
+        make_run_checkpoint(control, seed, property.text, to_string(strategy),
+                            criterion.name(), summary.count(), last.successes,
+                            total_steps, terminal_array(terminal_tags), log,
+                            curve.bounds, summary.tree())
+            .save(control.checkpoint_path);
+    };
+    std::uint64_t next_checkpoint =
+        control.checkpoint_every > 0 ? summary.count() + control.checkpoint_every : 0;
     const ProgressFn& progress = options.sim.progress.callback;
     auto last_progress = start;
     auto elapsed = [&] {
@@ -336,7 +542,13 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         // as a sequential run — even when the final count is mid-round.
         const std::size_t consumed = collector.drain_ordered(
             last, &summary, &terminal_tags,
-            [&] { return criterion.should_stop_curve(summary); });
+            [&] {
+                return criterion.should_stop_curve(summary) ||
+                       governor.should_stop(summary.count(), total_steps,
+                                            tag_count(terminal_tags,
+                                                      PathTerminal::Error));
+            },
+            &total_steps);
         if (report != nullptr && consumed > 0 && summary.count() >= next_mark) {
             report->stop_trajectory.push_back({summary.count(), required});
             while (next_mark <= summary.count()) next_mark *= 2;
@@ -354,13 +566,28 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
             stop.store(true);
             break;
         }
+        if (governor.should_stop(summary.count(), total_steps,
+                                 tag_count(terminal_tags, PathTerminal::Error))) {
+            stop.store(true);
+            break;
+        }
+        if (next_checkpoint != 0 && summary.count() >= next_checkpoint) {
+            save_checkpoint();
+            while (next_checkpoint <= summary.count()) {
+                next_checkpoint += control.checkpoint_every;
+            }
+        }
         if (consumed == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     for (auto& t : threads) t.join();
+    std::exception_ptr pending_error;
     {
         std::lock_guard lock(merge_mutex);
-        if (worker_error) std::rethrow_exception(worker_error);
+        pending_error = worker_error;
     }
+    // As in estimate_parallel: on a FailFast worker abort the partial curve
+    // is still reported (final snapshot + report) before rethrowing; only
+    // coverage merge and the final checkpoint are skipped.
     if (progress) {
         progress(make_progress_snapshot(summary.count(), last.successes, required,
                                         elapsed(), options.sim.progress));
@@ -368,7 +595,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
 
     const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
     CurveResult result;
-    if (coverage) {
+    if (coverage && pending_error == nullptr) {
         std::vector<const CoverageShard*> shard_ptrs;
         shard_ptrs.reserve(shards.size());
         for (const auto& s : shards) shard_ptrs.push_back(s.get());
@@ -381,8 +608,20 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                                                             summary.size(), result.samples);
     result.strategy = to_string(strategy);
     result.criterion = criterion.name();
-    for (std::size_t t = 0; t < terminal_tags.size() && t < result.terminals.size(); ++t) {
-        result.terminals[t] = terminal_tags[t];
+    result.terminals = terminal_array(terminal_tags);
+    result.status = governor.status();
+    result.stop_cause = governor.stop_cause();
+    result.achieved_half_width = result.simultaneous_eps;
+    result.path_errors = tag_count(terminal_tags, PathTerminal::Error);
+    {
+        std::lock_guard lock(merge_mutex);
+        result.error_log = merge_fault_log(resumed_log, worker_faults, accepted, base, k);
+    }
+    if (pending_error == nullptr) {
+        if (!control.checkpoint_path.empty()) save_checkpoint();
+    } else {
+        result.status = RunStatus::Degraded;
+        result.stop_cause = "fail-fast worker abort";
     }
     result.peak_rss_bytes = peak_rss_bytes();
     result.wall_seconds =
@@ -410,8 +649,12 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                 telemetry::WorkerStats{w, w, generated[w], accepted[w]});
         }
         report->curve = {result.band, result.simultaneous_eps, result.points};
-        if (coverage) report->coverage = result.coverage;
+        if (coverage && pending_error == nullptr) report->coverage = result.coverage;
+        fill_run_status(report, result.status, result.stop_cause,
+                        result.achieved_half_width, result.path_errors,
+                        result.error_log);
     }
+    if (pending_error) std::rethrow_exception(pending_error);
     return result;
 }
 

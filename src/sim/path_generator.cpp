@@ -29,6 +29,7 @@ std::string to_string(PathTerminal t) {
     case PathTerminal::Refuted: return "refuted";
     case PathTerminal::Deadlock: return "deadlock";
     case PathTerminal::Timelock: return "timelock";
+    case PathTerminal::Error: return "error";
     }
     return "?";
 }

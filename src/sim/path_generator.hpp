@@ -19,6 +19,7 @@
 
 #include "sim/observe.hpp"
 #include "sim/property.hpp"
+#include "sim/run_control.hpp"
 #include "sim/strategy.hpp"
 #include "sim/trace.hpp"
 #include "support/telemetry.hpp"
@@ -63,6 +64,10 @@ struct SimOptions {
     /// with a null shard (default) pays one branch per event.
     bool coverage = false;
     CoverageShard* coverage_shard = nullptr;
+    /// Run hardening — budgets, interruption, checkpoint/resume, fault
+    /// policy (sim/run_control.hpp). Carries the user's request to the
+    /// estimation runners; the path generator itself ignores it.
+    RunControlOptions control;
 };
 
 enum class PathTerminal : std::uint8_t {
@@ -71,8 +76,9 @@ enum class PathTerminal : std::uint8_t {
     Refuted,   // refuted strictly before the bound (Until/Globally violation)
     Deadlock,  // no discrete step can ever happen again
     Timelock,  // an invariant expired with nothing enabled
+    Error,     // the path threw and FaultPolicy::Tolerate quarantined it
 };
-inline constexpr std::size_t kPathTerminalCount = 5;
+inline constexpr std::size_t kPathTerminalCount = 6;
 
 [[nodiscard]] std::string to_string(PathTerminal t);
 

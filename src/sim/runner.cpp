@@ -14,7 +14,50 @@ std::string EstimationResult::to_string() const {
     std::ostringstream os;
     os << "p^ = " << estimate << " (" << successes << "/" << samples << " paths, strategy "
        << strategy << ", " << criterion << ", " << wall_seconds << " s)";
+    if (status != RunStatus::Converged) {
+        os << " [" << sim::to_string(status) << ": " << stop_cause << "]";
+    }
     return os.str();
+}
+
+void quarantine_error(std::vector<std::string>& log, std::uint64_t path_index,
+                      const char* what) {
+    if (log.size() >= kMaxQuarantinedErrors) return;
+    log.push_back("path " + std::to_string(path_index) + ": " + what);
+}
+
+RunCheckpoint make_run_checkpoint(
+    const RunControlOptions& control, std::uint64_t seed, const std::string& property_text,
+    const std::string& strategy_name, const std::string& criterion_name,
+    std::uint64_t cursor, std::uint64_t successes, std::uint64_t total_steps,
+    const std::array<std::size_t, kPathTerminalCount>& terminals,
+    const std::vector<std::string>& error_log, const std::vector<double>& curve_bounds,
+    const std::vector<std::uint64_t>& curve_tree) {
+    RunCheckpoint ck;
+    ck.model_hash = control.model_hash;
+    ck.seed = seed;
+    ck.property_hash = fnv1a64(property_text);
+    ck.strategy = strategy_name;
+    ck.criterion = criterion_name;
+    ck.cursor = cursor;
+    ck.successes = successes;
+    ck.total_steps = total_steps;
+    ck.terminal_tags.assign(terminals.begin(), terminals.end());
+    ck.error_log = error_log;
+    ck.curve_bounds = curve_bounds;
+    ck.curve_tree = curve_tree;
+    return ck;
+}
+
+void fill_run_status(telemetry::RunReport* report, RunStatus status,
+                     const std::string& stop_cause, double achieved_half_width,
+                     std::uint64_t path_errors, const std::vector<std::string>& error_log) {
+    if (report == nullptr) return;
+    report->run_status.status = sim::to_string(status);
+    report->run_status.stop_cause = stop_cause;
+    report->run_status.achieved_half_width = achieved_half_width;
+    report->run_status.path_errors = path_errors;
+    report->run_status.error_log = error_log;
 }
 
 EstimationResult estimate(const eda::Network& net, const TimedReachability& property,
@@ -43,6 +86,40 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
     const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
     std::uint64_t next_mark = 1; // stop-criterion trajectory at powers of two
 
+    // Run hardening (docs/robustness.md): checkpoint/resume needs per-path
+    // RNG streams — path j always simulates with Rng(seed).split(j) — so a
+    // resumed run continues the exact path sequence the interrupted run
+    // would have produced.
+    const RunControlOptions& control = options.control;
+    const bool per_path = coverage || control.per_path_streams();
+    const bool tolerate = control.fault.kind == FaultPolicyKind::Tolerate;
+    RunGovernor governor(control, start);
+    std::uint64_t total_steps = 0;
+    std::uint64_t path_index = 0;
+    if (control.resume != nullptr) {
+        const RunCheckpoint& ck = *control.resume;
+        ck.validate(control.model_hash, seed, property.text, strategy.name(),
+                    criterion.name(), {});
+        path_index = ck.cursor;
+        summary.count = ck.cursor;
+        summary.successes = ck.successes;
+        total_steps = ck.total_steps;
+        for (std::size_t i = 0; i < ck.terminal_tags.size() && i < kPathTerminalCount; ++i) {
+            result.terminals[i] = ck.terminal_tags[i];
+        }
+        result.error_log = ck.error_log;
+        result.path_errors = result.terminals[static_cast<std::size_t>(PathTerminal::Error)];
+        while (next_mark <= ck.cursor) next_mark *= 2;
+    }
+    auto save_checkpoint = [&] {
+        make_run_checkpoint(control, seed, property.text, strategy.name(),
+                            criterion.name(), summary.count, summary.successes,
+                            total_steps, result.terminals, result.error_log)
+            .save(control.checkpoint_path);
+    };
+    std::uint64_t next_checkpoint =
+        control.checkpoint_every > 0 ? summary.count + control.checkpoint_every : 0;
+
     const bool capture = options.witness.per_kind > 0;
     WitnessBuffer witness_buffer(options.witness.per_kind);
     const ProgressFn& progress = options.progress.callback;
@@ -58,23 +135,48 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                               : tracer::kNoName);
 
     Rng pre_path(0);
-    std::uint64_t path_index = 0;
     {
         // Decision observation stays scoped to the sampling loop: the
         // witness replay below reuses `strategy` and must not pollute the
         // decision histograms.
         const ObserverGuard observe(strategy, coverage ? &*shard : nullptr);
-        while (!criterion.should_stop(summary)) {
-            if (coverage) rng = master.split(path_index);
+        // The criterion is consulted before the governor, so a run whose
+        // budget and convergence land on the same sample reports Converged.
+        while (!criterion.should_stop(summary) &&
+               !governor.should_stop(summary.count, total_steps, result.path_errors)) {
+            if (per_path) rng = master.split(path_index);
             if (capture && !witness_buffer.saturated()) pre_path = rng;
-            const PathOutcome out = gen.run(rng);
-            if (capture) witness_buffer.offer(path_index, pre_path, out);
+            PathOutcome out;
+            if (tolerate) {
+                try {
+                    out = gen.run(rng);
+                } catch (const std::exception& e) {
+                    // Deterministic fault isolation: the throwing path
+                    // becomes an Error-tagged unsatisfied sample and its
+                    // message is quarantined (bounded).
+                    out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
+                    quarantine_error(result.error_log, path_index, e.what());
+                }
+            } else {
+                out = gen.run(rng);
+            }
+            // Error outcomes must not become witnesses: replaying one would
+            // rethrow the fault.
+            if (capture && out.terminal != PathTerminal::Error) {
+                witness_buffer.offer(path_index, pre_path, out);
+            }
             ++path_index;
             summary.add(out.satisfied);
             ++result.terminals[static_cast<std::size_t>(out.terminal)];
+            if (out.terminal == PathTerminal::Error) ++result.path_errors;
+            total_steps += out.steps;
             if (report != nullptr && summary.count == next_mark) {
                 report->stop_trajectory.push_back({summary.count, required});
                 next_mark *= 2;
+            }
+            if (next_checkpoint != 0 && summary.count >= next_checkpoint) {
+                save_checkpoint();
+                next_checkpoint += control.checkpoint_every;
             }
             if (progress) {
                 const auto now = std::chrono::steady_clock::now();
@@ -120,6 +222,12 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
     result.successes = summary.successes;
     result.strategy = strategy.name();
     result.criterion = criterion.name();
+    result.status = governor.status();
+    result.stop_cause = governor.stop_cause();
+    result.achieved_half_width = criterion.achieved_half_width(summary);
+    // Partial or not, a requested checkpoint is always written so the run
+    // can be continued (or audited) later.
+    if (!control.checkpoint_path.empty()) save_checkpoint();
     result.peak_rss_bytes = peak_rss_bytes();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -140,6 +248,9 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         report->worker_stats = {
             telemetry::WorkerStats{0, 0, result.samples, result.samples}};
         if (coverage) report->coverage = result.coverage;
+        fill_run_status(report, result.status, result.stop_cause,
+                        result.achieved_half_width, result.path_errors,
+                        result.error_log);
     }
     return result;
 }
@@ -163,6 +274,9 @@ std::string CurveResult::to_string() const {
     os << "curve over " << points.size() << " bounds (" << samples
        << " shared paths, strategy " << strategy << ", " << criterion << ", " << band
        << " band +-" << simultaneous_eps << ", " << wall_seconds << " s)";
+    if (status != RunStatus::Converged) {
+        os << " [" << sim::to_string(status) << ": " << stop_cause << "]";
+    }
     for (const auto& p : points) {
         os << "\n  u = " << p.bound << "  p^ = " << p.estimate << "  (" << p.successes
            << "/" << samples << ")";
@@ -223,6 +337,39 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
     const std::uint64_t required = criterion.fixed_sample_count().value_or(0);
     std::uint64_t next_mark = 1; // stop-criterion trajectory at powers of two
 
+    // Run hardening; curve runs already use per-path streams, so resume only
+    // needs to restore the accepted state and continue at the cursor.
+    const RunControlOptions& control = options.control;
+    const bool tolerate = control.fault.kind == FaultPolicyKind::Tolerate;
+    RunGovernor governor(control, start);
+    std::uint64_t total_steps = 0;
+    std::uint64_t path_index = 0;
+    if (control.resume != nullptr) {
+        const RunCheckpoint& ck = *control.resume;
+        ck.validate(control.model_hash, seed, property.text, strategy.name(),
+                    criterion.name(), curve.bounds);
+        summary.restore(ck.cursor, ck.curve_tree);
+        path_index = ck.cursor;
+        last.count = ck.cursor;
+        last.successes = ck.successes;
+        total_steps = ck.total_steps;
+        for (std::size_t i = 0; i < ck.terminal_tags.size() && i < kPathTerminalCount; ++i) {
+            result.terminals[i] = ck.terminal_tags[i];
+        }
+        result.error_log = ck.error_log;
+        result.path_errors = result.terminals[static_cast<std::size_t>(PathTerminal::Error)];
+        while (next_mark <= ck.cursor) next_mark *= 2;
+    }
+    auto save_checkpoint = [&] {
+        make_run_checkpoint(control, seed, property.text, strategy.name(),
+                            criterion.name(), summary.count(), last.successes,
+                            total_steps, result.terminals, result.error_log,
+                            curve.bounds, summary.tree())
+            .save(control.checkpoint_path);
+    };
+    std::uint64_t next_checkpoint =
+        control.checkpoint_every > 0 ? summary.count() + control.checkpoint_every : 0;
+
     const ProgressFn& progress = options.progress.callback;
     auto last_progress = start;
     auto elapsed = [&] {
@@ -235,19 +382,35 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
                               ? options.trace_lane->intern("sim.estimate_curve")
                               : tracer::kNoName);
 
-    std::uint64_t path_index = 0;
-    while (!criterion.should_stop_curve(summary)) {
+    while (!criterion.should_stop_curve(summary) &&
+           !governor.should_stop(summary.count(), total_steps, result.path_errors)) {
         // Per-path RNG streams: path j simulates with split(seed, j)
         // whatever the worker count, so curve results never depend on it.
         Rng rng = master.split(path_index);
-        const PathOutcome out = gen.run(rng);
+        PathOutcome out;
+        if (tolerate) {
+            try {
+                out = gen.run(rng);
+            } catch (const std::exception& e) {
+                out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
+                quarantine_error(result.error_log, path_index, e.what());
+            }
+        } else {
+            out = gen.run(rng);
+        }
         ++path_index;
         summary.add(out.satisfied, out.end_time);
         last.add(out.satisfied);
         ++result.terminals[static_cast<std::size_t>(out.terminal)];
+        if (out.terminal == PathTerminal::Error) ++result.path_errors;
+        total_steps += out.steps;
         if (report != nullptr && summary.count() == next_mark) {
             report->stop_trajectory.push_back({summary.count(), required});
             next_mark *= 2;
+        }
+        if (next_checkpoint != 0 && summary.count() >= next_checkpoint) {
+            save_checkpoint();
+            next_checkpoint += control.checkpoint_every;
         }
         if (progress) {
             const auto now = std::chrono::steady_clock::now();
@@ -277,6 +440,11 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
                                                             summary.size(), result.samples);
     result.strategy = strategy.name();
     result.criterion = criterion.name();
+    result.status = governor.status();
+    result.stop_cause = governor.stop_cause();
+    // The curve's achieved guarantee is the simultaneous band half-width.
+    result.achieved_half_width = result.simultaneous_eps;
+    if (!control.checkpoint_path.empty()) save_checkpoint();
     result.peak_rss_bytes = peak_rss_bytes();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -297,6 +465,9 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
             telemetry::WorkerStats{0, 0, result.samples, result.samples}};
         report->curve = {result.band, result.simultaneous_eps, result.points};
         if (coverage) report->coverage = result.coverage;
+        fill_run_status(report, result.status, result.stop_cause,
+                        result.achieved_half_width, result.path_errors,
+                        result.error_log);
     }
     return result;
 }

@@ -29,6 +29,17 @@ struct EstimationResult {
     /// streams, so the profile — and the estimate — is byte-identical for
     /// every worker count at a fixed seed (sim/coverage.hpp).
     telemetry::CoverageReport coverage;
+    /// Run hardening (docs/robustness.md): how the run ended. Converged
+    /// unless a budget, interrupt or the fault-error budget stopped it —
+    /// then the estimate above is the partial result at `samples`.
+    RunStatus status = RunStatus::Converged;
+    std::string stop_cause; // "" when converged
+    /// Half-width actually guaranteed at the accepted sample count.
+    double achieved_half_width = 0.0;
+    /// Accepted PathTerminal::Error samples (FaultPolicy::Tolerate) and
+    /// their quarantined diagnostics (first kMaxQuarantinedErrors).
+    std::uint64_t path_errors = 0;
+    std::vector<std::string> error_log;
 
     [[nodiscard]] std::string to_string() const;
 };
@@ -88,6 +99,13 @@ struct CurveResult {
     /// Coverage profile over the shared path set (enabled only when
     /// SimOptions::coverage asks for it).
     telemetry::CoverageReport coverage;
+    /// Run hardening (docs/robustness.md); for curve runs the achieved
+    /// half-width is the simultaneous band half-width at `samples`.
+    RunStatus status = RunStatus::Converged;
+    std::string stop_cause;
+    double achieved_half_width = 0.0;
+    std::uint64_t path_errors = 0;
+    std::vector<std::string> error_log;
 
     [[nodiscard]] std::string to_string() const;
 };
@@ -125,5 +143,29 @@ void validate_curve_request(const TimedReachability& property, const CurveOption
 /// a finished CurveSummary, and the common report fill.
 [[nodiscard]] std::vector<telemetry::CurvePoint> curve_points(
     const stat::CurveSummary& summary);
+
+/// Shared run-hardening plumbing (all four estimation runners).
+
+/// Appends "path N: what" to `log` unless it already holds
+/// kMaxQuarantinedErrors messages.
+void quarantine_error(std::vector<std::string>& log, std::uint64_t path_index,
+                      const char* what);
+
+/// Builds the checkpoint for the current accepted state; `terminals` is the
+/// result's terminal array, `curve_bounds`/`curve_tree` stay empty for
+/// scalar estimation.
+[[nodiscard]] RunCheckpoint make_run_checkpoint(
+    const RunControlOptions& control, std::uint64_t seed, const std::string& property_text,
+    const std::string& strategy_name, const std::string& criterion_name,
+    std::uint64_t cursor, std::uint64_t successes, std::uint64_t total_steps,
+    const std::array<std::size_t, kPathTerminalCount>& terminals,
+    const std::vector<std::string>& error_log, const std::vector<double>& curve_bounds = {},
+    const std::vector<std::uint64_t>& curve_tree = {});
+
+/// Fills the report's run_status section from the result fields (no-op when
+/// `report` is null).
+void fill_run_status(telemetry::RunReport* report, RunStatus status,
+                     const std::string& stop_cause, double achieved_half_width,
+                     std::uint64_t path_errors, const std::vector<std::string>& error_log);
 
 } // namespace slimsim::sim

@@ -22,7 +22,7 @@ void SampleCollector::push(std::size_t worker, TaggedSample sample) {
 
 void SampleCollector::consume_locked(BernoulliSummary& summary, std::size_t worker,
                                      std::vector<std::uint64_t>* tag_counts,
-                                     CurveSummary* curve) {
+                                     CurveSummary* curve, std::uint64_t* steps) {
     auto& buffer = buffers_[worker];
     const TaggedSample s = buffer.front();
     buffer.pop_front();
@@ -32,19 +32,21 @@ void SampleCollector::consume_locked(BernoulliSummary& summary, std::size_t work
         if (tag_counts->size() <= s.tag) tag_counts->resize(s.tag + 1, 0);
         ++(*tag_counts)[s.tag];
     }
+    if (steps != nullptr) *steps += s.steps;
     ++consumed_[worker];
     ++accepted_;
 }
 
 std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary, std::size_t max_rounds,
-                                          std::vector<std::uint64_t>* tag_counts) {
+                                          std::vector<std::uint64_t>* tag_counts,
+                                          std::uint64_t* steps) {
     std::lock_guard lock(mutex_);
     std::size_t rounds = buffers_.front().size();
     for (const auto& b : buffers_) rounds = std::min(rounds, b.size());
     rounds = std::min(rounds, max_rounds);
     for (std::size_t r = 0; r < rounds; ++r) {
         for (std::size_t w = 0; w < buffers_.size(); ++w) {
-            consume_locked(summary, w, tag_counts);
+            consume_locked(summary, w, tag_counts, nullptr, steps);
         }
         if (lane_ != nullptr) {
             lane_->instant(n_round_, n_arg_accepted_, static_cast<double>(accepted_));
@@ -64,11 +66,12 @@ void SampleCollector::set_trace(tracer::Lane* lane) {
 
 std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSummary* curve,
                                            std::vector<std::uint64_t>* tag_counts,
-                                           const std::function<bool()>& done) {
+                                           const std::function<bool()>& done,
+                                           std::uint64_t* steps) {
     std::lock_guard lock(mutex_);
     std::size_t consumed = 0;
     while (!buffers_[cursor_].empty()) {
-        consume_locked(summary, cursor_, tag_counts, curve);
+        consume_locked(summary, cursor_, tag_counts, curve, steps);
         ++consumed;
         cursor_ = (cursor_ + 1) % buffers_.size();
         if (cursor_ == 0) {
@@ -83,12 +86,13 @@ std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSumma
 }
 
 std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary,
-                                             std::vector<std::uint64_t>* tag_counts) {
+                                             std::vector<std::uint64_t>* tag_counts,
+                                             std::uint64_t* steps) {
     std::lock_guard lock(mutex_);
     std::size_t consumed = 0;
     for (std::size_t w = 0; w < buffers_.size(); ++w) {
         while (!buffers_[w].empty()) {
-            consume_locked(summary, w, tag_counts);
+            consume_locked(summary, w, tag_counts, nullptr, steps);
             ++consumed;
         }
     }

@@ -36,6 +36,9 @@ struct TaggedSample {
     /// Terminal time of the path (the first goal-hit time for satisfied
     /// samples); consumed by multi-bound curve estimation.
     double time = 0.0;
+    /// Discrete steps taken by the path; accumulated over *accepted*
+    /// samples for the deterministic max_total_steps run budget.
+    std::uint64_t steps = 0;
 };
 
 class SampleCollector {
@@ -51,14 +54,18 @@ public:
     /// round at a time and consulting the stop criterion in between keeps
     /// the accepted sample set deterministic in (seed, worker count).
     /// When `tag_counts` is given it is grown as needed and tag occurrences
-    /// of the accepted samples are accumulated into it.
+    /// of the accepted samples are accumulated into it. When `steps` is
+    /// given, accepted samples' step counts are accumulated into it (run
+    /// budgets; read it between drain calls, never from inside done()).
     std::size_t drain_rounds(BernoulliSummary& summary,
                              std::size_t max_rounds = static_cast<std::size_t>(-1),
-                             std::vector<std::uint64_t>* tag_counts = nullptr);
+                             std::vector<std::uint64_t>* tag_counts = nullptr,
+                             std::uint64_t* steps = nullptr);
 
     /// Unbiased (first-come) consumption, for the bias-demonstration bench.
     std::size_t drain_unordered(BernoulliSummary& summary,
-                                std::vector<std::uint64_t>* tag_counts = nullptr);
+                                std::vector<std::uint64_t>* tag_counts = nullptr,
+                                std::uint64_t* steps = nullptr);
 
     /// Round-robin consumption at *sample* granularity, for curve and
     /// coverage estimation: consumes in global accepted order (sample r of
@@ -71,9 +78,14 @@ public:
     /// worker count — with per-path RNG streams this makes curve/coverage
     /// results independent of the worker count, not just deterministic at a
     /// fixed one. Thread-safe.
+    /// `done()` runs under the collector mutex — it must not call back into
+    /// the collector. `steps` (optional) accumulates accepted samples' step
+    /// counts and is updated before `done()` runs, so governor checks inside
+    /// `done()` may read the accumulator.
     std::size_t drain_ordered(BernoulliSummary& summary, CurveSummary* curve,
                               std::vector<std::uint64_t>* tag_counts,
-                              const std::function<bool()>& done);
+                              const std::function<bool()>& done,
+                              std::uint64_t* steps = nullptr);
 
     /// Samples currently buffered across all workers.
     [[nodiscard]] std::size_t buffered() const;
@@ -97,7 +109,7 @@ public:
 private:
     void consume_locked(BernoulliSummary& summary, std::size_t worker,
                         std::vector<std::uint64_t>* tag_counts,
-                        CurveSummary* curve = nullptr);
+                        CurveSummary* curve = nullptr, std::uint64_t* steps = nullptr);
 
     mutable std::mutex mutex_;
     std::vector<std::deque<TaggedSample>> buffers_;

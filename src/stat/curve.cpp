@@ -52,6 +52,14 @@ void CurveSummary::add(bool satisfied, double hit_time) {
     for (std::size_t i = bucket + 1; i < tree_.size(); i += i & (0 - i)) tree_[i] += 1;
 }
 
+void CurveSummary::restore(std::size_t count, std::vector<std::uint64_t> tree) {
+    if (tree.size() != bounds_.size() + 1) {
+        throw Error("curve checkpoint state does not match the bound grid");
+    }
+    count_ = count;
+    tree_ = std::move(tree);
+}
+
 std::uint64_t CurveSummary::successes(std::size_t i) const {
     SLIMSIM_ASSERT(i < bounds_.size());
     std::uint64_t sum = 0;

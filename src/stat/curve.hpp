@@ -75,6 +75,13 @@ public:
 
     [[nodiscard]] double estimate(std::size_t i) const;
 
+    /// Raw Fenwick state (size size()+1) for checkpointing.
+    [[nodiscard]] const std::vector<std::uint64_t>& tree() const { return tree_; }
+
+    /// Restores the summary from a checkpoint taken by tree()/count();
+    /// `tree` must have size size()+1.
+    void restore(std::size_t count, std::vector<std::uint64_t> tree);
+
 private:
     std::vector<double> bounds_;
     std::vector<std::uint64_t> tree_; // 1-based Fenwick tree over hit buckets

@@ -18,6 +18,8 @@ void check_params(double delta, double epsilon) {
 }
 } // namespace
 
+double StopCriterion::achieved_half_width(const BernoulliSummary&) const { return 0.0; }
+
 bool StopCriterion::should_stop_curve(const CurveSummary& curve) const {
     // Fixed-count criteria depend on the shared count only; one comparison.
     if (const auto n = fixed_sample_count()) return curve.count() >= *n;
@@ -29,7 +31,13 @@ bool StopCriterion::should_stop_curve(const CurveSummary& curve) const {
 }
 
 ChernoffHoeffding::ChernoffHoeffding(double delta, double epsilon)
-    : n_(sample_count(delta, epsilon)) {}
+    : n_(sample_count(delta, epsilon)), delta_(delta) {}
+
+double ChernoffHoeffding::achieved_half_width(const BernoulliSummary& s) const {
+    if (s.count == 0) return 0.0;
+    // Invert N = ln(2/δ) / (2 ε²) at the accepted count.
+    return std::sqrt(std::log(2.0 / delta_) / (2.0 * static_cast<double>(s.count)));
+}
 
 std::size_t ChernoffHoeffding::sample_count(double delta, double epsilon) {
     check_params(delta, epsilon);
@@ -39,8 +47,14 @@ std::size_t ChernoffHoeffding::sample_count(double delta, double epsilon) {
 
 GaussCriterion::GaussCriterion(double delta, double epsilon) {
     check_params(delta, epsilon);
-    const double z = normal_quantile(1.0 - delta / 2.0);
-    n_ = static_cast<std::size_t>(std::ceil(z * z / (4.0 * epsilon * epsilon)));
+    z_ = normal_quantile(1.0 - delta / 2.0);
+    n_ = static_cast<std::size_t>(std::ceil(z_ * z_ / (4.0 * epsilon * epsilon)));
+}
+
+double GaussCriterion::achieved_half_width(const BernoulliSummary& s) const {
+    if (s.count == 0) return 0.0;
+    // Worst-case variance 1/4, as in the a-priori count.
+    return z_ / (2.0 * std::sqrt(static_cast<double>(s.count)));
 }
 
 ChowRobbins::ChowRobbins(double delta, double epsilon, std::size_t min_samples)
@@ -56,6 +70,12 @@ bool ChowRobbins::should_stop(const BernoulliSummary& s) const {
     const double var = s.variance() + 1.0 / static_cast<double>(s.count);
     const double half_width = z_ * std::sqrt(var / static_cast<double>(s.count));
     return half_width <= epsilon_;
+}
+
+double ChowRobbins::achieved_half_width(const BernoulliSummary& s) const {
+    if (s.count == 0) return 0.0;
+    const double var = s.variance() + 1.0 / static_cast<double>(s.count);
+    return z_ * std::sqrt(var / static_cast<double>(s.count));
 }
 
 Sprt::Sprt(double threshold, double indifference, double delta) {

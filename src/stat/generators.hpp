@@ -42,6 +42,11 @@ public:
     /// criterion with stat::per_bound_delta(band, delta, K).
     [[nodiscard]] virtual bool should_stop_curve(const CurveSummary& curve) const;
 
+    /// Half-width actually guaranteed at the accepted sample count — what a
+    /// partial (budget-exhausted / interrupted / degraded) run achieved.
+    /// 0 when nothing can be said yet (no samples, or SPRT).
+    [[nodiscard]] virtual double achieved_half_width(const BernoulliSummary& s) const;
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -57,12 +62,14 @@ public:
     [[nodiscard]] bool should_stop(const BernoulliSummary& s) const override {
         return s.count >= n_;
     }
+    [[nodiscard]] double achieved_half_width(const BernoulliSummary& s) const override;
     [[nodiscard]] std::string name() const override { return "chernoff-hoeffding"; }
 
     [[nodiscard]] static std::size_t sample_count(double delta, double epsilon);
 
 private:
     std::size_t n_;
+    double delta_;
 };
 
 /// Gauss / central-limit criterion with worst-case variance 1/4:
@@ -77,10 +84,12 @@ public:
     [[nodiscard]] bool should_stop(const BernoulliSummary& s) const override {
         return s.count >= n_;
     }
+    [[nodiscard]] double achieved_half_width(const BernoulliSummary& s) const override;
     [[nodiscard]] std::string name() const override { return "gauss"; }
 
 private:
     std::size_t n_;
+    double z_;
 };
 
 /// Chow-Robbins sequential criterion: stop when the CLT confidence interval
@@ -92,6 +101,7 @@ public:
 
     [[nodiscard]] std::size_t min_sample_count() const override { return min_samples_; }
     [[nodiscard]] bool should_stop(const BernoulliSummary& s) const override;
+    [[nodiscard]] double achieved_half_width(const BernoulliSummary& s) const override;
     [[nodiscard]] std::string name() const override { return "chow-robbins"; }
 
 private:

@@ -264,6 +264,22 @@ json::Value RunReport::to_json() const {
     result["successes"] = successes;
     doc["result"] = std::move(result);
 
+    // How the run ended (docs/robustness.md). Deterministic except when the
+    // stop cause itself is wall-clock dependent (--max-seconds, SIGINT).
+    {
+        json::Value rs = json::Value::object();
+        rs["status"] = run_status.status;
+        if (!run_status.stop_cause.empty()) rs["stop_cause"] = run_status.stop_cause;
+        rs["achieved_half_width"] = run_status.achieved_half_width;
+        if (run_status.path_errors > 0) rs["path_errors"] = run_status.path_errors;
+        if (!run_status.error_log.empty()) {
+            json::Value log = json::Value::array();
+            for (const auto& msg : run_status.error_log) log.push_back(msg);
+            rs["error_log"] = std::move(log);
+        }
+        doc["run_status"] = std::move(rs);
+    }
+
     if (!terminals.empty()) {
         json::Value t = json::Value::object();
         for (const auto& [name, n] : terminals) t[name] = n;
@@ -393,6 +409,17 @@ std::string RunReport::to_text() const {
     if (!verdict.empty()) os << "  (" << verdict << ")";
     os << "\n";
     os << "  samples:    " << samples << " (" << successes << " successes)\n";
+    os << "  status:     " << run_status.status;
+    if (!run_status.stop_cause.empty()) os << " (" << run_status.stop_cause << ")";
+    if (run_status.achieved_half_width > 0.0) {
+        os << "  achieved +-" << run_status.achieved_half_width;
+    }
+    os << "\n";
+    if (run_status.path_errors > 0) {
+        os << "  path errors: " << run_status.path_errors << " quarantined";
+        os << " (" << run_status.error_log.size() << " messages kept)\n";
+        for (const auto& msg : run_status.error_log) os << "    " << msg << "\n";
+    }
     if (!terminals.empty()) {
         os << "  terminals:  ";
         bool first = true;

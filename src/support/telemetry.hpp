@@ -251,10 +251,25 @@ struct CoverageReport {
     [[nodiscard]] std::string summary_text() const;
 };
 
+/// How an estimation run ended plus the partial-result context (run
+/// hardening, docs/robustness.md). Deterministic except for wall-clock stop
+/// causes (budget_exhausted via --max-seconds, interrupted).
+struct RunStatusReport {
+    std::string status = "converged"; // converged | budget_exhausted | interrupted | degraded
+    std::string stop_cause;           // "" when converged
+    /// Half-width actually guaranteed at the accepted sample count (the
+    /// simultaneous band half-width for curve runs).
+    double achieved_half_width = 0.0;
+    std::uint64_t path_errors = 0; // accepted PathTerminal::Error samples
+    /// Quarantined per-path error diagnostics (bounded,
+    /// sim::kMaxQuarantinedErrors).
+    std::vector<std::string> error_log;
+};
+
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
-    static constexpr std::uint64_t kSchemaVersion = 1;
+    static constexpr std::uint64_t kSchemaVersion = 2;
 
     std::string mode;     // estimate | estimate-parallel | hypothesis-test | ctmc-flow
     std::string model;    // model path (or a caller-chosen label)
@@ -271,6 +286,7 @@ struct RunReport {
     std::string verdict; // hypothesis-test only ("" otherwise)
     std::uint64_t samples = 0;
     std::uint64_t successes = 0;
+    RunStatusReport run_status; // how the run ended (docs/robustness.md)
 
     std::vector<std::pair<std::string, std::uint64_t>> terminals; // path-terminal histogram
     std::vector<WorkerStats> worker_stats;

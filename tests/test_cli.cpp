@@ -378,6 +378,133 @@ TEST_F(CliTest, CoverageRejectedOutsideEstimationModes) {
     EXPECT_NE(res.output.find("--coverage"), std::string::npos);
 }
 
+TEST_F(CliTest, CountFlagsRejectBadValuesWithDiagnostics) {
+    // --workers 0 used to fall through to a silent sequential run; now every
+    // count flag validates at the CLI boundary and names itself.
+    const CliResult zero =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --workers 0");
+    EXPECT_EQ(zero.exit_code, 1);
+    EXPECT_NE(zero.output.find("error:"), std::string::npos);
+    EXPECT_NE(zero.output.find("--workers"), std::string::npos);
+    const CliResult junk =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --workers banana");
+    EXPECT_EQ(junk.exit_code, 1);
+    EXPECT_NE(junk.output.find("--workers"), std::string::npos);
+    const CliResult negative =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --max-samples -5");
+    EXPECT_EQ(negative.exit_code, 1);
+    EXPECT_NE(negative.output.find("--max-samples"), std::string::npos);
+    const CliResult paths =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --paths 0");
+    EXPECT_EQ(paths.exit_code, 1);
+    EXPECT_NE(paths.output.find("--paths"), std::string::npos);
+}
+
+TEST_F(CliTest, BudgetExhaustionWarnsButExitsZero) {
+    const std::string json = "cli_budget_" + std::to_string(getpid()) + ".json";
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.02 "
+                "--seed 3 --max-samples 100 --json " + json);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("warning: run budget_exhausted"), std::string::npos);
+    EXPECT_NE(res.output.find("--max-samples"), std::string::npos);
+    const auto doc = slimsim::json::Value::parse(read_file(json));
+    EXPECT_EQ(doc.at("run_status").at("status").as_string(), "budget_exhausted");
+    EXPECT_EQ(doc.at("result").at("samples").as_int(), 100);
+    EXPECT_GT(doc.at("run_status").at("achieved_half_width").as_double(), 0.0);
+    std::remove(json.c_str());
+}
+
+TEST_F(CliTest, CheckpointResumeReproducesTheFullRun) {
+    const std::string tag = std::to_string(getpid());
+    const std::string ref_ck = "cli_ref_" + tag + ".ckpt";
+    const std::string ref_json = "cli_ref_" + tag + ".json";
+    const std::string cut_ck = "cli_cut_" + tag + ".ckpt";
+    const std::string res_json = "cli_res_" + tag + ".json";
+    const std::string common =
+        gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 --seed 9 ";
+
+    // Reference: uninterrupted run (a --checkpoint flag forces the same
+    // per-path RNG streams the resumed run uses).
+    const CliResult ref = run_cli(common + "--checkpoint " + ref_ck + " --json " +
+                                  ref_json);
+    EXPECT_EQ(ref.exit_code, 0) << ref.output;
+    EXPECT_NE(ref.output.find("wrote checkpoint"), std::string::npos);
+
+    // Interrupted at 80 samples, then resumed with a different worker count.
+    const CliResult cut = run_cli(common + "--max-samples 80 --checkpoint " + cut_ck);
+    EXPECT_EQ(cut.exit_code, 0) << cut.output;
+    EXPECT_NE(cut.output.find("warning: run budget_exhausted"), std::string::npos);
+    const CliResult resumed =
+        run_cli(common + "--workers 4 --resume " + cut_ck + " --json " + res_json);
+    EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+
+    const auto ref_doc = slimsim::json::Value::parse(read_file(ref_json));
+    const auto res_doc = slimsim::json::Value::parse(read_file(res_json));
+    EXPECT_EQ(res_doc.at("result").dump(0), ref_doc.at("result").dump(0));
+    EXPECT_EQ(res_doc.at("terminals").dump(0), ref_doc.at("terminals").dump(0));
+    for (const std::string& f : {ref_ck, ref_json, cut_ck, res_json}) {
+        std::remove(f.c_str());
+    }
+}
+
+TEST_F(CliTest, ResumeRejectsAMismatchedRun) {
+    const std::string tag = std::to_string(getpid());
+    const std::string ck = "cli_mismatch_" + tag + ".ckpt";
+    const CliResult make =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 "
+                "--seed 9 --max-samples 20 --checkpoint " + ck);
+    EXPECT_EQ(make.exit_code, 0) << make.output;
+    const CliResult wrong =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 "
+                "--seed 10 --resume " + ck);
+    EXPECT_EQ(wrong.exit_code, 1);
+    EXPECT_NE(wrong.output.find("error:"), std::string::npos);
+    EXPECT_NE(wrong.output.find("--seed"), std::string::npos);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CliTest, FaultPolicyGovernsZenoModels) {
+    // An immediate self-loop: every path trips the Zeno guard.
+    const std::string zeno = "cli_zeno_" + std::to_string(getpid()) + ".slim";
+    std::ofstream(zeno) << R"(
+        root S.I;
+        system S
+        features never: out data port bool default false;
+        end S;
+        system implementation S.I
+        modes a: initial mode;
+        transitions a -[]-> a;
+        end S.I;
+    )";
+    const std::string common =
+        zeno + " --goal never --bound 1 --strategy asap --delta 0.1 --eps 0.1 "
+               "--max-path-steps 100 ";
+    // Default fail-fast: the path fault aborts the run with one diagnostic.
+    const CliResult failfast = run_cli(common);
+    EXPECT_EQ(failfast.exit_code, 1);
+    EXPECT_NE(failfast.output.find("error:"), std::string::npos);
+    EXPECT_NE(failfast.output.find("Zeno"), std::string::npos);
+    // Tolerate: error-tagged samples, a degraded-run warning, exit 0.
+    const CliResult tolerate = run_cli(common + "--fault tolerate --max-path-errors 5");
+    EXPECT_EQ(tolerate.exit_code, 0) << tolerate.output;
+    EXPECT_NE(tolerate.output.find("warning: run degraded"), std::string::npos);
+    EXPECT_NE(tolerate.output.find("--max-path-errors"), std::string::npos);
+    std::remove(zeno.c_str());
+}
+
+TEST_F(CliTest, HardeningFlagsRejectedOutsideEstimationModes) {
+    const CliResult ctmc =
+        run_cli(sf_file() + "  --goal failed --bound '100 hour' --ctmc --max-samples 10");
+    EXPECT_EQ(ctmc.exit_code, 1);
+    EXPECT_NE(ctmc.output.find("estimation-mode"), std::string::npos);
+    const CliResult every =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 "
+                "--checkpoint-every 10");
+    EXPECT_EQ(every.exit_code, 1);
+    EXPECT_NE(every.output.find("--checkpoint-every"), std::string::npos);
+}
+
 TEST_F(CliTest, UnknownOptionFails) {
     const CliResult res = run_cli(gps_file() + "  --frobnicate");
     EXPECT_EQ(res.exit_code, 1);

@@ -92,6 +92,62 @@ void BM_SensorFilterPath(benchmark::State& state) {
 }
 BENCHMARK(BM_SensorFilterPath)->Arg(1)->Arg(2)->Arg(4);
 
+// --- interpreter vs compiled paths/sec --------------------------------------
+//
+// One pair per CI-tracked harness config (bench_strategies_gps and
+// bench_table1): the same model/property/strategy driven by the reference
+// tree-walking interpreter and by the compiled engine (the default). CI's
+// bench-smoke job parses items_per_second from BENCH_micro.json and fails
+// when compiled/interpreter < 1.5x (the full 2x target is tracked in the
+// artifact; smoke runners are noisy).
+
+void run_paths(benchmark::State& state, eda::Network& net, const std::string& goal,
+               double bound, sim::StrategyKind kind, bool reference) {
+    net.set_reference_interpreter(reference);
+    const sim::TimedReachability prop = sim::make_reachability(net.model(), goal, bound);
+    const auto strat = sim::make_strategy(kind);
+    const sim::PathGenerator gen(net, prop, *strat);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.run(rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// The bench_strategies_gps config: GPS acquisition model, Progressive
+// strategy, fix-by-deadline reachability.
+void BM_StrategiesGpsPaths_Interpreter(benchmark::State& state) {
+    eda::Network net = eda::build_network_from_source(models::gps_source());
+    run_paths(state, net, models::gps_goal(), 600.0, sim::StrategyKind::Progressive,
+              /*reference=*/true);
+}
+BENCHMARK(BM_StrategiesGpsPaths_Interpreter);
+
+void BM_StrategiesGpsPaths_Compiled(benchmark::State& state) {
+    eda::Network net = eda::build_network_from_source(models::gps_source());
+    run_paths(state, net, models::gps_goal(), 600.0, sim::StrategyKind::Progressive,
+              /*reference=*/false);
+}
+BENCHMARK(BM_StrategiesGpsPaths_Compiled);
+
+// The bench_table1 simulator config: sensor/filter redundancy benchmark
+// (R = 2), ASAP strategy, failure within the mission horizon.
+void BM_Table1Paths_Interpreter(benchmark::State& state) {
+    eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(2));
+    run_paths(state, net, models::sensor_filter_goal(), 10.0 * 3600.0,
+              sim::StrategyKind::Asap, /*reference=*/true);
+}
+BENCHMARK(BM_Table1Paths_Interpreter);
+
+void BM_Table1Paths_Compiled(benchmark::State& state) {
+    eda::Network net =
+        eda::build_network_from_source(models::sensor_filter_source(2));
+    run_paths(state, net, models::sensor_filter_goal(), 10.0 * 3600.0,
+              sim::StrategyKind::Asap, /*reference=*/false);
+}
+BENCHMARK(BM_Table1Paths_Compiled);
+
 void BM_CandidateEnumeration(benchmark::State& state) {
     const eda::Network net = eda::build_network_from_source(models::gps_source());
     const eda::NetworkState s = net.initial_state();

@@ -1,6 +1,8 @@
 #include "api/analysis.hpp"
 
 #include <chrono>
+#include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
@@ -14,7 +16,31 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+std::string hex16(std::uint64_t v) {
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
 } // namespace
+
+eda::CompiledModelPtr compile(std::shared_ptr<const slim::InstanceModel> model) {
+    return eda::compile_model(std::move(model));
+}
+
+eda::CompiledModelPtr compile_source(std::string_view source, std::string filename,
+                                     eda::LoadPhases* phases) {
+    return eda::compile_model(
+        eda::load_instance_model(source, std::move(filename), phases));
+}
+
+eda::CompiledModelPtr compile_file(const std::string& path, eda::LoadPhases* phases) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open model file `" + path + "`");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return compile_source(buf.str(), path, phases);
+}
 
 std::string to_string(AnalysisMode mode) {
     switch (mode) {
@@ -71,6 +97,16 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     report.workers = request.mode == AnalysisMode::EstimateParallel ? request.workers : 1;
     report.phases = request.frontend_phases;
     report.params.emplace_back("bound", request.property.bound);
+
+    if (const eda::CompiledModelPtr& cm = net.compiled(); cm != nullptr) {
+        const eda::CompileStats& cs = cm->stats();
+        report.compiled_model.present = true;
+        report.compiled_model.programs = cs.programs;
+        report.compiled_model.unique_programs = cs.unique_programs;
+        report.compiled_model.nodes = cs.nodes;
+        report.compiled_model.bytecode_bytes = cs.bytecode_bytes;
+        report.compiled_model.content_hash = hex16(cm->content_hash());
+    }
 
     telemetry::Recorder local_recorder;
     telemetry::Recorder* recorder =
@@ -263,6 +299,11 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     report.wall_seconds = seconds_since(start);
     report.peak_rss_bytes = peak_rss_bytes();
     return result;
+}
+
+AnalysisResult run_analysis(const eda::CompiledModelPtr& model,
+                            const AnalysisRequest& request) {
+    return run_analysis(eda::Network(model), request);
 }
 
 } // namespace slimsim

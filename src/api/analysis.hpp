@@ -144,11 +144,37 @@ struct AnalysisResult {
     [[nodiscard]] std::string to_string() const;
 };
 
+// --- compile-once model API ------------------------------------------------
+//
+// Compilation (expression lowering, hash-consing, per-location
+// precomputation; docs/compiled-model.md) happens once per model; the
+// returned handle is immutable, thread-safe, and reusable across any number
+// of run_analysis() calls and worker threads. compile() is cached
+// process-wide by the model's deterministic content hash, so repeated
+// compilations of an identical model return the same handle.
+
+/// Compiles an instantiated model (or returns the cached compilation).
+[[nodiscard]] eda::CompiledModelPtr
+compile(std::shared_ptr<const slim::InstanceModel> model);
+
+/// Front-end pipeline + compile: SLIM source -> parse -> resolve ->
+/// instantiate -> validate -> compile. Throws slimsim::Error on any error.
+[[nodiscard]] eda::CompiledModelPtr compile_source(std::string_view source,
+                                                   std::string filename = "<input>",
+                                                   eda::LoadPhases* phases = nullptr);
+[[nodiscard]] eda::CompiledModelPtr compile_file(const std::string& path,
+                                                 eda::LoadPhases* phases = nullptr);
+
 /// Runs the requested analysis on `net`. Deterministic in
 /// (request.seed, request.workers) for every mode. Throws slimsim::Error on
 /// invalid requests (e.g. CTMC flow on a timed model or a non-Reach
 /// property, Input strategy in parallel runs).
 [[nodiscard]] AnalysisResult run_analysis(const eda::Network& net,
+                                          const AnalysisRequest& request);
+
+/// Runs the requested analysis on a pre-compiled model: no per-call
+/// compilation work beyond wrapping the handle in a Network view.
+[[nodiscard]] AnalysisResult run_analysis(const eda::CompiledModelPtr& model,
                                           const AnalysisRequest& request);
 
 } // namespace slimsim

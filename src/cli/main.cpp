@@ -81,6 +81,9 @@ void usage() {
         "  --report             print the human-readable run report\n"
         "  --no-telemetry       skip engine counters/histograms (identity and\n"
         "                       result sections of the report only)\n"
+        "  --compile-stats      print the compiled model's statistics (programs,\n"
+        "                       hash-consing dedup, bytecode size, content hash;\n"
+        "                       docs/compiled-model.md)\n"
         "\n"
         "observability (docs/tracing.md):\n"
         "  --trace FILE         write a Chrome trace-event JSON timeline of the\n"
@@ -224,6 +227,7 @@ int run(int argc, char** argv) {
     bool use_ctmc = false;
     bool minimize = true;
     bool validate_only = false;
+    bool compile_stats = false;
     double test_threshold = -1.0;
     double indifference = 0.01;
     bool run_fmea = false;
@@ -351,6 +355,8 @@ int run(int argc, char** argv) {
                 static_cast<int>(parse_count(need_value(i, "--cut-sets"), "--cut-sets"));
         } else if (arg == "--no-minimize") {
             minimize = false;
+        } else if (arg == "--compile-stats") {
+            compile_stats = true;
         } else if (arg == "--validate") {
             validate_only = true;
         } else if (arg == "--info") {
@@ -408,6 +414,15 @@ int run(int argc, char** argv) {
                 m.instances.size(), m.processes.size(), m.vars.size(), m.actions.size());
     for (const auto& d : slim::validate(m)) {
         std::fprintf(stderr, "%s\n", d.to_string().c_str());
+    }
+    if (compile_stats) {
+        const eda::CompiledModelPtr& cm = net.compiled();
+        const eda::CompileStats& cs = cm->stats();
+        std::printf("compiled model: %zu programs (%zu unique after hash-consing), "
+                    "%zu nodes, %zu bytecode bytes\n",
+                    cs.programs, cs.unique_programs, cs.nodes, cs.bytecode_bytes);
+        std::printf("content hash: %016llx\n",
+                    static_cast<unsigned long long>(cm->content_hash()));
     }
     if (show_info) {
         std::fputs(slim::model_summary(m).c_str(), stdout);
@@ -597,7 +612,9 @@ int run(int argc, char** argv) {
     control.checkpoint_every = checkpoint_every;
     std::optional<sim::RunCheckpoint> resume_ck; // must outlive run_analysis
     if (!checkpoint_path.empty() || !resume_path.empty()) {
-        control.model_hash = sim::hash_file(model_path);
+        // The compiled model's content hash (not a file-byte hash): resuming
+        // accepts reformatted model files and rejects behavioral changes.
+        control.model_hash = net.compiled()->content_hash();
     }
     if (!resume_path.empty()) {
         resume_ck = sim::RunCheckpoint::load(resume_path);
@@ -717,6 +734,16 @@ int run(int argc, char** argv) {
         }
         std::printf("wrote curve CSV %s (%zu bounds)\n", curve_csv_path.c_str(),
                     res.curve.points.size());
+    }
+    if (compile_stats) {
+        // Runtime companion of the compile-time summary printed at load: how
+        // many distinct discrete configurations the workers interned.
+        for (const auto& [name, n] : res.report.counters) {
+            if (name == "sim.interned_states") {
+                std::printf("interned discrete states: %llu\n",
+                            static_cast<unsigned long long>(n));
+            }
+        }
     }
     std::printf("%s\n", res.to_string().c_str());
     if (req.mode == AnalysisMode::Estimate ||

@@ -1,0 +1,226 @@
+// Compiled models: the compile-once half of the compile-once / simulate-many
+// split (the public API is slimsim::compile() in api/analysis.hpp).
+//
+// A CompiledModel lowers every expression of an InstanceModel — guards,
+// invariants, effects, flows — into hash-consed expr::Programs with binding
+// slots resolved to global VarIds, and precomputes the per-location facts the
+// simulator needs every step (outgoing transitions, tau candidate lists,
+// total Markovian exit rates). It is immutable, thread-safe, keyed by a
+// deterministic content hash, and shared: compile_model() interns models in a
+// process-wide cache, and any number of Networks / analysis runs can use one
+// instance concurrently.
+//
+// The simulate-many half lives in SimScratch: per-worker reusable buffers
+// (expression registers, candidate/write/ready lists, the interned
+// discrete-state table and the per-path state), so the hot loop runs
+// allocation-free once warmed up.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "eda/state.hpp"
+#include "expr/compile.hpp"
+#include "slim/instantiate.hpp"
+#include "support/intervals.hpp"
+
+namespace slimsim::eda {
+
+using slim::ActionId;
+using slim::ChannelId;
+using slim::InstanceModel;
+using slim::ProcessId;
+
+/// One schedulable discrete alternative at the current state, together with
+/// the exact set of delays after which it is enabled (clamped to the
+/// invariant horizon). Markovian transitions are *not* candidates; the
+/// simulator races sampled exponential delays against the strategy's choice.
+struct Candidate {
+    enum class Kind : std::uint8_t {
+        Tau,           // internal transition of one process
+        Sync,          // multi-party synchronization on an event action
+        BroadcastSend, // error propagation send (drags ready receivers along)
+    };
+    Kind kind = Kind::Tau;
+    ProcessId process = -1; // Tau / BroadcastSend
+    int transition = -1;    // Tau / BroadcastSend
+    ActionId action = -1;   // Sync
+    IntervalSet enabled;    // delays at which the candidate can fire
+
+    [[nodiscard]] std::string describe(const InstanceModel& m) const;
+};
+
+/// Total Markovian exit rate of one process at the current state.
+struct MarkovianRate {
+    ProcessId process = -1;
+    double total_rate = 0.0;
+};
+
+/// A transition with its guard and effects compiled; effect targets are
+/// resolved to global variable ids.
+struct CompiledTransition {
+    expr::ProgramPtr guard; // null = always enabled
+    std::vector<std::pair<VarId, expr::ProgramPtr>> effects;
+};
+
+/// Per-location precomputation: facts the interpreter re-derived from the
+/// transition list on every step.
+struct CompiledLocation {
+    expr::ProgramPtr invariant; // null = true
+    std::vector<int> outgoing;  // transitions leaving this location, in order
+    /// Outgoing transitions that are strategy candidates (non-Markovian,
+    /// Normal trigger, not receive-only, tau action), in outgoing order.
+    std::vector<int> tau_candidates;
+    /// Sum of outgoing Markovian rates (the process's exit rate here).
+    double markov_total = 0.0;
+};
+
+struct CompiledProcess {
+    std::vector<CompiledLocation> locations;
+    std::vector<CompiledTransition> transitions;
+};
+
+/// Compile-time statistics (deterministic; surfaced by --compile-stats and
+/// the run report's compiled_model section).
+struct CompileStats {
+    std::size_t programs = 0;        // expressions lowered (before dedup)
+    std::size_t unique_programs = 0; // distinct hash-consed programs
+    std::size_t nodes = 0;           // expression nodes over unique programs
+    std::size_t bytecode_bytes = 0;  // code + node tables over unique programs
+};
+
+/// An InstanceModel with every expression compiled and the per-location
+/// simulator facts precomputed. Immutable and thread-safe; create via
+/// compile_model() (or slimsim::compile()), share across runs freely.
+class CompiledModel {
+public:
+    explicit CompiledModel(std::shared_ptr<const InstanceModel> model);
+
+    [[nodiscard]] const InstanceModel& model() const { return *model_; }
+    [[nodiscard]] const std::shared_ptr<const InstanceModel>& model_ptr() const {
+        return model_;
+    }
+
+    [[nodiscard]] const CompiledProcess& process(ProcessId p) const {
+        return processes_[static_cast<std::size_t>(p)];
+    }
+    /// Program of InstanceModel::flows[i] (same indexing; gating metadata
+    /// stays on the InstFlow).
+    [[nodiscard]] const expr::ProgramPtr& flow_program(std::size_t i) const {
+        return flows_[i];
+    }
+
+    [[nodiscard]] const CompileStats& stats() const { return stats_; }
+
+    /// Deterministic hash of the model's full behavioral content (variables,
+    /// processes, expression structure, flows, injections, names). Stable
+    /// across processes and platforms; used as the compile_model() cache key
+    /// and as the checkpoint/resume model identity.
+    [[nodiscard]] std::uint64_t content_hash() const { return content_hash_; }
+
+private:
+    std::shared_ptr<const InstanceModel> model_;
+    std::vector<CompiledProcess> processes_;
+    std::vector<expr::ProgramPtr> flows_;
+    CompileStats stats_;
+    std::uint64_t content_hash_ = 0;
+};
+
+using CompiledModelPtr = std::shared_ptr<const CompiledModel>;
+
+/// Compiles `model`, or returns the process-wide cached compilation of a
+/// content-identical model. Thread-safe.
+[[nodiscard]] CompiledModelPtr compile_model(std::shared_ptr<const InstanceModel> model);
+
+/// Deterministic content hash of an instance model (what compile_model keys
+/// its cache on), without compiling.
+[[nodiscard]] std::uint64_t model_content_hash(const InstanceModel& model);
+
+/// Facts that are a pure function of a state's discrete projection
+/// (locations + activation): the per-variable derivative vector and the
+/// per-process Markovian exit rates. Interned per discrete configuration so
+/// revisited configurations cost one hash lookup instead of a model sweep.
+struct InternedConfig {
+    std::vector<double> rates;         // derivative per global var
+    std::vector<MarkovianRate> markov; // processes with positive exit rate
+    /// One strategy candidate (tau / broadcast send) of an active process,
+    /// with its compiled guard; candidates_impl's per-step filter applied
+    /// once per discrete configuration, in process-then-outgoing order.
+    struct TauCandidate {
+        ProcessId process = -1;
+        int transition = -1;
+        Candidate::Kind kind = Candidate::Kind::Tau;
+        const expr::Program* guard = nullptr; // null = always enabled
+    };
+    std::vector<TauCandidate> taus;
+    /// Location invariants of the active processes, in process order
+    /// (trivially-true null invariants omitted).
+    std::vector<const expr::Program*> invariants;
+};
+
+/// Per-worker discrete-state interning table (murmur3 over the discrete
+/// projection). Entries live in a chunk-stable pool, so references returned
+/// by intern() stay valid while the interner exists. Not thread-safe: one
+/// interner per worker.
+class StateInterner {
+public:
+    /// Config of s's discrete projection, computing and interning it on
+    /// first sight.
+    [[nodiscard]] const InternedConfig& intern(const NetworkState& s,
+                                               const CompiledModel& cm);
+
+    [[nodiscard]] std::size_t size() const { return entries_; }
+    void clear();
+
+private:
+    struct Entry {
+        std::vector<int> locations;
+        std::vector<char> active;
+        InternedConfig config;
+    };
+
+    // Chunked pool: fixed-size chunks that never move once allocated, so
+    // interned configs stay valid across growth of the index.
+    static constexpr std::size_t kChunk = 64;
+    [[nodiscard]] Entry& entry(std::size_t i) {
+        return chunks_[i / kChunk][i % kChunk];
+    }
+
+    static constexpr std::uint32_t kNoLast = 0xffffffffu;
+
+    std::vector<std::unique_ptr<Entry[]>> chunks_;
+    std::size_t entries_ = 0;
+    std::unordered_multimap<std::uint64_t, std::uint32_t> index_;
+    std::uint32_t last_ = kNoLast; // last hit: short-circuits repeat lookups
+};
+
+/// Reusable per-worker simulation buffers. Bound to one CompiledModel at a
+/// time; rebinding (bind()) clears model-derived caches. Owned by path
+/// generators and the legacy Network entry points' thread-local scratch.
+struct SimScratch {
+    expr::EvalScratch eval;
+    StateInterner interner;
+    std::vector<Candidate> candidates;           // candidates() output buffer
+    std::vector<std::pair<VarId, Value>> writes; // apply_firing buffer
+    std::vector<int> ready;                      // sync/broadcast sub-choices
+    std::vector<std::pair<ProcessId, int>> firing;
+    /// Successful initial state, cached lazily (models whose initial flows
+    /// throw keep per-path throw semantics).
+    std::optional<NetworkState> initial;
+    /// Per-path state reused across paths (buffers keep their capacity).
+    NetworkState path_state;
+
+    void bind(const CompiledModel& cm) {
+        if (bound_ != &cm) {
+            interner.clear();
+            initial.reset();
+            bound_ = &cm;
+        }
+    }
+
+private:
+    const CompiledModel* bound_ = nullptr;
+};
+
+} // namespace slimsim::eda

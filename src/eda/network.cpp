@@ -23,30 +23,6 @@ using slim::InstTransition;
 using slim::TriggerClass;
 } // namespace
 
-std::string Candidate::describe(const InstanceModel& m) const {
-    std::ostringstream os;
-    switch (kind) {
-    case Kind::Tau: {
-        const auto& p = m.processes[static_cast<std::size_t>(process)];
-        const auto& t = p.transitions[static_cast<std::size_t>(transition)];
-        os << "tau " << p.name << ": " << p.locations[t.src].name << " -> "
-           << p.locations[t.dst].name;
-        break;
-    }
-    case Kind::Sync:
-        os << "sync " << m.actions[static_cast<std::size_t>(action)].name;
-        break;
-    case Kind::BroadcastSend: {
-        const auto& p = m.processes[static_cast<std::size_t>(process)];
-        const auto& t = p.transitions[static_cast<std::size_t>(transition)];
-        os << "propagate " << t.label << " from " << p.name;
-        break;
-    }
-    }
-    os << " @ " << enabled.to_string();
-    return os.str();
-}
-
 ElementIndex::ElementIndex(const InstanceModel& m) {
     mode_base_.reserve(m.processes.size());
     transition_base_.reserve(m.processes.size());
@@ -82,16 +58,23 @@ const std::string& ElementIndex::alternative_name(std::uint32_t id) const {
     return action_names_[id - transition_count()];
 }
 
-Network::Network(std::shared_ptr<const InstanceModel> model) : model_(std::move(model)) {
-    outgoing_.resize(model_->processes.size());
-    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
-        const InstProcess& proc = model_->processes[p];
-        outgoing_[p].resize(proc.locations.size());
-        for (std::size_t t = 0; t < proc.transitions.size(); ++t) {
-            outgoing_[p][static_cast<std::size_t>(proc.transitions[t].src)].push_back(
-                static_cast<int>(t));
-        }
-    }
+Network::Network(std::shared_ptr<const InstanceModel> model)
+    : Network(compile_model(std::move(model))) {}
+
+Network::Network(CompiledModelPtr compiled)
+    : model_(compiled->model_ptr()), cm_(std::move(compiled)) {
+    // Without mode-gated subcomponents every instance is active in every
+    // state, so the per-step activation fixpoint is a no-op and is skipped.
+    static_activation_ =
+        std::none_of(model_->instances.begin(), model_->instances.end(),
+                     [](const Instance& i) { return !i.parent_modes.empty(); });
+}
+
+SimScratch* Network::legacy_scratch() const {
+    if (reference_) return nullptr;
+    thread_local SimScratch scratch;
+    scratch.bind(*cm_);
+    return &scratch;
 }
 
 NetworkState Network::initial_state() const {
@@ -113,9 +96,15 @@ NetworkState Network::initial_state() const {
         s.active[i] = a ? 1 : 0;
     }
     apply_injections_for_current_states(s);
-    run_flows(s);
+    run_flows(s, legacy_scratch());
     apply_injections_for_current_states(s);
     return s;
+}
+
+const NetworkState& Network::initial_state(SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    if (!scratch.initial) scratch.initial = initial_state();
+    return *scratch.initial;
 }
 
 NetworkState Network::forced_initial_state(
@@ -130,22 +119,39 @@ NetworkState Network::forced_initial_state(
         s.locations[static_cast<std::size_t>(proc)] = loc;
     }
     apply_injections_for_current_states(s);
-    run_flows(s);
+    run_flows(s, legacy_scratch());
     apply_injections_for_current_states(s);
     return s;
 }
 
-double Network::invariant_horizon(const NetworkState& s) const {
-    std::vector<double> rates;
-    compute_rates(s, rates);
+// --- timing analysis -------------------------------------------------------------
+
+double Network::invariant_horizon_impl(const NetworkState& s, SimScratch* scratch) const {
+    if (scratch != nullptr) {
+        // The interned config lists exactly the active processes' invariants
+        // (process order), so the per-process sweep below collapses to them.
+        const InternedConfig& cfg = scratch->interner.intern(s, *cm_);
+        double horizon = kInf;
+        for (const expr::Program* inv : cfg.invariants) {
+            const auto prefix = inv->satisfying_times(s.values, cfg.rates, scratch->eval)
+                                    .prefix_horizon();
+            if (!prefix) return 0.0; // invariant already violated: urgent
+            horizon = std::min(horizon, *prefix);
+            if (horizon == 0.0) return 0.0;
+        }
+        return horizon;
+    }
+    std::vector<double> rates_vec;
+    compute_rates(s, rates_vec);
+    const std::span<const double> rates = rates_vec;
     double horizon = kInf;
     for (std::size_t p = 0; p < model_->processes.size(); ++p) {
         const InstProcess& proc = model_->processes[p];
         if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
-        const auto& loc = proc.locations[static_cast<std::size_t>(s.locations[p])];
-        if (loc.invariant == nullptr) continue;
+        const auto loc = static_cast<std::size_t>(s.locations[p]);
+        if (proc.locations[loc].invariant == nullptr) continue;
         const expr::TimedEvalContext ctx{s.values, *proc.bindings, rates};
-        const IntervalSet sat = expr::satisfying_times(*loc.invariant, ctx);
+        const IntervalSet sat = expr::satisfying_times(*proc.locations[loc].invariant, ctx);
         const auto prefix = sat.prefix_horizon();
         if (!prefix) return 0.0; // invariant already violated: urgent
         horizon = std::min(horizon, *prefix);
@@ -154,41 +160,86 @@ double Network::invariant_horizon(const NetworkState& s) const {
     return horizon;
 }
 
-IntervalSet Network::guard_times(const NetworkState& s, std::span<const double> rates,
-                                 ProcessId p, int t) const {
-    const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
-    const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
-    if (tr.guard == nullptr) return IntervalSet::all();
-    const expr::TimedEvalContext ctx{s.values, *proc.bindings, rates};
-    return expr::satisfying_times(*tr.guard, ctx);
+double Network::invariant_horizon(const NetworkState& s) const {
+    return invariant_horizon_impl(s, legacy_scratch());
 }
 
-std::vector<Candidate> Network::candidates(const NetworkState& s, double horizon) const {
-    std::vector<double> rates;
-    compute_rates(s, rates);
-    const IntervalSet window(0.0, horizon);
-    std::vector<Candidate> out;
+double Network::invariant_horizon(const NetworkState& s, SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    return invariant_horizon_impl(s, &scratch);
+}
 
-    // Internal transitions and broadcast sends.
-    for (std::size_t p = 0; p < model_->processes.size(); ++p) {
-        const InstProcess& proc = model_->processes[p];
-        if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
-        for (const int t : outgoing(s, static_cast<ProcessId>(p))) {
-            const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
-            if (tr.markovian() || tr.trigger != TriggerClass::Normal || tr.receive_only() ||
-                tr.action != slim::kTau) {
-                continue;
-            }
+IntervalSet Network::guard_times(const NetworkState& s, std::span<const double> rates,
+                                 ProcessId p, int t, SimScratch* scratch) const {
+    const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+    if (scratch == nullptr) {
+        const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+        if (tr.guard == nullptr) return IntervalSet::all();
+        const expr::TimedEvalContext ctx{s.values, *proc.bindings, rates};
+        return expr::satisfying_times(*tr.guard, ctx);
+    }
+    const expr::ProgramPtr& guard =
+        cm_->process(p).transitions[static_cast<std::size_t>(t)].guard;
+    if (guard == nullptr) return IntervalSet::all();
+    return guard->satisfying_times(s.values, rates, scratch->eval);
+}
+
+void Network::candidates_impl(const NetworkState& s, double horizon, SimScratch* scratch,
+                              std::vector<Candidate>& out) const {
+    std::vector<double> rates_vec;
+    std::span<const double> rates;
+    const InternedConfig* cfg = nullptr;
+    if (scratch == nullptr) {
+        compute_rates(s, rates_vec);
+        rates = rates_vec;
+    } else {
+        cfg = &scratch->interner.intern(s, *cm_);
+        rates = cfg->rates;
+    }
+    const IntervalSet window(0.0, horizon);
+    out.clear();
+
+    // Internal transitions and broadcast sends. The interned tau list is
+    // exactly the legacy filter below applied in process-then-outgoing order,
+    // precomputed once per discrete configuration.
+    if (cfg != nullptr) {
+        for (const auto& tc : cfg->taus) {
             IntervalSet set =
-                guard_times(s, rates, static_cast<ProcessId>(p), t).intersect(window);
+                (tc.guard != nullptr
+                     ? tc.guard->satisfying_times(s.values, rates, scratch->eval)
+                     : IntervalSet::all())
+                    .intersect(window);
             if (set.empty()) continue;
             Candidate c;
-            c.kind = tr.channel == slim::kNoChannel ? Candidate::Kind::Tau
-                                                    : Candidate::Kind::BroadcastSend;
-            c.process = static_cast<ProcessId>(p);
-            c.transition = t;
+            c.kind = tc.kind;
+            c.process = tc.process;
+            c.transition = tc.transition;
             c.enabled = std::move(set);
             out.push_back(std::move(c));
+        }
+    } else {
+        for (std::size_t p = 0; p < model_->processes.size(); ++p) {
+            const InstProcess& proc = model_->processes[p];
+            if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
+            for (const int t : outgoing(s, static_cast<ProcessId>(p))) {
+                const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+                if (tr.markovian() || tr.trigger != TriggerClass::Normal ||
+                    tr.receive_only() || tr.action != slim::kTau) {
+                    continue;
+                }
+                IntervalSet set =
+                    guard_times(s, rates, static_cast<ProcessId>(p), t, scratch)
+                        .intersect(window);
+                if (set.empty()) continue;
+                Candidate c;
+                c.kind = tr.channel == slim::kNoChannel
+                             ? Candidate::Kind::Tau
+                             : Candidate::Kind::BroadcastSend;
+                c.process = static_cast<ProcessId>(p);
+                c.transition = t;
+                c.enabled = std::move(set);
+                out.push_back(std::move(c));
+            }
         }
     }
 
@@ -210,7 +261,7 @@ std::vector<Candidate> Network::candidates(const NetworkState& s, double horizon
                     tr.trigger != TriggerClass::Normal) {
                     continue;
                 }
-                IntervalSet g = guard_times(s, rates, pid, t);
+                IntervalSet g = guard_times(s, rates, pid, t, scratch);
                 if (tr.role == slim::PortDir::Out) senders = senders.unite(g);
                 mine = mine.unite(std::move(g));
             }
@@ -226,10 +277,26 @@ std::vector<Candidate> Network::candidates(const NetworkState& s, double horizon
         c.enabled = std::move(set);
         out.push_back(std::move(c));
     }
+}
+
+std::vector<Candidate> Network::candidates(const NetworkState& s, double horizon) const {
+    std::vector<Candidate> out;
+    candidates_impl(s, horizon, legacy_scratch(), out);
     return out;
 }
 
+std::span<const Candidate> Network::candidates(const NetworkState& s, double horizon,
+                                               SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    candidates_impl(s, horizon, &scratch, scratch.candidates);
+    return scratch.candidates;
+}
+
 std::vector<MarkovianRate> Network::markovian_rates(const NetworkState& s) const {
+    if (SimScratch* scratch = legacy_scratch()) {
+        const auto span = markovian_rates(s, *scratch);
+        return {span.begin(), span.end()};
+    }
     std::vector<MarkovianRate> out;
     for (std::size_t p = 0; p < model_->processes.size(); ++p) {
         const InstProcess& proc = model_->processes[p];
@@ -241,6 +308,18 @@ std::vector<MarkovianRate> Network::markovian_rates(const NetworkState& s) const
         if (total > 0.0) out.push_back({static_cast<ProcessId>(p), total});
     }
     return out;
+}
+
+std::span<const MarkovianRate> Network::markovian_rates(const NetworkState& s,
+                                                        SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    return scratch.interner.intern(s, *cm_).markov;
+}
+
+std::span<const double> Network::rates_of(const NetworkState& s,
+                                          SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    return scratch.interner.intern(s, *cm_).rates;
 }
 
 void Network::elapse(NetworkState& s, double d) const {
@@ -257,14 +336,37 @@ void Network::elapse(NetworkState& s, double d) const {
     s.time += d;
 }
 
+bool Network::enabled_now_impl(const NetworkState& s, ProcessId p, int t,
+                               SimScratch* scratch) const {
+    if (scratch == nullptr) {
+        const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
+        const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
+        if (tr.guard == nullptr) return true;
+        return expr::testing::reference_evaluate(
+                   *tr.guard, expr::EvalContext{s.values, *proc.bindings})
+            .as_bool();
+    }
+    const expr::ProgramPtr& guard =
+        cm_->process(p).transitions[static_cast<std::size_t>(t)].guard;
+    if (guard == nullptr) return true;
+    return guard->run_bool(s.values, scratch->eval);
+}
+
 bool Network::enabled_now(const NetworkState& s, ProcessId p, int t) const {
-    const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
-    const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
-    if (tr.guard == nullptr) return true;
-    return expr::evaluate_bool(*tr.guard, expr::EvalContext{s.values, *proc.bindings});
+    return enabled_now_impl(s, p, t, legacy_scratch());
+}
+
+bool Network::enabled_now(const NetworkState& s, ProcessId p, int t,
+                          SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    return enabled_now_impl(s, p, t, &scratch);
 }
 
 bool Network::eval_global(const NetworkState& s, const expr::Expr& e) const {
+    if (reference_) {
+        return expr::testing::reference_evaluate(e, expr::EvalContext{s.values, {}})
+            .as_bool();
+    }
     return expr::evaluate_bool(e, expr::EvalContext{s.values, {}});
 }
 
@@ -279,8 +381,9 @@ void Network::compute_rates(const NetworkState& s, std::vector<double>& rates) c
 }
 
 std::span<const int> Network::outgoing(const NetworkState& s, ProcessId p) const {
-    return outgoing_[static_cast<std::size_t>(p)]
-                    [static_cast<std::size_t>(s.locations[static_cast<std::size_t>(p)])];
+    return cm_->process(p)
+        .locations[static_cast<std::size_t>(s.locations[static_cast<std::size_t>(p)])]
+        .outgoing;
 }
 
 // --- execution ------------------------------------------------------------------
@@ -311,8 +414,9 @@ void Network::apply_injections_for_current_states(NetworkState& s) const {
     }
 }
 
-void Network::run_flows(NetworkState& s) const {
-    for (const slim::InstFlow& f : model_->flows) {
+void Network::run_flows(NetworkState& s, SimScratch* scratch) const {
+    for (std::size_t i = 0; i < model_->flows.size(); ++i) {
+        const slim::InstFlow& f = model_->flows[i];
         if (!s.instance_active(static_cast<std::size_t>(f.owner))) continue;
         if (f.gate_process >= 0 && !f.gate_locations.empty()) {
             const int loc = s.locations[static_cast<std::size_t>(f.gate_process)];
@@ -320,8 +424,14 @@ void Network::run_flows(NetworkState& s) const {
                 continue;
             }
         }
-        const expr::EvalContext ctx{s.values, *f.bindings};
-        write_var(*model_, s, f.target, expr::evaluate(*f.value, ctx));
+        Value v;
+        if (scratch == nullptr) {
+            v = expr::testing::reference_evaluate(
+                *f.value, expr::EvalContext{s.values, *f.bindings});
+        } else {
+            v = cm_->flow_program(i)->run(s.values, scratch->eval);
+        }
+        write_var(*model_, s, f.target, v);
     }
 }
 
@@ -329,16 +439,26 @@ void Network::run_flows(NetworkState& s) const {
 /// valuation, location change, timer reset, injection restore on leaving an
 /// injected error state. Used for activation cascades; the synchronized main
 /// step pre-evaluates effects jointly in apply_firing.
-void Network::fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info) const {
+void Network::fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info,
+                       SimScratch* scratch) const {
     const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
     const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
     const int old_loc = s.locations[static_cast<std::size_t>(p)];
 
     std::vector<std::pair<VarId, Value>> writes;
     writes.reserve(tr.effects.size());
-    const expr::EvalContext ctx{s.values, *proc.bindings};
-    for (const InstAssign& a : tr.effects) {
-        writes.emplace_back((*proc.bindings)[a.target], expr::evaluate(*a.value, ctx));
+    if (scratch == nullptr) {
+        const expr::EvalContext ctx{s.values, *proc.bindings};
+        for (const InstAssign& a : tr.effects) {
+            writes.emplace_back((*proc.bindings)[a.target],
+                                expr::testing::reference_evaluate(*a.value, ctx));
+        }
+    } else {
+        const CompiledTransition& ct =
+            cm_->process(p).transitions[static_cast<std::size_t>(t)];
+        for (const auto& [target, prog] : ct.effects) {
+            writes.emplace_back(target, prog->run(s.values, scratch->eval));
+        }
     }
     s.locations[static_cast<std::size_t>(p)] = tr.dst;
     s.values[proc.timer] = Value(0.0);
@@ -351,8 +471,9 @@ void Network::fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info) cons
     if (info != nullptr) info->fired.emplace_back(p, t);
 }
 
-void Network::recompute_activation(NetworkState& s, Rng* rng, StepInfo* info) const {
-    (void)rng; // activation choices are deterministic (first enabled declared)
+void Network::recompute_activation(NetworkState& s, StepInfo* info,
+                                   SimScratch* scratch) const {
+    if (static_activation_) return;
     for (int round = 0; round < 64; ++round) {
         std::vector<char> next(model_->instances.size(), 1);
         for (std::size_t i = 0; i < model_->instances.size(); ++i) {
@@ -382,28 +503,41 @@ void Network::recompute_activation(NetworkState& s, Rng* rng, StepInfo* info) co
 
         // Deactivation transitions fire before the instance freezes.
         for (const std::size_t i : deactivated) {
-            fire_trigger_class(s, i, TriggerClass::OnDeactivate, info);
+            fire_trigger_class(s, i, TriggerClass::OnDeactivate, info, scratch);
         }
         s.active = std::move(next);
         for (const std::size_t i : activated) {
-            fire_trigger_class(s, i, TriggerClass::OnActivate, info);
+            fire_trigger_class(s, i, TriggerClass::OnActivate, info, scratch);
         }
     }
     throw Error("activation/deactivation cascade did not stabilize (model error)");
 }
 
-StepInfo Network::apply_firing(NetworkState& s,
-                               const std::vector<std::pair<ProcessId, int>>& firing) const {
+StepInfo Network::apply_firing_impl(NetworkState& s,
+                                    const std::vector<std::pair<ProcessId, int>>& firing,
+                                    SimScratch* scratch) const {
     StepInfo info;
     // Synchronized semantics: all effect right-hand sides are evaluated
     // against the pre-state, then applied (in process order on conflicts).
-    std::vector<std::pair<VarId, Value>> writes;
+    std::vector<std::pair<VarId, Value>> writes_local;
+    std::vector<std::pair<VarId, Value>>& writes =
+        scratch != nullptr ? scratch->writes : writes_local;
+    writes.clear();
     for (const auto& [p, t] : firing) {
         const InstProcess& proc = model_->processes[static_cast<std::size_t>(p)];
         const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
-        const expr::EvalContext ctx{s.values, *proc.bindings};
-        for (const InstAssign& a : tr.effects) {
-            writes.emplace_back((*proc.bindings)[a.target], expr::evaluate(*a.value, ctx));
+        if (scratch == nullptr) {
+            const expr::EvalContext ctx{s.values, *proc.bindings};
+            for (const InstAssign& a : tr.effects) {
+                writes.emplace_back((*proc.bindings)[a.target],
+                                    expr::testing::reference_evaluate(*a.value, ctx));
+            }
+        } else {
+            const CompiledTransition& ct =
+                cm_->process(p).transitions[static_cast<std::size_t>(t)];
+            for (const auto& [target, prog] : ct.effects) {
+                writes.emplace_back(target, prog->run(s.values, scratch->eval));
+            }
         }
     }
     std::vector<std::pair<ProcessId, int>> left; // (error process, old location)
@@ -422,26 +556,37 @@ StepInfo Network::apply_firing(NetworkState& s,
             if (inj.process == p && inj.state == old_loc) s.values[inj.target] = inj.restore;
         }
     }
-    recompute_activation(s, nullptr, &info);
+    recompute_activation(s, &info, scratch);
     // Injected failure values must both feed the data flows (a failed
     // sensor's wrong reading propagates downstream) and override flows into
     // injected targets (a failed filter's zero output wins over its own
     // flow), hence the inject / flow / inject sandwich.
     apply_injections_for_current_states(s);
-    run_flows(s);
+    run_flows(s, scratch);
     apply_injections_for_current_states(s);
     return info;
 }
 
-StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng) const {
-    std::vector<std::pair<ProcessId, int>> firing;
+StepInfo Network::apply_firing(NetworkState& s,
+                               const std::vector<std::pair<ProcessId, int>>& firing) const {
+    return apply_firing_impl(s, firing, legacy_scratch());
+}
+
+StepInfo Network::execute_impl(NetworkState& s, const Candidate& c, Rng& rng,
+                               SimScratch* scratch) const {
+    std::vector<std::pair<ProcessId, int>> firing_local;
+    std::vector<std::pair<ProcessId, int>>& firing =
+        scratch != nullptr ? scratch->firing : firing_local;
+    firing.clear();
+    std::vector<int> ready_local;
+    std::vector<int>& ready = scratch != nullptr ? scratch->ready : ready_local;
     switch (c.kind) {
     case Candidate::Kind::Tau:
-        SLIMSIM_ASSERT(enabled_now(s, c.process, c.transition));
+        SLIMSIM_ASSERT(enabled_now_impl(s, c.process, c.transition, scratch));
         firing.emplace_back(c.process, c.transition);
         break;
     case Candidate::Kind::BroadcastSend: {
-        SLIMSIM_ASSERT(enabled_now(s, c.process, c.transition));
+        SLIMSIM_ASSERT(enabled_now_impl(s, c.process, c.transition, scratch));
         firing.emplace_back(c.process, c.transition);
         const InstProcess& sender = model_->processes[static_cast<std::size_t>(c.process)];
         const ChannelId ch =
@@ -449,11 +594,11 @@ StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng) const {
         for (const ProcessId peer : sender.propagation_peers) {
             const InstProcess& proc = model_->processes[static_cast<std::size_t>(peer)];
             if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
-            std::vector<int> ready;
+            ready.clear();
             for (const int t : outgoing(s, peer)) {
                 const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
                 if (tr.channel == ch && tr.role == slim::PortDir::In &&
-                    enabled_now(s, peer, t)) {
+                    enabled_now_impl(s, peer, t, scratch)) {
                     ready.push_back(t);
                 }
             }
@@ -468,11 +613,11 @@ StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng) const {
         for (const ProcessId pid : def.participants) {
             const InstProcess& proc = model_->processes[static_cast<std::size_t>(pid)];
             if (!s.instance_active(static_cast<std::size_t>(proc.instance))) continue;
-            std::vector<int> ready;
+            ready.clear();
             for (const int t : outgoing(s, pid)) {
                 const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
                 if (tr.action == c.action && tr.trigger == TriggerClass::Normal &&
-                    enabled_now(s, pid, t)) {
+                    enabled_now_impl(s, pid, t, scratch)) {
                     ready.push_back(t);
                 }
             }
@@ -482,14 +627,32 @@ StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng) const {
         break;
     }
     }
-    return apply_firing(s, firing);
+    return apply_firing_impl(s, firing, scratch);
 }
 
-StepInfo Network::execute_markovian(NetworkState& s, ProcessId process, Rng& rng) const {
+StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng) const {
+    return execute_impl(s, c, rng, legacy_scratch());
+}
+
+StepInfo Network::execute(NetworkState& s, const Candidate& c, Rng& rng,
+                          SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    return execute_impl(s, c, rng, &scratch);
+}
+
+StepInfo Network::execute_markovian_impl(NetworkState& s, ProcessId process, Rng& rng,
+                                         SimScratch* scratch) const {
     const InstProcess& proc = model_->processes[static_cast<std::size_t>(process)];
     double total = 0.0;
-    for (const int t : outgoing(s, process)) {
-        total += proc.transitions[static_cast<std::size_t>(t)].rate;
+    if (scratch != nullptr) {
+        total = cm_->process(process)
+                    .locations[static_cast<std::size_t>(
+                        s.locations[static_cast<std::size_t>(process)])]
+                    .markov_total;
+    } else {
+        for (const int t : outgoing(s, process)) {
+            total += proc.transitions[static_cast<std::size_t>(t)].rate;
+        }
     }
     SLIMSIM_ASSERT(total > 0.0);
     double pick = rng.uniform01() * total;
@@ -502,7 +665,22 @@ StepInfo Network::execute_markovian(NetworkState& s, ProcessId process, Rng& rng
         pick -= r;
     }
     SLIMSIM_ASSERT(chosen >= 0);
-    return apply_firing(s, {{process, chosen}});
+    std::vector<std::pair<ProcessId, int>> firing_local;
+    std::vector<std::pair<ProcessId, int>>& firing =
+        scratch != nullptr ? scratch->firing : firing_local;
+    firing.clear();
+    firing.emplace_back(process, chosen);
+    return apply_firing_impl(s, firing, scratch);
+}
+
+StepInfo Network::execute_markovian(NetworkState& s, ProcessId process, Rng& rng) const {
+    return execute_markovian_impl(s, process, rng, legacy_scratch());
+}
+
+StepInfo Network::execute_markovian(NetworkState& s, ProcessId process, Rng& rng,
+                                    SimScratch& scratch) const {
+    scratch.bind(*cm_);
+    return execute_markovian_impl(s, process, rng, &scratch);
 }
 
 std::vector<Network::ResolvedMove> Network::resolve_moves(const NetworkState& s,
@@ -576,15 +754,15 @@ std::vector<Network::ResolvedMove> Network::resolve_moves(const NetworkState& s,
 // --- activation trigger firing helper ----------------------------------------
 
 void Network::fire_trigger_class(NetworkState& s, std::size_t instance, TriggerClass tc,
-                                 StepInfo* info) const {
+                                 StepInfo* info, SimScratch* scratch) const {
     const Instance& inst = model_->instances[instance];
     for (const ProcessId pid : {inst.process, inst.error_process}) {
         if (pid < 0) continue;
         const InstProcess& proc = model_->processes[static_cast<std::size_t>(pid)];
         for (const int t : outgoing(s, pid)) {
             const InstTransition& tr = proc.transitions[static_cast<std::size_t>(t)];
-            if (tr.trigger == tc && enabled_now(s, pid, t)) {
-                fire_one(s, pid, t, info);
+            if (tr.trigger == tc && enabled_now_impl(s, pid, t, scratch)) {
+                fire_one(s, pid, t, info, scratch);
                 break; // deterministic: first enabled in declaration order
             }
         }

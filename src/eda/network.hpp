@@ -11,6 +11,7 @@
 #include <memory>
 #include <span>
 
+#include "eda/compiled.hpp"
 #include "eda/state.hpp"
 #include "slim/instantiate.hpp"
 #include "support/intervals.hpp"
@@ -22,31 +23,6 @@ using slim::ActionId;
 using slim::ChannelId;
 using slim::InstanceModel;
 using slim::ProcessId;
-
-/// One schedulable discrete alternative at the current state, together with
-/// the exact set of delays after which it is enabled (clamped to the
-/// invariant horizon). Markovian transitions are *not* candidates; the
-/// simulator races sampled exponential delays against the strategy's choice.
-struct Candidate {
-    enum class Kind : std::uint8_t {
-        Tau,           // internal transition of one process
-        Sync,          // multi-party synchronization on an event action
-        BroadcastSend, // error propagation send (drags ready receivers along)
-    };
-    Kind kind = Kind::Tau;
-    ProcessId process = -1; // Tau / BroadcastSend
-    int transition = -1;    // Tau / BroadcastSend
-    ActionId action = -1;   // Sync
-    IntervalSet enabled;    // delays at which the candidate can fire
-
-    [[nodiscard]] std::string describe(const InstanceModel& m) const;
-};
-
-/// Total Markovian exit rate of one process at the current state.
-struct MarkovianRate {
-    ProcessId process = -1;
-    double total_rate = 0.0;
-};
 
 /// Result classification of a discrete step (for traces / debugging).
 struct StepInfo {
@@ -119,9 +95,20 @@ private:
 
 class Network {
 public:
+    /// Compiles the model via the process-wide compile_model() cache.
     explicit Network(std::shared_ptr<const InstanceModel> model);
+    /// Wraps a pre-compiled model (no compilation work).
+    explicit Network(CompiledModelPtr compiled);
 
     [[nodiscard]] const InstanceModel& model() const { return *model_; }
+    [[nodiscard]] const CompiledModelPtr& compiled() const { return cm_; }
+
+    /// Benchmark / differential-test mode: evaluate every expression with
+    /// the reference tree-walking interpreter instead of compiled programs
+    /// (per-call allocations included, as the pre-compilation simulator
+    /// behaved). Results are identical; only the cost profile differs.
+    void set_reference_interpreter(bool on) { reference_ = on; }
+    [[nodiscard]] bool reference_interpreter() const { return reference_; }
 
     /// Initial state: initial locations, defaults + initial flow evaluation,
     /// initial activation, injections of initial error states applied.
@@ -133,21 +120,41 @@ public:
     [[nodiscard]] NetworkState
     forced_initial_state(std::span<const std::pair<ProcessId, int>> forced) const;
 
+    /// Cached initial state: computed once per scratch, then shared (only a
+    /// successful computation is cached, so throwing models keep their
+    /// per-path throw semantics). Compiled mode only.
+    [[nodiscard]] const NetworkState& initial_state(SimScratch& scratch) const;
+
     // --- timing analysis ----------------------------------------------------
 
     /// Largest T such that every active process's location invariant holds
     /// throughout [0, T]. Returns +infinity when unconstrained; 0 when an
     /// invariant forbids any delay.
     [[nodiscard]] double invariant_horizon(const NetworkState& s) const;
+    [[nodiscard]] double invariant_horizon(const NetworkState& s,
+                                           SimScratch& scratch) const;
 
     /// All discrete candidates with non-empty enablement sets within
     /// [0, horizon].
     [[nodiscard]] std::vector<Candidate> candidates(const NetworkState& s,
                                                     double horizon) const;
+    /// Scratch-buffer variant: the returned span points into
+    /// `scratch.candidates` and is valid until the next call on the scratch.
+    [[nodiscard]] std::span<const Candidate>
+    candidates(const NetworkState& s, double horizon, SimScratch& scratch) const;
 
     /// Markovian exit rates per active process (only processes whose current
     /// location has exit-rate transitions).
     [[nodiscard]] std::vector<MarkovianRate> markovian_rates(const NetworkState& s) const;
+    /// Interned variant: the span points into the scratch's interning table
+    /// and stays valid while the scratch exists.
+    [[nodiscard]] std::span<const MarkovianRate>
+    markovian_rates(const NetworkState& s, SimScratch& scratch) const;
+
+    /// Interned per-variable derivative vector at the current state (same
+    /// values as compute_rates; one hash lookup on revisits).
+    [[nodiscard]] std::span<const double> rates_of(const NetworkState& s,
+                                                   SimScratch& scratch) const;
 
     // --- evolution ------------------------------------------------------------
 
@@ -160,10 +167,14 @@ public:
     /// enabled ones; for BroadcastSend, every ready receiver joins. Returns
     /// step details for tracing.
     StepInfo execute(NetworkState& s, const Candidate& c, Rng& rng) const;
+    StepInfo execute(NetworkState& s, const Candidate& c, Rng& rng,
+                     SimScratch& scratch) const;
 
     /// Executes the Markovian race winner of `process`: one of its exit-rate
     /// transitions, drawn with probability proportional to its rate.
     StepInfo execute_markovian(NetworkState& s, ProcessId process, Rng& rng) const;
+    StepInfo execute_markovian(NetworkState& s, ProcessId process, Rng& rng,
+                               SimScratch& scratch) const;
 
     /// Enumerates every joint discrete move with its probability weight
     /// (used by the exhaustive state-space builder; uniform resolution of
@@ -183,6 +194,8 @@ public:
 
     /// True if the transition's guard holds in the current valuation.
     [[nodiscard]] bool enabled_now(const NetworkState& s, ProcessId p, int t) const;
+    [[nodiscard]] bool enabled_now(const NetworkState& s, ProcessId p, int t,
+                                   SimScratch& scratch) const;
 
     /// Evaluates a Boolean expression with identity bindings (global names),
     /// e.g. a property atom.
@@ -196,19 +209,43 @@ public:
     [[nodiscard]] std::span<const int> outgoing(const NetworkState& s, ProcessId p) const;
 
 private:
-    void recompute_activation(NetworkState& s, Rng* rng, StepInfo* info) const;
+    // Private implementations share one control flow between the compiled
+    // path and the reference interpreter: `scratch == nullptr` means
+    // reference mode (tree-walking evaluation, per-call allocations — the
+    // pre-compilation behaviour), non-null means compiled programs and
+    // scratch buffers. Both produce identical results.
+    [[nodiscard]] double invariant_horizon_impl(const NetworkState& s,
+                                                SimScratch* scratch) const;
+    void candidates_impl(const NetworkState& s, double horizon, SimScratch* scratch,
+                         std::vector<Candidate>& out) const;
+    StepInfo execute_impl(NetworkState& s, const Candidate& c, Rng& rng,
+                          SimScratch* scratch) const;
+    StepInfo execute_markovian_impl(NetworkState& s, ProcessId process, Rng& rng,
+                                    SimScratch* scratch) const;
+    StepInfo apply_firing_impl(NetworkState& s,
+                               const std::vector<std::pair<ProcessId, int>>& firing,
+                               SimScratch* scratch) const;
+    [[nodiscard]] bool enabled_now_impl(const NetworkState& s, ProcessId p, int t,
+                                        SimScratch* scratch) const;
+    void recompute_activation(NetworkState& s, StepInfo* info,
+                              SimScratch* scratch) const;
     void fire_trigger_class(NetworkState& s, std::size_t instance, slim::TriggerClass tc,
-                            StepInfo* info) const;
-    void run_flows(NetworkState& s) const;
+                            StepInfo* info, SimScratch* scratch) const;
+    void run_flows(NetworkState& s, SimScratch* scratch) const;
     void apply_injections_for_current_states(NetworkState& s) const;
-    void fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info) const;
+    void fire_one(NetworkState& s, ProcessId p, int t, StepInfo* info,
+                  SimScratch* scratch) const;
     [[nodiscard]] IntervalSet guard_times(const NetworkState& s,
                                           std::span<const double> rates, ProcessId p,
-                                          int t) const;
+                                          int t, SimScratch* scratch) const;
+    /// Thread-local scratch for the legacy (scratch-less) entry points;
+    /// bound to this network's compiled model. Null in reference mode.
+    [[nodiscard]] SimScratch* legacy_scratch() const;
 
     std::shared_ptr<const InstanceModel> model_;
-    // Precomputed: per process, per location, outgoing transition indices.
-    std::vector<std::vector<std::vector<int>>> outgoing_;
+    CompiledModelPtr cm_;
+    bool reference_ = false;
+    bool static_activation_ = false; // no mode gates: activation never changes
 };
 
 /// Front-end phase timings of build_network_from_* (telemetry run reports).

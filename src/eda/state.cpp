@@ -1,19 +1,19 @@
 #include "eda/state.hpp"
 
+#include "support/hash.hpp"
+
 namespace slimsim::eda {
 
-namespace {
-void hash_combine(std::size_t& seed, std::size_t v) {
-    seed ^= v + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
-}
-} // namespace
-
 std::size_t DiscreteKey::hash() const {
-    std::size_t seed = 0xC0FFEE;
-    for (const int l : locations) hash_combine(seed, static_cast<std::size_t>(l));
-    for (const Value& v : values) hash_combine(seed, v.hash());
-    for (const char a : active) hash_combine(seed, static_cast<std::size_t>(a));
-    return seed;
+    // Murmur3-finalized mixing: the previous boost-style xor-shift combine
+    // left low-entropy inputs (small ints, bools) clustered in the low bits,
+    // degenerating the interning tables' bucket spread on models whose
+    // discrete variables differ only in low bits.
+    std::uint64_t seed = 0xC0FFEE;
+    for (const int l : locations) seed = hash_mix(seed, static_cast<std::uint64_t>(l));
+    for (const Value& v : values) seed = hash_mix(seed, static_cast<std::uint64_t>(v.hash()));
+    for (const char a : active) seed = hash_mix(seed, static_cast<std::uint64_t>(a));
+    return static_cast<std::size_t>(hash_mix(seed, locations.size()));
 }
 
 } // namespace slimsim::eda

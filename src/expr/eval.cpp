@@ -1,5 +1,7 @@
 #include "expr/eval.hpp"
 
+#include "expr/compile.hpp"
+
 namespace slimsim::expr {
 
 namespace {
@@ -59,9 +61,9 @@ bool eval_compare(BinaryOp op, const Value& l, const Value& r) {
     return false;
 }
 
-} // namespace
-
-Value evaluate(const Expr& e, const EvalContext& ctx) {
+// The direct tree walker. Kept internal so no production caller can bypass
+// the compiled layer; reference_evaluate() exposes it for differential tests.
+Value tree_evaluate(const Expr& e, const EvalContext& ctx) {
     switch (e.kind) {
     case ExprKind::Literal:
         return e.literal;
@@ -69,7 +71,7 @@ Value evaluate(const Expr& e, const EvalContext& ctx) {
         SLIMSIM_ASSERT(e.slot != kInvalidSlot);
         return ctx.value_of(e.slot);
     case ExprKind::Unary: {
-        const Value v = evaluate(*e.a, ctx);
+        const Value v = tree_evaluate(*e.a, ctx);
         if (e.uop == UnaryOp::Not) return Value(!v.as_bool());
         if (v.is_int()) return Value(-v.as_int());
         return Value(-v.as_real());
@@ -77,31 +79,50 @@ Value evaluate(const Expr& e, const EvalContext& ctx) {
     case ExprKind::Binary: {
         // Short-circuit logical operators.
         if (e.bop == BinaryOp::And) {
-            if (!evaluate(*e.a, ctx).as_bool()) return Value(false);
-            return Value(evaluate(*e.b, ctx).as_bool());
+            if (!tree_evaluate(*e.a, ctx).as_bool()) return Value(false);
+            return Value(tree_evaluate(*e.b, ctx).as_bool());
         }
         if (e.bop == BinaryOp::Or) {
-            if (evaluate(*e.a, ctx).as_bool()) return Value(true);
-            return Value(evaluate(*e.b, ctx).as_bool());
+            if (tree_evaluate(*e.a, ctx).as_bool()) return Value(true);
+            return Value(tree_evaluate(*e.b, ctx).as_bool());
         }
         if (e.bop == BinaryOp::Implies) {
-            if (!evaluate(*e.a, ctx).as_bool()) return Value(true);
-            return Value(evaluate(*e.b, ctx).as_bool());
+            if (!tree_evaluate(*e.a, ctx).as_bool()) return Value(true);
+            return Value(tree_evaluate(*e.b, ctx).as_bool());
         }
-        const Value l = evaluate(*e.a, ctx);
-        const Value r = evaluate(*e.b, ctx);
+        const Value l = tree_evaluate(*e.a, ctx);
+        const Value r = tree_evaluate(*e.b, ctx);
         if (is_comparison(e.bop)) return Value(eval_compare(e.bop, l, r));
         return eval_arith(e.bop, l, r, e.loc);
     }
     case ExprKind::Ite:
-        return evaluate(evaluate(*e.a, ctx).as_bool() ? *e.b : *e.c, ctx);
+        return tree_evaluate(tree_evaluate(*e.a, ctx).as_bool() ? *e.b : *e.c, ctx);
     }
     SLIMSIM_ASSERT(false);
     return Value();
 }
 
+} // namespace
+
+Value evaluate(const Expr& e, const EvalContext& ctx) {
+    // Compile-and-run through the process-wide hash-consing cache. Repeated
+    // evaluations of a structurally equal expression hit the cache (one
+    // canonical-key build, no recompilation); hot loops should still hold the
+    // ProgramPtr themselves via expr::compile().
+    thread_local EvalScratch scratch;
+    return compile(e, ctx.bindings)->run(ctx.values, scratch);
+}
+
 bool evaluate_bool(const Expr& e, const EvalContext& ctx) {
     return evaluate(e, ctx).as_bool();
 }
+
+namespace testing {
+
+Value reference_evaluate(const Expr& e, const EvalContext& ctx) {
+    return tree_evaluate(e, ctx);
+}
+
+} // namespace testing
 
 } // namespace slimsim::expr

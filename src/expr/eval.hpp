@@ -25,9 +25,20 @@ struct EvalContext {
 /// Evaluates a resolved expression. Throws slimsim::Error on division by
 /// zero or modulo by zero (user-visible model error); asserts on type
 /// confusion (resolver bugs).
+///
+/// Implemented as compile-and-run over the hash-consing program cache
+/// (expr/compile.hpp): every evaluation path in slimsim goes through the
+/// compiled layer. Hot loops should compile() once instead of calling this
+/// per state.
 [[nodiscard]] Value evaluate(const Expr& e, const EvalContext& ctx);
 
 /// Convenience: evaluates a Boolean expression.
 [[nodiscard]] bool evaluate_bool(const Expr& e, const EvalContext& ctx);
+
+namespace testing {
+/// The direct tree-walking interpreter, exposed only for differential tests
+/// and interpreter-baseline benchmarks. Production callers use evaluate().
+[[nodiscard]] Value reference_evaluate(const Expr& e, const EvalContext& ctx);
+} // namespace testing
 
 } // namespace slimsim::expr

@@ -75,9 +75,11 @@ bool is_time_dependent(const Expr& e, const TimedEvalContext& ctx) {
 
 LinForm eval_affine(const Expr& e, const TimedEvalContext& ctx) {
     // Time-independent subtrees (of any shape: mod, ite, ...) evaluate to a
-    // constant form directly.
+    // constant form directly. Uses the reference tree walker so this module
+    // stays a self-contained interpreter (the compiled layer mirrors it and
+    // differential tests compare the two).
     if (!is_time_dependent(e, ctx)) {
-        return {evaluate(e, ctx.untimed()).as_real(), 0.0};
+        return {testing::reference_evaluate(e, ctx.untimed()).as_real(), 0.0};
     }
     switch (e.kind) {
     case ExprKind::Var: {
@@ -130,8 +132,9 @@ LinForm eval_affine(const Expr& e, const TimedEvalContext& ctx) {
 IntervalSet satisfying_times(const Expr& e, const TimedEvalContext& ctx) {
     SLIMSIM_ASSERT(e.type.is_bool());
     if (!is_time_dependent(e, ctx)) {
-        return evaluate_bool(e, ctx.untimed()) ? IntervalSet::all()
-                                               : IntervalSet::empty_set();
+        return testing::reference_evaluate(e, ctx.untimed()).as_bool()
+                   ? IntervalSet::all()
+                   : IntervalSet::empty_set();
     }
     switch (e.kind) {
     case ExprKind::Unary:

@@ -1,8 +1,8 @@
 #include "expr/value.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <functional>
-#include <sstream>
 
 namespace slimsim {
 
@@ -44,9 +44,15 @@ bool operator==(const Value& a, const Value& b) {
 std::string Value::to_string() const {
     if (is_bool()) return as_bool() ? "true" : "false";
     if (is_int()) return std::to_string(as_int());
-    std::ostringstream os;
-    os << as_real();
-    return os.str();
+    // Shortest representation that parses back to exactly this double, kept
+    // real-typed: a fraction-free spelling gets a `.0` suffix so reparsing
+    // yields a real literal, not an integer (printer round-trips depend on
+    // this — `120.0` printed as `120` would change the literal's type).
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), as_real());
+    std::string s(buf, end);
+    if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
+    return s;
 }
 
 std::size_t Value::hash() const {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "expr/compile.hpp"
 #include "expr/eval.hpp"
 #include "sim/property.hpp"
 #include "slim/parser.hpp"
@@ -53,10 +54,18 @@ struct Job {
     int level = 0;
 };
 
-int eval_level(const expr::Expr& level, const eda::NetworkState& s) {
-    return static_cast<int>(
-        expr::evaluate(level, expr::EvalContext{s.values, {}}).as_int());
-}
+/// Level function compiled once per run; one program evaluation per probe.
+class LevelFn {
+public:
+    explicit LevelFn(const expr::Expr& level) : prog_(expr::compile(level)) {}
+    int operator()(const eda::NetworkState& s) {
+        return static_cast<int>(prog_->run(s.values, scratch_).as_int());
+    }
+
+private:
+    expr::ProgramPtr prog_;
+    expr::EvalScratch scratch_;
+};
 
 } // namespace
 
@@ -73,6 +82,7 @@ SplittingResult estimate_splitting(const eda::Network& net,
     const auto start = std::chrono::steady_clock::now();
     const auto strat = sim::make_strategy(strategy);
     const sim::PathGenerator gen(net, formula, *strat, options.sim);
+    LevelFn eval_level(*level);
     const Rng master(seed);
     std::uint64_t stream = 0;
 
@@ -86,7 +96,7 @@ SplittingResult estimate_splitting(const eda::Network& net,
             Job job;
             job.state = net.initial_state();
             job.rng = master.split(stream++);
-            job.level = eval_level(*level, job.state);
+            job.level = eval_level(job.state);
             stack.push_back(std::move(job));
         }
         while (!stack.empty()) {
@@ -107,7 +117,7 @@ SplittingResult estimate_splitting(const eda::Network& net,
                     }
                     break;
                 }
-                const int now = eval_level(*level, job.state);
+                const int now = eval_level(job.state);
                 if (now > job.level) {
                     // First crossing of a higher level by this lineage:
                     // clone and share the statistical weight.

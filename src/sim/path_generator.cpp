@@ -40,6 +40,10 @@ PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula
       cov_(options.coverage_shard) {
     SLIMSIM_ASSERT(formula_.goal != nullptr);
     SLIMSIM_ASSERT(formula_.kind != FormulaKind::Until || formula_.hold != nullptr);
+    if (!net_.reference_interpreter()) {
+        goal_prog_ = expr::compile(*formula_.goal);
+        if (formula_.hold != nullptr) hold_prog_ = expr::compile(*formula_.hold);
+    }
     if (telemetry::Recorder* rec = options_.recorder;
         rec != nullptr && rec->enabled()) {
         c_paths_ = &rec->counter("sim.paths");
@@ -47,6 +51,7 @@ PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula
         c_markovian_ = &rec->counter("sim.markovian_steps");
         c_strategy_ = &rec->counter("sim.strategy_steps");
         c_delays_ = &rec->counter("sim.pure_delays");
+        c_interned_ = &rec->counter("sim.interned_states");
         h_steps_ = &rec->histogram("sim.steps_per_path");
     }
     if (tracer::Lane* lane = options_.trace_lane; lane != nullptr) {
@@ -61,27 +66,35 @@ PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula
     }
 }
 
+bool PathGenerator::goal_holds(const eda::NetworkState& s) const {
+    if (goal_prog_ == nullptr) return net_.eval_global(s, *formula_.goal);
+    return goal_prog_->run_bool(s.values, scratch_.eval);
+}
+
+bool PathGenerator::hold_holds(const eda::NetworkState& s) const {
+    if (hold_prog_ == nullptr) return net_.eval_global(s, *formula_.hold);
+    return hold_prog_->run_bool(s.values, scratch_.eval);
+}
+
 PathGenerator::MonitorResult PathGenerator::instant_verdict(
     const eda::NetworkState& s) const {
     const double t = s.time;
     switch (formula_.kind) {
     case FormulaKind::Reach:
-        if (t >= formula_.lo && t <= formula_.bound &&
-            net_.eval_global(s, *formula_.goal)) {
+        if (t >= formula_.lo && t <= formula_.bound && goal_holds(s)) {
             return {Verdict::Satisfied, 0.0};
         }
         if (t >= formula_.bound) return {Verdict::Refuted, 0.0};
         return {};
     case FormulaKind::Until:
-        if (t >= formula_.lo && t <= formula_.bound &&
-            net_.eval_global(s, *formula_.goal)) {
+        if (t >= formula_.lo && t <= formula_.bound && goal_holds(s)) {
             return {Verdict::Satisfied, 0.0};
         }
-        if (!net_.eval_global(s, *formula_.hold)) return {Verdict::Refuted, 0.0};
+        if (!hold_holds(s)) return {Verdict::Refuted, 0.0};
         if (t >= formula_.bound) return {Verdict::Refuted, 0.0};
         return {};
     case FormulaKind::Globally:
-        if (!net_.eval_global(s, *formula_.goal)) return {Verdict::Refuted, 0.0};
+        if (!goal_holds(s)) return {Verdict::Refuted, 0.0};
         if (t >= formula_.bound) return {Verdict::Satisfied, 0.0};
         return {};
     }
@@ -91,9 +104,31 @@ PathGenerator::MonitorResult PathGenerator::instant_verdict(
 PathGenerator::MonitorResult PathGenerator::elapse_verdict(const eda::NetworkState& s,
                                                            double d) const {
     if (d <= 0.0) return {};
-    std::vector<double> rates;
-    net_.compute_rates(s, rates);
-    const expr::TimedEvalContext ctx{s.values, {}, rates};
+    // Reference mode recomputes the derivative vector and tree-walks the
+    // timeline analysis; compiled mode reads the interned derivatives and
+    // runs the formula atoms' programs.
+    std::vector<double> rates_vec;
+    std::span<const double> rates;
+    if (goal_prog_ == nullptr) {
+        net_.compute_rates(s, rates_vec);
+        rates = rates_vec;
+    } else {
+        rates = net_.rates_of(s, scratch_);
+    }
+    auto sat_goal = [&] {
+        if (goal_prog_ == nullptr) {
+            return expr::satisfying_times(*formula_.goal,
+                                          expr::TimedEvalContext{s.values, {}, rates});
+        }
+        return goal_prog_->satisfying_times(s.values, rates, scratch_.eval);
+    };
+    auto sat_hold = [&] {
+        if (hold_prog_ == nullptr) {
+            return expr::satisfying_times(*formula_.hold,
+                                          expr::TimedEvalContext{s.values, {}, rates});
+        }
+        return hold_prog_->satisfying_times(s.values, rates, scratch_.eval);
+    };
     const double t = s.time;
     const double to_bound = formula_.bound - t; // > 0 (instant decided otherwise)
 
@@ -102,23 +137,21 @@ PathGenerator::MonitorResult PathGenerator::elapse_verdict(const eda::NetworkSta
         const double win_lo = std::max(0.0, formula_.lo - t);
         const double win_hi = std::min(d, to_bound);
         if (win_lo <= win_hi) {
-            const IntervalSet hits =
-                expr::satisfying_times(*formula_.goal, ctx).clamp(win_lo, win_hi);
+            const IntervalSet hits = sat_goal().clamp(win_lo, win_hi);
             if (const auto e = hits.earliest()) return {Verdict::Satisfied, *e};
         }
         if (d >= to_bound) return {Verdict::Refuted, to_bound};
         return {};
     }
     case FormulaKind::Until: {
-        const IntervalSet hold_set = expr::satisfying_times(*formula_.hold, ctx);
+        const IntervalSet hold_set = sat_hold();
         // hold is true at the current instant (instant_verdict), so the
         // prefix exists; closure effects can only extend it.
         const double hold_until = hold_set.prefix_horizon().value_or(0.0);
         const double win_lo = std::max(0.0, formula_.lo - t);
         const double win_hi = std::min(d, to_bound);
         if (win_lo <= win_hi) {
-            const IntervalSet hits =
-                expr::satisfying_times(*formula_.goal, ctx).clamp(win_lo, win_hi);
+            const IntervalSet hits = sat_goal().clamp(win_lo, win_hi);
             if (const auto e = hits.earliest(); e && *e <= hold_until) {
                 return {Verdict::Satisfied, *e};
             }
@@ -128,7 +161,7 @@ PathGenerator::MonitorResult PathGenerator::elapse_verdict(const eda::NetworkSta
         return {};
     }
     case FormulaKind::Globally: {
-        const IntervalSet ok_set = expr::satisfying_times(*formula_.goal, ctx);
+        const IntervalSet ok_set = sat_goal();
         const double ok_until = ok_set.prefix_horizon().value_or(0.0);
         const double lim = std::min(d, to_bound);
         if (ok_until < lim) return {Verdict::Refuted, ok_until};
@@ -180,14 +213,23 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
     // that is the strategy's semantics. Only when no invariant
     // constrains the future does the formula bound cap the window
     // (delays past it cannot change the verdict).
-    const double horizon = net_.invariant_horizon(s);
+    const bool ref = goal_prog_ == nullptr; // reference-interpreter mode
+    const double horizon =
+        ref ? net_.invariant_horizon(s) : net_.invariant_horizon(s, scratch_);
     const double window = std::isinf(horizon) ? remaining : horizon;
 
     // Markovian race: earliest exponential among rate locations.
     double t_markov = kInf;
     eda::ProcessId markov_winner = -1;
     if (lane_ != nullptr) lane_->begin(n_delay_);
-    const auto rates = net_.markovian_rates(s);
+    std::vector<eda::MarkovianRate> rates_vec;
+    std::span<const eda::MarkovianRate> rates;
+    if (ref) {
+        rates_vec = net_.markovian_rates(s);
+        rates = rates_vec;
+    } else {
+        rates = net_.markovian_rates(s, scratch_);
+    }
     for (const auto& [proc, rate] : rates) {
         const double d = rng.exponential(rate);
         if (d < t_markov) {
@@ -197,7 +239,14 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
     }
     if (lane_ != nullptr) lane_->end(n_arg_count_, static_cast<double>(rates.size()));
 
-    const std::vector<eda::Candidate> cands = net_.candidates(s, window);
+    std::vector<eda::Candidate> cands_vec;
+    std::span<const eda::Candidate> cands;
+    if (ref) {
+        cands_vec = net_.candidates(s, window);
+        cands = cands_vec;
+    } else {
+        cands = net_.candidates(s, window, scratch_);
+    }
 
     // Strategy choice, honoring the Continue memory policy if an earlier
     // scheduled time is still ahead and feasible.
@@ -249,7 +298,9 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
             return finish_decided(v);
         }
         advance(s, t_markov);
-        const eda::StepInfo info = net_.execute_markovian(s, markov_winner, rng);
+        const eda::StepInfo info =
+            ref ? net_.execute_markovian(s, markov_winner, rng)
+                : net_.execute_markovian(s, markov_winner, rng, scratch_);
         if (cov_ != nullptr) cov_->on_step(info);
         if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
         if (c_markovian_ != nullptr) c_markovian_->add();
@@ -270,8 +321,9 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         }
         advance(s, choice->delay);
         if (choice->candidate >= 0) {
+            const eda::Candidate& c = cands[static_cast<std::size_t>(choice->candidate)];
             const eda::StepInfo info =
-                net_.execute(s, cands[static_cast<std::size_t>(choice->candidate)], rng);
+                ref ? net_.execute(s, c, rng) : net_.execute(s, c, rng, scratch_);
             if (cov_ != nullptr) cov_->on_step(info);
             if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
             if (sched_abs != nullptr) sched_abs->reset();
@@ -321,7 +373,16 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
 }
 
 PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
-    eda::NetworkState s = net_.initial_state();
+    // Compiled mode copies the cached initial state into the reusable
+    // per-path buffers; reference mode recomputes it per path (the
+    // pre-compilation allocation profile).
+    eda::NetworkState fresh;
+    if (goal_prog_ == nullptr) {
+        fresh = net_.initial_state();
+    } else {
+        scratch_.path_state = net_.initial_state(scratch_);
+    }
+    eda::NetworkState& s = goal_prog_ == nullptr ? fresh : scratch_.path_state;
     std::optional<double> scheduled_abs; // Continue memory policy
     std::size_t steps = 0;
     if (trace != nullptr) trace->record(0.0, "initial " + describe_state(net_, s));
@@ -334,6 +395,10 @@ PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
                 c_paths_->add();
                 c_steps_->add(out->steps);
                 h_steps_->add(out->steps);
+                if (scratch_.interner.size() > interned_reported_) {
+                    c_interned_->add(scratch_.interner.size() - interned_reported_);
+                    interned_reported_ = scratch_.interner.size();
+                }
             }
             if (lane_ != nullptr) {
                 lane_->end(n_arg_steps_, static_cast<double>(out->steps));

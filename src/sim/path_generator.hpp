@@ -135,6 +135,10 @@ private:
                                                      std::optional<double>* sched_abs) const;
     /// Formula verdict at the current instant.
     [[nodiscard]] MonitorResult instant_verdict(const eda::NetworkState& s) const;
+    /// goal / hold at the current instant (compiled programs, or the
+    /// reference interpreter when the network is in reference mode).
+    [[nodiscard]] bool goal_holds(const eda::NetworkState& s) const;
+    [[nodiscard]] bool hold_holds(const eda::NetworkState& s) const;
     /// Formula verdict along the elapse segment (0, d] from the current
     /// state (constant derivatives; solved exactly).
     [[nodiscard]] MonitorResult elapse_verdict(const eda::NetworkState& s, double d) const;
@@ -148,12 +152,23 @@ private:
     Strategy& strategy_;
     SimOptions options_;
     CoverageShard* cov_ = nullptr;
+    /// Formula atoms compiled once (identity bindings: property atoms use
+    /// global names). Null when the network runs the reference interpreter.
+    expr::ProgramPtr goal_prog_;
+    expr::ProgramPtr hold_prog_;
+    /// Per-generator simulation buffers (one generator per worker); mutable
+    /// because run() is logically const — the scratch only caches.
+    mutable eda::SimScratch scratch_;
     // Telemetry instruments, resolved once at construction (null when off).
     telemetry::Counter* c_paths_ = nullptr;
     telemetry::Counter* c_steps_ = nullptr;
     telemetry::Counter* c_markovian_ = nullptr;
     telemetry::Counter* c_strategy_ = nullptr;
     telemetry::Counter* c_delays_ = nullptr;
+    telemetry::Counter* c_interned_ = nullptr;
+    /// Interner size already reported to c_interned_ (the counter receives
+    /// only the per-path growth, so its total is the table size).
+    mutable std::size_t interned_reported_ = 0;
     telemetry::Histogram* h_steps_ = nullptr;
     // Trace lane + interned event names, resolved once (lane null when off).
     tracer::Lane* lane_ = nullptr;

@@ -201,8 +201,10 @@ void RunCheckpoint::validate(std::uint64_t expected_model_hash, std::uint64_t ex
                              const std::string& criterion_name,
                              const std::vector<double>& expected_curve_bounds) const {
     if (expected_model_hash != 0 && model_hash != 0 && model_hash != expected_model_hash)
-        throw Error("--resume checkpoint was taken from a different model "
-                    "(model hash mismatch)");
+        throw Error("--resume checkpoint was taken from a different model: its "
+                    "content hash does not match the model passed on the command "
+                    "line (re-run with the original model, or drop --resume to "
+                    "start fresh)");
     if (seed != expected_seed)
         throw Error("--resume checkpoint seed " + std::to_string(seed) +
                     " does not match --seed " + std::to_string(expected_seed));

@@ -75,7 +75,7 @@ struct RunCheckpoint {
     static constexpr std::uint32_t kVersion = 1;
 
     std::uint32_t version = kVersion;
-    std::uint64_t model_hash = 0;    // fnv1a64 over the model file bytes
+    std::uint64_t model_hash = 0;    // CompiledModel::content_hash() of the model
     std::uint64_t seed = 0;
     std::uint64_t property_hash = 0; // fnv1a64 over the property text
     std::string strategy;
@@ -123,8 +123,9 @@ struct RunControlOptions {
     /// Snapshot to resume from (validated against this run's identity);
     /// must outlive the run. Resuming forces per-path RNG streams.
     const RunCheckpoint* resume = nullptr;
-    /// Identity of the model file (fnv1a64 over its bytes) recorded into and
-    /// validated against checkpoints; 0 skips the model-hash check.
+    /// Identity of the model (CompiledModel::content_hash(): a deterministic
+    /// hash of the behavioral content, insensitive to reformatting) recorded
+    /// into and validated against checkpoints; 0 skips the model-hash check.
     std::uint64_t model_hash = 0;
     /// Force per-path RNG streams (Rng(seed).split(j)) even without
     /// checkpointing, making results byte-identical across worker counts.

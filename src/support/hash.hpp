@@ -1,0 +1,52 @@
+// Shared non-cryptographic hashing: murmur3 finalization and streaming
+// combining.
+//
+// Used for hash-consing keys (expr/compile, eda/compiled), discrete-state
+// interning (eda/state) and compiled-model content hashes. All functions are
+// deterministic across processes and platforms (no pointer or ASLR input),
+// which the checkpoint/resume model-hash check relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace slimsim {
+
+/// Murmur3's 64-bit finalizer (fmix64): a full-avalanche bijection, so keys
+/// differing only in low bits spread over the whole output range.
+[[nodiscard]] constexpr std::uint64_t murmur3_fmix64(std::uint64_t k) {
+    k ^= k >> 33;
+    k *= 0xFF51AFD7ED558CCDULL;
+    k ^= k >> 33;
+    k *= 0xC4CEB9FE1A85EC53ULL;
+    k ^= k >> 33;
+    return k;
+}
+
+/// Streaming combiner: mixes one word into a running hash with murmur3
+/// finalization per step (stronger than the boost-style xor-shift combine).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t v) {
+    return murmur3_fmix64(seed ^ (murmur3_fmix64(v) + 0x9E3779B97F4A7C15ULL +
+                                  (seed << 6) + (seed >> 2)));
+}
+
+/// Hash of a word span (murmur3-finalized per word; order-sensitive).
+[[nodiscard]] inline std::uint64_t hash_words(const std::uint64_t* words,
+                                              std::size_t count,
+                                              std::uint64_t seed = 0x5EED5EED5EED5EEDULL) {
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < count; ++i) h = hash_mix(h, words[i]);
+    return hash_mix(h, count);
+}
+
+/// The raw bit pattern of a double as a hashable word (distinguishes +0/-0
+/// and every NaN payload; exact, unlike hashing the numeric value).
+[[nodiscard]] inline std::uint64_t double_bits(double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+} // namespace slimsim

@@ -15,13 +15,22 @@ bool Interval::unbounded() const { return std::isinf(hi); }
 
 double Interval::length() const { return unbounded() ? kInf : hi - lo; }
 
+void IntervalParts::grow(std::uint32_t cap) {
+    auto* data = new Interval[cap];
+    std::memcpy(data, data_, size_ * sizeof(Interval));
+    release();
+    data_ = data;
+    cap_ = cap;
+}
+
 IntervalSet::IntervalSet(double lo, double hi) {
     SLIMSIM_ASSERT(lo <= hi);
     parts_.push_back({lo, hi});
 }
 
-IntervalSet::IntervalSet(std::vector<Interval> intervals) : parts_(std::move(intervals)) {
-    for (const auto& iv : parts_) SLIMSIM_ASSERT(iv.lo <= iv.hi);
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+    for (const auto& iv : intervals) SLIMSIM_ASSERT(iv.lo <= iv.hi);
+    parts_.append(intervals.data(), intervals.size());
     normalize();
 }
 
@@ -33,16 +42,17 @@ void IntervalSet::normalize() {
               [](const Interval& a, const Interval& b) {
                   return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
               });
-    std::vector<Interval> merged;
-    merged.reserve(parts_.size());
-    for (const auto& iv : parts_) {
-        if (!merged.empty() && iv.lo <= merged.back().hi) {
-            merged.back().hi = std::max(merged.back().hi, iv.hi);
+    // In-place merge of overlapping/adjacent parts (the input is sorted, so
+    // the write cursor never overtakes the read cursor).
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < parts_.size(); ++i) {
+        if (parts_[i].lo <= parts_[out].hi) {
+            parts_[out].hi = std::max(parts_[out].hi, parts_[i].hi);
         } else {
-            merged.push_back(iv);
+            parts_[++out] = parts_[i];
         }
     }
-    parts_ = std::move(merged);
+    parts_.truncate(out + 1);
 }
 
 bool IntervalSet::contains(double t) const {
@@ -73,43 +83,46 @@ std::optional<double> IntervalSet::latest() const {
 }
 
 IntervalSet IntervalSet::unite(const IntervalSet& other) const {
-    std::vector<Interval> all_parts = parts_;
-    all_parts.insert(all_parts.end(), other.parts_.begin(), other.parts_.end());
-    return IntervalSet(std::move(all_parts));
+    IntervalSet out;
+    out.parts_.append(parts_.begin(), parts_.size());
+    out.parts_.append(other.parts_.begin(), other.parts_.size());
+    out.normalize();
+    return out;
 }
 
 IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
-    std::vector<Interval> out;
-    // Two-pointer sweep over the sorted parts of both sets.
+    IntervalSet out;
+    // Two-pointer sweep over the sorted parts of both sets; the result is
+    // already sorted and disjoint, so no normalization pass is needed.
     std::size_t i = 0, j = 0;
     while (i < parts_.size() && j < other.parts_.size()) {
         const Interval& a = parts_[i];
         const Interval& b = other.parts_[j];
         const double lo = std::max(a.lo, b.lo);
         const double hi = std::min(a.hi, b.hi);
-        if (lo <= hi) out.push_back({lo, hi});
+        if (lo <= hi) out.parts_.push_back({lo, hi});
         if (a.hi < b.hi) {
             ++i;
         } else {
             ++j;
         }
     }
-    return IntervalSet(std::move(out));
+    return out;
 }
 
 IntervalSet IntervalSet::complement(double bound) const {
     // Closed-set complement of a closed set is open; we return its closure,
     // consistent with the closed over-approximation documented in the header.
-    std::vector<Interval> out;
+    IntervalSet out;
     double cursor = 0.0;
     for (const auto& iv : parts_) {
         if (iv.lo > bound) break;
-        if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, bound)});
+        if (iv.lo > cursor) out.parts_.push_back({cursor, std::min(iv.lo, bound)});
         cursor = std::max(cursor, iv.hi);
         if (cursor >= bound) break;
     }
-    if (cursor < bound) out.push_back({cursor, bound});
-    return IntervalSet(std::move(out));
+    if (cursor < bound) out.parts_.push_back({cursor, bound});
+    return out;
 }
 
 IntervalSet IntervalSet::clamp(double lo, double hi) const {

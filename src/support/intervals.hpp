@@ -13,7 +13,9 @@
 // Upper bounds may be +infinity.
 #pragma once
 
+#include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,96 @@ struct Interval {
     friend bool operator==(const Interval&, const Interval&) = default;
 };
 
+/// Inline-capacity storage for interval parts. The timing analysis builds
+/// and destroys millions of sets per second, and nearly all of them have one
+/// or two parts — those live inside the set object and never touch the
+/// heap; larger sets spill to a heap array. Interval is trivially copyable,
+/// so growth and copies are memcpy.
+class IntervalParts {
+public:
+    IntervalParts() = default;
+    IntervalParts(const IntervalParts& other) { assign(other.data_, other.size_); }
+    IntervalParts(IntervalParts&& other) noexcept { steal(other); }
+    IntervalParts& operator=(const IntervalParts& other) {
+        if (this != &other) assign(other.data_, other.size_);
+        return *this;
+    }
+    IntervalParts& operator=(IntervalParts&& other) noexcept {
+        if (this != &other) {
+            release();
+            steal(other);
+        }
+        return *this;
+    }
+    ~IntervalParts() { release(); }
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] const Interval* begin() const { return data_; }
+    [[nodiscard]] const Interval* end() const { return data_ + size_; }
+    [[nodiscard]] Interval* begin() { return data_; }
+    [[nodiscard]] Interval* end() { return data_ + size_; }
+    [[nodiscard]] const Interval& operator[](std::size_t i) const { return data_[i]; }
+    [[nodiscard]] Interval& operator[](std::size_t i) { return data_[i]; }
+    [[nodiscard]] const Interval& front() const { return data_[0]; }
+    [[nodiscard]] const Interval& back() const { return data_[size_ - 1]; }
+    [[nodiscard]] Interval& back() { return data_[size_ - 1]; }
+
+    void clear() { size_ = 0; }
+    /// Drops elements past the first `n`; requires n <= size().
+    void truncate(std::size_t n) { size_ = static_cast<std::uint32_t>(n); }
+    void push_back(const Interval& iv) {
+        if (size_ == cap_) grow(cap_ * 2);
+        data_[size_++] = iv;
+    }
+    void append(const Interval* src, std::size_t n) {
+        const auto need = static_cast<std::uint32_t>(size_ + n);
+        if (need > cap_) grow(need > cap_ * 2 ? need : cap_ * 2);
+        std::memcpy(data_ + size_, src, n * sizeof(Interval));
+        size_ += static_cast<std::uint32_t>(n);
+    }
+
+    friend bool operator==(const IntervalParts& a, const IntervalParts& b) {
+        if (a.size_ != b.size_) return false;
+        for (std::size_t i = 0; i < a.size_; ++i) {
+            if (!(a.data_[i] == b.data_[i])) return false;
+        }
+        return true;
+    }
+
+private:
+    static constexpr std::uint32_t kInline = 2;
+
+    void assign(const Interval* src, std::uint32_t n) {
+        if (n > cap_) grow(n);
+        std::memcpy(data_, src, n * sizeof(Interval));
+        size_ = n;
+    }
+    void steal(IntervalParts& other) {
+        if (other.data_ == other.inline_) {
+            data_ = inline_;
+            cap_ = kInline;
+            std::memcpy(inline_, other.inline_, other.size_ * sizeof(Interval));
+        } else {
+            data_ = other.data_;
+            cap_ = other.cap_;
+            other.data_ = other.inline_;
+            other.cap_ = kInline;
+        }
+        size_ = other.size_;
+        other.size_ = 0;
+    }
+    void grow(std::uint32_t cap);
+    void release() {
+        if (data_ != inline_) delete[] data_;
+    }
+
+    Interval inline_[kInline];
+    Interval* data_ = inline_;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = kInline;
+};
+
 /// A finite union of disjoint, non-adjacent, sorted closed intervals.
 class IntervalSet {
 public:
@@ -50,7 +142,9 @@ public:
     [[nodiscard]] static IntervalSet point(double t) { return {t, t}; }
 
     [[nodiscard]] bool empty() const { return parts_.empty(); }
-    [[nodiscard]] const std::vector<Interval>& parts() const { return parts_; }
+    [[nodiscard]] std::span<const Interval> parts() const {
+        return {parts_.begin(), parts_.size()};
+    }
     [[nodiscard]] bool contains(double t) const;
 
     /// Total length; +inf if any part is unbounded. Point parts contribute 0.
@@ -83,7 +177,7 @@ public:
 private:
     void normalize();
 
-    std::vector<Interval> parts_; // sorted, disjoint, non-adjacent
+    IntervalParts parts_; // sorted, disjoint, non-adjacent
 };
 
 } // namespace slimsim

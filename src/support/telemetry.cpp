@@ -345,6 +345,18 @@ json::Value RunReport::to_json() const {
     // in the deterministic part of the document.
     if (coverage.enabled) doc["coverage"] = coverage.to_json();
 
+    // Compile-time facts are a pure function of the model text and live in
+    // the deterministic part of the document.
+    if (compiled_model.present) {
+        json::Value cmj = json::Value::object();
+        cmj["content_hash"] = compiled_model.content_hash;
+        cmj["programs"] = compiled_model.programs;
+        cmj["unique_programs"] = compiled_model.unique_programs;
+        cmj["nodes"] = compiled_model.nodes;
+        cmj["bytecode_bytes"] = compiled_model.bytecode_bytes;
+        doc["compiled_model"] = std::move(cmj);
+    }
+
     // Recorder counters/histograms count events over *generated* paths;
     // with one worker that is deterministic, with several it depends on
     // when the stop flag lands, so they move under "runtime".
@@ -459,6 +471,12 @@ std::string RunReport::to_text() const {
     }
     if (coverage.enabled) {
         os << "  " << coverage.summary_text();
+    }
+    if (compiled_model.present) {
+        os << "  compiled:   " << compiled_model.unique_programs << "/"
+           << compiled_model.programs << " unique programs, " << compiled_model.nodes
+           << " nodes, " << compiled_model.bytecode_bytes << " bytecode bytes, hash "
+           << compiled_model.content_hash << "\n";
     }
     for (const auto& [name, n] : counters) {
         os << "  counter " << name << " = " << n << "\n";

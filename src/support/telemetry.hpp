@@ -251,6 +251,17 @@ struct CoverageReport {
     [[nodiscard]] std::string summary_text() const;
 };
 
+/// The "compiled_model" report section: deterministic compile-time facts of
+/// the model the analysis ran on (eda::CompiledModel, docs/compiled-model.md).
+struct CompiledModelReport {
+    bool present = false;
+    std::uint64_t programs = 0;        // expressions lowered (before dedup)
+    std::uint64_t unique_programs = 0; // distinct hash-consed programs
+    std::uint64_t nodes = 0;           // expression nodes over unique programs
+    std::uint64_t bytecode_bytes = 0;  // code + node tables over unique programs
+    std::string content_hash;          // 16 lowercase hex digits
+};
+
 /// How an estimation run ended plus the partial-result context (run
 /// hardening, docs/robustness.md). Deterministic except for wall-clock stop
 /// causes (budget_exhausted via --max-seconds, interrupted).
@@ -269,7 +280,7 @@ struct RunStatusReport {
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
-    static constexpr std::uint64_t kSchemaVersion = 2;
+    static constexpr std::uint64_t kSchemaVersion = 3;
 
     std::string mode;     // estimate | estimate-parallel | hypothesis-test | ctmc-flow
     std::string model;    // model path (or a caller-chosen label)
@@ -294,6 +305,7 @@ struct RunReport {
     std::vector<StopPoint> stop_trajectory;
     CurveReport curve;       // multi-bound curve estimation (empty otherwise)
     CoverageReport coverage; // model coverage profile (disabled otherwise)
+    CompiledModelReport compiled_model; // compile-time model facts (when compiled)
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
         histograms;

@@ -1,0 +1,278 @@
+// The compile-once model API (docs/compiled-model.md): bytecode programs
+// vs the reference tree-walking interpreter, hash-consing, model content
+// hashes, estimate byte-identity, and CompiledModel reuse across analyses.
+#include "expr/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "api/analysis.hpp"
+#include "eda/compiled.hpp"
+#include "expr/eval.hpp"
+#include "models/gps.hpp"
+#include "sim/run_control.hpp"
+#include "sim/runner.hpp"
+#include "slim/parser.hpp"
+#include "slim/printer.hpp"
+#include "slim/resolver.hpp"
+
+namespace slimsim {
+namespace {
+
+#ifndef SLIMSIM_MODELS_DIR
+#error "SLIMSIM_MODELS_DIR must be defined by the build"
+#endif
+
+/// Parses + resolves an expression over the given typed variables.
+expr::ExprPtr parse_resolved(const std::string& source,
+                             const std::vector<std::pair<std::string, Value>>& vars) {
+    slim::SymbolTable table;
+    for (const auto& [name, value] : vars) {
+        slim::Symbol sym;
+        sym.name = name;
+        sym.kind = slim::SymKind::Data;
+        sym.type = value.is_bool()  ? Type::boolean()
+                   : value.is_int() ? Type::integer()
+                                    : Type::real();
+        table.add(std::move(sym));
+    }
+    expr::ExprPtr e = slim::parse_expression(source);
+    DiagnosticSink sink;
+    slim::resolve_expr(*e, table, sink);
+    sink.throw_if_errors("test expression");
+    return e;
+}
+
+/// Asserts the compiled program and the reference interpreter agree on
+/// `source` — same value, or the same error message.
+void expect_agreement(const std::string& source,
+                      const std::vector<std::pair<std::string, Value>>& vars = {}) {
+    const expr::ExprPtr e = parse_resolved(source, vars);
+    std::vector<Value> values;
+    values.reserve(vars.size());
+    for (const auto& [name, value] : vars) values.push_back(value);
+    const expr::EvalContext ctx{values, {}};
+
+    std::optional<Value> tree_value;
+    std::string tree_error;
+    try {
+        tree_value = expr::testing::reference_evaluate(*e, ctx);
+    } catch (const Error& err) {
+        tree_error = err.what();
+    }
+
+    const expr::ProgramPtr prog = expr::compile(*e);
+    expr::EvalScratch scratch;
+    std::optional<Value> prog_value;
+    std::string prog_error;
+    try {
+        prog_value = prog->run(values, scratch);
+    } catch (const Error& err) {
+        prog_error = err.what();
+    }
+
+    EXPECT_EQ(tree_value.has_value(), prog_value.has_value()) << source;
+    if (tree_value && prog_value) {
+        EXPECT_EQ(*tree_value, *prog_value) << source;
+    }
+    EXPECT_EQ(tree_error, prog_error) << source;
+}
+
+TEST(CompiledExpr, EveryExpressionKindMatchesInterpreter) {
+    const std::vector<std::pair<std::string, Value>> vars = {
+        {"b", Value(true)},     {"c", Value(false)},   {"i", Value(std::int64_t{7})},
+        {"j", Value(std::int64_t{-3})}, {"x", Value(2.5)}, {"y", Value(-0.5)},
+    };
+    const std::vector<std::string> sources = {
+        // Literals of every type.
+        "true", "false", "42", "2.5", "300 msec",
+        // Variables.
+        "b", "i", "x",
+        // Unary.
+        "not b", "not c", "-i", "-x", "-(i + 1)",
+        // Arithmetic: integer, real, mixed-width.
+        "i + j", "i - j", "i * j", "i / 2", "i mod 2", "x + y", "x * y",
+        "x / y", "1 + 2.5", "5 / 2.0", "i + x",
+        // Comparisons, including Boolean equality.
+        "i < 8", "i <= 7", "i > 8", "i >= 7", "i = 7", "i != 7", "1 = 1.0",
+        "b = true", "b != c", "x < y", "x >= y",
+        // Connectives (short-circuit) and ite.
+        "b and c", "b or c", "b => c", "c => b", "b and i > 0",
+        "if b then i else j", "if c then i else j",
+        "if i > 0 then x else y",
+        // Nested mixtures.
+        "(i + 1) * 2 - j mod 2", "not (b and (i < 3 or x > 1.0))",
+        "if b and not c then i + 1 else j - 1",
+    };
+    for (const auto& s : sources) expect_agreement(s, vars);
+}
+
+TEST(CompiledExpr, ErrorsMatchInterpreter) {
+    expect_agreement("1 / 0");
+    expect_agreement("1 mod 0");
+    expect_agreement("1.0 / 0.0");
+    expect_agreement("i / (i - 7)", {{"i", Value(std::int64_t{7})}});
+}
+
+TEST(CompiledExpr, ShortCircuitSkipsErrors) {
+    // The unevaluated operand/branch contains a division by zero: both
+    // evaluators must skip it identically.
+    const std::vector<std::pair<std::string, Value>> vars = {
+        {"b", Value(false)}, {"i", Value(std::int64_t{0})}};
+    expect_agreement("b and 1 / i = 1", vars);
+    expect_agreement("not b or 1 / i = 1", vars);
+    expect_agreement("b => 1 / i = 1", vars);
+    expect_agreement("if b then 1 / i else 5", vars);
+    expect_agreement("if not b then 5 else 1 / i", vars);
+}
+
+TEST(CompiledExpr, HashConsingSharesStructurallyEqualPrograms) {
+    const std::vector<std::pair<std::string, Value>> vars = {
+        {"i", Value(std::int64_t{1})}};
+    // Two independently parsed copies of the same expression compile to the
+    // SAME program object.
+    const expr::ExprPtr a = parse_resolved("i + 1 > 2", vars);
+    const expr::ExprPtr b = parse_resolved("i + 1 > 2", vars);
+    const expr::ProgramPtr pa = expr::compile(*a);
+    const expr::ProgramPtr pb = expr::compile(*b);
+    EXPECT_EQ(pa.get(), pb.get());
+    EXPECT_EQ(pa->key_hash(), pb->key_hash());
+    // A structurally different expression gets a different program.
+    const expr::ExprPtr c = parse_resolved("i + 2 > 2", vars);
+    EXPECT_NE(expr::compile(*c).get(), pa.get());
+}
+
+// --- bundled models: byte-identity of whole analyses -------------------------
+
+struct BundledModel {
+    const char* file;
+    const char* goal;
+    double bound;
+};
+
+constexpr BundledModel kBundled[] = {
+    {"gps.slim", "gps.measurement", 1800.0},
+    {"gps_restart.slim", "gps.measurement", 1800.0},
+    {"failover.slim", "failed", 10.0},
+    {"sensor_filter_panic.slim", "panicked", 14400.0},
+};
+
+std::string model_path(const char* file) {
+    return std::string(SLIMSIM_MODELS_DIR) + "/" + file;
+}
+
+TEST(CompiledModel, EstimatesAreByteIdenticalToInterpreter) {
+    for (const BundledModel& bm : kBundled) {
+        eda::Network compiled = eda::build_network_from_file(model_path(bm.file));
+        eda::Network reference(compiled.compiled());
+        reference.set_reference_interpreter(true);
+        const auto prop = sim::make_reachability(compiled.model(), bm.goal, bm.bound);
+        const stat::ChernoffHoeffding ch(0.2, 0.1);
+        for (const std::uint64_t seed : {1ULL, 42ULL}) {
+            const auto fast = sim::estimate(compiled, prop,
+                                            sim::StrategyKind::Progressive, ch, seed);
+            const auto slow = sim::estimate(reference, prop,
+                                            sim::StrategyKind::Progressive, ch, seed);
+            EXPECT_EQ(fast.estimate, slow.estimate) << bm.file << " seed " << seed;
+            EXPECT_EQ(fast.samples, slow.samples) << bm.file << " seed " << seed;
+            EXPECT_EQ(fast.successes, slow.successes) << bm.file << " seed " << seed;
+            EXPECT_EQ(fast.terminals, slow.terminals) << bm.file << " seed " << seed;
+        }
+    }
+}
+
+TEST(CompiledModel, EstimatesAreByteIdenticalAcrossWorkerCounts) {
+    for (const BundledModel& bm : kBundled) {
+        const eda::CompiledModelPtr cm = compile_file(model_path(bm.file));
+        AnalysisRequest req;
+        req.mode = AnalysisMode::EstimateParallel;
+        req.property = sim::make_reachability(cm->model(), bm.goal, bm.bound);
+        req.delta = 0.2;
+        req.eps = 0.1;
+        req.seed = 9;
+        // Per-path RNG streams: path j always uses Rng(seed).split(j), so
+        // the accepted sample set is a pure function of the seed.
+        req.sim.control.deterministic_streams = true;
+        std::optional<AnalysisResult> first;
+        for (const std::size_t workers : {1U, 2U, 4U}) {
+            req.workers = workers;
+            const AnalysisResult res = run_analysis(cm, req);
+            if (!first) {
+                first = res;
+                continue;
+            }
+            EXPECT_EQ(res.value, first->value) << bm.file << " x" << workers;
+            EXPECT_EQ(res.estimation.samples, first->estimation.samples)
+                << bm.file << " x" << workers;
+            EXPECT_EQ(res.estimation.successes, first->estimation.successes)
+                << bm.file << " x" << workers;
+            EXPECT_EQ(res.estimation.terminals, first->estimation.terminals)
+                << bm.file << " x" << workers;
+        }
+    }
+}
+
+TEST(CompiledModel, ReuseAcrossAnalysesIsIdentical) {
+    const eda::CompiledModelPtr cm = compile_file(model_path("gps.slim"));
+    AnalysisRequest req;
+    req.property = sim::make_reachability(cm->model(), "gps.measurement", 1800.0);
+    req.delta = 0.2;
+    req.eps = 0.1;
+    req.seed = 5;
+    const AnalysisResult a = run_analysis(cm, req);
+    const AnalysisResult b = run_analysis(cm, req);
+    EXPECT_EQ(telemetry::deterministic_view(a.report.to_json()).dump(2),
+              telemetry::deterministic_view(b.report.to_json()).dump(2));
+    EXPECT_TRUE(a.report.compiled_model.present);
+    EXPECT_EQ(a.report.compiled_model.content_hash.size(), 16u);
+    EXPECT_EQ(a.report.compiled_model.content_hash,
+              b.report.compiled_model.content_hash);
+    // Hash-consing found duplicates among the model's expressions.
+    EXPECT_LE(cm->stats().unique_programs, cm->stats().programs);
+    EXPECT_GT(cm->stats().programs, 0u);
+}
+
+TEST(CompiledModel, CompilationIsCachedByContentHash) {
+    const eda::CompiledModelPtr a = compile_source(models::gps_source(), "a.slim");
+    const eda::CompiledModelPtr b = compile_source(models::gps_source(), "b.slim");
+    EXPECT_EQ(a.get(), b.get()); // process-wide cache hit
+}
+
+TEST(CompiledModel, ContentHashSurvivesReformatting) {
+    // The content hash is behavioral: pretty-printing (different layout,
+    // same model) must not change it — resuming from a checkpoint accepts a
+    // reformatted model file.
+    const std::string original = std::string(models::gps_source());
+    const std::string printed = slim::print_model(slim::parse_model(original, "m"));
+    ASSERT_NE(original, printed);
+    const eda::CompiledModelPtr a = compile_source(original, "x.slim");
+    const eda::CompiledModelPtr b = compile_source(printed, "y.slim");
+    EXPECT_EQ(a->content_hash(), b->content_hash());
+}
+
+TEST(CompiledModel, CheckpointRejectsContentHashMismatchNamingFlags) {
+    const eda::CompiledModelPtr cm = compile_file(model_path("gps.slim"));
+    sim::RunCheckpoint ck;
+    ck.seed = 3;
+    ck.strategy = "progressive";
+    ck.criterion = "chernoff-hoeffding";
+    ck.property_hash = sim::fnv1a64("<> [0,1800] gps.measurement");
+    ck.model_hash = cm->content_hash() ^ 1; // a behaviorally different model
+    try {
+        ck.validate(cm->content_hash(), 3, "<> [0,1800] gps.measurement",
+                    "progressive", "chernoff-hoeffding", {});
+        FAIL() << "mismatched content hash must be rejected";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--resume"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("content hash"), std::string::npos) << msg;
+    }
+    // The matching hash passes.
+    ck.model_hash = cm->content_hash();
+    EXPECT_NO_THROW(ck.validate(cm->content_hash(), 3, "<> [0,1800] gps.measurement",
+                                "progressive", "chernoff-hoeffding", {}));
+}
+
+} // namespace
+} // namespace slimsim

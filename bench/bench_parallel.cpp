@@ -16,6 +16,7 @@
 #include "models/sensor_filter.hpp"
 #include "sim/parallel_runner.hpp"
 #include "stat/collector.hpp"
+#include "support/metrics.hpp"
 #include "support/tracer/tracer.hpp"
 
 namespace {
@@ -207,6 +208,52 @@ void checkpoint_overhead(benchio::Report& report) {
     report.root()["checkpoint_overhead"] = std::move(section);
 }
 
+// Live-metrics overhead: the same fixed-N parallel estimation with the
+// sharded metrics registry detached vs. attached (path/step/fire counters,
+// per-path wall-time histogram, collector depth gauge and drain-latency
+// histogram all firing). Both sides simulate the byte-identical path set,
+// so the ratio isolates the pure instrument cost — relaxed fetch_adds on
+// per-worker cache lines. The acceptance bound CI enforces is <= 5%
+// overhead (docs/observability.md).
+void metrics_overhead(benchio::Report& report) {
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const double bound = 96.0 * 3600.0;
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::gps_restart_goal(), bound);
+    const stat::ChernoffHoeffding criterion(0.05, 0.03);
+    const std::size_t n = *criterion.fixed_sample_count();
+    std::printf("\n== live metrics overhead (N = %zu paths, 4 workers, min of 10 "
+                "interleaved reps) ==\n",
+                n);
+    auto run = [&](bool instrumented) {
+        return [&, instrumented] {
+            metrics::Registry registry(4);
+            sim::ParallelOptions po;
+            po.workers = 4;
+            if (instrumented) po.sim.metrics = &registry;
+            (void)sim::estimate_parallel(net, prop, sim::StrategyKind::Asap, criterion,
+                                         9, po);
+        };
+    };
+    const auto [off, on] = benchio::measure_interleaved(run(false), run(true), 10, 2);
+    json::Value section = json::Value::object();
+    const double disabled_pps = static_cast<double>(n) / off.min_seconds;
+    const double enabled_pps = static_cast<double>(n) / on.min_seconds;
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "metrics off", off.min_seconds,
+                disabled_pps);
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "metrics on", on.min_seconds,
+                enabled_pps);
+    const double overhead = (disabled_pps / enabled_pps - 1.0) * 100.0;
+    std::printf("recording overhead: %.1f%%\n", overhead);
+    section["disabled"] = off.to_json();
+    section["enabled"] = on.to_json();
+    section["disabled_paths_per_s"] = disabled_pps;
+    section["enabled_paths_per_s"] = enabled_pps;
+    section["recording_overhead_percent"] = overhead;
+    report.root()["metrics_overhead"] = std::move(section);
+}
+
 void bias_demo(benchio::Report& report) {
     // Synthetic workload reproducing the hazard of [21]: true p = 0.5, but
     // success paths are fast (one tick) while failure paths are slow (two
@@ -286,6 +333,7 @@ int main(int argc, char** argv) {
         tracing_overhead(report);
         coverage_overhead(report);
         checkpoint_overhead(report);
+        metrics_overhead(report);
         bias_demo(report);
         return 0;
     } catch (const std::exception& e) {

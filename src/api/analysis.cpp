@@ -1,11 +1,16 @@
 #include "api/analysis.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
+#include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/http_server.hpp"
+#include "support/json.hpp"
 #include "support/memprobe.hpp"
 
 namespace slimsim {
@@ -20,6 +25,75 @@ std::string hex16(std::uint64_t v) {
     std::ostringstream os;
     os << std::hex << std::setw(16) << std::setfill('0') << v;
     return os.str();
+}
+
+/// Latest progress snapshot shared between the runners' consuming thread
+/// (writer, via the chained progress callback) and the HTTP server thread
+/// (reader, /status).
+class StatusBoard {
+public:
+    void update(const sim::ProgressSnapshot& snap) {
+        std::lock_guard lock(mutex_);
+        snap_ = snap;
+        have_ = true;
+    }
+    [[nodiscard]] std::optional<sim::ProgressSnapshot> latest() const {
+        std::lock_guard lock(mutex_);
+        if (!have_) return std::nullopt;
+        return snap_;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    sim::ProgressSnapshot snap_;
+    bool have_ = false;
+};
+
+/// Immutable run identity captured *before* the server starts, so /status
+/// never reads report fields the runners mutate concurrently.
+struct StatusIdentity {
+    std::string mode;
+    std::string model;
+    std::string property;
+    std::string strategy;
+    std::string criterion;
+    std::string content_hash; // empty when no compiled model
+    std::uint64_t seed = 0;
+    std::size_t workers = 1;
+    double delta = 0.0;
+    double eps = 0.0;
+};
+
+/// /status document: run identity + config digest + the latest snapshot.
+std::string status_json(const StatusIdentity& id, const StatusBoard& board) {
+    json::Value doc = json::Value::object();
+    doc["status"] = "running";
+    doc["mode"] = id.mode;
+    doc["model"] = id.model;
+    doc["property"] = id.property;
+    json::Value digest = json::Value::object();
+    digest["seed"] = id.seed;
+    digest["workers"] = static_cast<std::uint64_t>(id.workers);
+    digest["strategy"] = id.strategy;
+    digest["criterion"] = id.criterion;
+    digest["delta"] = id.delta;
+    digest["eps"] = id.eps;
+    if (!id.content_hash.empty()) digest["content_hash"] = id.content_hash;
+    doc["config"] = std::move(digest);
+    if (const auto snap = board.latest()) {
+        json::Value progress = json::Value::object();
+        progress["samples"] = snap->samples;
+        progress["successes"] = snap->successes;
+        progress["estimate"] = snap->estimate;
+        progress["half_width"] = snap->half_width;
+        progress["required"] = snap->required;
+        progress["elapsed_seconds"] = snap->elapsed_seconds;
+        progress["eta_seconds"] = snap->eta_seconds;
+        doc["progress"] = std::move(progress);
+    } else {
+        doc["progress"] = nullptr;
+    }
+    return doc.dump() + "\n";
 }
 
 } // namespace
@@ -146,6 +220,62 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     tracer::Tracer* tracer =
         request.tracer != nullptr && request.tracer->enabled() ? request.tracer : nullptr;
 
+    // Live metrics + embedded HTTP exporter (docs/observability.md). A
+    // private registry is created when serving without a caller-provided
+    // one; instruments only count, so results stay byte-identical with
+    // metrics on or off.
+    std::optional<metrics::Registry> local_registry;
+    metrics::Registry* registry = request.metrics;
+    if (registry == nullptr && request.serve.enabled) {
+        local_registry.emplace(std::max<std::size_t>(1, report.workers));
+        registry = &*local_registry;
+    }
+    sim_options.metrics = registry;
+
+    StatusBoard board;
+    if (registry != nullptr || request.serve.enabled) {
+        // Chain, don't replace: the board rides the existing snapshot
+        // machinery (consuming-thread only), so serving cannot perturb the
+        // deterministic sample order.
+        const sim::ProgressFn prev = sim_options.progress.callback;
+        sim_options.progress.callback = [&board, prev](const sim::ProgressSnapshot& s) {
+            board.update(s);
+            if (prev) prev(s);
+        };
+    }
+
+    http::Server server;
+    if (request.serve.enabled) {
+        StatusIdentity id;
+        id.mode = report.mode;
+        id.model = report.model;
+        id.property = report.property;
+        id.strategy = sim::to_string(request.strategy);
+        id.criterion = stat::to_string(request.criterion);
+        id.content_hash = report.compiled_model.content_hash;
+        id.seed = report.seed;
+        id.workers = report.workers;
+        id.delta = request.delta;
+        id.eps = request.eps;
+        const std::uint16_t port = server.start(
+            request.serve.port,
+            [registry, id = std::move(id), &board](const std::string& path) -> http::Response {
+                if (path == "/metrics") {
+                    return {200, "text/plain; version=0.0.4; charset=utf-8",
+                            registry->expose()};
+                }
+                if (path == "/status") {
+                    return {200, "application/json; charset=utf-8",
+                            status_json(id, board)};
+                }
+                if (path == "/healthz") {
+                    return {200, "text/plain; charset=utf-8", "ok\n"};
+                }
+                return {404, "text/plain; charset=utf-8", "not found\n"};
+            });
+        if (request.serve.on_bound) request.serve.on_bound(port);
+    }
+
     switch (request.mode) {
     case AnalysisMode::Estimate: {
         report.params.emplace_back("delta", request.delta);
@@ -247,6 +377,10 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         break;
     }
     }
+
+    // The exporter stops with the run (the Server destructor also stops it
+    // when the dispatch above throws).
+    server.stop();
 
     // Mirror the engine results into the report even when full telemetry is
     // off, so the identity/result sections are always populated.

@@ -12,11 +12,29 @@
 // underlying engines; run_analysis is the surface new code and the CLI use.
 #pragma once
 
+#include <functional>
+
 #include "ctmc/flow.hpp"
 #include "sim/hypothesis.hpp"
 #include "sim/parallel_runner.hpp"
+#include "support/metrics.hpp"
 
 namespace slimsim {
+
+/// Embedded HTTP exporter options (docs/observability.md): while the
+/// analysis runs, a loopback server serves /metrics (Prometheus text from
+/// the live metrics registry), /status (JSON: run identity, config digest,
+/// latest progress snapshot) and /healthz. The server starts before the
+/// engine dispatch and shuts down when run_analysis returns — on run end,
+/// error, or the SIGINT path's normal unwind.
+struct ServeOptions {
+    bool enabled = false;
+    /// Loopback TCP port; 0 binds an ephemeral port (the CLI prints it to
+    /// stderr via on_bound).
+    std::uint16_t port = 0;
+    /// Invoked once with the bound port before sampling starts.
+    std::function<void(std::uint16_t)> on_bound;
+};
 
 enum class AnalysisMode : std::uint8_t {
     Estimate,         // sequential Monte Carlo estimation
@@ -118,6 +136,20 @@ struct AnalysisRequest {
     /// Front-end phases (parse/instantiate) timed by the caller while
     /// loading the model; prepended to the report's phase breakdown.
     std::vector<telemetry::Phase> frontend_phases;
+
+    /// Optional live metrics registry (support/metrics.hpp). When set, the
+    /// estimation engines register and update their instruments in it —
+    /// path/step/fire counters, collector queue depth and drain latency,
+    /// live estimate/half-width/ETA gauges, budget headroom, checkpoint and
+    /// quarantine counters. Instruments only count: results stay
+    /// byte-identical with metrics on or off at every (seed, workers).
+    /// When null and serve.enabled is set, run_analysis uses a private
+    /// registry with one shard per worker.
+    metrics::Registry* metrics = nullptr;
+
+    /// Embedded HTTP exporter (estimation modes and beyond — the endpoints
+    /// serve whatever the registry and status board hold for any mode).
+    ServeOptions serve;
 };
 
 /// The uniform result: the headline value, the mode-specific result struct

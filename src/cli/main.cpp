@@ -102,6 +102,12 @@ void usage() {
         "  --metrics-out FILE   write run metrics in Prometheus text exposition\n"
         "                       format (result/coverage gauges + engine counters;\n"
         "                       docs/coverage.md)\n"
+        "  --serve-metrics PORT serve live run introspection over HTTP on\n"
+        "                       127.0.0.1:PORT while the analysis runs:\n"
+        "                       /metrics (Prometheus text), /status (JSON\n"
+        "                       progress snapshot), /healthz. PORT 0 binds an\n"
+        "                       ephemeral port, printed to stderr\n"
+        "                       (docs/observability.md)\n"
         "\n"
         "run hardening (docs/robustness.md):\n"
         "  --max-seconds T      wall-clock budget; on exhaustion the partial\n"
@@ -248,6 +254,8 @@ int run(int argc, char** argv) {
     bool coverage = false;
     std::string coverage_csv_path;
     std::string metrics_path;
+    bool serve_enabled = false;
+    std::uint64_t serve_port = 0;
     std::string checkpoint_path;
     std::string resume_path;
     std::uint64_t checkpoint_every = 0;
@@ -342,6 +350,13 @@ int run(int argc, char** argv) {
             }
         } else if (arg == "--metrics-out") {
             metrics_path = need_value(i, "--metrics-out");
+        } else if (arg == "--serve-metrics") {
+            serve_enabled = true;
+            serve_port = parse_count(need_value(i, "--serve-metrics"),
+                                     "--serve-metrics", 0);
+            if (serve_port > 65535) {
+                throw Error("--serve-metrics: port must be in [0, 65535]");
+            }
         } else if (arg == "--ctmc") {
             use_ctmc = true;
         } else if (arg == "--test") {
@@ -626,6 +641,24 @@ int run(int argc, char** argv) {
         control.interrupt = sim::interrupt_flag();
     }
 
+    // Live metrics registry (docs/observability.md): one shard per worker so
+    // the hot path stays contention-free. --metrics-out and --serve-metrics
+    // share it — file and HTTP expositions are one code path. Must outlive
+    // run_analysis (the engines hold instrument pointers into it).
+    std::optional<metrics::Registry> registry;
+    if (serve_enabled || !metrics_path.empty()) {
+        registry.emplace(std::max<std::size_t>(std::size_t{1}, workers));
+        req.metrics = &*registry;
+    }
+    if (serve_enabled) {
+        req.serve.enabled = true;
+        req.serve.port = static_cast<std::uint16_t>(serve_port);
+        req.serve.on_bound = [](std::uint16_t port) {
+            std::fprintf(stderr, "serving metrics on http://127.0.0.1:%u/metrics\n",
+                         static_cast<unsigned>(port));
+        };
+    }
+
     // Open the output files / directories up front so a bad path fails
     // before the analysis runs.
     std::ofstream json_out;
@@ -772,7 +805,7 @@ int run(int argc, char** argv) {
         }
     }
     if (!metrics_path.empty()) {
-        metrics_out << telemetry::prometheus_text(res.report);
+        metrics_out << telemetry::prometheus_text(res.report, req.metrics);
         std::printf("wrote Prometheus metrics %s\n", metrics_path.c_str());
     }
     if (show_report) std::fputs(res.report.to_text().c_str(), stdout);

@@ -36,12 +36,26 @@ ProgressSnapshot make_progress_snapshot(std::uint64_t samples, std::uint64_t suc
         // however tight the variance extrapolation already looks.
         target = std::max(target, static_cast<double>(options.min_samples));
     }
+    // A sample budget caps the run regardless of what the criterion wants.
+    if (options.budget_max_samples > 0 &&
+        (target == 0.0 || target > static_cast<double>(options.budget_max_samples))) {
+        target = static_cast<double>(options.budget_max_samples);
+    }
     if (target > 0.0 && elapsed_seconds > 0.0) {
         const double remaining = target - static_cast<double>(samples);
         snap.eta_seconds =
             remaining <= 0.0
                 ? 0.0
                 : elapsed_seconds * remaining / static_cast<double>(samples);
+    }
+    // A wall-clock budget bounds the ETA even when the criterion's own ETA
+    // is unknown (< 0): the run ends at the deadline either way.
+    if (options.budget_max_seconds > 0.0) {
+        const double budget_left =
+            std::max(0.0, options.budget_max_seconds - elapsed_seconds);
+        snap.eta_seconds = snap.eta_seconds < 0.0
+                               ? budget_left
+                               : std::min(snap.eta_seconds, budget_left);
     }
     return snap;
 }

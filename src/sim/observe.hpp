@@ -52,6 +52,12 @@ struct ProgressOptions {
     /// so it cannot report 0 while the criterion is still barred from
     /// stopping. run_analysis fills it from the criterion.
     std::uint64_t min_samples = 0;
+    /// Active run-budget caps (sim/run_control RunBudget); 0 = uncapped.
+    /// The reported ETA is min(criterion ETA, budget remaining), so a
+    /// --max-seconds run never shows an ETA beyond its own deadline. Plain
+    /// fields, not a RunBudget, to keep this header dependency-free.
+    double budget_max_seconds = 0.0;
+    std::uint64_t budget_max_samples = 0;
 };
 
 /// Derives the estimate, CI half-width and ETA for a snapshot. `required`

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "sim/coverage.hpp"
+#include "sim/live_metrics.hpp"
 #include "stat/collector.hpp"
 #include "support/memprobe.hpp"
 
@@ -84,6 +85,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
     const auto start = std::chrono::steady_clock::now();
     const Rng master(seed);
     stat::SampleCollector collector(options.workers);
+    collector.set_metrics(options.sim.metrics);
     std::atomic<bool> stop{false};
 
     stat::BernoulliSummary summary;
@@ -105,6 +107,9 @@ EstimationResult estimate_parallel(const eda::Network& net,
         resumed_log = ck.error_log;
     }
     RunGovernor governor(control, start);
+    // Live metrics: workers only touch their own per-shard counter cells;
+    // gauges/round counters are updated from this consuming thread.
+    LiveRunMetrics live(options.sim.metrics, control.budget);
 
     // One shard per worker; worker w records its paths in generation order
     // (its local path i is global path w + i*k), so merge_coverage can walk
@@ -150,6 +155,9 @@ EstimationResult estimate_parallel(const eda::Network& net,
                 const auto strat = make_strategy(strategy);
                 SimOptions sim_options = options.sim;
                 sim_options.trace_lane = lanes[w];
+                if (sim_options.metrics != nullptr) {
+                    sim_options.metrics_shard = w % sim_options.metrics->shards();
+                }
                 if (coverage) {
                     sim_options.coverage_shard = shards[w].get();
                     strat->set_observer(shards[w].get());
@@ -178,6 +186,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
                             // quarantined with its local index so the
                             // consumer can filter to accepted samples.
                             out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
+                            live.add_quarantined();
                             std::lock_guard lock(merge_mutex);
                             if (worker_faults[w].size() < kMaxQuarantinedErrors) {
                                 worker_faults[w].emplace_back(local_generated, e.what());
@@ -220,16 +229,22 @@ EstimationResult estimate_parallel(const eda::Network& net,
             log = merge_fault_log(resumed_log, worker_faults, accepted_now, base,
                                   options.workers);
         }
-        make_run_checkpoint(control, seed, property.text, to_string(strategy),
-                            criterion.name(), summary.count, summary.successes,
-                            total_steps, terminal_array(terminal_tags), log)
-            .save(control.checkpoint_path);
+        const std::size_t bytes =
+            make_run_checkpoint(control, seed, property.text, to_string(strategy),
+                                criterion.name(), summary.count, summary.successes,
+                                total_steps, terminal_array(terminal_tags), log)
+                .save(control.checkpoint_path);
+        live.add_checkpoint(bytes);
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count + control.checkpoint_every : 0;
     // Progress callbacks fire from this consuming thread only, so they can
     // never perturb the deterministic (seed, workers) sample order.
     const ProgressFn& progress = options.sim.progress.callback;
+    // ETA snapshots account for active budget caps (sim/observe.hpp).
+    ProgressOptions progress_options = options.sim.progress;
+    progress_options.budget_max_seconds = control.budget.max_wall_seconds;
+    progress_options.budget_max_samples = control.budget.max_samples;
     auto last_progress = start;
     auto elapsed = [&] {
         return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -265,13 +280,19 @@ EstimationResult estimate_parallel(const eda::Network& net,
             report->stop_trajectory.push_back({summary.count, required});
             while (next_mark <= summary.count) next_mark *= 2;
         }
-        if (progress && consumed > 0) {
+        if (consumed > 0) {
+            live.add_samples(consumed);
+            live.add_round();
+        }
+        if ((progress || live) && consumed > 0) {
             const auto now = std::chrono::steady_clock::now();
             if (std::chrono::duration<double>(now - last_progress).count() >=
                 options.sim.progress.min_interval_seconds) {
-                progress(make_progress_snapshot(summary.count, summary.successes,
-                                                required, elapsed(),
-                                                options.sim.progress));
+                const ProgressSnapshot snap = make_progress_snapshot(
+                    summary.count, summary.successes, required, elapsed(),
+                    progress_options);
+                live.on_snapshot(snap);
+                if (progress) progress(snap);
                 last_progress = now;
             }
         }
@@ -302,9 +323,11 @@ EstimationResult estimate_parallel(const eda::Network& net,
     // (FailFast): emit the final progress snapshot and finalize the report
     // before rethrowing — only witness replay, coverage merge and the final
     // checkpoint are skipped.
-    if (progress) {
-        progress(make_progress_snapshot(summary.count, summary.successes, required,
-                                        elapsed(), options.sim.progress));
+    if (progress || live) {
+        const ProgressSnapshot snap = make_progress_snapshot(
+            summary.count, summary.successes, required, elapsed(), progress_options);
+        live.on_snapshot(snap);
+        if (progress) progress(snap);
     }
 
     EstimationResult result;
@@ -341,6 +364,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
             replay_options.trace_lane = nullptr;
             replay_options.coverage = false;
             replay_options.coverage_shard = nullptr;
+            replay_options.metrics = nullptr;
             const auto replay_strat = make_strategy(strategy);
             const PathGenerator replay_gen(net, property, *replay_strat, replay_options);
             const auto selected = select_witness_paths(witness_buffers, accepted, witness_k);
@@ -413,6 +437,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     const Rng master(seed);
     const std::size_t k = options.workers;
     stat::SampleCollector collector(k);
+    collector.set_metrics(options.sim.metrics);
     std::atomic<bool> stop{false};
 
     stat::CurveSummary summary(curve.bounds);
@@ -434,6 +459,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         resumed_log = ck.error_log;
     }
     RunGovernor governor(control, start);
+    LiveRunMetrics live(options.sim.metrics, control.budget);
 
     // Curve workers already use per-path RNG streams and sample-granular
     // ordered draining, so coverage only needs the per-worker shards.
@@ -469,6 +495,9 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                 const auto strat = make_strategy(strategy);
                 SimOptions sim_options = options.sim;
                 sim_options.trace_lane = lanes[w];
+                if (sim_options.metrics != nullptr) {
+                    sim_options.metrics_shard = w % sim_options.metrics->shards();
+                }
                 if (coverage) {
                     sim_options.coverage_shard = shards[w].get();
                     strat->set_observer(shards[w].get());
@@ -488,6 +517,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                             out = gen.run(rng);
                         } catch (const std::exception& e) {
                             out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
+                            live.add_quarantined();
                             std::lock_guard lock(merge_mutex);
                             if (worker_faults[w].size() < kMaxQuarantinedErrors) {
                                 worker_faults[w].emplace_back(local_generated, e.what());
@@ -522,15 +552,20 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
             std::lock_guard lock(merge_mutex);
             log = merge_fault_log(resumed_log, worker_faults, accepted_now, base, k);
         }
-        make_run_checkpoint(control, seed, property.text, to_string(strategy),
-                            criterion.name(), summary.count(), last.successes,
-                            total_steps, terminal_array(terminal_tags), log,
-                            curve.bounds, summary.tree())
-            .save(control.checkpoint_path);
+        const std::size_t bytes =
+            make_run_checkpoint(control, seed, property.text, to_string(strategy),
+                                criterion.name(), summary.count(), last.successes,
+                                total_steps, terminal_array(terminal_tags), log,
+                                curve.bounds, summary.tree())
+                .save(control.checkpoint_path);
+        live.add_checkpoint(bytes);
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count() + control.checkpoint_every : 0;
     const ProgressFn& progress = options.sim.progress.callback;
+    ProgressOptions progress_options = options.sim.progress;
+    progress_options.budget_max_seconds = control.budget.max_wall_seconds;
+    progress_options.budget_max_samples = control.budget.max_samples;
     auto last_progress = start;
     auto elapsed = [&] {
         return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -553,12 +588,19 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
             report->stop_trajectory.push_back({summary.count(), required});
             while (next_mark <= summary.count()) next_mark *= 2;
         }
-        if (progress && consumed > 0) {
+        if (consumed > 0) {
+            live.add_samples(consumed);
+            live.add_round();
+        }
+        if ((progress || live) && consumed > 0) {
             const auto now = std::chrono::steady_clock::now();
             if (std::chrono::duration<double>(now - last_progress).count() >=
                 options.sim.progress.min_interval_seconds) {
-                progress(make_progress_snapshot(summary.count(), last.successes, required,
-                                                elapsed(), options.sim.progress));
+                const ProgressSnapshot snap = make_progress_snapshot(
+                    summary.count(), last.successes, required, elapsed(),
+                    progress_options);
+                live.on_snapshot(snap);
+                if (progress) progress(snap);
                 last_progress = now;
             }
         }
@@ -588,9 +630,11 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     // As in estimate_parallel: on a FailFast worker abort the partial curve
     // is still reported (final snapshot + report) before rethrowing; only
     // coverage merge and the final checkpoint are skipped.
-    if (progress) {
-        progress(make_progress_snapshot(summary.count(), last.successes, required,
-                                        elapsed(), options.sim.progress));
+    if (progress || live) {
+        const ProgressSnapshot snap = make_progress_snapshot(
+            summary.count(), last.successes, required, elapsed(), progress_options);
+        live.on_snapshot(snap);
+        if (progress) progress(snap);
     }
 
     const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();

@@ -1,5 +1,6 @@
 #include "sim/path_generator.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -53,6 +54,28 @@ PathGenerator::PathGenerator(const eda::Network& net, const PathFormula& formula
         c_delays_ = &rec->counter("sim.pure_delays");
         c_interned_ = &rec->counter("sim.interned_states");
         h_steps_ = &rec->histogram("sim.steps_per_path");
+    }
+    if (metrics::Registry* reg = options_.metrics; reg != nullptr) {
+        SLIMSIM_ASSERT(options_.metrics_shard < reg->shards());
+        mc_shard_ = options_.metrics_shard;
+        mc_started_ = &reg->counter("slimsim_paths_started_total",
+                                    "Simulation paths started.");
+        mc_completed_ = &reg->counter("slimsim_paths_completed_total",
+                                      "Simulation paths completed.");
+        mc_steps_ = &reg->counter("slimsim_path_steps_total",
+                                  "Discrete steps over all paths.");
+        mc_fire_markov_ = &reg->counter("slimsim_transition_fires_live_total",
+                                        "Transition fires by kind (live).",
+                                        metrics::label("kind", "markovian"));
+        mc_fire_strategy_ = &reg->counter("slimsim_transition_fires_live_total",
+                                          "Transition fires by kind (live).",
+                                          metrics::label("kind", "strategy"));
+        mc_fire_delay_ = &reg->counter("slimsim_transition_fires_live_total",
+                                       "Transition fires by kind (live).",
+                                       metrics::label("kind", "pure_delay"));
+        mh_path_seconds_ = &reg->histogram("slimsim_path_seconds",
+                                           "Wall-clock seconds per simulated path.",
+                                           metrics::time_buckets());
     }
     if (tracer::Lane* lane = options_.trace_lane; lane != nullptr) {
         lane_ = lane;
@@ -304,6 +327,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         if (cov_ != nullptr) cov_->on_step(info);
         if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
         if (c_markovian_ != nullptr) c_markovian_->add();
+        if (mc_fire_markov_ != nullptr) mc_fire_markov_->add(mc_shard_);
         if (lane_ != nullptr) {
             lane_->instant(n_fire_markov_, n_arg_steps_, static_cast<double>(steps + 1));
         }
@@ -328,6 +352,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
             if (trace != nullptr) trace->record(s.time, describe_step(net_, info));
             if (sched_abs != nullptr) sched_abs->reset();
             if (c_strategy_ != nullptr) c_strategy_->add();
+            if (mc_fire_strategy_ != nullptr) mc_fire_strategy_->add(mc_shard_);
             if (lane_ != nullptr) {
                 lane_->instant(n_fire_strategy_, n_arg_steps_,
                                static_cast<double>(steps + 1));
@@ -335,6 +360,7 @@ std::optional<PathOutcome> PathGenerator::iterate(eda::NetworkState& s, Rng& rng
         } else {
             if (trace != nullptr) trace->record(s.time, "delay (no transition chosen)");
             if (c_delays_ != nullptr) c_delays_->add();
+            if (mc_fire_delay_ != nullptr) mc_fire_delay_->add(mc_shard_);
         }
         ++steps;
         return std::nullopt;
@@ -388,9 +414,24 @@ PathOutcome PathGenerator::run_impl(Rng& rng, Trace* trace) const {
     if (trace != nullptr) trace->record(0.0, "initial " + describe_state(net_, s));
     if (lane_ != nullptr) lane_->begin(n_path_);
     if (cov_ != nullptr) cov_->begin_path(s);
+    // The wall clock is read only when metrics are on, so the unmetered hot
+    // path pays a single branch per path.
+    std::chrono::steady_clock::time_point path_start;
+    if (mc_started_ != nullptr) {
+        mc_started_->add(mc_shard_);
+        path_start = std::chrono::steady_clock::now();
+    }
     for (;;) {
         if (auto out = iterate(s, rng, steps, trace, &scheduled_abs)) {
             if (cov_ != nullptr) cov_->end_path();
+            if (mc_completed_ != nullptr) {
+                mc_completed_->add(mc_shard_);
+                mc_steps_->add(mc_shard_, out->steps);
+                mh_path_seconds_->observe(
+                    mc_shard_, std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - path_start)
+                                   .count());
+            }
             if (c_paths_ != nullptr) {
                 c_paths_->add();
                 c_steps_->add(out->steps);

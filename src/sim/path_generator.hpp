@@ -22,6 +22,7 @@
 #include "sim/run_control.hpp"
 #include "sim/strategy.hpp"
 #include "sim/trace.hpp"
+#include "support/metrics.hpp"
 #include "support/telemetry.hpp"
 #include "support/tracer/tracer.hpp"
 
@@ -68,6 +69,13 @@ struct SimOptions {
     /// policy (sim/run_control.hpp). Carries the user's request to the
     /// estimation runners; the path generator itself ignores it.
     RunControlOptions control;
+    /// Optional live metrics registry (support/metrics.hpp, docs/
+    /// observability.md); when null (default) the generator pays one branch
+    /// per event. The runners set `metrics_shard` to the worker index so
+    /// concurrent generators never share a counter cache line; the shard
+    /// must be < metrics->shards().
+    metrics::Registry* metrics = nullptr;
+    std::size_t metrics_shard = 0;
 };
 
 enum class PathTerminal : std::uint8_t {
@@ -170,6 +178,16 @@ private:
     /// only the per-path growth, so its total is the table size).
     mutable std::size_t interned_reported_ = 0;
     telemetry::Histogram* h_steps_ = nullptr;
+    // Live metrics instruments, resolved once at construction (null when
+    // off); mc_shard_ is the worker's cell index in every instrument.
+    std::size_t mc_shard_ = 0;
+    metrics::Counter* mc_started_ = nullptr;
+    metrics::Counter* mc_completed_ = nullptr;
+    metrics::Counter* mc_steps_ = nullptr;
+    metrics::Counter* mc_fire_markov_ = nullptr;
+    metrics::Counter* mc_fire_strategy_ = nullptr;
+    metrics::Counter* mc_fire_delay_ = nullptr;
+    metrics::Histogram* mh_path_seconds_ = nullptr;
     // Trace lane + interned event names, resolved once (lane null when off).
     tracer::Lane* lane_ = nullptr;
     tracer::NameId n_path_ = tracer::kNoName;

@@ -120,7 +120,7 @@ struct Reader {
 
 } // namespace
 
-void RunCheckpoint::save(const std::string& path) const {
+std::size_t RunCheckpoint::save(const std::string& path) const {
     std::string out;
     out.append(kMagic, sizeof(kMagic));
     put_u32(out, version);
@@ -153,6 +153,7 @@ void RunCheckpoint::save(const std::string& path) const {
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throw Error("cannot write checkpoint file: " + path);
+    return out.size();
 }
 
 RunCheckpoint RunCheckpoint::load(const std::string& path) {

@@ -91,8 +91,9 @@ struct RunCheckpoint {
     std::vector<std::uint64_t> curve_tree;
 
     /// Writes the snapshot atomically (temp file + rename); throws Error
-    /// naming the path on I/O failure.
-    void save(const std::string& path) const;
+    /// naming the path on I/O failure. Returns the serialized size in bytes
+    /// (checkpoint-write metrics).
+    std::size_t save(const std::string& path) const;
 
     /// Throws Error naming --resume on I/O failure, bad magic, unsupported
     /// version, truncation, or checksum mismatch.

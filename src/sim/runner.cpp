@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sim/coverage.hpp"
+#include "sim/live_metrics.hpp"
 #include "support/diagnostics.hpp"
 #include "support/memprobe.hpp"
 
@@ -111,11 +112,14 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         result.path_errors = result.terminals[static_cast<std::size_t>(PathTerminal::Error)];
         while (next_mark <= ck.cursor) next_mark *= 2;
     }
+    LiveRunMetrics live(options.metrics, control.budget);
     auto save_checkpoint = [&] {
-        make_run_checkpoint(control, seed, property.text, strategy.name(),
-                            criterion.name(), summary.count, summary.successes,
-                            total_steps, result.terminals, result.error_log)
-            .save(control.checkpoint_path);
+        const std::size_t bytes =
+            make_run_checkpoint(control, seed, property.text, strategy.name(),
+                                criterion.name(), summary.count, summary.successes,
+                                total_steps, result.terminals, result.error_log)
+                .save(control.checkpoint_path);
+        live.add_checkpoint(bytes);
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count + control.checkpoint_every : 0;
@@ -123,6 +127,10 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
     const bool capture = options.witness.per_kind > 0;
     WitnessBuffer witness_buffer(options.witness.per_kind);
     const ProgressFn& progress = options.progress.callback;
+    // ETA snapshots account for active budget caps (sim/observe.hpp).
+    ProgressOptions progress_options = options.progress;
+    progress_options.budget_max_seconds = control.budget.max_wall_seconds;
+    progress_options.budget_max_samples = control.budget.max_samples;
     auto last_progress = start;
     auto elapsed = [&] {
         return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -156,6 +164,7 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                     // message is quarantined (bounded).
                     out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
                     quarantine_error(result.error_log, path_index, e.what());
+                    live.add_quarantined();
                 }
             } else {
                 out = gen.run(rng);
@@ -167,6 +176,7 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
             }
             ++path_index;
             summary.add(out.satisfied);
+            live.add_samples(1);
             ++result.terminals[static_cast<std::size_t>(out.terminal)];
             if (out.terminal == PathTerminal::Error) ++result.path_errors;
             total_steps += out.steps;
@@ -178,21 +188,25 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                 save_checkpoint();
                 next_checkpoint += control.checkpoint_every;
             }
-            if (progress) {
+            if (progress || live) {
                 const auto now = std::chrono::steady_clock::now();
                 if (std::chrono::duration<double>(now - last_progress).count() >=
                     options.progress.min_interval_seconds) {
-                    progress(make_progress_snapshot(summary.count, summary.successes,
-                                                    required, elapsed(),
-                                                    options.progress));
+                    const ProgressSnapshot snap =
+                        make_progress_snapshot(summary.count, summary.successes,
+                                               required, elapsed(), progress_options);
+                    live.on_snapshot(snap);
+                    if (progress) progress(snap);
                     last_progress = now;
                 }
             }
         }
     }
-    if (progress) {
-        progress(make_progress_snapshot(summary.count, summary.successes, required,
-                                        elapsed(), options.progress));
+    if (progress || live) {
+        const ProgressSnapshot snap = make_progress_snapshot(
+            summary.count, summary.successes, required, elapsed(), progress_options);
+        live.on_snapshot(snap);
+        if (progress) progress(snap);
     }
     run_span.end();
 
@@ -204,6 +218,7 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         replay_options.trace_lane = nullptr;
         replay_options.coverage = false;
         replay_options.coverage_shard = nullptr;
+        replay_options.metrics = nullptr;
         const PathGenerator replay_gen(net, property, strategy, replay_options);
         const WitnessBuffer buffers[] = {witness_buffer};
         const std::uint64_t accepted[] = {summary.count};
@@ -360,17 +375,23 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
         result.path_errors = result.terminals[static_cast<std::size_t>(PathTerminal::Error)];
         while (next_mark <= ck.cursor) next_mark *= 2;
     }
+    LiveRunMetrics live(options.metrics, control.budget);
     auto save_checkpoint = [&] {
-        make_run_checkpoint(control, seed, property.text, strategy.name(),
-                            criterion.name(), summary.count(), last.successes,
-                            total_steps, result.terminals, result.error_log,
-                            curve.bounds, summary.tree())
-            .save(control.checkpoint_path);
+        const std::size_t bytes =
+            make_run_checkpoint(control, seed, property.text, strategy.name(),
+                                criterion.name(), summary.count(), last.successes,
+                                total_steps, result.terminals, result.error_log,
+                                curve.bounds, summary.tree())
+                .save(control.checkpoint_path);
+        live.add_checkpoint(bytes);
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count() + control.checkpoint_every : 0;
 
     const ProgressFn& progress = options.progress.callback;
+    ProgressOptions progress_options = options.progress;
+    progress_options.budget_max_seconds = control.budget.max_wall_seconds;
+    progress_options.budget_max_samples = control.budget.max_samples;
     auto last_progress = start;
     auto elapsed = [&] {
         return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -394,6 +415,7 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
             } catch (const std::exception& e) {
                 out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
                 quarantine_error(result.error_log, path_index, e.what());
+                live.add_quarantined();
             }
         } else {
             out = gen.run(rng);
@@ -401,6 +423,7 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
         ++path_index;
         summary.add(out.satisfied, out.end_time);
         last.add(out.satisfied);
+        live.add_samples(1);
         ++result.terminals[static_cast<std::size_t>(out.terminal)];
         if (out.terminal == PathTerminal::Error) ++result.path_errors;
         total_steps += out.steps;
@@ -412,19 +435,24 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
             save_checkpoint();
             next_checkpoint += control.checkpoint_every;
         }
-        if (progress) {
+        if (progress || live) {
             const auto now = std::chrono::steady_clock::now();
             if (std::chrono::duration<double>(now - last_progress).count() >=
                 options.progress.min_interval_seconds) {
-                progress(make_progress_snapshot(summary.count(), last.successes, required,
-                                                elapsed(), options.progress));
+                const ProgressSnapshot snap = make_progress_snapshot(
+                    summary.count(), last.successes, required, elapsed(),
+                    progress_options);
+                live.on_snapshot(snap);
+                if (progress) progress(snap);
                 last_progress = now;
             }
         }
     }
-    if (progress) {
-        progress(make_progress_snapshot(summary.count(), last.successes, required,
-                                        elapsed(), options.progress));
+    if (progress || live) {
+        const ProgressSnapshot snap = make_progress_snapshot(
+            summary.count(), last.successes, required, elapsed(), progress_options);
+        live.on_snapshot(snap);
+        if (progress) progress(snap);
     }
     run_span.end();
 

@@ -1,11 +1,38 @@
 #include "stat/collector.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "stat/curve.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slimsim::stat {
+
+namespace {
+
+/// Times one drain call into the latency histogram; reads the wall clock
+/// only when metrics are attached.
+class DrainTimer {
+public:
+    explicit DrainTimer(metrics::Histogram* h) : h_(h) {
+        if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~DrainTimer() {
+        if (h_ != nullptr) {
+            h_->observe(0, std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count());
+        }
+    }
+    DrainTimer(const DrainTimer&) = delete;
+    DrainTimer& operator=(const DrainTimer&) = delete;
+
+private:
+    metrics::Histogram* h_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
 
 SampleCollector::SampleCollector(std::size_t worker_count)
     : buffers_(worker_count), consumed_(worker_count, 0) {
@@ -18,6 +45,7 @@ void SampleCollector::push(std::size_t worker, TaggedSample sample) {
     buffers_[worker].push_back(sample);
     ++pushed_;
     max_buffered_ = std::max(max_buffered_, pushed_ - accepted_);
+    if (m_depth_ != nullptr) m_depth_->set(static_cast<double>(pushed_ - accepted_));
 }
 
 void SampleCollector::consume_locked(BernoulliSummary& summary, std::size_t worker,
@@ -41,6 +69,7 @@ std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary, std::size_t
                                           std::vector<std::uint64_t>* tag_counts,
                                           std::uint64_t* steps) {
     std::lock_guard lock(mutex_);
+    const DrainTimer timer(m_drain_);
     std::size_t rounds = buffers_.front().size();
     for (const auto& b : buffers_) rounds = std::min(rounds, b.size());
     rounds = std::min(rounds, max_rounds);
@@ -53,6 +82,7 @@ std::size_t SampleCollector::drain_rounds(BernoulliSummary& summary, std::size_t
         }
     }
     rounds_ += rounds;
+    if (m_depth_ != nullptr) m_depth_->set(static_cast<double>(pushed_ - accepted_));
     return rounds * buffers_.size();
 }
 
@@ -64,11 +94,25 @@ void SampleCollector::set_trace(tracer::Lane* lane) {
     }
 }
 
+void SampleCollector::set_metrics(metrics::Registry* registry) {
+    if (registry == nullptr) {
+        m_depth_ = nullptr;
+        m_drain_ = nullptr;
+        return;
+    }
+    m_depth_ = &registry->gauge("slimsim_collector_queue_depth",
+                                "Samples buffered across worker queues (live).");
+    m_drain_ = &registry->histogram("slimsim_collector_drain_seconds",
+                                    "Wall-clock seconds per collector drain call.",
+                                    metrics::time_buckets());
+}
+
 std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSummary* curve,
                                            std::vector<std::uint64_t>* tag_counts,
                                            const std::function<bool()>& done,
                                            std::uint64_t* steps) {
     std::lock_guard lock(mutex_);
+    const DrainTimer timer(m_drain_);
     std::size_t consumed = 0;
     while (!buffers_[cursor_].empty()) {
         consume_locked(summary, cursor_, tag_counts, curve, steps);
@@ -82,6 +126,7 @@ std::size_t SampleCollector::drain_ordered(BernoulliSummary& summary, CurveSumma
         }
         if (done()) break;
     }
+    if (m_depth_ != nullptr) m_depth_->set(static_cast<double>(pushed_ - accepted_));
     return consumed;
 }
 
@@ -89,6 +134,7 @@ std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary,
                                              std::vector<std::uint64_t>* tag_counts,
                                              std::uint64_t* steps) {
     std::lock_guard lock(mutex_);
+    const DrainTimer timer(m_drain_);
     std::size_t consumed = 0;
     for (std::size_t w = 0; w < buffers_.size(); ++w) {
         while (!buffers_[w].empty()) {
@@ -96,6 +142,7 @@ std::size_t SampleCollector::drain_unordered(BernoulliSummary& summary,
             ++consumed;
         }
     }
+    if (m_depth_ != nullptr) m_depth_->set(static_cast<double>(pushed_ - accepted_));
     return consumed;
 }
 

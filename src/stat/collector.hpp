@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "stat/bernoulli.hpp"
+#include "support/metrics.hpp"
 #include "support/telemetry.hpp"
 #include "support/tracer/tracer.hpp"
 
@@ -106,6 +107,11 @@ public:
     /// lane must be owned by the draining thread.
     void set_trace(tracer::Lane* lane);
 
+    /// Attaches a live metrics registry (docs/observability.md): a queue-
+    /// depth gauge (buffered samples, updated on push/drain) and a drain-
+    /// latency histogram (seconds per drain call). Null detaches.
+    void set_metrics(metrics::Registry* registry);
+
 private:
     void consume_locked(BernoulliSummary& summary, std::size_t worker,
                         std::vector<std::uint64_t>* tag_counts,
@@ -122,6 +128,8 @@ private:
     tracer::Lane* lane_ = nullptr;
     tracer::NameId n_round_ = tracer::kNoName;
     tracer::NameId n_arg_accepted_ = tracer::kNoName;
+    metrics::Gauge* m_depth_ = nullptr;
+    metrics::Histogram* m_drain_ = nullptr;
 };
 
 } // namespace slimsim::stat

@@ -1,0 +1,168 @@
+#include "support/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::http {
+
+namespace {
+
+const char* status_text(int status) {
+    switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 400: return "Bad Request";
+    default: return "Internal Server Error";
+    }
+}
+
+void send_all(int fd, std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return; // client went away; nothing to do
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+std::uint16_t Server::start(std::uint16_t port, Handler handler) {
+    if (thread_.joinable()) throw Error("http server already started");
+    SLIMSIM_ASSERT(handler);
+
+    if (::pipe(wake_fds_) != 0) {
+        throw Error(std::string("http server: pipe failed: ") + std::strerror(errno));
+    }
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        stop();
+        throw Error(std::string("http server: socket failed: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        stop();
+        throw Error("http server: bind to 127.0.0.1:" + std::to_string(port) +
+                    " failed: " + why);
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        const std::string why = std::strerror(errno);
+        stop();
+        throw Error(std::string("http server: listen failed: ") + why);
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        const std::string why = std::strerror(errno);
+        stop();
+        throw Error(std::string("http server: getsockname failed: ") + why);
+    }
+    port_ = ntohs(bound.sin_port);
+
+    handler_ = std::move(handler);
+    thread_ = std::thread([this] { loop(); });
+    return port_;
+}
+
+void Server::stop() {
+    if (thread_.joinable()) {
+        const char byte = 'x';
+        [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+        thread_.join();
+    }
+    for (int* fd : {&listen_fd_, &wake_fds_[0], &wake_fds_[1]}) {
+        if (*fd >= 0) {
+            ::close(*fd);
+            *fd = -1;
+        }
+    }
+    port_ = 0;
+    handler_ = nullptr;
+}
+
+void Server::loop() {
+    for (;;) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return;
+        }
+        if ((fds[1].revents & POLLIN) != 0) return; // stop() woke us
+        if ((fds[0].revents & POLLIN) == 0) continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+        serve_connection(client);
+        ::close(client);
+    }
+}
+
+void Server::serve_connection(int fd) {
+    // Bound the time a stalled client can hold the (single) server thread.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    // Read until the end of the request head; the body (if any) is ignored.
+    std::string head;
+    char buf[1024];
+    while (head.find("\r\n\r\n") == std::string::npos && head.size() < 16 * 1024) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return;
+        }
+        head.append(buf, static_cast<std::size_t>(n));
+    }
+
+    Response res;
+    const std::size_t line_end = head.find("\r\n");
+    const std::string request_line =
+        head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        res = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (request_line.substr(0, sp1) != "GET") {
+        res = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+        std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+        res = handler_(path);
+    }
+
+    std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                      status_text(res.status) + "\r\n";
+    out += "Content-Type: " + res.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += res.body;
+    send_all(fd, out);
+}
+
+} // namespace slimsim::http

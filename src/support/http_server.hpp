@@ -1,0 +1,59 @@
+// Embedded HTTP/1.1 exporter (docs/observability.md): a minimal
+// blocking-accept server on one dedicated thread, serving the live
+// observability endpoints (/metrics, /status, /healthz) of a running
+// analysis to Prometheus scrapers and curl.
+//
+// Deliberately tiny: GET only, one request per connection
+// (Connection: close), loopback bind. The accept loop multiplexes the
+// listening socket against a self-pipe with poll(), so stop() — called on
+// run end or from the SIGINT path's normal unwind — wakes the thread
+// immediately instead of waiting for the next connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace slimsim::http {
+
+struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/// Invoked on the server thread with the request path (query string
+/// stripped); must be thread-safe against the run it observes.
+using Handler = std::function<Response(const std::string& path)>;
+
+class Server {
+public:
+    Server() = default;
+    ~Server() { stop(); }
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the accept thread and
+    /// returns the bound port. Throws Error on bind failure or double start.
+    std::uint16_t start(std::uint16_t port, Handler handler);
+
+    /// Joins the accept thread and closes the socket; idempotent.
+    void stop();
+
+    /// Bound port while running, 0 otherwise.
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+private:
+    void loop();
+    void serve_connection(int fd);
+
+    int listen_fd_ = -1;
+    int wake_fds_[2] = {-1, -1}; // self-pipe: stop() writes, loop() polls
+    std::uint16_t port_ = 0;
+    Handler handler_;
+    std::thread thread_;
+};
+
+} // namespace slimsim::http

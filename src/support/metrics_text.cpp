@@ -7,72 +7,50 @@ namespace slimsim::telemetry {
 
 namespace {
 
-/// Escapes a label value (backslash, double quote, newline).
-std::string label_escape(std::string_view s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-        case '\\': out += "\\\\"; break;
-        case '"': out += "\\\""; break;
-        case '\n': out += "\\n"; break;
-        default: out.push_back(c);
-        }
-    }
-    return out;
+using metrics::label;
+
+/// Every family name prometheus_text may emit; appended live-registry
+/// families with these names are skipped so the merged exposition never
+/// repeats a `# TYPE` header.
+const std::vector<std::string>& report_family_names() {
+    static const std::vector<std::string> kNames = {
+        "slimsim_info",
+        "slimsim_param",
+        "slimsim_result_value",
+        "slimsim_samples_total",
+        "slimsim_successes_total",
+        "slimsim_terminal_paths_total",
+        "slimsim_curve_simultaneous_eps",
+        "slimsim_curve_estimate",
+        "slimsim_curve_successes_total",
+        "slimsim_coverage_paths_total",
+        "slimsim_coverage_elements_known",
+        "slimsim_coverage_elements_covered",
+        "slimsim_coverage_unreached_modes",
+        "slimsim_coverage_never_fired_transitions",
+        "slimsim_coverage_mode_visits_total",
+        "slimsim_coverage_mode_occupancy_seconds",
+        "slimsim_coverage_transition_fires_total",
+        "slimsim_coverage_decisions_total",
+        "slimsim_run_info",
+        "slimsim_workers",
+        "slimsim_wall_seconds",
+        "slimsim_phase_seconds",
+        "slimsim_timer_seconds_total",
+        "slimsim_counter_total",
+        "slimsim_histogram_events_total",
+        "slimsim_collector_rounds_total",
+        "slimsim_collector_discarded_total",
+        "slimsim_collector_max_buffered",
+        "slimsim_peak_rss_bytes",
+    };
+    return kNames;
 }
-
-std::string label(std::string_view name, std::string_view value) {
-    return std::string(name) + "=\"" + label_escape(value) + "\"";
-}
-
-/// One metric family: a # TYPE line followed by all its samples.
-class Exposition {
-public:
-    void family(std::string_view name, std::string_view type) {
-        out_ += "# TYPE ";
-        out_ += name;
-        out_ += ' ';
-        out_ += type;
-        out_ += '\n';
-        family_ = name;
-    }
-
-    void sample(std::string_view labels, std::string_view value) {
-        out_ += family_;
-        if (!labels.empty()) {
-            out_ += '{';
-            out_ += labels;
-            out_ += '}';
-        }
-        out_ += ' ';
-        out_ += value;
-        out_ += '\n';
-    }
-
-    void gauge(std::string_view name, std::string_view labels, double value) {
-        family(name, "gauge");
-        sample(labels, json::format_double(value));
-    }
-
-    void counter(std::string_view name, std::string_view labels, std::uint64_t value) {
-        family(name, "counter");
-        sample(labels, std::to_string(value));
-    }
-
-    void raw(std::string_view text) { out_ += text; }
-
-    [[nodiscard]] std::string take() { return std::move(out_); }
-
-private:
-    std::string out_;
-    std::string family_;
-};
 
 } // namespace
 
-std::string prometheus_text(const RunReport& report) {
-    Exposition x;
+std::string prometheus_text(const RunReport& report, const metrics::Registry* live) {
+    metrics::Exposition x;
 
     // --- deterministic section (see header) -------------------------------
     std::string info = label("model", report.model) + "," +
@@ -192,6 +170,8 @@ std::string prometheus_text(const RunReport& report) {
                 static_cast<double>(report.collector.max_buffered));
     }
     x.gauge("slimsim_peak_rss_bytes", "", static_cast<double>(report.peak_rss_bytes));
+
+    if (live != nullptr) live->render(x, report_family_names());
     return x.take();
 }
 

@@ -1,23 +1,33 @@
 #include "support/thread_pool.hpp"
 
+#include <chrono>
 #include <string>
 
 #include "support/diagnostics.hpp"
 
 namespace slimsim {
 
-ThreadPool::ThreadPool(std::size_t worker_count, tracer::Tracer* tracer) {
+ThreadPool::ThreadPool(std::size_t worker_count, tracer::Tracer* tracer,
+                       metrics::Registry* metrics) {
     SLIMSIM_ASSERT(worker_count >= 1);
     workers_.reserve(worker_count);
     tracer::NameId task_name = tracer::kNoName;
     if (tracer != nullptr && tracer->enabled()) task_name = tracer->intern("pool.task");
+    if (metrics != nullptr) {
+        task_seconds_ = &metrics->histogram(
+            "slimsim_pool_task_seconds",
+            "Wall-clock seconds per thread-pool task (utilization = sum over "
+            "elapsed wall time).",
+            metrics::time_buckets());
+    }
     for (std::size_t i = 0; i < worker_count; ++i) {
         tracer::Lane* lane =
             tracer != nullptr && tracer->enabled()
                 ? tracer->lane("pool worker " + std::to_string(i))
                 : nullptr;
+        const std::size_t shard = metrics != nullptr ? i % metrics->shards() : 0;
         workers_.emplace_back(
-            [this, lane, task_name] { worker_loop(lane, task_name); });
+            [this, lane, task_name, shard] { worker_loop(lane, task_name, shard); });
     }
 }
 
@@ -43,7 +53,8 @@ void ThreadPool::wait_idle() {
     idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop(tracer::Lane* lane, tracer::NameId task_name) {
+void ThreadPool::worker_loop(tracer::Lane* lane, tracer::NameId task_name,
+                             std::size_t shard) {
     for (;;) {
         std::function<void()> task;
         {
@@ -56,7 +67,15 @@ void ThreadPool::worker_loop(tracer::Lane* lane, tracer::NameId task_name) {
         }
         {
             tracer::Span span(lane, task_name);
+            std::chrono::steady_clock::time_point start;
+            if (task_seconds_ != nullptr) start = std::chrono::steady_clock::now();
             task();
+            if (task_seconds_ != nullptr) {
+                task_seconds_->observe(
+                    shard, std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+            }
         }
         {
             std::lock_guard lock(mutex_);

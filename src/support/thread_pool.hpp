@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "support/tracer/tracer.hpp"
 
 namespace slimsim {
@@ -21,8 +22,12 @@ public:
     /// Spawns `worker_count` threads (at least 1). With a tracer, each
     /// worker records its tasks as "pool.task" spans on a "pool worker N"
     /// lane (lanes are created in worker order before the threads start,
-    /// so lane ids are deterministic).
-    explicit ThreadPool(std::size_t worker_count, tracer::Tracer* tracer = nullptr);
+    /// so lane ids are deterministic). With a metrics registry, each worker
+    /// observes its task durations into a per-shard histogram
+    /// (slimsim_pool_task_seconds; count × mean over wall time = worker
+    /// utilization), shard = worker index % registry shards.
+    explicit ThreadPool(std::size_t worker_count, tracer::Tracer* tracer = nullptr,
+                        metrics::Registry* metrics = nullptr);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -37,7 +42,7 @@ public:
     void wait_idle();
 
 private:
-    void worker_loop(tracer::Lane* lane, tracer::NameId task_name);
+    void worker_loop(tracer::Lane* lane, tracer::NameId task_name, std::size_t shard);
 
     std::mutex mutex_;
     std::condition_variable wake_;
@@ -46,6 +51,7 @@ private:
     std::vector<std::thread> workers_;
     std::size_t active_ = 0;
     bool stopping_ = false;
+    metrics::Histogram* task_seconds_ = nullptr;
 };
 
 } // namespace slimsim

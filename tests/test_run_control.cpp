@@ -590,5 +590,51 @@ TEST_F(FaultIsolation, SequentialFailFastIsStillTheDefault) {
                  Error);
 }
 
+// Regression: the progress ETA used to extrapolate purely from the stop
+// criterion and could promise hours of work that an active RunBudget would
+// cut short. The reported ETA must be min(criterion ETA, budget remaining).
+TEST(ProgressEta, WallClockBudgetCapsTheCriterionEta) {
+    ProgressOptions o;
+    // Fixed criterion wants 100k samples; at 500 samples/s that is 198 s out.
+    ProgressSnapshot s = make_progress_snapshot(1000, 500, 100'000, 2.0, o);
+    EXPECT_NEAR(s.eta_seconds, 198.0, 1e-9);
+
+    // A 10 s wall budget with 2 s elapsed caps the ETA at 8 s.
+    o.budget_max_seconds = 10.0;
+    s = make_progress_snapshot(1000, 500, 100'000, 2.0, o);
+    EXPECT_NEAR(s.eta_seconds, 8.0, 1e-9);
+
+    // An exhausted wall budget reports 0, never a negative ETA.
+    o.budget_max_seconds = 1.5;
+    s = make_progress_snapshot(1000, 500, 100'000, 2.0, o);
+    EXPECT_DOUBLE_EQ(s.eta_seconds, 0.0);
+}
+
+TEST(ProgressEta, SampleBudgetLowersTheTarget) {
+    ProgressOptions o;
+    o.budget_max_samples = 2000;
+    // 1000 of 2000 budgeted samples done at 500/s: 2 s left, not the 198 s
+    // the 100k-sample criterion alone would extrapolate.
+    ProgressSnapshot s = make_progress_snapshot(1000, 500, 100'000, 2.0, o);
+    EXPECT_NEAR(s.eta_seconds, 2.0, 1e-9);
+
+    // The sample budget also gives an ETA when the criterion has none
+    // (adaptive criterion, eps unset -> target otherwise unknown).
+    o.eps = 0.0;
+    s = make_progress_snapshot(1000, 500, 0, 2.0, o);
+    EXPECT_NEAR(s.eta_seconds, 2.0, 1e-9);
+}
+
+TEST(ProgressEta, UnknownCriterionEtaStillHonoursTheWallBudget) {
+    ProgressOptions o;
+    o.eps = 0.0; // adaptive criterion with no extrapolation target
+    ProgressSnapshot s = make_progress_snapshot(1000, 500, 0, 2.0, o);
+    EXPECT_LT(s.eta_seconds, 0.0); // unknown without a budget
+
+    o.budget_max_seconds = 30.0;
+    s = make_progress_snapshot(1000, 500, 0, 2.0, o);
+    EXPECT_NEAR(s.eta_seconds, 28.0, 1e-9);
+}
+
 } // namespace
 } // namespace slimsim::sim

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (format 0.0.4).
+
+Shared by CI for every exposition the tool emits: the --metrics-out file,
+and live /metrics scrapes from --serve-metrics (docs/observability.md).
+
+Checks:
+  * every sample line parses and appears after its family's # TYPE;
+  * # TYPE kinds are counter / gauge / histogram, no duplicate families;
+  * # HELP, when present, directly precedes the # TYPE of the same family;
+  * counter family names end in _total;
+  * histogram samples only use the _bucket / _sum / _count suffixes,
+    _bucket carries an `le` label, every histogram emits an le="+Inf"
+    bucket and its _count equals the +Inf cumulative count;
+  * label values use only the \\ " and \\n escapes.
+
+Usage: lint_prometheus.py FILE [--require FAMILY]...
+A FILE of `-` reads stdin. Exits non-zero with a message on the first
+violation.
+"""
+
+import argparse
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'      # metric name
+    r'(\{.*\})?'                          # optional label set
+    r' (-?[0-9][0-9eE.+-]*|[+-]Inf|NaN)$' # value
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"')
+HISTOGRAM_SUFFIXES = ('_bucket', '_sum', '_count')
+
+
+def base_family(name, typed):
+    """Resolves a sample name to its family: histogram samples drop the
+    _bucket/_sum/_count suffix."""
+    if name in typed:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in typed:
+            return name[: -len(suffix)]
+    return None
+
+
+def lint(lines, required):
+    typed = {}           # family -> kind
+    pending_help = None  # family named by the directly preceding # HELP
+    inf_buckets = {}     # (family, labels sans le) -> +Inf cumulative count
+    counts = {}          # (family, labels) -> _count value
+
+    for i, line in enumerate(lines, 1):
+        def fail(msg):
+            raise SystemExit(f'{i}: {msg}: {line!r}')
+
+        if line.startswith('# HELP '):
+            parts = line.split(maxsplit=3)
+            if len(parts) < 3:
+                fail('malformed # HELP')
+            pending_help = parts[2]
+            continue
+        if line.startswith('# TYPE '):
+            parts = line.split()
+            if len(parts) != 4:
+                fail('malformed # TYPE')
+            name, kind = parts[2], parts[3]
+            if name in typed:
+                fail(f'duplicate family {name}')
+            if kind not in ('counter', 'gauge', 'histogram'):
+                fail(f'unknown type {kind}')
+            if kind == 'counter' and not name.endswith('_total'):
+                fail(f'counter {name} must end in _total')
+            if pending_help is not None and pending_help != name:
+                fail(f'# HELP {pending_help} does not precede its # TYPE')
+            typed[name] = kind
+            pending_help = None
+            continue
+        pending_help = None
+        if not line or line.startswith('#'):
+            continue  # other comments (e.g. the runtime-metrics marker)
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail('unparseable sample')
+        name, labels, value = m.group(1), m.group(2) or '', m.group(3)
+        family = base_family(name, typed)
+        if family is None:
+            fail(f'sample {name} before any matching # TYPE')
+        kind = typed[family]
+        if kind == 'histogram':
+            if name == family:
+                fail('histogram samples need a _bucket/_sum/_count suffix')
+            if name.endswith('_bucket'):
+                label_map = dict(LABEL_RE.findall(labels.strip('{}')))
+                if 'le' not in label_map:
+                    fail('histogram _bucket sample without an le label')
+                child = tuple(sorted((k, v) for k, v in label_map.items()
+                                     if k != 'le'))
+                if label_map['le'] == '+Inf':
+                    inf_buckets[(family, child)] = int(value)
+            if name.endswith('_count'):
+                child = tuple(sorted(LABEL_RE.findall(labels.strip('{}'))))
+                counts[(family, child)] = int(value)
+        elif name != family:
+            fail(f'sample name {name} does not match its family {family}')
+        if labels:
+            body = labels[1:-1]
+            if LABEL_RE.sub('', body).strip(', ') != '':
+                fail('malformed or badly escaped label set')
+
+    for family, kind in typed.items():
+        if kind != 'histogram':
+            continue
+        for (fam, child), n in counts.items():
+            if fam != family:
+                continue
+            if (fam, child) not in inf_buckets:
+                raise SystemExit(f'histogram {fam}{dict(child)} has no '
+                                 f'le="+Inf" bucket')
+            if inf_buckets[(fam, child)] != n:
+                raise SystemExit(f'histogram {fam}{dict(child)}: _count {n} != '
+                                 f'+Inf bucket {inf_buckets[(fam, child)]}')
+
+    missing = [f for f in required if f not in typed]
+    if missing:
+        raise SystemExit(f'required families missing: {", ".join(missing)}')
+    return len(typed)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('file', help='exposition file, or - for stdin')
+    parser.add_argument('--require', action='append', default=[],
+                        metavar='FAMILY',
+                        help='fail unless this family is present (repeatable)')
+    opts = parser.parse_args()
+    text = sys.stdin.read() if opts.file == '-' else open(opts.file).read()
+    lines = text.splitlines()
+    if not lines:
+        raise SystemExit('empty exposition')
+    families = lint(lines, opts.require)
+    print(f'ok: {families} families, {len(lines)} lines')
+
+
+if __name__ == '__main__':
+    main()

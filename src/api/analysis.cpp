@@ -122,6 +122,7 @@ std::string to_string(AnalysisMode mode) {
     case AnalysisMode::EstimateParallel: return "estimate-parallel";
     case AnalysisMode::HypothesisTest: return "hypothesis-test";
     case AnalysisMode::CtmcFlow: return "ctmc-flow";
+    case AnalysisMode::EstimateSplitting: return "estimate-splitting";
     }
     return "?";
 }
@@ -154,6 +155,15 @@ std::string AnalysisResult::to_string() const {
            << hypothesis.to_string();
         break;
     case AnalysisMode::CtmcFlow: os << "ctmc flow: " << flow.to_string(); break;
+    case AnalysisMode::EstimateSplitting:
+        os << "P( " << report.property << " ) ~= " << value
+           << "  (importance splitting)\n"
+           << splitting.to_string() << "\n"
+           << "terminals:";
+        for (const auto& [name, n] : sim::terminal_histogram(splitting.terminals)) {
+            os << " " << name << "=" << n;
+        }
+        break;
     }
     return os.str();
 }
@@ -168,7 +178,10 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     report.model = request.model_label;
     report.property = request.property.text;
     report.seed = request.seed;
-    report.workers = request.mode == AnalysisMode::EstimateParallel ? request.workers : 1;
+    report.workers = request.mode == AnalysisMode::EstimateParallel ||
+                             request.mode == AnalysisMode::EstimateSplitting
+                         ? std::max<std::size_t>(1, request.workers)
+                         : 1;
     report.phases = request.frontend_phases;
     report.params.emplace_back("bound", request.property.bound);
 
@@ -195,7 +208,8 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     }
     const sim::RunControlOptions& control = request.sim.control;
     if (control.hardened() && request.mode != AnalysisMode::Estimate &&
-        request.mode != AnalysisMode::EstimateParallel) {
+        request.mode != AnalysisMode::EstimateParallel &&
+        request.mode != AnalysisMode::EstimateSplitting) {
         throw Error("run budgets, --fault, --checkpoint and --resume are only "
                     "available in the estimation modes");
     }
@@ -364,6 +378,44 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
                            : 0.0;
         break;
     }
+    case AnalysisMode::EstimateSplitting: {
+        if (!request.curve_bounds.empty()) {
+            throw Error("--split cannot be combined with curve estimation");
+        }
+        if (request.witness.per_kind > 0) {
+            throw Error("--split cannot be combined with witness capture");
+        }
+        report.params.emplace_back("split_factor",
+                                   static_cast<double>(request.splitting.factor));
+        report.params.emplace_back("split_roots",
+                                   static_cast<double>(request.splitting.base_runs));
+        rare::LevelSpec spec;
+        if (request.splitting.auto_levels) {
+            spec.auto_levels = true;
+            spec.text = "auto";
+        } else {
+            spec.expression =
+                rare::make_level_function(net.model(), request.splitting.level);
+            spec.text = request.splitting.level;
+        }
+        rare::SplittingOptions so;
+        so.splitting_factor = request.splitting.factor;
+        so.base_runs = request.splitting.base_runs;
+        so.max_total_paths = request.splitting.max_total_paths;
+        so.pilot_runs = request.splitting.pilot_runs;
+        so.workers = report.workers;
+        so.sim = sim_options;
+        const auto t0 = std::chrono::steady_clock::now();
+        // The splitting sections of the report are deterministic result
+        // content, so they are filled even when full telemetry is off.
+        result.splitting = rare::estimate_splitting(net, request.property,
+                                                    request.strategy, spec, request.seed,
+                                                    so, &report);
+        report.phases.push_back({"simulate", seconds_since(t0)});
+        result.value = result.splitting.estimate;
+        result.coverage = result.splitting.pilot_coverage;
+        break;
+    }
     case AnalysisMode::CtmcFlow: {
         if (request.property.kind != sim::FormulaKind::Reach || request.property.lo != 0.0) {
             throw Error("the CTMC flow supports P( <> [0,u] goal ) only");
@@ -427,6 +479,9 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
             report.verdict = sim::to_string(result.hypothesis.verdict);
             break;
         case AnalysisMode::CtmcFlow: break;
+        // estimate_splitting always receives the report and fills its own
+        // result/run_status/splitting sections.
+        case AnalysisMode::EstimateSplitting: break;
         }
     }
     if (recorder != nullptr && request.telemetry) report.absorb(*recorder);

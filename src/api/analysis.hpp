@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "ctmc/flow.hpp"
+#include "rare/splitting.hpp"
 #include "sim/hypothesis.hpp"
 #include "sim/parallel_runner.hpp"
 #include "support/metrics.hpp"
@@ -37,10 +38,11 @@ struct ServeOptions {
 };
 
 enum class AnalysisMode : std::uint8_t {
-    Estimate,         // sequential Monte Carlo estimation
-    EstimateParallel, // round-based parallel Monte Carlo estimation
-    HypothesisTest,   // Wald SPRT: is P >= threshold?
-    CtmcFlow,         // exhaustive: state space -> CTMC -> uniformization
+    Estimate,          // sequential Monte Carlo estimation
+    EstimateParallel,  // round-based parallel Monte Carlo estimation
+    HypothesisTest,    // Wald SPRT: is P >= threshold?
+    CtmcFlow,          // exhaustive: state space -> CTMC -> uniformization
+    EstimateSplitting, // rare events: fixed importance splitting
 };
 
 [[nodiscard]] std::string to_string(AnalysisMode mode);
@@ -95,6 +97,26 @@ struct AnalysisRequest {
 
     // CtmcFlow.
     ctmc::FlowOptions flow;
+
+    /// EstimateSplitting (docs/rare-events.md): the level function — either
+    /// an expression over data elements (splitting.level, resolved via
+    /// rare::make_level_function) or automatic placement (splitting.auto_
+    /// levels: a pilot run derives levels from the error-state profile) —
+    /// plus the splitting factor and root count. Root trees merge in global
+    /// root order, so splitting results are byte-identical for every
+    /// `workers` count at a fixed seed. Curve bounds, witness capture and
+    /// checkpoint/resume are rejected in this mode; budgets, SIGINT draining
+    /// and the fault policy apply through `sim.control` like every
+    /// estimation mode.
+    struct SplittingQuery {
+        std::string level;       // level expression text ("" with auto_levels)
+        bool auto_levels = false;
+        std::size_t factor = 8;
+        std::size_t base_runs = 4096;
+        std::size_t max_total_paths = 10'000'000;
+        std::size_t pilot_runs = 256;
+    };
+    SplittingQuery splitting;
 
     /// Collect the telemetry run report (counters, histograms, phase
     /// timings). Off: the report carries identity/result fields only and
@@ -161,10 +183,11 @@ struct AnalysisResult {
     /// success ratio (the verdict is in `hypothesis` and the report).
     double value = 0.0;
 
-    sim::EstimationResult estimation; // Estimate / EstimateParallel
-    sim::CurveResult curve;           // estimation modes with curve_bounds set
-    sim::HypothesisResult hypothesis; // HypothesisTest
-    ctmc::FlowResult flow;            // CtmcFlow
+    sim::EstimationResult estimation;  // Estimate / EstimateParallel
+    sim::CurveResult curve;            // estimation modes with curve_bounds set
+    sim::HypothesisResult hypothesis;  // HypothesisTest
+    ctmc::FlowResult flow;             // CtmcFlow
+    rare::SplittingResult splitting;   // EstimateSplitting
 
     /// Coverage profile (enabled=false unless request.coverage was set).
     /// Identical to the report's "coverage" section.

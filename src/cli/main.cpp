@@ -69,6 +69,22 @@ void usage() {
         "  --test THRESHOLD     qualitative mode: SPRT test of P >= THRESHOLD\n"
         "  --indifference W     SPRT indifference half-width (default 0.01)\n"
         "  --fmea               FMEA table for the failure condition (the goal)\n"
+        "\n"
+        "rare events (docs/rare-events.md):\n"
+        "  --split EXPR         estimate a rare event by fixed importance\n"
+        "                       splitting: EXPR is an integer level function\n"
+        "                       over data elements that grows toward the goal\n"
+        "                       (e.g. 'sys.failed_count')\n"
+        "  --split-auto         derive the level function automatically from\n"
+        "                       the error-model state profile via a pilot run\n"
+        "  --split-factor N     clones per first upward level crossing\n"
+        "                       (default 8)\n"
+        "  --split-roots N      root paths at level 0 (default 4096)\n"
+        "  --split-max-paths N  budget on total simulated paths across all\n"
+        "                       levels (default 10000000); on exhaustion the\n"
+        "                       partial estimate is returned (exit 0)\n"
+        "  --split-pilot N      pilot paths for --split-auto level placement\n"
+        "                       (default 256)\n"
         "  --cut-sets K         minimal static cut sets up to order K\n"
         "  --validate           parse, instantiate and validate only\n"
         "  --info               print the instantiated model inventory\n"
@@ -259,6 +275,12 @@ int run(int argc, char** argv) {
     std::string checkpoint_path;
     std::string resume_path;
     std::uint64_t checkpoint_every = 0;
+    std::string split_level;
+    bool split_auto = false;
+    std::size_t split_factor = 8;
+    std::size_t split_roots = 4096;
+    std::size_t split_max_paths = 10'000'000;
+    std::size_t split_pilot = 256;
     sim::RunBudget budget;
     sim::FaultPolicy fault;
     sim::SimOptions sim_options;
@@ -357,6 +379,19 @@ int run(int argc, char** argv) {
             if (serve_port > 65535) {
                 throw Error("--serve-metrics: port must be in [0, 65535]");
             }
+        } else if (arg == "--split") {
+            split_level = need_value(i, "--split");
+        } else if (arg == "--split-auto") {
+            split_auto = true;
+        } else if (arg == "--split-factor") {
+            split_factor = parse_count(need_value(i, "--split-factor"), "--split-factor");
+        } else if (arg == "--split-roots") {
+            split_roots = parse_count(need_value(i, "--split-roots"), "--split-roots");
+        } else if (arg == "--split-max-paths") {
+            split_max_paths = parse_count(need_value(i, "--split-max-paths"),
+                                          "--split-max-paths");
+        } else if (arg == "--split-pilot") {
+            split_pilot = parse_count(need_value(i, "--split-pilot"), "--split-pilot");
         } else if (arg == "--ctmc") {
             use_ctmc = true;
         } else if (arg == "--test") {
@@ -568,9 +603,24 @@ int run(int argc, char** argv) {
                                        static_cast<double>(curve_grid));
         }
     }
+    // Rare-event splitting mode (docs/rare-events.md).
+    const bool splitting_mode = split_auto || !split_level.empty();
+    if (split_auto && !split_level.empty()) {
+        throw Error("--split and --split-auto are mutually exclusive");
+    }
+    if (splitting_mode && (use_ctmc || test_threshold >= 0.0)) {
+        throw Error("--split is an estimation mode (not --ctmc / --test)");
+    }
+    if (splitting_mode && !witness_dir.empty()) {
+        throw Error("--split cannot be combined with witness capture");
+    }
+
     if (!req.curve_bounds.empty()) {
         if (use_ctmc || test_threshold >= 0.0) {
             throw Error("--curve is an estimation mode (not --ctmc / --test)");
+        }
+        if (splitting_mode) {
+            throw Error("--split cannot be combined with curve estimation");
         }
         if (curve_band_name == "bonferroni") {
             req.curve_band = stat::BandKind::Bonferroni;
@@ -582,8 +632,10 @@ int run(int argc, char** argv) {
         throw Error("--curve-csv needs --curve or --curve-grid");
     }
 
-    if (coverage && (use_ctmc || test_threshold >= 0.0)) {
-        throw Error("--coverage is an estimation-mode option (not --ctmc / --test)");
+    if (coverage && (use_ctmc || test_threshold >= 0.0 || splitting_mode)) {
+        throw Error("--coverage is an estimation-mode option (not --ctmc / --test / "
+                    "--split; --split-auto fills the report's coverage section from "
+                    "the pilot run)");
     }
     req.coverage = coverage;
 
@@ -594,6 +646,15 @@ int run(int argc, char** argv) {
         req.mode = AnalysisMode::HypothesisTest;
         req.threshold = test_threshold;
         req.indifference = indifference;
+    } else if (splitting_mode) {
+        req.mode = AnalysisMode::EstimateSplitting;
+        req.workers = workers;
+        req.splitting.level = split_level;
+        req.splitting.auto_levels = split_auto;
+        req.splitting.factor = split_factor;
+        req.splitting.base_runs = split_roots;
+        req.splitting.max_total_paths = split_max_paths;
+        req.splitting.pilot_runs = split_pilot;
     } else if (workers > 1) {
         req.mode = AnalysisMode::EstimateParallel;
         req.workers = workers;
@@ -613,6 +674,10 @@ int run(int argc, char** argv) {
     }
     if (checkpoint_every > 0 && checkpoint_path.empty()) {
         throw Error("--checkpoint-every needs --checkpoint FILE");
+    }
+    if (splitting_mode &&
+        (!checkpoint_path.empty() || checkpoint_every > 0 || !resume_path.empty())) {
+        throw Error("--split does not support --checkpoint / --resume");
     }
     if (!resume_path.empty() && coverage) {
         throw Error("--resume cannot be combined with --coverage");
@@ -636,7 +701,8 @@ int run(int argc, char** argv) {
         control.resume = &*resume_ck;
     }
     if (req.mode == AnalysisMode::Estimate ||
-        req.mode == AnalysisMode::EstimateParallel) {
+        req.mode == AnalysisMode::EstimateParallel ||
+        req.mode == AnalysisMode::EstimateSplitting) {
         sim::install_signal_handlers();
         control.interrupt = sim::interrupt_flag();
     }
@@ -780,14 +846,20 @@ int run(int argc, char** argv) {
     }
     std::printf("%s\n", res.to_string().c_str());
     if (req.mode == AnalysisMode::Estimate ||
-        req.mode == AnalysisMode::EstimateParallel) {
+        req.mode == AnalysisMode::EstimateParallel ||
+        req.mode == AnalysisMode::EstimateSplitting) {
         // A budget, signal or error-budget stop is a *partial* result, not a
         // failure: one warning line, exit 0 (docs/robustness.md).
         const bool curve_mode = !res.curve.points.empty();
+        const bool split_mode = req.mode == AnalysisMode::EstimateSplitting;
         const sim::RunStatus status =
-            curve_mode ? res.curve.status : res.estimation.status;
+            split_mode ? res.splitting.status
+            : curve_mode ? res.curve.status
+                         : res.estimation.status;
         const std::string& cause =
-            curve_mode ? res.curve.stop_cause : res.estimation.stop_cause;
+            split_mode ? res.splitting.stop_cause
+            : curve_mode ? res.curve.stop_cause
+                         : res.estimation.stop_cause;
         if (status != sim::RunStatus::Converged) {
             std::fprintf(stderr, "warning: run %s: %s\n",
                          sim::to_string(status).c_str(), cause.c_str());

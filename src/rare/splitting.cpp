@@ -1,48 +1,125 @@
 #include "rare/splitting.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "expr/compile.hpp"
 #include "expr/eval.hpp"
+#include "sim/coverage.hpp"
 #include "sim/property.hpp"
+#include "sim/runner.hpp"
 #include "slim/parser.hpp"
+#include "stat/bernoulli.hpp"
 
 namespace slimsim::rare {
 
 std::string SplittingResult::to_string() const {
+    // Deliberately no wall time here: this line is deterministic in
+    // (seed, workers); wall clock lives in the report's runtime section.
     std::ostringstream os;
     os << "p^ = " << estimate << " (" << base_runs << " roots, " << total_paths
-       << " paths, " << goal_hits << " goal hits, max level " << max_level_seen << ", "
-       << wall_seconds << " s)";
+       << " paths, " << goal_hits << " goal hits, max level " << max_level_seen
+       << ", rel. half-width " << relative_half_width << ")";
     return os.str();
 }
 
 expr::ExprPtr make_level_function(const slim::InstanceModel& model,
                                   std::string_view source) {
-    expr::ExprPtr e = slim::parse_expression(source, "<level>");
-    // Resolve against the global table; reuse the property plumbing but
-    // require an integer result.
-    // resolve_goal() insists on bool, so resolve manually here.
-    slim::SymbolTable table;
-    for (const auto& v : model.vars) {
-        slim::Symbol sym;
-        sym.name = v.full_name;
-        sym.kind = slim::SymKind::Data;
-        sym.type = v.type;
-        table.add(std::move(sym));
+    // Any failure surfaces as the one-line `--split: ...` diagnostic the CLI
+    // convention expects (docs/robustness.md).
+    try {
+        expr::ExprPtr e = slim::parse_expression(source, "<level>");
+        // Resolve against the global table; reuse the property plumbing but
+        // require an integer result. resolve_goal() insists on bool, so
+        // resolve manually here.
+        slim::SymbolTable table;
+        for (const auto& v : model.vars) {
+            slim::Symbol sym;
+            sym.name = v.full_name;
+            sym.kind = slim::SymKind::Data;
+            sym.type = v.type;
+            table.add(std::move(sym));
+        }
+        DiagnosticSink sink;
+        slim::resolve_expr(*e, table, sink);
+        sink.throw_if_errors("level function resolution");
+        if (!e->type.is_int()) {
+            throw Error(e->loc, "the level function must be integer-valued");
+        }
+        return e;
+    } catch (const Error& err) {
+        std::string msg = err.what();
+        // One line only: fold the first diagnostic of a multi-line resolution
+        // summary into the headline and drop the rest.
+        if (const auto nl = msg.find('\n'); nl != std::string::npos) {
+            std::string first = msg.substr(nl + 1, msg.find('\n', nl + 1) - nl - 1);
+            msg.resize(nl);
+            if (const auto start = first.find_first_not_of(" \t");
+                start != std::string::npos) {
+                msg += ' ';
+                msg.append(first, start, std::string::npos);
+            }
+        }
+        throw Error("--split: " + msg);
     }
-    DiagnosticSink sink;
-    slim::resolve_expr(*e, table, sink);
-    sink.throw_if_errors("level function resolution");
-    if (!e->type.is_int()) {
-        throw Error(e->loc, "the level function must be integer-valued");
-    }
-    return e;
 }
 
 namespace {
+
+/// Level-function configuration shared by every worker: either a compiled
+/// user expression, or the structural auto level — the number of
+/// error-model processes outside their initial location, thresholded at the
+/// pilot-derived raw values.
+struct LevelConfig {
+    expr::ProgramPtr program; // null selects the structural level
+    /// (process index, initial location) of every error-model process.
+    std::vector<std::pair<std::size_t, int>> error_procs;
+    /// Ascending raw values promoted to splitting levels (auto mode); the
+    /// mapped level of raw r is the number of thresholds <= r.
+    std::vector<int> thresholds;
+};
+
+/// Per-worker level evaluator (owns its EvalScratch).
+class LevelFn {
+public:
+    explicit LevelFn(const LevelConfig& cfg) : cfg_(&cfg) {}
+
+    /// The raw level: the user expression's value, or the error-state count.
+    int raw(const eda::NetworkState& s) {
+        if (cfg_->program != nullptr) {
+            return static_cast<int>(cfg_->program->run(s.values, scratch_).as_int());
+        }
+        int n = 0;
+        for (const auto& [p, init] : cfg_->error_procs) {
+            n += static_cast<int>(s.locations[p] != init);
+        }
+        return n;
+    }
+
+    /// The splitting level: raw for expression levels, thresholded for auto.
+    int operator()(const eda::NetworkState& s) {
+        const int r = raw(s);
+        if (cfg_->program != nullptr) return r;
+        int level = 0;
+        for (const int t : cfg_->thresholds) {
+            if (r < t) break;
+            ++level;
+        }
+        return level;
+    }
+
+private:
+    const LevelConfig* cfg_;
+    expr::EvalScratch scratch_;
+};
 
 /// A path in flight: its state, RNG stream, progress counters and splitting
 /// bookkeeping (weight and highest level already rewarded).
@@ -54,94 +131,539 @@ struct Job {
     int level = 0;
 };
 
-/// Level function compiled once per run; one program evaluation per probe.
-class LevelFn {
-public:
-    explicit LevelFn(const expr::Expr& level) : prog_(expr::compile(level)) {}
-    int operator()(const eda::NetworkState& s) {
-        return static_cast<int>(prog_->run(s.values, scratch_).as_int());
+struct LevelAccum {
+    std::uint64_t crossings = 0;
+    std::uint64_t clones = 0;
+};
+
+/// Everything one root tree (the root path plus all clones) contributes to
+/// the estimate. Samples merge in global root order, so every accumulation
+/// below is deterministic in the seed alone.
+struct RootSample {
+    double weighted_hits = 0.0;
+    std::uint64_t paths = 0;
+    std::uint64_t steps = 0; // discrete steps newly simulated in this tree
+    std::uint64_t goal_hits = 0;
+    int max_level = 0;
+    std::map<int, LevelAccum> levels;
+    std::array<std::size_t, sim::kPathTerminalCount> terminals{};
+    bool error = false; // the tree threw; the fault policy decides
+    std::string error_msg;
+    bool aborted = false; // abandoned (stop flag / interrupt / path cap)
+    bool cap_hit = false; // aborted because it alone exceeded max_total_paths
+};
+
+struct TreeContext {
+    const sim::PathGenerator* gen = nullptr;
+    LevelFn* level = nullptr;
+    std::size_t factor = 1;
+    std::size_t max_total_paths = 0;
+    const std::atomic<bool>* stop = nullptr;      // consumer's drain flag
+    const std::atomic<bool>* interrupt = nullptr; // SIGINT/SIGTERM flag
+};
+
+/// Simulates root tree `root_index`. Every stream of the tree comes from the
+/// family Rng(seed).split(root_index): the root path uses child 0, clones
+/// take children 1, 2, ... in spawn order — a pure function of the tree
+/// itself, never of scheduling, so the tree is byte-identical no matter
+/// which worker runs it.
+RootSample simulate_tree(const TreeContext& ctx, const eda::Network& net,
+                         std::uint64_t seed, std::size_t root_index) {
+    RootSample out;
+    const Rng root_master = Rng(seed).split(root_index);
+    std::uint64_t stream = 0;
+
+    std::vector<Job> stack;
+    {
+        Job job;
+        job.state = net.initial_state();
+        job.rng = root_master.split(stream++);
+        job.level = (*ctx.level)(job.state);
+        stack.push_back(std::move(job));
+    }
+    while (!stack.empty()) {
+        // The clone loop is the liveness point: budgets and SIGINT are acted
+        // on here, between paths, never mid-path.
+        if ((ctx.stop != nullptr && ctx.stop->load(std::memory_order_relaxed)) ||
+            (ctx.interrupt != nullptr &&
+             ctx.interrupt->load(std::memory_order_relaxed))) {
+            out.aborted = true;
+            return out;
+        }
+        if (out.paths >= ctx.max_total_paths) {
+            out.aborted = true;
+            out.cap_hit = true;
+            return out;
+        }
+        Job job = std::move(stack.back());
+        stack.pop_back();
+        ++out.paths;
+        const std::size_t steps0 = job.steps;
+        std::optional<sim::PathOutcome> outcome;
+        for (;;) {
+            // First crossing of a higher level by this lineage: clone and
+            // share the statistical weight. A single step that jumps d
+            // levels splits d times — once per level, each division paired
+            // with factor-1 clones at the divided weight — so total weight
+            // is conserved at every crossing and the estimator stays
+            // unbiased on multi-level jumps.
+            const int now = (*ctx.level)(job.state);
+            while (now > job.level) {
+                ++job.level;
+                out.max_level = std::max(out.max_level, job.level);
+                LevelAccum& acc = out.levels[job.level];
+                ++acc.crossings;
+                if (ctx.factor > 1) {
+                    job.weight /= static_cast<double>(ctx.factor);
+                    for (std::size_t c = 1; c < ctx.factor; ++c) {
+                        Job clone;
+                        clone.state = job.state;
+                        clone.rng = root_master.split(stream++);
+                        clone.steps = job.steps;
+                        clone.weight = job.weight;
+                        clone.level = job.level;
+                        stack.push_back(std::move(clone));
+                        ++acc.clones;
+                    }
+                }
+            }
+            outcome = ctx.gen->step(job.state, job.rng, job.steps);
+            if (outcome) break;
+        }
+        out.steps += job.steps - steps0;
+        ++out.terminals[static_cast<std::size_t>(outcome->terminal)];
+        if (outcome->satisfied) {
+            out.weighted_hits += job.weight;
+            ++out.goal_hits;
+        }
+    }
+    return out;
+}
+
+/// simulate_tree with fault isolation: a throwing tree becomes an
+/// error-tagged sample; the consumer applies the fault policy at the tree's
+/// deterministic root position (workers must never throw — a worker running
+/// ahead could otherwise fail on a root the accepted prefix never reaches).
+RootSample run_tree_guarded(const TreeContext& ctx, const eda::Network& net,
+                            std::uint64_t seed, std::size_t root_index) {
+    try {
+        return simulate_tree(ctx, net, seed, root_index);
+    } catch (const std::exception& e) {
+        RootSample s;
+        s.error = true;
+        s.error_msg = e.what();
+        return s;
+    }
+}
+
+/// Live splitting instruments (docs/observability.md); all updates happen on
+/// the consuming thread at merge time, so the gauges follow the accepted
+/// (deterministic) prefix.
+struct SplitMetrics {
+    metrics::Registry* reg = nullptr;
+    metrics::Counter* roots = nullptr;
+    metrics::Counter* paths = nullptr;
+    metrics::Counter* clones = nullptr;
+    metrics::Counter* hits = nullptr;
+    metrics::Gauge* estimate = nullptr;
+    metrics::Gauge* max_level = nullptr;
+    std::map<int, metrics::Counter*> level_paths;
+
+    explicit SplitMetrics(metrics::Registry* r) : reg(r) {
+        if (reg == nullptr) return;
+        roots = &reg->counter("slimsim_splitting_roots_total",
+                              "Root trees accepted into the splitting estimate");
+        paths = &reg->counter("slimsim_splitting_paths_total",
+                              "Paths simulated by importance splitting (roots + clones)");
+        clones = &reg->counter("slimsim_splitting_clones_total",
+                               "Clones spawned at level crossings");
+        hits = &reg->counter("slimsim_splitting_goal_hits_total",
+                             "Raw (unweighted) goal observations");
+        estimate = &reg->gauge("slimsim_splitting_estimate",
+                               "Current weighted splitting estimate");
+        max_level = &reg->gauge("slimsim_splitting_max_level",
+                                "Highest level crossed so far");
     }
 
-private:
-    expr::ProgramPtr prog_;
-    expr::EvalScratch scratch_;
+    void on_accept(const RootSample& s, double current_estimate, int current_max) {
+        if (reg == nullptr) return;
+        roots->add(0, 1);
+        paths->add(0, s.paths);
+        hits->add(0, s.goal_hits);
+        estimate->set(current_estimate);
+        max_level->set(static_cast<double>(current_max));
+        for (const auto& [level, acc] : s.levels) {
+            auto it = level_paths.find(level);
+            if (it == level_paths.end()) {
+                metrics::Counter& c = reg->counter(
+                    "slimsim_splitting_level_crossings_total",
+                    "Lineages that first reached a splitting level",
+                    metrics::label("level", std::to_string(level)));
+                it = level_paths.emplace(level, &c).first;
+            }
+            it->second->add(0, acc.crossings);
+            clones->add(0, acc.clones);
+        }
+    }
 };
+
+/// Accepted-prefix accumulator; every mutation happens in global root order.
+struct Merge {
+    stat::RunningSummary roots; // per-root weighted contributions
+    std::uint64_t total_paths = 0;
+    std::uint64_t total_steps = 0;
+    std::uint64_t goal_hits = 0;
+    int max_level = 0;
+    std::map<int, LevelAccum> levels;
+    std::array<std::size_t, sim::kPathTerminalCount> terminals{};
+    std::uint64_t error_roots = 0;
+    std::vector<std::string> error_log;
+};
+
+/// Accepts root `root`'s sample into `merge`, or stops the run. Returns
+/// false when the run must stop *before* this root counts (path cap, abort);
+/// throws when the fault policy is FailFast and the tree errored.
+bool accept_sample(Merge& merge, std::size_t root, const RootSample& s,
+                   const SplittingOptions& options, SplitMetrics& metrics,
+                   sim::RunStatus& status, std::string& stop_cause) {
+    if (s.aborted) {
+        if (s.cap_hit) {
+            status = sim::RunStatus::BudgetExhausted;
+            stop_cause = "--split-max-paths budget reached within one root tree (" +
+                         std::to_string(options.max_total_paths) + " paths)";
+        }
+        // Otherwise the governor already latched the (interrupt/stop) cause.
+        return false;
+    }
+    if (merge.total_paths + s.paths > options.max_total_paths) {
+        status = sim::RunStatus::BudgetExhausted;
+        stop_cause = "--split-max-paths budget reached (" +
+                     std::to_string(options.max_total_paths) + " paths)";
+        return false;
+    }
+    if (s.error) {
+        if (options.sim.control.fault.kind == sim::FaultPolicyKind::FailFast) {
+            throw Error(s.error_msg);
+        }
+        ++merge.error_roots;
+        sim::quarantine_error(merge.error_log, root, s.error_msg.c_str());
+        ++merge.terminals[static_cast<std::size_t>(sim::PathTerminal::Error)];
+        ++merge.total_paths; // the failed root path itself
+        merge.roots.add(0.0);
+        metrics.on_accept(s, merge.roots.mean(), merge.max_level);
+        return true;
+    }
+    merge.roots.add(s.weighted_hits);
+    merge.total_paths += s.paths;
+    merge.total_steps += s.steps;
+    merge.goal_hits += s.goal_hits;
+    merge.max_level = std::max(merge.max_level, s.max_level);
+    for (const auto& [level, acc] : s.levels) {
+        LevelAccum& dst = merge.levels[level];
+        dst.crossings += acc.crossings;
+        dst.clones += acc.clones;
+    }
+    for (std::size_t t = 0; t < sim::kPathTerminalCount; ++t) {
+        merge.terminals[t] += s.terminals[t];
+    }
+    metrics.on_accept(s, merge.roots.mean(), merge.max_level);
+    return true;
+}
+
+/// Automatic level placement (docs/rare-events.md): a crude pilot run
+/// profiles how deep into the error space paths get. The raw level is the
+/// number of error processes outside their initial location; raw values
+/// that *every* pilot path reaches are free and get no splitting level,
+/// every rarer value becomes one. The pilot doubles as a coverage/occupancy
+/// profile of where paths die (sim/coverage.hpp).
+struct AutoPlacement {
+    std::vector<int> thresholds;
+    std::size_t pilot_paths = 0;
+    telemetry::CoverageReport coverage;
+};
+
+AutoPlacement place_levels(const eda::Network& net, const sim::PathFormula& formula,
+                           sim::Strategy& strategy, LevelConfig& cfg,
+                           std::uint64_t seed, const SplittingOptions& options) {
+    const auto& model = net.model();
+    for (std::size_t p = 0; p < model.processes.size(); ++p) {
+        if (model.processes[p].is_error) {
+            cfg.error_procs.emplace_back(p, model.processes[p].initial_location);
+        }
+    }
+    if (cfg.error_procs.empty()) {
+        throw Error("--split-auto: the model has no error-model processes to derive "
+                    "levels from; supply a level expression with --split");
+    }
+    const eda::ElementIndex element_index(model);
+    sim::CoverageShard shard(element_index);
+    sim::SimOptions pilot_options;
+    pilot_options.max_steps = options.sim.max_steps;
+    pilot_options.coverage_shard = &shard;
+    const sim::PathGenerator gen(net, formula, strategy, pilot_options);
+    LevelFn raw_fn(cfg); // thresholds still empty: raw() only
+
+    const std::size_t max_raw = cfg.error_procs.size();
+    std::vector<std::uint64_t> reached(max_raw + 1, 0); // paths with max raw >= v
+    // A stream family disjoint from the root families Rng(seed).split(j).
+    const Rng pilot_master = Rng(seed).split(0x9e3779b97f4a7c15ull);
+    const std::size_t pilot_runs = std::max<std::size_t>(1, options.pilot_runs);
+    for (std::size_t i = 0; i < pilot_runs; ++i) {
+        Rng rng = pilot_master.split(i);
+        eda::NetworkState s = net.initial_state();
+        std::size_t steps = 0;
+        shard.begin_path(s);
+        int best = raw_fn.raw(s);
+        try {
+            for (;;) {
+                const auto outcome = gen.step(s, rng, steps);
+                best = std::max(best, raw_fn.raw(s));
+                if (outcome) break;
+            }
+        } catch (const std::exception&) {
+            // A throwing pilot path still profiles how far it got.
+        }
+        shard.end_path();
+        for (int v = 1; v <= best && v <= static_cast<int>(max_raw); ++v) {
+            ++reached[static_cast<std::size_t>(v)];
+        }
+    }
+
+    AutoPlacement placement;
+    placement.pilot_paths = pilot_runs;
+    for (std::size_t v = 1; v <= max_raw; ++v) {
+        // Raw values every pilot path visited are free — splitting there
+        // only multiplies paths without reducing variance.
+        if (reached[v] < pilot_runs) {
+            placement.thresholds.push_back(static_cast<int>(v));
+        }
+    }
+    cfg.thresholds = placement.thresholds;
+    const sim::CoverageShard* shard_ptr = &shard;
+    const std::uint64_t accepted = pilot_runs;
+    placement.coverage = sim::merge_coverage({&shard_ptr, 1}, {&accepted, 1});
+    return placement;
+}
 
 } // namespace
 
 SplittingResult estimate_splitting(const eda::Network& net,
                                    const sim::PathFormula& formula,
-                                   sim::StrategyKind strategy, const expr::ExprPtr& level,
-                                   std::uint64_t seed, const SplittingOptions& options) {
+                                   sim::StrategyKind strategy, const LevelSpec& level,
+                                   std::uint64_t seed, const SplittingOptions& options,
+                                   telemetry::RunReport* report) {
     if (formula.kind != sim::FormulaKind::Reach) {
         throw Error("importance splitting supports reachability formulas only");
     }
     if (options.splitting_factor < 1) throw Error("splitting factor must be >= 1");
     if (options.base_runs < 1) throw Error("base_runs must be >= 1");
+    if (!level.auto_levels && level.expression == nullptr) {
+        throw Error("--split: a level expression (or --split-auto) is required");
+    }
+    const auto& control = options.sim.control;
+    if (control.resume != nullptr || !control.checkpoint_path.empty() ||
+        control.checkpoint_every > 0) {
+        throw Error("--split does not support checkpoint/resume");
+    }
 
     const auto start = std::chrono::steady_clock::now();
-    const auto strat = sim::make_strategy(strategy);
-    const sim::PathGenerator gen(net, formula, *strat, options.sim);
-    LevelFn eval_level(*level);
-    const Rng master(seed);
-    std::uint64_t stream = 0;
+    const std::size_t workers = std::max<std::size_t>(1, options.workers);
 
     SplittingResult result;
-    result.base_runs = options.base_runs;
-    double weighted_hits = 0.0;
+    result.strategy = sim::to_string(strategy);
 
-    std::vector<Job> stack;
-    for (std::size_t root = 0; root < options.base_runs; ++root) {
-        {
-            Job job;
-            job.state = net.initial_state();
-            job.rng = master.split(stream++);
-            job.level = eval_level(job.state);
-            stack.push_back(std::move(job));
-        }
-        while (!stack.empty()) {
-            Job job = std::move(stack.back());
-            stack.pop_back();
-            ++result.total_paths;
-            if (result.total_paths > options.max_total_paths) {
-                throw Error("importance splitting exceeded " +
-                            std::to_string(options.max_total_paths) +
-                            " paths; the level function splits too aggressively");
+    LevelConfig cfg;
+    if (level.auto_levels) {
+        const auto pilot_strategy = sim::make_strategy(strategy);
+        const AutoPlacement placement =
+            place_levels(net, formula, *pilot_strategy, cfg, seed, options);
+        result.auto_thresholds = placement.thresholds;
+        result.pilot_paths = placement.pilot_paths;
+        result.pilot_coverage = placement.coverage;
+    } else {
+        cfg.program = expr::compile(*level.expression);
+    }
+
+    sim::RunGovernor governor(control, start);
+    Merge merge;
+    SplitMetrics metrics(options.sim.metrics);
+    sim::RunStatus status = sim::RunStatus::Converged;
+    std::string stop_cause;
+
+    if (workers == 1) {
+        const auto strat = sim::make_strategy(strategy);
+        sim::SimOptions tree_options = options.sim;
+        tree_options.coverage_shard = nullptr;
+        const sim::PathGenerator gen(net, formula, *strat, tree_options);
+        LevelFn level_fn(cfg);
+        TreeContext ctx;
+        ctx.gen = &gen;
+        ctx.level = &level_fn;
+        ctx.factor = options.splitting_factor;
+        ctx.max_total_paths = options.max_total_paths;
+        ctx.interrupt = control.interrupt;
+        for (std::size_t root = 0; root < options.base_runs; ++root) {
+            if (governor.should_stop(merge.roots.count, merge.total_steps,
+                                     merge.error_roots)) {
+                status = governor.status();
+                stop_cause = governor.stop_cause();
+                break;
             }
-            for (;;) {
-                const auto outcome = gen.step(job.state, job.rng, job.steps);
-                if (outcome) {
-                    if (outcome->satisfied) {
-                        weighted_hits += job.weight;
-                        ++result.goal_hits;
+            const RootSample sample = run_tree_guarded(ctx, net, seed, root);
+            if (!accept_sample(merge, root, sample, options, metrics, status,
+                               stop_cause)) {
+                if (sample.aborted && !sample.cap_hit) {
+                    // The interrupt fired mid-tree; latch its cause.
+                    governor.should_stop(merge.roots.count, merge.total_steps,
+                                         merge.error_roots);
+                    status = governor.status();
+                    stop_cause = governor.stop_cause();
+                }
+                break;
+            }
+        }
+    } else {
+        // Parallel runner: worker w of k owns root trees w, w+k, w+2k, ...;
+        // the consumer merges finished trees in global root order, so the
+        // accepted prefix — and every float accumulation — is identical to
+        // the sequential run.
+        struct Shared {
+            std::mutex mutex;
+            std::condition_variable cv;
+            std::vector<std::optional<RootSample>> slots;
+            std::atomic<bool> stop{false};
+        };
+        Shared shared;
+        shared.slots.resize(options.base_runs);
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                const auto strat = sim::make_strategy(strategy);
+                sim::SimOptions tree_options = options.sim;
+                tree_options.coverage_shard = nullptr;
+                tree_options.metrics_shard =
+                    tree_options.metrics != nullptr
+                        ? w % tree_options.metrics->shards()
+                        : 0;
+                const sim::PathGenerator gen(net, formula, *strat, tree_options);
+                LevelFn level_fn(cfg);
+                TreeContext ctx;
+                ctx.gen = &gen;
+                ctx.level = &level_fn;
+                ctx.factor = options.splitting_factor;
+                ctx.max_total_paths = options.max_total_paths;
+                ctx.stop = &shared.stop;
+                ctx.interrupt = control.interrupt;
+                for (std::size_t root = w; root < options.base_runs; root += workers) {
+                    if (shared.stop.load(std::memory_order_relaxed)) break;
+                    RootSample sample = run_tree_guarded(ctx, net, seed, root);
+                    {
+                        const std::lock_guard<std::mutex> lock(shared.mutex);
+                        shared.slots[root] = std::move(sample);
+                    }
+                    shared.cv.notify_all();
+                }
+            });
+        }
+
+        try {
+            for (std::size_t root = 0; root < options.base_runs; ++root) {
+                if (governor.should_stop(merge.roots.count, merge.total_steps,
+                                         merge.error_roots)) {
+                    status = governor.status();
+                    stop_cause = governor.stop_cause();
+                    break;
+                }
+                RootSample sample;
+                {
+                    std::unique_lock<std::mutex> lock(shared.mutex);
+                    shared.cv.wait(lock,
+                                   [&] { return shared.slots[root].has_value(); });
+                    sample = std::move(*shared.slots[root]);
+                    shared.slots[root].reset();
+                }
+                if (!accept_sample(merge, root, sample, options, metrics, status,
+                                   stop_cause)) {
+                    if (sample.aborted && !sample.cap_hit) {
+                        governor.should_stop(merge.roots.count, merge.total_steps,
+                                             merge.error_roots);
+                        status = governor.status();
+                        stop_cause = governor.stop_cause();
                     }
                     break;
                 }
-                const int now = eval_level(job.state);
-                if (now > job.level) {
-                    // First crossing of a higher level by this lineage:
-                    // clone and share the statistical weight.
-                    job.level = now;
-                    result.max_level_seen = std::max(result.max_level_seen, now);
-                    job.weight /= static_cast<double>(options.splitting_factor);
-                    for (std::size_t c = 1; c < options.splitting_factor; ++c) {
-                        Job clone;
-                        clone.state = job.state;
-                        clone.rng = master.split(stream++);
-                        clone.steps = job.steps;
-                        clone.weight = job.weight;
-                        clone.level = job.level;
-                        stack.push_back(std::move(clone));
-                    }
-                }
             }
+        } catch (...) {
+            shared.stop.store(true, std::memory_order_relaxed);
+            for (auto& t : pool) t.join();
+            throw;
         }
+        shared.stop.store(true, std::memory_order_relaxed);
+        for (auto& t : pool) t.join();
     }
 
-    result.estimate = weighted_hits / static_cast<double>(options.base_runs);
+    result.estimate = merge.roots.mean();
+    result.base_runs = merge.roots.count;
+    result.total_paths = merge.total_paths;
+    result.goal_hits = merge.goal_hits;
+    result.max_level_seen = merge.max_level;
+    result.variance_per_root = merge.roots.variance();
+    const double half_width = merge.roots.half_width(0.05);
+    result.relative_half_width =
+        result.estimate > 0.0 ? half_width / result.estimate : 0.0;
+    result.levels.reserve(merge.levels.size());
+    for (const auto& [lvl, acc] : merge.levels) {
+        result.levels.push_back({lvl, acc.crossings, acc.clones});
+    }
+    result.terminals = merge.terminals;
+    result.status = status;
+    result.stop_cause = stop_cause;
+    result.path_errors = merge.error_roots;
+    result.error_log = std::move(merge.error_log);
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    if (report != nullptr) {
+        report->samples = result.base_runs;
+        report->successes = result.goal_hits;
+        report->value = result.estimate;
+        report->strategy = result.strategy;
+        report->criterion = "fixed-roots(" + std::to_string(options.base_runs) + ")";
+        report->terminals = sim::terminal_histogram(result.terminals);
+        sim::fill_run_status(report, result.status, result.stop_cause, half_width,
+                             result.path_errors, result.error_log);
+        auto& sp = report->splitting;
+        sp.enabled = true;
+        sp.level = level.auto_levels ? "auto" : level.text;
+        sp.factor = options.splitting_factor;
+        sp.roots = result.base_runs;
+        sp.total_paths = result.total_paths;
+        sp.goal_hits = result.goal_hits;
+        sp.max_level = result.max_level_seen;
+        sp.variance_per_root = result.variance_per_root;
+        sp.relative_half_width = result.relative_half_width;
+        sp.pilot_paths = result.pilot_paths;
+        sp.auto_thresholds.assign(result.auto_thresholds.begin(),
+                                  result.auto_thresholds.end());
+        sp.levels.clear();
+        for (const auto& row : result.levels) {
+            sp.levels.push_back({row.level, row.crossings, row.clones});
+        }
+        if (level.auto_levels) report->coverage = result.pilot_coverage;
+    }
     return result;
+}
+
+SplittingResult estimate_splitting(const eda::Network& net,
+                                   const sim::PathFormula& formula,
+                                   sim::StrategyKind strategy, const expr::ExprPtr& level,
+                                   std::uint64_t seed, const SplittingOptions& options,
+                                   telemetry::RunReport* report) {
+    LevelSpec spec;
+    spec.expression = level;
+    return estimate_splitting(net, formula, strategy, spec, seed, options, report);
 }
 
 } // namespace slimsim::rare

@@ -1,5 +1,6 @@
 #include "stat/bernoulli.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/diagnostics.hpp"
@@ -10,6 +11,20 @@ double BernoulliSummary::variance() const {
     if (count < 2) return 0.25; // worst case until data exists
     const double p = mean();
     return p * (1.0 - p) * static_cast<double>(count) / static_cast<double>(count - 1);
+}
+
+double RunningSummary::variance() const {
+    if (count < 2) return 0.0;
+    const double n = static_cast<double>(count);
+    const double m = sum / n;
+    // max() guards against tiny negative values from cancellation.
+    return std::max(0.0, (sum_squares - n * m * m) / (n - 1.0));
+}
+
+double RunningSummary::half_width(double delta) const {
+    if (count < 2) return 0.0;
+    const double z = normal_quantile(1.0 - delta / 2.0);
+    return z * std::sqrt(variance() / static_cast<double>(count));
 }
 
 double normal_quantile(double p) {

@@ -25,6 +25,32 @@ struct BernoulliSummary {
     [[nodiscard]] double variance() const;
 };
 
+/// Running summary of i.i.d. real-valued samples (e.g. the weighted per-root
+/// goal contributions of importance splitting, which are not 0/1). Sums are
+/// accumulated in insertion order, so feeding samples in global path order
+/// keeps the mean/variance byte-identical across worker counts.
+struct RunningSummary {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double sum_squares = 0.0;
+
+    void add(double x) {
+        ++count;
+        sum += x;
+        sum_squares += x * x;
+    }
+
+    [[nodiscard]] double mean() const {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const;
+
+    /// CLT half-width of the (1-delta) confidence interval on the mean.
+    [[nodiscard]] double half_width(double delta) const;
+};
+
 /// Inverse standard normal CDF (Acklam's rational approximation, |err| < 1e-9).
 [[nodiscard]] double normal_quantile(double p);
 

@@ -23,6 +23,18 @@ const std::vector<std::string>& report_family_names() {
         "slimsim_curve_simultaneous_eps",
         "slimsim_curve_estimate",
         "slimsim_curve_successes_total",
+        "slimsim_splitting_estimate",
+        "slimsim_splitting_factor",
+        "slimsim_splitting_roots_total",
+        "slimsim_splitting_paths_total",
+        "slimsim_splitting_clones_total",
+        "slimsim_splitting_goal_hits_total",
+        "slimsim_splitting_max_level",
+        "slimsim_splitting_variance_per_root",
+        "slimsim_splitting_relative_half_width",
+        "slimsim_splitting_pilot_paths_total",
+        "slimsim_splitting_level_crossings_total",
+        "slimsim_splitting_level_clones_total",
         "slimsim_coverage_paths_total",
         "slimsim_coverage_elements_known",
         "slimsim_coverage_elements_covered",
@@ -90,6 +102,39 @@ std::string prometheus_text(const RunReport& report, const metrics::Registry* li
         for (const auto& p : report.curve.points) {
             x.sample(label("bound", json::format_double(p.bound)),
                      std::to_string(p.successes));
+        }
+    }
+
+    if (report.splitting.enabled) {
+        // Final splitting figures from the report: deterministic in
+        // (seed, workers), so they live in the deterministic section; the
+        // live registry's same-named families are skipped on render.
+        const SplittingReport& sp = report.splitting;
+        x.gauge("slimsim_splitting_estimate", "", report.value);
+        x.gauge("slimsim_splitting_factor", "", static_cast<double>(sp.factor));
+        x.counter("slimsim_splitting_roots_total", "", sp.roots);
+        x.counter("slimsim_splitting_paths_total", "", sp.total_paths);
+        x.counter("slimsim_splitting_goal_hits_total", "", sp.goal_hits);
+        x.gauge("slimsim_splitting_max_level", "", static_cast<double>(sp.max_level));
+        x.gauge("slimsim_splitting_variance_per_root", "", sp.variance_per_root);
+        x.gauge("slimsim_splitting_relative_half_width", "", sp.relative_half_width);
+        if (sp.pilot_paths > 0) {
+            x.counter("slimsim_splitting_pilot_paths_total", "", sp.pilot_paths);
+        }
+        std::uint64_t total_clones = 0;
+        for (const auto& l : sp.levels) total_clones += l.clones;
+        x.counter("slimsim_splitting_clones_total", "", total_clones);
+        if (!sp.levels.empty()) {
+            x.family("slimsim_splitting_level_crossings_total", "counter");
+            for (const auto& l : sp.levels) {
+                x.sample(label("level", std::to_string(l.level)),
+                         std::to_string(l.crossings));
+            }
+            x.family("slimsim_splitting_level_clones_total", "counter");
+            for (const auto& l : sp.levels) {
+                x.sample(label("level", std::to_string(l.level)),
+                         std::to_string(l.clones));
+            }
         }
     }
 

@@ -340,6 +340,36 @@ json::Value RunReport::to_json() const {
         doc["curve"] = std::move(c);
     }
 
+    // The splitting section is deterministic in the seed alone: root trees
+    // merge into the estimate in global root order (docs/rare-events.md).
+    if (splitting.enabled) {
+        json::Value sp = json::Value::object();
+        sp["level"] = splitting.level;
+        sp["factor"] = splitting.factor;
+        sp["roots"] = splitting.roots;
+        sp["total_paths"] = splitting.total_paths;
+        sp["goal_hits"] = splitting.goal_hits;
+        sp["max_level"] = splitting.max_level;
+        sp["variance_per_root"] = splitting.variance_per_root;
+        sp["relative_half_width"] = splitting.relative_half_width;
+        if (splitting.pilot_paths > 0) {
+            sp["pilot_paths"] = splitting.pilot_paths;
+            json::Value th = json::Value::array();
+            for (const auto t : splitting.auto_thresholds) th.push_back(t);
+            sp["auto_thresholds"] = std::move(th);
+        }
+        json::Value rows = json::Value::array();
+        for (const auto& row : splitting.levels) {
+            json::Value entry = json::Value::object();
+            entry["level"] = row.level;
+            entry["crossings"] = row.crossings;
+            entry["clones"] = row.clones;
+            rows.push_back(std::move(entry));
+        }
+        sp["levels"] = std::move(rows);
+        doc["splitting"] = std::move(sp);
+    }
+
     // The coverage profile is deterministic in the seed alone (coverage
     // runs use per-path RNG streams; occupancy is model time), so it lives
     // in the deterministic part of the document.
@@ -467,6 +497,29 @@ std::string RunReport::to_text() const {
         for (const auto& p : curve.points) {
             os << "    u=" << p.bound << "  p^=" << p.estimate << "  successes="
                << p.successes << "\n";
+        }
+    }
+    if (splitting.enabled) {
+        os << "  splitting:  level=" << splitting.level << " factor=" << splitting.factor
+           << " roots=" << splitting.roots << " paths=" << splitting.total_paths
+           << " goal_hits=" << splitting.goal_hits << " max_level="
+           << splitting.max_level << "\n";
+        os << "    variance/root=" << splitting.variance_per_root
+           << "  rel. half-width=" << splitting.relative_half_width << "\n";
+        if (splitting.pilot_paths > 0) {
+            os << "    auto placement: " << splitting.pilot_paths
+               << " pilot paths, thresholds [";
+            bool first = true;
+            for (const auto t : splitting.auto_thresholds) {
+                if (!first) os << " ";
+                os << t;
+                first = false;
+            }
+            os << "]\n";
+        }
+        for (const auto& row : splitting.levels) {
+            os << "    level " << row.level << ": crossings=" << row.crossings
+               << " clones=" << row.clones << "\n";
         }
     }
     if (coverage.enabled) {

@@ -262,6 +262,32 @@ struct CompiledModelReport {
     std::string content_hash;          // 16 lowercase hex digits
 };
 
+/// One splitting level's crossing statistics (rare/splitting.hpp).
+struct SplittingLevelReport {
+    std::int64_t level = 0;
+    std::uint64_t crossings = 0; // lineages that first reached this level
+    std::uint64_t clones = 0;    // clones spawned at this level
+};
+
+/// The "splitting" section of a run report (importance splitting,
+/// docs/rare-events.md). Fully deterministic in (seed, workers): root trees
+/// merge in global root order.
+struct SplittingReport {
+    bool enabled = false;
+    std::string level; // level expression text, or "auto"
+    std::uint64_t factor = 0;
+    std::uint64_t roots = 0;       // root trees accepted into the estimate
+    std::uint64_t total_paths = 0; // roots + clones simulated
+    std::uint64_t goal_hits = 0;   // raw (unweighted) goal observations
+    std::int64_t max_level = 0;
+    double variance_per_root = 0.0;
+    double relative_half_width = 0.0;
+    /// Auto placement only: pilot size and the raw values promoted to levels.
+    std::uint64_t pilot_paths = 0;
+    std::vector<std::int64_t> auto_thresholds;
+    std::vector<SplittingLevelReport> levels; // ascending by level
+};
+
 /// How an estimation run ended plus the partial-result context (run
 /// hardening, docs/robustness.md). Deterministic except for wall-clock stop
 /// causes (budget_exhausted via --max-seconds, interrupted).
@@ -280,9 +306,11 @@ struct RunStatusReport {
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
-    static constexpr std::uint64_t kSchemaVersion = 3;
+    static constexpr std::uint64_t kSchemaVersion = 4;
 
-    std::string mode;     // estimate | estimate-parallel | hypothesis-test | ctmc-flow
+    // estimate | estimate-parallel | hypothesis-test | ctmc-flow |
+    // estimate-splitting
+    std::string mode;
     std::string model;    // model path (or a caller-chosen label)
     std::string property; // property text, e.g. "<> [0,1800] gps.measurement"
     std::string strategy; // empty for ctmc-flow
@@ -304,6 +332,7 @@ struct RunReport {
     CollectorStats collector;
     std::vector<StopPoint> stop_trajectory;
     CurveReport curve;       // multi-bound curve estimation (empty otherwise)
+    SplittingReport splitting; // importance splitting (disabled otherwise)
     CoverageReport coverage; // model coverage profile (disabled otherwise)
     CompiledModelReport compiled_model; // compile-time model facts (when compiled)
     std::vector<std::pair<std::string, std::uint64_t>> counters;

@@ -412,6 +412,108 @@ TEST_F(AnalysisApiTest, CoverageRejectedOutsideEstimationModes) {
     EXPECT_THROW((void)run_analysis(net, req), Error);
 }
 
+TEST_F(AnalysisApiTest, SplittingModeFillsReport) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::EstimateSplitting;
+    req.splitting.level = "(if broken then 1 else 0)";
+    req.splitting.factor = 2;
+    req.splitting.base_runs = 2048;
+    const AnalysisResult res = run_analysis(net, req);
+    EXPECT_EQ(res.mode, AnalysisMode::EstimateSplitting);
+    EXPECT_NEAR(res.value, expected, 0.08);
+    EXPECT_EQ(res.value, res.splitting.estimate);
+    EXPECT_EQ(res.splitting.status, sim::RunStatus::Converged);
+
+    const telemetry::RunReport& report = res.report;
+    EXPECT_EQ(report.mode, "estimate-splitting");
+    EXPECT_EQ(report.samples, 2048u);
+    EXPECT_EQ(report.criterion, "fixed-roots(2048)");
+    ASSERT_TRUE(report.splitting.enabled);
+    EXPECT_EQ(report.splitting.level, req.splitting.level);
+    EXPECT_EQ(report.splitting.factor, 2u);
+    EXPECT_EQ(report.splitting.roots, 2048u);
+    EXPECT_GT(report.splitting.total_paths, 2048u);
+    EXPECT_EQ(report.splitting.goal_hits, res.splitting.goal_hits);
+
+    const json::Value doc = report.to_json();
+    ASSERT_NE(doc.find("version"), nullptr);
+    EXPECT_EQ(doc.find("version")->as_int(), telemetry::RunReport::kSchemaVersion);
+    const json::Value* sp = doc.find("splitting");
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->find("factor")->as_int(), 2);
+    EXPECT_EQ(sp->find("roots")->as_int(), 2048);
+
+    const std::string text = res.to_string();
+    EXPECT_NE(text.find("importance splitting"), std::string::npos);
+    EXPECT_NE(text.find("roots"), std::string::npos);
+}
+
+TEST_F(AnalysisApiTest, SplittingReportByteIdenticalAcrossWorkerCounts) {
+    // The report's result-bearing sections must not move by a byte when the
+    // worker count changes. (The whole deterministic view cannot be compared
+    // across worker counts: it embeds the workers parameter itself, and with
+    // one worker the recorder counters are deterministic and stay in the
+    // deterministic part.)
+    const auto result_sections = [](const telemetry::RunReport& report) {
+        const json::Value doc = report.to_json();
+        std::string out;
+        for (const char* key : {"result", "run_status", "terminals", "splitting"}) {
+            const json::Value* section = doc.find(key);
+            if (section != nullptr) out += section->dump(2) + "\n";
+        }
+        return out;
+    };
+    std::string reference;
+    std::string reference_text;
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        AnalysisRequest req = base_request();
+        req.mode = AnalysisMode::EstimateSplitting;
+        req.splitting.level = "(if broken then 1 else 0)";
+        req.splitting.factor = 4;
+        req.splitting.base_runs = 512;
+        req.workers = workers;
+        const AnalysisResult res = run_analysis(net, req);
+        const std::string view = result_sections(res.report);
+        if (reference.empty()) {
+            reference = view;
+            reference_text = res.to_string();
+        } else {
+            EXPECT_EQ(view, reference) << workers << " workers";
+            EXPECT_EQ(res.to_string(), reference_text) << workers << " workers";
+        }
+    }
+}
+
+TEST_F(AnalysisApiTest, SplittingAutoPlacementFillsPilotCoverage) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::EstimateSplitting;
+    req.splitting.auto_levels = true;
+    req.splitting.base_runs = 512;
+    req.splitting.pilot_runs = 128;
+    const AnalysisResult res = run_analysis(net, req);
+    EXPECT_NEAR(res.value, expected, 0.1);
+    EXPECT_EQ(res.splitting.pilot_paths, 128u);
+    EXPECT_TRUE(res.coverage.enabled); // the pilot's profile
+    EXPECT_TRUE(res.report.coverage.enabled);
+    EXPECT_EQ(res.report.splitting.level, "auto");
+    EXPECT_EQ(res.report.splitting.pilot_paths, 128u);
+}
+
+TEST_F(AnalysisApiTest, SplittingRejectsCurveWitnessAndCoverage) {
+    AnalysisRequest req = base_request();
+    req.mode = AnalysisMode::EstimateSplitting;
+    req.splitting.level = "(if broken then 1 else 0)";
+    req.curve_bounds = {1.0, 2.0};
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+    req.curve_bounds.clear();
+    req.witness.per_kind = 1;
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+    req.witness.per_kind = 0;
+    req.coverage = true;
+    EXPECT_THROW((void)run_analysis(net, req), Error);
+}
+
 TEST_F(AnalysisApiTest, ToStringCarriesHeadline) {
     const AnalysisResult res = run_analysis(net, base_request());
     const std::string text = res.to_string();

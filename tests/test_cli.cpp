@@ -6,10 +6,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string>
 
 #include <unistd.h>
 
+#include "models/failover.hpp"
 #include "models/gps.hpp"
 #include "models/sensor_filter.hpp"
 #include "support/json.hpp"
@@ -56,17 +58,24 @@ protected:
             "cli_panic_" + std::to_string(getpid()) + ".slim";
         return name;
     }
+    static std::string failover_file() {
+        static const std::string name =
+            "cli_failover_" + std::to_string(getpid()) + ".slim";
+        return name;
+    }
 
     static void SetUpTestSuite() {
         std::ofstream(gps_file()) << slimsim::models::gps_source();
         std::ofstream(sf_file()) << slimsim::models::sensor_filter_source(1);
         std::ofstream(panic_file()) << slimsim::models::sensor_filter_panic_source();
+        std::ofstream(failover_file()) << slimsim::models::failover_source();
     }
 
     static void TearDownTestSuite() {
         std::remove(gps_file().c_str());
         std::remove(sf_file().c_str());
         std::remove(panic_file().c_str());
+        std::remove(failover_file().c_str());
     }
 
     static std::string read_file(const std::string& path) {
@@ -503,6 +512,108 @@ TEST_F(CliTest, HardeningFlagsRejectedOutsideEstimationModes) {
                 "--checkpoint-every 10");
     EXPECT_EQ(every.exit_code, 1);
     EXPECT_NE(every.output.find("--checkpoint-every"), std::string::npos);
+}
+
+TEST_F(CliTest, SplittingModeEstimatesAndReports) {
+    const std::string json = "cli_split_" + std::to_string(getpid()) + ".json";
+    const CliResult res = run_cli(
+        failover_file() +
+        "  --goal failed --bound '2 hour' --seed 3 --split-roots 256 "
+        "--split-factor 4 --split '(if primary.broken then 1 else 0) + "
+        "(if backup.broken then 1 else 0)' --json " + json);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("importance splitting"), std::string::npos);
+    EXPECT_NE(res.output.find("p^ ="), std::string::npos);
+    const auto doc = slimsim::json::Value::parse(read_file(json));
+    EXPECT_EQ(doc.at("mode").as_string(), "estimate-splitting");
+    EXPECT_EQ(doc.at("splitting").at("roots").as_int(), 256);
+    EXPECT_EQ(doc.at("splitting").at("factor").as_int(), 4);
+    EXPECT_GT(doc.at("splitting").at("total_paths").as_int(), 256);
+    std::remove(json.c_str());
+}
+
+TEST_F(CliTest, SplittingDeterministicAcrossWorkerCounts) {
+    const std::string args =
+        failover_file() +
+        "  --goal failed --bound '2 hour' --seed 9 --split-roots 256 "
+        "--split '(if primary.broken then 1 else 0) + "
+        "(if backup.broken then 1 else 0)'";
+    const CliResult seq = run_cli(args);
+    const CliResult par = run_cli(args + " --workers 4");
+    EXPECT_EQ(seq.exit_code, 0) << seq.output;
+    EXPECT_EQ(par.exit_code, 0) << par.output;
+    const auto headline = [](const std::string& out) {
+        const std::size_t pos = out.find("p^ =");
+        EXPECT_NE(pos, std::string::npos) << out;
+        return out.substr(pos, out.find('\n', pos) - pos);
+    };
+    EXPECT_EQ(headline(seq.output), headline(par.output));
+}
+
+TEST_F(CliTest, SplittingAutoMode) {
+    const std::string json = "cli_split_auto_" + std::to_string(getpid()) + ".json";
+    const CliResult res = run_cli(
+        failover_file() +
+        "  --goal failed --bound '2 hour' --seed 5 --split-auto "
+        "--split-roots 256 --split-pilot 64 --json " + json);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    const auto doc = slimsim::json::Value::parse(read_file(json));
+    EXPECT_EQ(doc.at("splitting").at("level").as_string(), "auto");
+    EXPECT_EQ(doc.at("splitting").at("pilot_paths").as_int(), 64);
+    // The pilot's coverage/occupancy profile rides in the report.
+    EXPECT_NE(doc.find("coverage"), nullptr);
+    std::remove(json.c_str());
+}
+
+TEST_F(CliTest, SplittingBadLevelExpressionFailsWithOneLineDiagnostic) {
+    for (const char* bad : {"'ghost + 1'", "'primary.broken'", "'1 +'"}) {
+        const CliResult res = run_cli(
+            failover_file() + "  --goal failed --bound '2 hour' --split " +
+            std::string(bad));
+        EXPECT_EQ(res.exit_code, 1) << res.output;
+        // Exactly one diagnostic line, prefixed with the flag name — the
+        // multi-line resolution summary must have been collapsed.
+        std::size_t error_lines = 0;
+        std::istringstream lines(res.output);
+        for (std::string line; std::getline(lines, line);) {
+            if (line.rfind("error:", 0) == 0) {
+                ++error_lines;
+                EXPECT_EQ(line.rfind("error: --split: ", 0), 0u) << line;
+            }
+        }
+        EXPECT_EQ(error_lines, 1u) << res.output;
+    }
+}
+
+TEST_F(CliTest, SplittingRejectsConflictingModes) {
+    const std::string base =
+        failover_file() + "  --goal failed --bound '2 hour' --split-auto";
+    for (const char* extra :
+         {"--ctmc", "--test 0.5", "--curve-grid 4", "--coverage",
+          "--witness wdir", "--checkpoint ck.bin", "--resume ck.bin",
+          "--split '(if primary.broken then 1 else 0)'"}) {
+        const CliResult res = run_cli(base + " " + extra);
+        EXPECT_EQ(res.exit_code, 1) << extra << ": " << res.output;
+        EXPECT_NE(res.output.find("--split"), std::string::npos) << res.output;
+    }
+}
+
+TEST_F(CliTest, SplittingPathBudgetWarnsButExitsZero) {
+    const std::string json = "cli_split_budget_" + std::to_string(getpid()) + ".json";
+    const CliResult res = run_cli(
+        failover_file() +
+        "  --goal failed --bound '2 hour' --seed 3 --split-roots 4096 "
+        "--split-factor 8 --split-max-paths 500 "
+        "--split '(if primary.broken then 1 else 0) + "
+        "(if backup.broken then 1 else 0)' --json " + json);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("warning: run budget_exhausted"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("--split-max-paths"), std::string::npos);
+    const auto doc = slimsim::json::Value::parse(read_file(json));
+    EXPECT_EQ(doc.at("run_status").at("status").as_string(), "budget_exhausted");
+    EXPECT_LE(doc.at("splitting").at("total_paths").as_int(), 500);
+    std::remove(json.c_str());
 }
 
 TEST_F(CliTest, UnknownOptionFails) {

@@ -16,6 +16,7 @@
 #include "models/sensor_filter.hpp"
 #include "sim/parallel_runner.hpp"
 #include "stat/collector.hpp"
+#include "support/journal.hpp"
 #include "support/metrics.hpp"
 #include "support/tracer/tracer.hpp"
 
@@ -254,6 +255,53 @@ void metrics_overhead(benchio::Report& report) {
     report.root()["metrics_overhead"] = std::move(section);
 }
 
+// Run-journal overhead: the same fixed-N parallel estimation with the
+// journal detached vs. attached at debug level (worker quarantine rings
+// armed, serial lifecycle events, trajectory marks under per-path streams).
+// Both sides force deterministic per-path streams so they simulate the
+// byte-identical path set and the ratio isolates the pure recording cost.
+// The acceptance bound CI enforces is <= 5% overhead
+// (docs/observability.md).
+void journal_overhead(benchio::Report& report) {
+    const eda::Network net =
+        eda::build_network_from_source(models::gps_restart_source(true));
+    const double bound = 96.0 * 3600.0;
+    const sim::TimedReachability prop =
+        sim::make_reachability(net.model(), models::gps_restart_goal(), bound);
+    const stat::ChernoffHoeffding criterion(0.05, 0.03);
+    const std::size_t n = *criterion.fixed_sample_count();
+    std::printf("\n== run journal overhead (N = %zu paths, 4 workers, min of 10 "
+                "interleaved reps) ==\n",
+                n);
+    auto run = [&](bool logged) {
+        return [&, logged] {
+            journal::Journal journal(journal::Level::Debug);
+            sim::ParallelOptions po;
+            po.workers = 4;
+            po.sim.control.deterministic_streams = true;
+            if (logged) po.sim.journal = &journal;
+            (void)sim::estimate_parallel(net, prop, sim::StrategyKind::Asap, criterion,
+                                         9, po);
+        };
+    };
+    const auto [off, on] = benchio::measure_interleaved(run(false), run(true), 10, 2);
+    json::Value section = json::Value::object();
+    const double disabled_pps = static_cast<double>(n) / off.min_seconds;
+    const double enabled_pps = static_cast<double>(n) / on.min_seconds;
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "journal off", off.min_seconds,
+                disabled_pps);
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "journal on", on.min_seconds,
+                enabled_pps);
+    const double overhead = (disabled_pps / enabled_pps - 1.0) * 100.0;
+    std::printf("recording overhead: %.1f%%\n", overhead);
+    section["disabled"] = off.to_json();
+    section["enabled"] = on.to_json();
+    section["disabled_paths_per_s"] = disabled_pps;
+    section["enabled_paths_per_s"] = enabled_pps;
+    section["recording_overhead_percent"] = overhead;
+    report.root()["journal_overhead"] = std::move(section);
+}
+
 void bias_demo(benchio::Report& report) {
     // Synthetic workload reproducing the hazard of [21]: true p = 0.5, but
     // success paths are fast (one tick) while failure paths are slow (two
@@ -334,6 +382,7 @@ int main(int argc, char** argv) {
         coverage_overhead(report);
         checkpoint_overhead(report);
         metrics_overhead(report);
+        journal_overhead(report);
         bias_demo(report);
         return 0;
     } catch (const std::exception& e) {

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 
+#include "stat/diagnostics.hpp"
 #include "support/diagnostics.hpp"
 #include "support/http_server.hpp"
 #include "support/json.hpp"
@@ -94,6 +98,29 @@ std::string status_json(const StatusIdentity& id, const StatusBoard& board) {
         doc["progress"] = nullptr;
     }
     return doc.dump() + "\n";
+}
+
+/// Parses "tail=N" out of a query string ("a=b&tail=5"). Absent leaves
+/// `tail` untouched and returns true; a malformed value returns false.
+bool parse_tail(const std::string& query, std::size_t& tail) {
+    std::size_t pos = 0;
+    while (pos <= query.size() && !query.empty()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos) amp = query.size();
+        const std::string_view pair(query.data() + pos, amp - pos);
+        if (pair.substr(0, 5) == "tail=") {
+            const std::string_view v = pair.substr(5);
+            if (v.empty() || v.size() > 18) return false;
+            std::size_t n = 0;
+            for (const char c : v) {
+                if (c < '0' || c > '9') return false;
+                n = n * 10 + static_cast<std::size_t>(c - '0');
+            }
+            tail = n;
+        }
+        pos = amp + 1;
+    }
+    return true;
 }
 
 } // namespace
@@ -246,13 +273,42 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     }
     sim_options.metrics = registry;
 
+    // Structured run journal (docs/observability.md): lifecycle bookends
+    // here, runner/splitting events inside the engines. The run_start line
+    // deliberately carries no worker count, so the journal's deterministic
+    // fields are byte-identical across worker counts.
+    journal::Journal* jnl = request.journal;
+    sim_options.journal = jnl;
+    if (jnl != nullptr) {
+        jnl->emit(journal::Level::Info, "run_start", report.model,
+                  {{"mode", report.mode},
+                   {"property", report.property},
+                   {"seed", report.seed}});
+    }
+
     StatusBoard board;
+    sim::SeriesStore series;
+    metrics::Gauge* live_drift =
+        registry != nullptr
+            ? &registry->gauge("slimsim_diag_estimate_drift",
+                               "Live estimate drift vs the previous progress "
+                               "snapshot, in current CI half-widths")
+            : nullptr;
     if (registry != nullptr || request.serve.enabled) {
-        // Chain, don't replace: the board rides the existing snapshot
-        // machinery (consuming-thread only), so serving cannot perturb the
+        // Chain, don't replace: the board, the /series history and the live
+        // drift gauge all ride the existing snapshot machinery
+        // (consuming-thread only), so serving cannot perturb the
         // deterministic sample order.
         const sim::ProgressFn prev = sim_options.progress.callback;
-        sim_options.progress.callback = [&board, prev](const sim::ProgressSnapshot& s) {
+        auto prev_estimate = std::make_shared<std::optional<double>>();
+        sim_options.progress.callback = [&board, &series, live_drift, prev_estimate,
+                                         prev](const sim::ProgressSnapshot& s) {
+            if (live_drift != nullptr && prev_estimate->has_value() &&
+                s.half_width > 0.0) {
+                live_drift->set(std::abs(s.estimate - **prev_estimate) / s.half_width);
+            }
+            *prev_estimate = s.estimate;
+            series.push(s);
             board.update(s);
             if (prev) prev(s);
         };
@@ -273,17 +329,35 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         id.eps = request.eps;
         const std::uint16_t port = server.start(
             request.serve.port,
-            [registry, id = std::move(id), &board](const std::string& path) -> http::Response {
-                if (path == "/metrics") {
+            [registry, jnl, id = std::move(id), &board,
+             &series](const http::Request& req) -> http::Response {
+                if (req.path == "/metrics") {
                     return {200, "text/plain; version=0.0.4; charset=utf-8",
                             registry->expose()};
                 }
-                if (path == "/status") {
+                if (req.path == "/status") {
                     return {200, "application/json; charset=utf-8",
                             status_json(id, board)};
                 }
-                if (path == "/healthz") {
+                if (req.path == "/healthz") {
                     return {200, "text/plain; charset=utf-8", "ok\n"};
+                }
+                if (req.path == "/series") {
+                    return {200, "application/json; charset=utf-8",
+                            series.to_json() + "\n"};
+                }
+                if (req.path == "/journal") {
+                    if (jnl == nullptr) {
+                        return {404, "text/plain; charset=utf-8",
+                                "journal not enabled (run with --log)\n"};
+                    }
+                    std::size_t tail = 64;
+                    if (!parse_tail(req.query, tail)) {
+                        return {400, "text/plain; charset=utf-8",
+                                "bad tail parameter (expected tail=N)\n"};
+                    }
+                    return {200, "application/x-ndjson; charset=utf-8",
+                            jnl->tail_jsonl(tail)};
                 }
                 return {404, "text/plain; charset=utf-8", "not found\n"};
             });
@@ -484,9 +558,52 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         case AnalysisMode::EstimateSplitting: break;
         }
     }
+    // Estimator health diagnostics (docs/observability.md): a pure function
+    // of deterministic report fields, so the section is byte-identical
+    // across worker counts and with the journal/metrics on or off.
+    if (request.mode == AnalysisMode::Estimate ||
+        request.mode == AnalysisMode::EstimateParallel ||
+        request.mode == AnalysisMode::EstimateSplitting) {
+        report.diagnostics = stat::diagnose_run(report);
+        if (registry != nullptr) {
+            registry
+                ->gauge("slimsim_diag_warnings",
+                        "Diagnostics items with warning or critical severity")
+                .set(static_cast<double>(report.diagnostics.warnings));
+            std::map<std::string, int> seen;
+            for (const auto& item : report.diagnostics.items) {
+                const int n = seen[item.check]++;
+                std::string labels = metrics::label("check", item.check);
+                // Repeated checks (one splitting-level item per level) get a
+                // seq label so the gauge children stay distinct.
+                if (n > 0) labels += "," + metrics::label("seq", std::to_string(n));
+                registry
+                    ->gauge("slimsim_diag_check",
+                            "Diagnostic check value (see the run report's "
+                            "diagnostics section)",
+                            labels)
+                    .set(item.value);
+                registry
+                    ->gauge("slimsim_diag_severity",
+                            "Diagnostic severity (0 ok, 1 warning, 2 critical)",
+                            labels)
+                    .set(item.severity == "critical"  ? 2.0
+                         : item.severity == "warning" ? 1.0
+                                                      : 0.0);
+            }
+        }
+    }
+
     if (recorder != nullptr && request.telemetry) report.absorb(*recorder);
     report.wall_seconds = seconds_since(start);
     report.peak_rss_bytes = peak_rss_bytes();
+    if (jnl != nullptr) {
+        jnl->emit(journal::Level::Info, "run_end", "analysis complete",
+                  {{"status", report.run_status.status},
+                   {"value", report.value},
+                   {"samples", report.samples},
+                   {"diag_warnings", report.diagnostics.warnings}});
+    }
     return result;
 }
 

@@ -169,6 +169,15 @@ struct AnalysisRequest {
     /// registry with one shard per worker.
     metrics::Registry* metrics = nullptr;
 
+    /// Optional structured run journal (support/journal.hpp, docs/
+    /// observability.md): run lifecycle, stop-criterion marks, checkpoint
+    /// writes, fault quarantines and splitting level events, rendered as
+    /// JSONL (the CLI's --log flag) and served live via /journal?tail=N.
+    /// The journal only observes: results are byte-identical with it on or
+    /// off, and its deterministic fields are byte-identical across worker
+    /// counts under per-path streams.
+    journal::Journal* journal = nullptr;
+
     /// Embedded HTTP exporter (estimation modes and beyond — the endpoints
     /// serve whatever the registry and status board hold for any mode).
     ServeOptions serve;

@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "props/pattern.hpp"
+#include "support/journal.hpp"
 #include "support/metrics_text.hpp"
 #include "safety/fmea.hpp"
 #include "sim/vcd.hpp"
@@ -123,7 +124,15 @@ void usage() {
         "                       /metrics (Prometheus text), /status (JSON\n"
         "                       progress snapshot), /healthz. PORT 0 binds an\n"
         "                       ephemeral port, printed to stderr\n"
-        "                       (docs/observability.md)\n"
+        "                       (docs/observability.md); with --log the server\n"
+        "                       also exposes /series (progress time series) and\n"
+        "                       /journal?tail=N (journal tail as JSONL)\n"
+        "  --log FILE           write a structured run journal as JSONL: run\n"
+        "                       lifecycle, stop-criterion marks, checkpoint\n"
+        "                       writes, fault quarantines and splitting level\n"
+        "                       events (docs/observability.md)\n"
+        "  --log-level LEVEL    journal verbosity: info | debug | trace\n"
+        "                       (default info; needs --log)\n"
         "\n"
         "run hardening (docs/robustness.md):\n"
         "  --max-seconds T      wall-clock budget; on exhaustion the partial\n"
@@ -270,6 +279,8 @@ int run(int argc, char** argv) {
     bool coverage = false;
     std::string coverage_csv_path;
     std::string metrics_path;
+    std::string log_path;
+    std::string log_level_name;
     bool serve_enabled = false;
     std::uint64_t serve_port = 0;
     std::string checkpoint_path;
@@ -372,6 +383,10 @@ int run(int argc, char** argv) {
             }
         } else if (arg == "--metrics-out") {
             metrics_path = need_value(i, "--metrics-out");
+        } else if (arg == "--log") {
+            log_path = need_value(i, "--log");
+        } else if (arg == "--log-level") {
+            log_level_name = need_value(i, "--log-level");
         } else if (arg == "--serve-metrics") {
             serve_enabled = true;
             serve_port = parse_count(need_value(i, "--serve-metrics"),
@@ -716,6 +731,21 @@ int run(int argc, char** argv) {
         registry.emplace(std::max<std::size_t>(std::size_t{1}, workers));
         req.metrics = &*registry;
     }
+    // Structured run journal (docs/observability.md). The journal must
+    // outlive run_analysis (the engines hold a pointer into it).
+    if (!log_level_name.empty() && log_path.empty()) {
+        throw Error("--log-level needs --log FILE");
+    }
+    std::optional<journal::Journal> journal_store;
+    std::ofstream log_out;
+    if (!log_path.empty()) {
+        log_out.open(log_path);
+        if (!log_out) throw Error("--log: cannot open `" + log_path + "` for writing");
+        journal_store.emplace(log_level_name.empty()
+                                  ? journal::Level::Info
+                                  : journal::parse_level(log_level_name));
+        req.journal = &*journal_store;
+    }
     if (serve_enabled) {
         req.serve.enabled = true;
         req.serve.port = static_cast<std::uint16_t>(serve_port);
@@ -879,6 +909,16 @@ int run(int argc, char** argv) {
     if (!metrics_path.empty()) {
         metrics_out << telemetry::prometheus_text(res.report, req.metrics);
         std::printf("wrote Prometheus metrics %s\n", metrics_path.c_str());
+    }
+    if (journal_store) {
+        log_out << journal_store->to_jsonl(false);
+        std::printf("wrote run journal %s (%zu events", log_path.c_str(),
+                    journal_store->size());
+        if (journal_store->dropped() > 0) {
+            std::printf(", %llu dropped past ring capacity",
+                        static_cast<unsigned long long>(journal_store->dropped()));
+        }
+        std::puts(")");
     }
     if (show_report) std::fputs(res.report.to_text().c_str(), stdout);
     if (!json_path.empty()) {

@@ -347,6 +347,13 @@ bool accept_sample(Merge& merge, std::size_t root, const RootSample& s,
         }
         ++merge.error_roots;
         sim::quarantine_error(merge.error_log, root, s.error_msg.c_str());
+        // Serial event: accepts happen in global root order on the consuming
+        // thread, so this is deterministic without a worker ring.
+        if (options.sim.journal != nullptr) {
+            options.sim.journal->emit(journal::Level::Debug, "quarantine",
+                                      s.error_msg,
+                                      {{"root", static_cast<std::uint64_t>(root)}});
+        }
         ++merge.terminals[static_cast<std::size_t>(sim::PathTerminal::Error)];
         ++merge.total_paths; // the failed root path itself
         merge.roots.add(0.0);
@@ -357,6 +364,14 @@ bool accept_sample(Merge& merge, std::size_t root, const RootSample& s,
     merge.total_paths += s.paths;
     merge.total_steps += s.steps;
     merge.goal_hits += s.goal_hits;
+    if (s.max_level > merge.max_level && options.sim.journal != nullptr) {
+        // First root to reach a new highest level; deterministic in root
+        // order like everything else merged here.
+        options.sim.journal->emit(journal::Level::Debug, "level_reached",
+                                  "new highest splitting level",
+                                  {{"level", s.max_level},
+                                   {"root", static_cast<std::uint64_t>(root)}});
+    }
     merge.max_level = std::max(merge.max_level, s.max_level);
     for (const auto& [level, acc] : s.levels) {
         LevelAccum& dst = merge.levels[level];
@@ -472,6 +487,7 @@ SplittingResult estimate_splitting(const eda::Network& net,
     SplittingResult result;
     result.strategy = sim::to_string(strategy);
 
+    journal::Journal* jnl = options.sim.journal;
     LevelConfig cfg;
     if (level.auto_levels) {
         const auto pilot_strategy = sim::make_strategy(strategy);
@@ -480,6 +496,14 @@ SplittingResult estimate_splitting(const eda::Network& net,
         result.auto_thresholds = placement.thresholds;
         result.pilot_paths = placement.pilot_paths;
         result.pilot_coverage = placement.coverage;
+        if (jnl != nullptr) {
+            jnl->emit(journal::Level::Info, "levels_placed",
+                      "auto splitting levels placed from pilot run",
+                      {{"thresholds",
+                        static_cast<std::uint64_t>(result.auto_thresholds.size())},
+                       {"pilot_paths",
+                        static_cast<std::uint64_t>(result.pilot_paths)}});
+        }
     } else {
         cfg.program = expr::compile(*level.expression);
     }
@@ -624,6 +648,12 @@ SplittingResult estimate_splitting(const eda::Network& net,
     result.error_log = std::move(merge.error_log);
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (jnl != nullptr) {
+        jnl->emit(journal::Level::Info, "stop", stop_cause,
+                  {{"status", sim::to_string(status)},
+                   {"roots", result.base_runs},
+                   {"max_level", result.max_level_seen}});
+    }
 
     if (report != nullptr) {
         report->samples = result.base_runs;

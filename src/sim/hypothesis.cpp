@@ -41,7 +41,7 @@ HypothesisResult test_hypothesis(const eda::Network& net, const PathFormula& for
         summary.add(out.satisfied);
         ++terminals[static_cast<std::size_t>(out.terminal)];
         if (report != nullptr && summary.count == next_mark) {
-            report->stop_trajectory.push_back({summary.count, 0});
+            report->stop_trajectory.push_back({summary.count, 0, summary.successes});
             next_mark *= 2;
         }
     }
@@ -61,7 +61,7 @@ HypothesisResult test_hypothesis(const eda::Network& net, const PathFormula& for
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
             report->stop_trajectory.back().samples != summary.count) {
-            report->stop_trajectory.push_back({summary.count, 0});
+            report->stop_trajectory.push_back({summary.count, 0, summary.successes});
         }
         report->value = summary.count > 0 ? summary.mean() : 0.0;
         report->verdict = slimsim::sim::to_string(result.verdict);

@@ -1,10 +1,71 @@
 #include "sim/observe.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stat/bernoulli.hpp"
+#include "support/json.hpp"
 
 namespace slimsim::sim {
+
+SeriesStore::SeriesStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(2, capacity)) {}
+
+void SeriesStore::push(const ProgressSnapshot& snapshot) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    latest_ = snapshot;
+    if (pushed_++ % stride_ != 0) {
+        latest_retained_ = false;
+        return;
+    }
+    if (points_.size() >= capacity_) {
+        // Coarsen: keep every other point and double the stride. The span
+        // stays the whole run; only the resolution halves.
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < points_.size(); i += 2) {
+            points_[keep++] = points_[i];
+        }
+        points_.resize(keep);
+        stride_ *= 2;
+    }
+    points_.push_back(snapshot);
+    latest_retained_ = true;
+}
+
+std::vector<ProgressSnapshot> SeriesStore::points() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ProgressSnapshot> out = points_;
+    if (!latest_retained_) out.push_back(latest_);
+    return out;
+}
+
+std::string SeriesStore::to_json() const {
+    std::vector<ProgressSnapshot> snapshot = points();
+    std::size_t stride = 0;
+    std::uint64_t pushed = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stride = stride_;
+        pushed = pushed_;
+    }
+    json::Value doc = json::Value::object();
+    doc["stride"] = stride;
+    doc["count"] = pushed;
+    json::Value pts = json::Value::array();
+    for (const ProgressSnapshot& p : snapshot) {
+        json::Value entry = json::Value::object();
+        entry["samples"] = p.samples;
+        entry["successes"] = p.successes;
+        entry["estimate"] = p.estimate;
+        entry["half_width"] = p.half_width;
+        entry["required"] = p.required;
+        entry["elapsed_seconds"] = p.elapsed_seconds;
+        entry["eta_seconds"] = p.eta_seconds;
+        pts.push_back(std::move(entry));
+    }
+    doc["points"] = std::move(pts);
+    return doc.dump();
+}
 
 ProgressSnapshot make_progress_snapshot(std::uint64_t samples, std::uint64_t successes,
                                         std::uint64_t required, double elapsed_seconds,

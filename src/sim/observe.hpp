@@ -7,6 +7,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
 
 namespace slimsim::sim {
 
@@ -68,5 +71,37 @@ struct ProgressOptions {
                                                       std::uint64_t required,
                                                       double elapsed_seconds,
                                                       const ProgressOptions& options);
+
+/// Bounded, coarsening in-memory ring of progress snapshots: the history a
+/// dashboard plots from the /series endpoint (docs/observability.md).
+///
+/// Capacity is fixed; when full, every other retained point is dropped and
+/// the sampling stride doubles, so the store always spans the whole run at
+/// a resolution that degrades gracefully (capacity 512 holds a ~10 h run
+/// at >= 1-minute resolution). The latest snapshot is always kept exactly.
+/// push() is called from the runner's consuming thread; snapshot readers
+/// (the HTTP thread) take the same mutex.
+class SeriesStore {
+public:
+    explicit SeriesStore(std::size_t capacity = 512);
+
+    void push(const ProgressSnapshot& snapshot);
+
+    /// Points retained so far (coarsened), oldest first, plus the exact
+    /// latest snapshot when the stride skipped it.
+    [[nodiscard]] std::vector<ProgressSnapshot> points() const;
+
+    /// The /series JSON document: {"stride":s,"count":n,"points":[{...}]}.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    mutable std::mutex mutex_;
+    const std::size_t capacity_;
+    std::size_t stride_ = 1;
+    std::uint64_t pushed_ = 0;
+    std::vector<ProgressSnapshot> points_;
+    ProgressSnapshot latest_;
+    bool latest_retained_ = true;
+};
 
 } // namespace slimsim::sim

@@ -110,6 +110,11 @@ EstimationResult estimate_parallel(const eda::Network& net,
     // Live metrics: workers only touch their own per-shard counter cells;
     // gauges/round counters are updated from this consuming thread.
     LiveRunMetrics live(options.sim.metrics, control.budget);
+    // Journal: workers write quarantines into their own rings (merged into
+    // global path order after join); serial events — marks, checkpoints,
+    // the stop record — fire from this consuming thread only.
+    journal::Journal* jnl = options.sim.journal;
+    if (jnl != nullptr) jnl->begin_workers(options.workers);
 
     // One shard per worker; worker w records its paths in generation order
     // (its local path i is global path w + i*k), so merge_coverage can walk
@@ -187,6 +192,11 @@ EstimationResult estimate_parallel(const eda::Network& net,
                             // consumer can filter to accepted samples.
                             out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
                             live.add_quarantined();
+                            if (jnl != nullptr) {
+                                jnl->worker(w).emit(journal::Level::Debug,
+                                                    local_generated, "quarantine",
+                                                    e.what());
+                            }
                             std::lock_guard lock(merge_mutex);
                             if (worker_faults[w].size() < kMaxQuarantinedErrors) {
                                 worker_faults[w].emplace_back(local_generated, e.what());
@@ -235,6 +245,11 @@ EstimationResult estimate_parallel(const eda::Network& net,
                                 total_steps, terminal_array(terminal_tags), log)
                 .save(control.checkpoint_path);
         live.add_checkpoint(bytes);
+        if (jnl != nullptr) {
+            jnl->emit(journal::Level::Debug, "checkpoint", "checkpoint written",
+                      {{"samples", summary.count},
+                       {"bytes", static_cast<std::uint64_t>(bytes)}});
+        }
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count + control.checkpoint_every : 0;
@@ -263,6 +278,24 @@ EstimationResult estimate_parallel(const eda::Network& net,
             consumed = collector.drain_ordered(
                 summary, nullptr, &terminal_tags,
                 [&] {
+                    // Sample-granular trajectory marks: this predicate runs
+                    // after every accepted sample, so marks land at exactly
+                    // the power-of-two counts a sequential run hits — the
+                    // trajectory (and the diagnostics and journal derived
+                    // from it) is deterministic in (seed) at any k.
+                    if (summary.count == next_mark) {
+                        if (report != nullptr) {
+                            report->stop_trajectory.push_back(
+                                {summary.count, required, summary.successes});
+                        }
+                        if (jnl != nullptr) {
+                            jnl->emit(journal::Level::Trace, "mark",
+                                      "stop-criterion trajectory mark",
+                                      {{"samples", summary.count},
+                                       {"successes", summary.successes}});
+                        }
+                        next_mark *= 2;
+                    }
                     return criterion.should_stop(summary) ||
                            governor.should_stop(
                                summary.count, total_steps,
@@ -276,8 +309,13 @@ EstimationResult estimate_parallel(const eda::Network& net,
         } else {
             consumed = collector.drain_unordered(summary, &terminal_tags, &total_steps);
         }
-        if (report != nullptr && consumed > 0 && summary.count >= next_mark) {
-            report->stop_trajectory.push_back({summary.count, required});
+        if (!per_path && report != nullptr && consumed > 0 &&
+            summary.count >= next_mark) {
+            // Round/unordered draining has no sample-granular hook; the mark
+            // lands at whatever count the drain reached (not deterministic —
+            // neither are these collection modes).
+            report->stop_trajectory.push_back(
+                {summary.count, required, summary.successes});
             while (next_mark <= summary.count) next_mark *= 2;
         }
         if (consumed > 0) {
@@ -329,6 +367,12 @@ EstimationResult estimate_parallel(const eda::Network& net,
         live.on_snapshot(snap);
         if (progress) progress(snap);
     }
+    if (jnl != nullptr) {
+        jnl->merge_workers(collector.consumed_per_worker(), base);
+        jnl->emit(journal::Level::Info, "stop", governor.stop_cause(),
+                  {{"status", std::string(sim::to_string(governor.status()))},
+                   {"samples", summary.count}});
+    }
 
     EstimationResult result;
     result.estimate = summary.mean();
@@ -365,6 +409,7 @@ EstimationResult estimate_parallel(const eda::Network& net,
             replay_options.coverage = false;
             replay_options.coverage_shard = nullptr;
             replay_options.metrics = nullptr;
+            replay_options.journal = nullptr;
             const auto replay_strat = make_strategy(strategy);
             const PathGenerator replay_gen(net, property, *replay_strat, replay_options);
             const auto selected = select_witness_paths(witness_buffers, accepted, witness_k);
@@ -383,7 +428,8 @@ EstimationResult estimate_parallel(const eda::Network& net,
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
             report->stop_trajectory.back().samples != summary.count) {
-            report->stop_trajectory.push_back({summary.count, required});
+            report->stop_trajectory.push_back(
+                {summary.count, required, summary.successes});
         }
         report->value = result.estimate;
         report->samples = result.samples;
@@ -460,6 +506,10 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     }
     RunGovernor governor(control, start);
     LiveRunMetrics live(options.sim.metrics, control.budget);
+    // Journal: as in estimate_parallel — per-worker quarantine rings,
+    // serial events from the consuming thread.
+    journal::Journal* jnl = options.sim.journal;
+    if (jnl != nullptr) jnl->begin_workers(k);
 
     // Curve workers already use per-path RNG streams and sample-granular
     // ordered draining, so coverage only needs the per-worker shards.
@@ -518,6 +568,11 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                         } catch (const std::exception& e) {
                             out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
                             live.add_quarantined();
+                            if (jnl != nullptr) {
+                                jnl->worker(w).emit(journal::Level::Debug,
+                                                    local_generated, "quarantine",
+                                                    e.what());
+                            }
                             std::lock_guard lock(merge_mutex);
                             if (worker_faults[w].size() < kMaxQuarantinedErrors) {
                                 worker_faults[w].emplace_back(local_generated, e.what());
@@ -559,6 +614,11 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
                                 curve.bounds, summary.tree())
                 .save(control.checkpoint_path);
         live.add_checkpoint(bytes);
+        if (jnl != nullptr) {
+            jnl->emit(journal::Level::Debug, "checkpoint", "checkpoint written",
+                      {{"samples", summary.count()},
+                       {"bytes", static_cast<std::uint64_t>(bytes)}});
+        }
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count() + control.checkpoint_every : 0;
@@ -578,16 +638,26 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         const std::size_t consumed = collector.drain_ordered(
             last, &summary, &terminal_tags,
             [&] {
+                // Sample-granular marks, exactly as in estimate_parallel.
+                if (summary.count() == next_mark) {
+                    if (report != nullptr) {
+                        report->stop_trajectory.push_back(
+                            {summary.count(), required, last.successes});
+                    }
+                    if (jnl != nullptr) {
+                        jnl->emit(journal::Level::Trace, "mark",
+                                  "stop-criterion trajectory mark",
+                                  {{"samples", summary.count()},
+                                   {"successes", last.successes}});
+                    }
+                    next_mark *= 2;
+                }
                 return criterion.should_stop_curve(summary) ||
                        governor.should_stop(summary.count(), total_steps,
                                             tag_count(terminal_tags,
                                                       PathTerminal::Error));
             },
             &total_steps);
-        if (report != nullptr && consumed > 0 && summary.count() >= next_mark) {
-            report->stop_trajectory.push_back({summary.count(), required});
-            while (next_mark <= summary.count()) next_mark *= 2;
-        }
         if (consumed > 0) {
             live.add_samples(consumed);
             live.add_round();
@@ -636,6 +706,12 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
         live.on_snapshot(snap);
         if (progress) progress(snap);
     }
+    if (jnl != nullptr) {
+        jnl->merge_workers(collector.consumed_per_worker(), base);
+        jnl->emit(journal::Level::Info, "stop", governor.stop_cause(),
+                  {{"status", std::string(sim::to_string(governor.status()))},
+                   {"samples", summary.count()}});
+    }
 
     const std::vector<std::uint64_t> accepted = collector.consumed_per_worker();
     CurveResult result;
@@ -674,7 +750,7 @@ CurveResult estimate_curve_parallel(const eda::Network& net,
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
             report->stop_trajectory.back().samples != result.samples) {
-            report->stop_trajectory.push_back({result.samples, required});
+            report->stop_trajectory.push_back({result.samples, required, last.successes});
         }
         report->value = result.points.back().estimate;
         report->samples = result.samples;

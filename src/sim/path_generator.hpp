@@ -22,6 +22,7 @@
 #include "sim/run_control.hpp"
 #include "sim/strategy.hpp"
 #include "sim/trace.hpp"
+#include "support/journal.hpp"
 #include "support/metrics.hpp"
 #include "support/telemetry.hpp"
 #include "support/tracer/tracer.hpp"
@@ -76,6 +77,11 @@ struct SimOptions {
     /// must be < metrics->shards().
     metrics::Registry* metrics = nullptr;
     std::size_t metrics_shard = 0;
+    /// Optional structured run journal (support/journal.hpp, docs/
+    /// observability.md); acted on by the estimation runners (lifecycle,
+    /// checkpoint, quarantine and stop events) — the path generator itself
+    /// ignores it, so the hot loop pays nothing.
+    journal::Journal* journal = nullptr;
 };
 
 enum class PathTerminal : std::uint8_t {

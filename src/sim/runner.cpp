@@ -112,6 +112,12 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         result.path_errors = result.terminals[static_cast<std::size_t>(PathTerminal::Error)];
         while (next_mark <= ck.cursor) next_mark *= 2;
     }
+    // Journal hooks mirror the parallel runner exactly — one worker ring,
+    // merged after the loop — so journals are byte-identical (deterministic
+    // view) at every worker count.
+    journal::Journal* jnl = options.journal;
+    if (jnl != nullptr) jnl->begin_workers(1);
+    const std::uint64_t journal_base = path_index;
     LiveRunMetrics live(options.metrics, control.budget);
     auto save_checkpoint = [&] {
         const std::size_t bytes =
@@ -120,6 +126,11 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                                 total_steps, result.terminals, result.error_log)
                 .save(control.checkpoint_path);
         live.add_checkpoint(bytes);
+        if (jnl != nullptr) {
+            jnl->emit(journal::Level::Debug, "checkpoint", "checkpoint written",
+                      {{"samples", summary.count},
+                       {"bytes", static_cast<std::uint64_t>(bytes)}});
+        }
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count + control.checkpoint_every : 0;
@@ -165,6 +176,11 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
                     out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
                     quarantine_error(result.error_log, path_index, e.what());
                     live.add_quarantined();
+                    if (jnl != nullptr) {
+                        jnl->worker(0).emit(journal::Level::Debug,
+                                            path_index - journal_base, "quarantine",
+                                            e.what());
+                    }
                 }
             } else {
                 out = gen.run(rng);
@@ -180,8 +196,17 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
             ++result.terminals[static_cast<std::size_t>(out.terminal)];
             if (out.terminal == PathTerminal::Error) ++result.path_errors;
             total_steps += out.steps;
-            if (report != nullptr && summary.count == next_mark) {
-                report->stop_trajectory.push_back({summary.count, required});
+            if (summary.count == next_mark) {
+                if (report != nullptr) {
+                    report->stop_trajectory.push_back(
+                        {summary.count, required, summary.successes});
+                }
+                if (jnl != nullptr) {
+                    jnl->emit(journal::Level::Trace, "mark",
+                              "stop-criterion trajectory mark",
+                              {{"samples", summary.count},
+                               {"successes", summary.successes}});
+                }
                 next_mark *= 2;
             }
             if (next_checkpoint != 0 && summary.count >= next_checkpoint) {
@@ -209,6 +234,13 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         if (progress) progress(snap);
     }
     run_span.end();
+    if (jnl != nullptr) {
+        const std::uint64_t journal_accepted[] = {summary.count - journal_base};
+        jnl->merge_workers(journal_accepted, journal_base);
+        jnl->emit(journal::Level::Info, "stop", governor.stop_cause(),
+                  {{"status", std::string(sim::to_string(governor.status()))},
+                   {"samples", summary.count}});
+    }
 
     if (capture) {
         // Replay with instruments stripped so witnesses do not double-count
@@ -219,6 +251,7 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
         replay_options.coverage = false;
         replay_options.coverage_shard = nullptr;
         replay_options.metrics = nullptr;
+        replay_options.journal = nullptr;
         const PathGenerator replay_gen(net, property, strategy, replay_options);
         const WitnessBuffer buffers[] = {witness_buffer};
         const std::uint64_t accepted[] = {summary.count};
@@ -249,7 +282,8 @@ EstimationResult estimate(const eda::Network& net, const TimedReachability& prop
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
             report->stop_trajectory.back().samples != summary.count) {
-            report->stop_trajectory.push_back({summary.count, required});
+            report->stop_trajectory.push_back(
+                {summary.count, required, summary.successes});
         }
         report->value = result.estimate;
         report->samples = result.samples;
@@ -375,6 +409,11 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
         result.path_errors = result.terminals[static_cast<std::size_t>(PathTerminal::Error)];
         while (next_mark <= ck.cursor) next_mark *= 2;
     }
+    // Journal hooks mirror the parallel curve runner (one worker ring,
+    // merged after the loop); see estimate() above.
+    journal::Journal* jnl = options.journal;
+    if (jnl != nullptr) jnl->begin_workers(1);
+    const std::uint64_t journal_base = path_index;
     LiveRunMetrics live(options.metrics, control.budget);
     auto save_checkpoint = [&] {
         const std::size_t bytes =
@@ -384,6 +423,11 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
                                 curve.bounds, summary.tree())
                 .save(control.checkpoint_path);
         live.add_checkpoint(bytes);
+        if (jnl != nullptr) {
+            jnl->emit(journal::Level::Debug, "checkpoint", "checkpoint written",
+                      {{"samples", summary.count()},
+                       {"bytes", static_cast<std::uint64_t>(bytes)}});
+        }
     };
     std::uint64_t next_checkpoint =
         control.checkpoint_every > 0 ? summary.count() + control.checkpoint_every : 0;
@@ -416,6 +460,11 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
                 out = PathOutcome{false, PathTerminal::Error, 0.0, 0};
                 quarantine_error(result.error_log, path_index, e.what());
                 live.add_quarantined();
+                if (jnl != nullptr) {
+                    jnl->worker(0).emit(journal::Level::Debug,
+                                        path_index - journal_base, "quarantine",
+                                        e.what());
+                }
             }
         } else {
             out = gen.run(rng);
@@ -427,8 +476,17 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
         ++result.terminals[static_cast<std::size_t>(out.terminal)];
         if (out.terminal == PathTerminal::Error) ++result.path_errors;
         total_steps += out.steps;
-        if (report != nullptr && summary.count() == next_mark) {
-            report->stop_trajectory.push_back({summary.count(), required});
+        if (summary.count() == next_mark) {
+            if (report != nullptr) {
+                report->stop_trajectory.push_back(
+                    {summary.count(), required, last.successes});
+            }
+            if (jnl != nullptr) {
+                jnl->emit(journal::Level::Trace, "mark",
+                          "stop-criterion trajectory mark",
+                          {{"samples", summary.count()},
+                           {"successes", last.successes}});
+            }
             next_mark *= 2;
         }
         if (next_checkpoint != 0 && summary.count() >= next_checkpoint) {
@@ -455,6 +513,13 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
         if (progress) progress(snap);
     }
     run_span.end();
+    if (jnl != nullptr) {
+        const std::uint64_t journal_accepted[] = {summary.count() - journal_base};
+        jnl->merge_workers(journal_accepted, journal_base);
+        jnl->emit(journal::Level::Info, "stop", governor.stop_cause(),
+                  {{"status", std::string(sim::to_string(governor.status()))},
+                   {"samples", summary.count()}});
+    }
 
     if (coverage) {
         const CoverageShard* shard_ptr = &*shard;
@@ -479,7 +544,7 @@ CurveResult estimate_curve(const eda::Network& net, const TimedReachability& pro
     if (report != nullptr) {
         if (report->stop_trajectory.empty() ||
             report->stop_trajectory.back().samples != result.samples) {
-            report->stop_trajectory.push_back({result.samples, required});
+            report->stop_trajectory.push_back({result.samples, required, last.successes});
         }
         report->value = result.points.back().estimate;
         report->samples = result.samples;

@@ -1,0 +1,215 @@
+#include "stat/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stat/bernoulli.hpp"
+#include "support/json.hpp"
+
+namespace slimsim::stat {
+
+namespace {
+
+using telemetry::DiagnosticItem;
+using telemetry::DiagnosticsReport;
+using telemetry::RunReport;
+
+double find_param(const RunReport& report, const std::string& name,
+                  double fallback) {
+    for (const auto& [key, value] : report.params) {
+        if (key == name) return value;
+    }
+    return fallback;
+}
+
+void push(DiagnosticsReport& out, std::string check, std::string severity,
+          double value, std::string hint) {
+    if (severity != "ok") ++out.warnings;
+    out.items.push_back(
+        {std::move(check), std::move(severity), value, std::move(hint)});
+}
+
+std::string percent(double rate) {
+    return json::format_double(rate * 100.0) + "%";
+}
+
+/// Running-estimate drift: how far (in final half-widths) the estimate
+/// moved over the second half of the stop-criterion trajectory. A large
+/// drift means the run stopped while the estimate was still travelling —
+/// the classic symptom of an optimistic CI.
+void check_drift(const RunReport& report, const DiagnosticsOptions& options,
+                 DiagnosticsReport& out) {
+    if (report.samples == 0 || report.stop_trajectory.size() < 2) return;
+    const double final_estimate =
+        static_cast<double>(report.successes) / static_cast<double>(report.samples);
+    double half_width = report.run_status.achieved_half_width;
+    if (half_width <= 0.0) {
+        const double delta = find_param(report, "delta", 0.05);
+        const double p = std::clamp(final_estimate, 0.0, 1.0);
+        half_width = normal_quantile(1.0 - delta / 2.0) *
+                     std::sqrt(p * (1.0 - p) /
+                               static_cast<double>(report.samples));
+    }
+    if (half_width <= 0.0) return;
+    double drift = 0.0;
+    for (const auto& point : report.stop_trajectory) {
+        if (point.samples == 0 || point.samples * 2 < report.samples) continue;
+        const double estimate = static_cast<double>(point.successes) /
+                                static_cast<double>(point.samples);
+        drift = std::max(drift, std::abs(estimate - final_estimate) / half_width);
+    }
+    std::string hint;
+    std::string severity = "ok";
+    if (drift > options.drift_half_widths) {
+        severity = "warning";
+        hint = "estimate moved " + json::format_double(drift) +
+               " final half-widths over the second half of the run — it may "
+               "still be drifting; tighten --eps or raise the sample budget";
+    }
+    push(out, "estimate-drift", std::move(severity), drift, std::move(hint));
+}
+
+/// Batch-means CI calibration: the stop-criterion trajectory splits the
+/// accepted sequence into segments; under iid Bernoulli sampling the
+/// between-segment variance of the segment proportions matches the
+/// binomial expectation (ratio 1). A ratio far above 1 means the CI is
+/// narrower than the data supports; the effective sample size shrinks by
+/// that factor.
+void check_calibration(const RunReport& report, const DiagnosticsOptions& options,
+                       DiagnosticsReport& out) {
+    if (report.samples == 0 || report.successes == 0 ||
+        report.successes == report.samples) {
+        return; // degenerate pooled proportion: the statistic is undefined
+    }
+    struct Segment {
+        double n;
+        double p;
+    };
+    std::vector<Segment> segments;
+    std::uint64_t prev_samples = 0;
+    std::uint64_t prev_successes = 0;
+    for (const auto& point : report.stop_trajectory) {
+        if (point.samples <= prev_samples) continue;
+        const double n = static_cast<double>(point.samples - prev_samples);
+        const double s = static_cast<double>(point.successes - prev_successes);
+        segments.push_back({n, s / n});
+        prev_samples = point.samples;
+        prev_successes = point.successes;
+    }
+    if (report.samples > prev_samples) {
+        const double n = static_cast<double>(report.samples - prev_samples);
+        const double s = static_cast<double>(report.successes - prev_successes);
+        segments.push_back({n, s / n});
+    }
+    if (segments.size() < options.min_batches) return;
+    const double pooled = static_cast<double>(report.successes) /
+                          static_cast<double>(report.samples);
+    double chi2 = 0.0;
+    for (const auto& segment : segments) {
+        const double d = segment.p - pooled;
+        chi2 += segment.n * d * d / (pooled * (1.0 - pooled));
+    }
+    const double ratio = chi2 / static_cast<double>(segments.size() - 1);
+    const double ess =
+        static_cast<double>(report.samples) / std::max(ratio, 1.0);
+    std::string severity = "ok";
+    std::string hint;
+    if (ratio > options.calibration_ratio) {
+        severity = "warning";
+        hint = "batch-means variance is " + json::format_double(ratio) +
+               "x the binomial expectation — the CI may be optimistic "
+               "(effective sample size ~" +
+               std::to_string(static_cast<std::uint64_t>(ess)) + " of " +
+               std::to_string(report.samples) + ")";
+    }
+    push(out, "ci-calibration", std::move(severity), ratio, std::move(hint));
+    push(out, "effective-sample-size", "ok", ess, "");
+}
+
+/// Per-level splitting health: the conditional crossing rate of level L is
+/// crossings(L) over the lineages that existed at L-1 (crossings + clones
+/// there; the roots for the first level). A starved level multiplies
+/// variance, a saturated one only multiplies paths.
+void check_splitting(const RunReport& report, const DiagnosticsOptions& options,
+                     DiagnosticsReport& out) {
+    const auto& sp = report.splitting;
+    if (!sp.enabled) return;
+    if (sp.goal_hits == 0) {
+        push(out, "splitting-goal-hits", "critical", 0.0,
+             "no goal hits — the estimate is 0; add levels closer to the goal "
+             "(--split-auto) or raise --split-roots");
+    } else {
+        push(out, "splitting-goal-hits", "ok",
+             static_cast<double>(sp.goal_hits), "");
+    }
+    std::uint64_t lineages_below = sp.roots;
+    for (const auto& row : sp.levels) {
+        if (lineages_below == 0) break;
+        const double rate = static_cast<double>(row.crossings) /
+                            static_cast<double>(lineages_below);
+        std::string severity = "ok";
+        std::string hint;
+        if (rate < options.degenerate_rate) {
+            severity = "warning";
+            hint = "level " + std::to_string(row.level) + " crossing rate " +
+                   percent(rate) +
+                   " — the level is starved; consider a larger --split-factor "
+                   "or --split-auto placement";
+        } else if (rate > options.saturated_rate) {
+            severity = "warning";
+            hint = "level " + std::to_string(row.level) + " crossing rate " +
+                   percent(rate) +
+                   " — the level is nearly free and only multiplies paths; "
+                   "drop it (--split-auto skips always-reached levels)";
+        }
+        push(out, "splitting-level", std::move(severity), rate, std::move(hint));
+        lineages_below = row.crossings + row.clones;
+    }
+}
+
+/// Curve band tightness: the achieved simultaneous half-width against the
+/// requested eps, plus bounds the sample set never resolved (zero hits).
+void check_curve(const RunReport& report, DiagnosticsReport& out) {
+    const auto& curve = report.curve;
+    if (curve.points.empty()) return;
+    const double eps = find_param(report, "eps", 0.0);
+    std::string severity = "ok";
+    std::string hint;
+    if (eps > 0.0 && curve.simultaneous_eps > eps * (1.0 + 1e-9)) {
+        severity = "warning";
+        hint = "curve band +-" + json::format_double(curve.simultaneous_eps) +
+               " is wider than the requested eps " + json::format_double(eps) +
+               " — the run stopped before the band tightened; raise the "
+               "budget or loosen --eps";
+    }
+    push(out, "curve-band", std::move(severity), curve.simultaneous_eps,
+         std::move(hint));
+    std::uint64_t empty_bounds = 0;
+    for (const auto& point : curve.points) {
+        if (point.successes == 0) ++empty_bounds;
+    }
+    if (empty_bounds > 0) {
+        push(out, "curve-empty-bounds", "warning",
+             static_cast<double>(empty_bounds),
+             std::to_string(empty_bounds) +
+                 " curve bound(s) have zero hits — the smallest bounds are "
+                 "unresolved at this sample count");
+    } else {
+        push(out, "curve-empty-bounds", "ok", 0.0, "");
+    }
+}
+
+} // namespace
+
+telemetry::DiagnosticsReport diagnose_run(const telemetry::RunReport& report,
+                                          const DiagnosticsOptions& options) {
+    DiagnosticsReport out;
+    out.enabled = true;
+    check_drift(report, options, out);
+    check_calibration(report, options, out);
+    check_splitting(report, options, out);
+    check_curve(report, out);
+    return out;
+}
+
+} // namespace slimsim::stat

@@ -1,0 +1,41 @@
+// Estimator health diagnostics (docs/observability.md): deterministic
+// post-hoc checks over the deterministic fields of a finished run report —
+// running-estimate drift against the stop-criterion trajectory, a
+// batch-means effective-sample-size / CI-calibration check, per-level
+// splitting health (crossing rates, degenerate / saturated levels), and
+// curve band tightness — each emitted as a severity-tagged item with an
+// actionable hint.
+//
+// Every check is a pure function of report fields that are themselves
+// deterministic in (seed, workers), so the resulting "diagnostics" report
+// section is byte-identical across worker counts whenever the run is.
+#pragma once
+
+#include "support/telemetry.hpp"
+
+namespace slimsim::stat {
+
+/// Tunable thresholds; the defaults are what the CLI uses.
+struct DiagnosticsOptions {
+    /// Drift check: warn when the estimate moved more than this many final
+    /// half-widths over the second half of the trajectory.
+    double drift_half_widths = 1.0;
+    /// CI-calibration check: warn when the batch-means variance ratio
+    /// exceeds this (1 = exactly binomial).
+    double calibration_ratio = 2.0;
+    /// Minimum trajectory segments before the calibration check speaks.
+    std::size_t min_batches = 8;
+    /// Splitting: a level whose conditional crossing rate is below this is
+    /// degenerate (starved); above `saturated_rate` it is free (useless).
+    double degenerate_rate = 0.01;
+    double saturated_rate = 0.9;
+};
+
+/// Runs every applicable check over `report` and returns the diagnostics
+/// section (enabled = true). Checks that lack their inputs (no trajectory,
+/// no splitting section, no curve) are skipped, not failed.
+[[nodiscard]] telemetry::DiagnosticsReport
+diagnose_run(const telemetry::RunReport& report,
+             const DiagnosticsOptions& options = {});
+
+} // namespace slimsim::stat

@@ -139,6 +139,8 @@ void Server::serve_connection(int fd) {
     }
 
     Response res;
+    bool head_only = false;
+    bool method_not_allowed = false;
     const std::size_t line_end = head.find("\r\n");
     const std::string request_line =
         head.substr(0, line_end == std::string::npos ? head.size() : line_end);
@@ -147,21 +149,32 @@ void Server::serve_connection(int fd) {
         sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos) {
         res = {400, "text/plain; charset=utf-8", "bad request\n"};
-    } else if (request_line.substr(0, sp1) != "GET") {
-        res = {405, "text/plain; charset=utf-8", "method not allowed\n"};
     } else {
-        std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-        const std::size_t query = path.find('?');
-        if (query != std::string::npos) path.resize(query);
-        res = handler_(path);
+        const std::string method = request_line.substr(0, sp1);
+        if (method != "GET" && method != "HEAD") {
+            method_not_allowed = true;
+            res = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+        } else {
+            head_only = method == "HEAD";
+            Request req;
+            req.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+            const std::size_t query = req.path.find('?');
+            if (query != std::string::npos) {
+                req.query = req.path.substr(query + 1);
+                req.path.resize(query);
+            }
+            res = handler_(req);
+        }
     }
 
     std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
                       status_text(res.status) + "\r\n";
     out += "Content-Type: " + res.content_type + "\r\n";
+    // A HEAD response advertises the length the GET body would have had.
     out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+    if (method_not_allowed) out += "Allow: GET, HEAD\r\n";
     out += "Connection: close\r\n\r\n";
-    out += res.body;
+    if (!head_only) out += res.body;
     send_all(fd, out);
 }
 

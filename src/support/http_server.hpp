@@ -3,11 +3,12 @@
 // observability endpoints (/metrics, /status, /healthz) of a running
 // analysis to Prometheus scrapers and curl.
 //
-// Deliberately tiny: GET only, one request per connection
-// (Connection: close), loopback bind. The accept loop multiplexes the
-// listening socket against a self-pipe with poll(), so stop() — called on
-// run end or from the SIGINT path's normal unwind — wakes the thread
-// immediately instead of waiting for the next connection.
+// Deliberately tiny: GET and HEAD only (HEAD answers with the same headers
+// and no body; other methods get a 405 with an Allow header), one request
+// per connection (Connection: close), loopback bind. The accept loop
+// multiplexes the listening socket against a self-pipe with poll(), so
+// stop() — called on run end or from the SIGINT path's normal unwind —
+// wakes the thread immediately instead of waiting for the next connection.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +24,18 @@ struct Response {
     std::string body;
 };
 
-/// Invoked on the server thread with the request path (query string
-/// stripped); must be thread-safe against the run it observes.
-using Handler = std::function<Response(const std::string& path)>;
+/// One parsed request: the path with its query string split off (no '?'),
+/// so handlers route on `path` and endpoints that take parameters
+/// (/journal?tail=N) read `query`.
+struct Request {
+    std::string path;
+    std::string query;
+};
+
+/// Invoked on the server thread; must be thread-safe against the run it
+/// observes. HEAD requests reach the handler like GETs — the server
+/// suppresses the body but keeps the Content-Length it would have had.
+using Handler = std::function<Response(const Request& request)>;
 
 class Server {
 public:

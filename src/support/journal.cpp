@@ -1,0 +1,145 @@
+#include "support/journal.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::journal {
+
+std::string_view to_string(Level level) {
+    switch (level) {
+    case Level::Info: return "info";
+    case Level::Debug: return "debug";
+    case Level::Trace: return "trace";
+    }
+    return "info";
+}
+
+Level parse_level(std::string_view text) {
+    if (text == "info") return Level::Info;
+    if (text == "debug") return Level::Debug;
+    if (text == "trace") return Level::Trace;
+    throw Error("--log-level: unknown level '" + std::string(text) +
+                "' (expected info, debug or trace)");
+}
+
+Journal::Journal(Level level, std::size_t worker_capacity)
+    : level_(level), worker_capacity_(std::max<std::size_t>(1, worker_capacity)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void Journal::emit(Level l, std::string_view event, std::string_view message,
+                   std::vector<Field> fields) {
+    if (!enabled(l)) return;
+    Event e;
+    e.level = l;
+    e.name = std::string(event);
+    e.message = std::string(message);
+    e.fields = std::move(fields);
+    e.t = now();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(std::move(e));
+}
+
+Journal::WorkerLog::WorkerLog(Journal* parent, std::size_t capacity)
+    : parent_(parent), capacity_(capacity) {
+    entries_.reserve(capacity);
+}
+
+void Journal::WorkerLog::emit(Level l, std::uint64_t local_path,
+                              std::string_view event, std::string_view message,
+                              std::vector<Field> fields) {
+    if (!parent_->enabled(l)) return;
+    if (entries_.size() >= capacity_) {
+        // Keep the first `capacity_` events: the deterministic prefix. A
+        // keep-newest policy would make which events survive depend on how
+        // far past the accepted prefix this worker happened to run.
+        ++dropped_;
+        return;
+    }
+    Entry entry;
+    entry.local = local_path;
+    entry.event.level = l;
+    entry.event.name = std::string(event);
+    entry.event.message = std::string(message);
+    entry.event.fields = std::move(fields);
+    entry.event.t = parent_->now();
+    entries_.push_back(std::move(entry));
+}
+
+void Journal::begin_workers(std::size_t workers) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    workers_.clear();
+    workers_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        workers_.emplace_back(new WorkerLog(this, worker_capacity_));
+    }
+}
+
+void Journal::merge_workers(std::span<const std::uint64_t> accepted,
+                            std::uint64_t base) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t k = workers_.size();
+    std::vector<Event> merged;
+    for (std::size_t w = 0; w < k && w < accepted.size(); ++w) {
+        WorkerLog& log = *workers_[w];
+        merged_dropped_ += log.dropped_;
+        for (WorkerLog::Entry& entry : log.entries_) {
+            if (entry.local >= accepted[w]) continue; // beyond the accepted prefix
+            entry.event.has_path = true;
+            entry.event.path = base + entry.local * k + w;
+            merged.push_back(std::move(entry.event));
+        }
+        log.entries_.clear();
+        log.dropped_ = 0;
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Event& a, const Event& b) { return a.path < b.path; });
+    for (Event& e : merged) entries_.push_back(std::move(e));
+}
+
+std::size_t Journal::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t Journal::dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = merged_dropped_;
+    for (const auto& w : workers_) n += w->dropped_;
+    return n;
+}
+
+void Journal::write_line(std::string& out, const Event& e, std::size_t seq,
+                         bool deterministic_view) {
+    json::Value line = json::Value::object();
+    line["seq"] = static_cast<std::uint64_t>(seq);
+    line["t"] = deterministic_view ? 0.0 : e.t;
+    line["level"] = to_string(e.level);
+    line["event"] = e.name;
+    line["msg"] = e.message;
+    if (e.has_path) line["path"] = e.path;
+    for (const Field& f : e.fields) line[f.key] = f.value;
+    out += line.dump();
+    out += '\n';
+}
+
+std::string Journal::to_jsonl(bool deterministic_view) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        write_line(out, entries_[i], i, deterministic_view);
+    }
+    return out;
+}
+
+std::string Journal::tail_jsonl(std::size_t n) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    const std::size_t first = entries_.size() > n ? entries_.size() - n : 0;
+    for (std::size_t i = first; i < entries_.size(); ++i) {
+        write_line(out, entries_[i], i, false);
+    }
+    return out;
+}
+
+} // namespace slimsim::journal

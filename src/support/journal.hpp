@@ -1,0 +1,153 @@
+// Structured run journal (docs/observability.md): a leveled JSONL event log
+// of what an analysis run *did* — lifecycle, phase transitions, checkpoint
+// writes, fault quarantines, splitting level placement, budget/signal stops.
+//
+// Design constraints, in order:
+//   1. Results must be byte-identical with the journal on or off: the
+//      journal only observes. Nothing here feeds back into sampling order
+//      or RNG streams, and the hot path pays one null/level check per
+//      (rare) event site.
+//   2. Deterministic fields must be byte-identical across worker counts.
+//      Events fall in two classes: *serial* events are emitted by the
+//      lifecycle/consuming thread in an order that is already deterministic
+//      in (seed) under per-path streams (checkpoints and stop-criterion
+//      marks fire at accepted-sample counts); *worker* events (fault
+//      quarantines) are buffered in per-worker lock-free bounded rings
+//      tagged with the worker-local path index and merged after join in
+//      global path order — worker w of k owns paths base + w, base + w + k,
+//      ..., so local index r maps to global base + r*k + w, exactly like
+//      the parallel runner's fault-log merge.
+//   3. Wall-clock fields are zeroed under the deterministic view, like the
+//      tracer: every line carries "t" (seconds since journal construction)
+//      and nothing else that is timing dependent.
+//
+// One line per event: {"seq","t","level","event","msg",["path"],...fields}.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace slimsim::journal {
+
+/// Event severity/verbosity. Each level includes the ones above it:
+/// info = lifecycle + placement, debug = checkpoints/quarantines/levels,
+/// trace = stop-criterion trajectory marks.
+enum class Level : std::uint8_t { Info = 0, Debug = 1, Trace = 2 };
+
+[[nodiscard]] std::string_view to_string(Level level);
+
+/// Parses "info" | "debug" | "trace"; throws Error with a one-line
+/// diagnostic naming --log-level otherwise (the CLI convention).
+[[nodiscard]] Level parse_level(std::string_view text);
+
+/// One extra key/value on an event line, rendered in insertion order.
+struct Field {
+    std::string key;
+    json::Value value;
+};
+
+/// A recorded event. `t` is the only wall-clock field; `path` is the global
+/// path index for worker events (absent on serial events).
+struct Event {
+    Level level = Level::Info;
+    std::string name;
+    std::string message;
+    std::vector<Field> fields;
+    double t = 0.0;
+    bool has_path = false;
+    std::uint64_t path = 0;
+};
+
+class Journal {
+public:
+    explicit Journal(Level level = Level::Info, std::size_t worker_capacity = 1024);
+
+    [[nodiscard]] Level level() const { return level_; }
+    [[nodiscard]] bool enabled(Level l) const {
+        return static_cast<std::uint8_t>(l) <= static_cast<std::uint8_t>(level_);
+    }
+
+    /// Serial emission: lifecycle / consuming thread only. Events below the
+    /// configured level are dropped. Thread-safe against concurrent readers
+    /// (tail_jsonl from the HTTP thread).
+    void emit(Level l, std::string_view event, std::string_view message,
+              std::vector<Field> fields = {});
+
+    /// Single-producer bounded event ring owned by one worker thread; no
+    /// locks — the consumer only reads it after the worker joined. On
+    /// overflow the ring keeps the *first* `worker_capacity` events (the
+    /// deterministic prefix) and counts the rest as dropped.
+    class WorkerLog {
+    public:
+        void emit(Level l, std::uint64_t local_path, std::string_view event,
+                  std::string_view message, std::vector<Field> fields = {});
+
+    private:
+        friend class Journal;
+        WorkerLog(Journal* parent, std::size_t capacity);
+
+        struct Entry {
+            std::uint64_t local = 0;
+            Event event;
+        };
+        Journal* parent_;
+        std::size_t capacity_;
+        std::vector<Entry> entries_;
+        std::uint64_t dropped_ = 0;
+    };
+
+    /// (Re)creates the per-worker rings; called by a runner before spawning
+    /// workers. The sequential runner uses one ring (k = 1) so journals are
+    /// byte-identical across worker counts.
+    void begin_workers(std::size_t workers);
+    [[nodiscard]] WorkerLog& worker(std::size_t w) { return *workers_[w]; }
+
+    /// Merges worker events into the serial stream after all workers
+    /// joined: events of worker w with local index < accepted[w] map to
+    /// global path base + local*k + w; the rest (beyond the accepted
+    /// prefix) are discarded. Merged events are appended in global path
+    /// order, so the journal is deterministic at every worker count.
+    void merge_workers(std::span<const std::uint64_t> accepted, std::uint64_t base);
+
+    /// Events recorded so far (serial + merged).
+    [[nodiscard]] std::size_t size() const;
+    /// Events lost to worker-ring overflow (0 in any healthy run).
+    [[nodiscard]] std::uint64_t dropped() const;
+
+    /// The full journal as JSONL, one event per line, "seq" equal to the
+    /// line's position. The deterministic view zeroes the wall-clock "t"
+    /// field so journals diff cleanly across runs and worker counts.
+    [[nodiscard]] std::string to_jsonl(bool deterministic_view = false) const;
+
+    /// The last `n` events currently in the serial stream (live tail for
+    /// the /journal?tail=N endpoint); worker-ring events appear once merged.
+    [[nodiscard]] std::string tail_jsonl(std::size_t n) const;
+
+private:
+    [[nodiscard]] double now() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+            .count();
+    }
+    static void write_line(std::string& out, const Event& e, std::size_t seq,
+                           bool deterministic_view);
+
+    const Level level_;
+    const std::size_t worker_capacity_;
+    const std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    std::vector<Event> entries_;
+    std::uint64_t merged_dropped_ = 0;
+    std::vector<std::unique_ptr<WorkerLog>> workers_;
+};
+
+} // namespace slimsim::journal

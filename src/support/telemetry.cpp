@@ -314,6 +314,7 @@ json::Value RunReport::to_json() const {
             json::Value entry = json::Value::object();
             entry["samples"] = p.samples;
             entry["required"] = p.required;
+            entry["successes"] = p.successes;
             traj.push_back(std::move(entry));
         }
         json::Value sc = json::Value::object();
@@ -385,6 +386,24 @@ json::Value RunReport::to_json() const {
         cmj["nodes"] = compiled_model.nodes;
         cmj["bytecode_bytes"] = compiled_model.bytecode_bytes;
         doc["compiled_model"] = std::move(cmj);
+    }
+
+    // Estimator health checks (stat/diagnostics) are computed from the
+    // deterministic fields above, so the section itself is deterministic.
+    if (diagnostics.enabled) {
+        json::Value dg = json::Value::object();
+        dg["warnings"] = diagnostics.warnings;
+        json::Value checks = json::Value::array();
+        for (const auto& item : diagnostics.items) {
+            json::Value entry = json::Value::object();
+            entry["check"] = item.check;
+            entry["severity"] = item.severity;
+            entry["value"] = item.value;
+            if (!item.hint.empty()) entry["hint"] = item.hint;
+            checks.push_back(std::move(entry));
+        }
+        dg["checks"] = std::move(checks);
+        doc["diagnostics"] = std::move(dg);
     }
 
     // Recorder counters/histograms count events over *generated* paths;
@@ -524,6 +543,17 @@ std::string RunReport::to_text() const {
     }
     if (coverage.enabled) {
         os << "  " << coverage.summary_text();
+    }
+    if (diagnostics.enabled) {
+        os << "  diagnostics: " << diagnostics.warnings << " warning(s) over "
+           << diagnostics.items.size() << " check(s)\n";
+        for (const auto& item : diagnostics.items) {
+            if (item.severity == "ok") continue;
+            os << "    [" << item.severity << "] " << item.check << " = "
+               << item.value;
+            if (!item.hint.empty()) os << " — " << item.hint;
+            os << "\n";
+        }
     }
     if (compiled_model.present) {
         os << "  compiled:   " << compiled_model.unique_programs << "/"

@@ -161,10 +161,14 @@ struct CollectorStats {
 };
 
 /// One point of the stop-criterion trajectory: after `samples` accepted
-/// samples, the criterion required `required` (0 = adaptive, no a-priori n).
+/// samples (`successes` of them positive), the criterion required
+/// `required` (0 = adaptive, no a-priori n). Successes make the trajectory
+/// a running-estimate record, which the estimator health diagnostics
+/// (stat/diagnostics) read for drift and CI-calibration checks.
 struct StopPoint {
     std::uint64_t samples = 0;
     std::uint64_t required = 0;
+    std::uint64_t successes = 0;
 };
 
 /// One bound of a multi-bound curve estimate P( <> [0,u] goal ).
@@ -288,6 +292,27 @@ struct SplittingReport {
     std::vector<SplittingLevelReport> levels; // ascending by level
 };
 
+/// One estimator health check result (stat/diagnostics,
+/// docs/observability.md). `value` is the check's headline number (a rate,
+/// a ratio, a drift in half-widths); `hint` is the actionable advice shown
+/// to the user when the severity is above "ok".
+struct DiagnosticItem {
+    std::string check;    // e.g. "estimate-drift", "splitting-level"
+    std::string severity; // ok | warning | critical
+    double value = 0.0;
+    std::string hint; // empty when severity is "ok"
+};
+
+/// The "diagnostics" report section (schema v5): deterministic post-hoc
+/// estimator health checks computed from the deterministic report fields,
+/// so the section is byte-identical across worker counts whenever the run
+/// itself is.
+struct DiagnosticsReport {
+    bool enabled = false;
+    std::uint64_t warnings = 0; // items with severity above "ok"
+    std::vector<DiagnosticItem> items;
+};
+
 /// How an estimation run ended plus the partial-result context (run
 /// hardening, docs/robustness.md). Deterministic except for wall-clock stop
 /// causes (budget_exhausted via --max-seconds, interrupted).
@@ -306,7 +331,7 @@ struct RunStatusReport {
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
-    static constexpr std::uint64_t kSchemaVersion = 4;
+    static constexpr std::uint64_t kSchemaVersion = 5;
 
     // estimate | estimate-parallel | hypothesis-test | ctmc-flow |
     // estimate-splitting
@@ -335,6 +360,7 @@ struct RunReport {
     SplittingReport splitting; // importance splitting (disabled otherwise)
     CoverageReport coverage; // model coverage profile (disabled otherwise)
     CompiledModelReport compiled_model; // compile-time model facts (when compiled)
+    DiagnosticsReport diagnostics; // estimator health checks (schema v5)
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
         histograms;

@@ -21,6 +21,7 @@
 
 #include "api/analysis.hpp"
 #include "support/http_server.hpp"
+#include "support/journal.hpp"
 #include "support/metrics_text.hpp"
 #include "support/thread_pool.hpp"
 
@@ -205,9 +206,12 @@ std::string body_of(const std::string& response) {
 TEST(HttpServer, ServesRoutesAndErrorCodes) {
     http::Server server;
     const std::uint16_t port =
-        server.start(0, [](const std::string& path) -> http::Response {
-            if (path == "/hello") {
+        server.start(0, [](const http::Request& req) -> http::Response {
+            if (req.path == "/hello") {
                 return {200, "text/plain; charset=utf-8", "world\n"};
+            }
+            if (req.path == "/echo-query") {
+                return {200, "text/plain; charset=utf-8", req.query + "\n"};
             }
             return {404, "text/plain; charset=utf-8", "not found\n"};
         });
@@ -220,24 +224,61 @@ TEST(HttpServer, ServesRoutesAndErrorCodes) {
               std::string::npos);
     EXPECT_EQ(body_of(ok), "world\n");
 
-    // Query strings are stripped before routing.
+    // Query strings are stripped from the routed path and handed to the
+    // handler separately.
     EXPECT_EQ(body_of(http_get(port, "/hello?x=1")), "world\n");
+    EXPECT_EQ(body_of(http_get(port, "/echo-query?tail=5&x=1")), "tail=5&x=1\n");
 
-    EXPECT_NE(http_get(port, "/missing").find("HTTP/1.1 404"), std::string::npos);
-    EXPECT_NE(http_get(port, "/hello", "POST").find("HTTP/1.1 405"),
+    const std::string missing = http_get(port, "/missing");
+    EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+    // Error responses still carry a Content-Type.
+    EXPECT_NE(missing.find("Content-Type: text/plain; charset=utf-8"),
               std::string::npos);
 
     server.stop();
     server.stop(); // idempotent
 }
 
+TEST(HttpServer, HeadReturnsHeadersWithoutBody) {
+    http::Server server;
+    const std::uint16_t port =
+        server.start(0, [](const http::Request&) -> http::Response {
+            return {200, "text/plain; charset=utf-8", "world\n"};
+        });
+    ASSERT_GT(port, 0);
+    const std::string head = http_get(port, "/hello", "HEAD");
+    EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+    // Content-Length reflects the would-be GET body, but no body follows.
+    EXPECT_NE(head.find("Content-Length: 6"), std::string::npos) << head;
+    EXPECT_EQ(body_of(head), "");
+    server.stop();
+}
+
+TEST(HttpServer, UnsupportedMethodsGet405WithAllow) {
+    http::Server server;
+    const std::uint16_t port =
+        server.start(0, [](const http::Request&) -> http::Response {
+            return {200, "text/plain; charset=utf-8", "world\n"};
+        });
+    ASSERT_GT(port, 0);
+    for (const char* method : {"POST", "PUT", "DELETE"}) {
+        const std::string res = http_get(port, "/hello", method);
+        EXPECT_NE(res.find("HTTP/1.1 405"), std::string::npos) << method;
+        EXPECT_NE(res.find("Allow: GET, HEAD"), std::string::npos) << method;
+        EXPECT_NE(res.find("Content-Type: text/plain; charset=utf-8"),
+                  std::string::npos)
+            << method;
+    }
+    server.stop();
+}
+
 TEST(HttpServer, EphemeralPortsAreIndependent) {
     http::Server a;
     http::Server b;
-    const std::uint16_t pa =
-        a.start(0, [](const std::string&) -> http::Response { return {200, "t", "a"}; });
-    const std::uint16_t pb =
-        b.start(0, [](const std::string&) -> http::Response { return {200, "t", "b"}; });
+    const std::uint16_t pa = a.start(
+        0, [](const http::Request&) -> http::Response { return {200, "t", "a"}; });
+    const std::uint16_t pb = b.start(
+        0, [](const http::Request&) -> http::Response { return {200, "t", "b"}; });
     EXPECT_NE(pa, pb);
     EXPECT_EQ(body_of(http_get(pa, "/")), "a");
     EXPECT_EQ(body_of(http_get(pb, "/")), "b");
@@ -365,6 +406,93 @@ TEST_F(ServeAnalysisTest, EndpointsServeDuringAnInFlightRun) {
     runner.join();
     EXPECT_EQ(res.estimation.status, sim::RunStatus::Interrupted);
     EXPECT_GT(res.estimation.samples, 0u);
+}
+
+// Race detector fodder: scraper threads hammer every endpoint — /metrics,
+// /status, /series and /journal — while the run is in flight AND while the
+// interrupt flag drains it, so shard reads, the status board, the series
+// ring and the journal all race the engine's writes and the shutdown path.
+// The assertions are deliberately weak; under -DSLIMSIM_SANITIZE=thread this
+// test is what proves the introspection surface data-race-free.
+TEST_F(ServeAnalysisTest, ConcurrentScrapesRaceAnInterruptDrainedRun) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint16_t> port{0};
+    journal::Journal journal(journal::Level::Trace);
+
+    AnalysisRequest req = base_request();
+    req.workers = 2;
+    req.mode = AnalysisMode::EstimateParallel;
+    req.eps = 1e-5; // unreachable: the interrupt flag ends the run
+    req.sim.control.interrupt = &stop;
+    req.journal = &journal;
+    req.serve.enabled = true;
+    req.serve.port = 0;
+    req.serve.on_bound = [&port](std::uint16_t p) { port.store(p); };
+
+    AnalysisResult res;
+    std::thread runner([&] { res = run_analysis(net, req); });
+    while (port.load() == 0) std::this_thread::yield();
+
+    // Tolerant scrape client: the server may shut down mid-loop once the
+    // drain completes, so connect failures just end the scraper.
+    auto try_get = [](std::uint16_t p, const char* path) -> std::string {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return {};
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(p);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            ::close(fd);
+            return {};
+        }
+        const std::string req = std::string("GET ") + path + " HTTP/1.1\r\n"
+                                "Host: 127.0.0.1\r\nConnection: close\r\n\r\n";
+        if (::send(fd, req.data(), req.size(), 0) !=
+            static_cast<ssize_t>(req.size())) {
+            ::close(fd);
+            return {};
+        }
+        std::string out;
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n <= 0) break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+        ::close(fd);
+        return out;
+    };
+
+    std::atomic<bool> scrape_done{false};
+    std::vector<std::thread> scrapers;
+    const char* paths[] = {"/metrics", "/status", "/series", "/journal?tail=8"};
+    for (const char* path : paths) {
+        scrapers.emplace_back([&, path] {
+            std::size_t hits = 0;
+            while (!scrape_done.load()) {
+                const std::string r = try_get(port.load(), path);
+                if (r.empty()) break; // server shut down
+                EXPECT_NE(r.find("HTTP/1.1 200"), std::string::npos) << path;
+                ++hits;
+            }
+            EXPECT_GT(hits, 0u) << path;
+        });
+    }
+
+    // Let the scrapers overlap the live run, then drain it mid-scrape.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+    runner.join();
+    scrape_done.store(true);
+    for (std::thread& t : scrapers) t.join();
+
+    EXPECT_EQ(res.estimation.status, sim::RunStatus::Interrupted);
+    EXPECT_GT(res.estimation.samples, 0u);
+    // The journal recorded the lifecycle around the drained run.
+    const std::string jsonl = journal.to_jsonl(false);
+    EXPECT_NE(jsonl.find("\"event\":\"run_start\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"event\":\"run_end\""), std::string::npos);
 }
 
 // The whole point of the sharded design: turning on metrics + serving must

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Lint a slimsim run journal (JSONL; the CLI's --log file or a /journal
+scrape, docs/observability.md).
+
+Checks:
+  * every line parses as a JSON object;
+  * required keys seq, t, level, event, msg are present;
+  * seq is dense and increasing from the first line's seq (a --log file
+    starts at 0; a /journal?tail=N scrape starts mid-stream);
+  * level is one of info / debug / trace;
+  * t is a non-negative number;
+  * path, when present, is a non-negative integer.
+
+Usage: lint_journal.py FILE [--require EVENT]... [--from-zero]
+A FILE of `-` reads stdin. --require fails unless an event of that name
+appears (repeatable); --from-zero additionally requires seq to start at 0.
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+LEVELS = ('info', 'debug', 'trace')
+REQUIRED_KEYS = ('seq', 't', 'level', 'event', 'msg')
+
+
+def lint(lines, required, from_zero):
+    events = set()
+    expected_seq = None
+    for i, line in enumerate(lines, 1):
+        def fail(msg):
+            raise SystemExit(f'{i}: {msg}: {line!r}')
+
+        try:
+            entry = json.loads(line)
+        except ValueError as e:
+            fail(f'unparseable JSON ({e})')
+        if not isinstance(entry, dict):
+            fail('line is not a JSON object')
+        for key in REQUIRED_KEYS:
+            if key not in entry:
+                fail(f'missing required key {key!r}')
+        seq = entry['seq']
+        if not isinstance(seq, int) or seq < 0:
+            fail(f'seq must be a non-negative integer, got {seq!r}')
+        if expected_seq is None:
+            if from_zero and seq != 0:
+                fail(f'seq must start at 0, got {seq}')
+            expected_seq = seq
+        if seq != expected_seq:
+            fail(f'seq not dense: expected {expected_seq}, got {seq}')
+        expected_seq += 1
+        if entry['level'] not in LEVELS:
+            fail(f'unknown level {entry["level"]!r}')
+        t = entry['t']
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            fail(f't must be a non-negative number, got {t!r}')
+        if not isinstance(entry['event'], str) or not entry['event']:
+            fail('event must be a non-empty string')
+        if not isinstance(entry['msg'], str):
+            fail('msg must be a string')
+        if 'path' in entry:
+            path = entry['path']
+            if not isinstance(path, int) or isinstance(path, bool) or path < 0:
+                fail(f'path must be a non-negative integer, got {path!r}')
+        events.add(entry['event'])
+
+    missing = [e for e in required if e not in events]
+    if missing:
+        raise SystemExit(f'required events missing: {", ".join(missing)}')
+    return len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('file', help='journal JSONL file, or - for stdin')
+    parser.add_argument('--require', action='append', default=[],
+                        metavar='EVENT',
+                        help='fail unless this event appears (repeatable)')
+    parser.add_argument('--from-zero', action='store_true',
+                        help='require seq to start at 0 (full --log files)')
+    opts = parser.parse_args()
+    text = sys.stdin.read() if opts.file == '-' else open(opts.file).read()
+    lines = [l for l in text.splitlines() if l]
+    if not lines:
+        raise SystemExit('empty journal')
+    events = lint(lines, opts.require, opts.from_zero)
+    print(f'ok: {len(lines)} entries, {events} distinct events')
+
+
+if __name__ == '__main__':
+    main()

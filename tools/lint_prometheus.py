@@ -8,7 +8,7 @@ Checks:
   * every sample line parses and appears after its family's # TYPE;
   * # TYPE kinds are counter / gauge / histogram, no duplicate families;
   * # HELP, when present, directly precedes the # TYPE of the same family;
-  * counter family names end in _total;
+  * counter family names end in _total, and only counters use _total;
   * histogram samples only use the _bucket / _sum / _count suffixes,
     _bucket carries an `le` label, every histogram emits an le="+Inf"
     bucket and its _count equals the +Inf cumulative count;
@@ -70,6 +70,8 @@ def lint(lines, required):
                 fail(f'unknown type {kind}')
             if kind == 'counter' and not name.endswith('_total'):
                 fail(f'counter {name} must end in _total')
+            if kind != 'counter' and name.endswith('_total'):
+                fail(f'{name} ends in _total but is typed {kind}, not counter')
             if pending_help is not None and pending_help != name:
                 fail(f'# HELP {pending_help} does not precede its # TYPE')
             typed[name] = kind

@@ -8,13 +8,17 @@
 // outcome/latency-correlated workload fed straight into the collector.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
+
+#include <unistd.h>
 
 #include "bench_main.hpp"
 #include "models/gps.hpp"
 #include "models/sensor_filter.hpp"
 #include "sim/parallel_runner.hpp"
+#include "sim/supervise/supervise.hpp"
 #include "stat/collector.hpp"
 #include "support/journal.hpp"
 #include "support/metrics.hpp"
@@ -302,6 +306,70 @@ void journal_overhead(benchio::Report& report) {
     report.root()["journal_overhead"] = std::move(section);
 }
 
+// Process-isolation overhead: the same fixed-N estimation with per-path
+// RNG streams, run by the in-process parallel runner (4 threads) vs the
+// supervised runner (4 worker subprocesses, SLIMWIRE framing, fork/exec
+// included). Like-for-like path set — both sides simulate path j with
+// Rng(seed).split(j) — so the delta is pure supervision cost: process
+// spawn, frame encode/decode/checksum and the coordinator's poll loop.
+// CI gates the overhead at <= 10%.
+void supervision_overhead(benchio::Report& report) {
+    const std::string source = models::sensor_filter_source(4);
+    const eda::Network net = eda::build_network_from_source(source);
+    const sim::TimedReachability prop = sim::make_reachability(
+        net.model(), models::sensor_filter_goal(), 200.0 * 3600.0);
+    // Large enough that the fixed fork/exec + handshake cost (~tens of ms)
+    // amortizes below the CI gate; the steady-state per-sample wire cost is
+    // what the gate actually polices.
+    const stat::ChernoffHoeffding criterion(0.05, 0.008);
+    const std::size_t n = *criterion.fixed_sample_count();
+    const std::string model_file =
+        "bench_supervise_" + std::to_string(getpid()) + ".slim";
+    {
+        std::ofstream out(model_file);
+        out << source;
+    }
+    std::printf("\n== supervision overhead (N = %zu paths, 4 threads vs 4 processes, "
+                "min of 3 reps) ==\n",
+                n);
+    const auto run = [&](bool supervised) {
+        return std::function<void()>([&net, &prop, &criterion, &model_file,
+                                      supervised] {
+            if (supervised) {
+                sim::supervise::SuperviseOptions so;
+                so.processes = 4;
+                so.worker_exe = SLIMSIM_CLI_PATH;
+                so.model_path = model_file;
+                (void)sim::supervise::estimate_supervised(
+                    net, prop, sim::StrategyKind::Asap, criterion, 9, so);
+            } else {
+                sim::ParallelOptions po;
+                po.workers = 4;
+                po.sim.control.deterministic_streams = true;
+                (void)sim::estimate_parallel(net, prop, sim::StrategyKind::Asap,
+                                             criterion, 9, po);
+            }
+        });
+    };
+    const auto [threads, procs] = benchio::measure_interleaved(run(false), run(true), 3, 1);
+    std::remove(model_file.c_str());
+    json::Value section = json::Value::object();
+    const double threads_pps = static_cast<double>(n) / threads.min_seconds;
+    const double procs_pps = static_cast<double>(n) / procs.min_seconds;
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "in-process", threads.min_seconds,
+                threads_pps);
+    std::printf("%-18s  %-9.3fs  %-10.0f paths/s\n", "supervised", procs.min_seconds,
+                procs_pps);
+    const double overhead = (threads_pps / procs_pps - 1.0) * 100.0;
+    std::printf("supervision overhead: %.1f%%\n", overhead);
+    section["in_process"] = threads.to_json();
+    section["supervised"] = procs.to_json();
+    section["in_process_paths_per_s"] = threads_pps;
+    section["supervised_paths_per_s"] = procs_pps;
+    section["overhead_percent"] = overhead;
+    report.root()["supervision_overhead"] = std::move(section);
+}
+
 void bias_demo(benchio::Report& report) {
     // Synthetic workload reproducing the hazard of [21]: true p = 0.5, but
     // success paths are fast (one tick) while failure paths are slow (two
@@ -383,6 +451,7 @@ int main(int argc, char** argv) {
         checkpoint_overhead(report);
         metrics_overhead(report);
         journal_overhead(report);
+        supervision_overhead(report);
         bias_demo(report);
         return 0;
     } catch (const std::exception& e) {

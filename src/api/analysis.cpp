@@ -64,6 +64,7 @@ struct StatusIdentity {
     std::string content_hash; // empty when no compiled model
     std::uint64_t seed = 0;
     std::size_t workers = 1;
+    std::size_t processes = 0; // supervised runs: worker subprocess count
     double delta = 0.0;
     double eps = 0.0;
 };
@@ -78,6 +79,8 @@ std::string status_json(const StatusIdentity& id, const StatusBoard& board) {
     json::Value digest = json::Value::object();
     digest["seed"] = id.seed;
     digest["workers"] = static_cast<std::uint64_t>(id.workers);
+    if (id.processes > 0)
+        digest["processes"] = static_cast<std::uint64_t>(id.processes);
     digest["strategy"] = id.strategy;
     digest["criterion"] = id.criterion;
     digest["delta"] = id.delta;
@@ -205,7 +208,12 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     report.model = request.model_label;
     report.property = request.property.text;
     report.seed = request.seed;
-    report.workers = request.mode == AnalysisMode::EstimateParallel ||
+    const bool supervised =
+        request.supervision.processes > 0 &&
+        (request.mode == AnalysisMode::Estimate ||
+         request.mode == AnalysisMode::EstimateParallel);
+    report.workers = supervised ? request.supervision.processes
+                     : request.mode == AnalysisMode::EstimateParallel ||
                              request.mode == AnalysisMode::EstimateSplitting
                          ? std::max<std::size_t>(1, request.workers)
                          : 1;
@@ -232,6 +240,22 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
     if (request.coverage && request.mode != AnalysisMode::Estimate &&
         request.mode != AnalysisMode::EstimateParallel) {
         throw Error("coverage profiling is only available in the estimation modes");
+    }
+    if (request.supervision.processes > 0) {
+        if (request.mode != AnalysisMode::Estimate &&
+            request.mode != AnalysisMode::EstimateParallel) {
+            throw Error("process-isolated supervision (--processes) is only "
+                        "available in the estimation modes");
+        }
+        if (request.coverage) {
+            throw Error("--processes cannot be combined with coverage profiling");
+        }
+        if (request.witness.per_kind > 0) {
+            throw Error("--processes cannot be combined with witness capture");
+        }
+        if (request.tracer != nullptr && request.tracer->enabled()) {
+            throw Error("--processes cannot be combined with execution tracing");
+        }
     }
     const sim::RunControlOptions& control = request.sim.control;
     if (control.hardened() && request.mode != AnalysisMode::Estimate &&
@@ -325,6 +349,7 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         id.content_hash = report.compiled_model.content_hash;
         id.seed = report.seed;
         id.workers = report.workers;
+        id.processes = supervised ? request.supervision.processes : 0;
         id.delta = request.delta;
         id.eps = request.eps;
         const std::uint16_t port = server.start(
@@ -364,6 +389,23 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
         if (request.serve.on_bound) request.serve.on_bound(port);
     }
 
+    // Supervised execution reuses both estimation arms: the coordinator
+    // replaces the in-process engine, everything around it (criterion,
+    // curve grid, progress chain, journal, metrics, report) is shared.
+    auto supervise_options = [&] {
+        sim::supervise::SuperviseOptions so;
+        so.processes = request.supervision.processes;
+        so.worker_timeout_seconds = request.supervision.worker_timeout_seconds;
+        so.worker_retries = request.supervision.worker_retries;
+        so.injections = request.supervision.injections;
+        so.worker_exe = request.supervision.worker_exe;
+        so.model_path = request.supervision.model_path.empty()
+                            ? request.model_label
+                            : request.supervision.model_path;
+        so.sim = sim_options;
+        return so;
+    };
+
     switch (request.mode) {
     case AnalysisMode::Estimate: {
         report.params.emplace_back("delta", request.delta);
@@ -385,10 +427,20 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
             co.bounds = request.curve_bounds;
             co.band = request.curve_band;
             co.delta = request.delta;
-            result.curve = sim::estimate_curve(net, request.property, request.strategy,
-                                               *criterion, co, request.seed, sim_options,
-                                               rp);
+            result.curve =
+                supervised
+                    ? sim::supervise::estimate_curve_supervised(
+                          net, request.property, request.strategy, *criterion, co,
+                          request.seed, supervise_options(), rp)
+                    : sim::estimate_curve(net, request.property, request.strategy,
+                                          *criterion, co, request.seed, sim_options,
+                                          rp);
             result.value = result.curve.points.back().estimate;
+        } else if (supervised) {
+            result.estimation = sim::supervise::estimate_supervised(
+                net, request.property, request.strategy, *criterion, request.seed,
+                supervise_options(), rp);
+            result.value = result.estimation.estimate;
         } else {
             result.estimation = sim::estimate(net, request.property, request.strategy,
                                               *criterion, request.seed, sim_options, rp);
@@ -420,9 +472,19 @@ AnalysisResult run_analysis(const eda::Network& net, const AnalysisRequest& requ
             co.band = request.curve_band;
             co.delta = request.delta;
             result.curve =
-                sim::estimate_curve_parallel(net, request.property, request.strategy,
-                                             *criterion, co, request.seed, po, rp);
+                supervised
+                    ? sim::supervise::estimate_curve_supervised(
+                          net, request.property, request.strategy, *criterion, co,
+                          request.seed, supervise_options(), rp)
+                    : sim::estimate_curve_parallel(net, request.property,
+                                                   request.strategy, *criterion, co,
+                                                   request.seed, po, rp);
             result.value = result.curve.points.back().estimate;
+        } else if (supervised) {
+            result.estimation = sim::supervise::estimate_supervised(
+                net, request.property, request.strategy, *criterion, request.seed,
+                supervise_options(), rp);
+            result.value = result.estimation.estimate;
         } else {
             result.estimation = sim::estimate_parallel(
                 net, request.property, request.strategy, *criterion, request.seed, po, rp);

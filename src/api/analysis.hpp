@@ -18,6 +18,7 @@
 #include "rare/splitting.hpp"
 #include "sim/hypothesis.hpp"
 #include "sim/parallel_runner.hpp"
+#include "sim/supervise/supervise.hpp"
 #include "support/metrics.hpp"
 
 namespace slimsim {
@@ -181,6 +182,30 @@ struct AnalysisRequest {
     /// Embedded HTTP exporter (estimation modes and beyond — the endpoints
     /// serve whatever the registry and status board hold for any mode).
     ServeOptions serve;
+
+    /// Process-isolated supervised execution (docs/supervision.md): when
+    /// processes > 0, an Estimate / EstimateParallel request runs across
+    /// that many worker *subprocesses* under a crash-tolerant coordinator
+    /// instead of in-process threads. Workers are fresh execs of the
+    /// slimsim binary that re-load the model from `model_path` (defaults
+    /// to model_label, which the CLI sets to the model file path); a
+    /// worker that crashes, stalls past worker_timeout_seconds or corrupts
+    /// a frame is killed and its unacknowledged path range reassigned to a
+    /// replacement (up to worker_retries restarts per slot, exponential
+    /// backoff). Per-path RNG streams keep the result byte-identical to
+    /// the in-process runners at every (seed, processes, crash schedule);
+    /// exhausted retries degrade to a partial result (RunStatus::Degraded),
+    /// never an exception. `injections` is the deterministic fault schedule
+    /// (--inject). Rejected with coverage, witness capture and tracing.
+    struct SupervisionRequest {
+        std::size_t processes = 0; // 0 = in-process execution (default)
+        double worker_timeout_seconds = 10.0;
+        std::size_t worker_retries = 3;
+        std::vector<sim::supervise::FaultInjection> injections;
+        std::string worker_exe;  // "" = /proc/self/exe
+        std::string model_path;  // "" = model_label
+    };
+    SupervisionRequest supervision;
 };
 
 /// The uniform result: the headline value, the mode-specific result struct

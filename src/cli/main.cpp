@@ -6,6 +6,7 @@
 // Estimates P( <> [0,TIME] EXPR ) by Monte Carlo simulation (the paper's
 // tool), or exactly via the CTMC flow for untimed models (--ctmc).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -14,6 +15,8 @@
 #include "eda/network.hpp"
 #include <filesystem>
 #include <fstream>
+
+#include "support/atomic_file.hpp"
 
 #include "props/pattern.hpp"
 #include "support/journal.hpp"
@@ -150,7 +153,23 @@ void usage() {
         "                       (also on SIGINT/SIGTERM and budget exhaustion)\n"
         "  --checkpoint-every N also snapshot every N accepted samples\n"
         "  --resume FILE        continue a checkpointed run; byte-identical to\n"
-        "                       the uninterrupted run at any worker count\n");
+        "                       the uninterrupted run at any worker count\n"
+        "\n"
+        "process isolation (docs/supervision.md):\n"
+        "  --processes N        run the estimation across N supervised worker\n"
+        "                       subprocesses: a worker that crashes, stalls or\n"
+        "                       corrupts a frame is killed and restarted, its\n"
+        "                       unacknowledged paths reassigned; the result is\n"
+        "                       byte-identical to the in-process run at every\n"
+        "                       process count and crash schedule\n"
+        "  --worker-timeout T   heartbeat deadline before a silent worker is\n"
+        "                       declared stalled and replaced (default 10s)\n"
+        "  --worker-retries R   restarts per worker slot before the run degrades\n"
+        "                       to a partial result (default 3)\n"
+        "  --inject KIND@PATH   deterministic fault injection for testing:\n"
+        "                       worker-crash@N | worker-stall@N | frame-corrupt@N\n"
+        "                       fires when the worker owning global path N\n"
+        "                       reaches it (repeatable)\n");
 }
 
 /// Validates confidence-style flags at the CLI boundary so a bad value
@@ -292,6 +311,12 @@ int run(int argc, char** argv) {
     std::size_t split_roots = 4096;
     std::size_t split_max_paths = 10'000'000;
     std::size_t split_pilot = 256;
+    std::size_t processes = 0;
+    double worker_timeout = 10.0;
+    std::uint64_t worker_retries = 3;
+    bool worker_timeout_set = false;
+    bool worker_retries_set = false;
+    std::vector<sim::supervise::FaultInjection> injections;
     sim::RunBudget budget;
     sim::FaultPolicy fault;
     sim::SimOptions sim_options;
@@ -324,6 +349,21 @@ int run(int argc, char** argv) {
             seed = parse_count(need_value(i, "--seed"), "--seed", 0);
         } else if (arg == "--workers") {
             workers = parse_count(need_value(i, "--workers"), "--workers");
+        } else if (arg == "--processes") {
+            processes = parse_count(need_value(i, "--processes"), "--processes");
+        } else if (arg == "--worker-timeout") {
+            worker_timeout = parse_duration(need_value(i, "--worker-timeout"));
+            if (worker_timeout <= 0.0) {
+                throw Error("--worker-timeout expects a positive duration");
+            }
+            worker_timeout_set = true;
+        } else if (arg == "--worker-retries") {
+            worker_retries = parse_count(need_value(i, "--worker-retries"),
+                                         "--worker-retries", 0);
+            worker_retries_set = true;
+        } else if (arg == "--inject") {
+            injections.push_back(
+                sim::supervise::parse_injection(need_value(i, "--inject")));
         } else if (arg == "--curve") {
             curve_list = need_value(i, "--curve");
         } else if (arg == "--curve-grid") {
@@ -654,6 +694,31 @@ int run(int argc, char** argv) {
     }
     req.coverage = coverage;
 
+    // Process-isolated supervision (docs/supervision.md).
+    if (processes == 0 &&
+        (worker_timeout_set || worker_retries_set || !injections.empty())) {
+        throw Error("--worker-timeout, --worker-retries and --inject need "
+                    "--processes N");
+    }
+    if (processes > 0) {
+        if (use_ctmc || test_threshold >= 0.0 || splitting_mode) {
+            throw Error("--processes is an estimation-mode option (not --ctmc / "
+                        "--test / --split)");
+        }
+        if (coverage) throw Error("--processes cannot be combined with --coverage");
+        if (!witness_dir.empty()) {
+            throw Error("--processes cannot be combined with --witness");
+        }
+        if (!trace_path.empty()) {
+            throw Error("--processes cannot be combined with --trace");
+        }
+        req.supervision.processes = processes;
+        req.supervision.worker_timeout_seconds = worker_timeout;
+        req.supervision.worker_retries = worker_retries;
+        req.supervision.injections = injections;
+        req.supervision.model_path = model_path;
+    }
+
     if (use_ctmc) {
         req.mode = AnalysisMode::CtmcFlow;
         req.flow.minimize = minimize;
@@ -728,7 +793,8 @@ int run(int argc, char** argv) {
     // run_analysis (the engines hold instrument pointers into it).
     std::optional<metrics::Registry> registry;
     if (serve_enabled || !metrics_path.empty()) {
-        registry.emplace(std::max<std::size_t>(std::size_t{1}, workers));
+        registry.emplace(
+            std::max({std::size_t{1}, workers, processes}));
         req.metrics = &*registry;
     }
     // Structured run journal (docs/observability.md). The journal must
@@ -737,10 +803,9 @@ int run(int argc, char** argv) {
         throw Error("--log-level needs --log FILE");
     }
     std::optional<journal::Journal> journal_store;
-    std::ofstream log_out;
+    support::AtomicFile log_file;
     if (!log_path.empty()) {
-        log_out.open(log_path);
-        if (!log_out) throw Error("--log: cannot open `" + log_path + "` for writing");
+        log_file.open(log_path, "--log");
         journal_store.emplace(log_level_name.empty()
                                   ? journal::Level::Info
                                   : journal::parse_level(log_level_name));
@@ -756,40 +821,30 @@ int run(int argc, char** argv) {
     }
 
     // Open the output files / directories up front so a bad path fails
-    // before the analysis runs.
-    std::ofstream json_out;
+    // before the analysis runs. All run artifacts stream into a temp file
+    // and are renamed over the final name only when complete
+    // (support/atomic_file.hpp): a crash mid-run never leaves a torn
+    // artifact behind a trusted path.
+    support::AtomicFile json_file;
     if (!json_path.empty() && json_path != "-") {
-        json_out.open(json_path);
-        if (!json_out) throw Error("cannot open `" + json_path + "` for writing");
+        json_file.open(json_path, "--json");
     }
-    std::ofstream curve_csv_out;
+    support::AtomicFile curve_csv_file;
     if (!curve_csv_path.empty()) {
-        curve_csv_out.open(curve_csv_path);
-        if (!curve_csv_out) {
-            throw Error("cannot open `" + curve_csv_path + "` for writing");
-        }
+        curve_csv_file.open(curve_csv_path, "--curve-csv");
     }
-    std::ofstream coverage_csv_out;
+    support::AtomicFile coverage_csv_file;
     if (!coverage_csv_path.empty()) {
-        coverage_csv_out.open(coverage_csv_path);
-        if (!coverage_csv_out) {
-            throw Error("--coverage: cannot open `" + coverage_csv_path +
-                        "` for writing");
-        }
+        coverage_csv_file.open(coverage_csv_path, "--coverage");
     }
-    std::ofstream metrics_out;
+    support::AtomicFile metrics_file;
     if (!metrics_path.empty()) {
-        metrics_out.open(metrics_path);
-        if (!metrics_out) {
-            throw Error("--metrics-out: cannot open `" + metrics_path +
-                        "` for writing");
-        }
+        metrics_file.open(metrics_path, "--metrics-out");
     }
-    std::ofstream trace_out;
+    support::AtomicFile trace_file;
     tracer::Tracer tracer(tracer::Tracer::Options{!trace_path.empty(), 1 << 16});
     if (!trace_path.empty()) {
-        trace_out.open(trace_path);
-        if (!trace_out) throw Error("cannot open `" + trace_path + "` for writing");
+        trace_file.open(trace_path, "--trace");
         req.tracer = &tracer;
     }
     if (!witness_dir.empty()) {
@@ -820,7 +875,8 @@ int run(int argc, char** argv) {
     if (show_progress) std::fputc('\n', stderr);
 
     if (!trace_path.empty()) {
-        trace_out << tracer.to_chrome_json().dump(1) << "\n";
+        trace_file.stream() << tracer.to_chrome_json().dump(1) << "\n";
+        trace_file.commit();
         std::printf("wrote execution trace %s (open in Perfetto / chrome://tracing)\n",
                     trace_path.c_str());
     }
@@ -856,11 +912,12 @@ int run(int argc, char** argv) {
                     witness_dir.c_str());
     }
     if (!curve_csv_path.empty()) {
-        curve_csv_out << "bound,estimate,successes,samples\n";
+        curve_csv_file.stream() << "bound,estimate,successes,samples\n";
         for (const auto& p : res.curve.points) {
-            curve_csv_out << p.bound << ',' << p.estimate << ',' << p.successes << ','
-                          << res.curve.samples << '\n';
+            curve_csv_file.stream() << p.bound << ',' << p.estimate << ','
+                                    << p.successes << ',' << res.curve.samples << '\n';
         }
+        curve_csv_file.commit();
         std::printf("wrote curve CSV %s (%zu bounds)\n", curve_csv_path.c_str(),
                     res.curve.points.size());
     }
@@ -902,16 +959,19 @@ int run(int argc, char** argv) {
     if (coverage) {
         std::fputs(res.coverage.summary_text().c_str(), stdout);
         if (!coverage_csv_path.empty()) {
-            coverage_csv_out << res.coverage.to_csv();
+            coverage_csv_file.stream() << res.coverage.to_csv();
+            coverage_csv_file.commit();
             std::printf("wrote coverage CSV %s\n", coverage_csv_path.c_str());
         }
     }
     if (!metrics_path.empty()) {
-        metrics_out << telemetry::prometheus_text(res.report, req.metrics);
+        metrics_file.stream() << telemetry::prometheus_text(res.report, req.metrics);
+        metrics_file.commit();
         std::printf("wrote Prometheus metrics %s\n", metrics_path.c_str());
     }
     if (journal_store) {
-        log_out << journal_store->to_jsonl(false);
+        log_file.stream() << journal_store->to_jsonl(false);
+        log_file.commit();
         std::printf("wrote run journal %s (%zu events", log_path.c_str(),
                     journal_store->size());
         if (journal_store->dropped() > 0) {
@@ -926,7 +986,8 @@ int run(int argc, char** argv) {
         if (json_path == "-") {
             std::fputs(doc.c_str(), stdout);
         } else {
-            json_out << doc;
+            json_file.stream() << doc;
+            json_file.commit();
         }
     }
     if (req.mode == AnalysisMode::HypothesisTest &&
@@ -939,6 +1000,12 @@ int run(int argc, char** argv) {
 } // namespace
 
 int main(int argc, char** argv) {
+    // Supervised-run worker entry (docs/supervision.md): the coordinator
+    // execs `slimsim --worker-mode FD` with a socketpair end on FD. Checked
+    // before anything else so no CLI plumbing runs in worker subprocesses.
+    if (argc >= 3 && std::strcmp(argv[1], "--worker-mode") == 0) {
+        return slimsim::sim::supervise::run_worker_mode(std::atoi(argv[2]));
+    }
     try {
         return run(argc, argv);
     } catch (const std::exception& e) {

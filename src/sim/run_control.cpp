@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "support/atomic_file.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slimsim::sim {
@@ -83,9 +84,20 @@ struct Reader {
     const std::string& bytes;
     std::size_t pos = 0;
 
-    void need(std::size_t n) const {
-        if (pos + n > bytes.size())
-            throw Error("--resume checkpoint is truncated or corrupt");
+    void need(std::uint64_t n) const {
+        // Overflow-safe form of pos + n > size: `n` can be an attacker- or
+        // corruption-controlled u64 straight off the wire.
+        if (pos > bytes.size() || n > bytes.size() - pos)
+            throw Error("--resume: checkpoint is truncated or corrupt");
+    }
+    /// Length prefix of a vector of `elem_size`-byte elements; rejects
+    /// counts the remaining bytes cannot possibly hold, so a corrupt count
+    /// yields the one-line --resume diagnostic instead of a huge resize.
+    std::uint64_t get_count(std::size_t elem_size) {
+        const std::uint64_t n = get_u64();
+        if (elem_size != 0 && n > (bytes.size() - pos) / elem_size)
+            throw Error("--resume: checkpoint is truncated or corrupt");
+        return n;
     }
     std::uint32_t get_u32() {
         need(4);
@@ -142,40 +154,32 @@ std::size_t RunCheckpoint::save(const std::string& path) const {
     for (std::uint64_t v : curve_tree) put_u64(out, v);
     put_u64(out, fnv1a64(out.data(), out.size()));
 
-    // Write to a temp file and rename so a signal arriving mid-write never
-    // leaves a half-written checkpoint behind the final name.
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-        if (!file) throw Error("cannot write checkpoint file: " + tmp);
-        file.write(out.data(), static_cast<std::streamsize>(out.size()));
-        if (!file) throw Error("cannot write checkpoint file: " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw Error("cannot write checkpoint file: " + path);
-    return out.size();
+    // Temp file + rename (support/atomic_file) so a signal arriving
+    // mid-write never leaves a half-written checkpoint behind the final name.
+    return support::write_file_atomic(path, out, "cannot write checkpoint file");
 }
 
 RunCheckpoint RunCheckpoint::load(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
-    if (!in) throw Error("--resume cannot read checkpoint file: " + path);
+    if (!in) throw Error("--resume: cannot read checkpoint file `" + path + "`");
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string bytes = buf.str();
 
     if (bytes.size() < sizeof(kMagic) + 4 + 8 ||
         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-        throw Error("--resume file is not a slimsim checkpoint: " + path);
+        throw Error("--resume: `" + path + "` is not a slimsim checkpoint");
     const std::uint64_t stored_sum =
         Reader{bytes, bytes.size() - 8}.get_u64();
     if (fnv1a64(bytes.data(), bytes.size() - 8) != stored_sum)
-        throw Error("--resume checkpoint failed its checksum (file corrupt): " + path);
+        throw Error("--resume: checkpoint failed its checksum (file truncated or "
+                    "corrupt): " + path);
 
     Reader r{bytes, sizeof(kMagic)};
     RunCheckpoint ck;
     ck.version = r.get_u32();
     if (ck.version != kVersion)
-        throw Error("--resume checkpoint version " + std::to_string(ck.version) +
+        throw Error("--resume: checkpoint version " + std::to_string(ck.version) +
                     " is not supported (this build reads version " +
                     std::to_string(kVersion) + ")");
     ck.model_hash = r.get_u64();
@@ -186,13 +190,13 @@ RunCheckpoint RunCheckpoint::load(const std::string& path) {
     ck.cursor = r.get_u64();
     ck.successes = r.get_u64();
     ck.total_steps = r.get_u64();
-    ck.terminal_tags.resize(r.get_u64());
+    ck.terminal_tags.resize(r.get_count(8));
     for (auto& v : ck.terminal_tags) v = r.get_u64();
-    ck.error_log.resize(r.get_u64());
+    ck.error_log.resize(r.get_count(8)); // 8 = u64 length prefix per string
     for (auto& msg : ck.error_log) msg = r.get_string();
-    ck.curve_bounds.resize(r.get_u64());
+    ck.curve_bounds.resize(r.get_count(8));
     for (auto& b : ck.curve_bounds) b = r.get_f64();
-    ck.curve_tree.resize(r.get_u64());
+    ck.curve_tree.resize(r.get_count(8));
     for (auto& v : ck.curve_tree) v = r.get_u64();
     return ck;
 }

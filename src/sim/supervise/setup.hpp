@@ -1,0 +1,120 @@
+// Internal: the SETUP frame payload — the complete work assignment a
+// coordinator hands a (re)spawned worker. Shared by worker.cpp and
+// supervisor.cpp only; the layout is part of SLIMWIRE v1
+// (docs/supervision.md).
+//
+// Time bounds travel as bit-exact f64 (never through decimal text: the
+// property's display spelling is 6-significant-digit formatted and would
+// desynchronize worker RNG-stream outcomes from the coordinator's
+// reference run).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/supervise/wire.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slimsim::sim::supervise {
+
+struct WireSetup {
+    std::uint64_t seed = 0;
+    std::uint64_t model_hash = 0; // CompiledModel::content_hash() expected
+    std::string model_path;
+    std::uint8_t formula_kind = 0; // sim::FormulaKind
+    double lo = 0.0;
+    double bound = 0.0; // simulation horizon (curve runs: largest bound)
+    std::string goal_text;
+    std::string hold_text; // Until only
+    std::string strategy;
+    std::uint8_t deadlock = 0; // sim::StuckPolicy
+    std::uint8_t timelock = 0; // sim::StuckPolicy
+    std::uint8_t memory = 0;   // sim::MemoryPolicy
+    std::uint64_t max_steps = 0;
+    std::uint8_t tolerate = 0; // FaultPolicy::Tolerate
+    std::uint64_t w = 0;       // worker slot
+    std::uint64_t k = 1;       // worker count
+    std::uint64_t base = 0;    // resumed global path cursor
+    /// First local index this incarnation generates (0 on the initial
+    /// spawn; the predecessor's acknowledged count on a restart).
+    std::uint64_t start_local = 0;
+    double heartbeat_seconds = 0.5;
+    std::uint32_t batch = 64;
+    struct Injection {
+        std::uint8_t kind = 0; // InjectKind
+        std::uint64_t path = 0;
+    };
+    /// Unfired injections owned by this slot with local >= start_local.
+    std::vector<Injection> injections;
+};
+
+inline std::string encode_setup(const WireSetup& s) {
+    std::string p;
+    put_u32(p, kProtocolVersion);
+    put_u64(p, s.seed);
+    put_u64(p, s.model_hash);
+    put_string(p, s.model_path);
+    put_u8(p, s.formula_kind);
+    put_f64(p, s.lo);
+    put_f64(p, s.bound);
+    put_string(p, s.goal_text);
+    put_string(p, s.hold_text);
+    put_string(p, s.strategy);
+    put_u8(p, s.deadlock);
+    put_u8(p, s.timelock);
+    put_u8(p, s.memory);
+    put_u64(p, s.max_steps);
+    put_u8(p, s.tolerate);
+    put_u64(p, s.w);
+    put_u64(p, s.k);
+    put_u64(p, s.base);
+    put_u64(p, s.start_local);
+    put_f64(p, s.heartbeat_seconds);
+    put_u32(p, s.batch);
+    put_u32(p, static_cast<std::uint32_t>(s.injections.size()));
+    for (const auto& inj : s.injections) {
+        put_u8(p, inj.kind);
+        put_u64(p, inj.path);
+    }
+    return p;
+}
+
+inline WireSetup decode_setup(std::string_view payload) {
+    PayloadReader r(payload);
+    const std::uint32_t version = r.get_u32();
+    if (version != kProtocolVersion)
+        throw Error("SLIMWIRE: protocol version mismatch (peer " +
+                    std::to_string(version) + ", this build " +
+                    std::to_string(kProtocolVersion) + ")");
+    WireSetup s;
+    s.seed = r.get_u64();
+    s.model_hash = r.get_u64();
+    s.model_path = r.get_string();
+    s.formula_kind = r.get_u8();
+    s.lo = r.get_f64();
+    s.bound = r.get_f64();
+    s.goal_text = r.get_string();
+    s.hold_text = r.get_string();
+    s.strategy = r.get_string();
+    s.deadlock = r.get_u8();
+    s.timelock = r.get_u8();
+    s.memory = r.get_u8();
+    s.max_steps = r.get_u64();
+    s.tolerate = r.get_u8();
+    s.w = r.get_u64();
+    s.k = r.get_u64();
+    s.base = r.get_u64();
+    s.start_local = r.get_u64();
+    s.heartbeat_seconds = r.get_f64();
+    s.batch = r.get_u32();
+    const std::uint32_t n = r.get_u32();
+    s.injections.resize(n);
+    for (auto& inj : s.injections) {
+        inj.kind = r.get_u8();
+        inj.path = r.get_u64();
+    }
+    return s;
+}
+
+} // namespace slimsim::sim::supervise

@@ -1,0 +1,166 @@
+#include "sim/supervise/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+
+#include "sim/run_control.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slimsim::sim::supervise {
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(out, bits);
+}
+
+void put_string(std::string& out, std::string_view s) {
+    put_u64(out, s.size());
+    out.append(s);
+}
+
+void PayloadReader::need(std::uint64_t n) const {
+    if (pos_ > bytes_.size() || n > bytes_.size() - pos_)
+        throw Error("malformed SLIMWIRE frame: payload truncated");
+}
+
+std::uint8_t PayloadReader::get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t PayloadReader::get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t PayloadReader::get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double PayloadReader::get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string PayloadReader::get_string() {
+    const std::uint64_t n = get_u64();
+    need(n);
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+    std::string out;
+    const std::uint64_t len = 4 + payload.size() + 8;
+    out.reserve(4 + len);
+    put_u32(out, static_cast<std::uint32_t>(len));
+    put_u32(out, static_cast<std::uint32_t>(type));
+    out.append(payload);
+    put_u64(out, fnv1a64(out.data() + 4, out.size() - 4));
+    return out;
+}
+
+std::string encode_frame_corrupt(FrameType type, std::string_view payload) {
+    std::string out = encode_frame(type, payload);
+    out.back() = static_cast<char>(static_cast<unsigned char>(out.back()) ^ 0xff);
+    return out;
+}
+
+FrameBuffer::Status FrameBuffer::next(Frame& out) {
+    if (poisoned_) return Status::Corrupt;
+    if (data_.size() < 4) return Status::NeedMore;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[i])) << (8 * i);
+    if (len < 12 || len > kMaxFrameBytes) {
+        poisoned_ = true;
+        return Status::Corrupt;
+    }
+    if (data_.size() < 4u + len) return Status::NeedMore;
+    const std::uint64_t stored =
+        [&] {
+            std::uint64_t v = 0;
+            const std::size_t at = 4u + len - 8;
+            for (int i = 0; i < 8; ++i)
+                v |= static_cast<std::uint64_t>(
+                         static_cast<unsigned char>(data_[at + i]))
+                     << (8 * i);
+            return v;
+        }();
+    if (fnv1a64(data_.data() + 4, len - 8) != stored) {
+        poisoned_ = true;
+        return Status::Corrupt;
+    }
+    std::uint32_t type = 0;
+    for (int i = 0; i < 4; ++i)
+        type |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[4 + i]))
+                << (8 * i);
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(data_, 8, len - 12);
+    data_.erase(0, 4u + len);
+    return Status::Ok;
+}
+
+bool send_bytes(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Frame read_frame_blocking(int fd) {
+    FrameBuffer buf;
+    Frame frame;
+    char chunk[4096];
+    for (;;) {
+        switch (buf.next(frame)) {
+        case FrameBuffer::Status::Ok: return frame;
+        case FrameBuffer::Status::Corrupt:
+            throw Error("SLIMWIRE: corrupt frame from peer");
+        case FrameBuffer::Status::NeedMore: break;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0) throw Error("SLIMWIRE: peer closed the connection");
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw Error(std::string("SLIMWIRE: read failed: ") + std::strerror(errno));
+        }
+        buf.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace slimsim::sim::supervise

@@ -1,0 +1,113 @@
+// SLIMWIRE v1: the framed byte protocol between the supervision coordinator
+// and its worker subprocesses (docs/supervision.md).
+//
+// Every frame is little-endian:
+//
+//   [u32 len][u32 type][payload ...][u64 checksum]
+//
+// where `len` counts every byte after the length field itself (4 for the
+// type + payload + 8 for the checksum), and `checksum` is fnv1a64 over the
+// type and payload bytes. A frame whose checksum does not verify — or whose
+// length is structurally impossible — is *corrupt*: the coordinator treats
+// the sending worker as failed (kill, restart, reassign), never trusting
+// any later bytes from the same stream.
+//
+// Payload primitives match the checkpoint serializer: u8/u32/u64 raw LE,
+// f64 bit-copied through u64 (bit-exact round trip — time bounds must not
+// pass through decimal text), strings u64-length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace slimsim::sim::supervise {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame (sanity check before buffering a length).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame types. Direction is fixed per type.
+enum class FrameType : std::uint32_t {
+    Hello = 1,     // worker -> coordinator: protocol version, pid
+    Setup = 2,     // coordinator -> worker: the full work assignment
+    Samples = 3,   // worker -> coordinator: a batch of path outcomes
+    Heartbeat = 4, // worker -> coordinator: liveness while no samples flow
+    Fatal = 5,     // worker -> coordinator: deterministic error, run must abort
+};
+
+/// Payload writers (append to `out`).
+void put_u8(std::string& out, std::uint8_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_f64(std::string& out, double v);
+void put_string(std::string& out, std::string_view s);
+
+/// Sequential bounds-checked payload reader; throws slimsim::Error
+/// ("malformed SLIMWIRE frame ...") on truncation, so a corrupt payload that
+/// happens to pass the checksum still fails closed.
+class PayloadReader {
+public:
+    explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+    [[nodiscard]] std::uint8_t get_u8();
+    [[nodiscard]] std::uint32_t get_u32();
+    [[nodiscard]] std::uint64_t get_u64();
+    [[nodiscard]] double get_f64();
+    [[nodiscard]] std::string get_string();
+    [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+private:
+    void need(std::uint64_t n) const;
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+/// One parsed frame.
+struct Frame {
+    FrameType type = FrameType::Hello;
+    std::string payload;
+};
+
+/// Serializes a complete frame (length + type + payload + checksum).
+[[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
+
+/// A deliberately corrupt encoding of the same frame: valid structure, last
+/// checksum byte flipped. Used by the `frame-corrupt@N` fault injection.
+[[nodiscard]] std::string encode_frame_corrupt(FrameType type, std::string_view payload);
+
+/// Incremental frame parser over a worker's byte stream.
+class FrameBuffer {
+public:
+    enum class Status : std::uint8_t {
+        Ok,       // a frame was produced
+        NeedMore, // the buffer holds no complete frame yet
+        Corrupt,  // checksum/length violation: abandon this stream
+    };
+
+    void feed(const char* data, std::size_t n) { data_.append(data, n); }
+
+    /// Extracts the next complete frame. After Corrupt the buffer is
+    /// poisoned: every later call returns Corrupt (a framing error makes
+    /// all subsequent bytes unattributable).
+    Status next(Frame& out);
+
+    [[nodiscard]] std::size_t buffered() const { return data_.size(); }
+
+private:
+    std::string data_;
+    bool poisoned_ = false;
+};
+
+/// Blocking framed I/O over a socket fd (the worker side; the coordinator
+/// uses non-blocking reads through FrameBuffer). Both retry on EINTR and
+/// use MSG_NOSIGNAL, so a vanished peer surfaces as an Error, not SIGPIPE.
+/// send_bytes returns false when the peer is gone (EPIPE/ECONNRESET).
+[[nodiscard]] bool send_bytes(int fd, std::string_view bytes);
+/// Reads one frame; throws Error on EOF, read error, or a corrupt frame.
+[[nodiscard]] Frame read_frame_blocking(int fd);
+
+} // namespace slimsim::sim::supervise

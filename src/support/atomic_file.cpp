@@ -1,0 +1,60 @@
+#include "support/atomic_file.hpp"
+
+#include <cstdio>
+
+#include "support/diagnostics.hpp"
+
+namespace slimsim::support {
+
+std::size_t write_file_atomic(const std::string& path, std::string_view bytes,
+                              const std::string& what) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) throw Error(what + ": " + tmp);
+        file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        file.flush();
+        if (!file) {
+            std::remove(tmp.c_str());
+            throw Error(what + ": " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw Error(what + ": " + path);
+    }
+    return bytes.size();
+}
+
+AtomicFile::~AtomicFile() { discard(); }
+
+void AtomicFile::open(const std::string& path, const std::string& what) {
+    path_ = path;
+    tmp_ = path + ".tmp";
+    what_ = what;
+    out_.open(tmp_, std::ios::trunc);
+    if (!out_) throw Error(what_ + ": cannot open `" + path + "` for writing");
+}
+
+void AtomicFile::commit() {
+    if (!out_.is_open()) return;
+    out_.flush();
+    const bool ok = static_cast<bool>(out_);
+    out_.close();
+    if (!ok) {
+        std::remove(tmp_.c_str());
+        throw Error(what_ + ": cannot write `" + path_ + "`");
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp_.c_str());
+        throw Error(what_ + ": cannot write `" + path_ + "`");
+    }
+}
+
+void AtomicFile::discard() noexcept {
+    if (!out_.is_open()) return;
+    out_.close();
+    std::remove(tmp_.c_str());
+}
+
+} // namespace slimsim::support

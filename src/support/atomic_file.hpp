@@ -1,0 +1,63 @@
+// Crash-atomic file writes: every run artifact (report JSON, curve CSV,
+// coverage CSV, metrics exposition, traces, journals, checkpoints) goes
+// through a temp-file + rename pair so a crash, SIGKILL or torn write never
+// leaves a half-written artifact behind the final name (docs/robustness.md).
+//
+// Two surfaces:
+//   * write_file_atomic(): one-shot — serialize the whole artifact to a
+//     string, then persist it atomically (the checkpoint path).
+//   * AtomicFile: an ofstream wrapper for artifacts the caller streams
+//     incrementally; nothing appears at the final path until commit().
+//     Destruction without commit() removes the temp file (best effort), so
+//     an exception between open and commit leaves no debris.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace slimsim::support {
+
+/// Serializes `bytes` to `path` atomically (write `path + ".tmp"`, rename).
+/// Throws Error("<what>: ...") on any I/O failure; `what` names the flag or
+/// artifact for the diagnostic (e.g. "cannot write checkpoint file").
+/// Returns the number of bytes written.
+std::size_t write_file_atomic(const std::string& path, std::string_view bytes,
+                              const std::string& what);
+
+/// Stream-style atomic writer. open() creates `path + ".tmp"`; commit()
+/// flushes, closes and renames it over `path`. Without commit() the temp
+/// file is unlinked on destruction.
+class AtomicFile {
+public:
+    AtomicFile() = default;
+    AtomicFile(const AtomicFile&) = delete;
+    AtomicFile& operator=(const AtomicFile&) = delete;
+    ~AtomicFile();
+
+    /// Opens the temp file for writing; throws Error("<what>: cannot open
+    /// `path` for writing") on failure, so a bad artifact path fails before
+    /// the analysis runs.
+    void open(const std::string& path, const std::string& what);
+
+    /// True between open() and commit()/discard().
+    [[nodiscard]] explicit operator bool() const { return out_.is_open(); }
+
+    /// The stream to write artifact bytes into (open() must have succeeded).
+    [[nodiscard]] std::ofstream& stream() { return out_; }
+
+    /// Flush + close + rename over the final path; throws Error on failure
+    /// (and removes the temp file so nothing is left behind).
+    void commit();
+
+    /// Close and unlink the temp file without publishing (error paths).
+    void discard() noexcept;
+
+private:
+    std::ofstream out_;
+    std::string path_;
+    std::string tmp_;
+    std::string what_;
+};
+
+} // namespace slimsim::support

@@ -341,6 +341,25 @@ json::Value RunReport::to_json() const {
         doc["curve"] = std::move(c);
     }
 
+    // The supervision section (docs/supervision.md) is deterministic under
+    // a deterministic fault-injection schedule; real-world failures make it
+    // run-dependent, which is why byte-identity comparisons exclude it (the
+    // result/terminals/curve sections above stay identical regardless).
+    if (supervision.enabled) {
+        json::Value sv = json::Value::object();
+        sv["processes"] = supervision.processes;
+        sv["spawns"] = supervision.spawns;
+        sv["restarts"] = supervision.restarts;
+        sv["reassigned_paths"] = supervision.reassigned_paths;
+        sv["injected_faults"] = supervision.injected_faults;
+        json::Value by = json::Value::object();
+        for (const auto& [reason, n] : supervision.restarts_by_reason) by[reason] = n;
+        sv["restarts_by_reason"] = std::move(by);
+        sv["worker_timeout_seconds"] = supervision.worker_timeout_seconds;
+        sv["worker_retries"] = supervision.worker_retries;
+        doc["supervision"] = std::move(sv);
+    }
+
     // The splitting section is deterministic in the seed alone: root trees
     // merge into the estimate in global root order (docs/rare-events.md).
     if (splitting.enabled) {
@@ -517,6 +536,16 @@ std::string RunReport::to_text() const {
             os << "    u=" << p.bound << "  p^=" << p.estimate << "  successes="
                << p.successes << "\n";
         }
+    }
+    if (supervision.enabled) {
+        os << "  supervision: processes=" << supervision.processes
+           << " spawns=" << supervision.spawns << " restarts=" << supervision.restarts
+           << " reassigned_paths=" << supervision.reassigned_paths << "\n";
+        os << "    restarts by reason:";
+        for (const auto& [reason, n] : supervision.restarts_by_reason) {
+            os << " " << reason << "=" << n;
+        }
+        os << "\n";
     }
     if (splitting.enabled) {
         os << "  splitting:  level=" << splitting.level << " factor=" << splitting.factor

@@ -328,10 +328,31 @@ struct RunStatusReport {
     std::vector<std::string> error_log;
 };
 
+/// The "supervision" report section (schema v6): what the process-isolated
+/// coordinator observed (sim/supervise, docs/supervision.md). Under a
+/// deterministic fault-injection schedule every field is deterministic; the
+/// section is emitted only for supervised runs, so unsupervised reports are
+/// byte-identical to schema-v5 documents apart from the version field.
+struct SupervisionReport {
+    bool enabled = false;
+    std::uint64_t processes = 0; // worker subprocesses (slots)
+    std::uint64_t spawns = 0;    // initial spawns + restarts
+    std::uint64_t restarts = 0;
+    /// Accepted path indices that were reassigned to a replacement worker
+    /// at least once.
+    std::uint64_t reassigned_paths = 0;
+    std::uint64_t injected_faults = 0; // scheduled injections
+    /// Restarts by failure classification, fixed order: crash, stall,
+    /// corrupt-frame (shape-stable; zero entries are kept).
+    std::vector<std::pair<std::string, std::uint64_t>> restarts_by_reason;
+    double worker_timeout_seconds = 0.0;
+    std::uint64_t worker_retries = 0;
+};
+
 /// The structured result record every analysis emits. Everything outside
 /// the "runtime"/"resources" sections is deterministic in (seed, workers).
 struct RunReport {
-    static constexpr std::uint64_t kSchemaVersion = 5;
+    static constexpr std::uint64_t kSchemaVersion = 6;
 
     // estimate | estimate-parallel | hypothesis-test | ctmc-flow |
     // estimate-splitting
@@ -357,6 +378,7 @@ struct RunReport {
     CollectorStats collector;
     std::vector<StopPoint> stop_trajectory;
     CurveReport curve;       // multi-bound curve estimation (empty otherwise)
+    SupervisionReport supervision; // process-isolated runs (disabled otherwise)
     SplittingReport splitting; // importance splitting (disabled otherwise)
     CoverageReport coverage; // model coverage profile (disabled otherwise)
     CompiledModelReport compiled_model; // compile-time model facts (when compiled)

@@ -1,8 +1,10 @@
 // End-to-end tests of the slimsim command-line tool (run as a subprocess).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -614,6 +616,145 @@ TEST_F(CliTest, SplittingPathBudgetWarnsButExitsZero) {
     EXPECT_EQ(doc.at("run_status").at("status").as_string(), "budget_exhausted");
     EXPECT_LE(doc.at("splitting").at("total_paths").as_int(), 500);
     std::remove(json.c_str());
+}
+
+// Runs an arbitrary shell pipeline and extracts the CLI's exit code from a
+// trailing "CLI_EXIT:N" marker (popen only reports the pipeline's status).
+CliResult run_shell(const std::string& pipeline) {
+    std::FILE* pipe = popen(pipeline.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    CliResult res;
+    std::array<char, 4096> buf{};
+    while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) res.output += buf.data();
+    pclose(pipe);
+    const std::size_t marker = res.output.rfind("CLI_EXIT:");
+    if (marker != std::string::npos)
+        res.exit_code = std::atoi(res.output.c_str() + marker + 9);
+    return res;
+}
+
+// A model whose every path self-loops for ~4M discrete steps (~1 s): the
+// interrupt flag is only polled between samples, so a signal sent mid-run
+// reliably lands inside a path — wide deterministic windows for the
+// signal-hardening tests below.
+std::string slow_path_file() {
+    static const std::string name = "cli_slow_" + std::to_string(getpid()) + ".slim";
+    static const bool written = [] {
+        std::ofstream(name) << R"(
+            root S.I;
+            system S
+            features broken: out data port bool default false;
+            end S;
+            system implementation S.I end S.I;
+            error model EM
+            features ok: initial state; bad: error state;
+            end EM;
+            error model implementation EM.I
+            events f: error event occurrence poisson 2000.0 per sec;
+            transitions ok -[f]-> ok;
+            end EM.I;
+            fault injections
+              component root uses error model EM.I;
+              component root in state bad effect broken := true;
+            end fault injections;
+        )";
+        return true;
+    }();
+    (void)written;
+    return name;
+}
+
+TEST_F(CliTest, SigtermDrainsToInterruptedRunWithArtifacts) {
+    const std::string json = "cli_term_" + std::to_string(getpid()) + ".json";
+    const std::string cmd = std::string(SLIMSIM_CLI_PATH) + " " + slow_path_file() +
+                            " --goal broken --bound 2000 --eps 0.05 --seed 1"
+                            " --max-path-steps 100000000 --json " + json +
+                            " 2>&1 & pid=$!; sleep 0.3; kill -TERM $pid;"
+                            " wait $pid; echo CLI_EXIT:$?";
+    const CliResult res = run_shell(cmd);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    EXPECT_NE(res.output.find("warning: run interrupted"), std::string::npos)
+        << res.output;
+    const auto doc = slimsim::json::Value::parse(read_file(json));
+    EXPECT_EQ(doc.at("run_status").at("status").as_string(), "interrupted");
+    std::remove(json.c_str());
+}
+
+TEST_F(CliTest, SecondSigtermAbortsImmediatelyWith130) {
+    const std::string json = "cli_term2_" + std::to_string(getpid()) + ".json";
+    // The second signal arrives while the first one's drain is still inside
+    // the current (~1 s) path; the handler _exit(130)s without artifacts.
+    const std::string cmd = std::string(SLIMSIM_CLI_PATH) + " " + slow_path_file() +
+                            " --goal broken --bound 2000 --eps 0.05 --seed 1"
+                            " --max-path-steps 100000000 --json " + json +
+                            " 2>&1 & pid=$!; sleep 0.3; kill -TERM $pid;"
+                            " sleep 0.05; kill -TERM $pid 2>/dev/null;"
+                            " wait $pid; echo CLI_EXIT:$?";
+    const CliResult res = run_shell(cmd);
+    EXPECT_EQ(res.exit_code, 130) << res.output;
+    EXPECT_FALSE(std::filesystem::exists(json));
+    std::remove(json.c_str());
+}
+
+TEST_F(CliTest, CorruptCheckpointYieldsOneLineResumeError) {
+    const std::string tag = std::to_string(getpid());
+    const std::string ck = "cli_corrupt_" + tag + ".ckpt";
+    const CliResult make =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 "
+                "--seed 9 --max-samples 20 --checkpoint " + ck);
+    ASSERT_EQ(make.exit_code, 0) << make.output;
+
+    std::string bytes = read_file(ck);
+    ASSERT_GT(bytes.size(), 8u);
+    bytes[bytes.size() / 2] ^= 0x5a; // flip a byte in the middle
+    std::ofstream(ck, std::ios::binary | std::ios::trunc) << bytes;
+
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 "
+                "--seed 9 --resume " + ck);
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("error: --resume"), std::string::npos) << res.output;
+    // One diagnostic line, not an unhandled-exception dump.
+    std::size_t error_lines = 0;
+    std::istringstream lines(res.output);
+    for (std::string line; std::getline(lines, line);)
+        if (line.rfind("error:", 0) == 0) ++error_lines;
+    EXPECT_EQ(error_lines, 1u) << res.output;
+    EXPECT_EQ(res.output.find("terminate"), std::string::npos) << res.output;
+    std::remove(ck.c_str());
+}
+
+TEST_F(CliTest, ProcessesFlagRunsSupervisedAndReportsIt) {
+    const std::string json = "cli_procs_" + std::to_string(getpid()) + ".json";
+    const CliResult res =
+        run_cli(gps_file() + "  --goal gps.measurement --bound 1800 --eps 0.05 "
+                "--seed 9 --processes 2 --json " + json);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+    const auto doc = slimsim::json::Value::parse(read_file(json));
+    EXPECT_EQ(doc.at("version").as_int(), 6);
+    EXPECT_EQ(doc.at("supervision").at("processes").as_int(), 2);
+    EXPECT_EQ(doc.at("supervision").at("restarts").as_int(), 0);
+    std::remove(json.c_str());
+}
+
+TEST_F(CliTest, SupervisionFlagsRequireProcesses) {
+    for (const char* extra :
+         {"--worker-timeout 5", "--worker-retries 2", "--inject worker-crash@3"}) {
+        const CliResult res =
+            run_cli(gps_file() + "  --goal gps.measurement --bound 1800 " + extra);
+        EXPECT_EQ(res.exit_code, 1) << extra;
+        EXPECT_NE(res.output.find("--processes"), std::string::npos) << res.output;
+    }
+}
+
+TEST_F(CliTest, ProcessesRejectsConflictingModes) {
+    const std::string base =
+        gps_file() + "  --goal gps.measurement --bound 1800 --processes 2 ";
+    for (const char* extra : {"--coverage", "--ctmc", "--test 0.5"}) {
+        const CliResult res = run_cli(base + extra);
+        EXPECT_EQ(res.exit_code, 1) << extra << ": " << res.output;
+        EXPECT_NE(res.output.find("--processes"), std::string::npos) << res.output;
+    }
 }
 
 TEST_F(CliTest, UnknownOptionFails) {

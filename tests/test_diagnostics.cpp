@@ -347,7 +347,7 @@ TEST(JournalDeterminism, ReportJsonCarriesDiagnosticsSection) {
     req.eps = 0.05;
     const AnalysisResult res = run_analysis(net, req);
     const std::string doc = res.report.to_json().dump();
-    EXPECT_NE(doc.find("\"version\":5"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\":6"), std::string::npos);
     EXPECT_NE(doc.find("\"diagnostics\":{"), std::string::npos);
     EXPECT_NE(doc.find("\"checks\":["), std::string::npos);
 }

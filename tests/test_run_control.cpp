@@ -147,6 +147,34 @@ TEST(RunCheckpoint, LoadRejectsMissingCorruptAndTruncatedFiles) {
     EXPECT_NE(message_of(truncated).find("--resume"), std::string::npos);
 }
 
+TEST(RunCheckpoint, EveryTruncationPrefixIsRejectedWithTheFlagName) {
+    // A checkpoint cut at ANY byte boundary — mid-magic, mid-header,
+    // mid-payload, mid-checksum — must come back as the one-line --resume
+    // diagnostic, never an unhandled exception or a bogus parse.
+    const std::string good = temp_path("ck_prefixes.bin");
+    sample_checkpoint().save(good);
+    std::string bytes;
+    {
+        std::ifstream in(good, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_GT(bytes.size(), 16u);
+    const std::string cut = temp_path("ck_prefix_cut.bin");
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        std::ofstream(cut, std::ios::binary | std::ios::trunc)
+            .write(bytes.data(), static_cast<std::streamsize>(len));
+        try {
+            (void)RunCheckpoint::load(cut);
+            FAIL() << "prefix of " << len << " bytes was accepted";
+        } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos)
+                << "prefix " << len << ": " << e.what();
+        }
+    }
+    std::remove(cut.c_str());
+    std::remove(good.c_str());
+}
+
 TEST(RunCheckpoint, ValidateNamesTheMismatch) {
     const RunCheckpoint ck = sample_checkpoint();
     const std::string prop = "P( <> [0,2] broken )";

@@ -11,13 +11,17 @@ Checks:
   * t is a non-negative number;
   * path, when present, is a non-negative integer.
 
-Usage: lint_journal.py FILE [--require EVENT]... [--from-zero]
+Usage: lint_journal.py FILE [--require EVENT]... [--require-count EVENT=N]...
+       [--from-zero]
 A FILE of `-` reads stdin. --require fails unless an event of that name
-appears (repeatable); --from-zero additionally requires seq to start at 0.
+appears (repeatable); --require-count EVENT=N fails unless the event appears
+exactly N times (repeatable; CI uses it to pin injected fault schedules);
+--from-zero additionally requires seq to start at 0.
 Exits non-zero with a message on the first violation.
 """
 
 import argparse
+import collections
 import json
 import sys
 
@@ -25,8 +29,8 @@ LEVELS = ('info', 'debug', 'trace')
 REQUIRED_KEYS = ('seq', 't', 'level', 'event', 'msg')
 
 
-def lint(lines, required, from_zero):
-    events = set()
+def lint(lines, required, required_counts, from_zero):
+    events = collections.Counter()
     expected_seq = None
     for i, line in enumerate(lines, 1):
         def fail(msg):
@@ -64,11 +68,15 @@ def lint(lines, required, from_zero):
             path = entry['path']
             if not isinstance(path, int) or isinstance(path, bool) or path < 0:
                 fail(f'path must be a non-negative integer, got {path!r}')
-        events.add(entry['event'])
+        events[entry['event']] += 1
 
     missing = [e for e in required if e not in events]
     if missing:
         raise SystemExit(f'required events missing: {", ".join(missing)}')
+    wrong = [f'{e}: expected {n}, got {events[e]}'
+             for e, n in required_counts if events[e] != n]
+    if wrong:
+        raise SystemExit('event count mismatch: ' + '; '.join(wrong))
     return len(events)
 
 
@@ -78,14 +86,24 @@ def main():
     parser.add_argument('--require', action='append', default=[],
                         metavar='EVENT',
                         help='fail unless this event appears (repeatable)')
+    parser.add_argument('--require-count', action='append', default=[],
+                        metavar='EVENT=N',
+                        help='fail unless this event appears exactly N times '
+                             '(repeatable)')
     parser.add_argument('--from-zero', action='store_true',
                         help='require seq to start at 0 (full --log files)')
     opts = parser.parse_args()
+    required_counts = []
+    for spec in opts.require_count:
+        event, sep, n = spec.partition('=')
+        if not sep or not event or not n.isdigit():
+            raise SystemExit(f'--require-count: expected EVENT=N, got {spec!r}')
+        required_counts.append((event, int(n)))
     text = sys.stdin.read() if opts.file == '-' else open(opts.file).read()
     lines = [l for l in text.splitlines() if l]
     if not lines:
         raise SystemExit('empty journal')
-    events = lint(lines, opts.require, opts.from_zero)
+    events = lint(lines, opts.require, required_counts, opts.from_zero)
     print(f'ok: {len(lines)} entries, {events} distinct events')
 
 
